@@ -1,0 +1,206 @@
+//! Energy estimation for simulated runs.
+//!
+//! The paper evaluates area, not power, but leans on the energy literature
+//! twice: Slices make applications "more area efficient, energy efficient"
+//! (§1), and its `performance²`/`performance³` utility metrics are chosen
+//! for their kinship with `Energy·Delay²`/`Energy·Delay³` (§2.2). This
+//! module closes that loop: per-event dynamic energies (45 nm-plausible
+//! CACTI-class constants) applied to the simulator's activity counters,
+//! plus area-proportional leakage, yielding energy, EDP and ED²P for any
+//! run — so the energy side of a VCore sizing decision can be quantified,
+//! not just asserted.
+
+use crate::model::AreaModel;
+use serde::{Deserialize, Serialize};
+use sharing_core::{SimResult, VCoreShape};
+
+/// Per-event dynamic energies in picojoules, and leakage density.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One instruction's worth of pipeline overhead (fetch, decode,
+    /// rename, commit).
+    pub pipeline_pj: f64,
+    /// One ALU operation.
+    pub alu_pj: f64,
+    /// One L1 access (I or D).
+    pub l1_pj: f64,
+    /// One L2 bank access.
+    pub l2_pj: f64,
+    /// One DRAM line fill.
+    pub dram_pj: f64,
+    /// One network message per hop (operand / LS-sort / rename).
+    pub hop_pj: f64,
+    /// One LSQ bank search (store commit, §3.6).
+    pub lsq_search_pj: f64,
+    /// Leakage per mm² per cycle (30 mW/mm² at 1 GHz → 30 pJ/mm²/cycle).
+    pub leakage_pj_per_mm2_cycle: f64,
+}
+
+impl EnergyModel {
+    /// 45 nm-plausible constants.
+    #[must_use]
+    pub fn node_45nm() -> Self {
+        EnergyModel {
+            pipeline_pj: 8.0,
+            alu_pj: 5.0,
+            l1_pj: 12.0,
+            l2_pj: 28.0,
+            dram_pj: 6_000.0,
+            hop_pj: 3.0,
+            lsq_search_pj: 6.0,
+            leakage_pj_per_mm2_cycle: 30.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::node_45nm()
+    }
+}
+
+/// Energy accounting for one simulated run.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic energy in nanojoules.
+    pub dynamic_nj: f64,
+    /// Leakage energy in nanojoules.
+    pub leakage_nj: f64,
+    /// Cycles the run took.
+    pub cycles: u64,
+}
+
+impl EnergyReport {
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.dynamic_nj + self.leakage_nj
+    }
+
+    /// Energy–delay product (nJ · cycles).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.total_nj() * self.cycles as f64
+    }
+
+    /// Energy–delay² product (nJ · cycles²) — the metric whose shape the
+    /// paper's Utility2 mirrors.
+    #[must_use]
+    pub fn ed2p(&self) -> f64 {
+        self.edp() * self.cycles as f64
+    }
+
+    /// Average power in watts, assuming the given clock frequency in GHz
+    /// (energy in nJ divided by time in ns).
+    #[must_use]
+    pub fn avg_power_w(&self, ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_nj() / (self.cycles as f64 / ghz)
+    }
+}
+
+/// Estimates the energy of a simulated run from its activity counters.
+///
+/// # Example
+///
+/// ```
+/// use sharing_area::{energy::{estimate, EnergyModel}, AreaModel};
+/// use sharing_core::{SimConfig, Simulator};
+/// use sharing_trace::{Benchmark, TraceSpec};
+///
+/// let cfg = SimConfig::with_shape(2, 2)?;
+/// let result = Simulator::new(cfg)?.run(&Benchmark::Gcc.generate(&TraceSpec::new(3_000, 1)));
+/// let report = estimate(&result, &EnergyModel::node_45nm(), &AreaModel::paper());
+/// assert!(report.total_nj() > 0.0);
+/// assert!(report.edp() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn estimate(result: &SimResult, model: &EnergyModel, area: &AreaModel) -> EnergyReport {
+    let m = &result.mem;
+    let dynamic_pj = result.instructions as f64 * (model.pipeline_pj + model.alu_pj)
+        + (m.l1d.accesses + m.l1i.accesses) as f64 * model.l1_pj
+        + m.l2.accesses as f64 * model.l2_pj
+        + m.memory_accesses as f64 * model.dram_pj
+        + result.operand_net.hops as f64 * model.hop_pj
+        // LS-sort and rename traffic: charged at one hop-equivalent per
+        // message (their exact hop counts are folded into the latency
+        // model, not counted separately).
+        + (result.ls_sort_messages + result.rename_broadcasts) as f64 * model.hop_pj
+        + m.l1d.writebacks as f64 * model.l2_pj
+        + (m.store_forwards + m.lsq_violations) as f64 * model.lsq_search_pj;
+    let shape = result.shape.unwrap_or(
+        VCoreShape::new(1, 0).expect("fallback shape is valid"),
+    );
+    let mm2 = area.vcore_mm2(shape.slices, shape.l2_banks);
+    let leakage_pj = mm2 * model.leakage_pj_per_mm2_cycle * result.cycles as f64;
+    EnergyReport {
+        dynamic_nj: dynamic_pj / 1000.0,
+        leakage_nj: leakage_pj / 1000.0,
+        cycles: result.cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharing_core::{SimConfig, Simulator};
+    use sharing_trace::{Benchmark, TraceSpec};
+
+    fn run(slices: usize, banks: usize) -> SimResult {
+        let cfg = SimConfig::with_shape(slices, banks).unwrap();
+        Simulator::new(cfg)
+            .unwrap()
+            .run(&Benchmark::Gcc.generate(&TraceSpec::new(8_000, 3)))
+    }
+
+    #[test]
+    fn energy_is_positive_and_decomposes() {
+        let r = run(2, 2);
+        let e = estimate(&r, &EnergyModel::node_45nm(), &AreaModel::paper());
+        assert!(e.dynamic_nj > 0.0);
+        assert!(e.leakage_nj > 0.0);
+        assert!((e.total_nj() - (e.dynamic_nj + e.leakage_nj)).abs() < 1e-9);
+        assert!(e.edp() > e.total_nj());
+        assert!(e.ed2p() > e.edp());
+    }
+
+    #[test]
+    fn bigger_vcores_leak_more() {
+        let small = estimate(&run(1, 0), &EnergyModel::node_45nm(), &AreaModel::paper());
+        let big = estimate(&run(8, 32), &EnergyModel::node_45nm(), &AreaModel::paper());
+        // Per-cycle leakage power is area-proportional.
+        let small_rate = small.leakage_nj / small.cycles as f64;
+        let big_rate = big.leakage_nj / big.cycles as f64;
+        assert!(big_rate > 5.0 * small_rate);
+    }
+
+    #[test]
+    fn cache_reduces_dram_energy_share() {
+        let none = run(2, 0);
+        let plenty = run(2, 16);
+        let m = EnergyModel::node_45nm();
+        let a = AreaModel::paper();
+        let dram_share = |r: &SimResult| {
+            let total = estimate(r, &m, &a).dynamic_nj * 1000.0;
+            r.mem.memory_accesses as f64 * m.dram_pj / total
+        };
+        assert!(
+            dram_share(&plenty) < dram_share(&none),
+            "L2 should absorb DRAM energy: {} vs {}",
+            dram_share(&plenty),
+            dram_share(&none)
+        );
+    }
+
+    #[test]
+    fn avg_power_is_sane_for_a_ghz_core() {
+        let e = estimate(&run(2, 2), &EnergyModel::node_45nm(), &AreaModel::paper());
+        let w = e.avg_power_w(1.0);
+        // A two-Slice 45nm core should land in the tenths-of-watts to
+        // few-watts range, not milli- or kilo-watts.
+        assert!((0.01..50.0).contains(&w), "implausible power {w} W");
+    }
+}

@@ -1,0 +1,287 @@
+//! The Figure 10/11 component model.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A component of a Slice's area (Figure 10's slices of the pie).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum SliceComponent {
+    L1ICache,
+    L1DCache,
+    InstructionBuffer,
+    Lsq,
+    RegisterFile,
+    Rob,
+    BtbAndPredictor,
+    IssueWindow,
+    Multiplier,
+    Alus,
+    // The sharing overhead (8 % of a Slice, Figure 10): the structures a
+    // conventional superscalar would not need.
+    GlobalRename,
+    LocalRename,
+    Routers,
+    Waitlist,
+    Scoreboard,
+    AddedPipeline,
+}
+
+impl SliceComponent {
+    /// Every component, Figure 10 order.
+    pub const ALL: [SliceComponent; 16] = [
+        SliceComponent::L1ICache,
+        SliceComponent::L1DCache,
+        SliceComponent::InstructionBuffer,
+        SliceComponent::Lsq,
+        SliceComponent::RegisterFile,
+        SliceComponent::Rob,
+        SliceComponent::BtbAndPredictor,
+        SliceComponent::IssueWindow,
+        SliceComponent::Multiplier,
+        SliceComponent::Alus,
+        SliceComponent::GlobalRename,
+        SliceComponent::LocalRename,
+        SliceComponent::Routers,
+        SliceComponent::Waitlist,
+        SliceComponent::Scoreboard,
+        SliceComponent::AddedPipeline,
+    ];
+
+    /// The component's share of total Slice area (Figure 10). Shares sum to
+    /// 1.0 (the paper's rounded percentages sum to 98 %; the residual is
+    /// folded into the instruction buffer, the largest logic block).
+    #[must_use]
+    pub fn fraction(self) -> f64 {
+        match self {
+            SliceComponent::L1ICache => 0.24,
+            SliceComponent::L1DCache => 0.24,
+            SliceComponent::InstructionBuffer => 0.13,
+            SliceComponent::Lsq => 0.08,
+            SliceComponent::RegisterFile => 0.06,
+            SliceComponent::Rob => 0.06,
+            SliceComponent::BtbAndPredictor => 0.04,
+            SliceComponent::IssueWindow => 0.04,
+            SliceComponent::Multiplier => 0.02,
+            SliceComponent::Alus => 0.01,
+            SliceComponent::GlobalRename => 0.01,
+            SliceComponent::LocalRename => 0.02,
+            SliceComponent::Routers => 0.02,
+            SliceComponent::Waitlist => 0.01,
+            SliceComponent::Scoreboard => 0.02,
+            SliceComponent::AddedPipeline => 0.00,
+        }
+    }
+
+    /// Whether this component exists only because of the Sharing
+    /// Architecture (the "Sharing Overhead" group of Figure 10 — the extra
+    /// logic over a conventional out-of-order superscalar).
+    #[must_use]
+    pub fn is_sharing_overhead(self) -> bool {
+        matches!(
+            self,
+            SliceComponent::GlobalRename
+                | SliceComponent::LocalRename
+                | SliceComponent::Routers
+                | SliceComponent::Waitlist
+                | SliceComponent::Scoreboard
+                | SliceComponent::AddedPipeline
+        )
+    }
+
+    /// Printable name matching the paper's figures.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SliceComponent::L1ICache => "16 KB 2-way L1 Icache",
+            SliceComponent::L1DCache => "16 KB 2-way L1 Dcache",
+            SliceComponent::InstructionBuffer => "Instruction Buffer",
+            SliceComponent::Lsq => "LSQ",
+            SliceComponent::RegisterFile => "Register File",
+            SliceComponent::Rob => "ROB",
+            SliceComponent::BtbAndPredictor => "BTB&Predictor",
+            SliceComponent::IssueWindow => "Issue Window",
+            SliceComponent::Multiplier => "Multiplier",
+            SliceComponent::Alus => "ALUs",
+            SliceComponent::GlobalRename => "Global Rename",
+            SliceComponent::LocalRename => "Local Rename",
+            SliceComponent::Routers => "Routers",
+            SliceComponent::Waitlist => "Waitlist",
+            SliceComponent::Scoreboard => "Scoreboard",
+            SliceComponent::AddedPipeline => "Added Pipeline",
+        }
+    }
+}
+
+impl fmt::Display for SliceComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Absolute-area model for Slices and cache banks.
+///
+/// Everything downstream (the market's resource prices, performance-per-
+/// area metrics, datacenter area budgets) consumes only ratios of these
+/// numbers, which are pinned by the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    slice_mm2: f64,
+    bank_mm2: f64,
+}
+
+impl AreaModel {
+    /// The paper-calibrated model: Figure 11 puts one 64 KB bank at 35 % of
+    /// (Slice + bank), i.e. a Slice is worth ≈ two banks — the equal-area
+    /// point the paper's Market 2 uses ("1 Slice costs the same as 128 KB
+    /// Cache"). Absolute values are anchored to a CACTI-like 45 nm estimate
+    /// of a 64 KB array.
+    #[must_use]
+    pub fn paper() -> Self {
+        let bank = crate::cacti::sram_area_mm2(64 << 10);
+        AreaModel {
+            slice_mm2: 2.0 * bank,
+            bank_mm2: bank,
+        }
+    }
+
+    /// A custom model (e.g. for a different technology node).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both areas are positive and finite.
+    #[must_use]
+    pub fn new(slice_mm2: f64, bank_mm2: f64) -> Self {
+        assert!(
+            slice_mm2 > 0.0 && bank_mm2 > 0.0 && slice_mm2.is_finite() && bank_mm2.is_finite(),
+            "areas must be positive and finite"
+        );
+        AreaModel {
+            slice_mm2,
+            bank_mm2,
+        }
+    }
+
+    /// Area of one Slice in mm².
+    #[must_use]
+    pub fn slice_mm2(&self) -> f64 {
+        self.slice_mm2
+    }
+
+    /// Area of one 64 KB L2 bank in mm².
+    #[must_use]
+    pub fn bank_mm2(&self) -> f64 {
+        self.bank_mm2
+    }
+
+    /// Area of one Slice component in mm².
+    #[must_use]
+    pub fn component_mm2(&self, c: SliceComponent) -> f64 {
+        self.slice_mm2 * c.fraction()
+    }
+
+    /// Total area of the sharing-specific structures in one Slice.
+    #[must_use]
+    pub fn sharing_overhead_mm2(&self) -> f64 {
+        SliceComponent::ALL
+            .iter()
+            .filter(|c| c.is_sharing_overhead())
+            .map(|&c| self.component_mm2(c))
+            .sum()
+    }
+
+    /// Area of a VCore configuration: `slices` Slices plus `banks` 64 KB
+    /// banks.
+    #[must_use]
+    pub fn vcore_mm2(&self, slices: usize, banks: usize) -> f64 {
+        slices as f64 * self.slice_mm2 + banks as f64 * self.bank_mm2
+    }
+
+    /// Cost of a VCore in *area units*, where one unit is one 64 KB bank
+    /// (the market model's natural currency: a Slice costs two units).
+    #[must_use]
+    pub fn vcore_units(&self, slices: usize, banks: usize) -> f64 {
+        self.vcore_mm2(slices, banks) / self.bank_mm2
+    }
+
+    /// Figure 11's view: component shares when one 64 KB L2 bank is
+    /// included with the Slice. Returns `(component, fraction)` pairs plus
+    /// the bank's own share.
+    #[must_use]
+    pub fn with_bank_fractions(&self) -> (Vec<(SliceComponent, f64)>, f64) {
+        let total = self.slice_mm2 + self.bank_mm2;
+        let comps = SliceComponent::ALL
+            .iter()
+            .map(|&c| (c, self.component_mm2(c) / total))
+            .collect();
+        (comps, self.bank_mm2 / total)
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let sum: f64 = SliceComponent::ALL.iter().map(|c| c.fraction()).sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum = {sum}");
+    }
+
+    #[test]
+    fn sharing_overhead_is_eight_percent() {
+        let overhead: f64 = SliceComponent::ALL
+            .iter()
+            .filter(|c| c.is_sharing_overhead())
+            .map(|c| c.fraction())
+            .sum();
+        assert!((overhead - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn caches_dominate_the_slice() {
+        // Figure 10: the two L1s are 48 % of the Slice.
+        let l1 = SliceComponent::L1ICache.fraction() + SliceComponent::L1DCache.fraction();
+        assert!((l1 - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_model_matches_figure_11() {
+        let m = AreaModel::paper();
+        let (_, bank_share) = m.with_bank_fractions();
+        // Figure 11: the 64 KB bank is ≈35 % of Slice+bank (1/3 exactly in
+        // our 2:1 calibration; the paper's 35 % includes rounding).
+        assert!((bank_share - 1.0 / 3.0).abs() < 0.02, "bank share {bank_share}");
+    }
+
+    #[test]
+    fn vcore_area_is_linear() {
+        let m = AreaModel::paper();
+        let a = m.vcore_mm2(2, 4);
+        assert!((a - (2.0 * m.slice_mm2() + 4.0 * m.bank_mm2())).abs() < 1e-12);
+        // In bank units: 2 Slices = 4 units, plus 4 banks.
+        assert!((m.vcore_units(2, 4) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn component_names_unique_and_nonempty() {
+        let mut names: Vec<_> = SliceComponent::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn new_rejects_nonpositive() {
+        let _ = AreaModel::new(0.0, 1.0);
+    }
+}

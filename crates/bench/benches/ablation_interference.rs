@@ -1,0 +1,85 @@
+//! Ablation: co-scheduling interference on a shared L2, and how
+//! bank-granular partitioning removes it (§6: "Application interference is
+//! prevalent in datacenters due to contention over shared hardware
+//! resources. Sharing last-level cache (LLC) and DRAM bandwidth degrades
+//! responsiveness of workloads.").
+//!
+//! A cache-sensitive victim (bzip) is co-scheduled with a streaming
+//! bully (libquantum) three ways:
+//!
+//! 1. alone on a private L2 (baseline responsiveness);
+//! 2. sharing one L2 with the bully (the conventional-multicore setting);
+//! 3. with the same total silicon split into *private bank sets* — the
+//!    Sharing Architecture's answer.
+
+use sharing_bench::{render_table, run_experiment};
+use sharing_core::{SimConfig, Simulator, VmSimulator};
+use sharing_trace::{Benchmark, TraceSpec};
+
+fn main() {
+    run_experiment(
+        "ablation_interference",
+        "§6 datacenter interference: shared vs bank-partitioned L2",
+        || {
+            let spec = TraceSpec::new(40_000, 11);
+            let victim = Benchmark::Bzip.generate(&spec);
+            let bully = Benchmark::Libquantum.generate(&spec);
+            let total_banks = 8; // 512 KB of silicon between the two tenants
+
+            // 1. Victim alone, private 512 KB.
+            let alone = Simulator::new(SimConfig::with_shape(2, total_banks).expect("valid"))
+                .expect("valid")
+                .run(&victim);
+
+            // 2. Both tenants share one 512 KB L2 (+ coherence directory).
+            let vm = VmSimulator::new(SimConfig::with_shape(2, total_banks).expect("valid"))
+                .expect("valid");
+            let shared = vm.run_coscheduled(&[victim.clone(), bully.clone()]);
+
+            // 3. Bank partitioning: the victim keeps 6 banks privately, the
+            //    bully gets 2 (it streams; cache barely helps it).
+            let victim_part = Simulator::new(SimConfig::with_shape(2, 6).expect("valid"))
+                .expect("valid")
+                .run(&victim);
+            let bully_part = Simulator::new(SimConfig::with_shape(2, 2).expect("valid"))
+                .expect("valid")
+                .run(&bully);
+
+            let rows = vec![
+                vec![
+                    "victim alone (512KB private)".to_string(),
+                    format!("{:.3}", alone.ipc()),
+                    "1.00x".to_string(),
+                ],
+                vec![
+                    "victim sharing 512KB with bully".to_string(),
+                    format!("{:.3}", shared[0].ipc()),
+                    format!("{:.2}x", shared[0].ipc() / alone.ipc()),
+                ],
+                vec![
+                    "victim with 384KB private banks".to_string(),
+                    format!("{:.3}", victim_part.ipc()),
+                    format!("{:.2}x", victim_part.ipc() / alone.ipc()),
+                ],
+            ];
+            println!(
+                "{}",
+                render_table(&["scenario", "victim IPC", "vs alone"], &rows)
+            );
+            println!(
+                "bully IPC: shared {:.3} vs 128KB private banks {:.3} (it streams; \
+                 cache barely matters to it)",
+                shared[1].ipc(),
+                bully_part.ipc()
+            );
+            let interference = 1.0 - shared[0].ipc() / alone.ipc();
+            let recovered = victim_part.ipc() / alone.ipc();
+            println!(
+                "\nsharing costs the victim {:.0}% of its performance; giving it private \
+                 banks recovers {:.0}% of the solo baseline while freeing 128KB for resale",
+                100.0 * interference,
+                100.0 * recovered
+            );
+        },
+    );
+}

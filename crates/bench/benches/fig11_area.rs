@@ -1,0 +1,38 @@
+//! Figure 11: area decomposition including one 64 KB L2 bank.
+
+use sharing_area::AreaModel;
+use sharing_bench::{render_table, run_experiment};
+
+fn main() {
+    run_experiment(
+        "fig11_area",
+        "Figure 11 (Slice + 64KB L2 bank area breakdown)",
+        || {
+            let model = AreaModel::paper();
+            let (comps, bank_share) = model.with_bank_fractions();
+            let mut rows: Vec<Vec<String>> = vec![vec![
+                "64KB 4-way L2 bank".to_string(),
+                format!("{:.1}%", 100.0 * bank_share),
+            ]];
+            rows.extend(
+                comps
+                    .iter()
+                    .map(|&(c, f)| vec![c.name().to_string(), format!("{:.1}%", 100.0 * f)]),
+            );
+            let overhead: f64 = comps
+                .iter()
+                .filter(|(c, _)| c.is_sharing_overhead())
+                .map(|(_, f)| f)
+                .sum();
+            rows.push(vec![
+                "Sharing overhead subtotal".to_string(),
+                format!("{:.1}%", 100.0 * overhead),
+            ]);
+            println!(
+                "{}",
+                render_table(&["component", "share of Slice+bank"], &rows)
+            );
+            println!("paper: L2 35%, L1s 16%+16%, sharing overhead 5%");
+        },
+    );
+}

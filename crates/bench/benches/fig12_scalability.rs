@@ -1,0 +1,42 @@
+//! Figure 12: VCore performance scalability vs Slice count, normalized to
+//! one Slice with 128 KB of L2.
+
+use sharing_bench::{render_table, run_experiment, standard_suite, write_csv};
+use sharing_core::VCoreShape;
+
+fn main() {
+    run_experiment(
+        "fig12_scalability",
+        "Figure 12 (speedup vs Slices, 128KB L2, normalized to 1 Slice)",
+        || {
+            let suite = standard_suite();
+            let norm_shape = VCoreShape::new(1, 2).expect("1 Slice / 128KB");
+            let mut rows = Vec::new();
+            for (b, surf) in suite.iter() {
+                let base = surf.perf(norm_shape);
+                let mut row = vec![b.name().to_string()];
+                for s in 1..=8 {
+                    let shape = VCoreShape::new(s, 2).expect("valid");
+                    row.push(format!("{:.2}", surf.perf(shape) / base));
+                }
+                rows.push(row);
+            }
+            println!(
+                "{}",
+                render_table(
+                    &["benchmark", "1", "2", "3", "4", "5", "6", "7", "8"],
+                    &rows
+                )
+            );
+            write_csv(
+                "fig12_scalability",
+                &["benchmark", "1", "2", "3", "4", "5", "6", "7", "8"],
+                &rows,
+            );
+            println!(
+                "paper shape: SPEC/apache scale up to ≈5x; PARSEC bounded ≈2; \
+                 hmmer/mcf/astar/omnetpp flat or declining"
+            );
+        },
+    );
+}

@@ -1,0 +1,47 @@
+//! Figure 13: performance scaling with L2 cache size at a fixed 2-Slice
+//! VCore, normalized to the no-L2 configuration.
+
+use sharing_bench::{render_table, run_experiment, standard_suite, write_csv};
+use sharing_core::VCoreShape;
+
+const BANKS: [usize; 9] = [0, 1, 2, 4, 8, 16, 32, 64, 128];
+
+fn main() {
+    run_experiment(
+        "fig13_cache_sensitivity",
+        "Figure 13 (speedup vs L2 size, 2 Slices, normalized to 0KB)",
+        || {
+            let suite = standard_suite();
+            let base_shape = VCoreShape::new(2, 0).expect("2 Slices / no L2");
+            let mut rows = Vec::new();
+            for (b, surf) in suite.iter() {
+                let base = surf.perf(base_shape);
+                let mut row = vec![b.name().to_string()];
+                for &banks in &BANKS {
+                    let shape = VCoreShape::new(2, banks).expect("valid");
+                    row.push(format!("{:.2}", surf.perf(shape) / base));
+                }
+                rows.push(row);
+            }
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "benchmark", "0KB", "64K", "128K", "256K", "512K", "1M", "2M", "4M",
+                        "8M"
+                    ],
+                    &rows
+                )
+            );
+            write_csv(
+                "fig13_cache_sensitivity",
+                &["benchmark", "0KB", "64K", "128K", "256K", "512K", "1M", "2M", "4M", "8M"],
+                &rows,
+            );
+            println!(
+                "paper shape: omnetpp/mcf strongly cache-sensitive; astar/libquantum/gobmk \
+                 flat; very large caches can lose (2 cycles per extra 256KB of distance)"
+            );
+        },
+    );
+}

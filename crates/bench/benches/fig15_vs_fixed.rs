@@ -1,0 +1,57 @@
+//! Figure 15: utility gain of the Sharing Architecture over the best
+//! static fixed architecture, across all pairwise (benchmark, utility)
+//! customer mixes.
+
+use sharing_bench::{run_experiment, standard_suite, write_csv, BUDGET};
+use sharing_market::{efficiency, Market};
+
+fn main() {
+    run_experiment(
+        "fig15_vs_fixed",
+        "Figure 15 (utility gain vs best static fixed architecture)",
+        || {
+            let suite = standard_suite();
+            let study = efficiency::vs_static_fixed(&suite, &Market::MARKET2, BUDGET);
+            let fixed = study.baseline_shapes[0].1;
+            println!(
+                "baseline: best fixed architecture across the suite = {}KB / {} slices",
+                fixed.l2_kb(),
+                fixed.slices
+            );
+            println!("permutations: {}", study.pairs.len());
+            // Print the gain distribution as a histogram series.
+            let mut gains: Vec<f64> = study.pairs.iter().map(|p| p.gain()).collect();
+            gains.sort_by(f64::total_cmp);
+            let csv_rows: Vec<Vec<String>> = gains
+                .iter()
+                .enumerate()
+                .map(|(i, g)| vec![i.to_string(), format!("{g:.4}")])
+                .collect();
+            write_csv("fig15_vs_fixed", &["permutation", "gain"], &csv_rows);
+            println!("\ngain percentiles:");
+            for pct in [0, 10, 25, 50, 75, 90, 99, 100] {
+                let idx = ((pct as f64 / 100.0) * (gains.len() - 1) as f64).round() as usize;
+                println!("  p{pct:3}: {:.2}x", gains[idx]);
+            }
+            println!("\nmax gain : {:.2}x   (paper: up to 5x)", study.max_gain());
+            println!("mean gain: {:.2}x (geometric)", study.mean_gain());
+            println!("win rate : {:.0}%", 100.0 * study.win_rate());
+            let top: Vec<_> = study
+                .pairs
+                .iter()
+                .filter(|p| p.gain() >= study.max_gain() * 0.98)
+                .take(3)
+                .collect();
+            for p in top {
+                println!(
+                    "top pair: {}+{} / {}+{} → {:.2}x",
+                    p.a.0,
+                    p.a.1,
+                    p.b.0,
+                    p.b.1,
+                    p.gain()
+                );
+            }
+        },
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 16: utility gain of the Sharing Architecture over per-utility
+//! optimal configurations (a statically heterogeneous design).
+
+use sharing_bench::{run_experiment, standard_suite, BUDGET};
+use sharing_market::{efficiency, Market};
+
+fn main() {
+    run_experiment(
+        "fig16_vs_hetero",
+        "Figure 16 (utility gain vs per-utility heterogeneous baseline)",
+        || {
+            let suite = standard_suite();
+            let study = efficiency::vs_heterogeneous(&suite, &Market::MARKET2, BUDGET);
+            println!("baselines (one optimal shape per utility function):");
+            for (u, s) in &study.baseline_shapes {
+                println!("  {u}: {}KB / {} slices", s.l2_kb(), s.slices);
+            }
+            let mut gains: Vec<f64> = study.pairs.iter().map(|p| p.gain()).collect();
+            gains.sort_by(f64::total_cmp);
+            println!("\ngain percentiles:");
+            for pct in [0, 10, 25, 50, 75, 90, 99, 100] {
+                let idx = ((pct as f64 / 100.0) * (gains.len() - 1) as f64).round() as usize;
+                println!("  p{pct:3}: {:.2}x", gains[idx]);
+            }
+            println!("\nmax gain : {:.2}x   (paper: over 3x)", study.max_gain());
+            println!("mean gain: {:.2}x (geometric)", study.mean_gain());
+            println!("win rate : {:.0}%", 100.0 * study.win_rate());
+        },
+    );
+}

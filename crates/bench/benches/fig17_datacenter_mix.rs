@@ -1,0 +1,63 @@
+//! Figure 17: utility of hmmer/gobmk application mixes across big/small
+//! datacenter core ratios.
+
+use sharing_area::AreaModel;
+use sharing_bench::{render_table, run_experiment, standard_suite, write_csv};
+use sharing_market::datacenter;
+use sharing_trace::Benchmark;
+
+fn main() {
+    run_experiment(
+        "fig17_datacenter_mix",
+        "Figure 17 (hmmer/gobmk utility vs big:small core ratio)",
+        || {
+            let suite = standard_suite();
+            let study = datacenter::run_study(
+                &suite,
+                Benchmark::Hmmer,
+                Benchmark::Gobmk,
+                &AreaModel::paper(),
+            );
+            println!(
+                "big core: {} ({}KB)   small core: {} ({}KB)",
+                datacenter::big_core(),
+                datacenter::big_core().l2_kb(),
+                datacenter::small_core(),
+                datacenter::small_core().l2_kb()
+            );
+            let headers: Vec<String> = std::iter::once("hmmer share".to_string())
+                .chain(study.big_fracs.iter().map(|f| format!("big={f:.2}")))
+                .collect();
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let rows: Vec<Vec<String>> = study
+                .points
+                .iter()
+                .map(|row| {
+                    let best = row
+                        .iter()
+                        .map(|p| p.throughput_per_area)
+                        .fold(f64::MIN, f64::max);
+                    std::iter::once(format!("{:.2}", row[0].app_a_frac))
+                        .chain(row.iter().map(|p| {
+                            let mark = if p.throughput_per_area == best { "*" } else { " " };
+                            format!("{:.4}{mark}", p.throughput_per_area)
+                        }))
+                        .collect()
+                })
+                .collect();
+            println!("{}", render_table(&header_refs, &rows));
+            write_csv("fig17_datacenter_mix", &header_refs, &rows);
+            println!("(*) best core ratio for that application mix");
+            println!("\noptimal big-core area fraction per mix:");
+            for (mix, ratio) in study.optimal_ratio_per_mix() {
+                println!("  hmmer share {mix:.2} → big fraction {ratio:.2}");
+            }
+            println!(
+                "no single ratio optimal for all mixes: {}   (paper: \"a fixed mixture of \
+                 big and small cores cannot always optimally service heterogeneous \
+                 workloads\")",
+                study.no_single_ratio_is_optimal()
+            );
+        },
+    );
+}

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the simulator substrates: these are the
+//! performance-sensitive inner loops every experiment above runs millions
+//! of times.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sharing_cache::{CacheGeometry, SetAssocCache};
+use sharing_core::{SimConfig, Simulator};
+use sharing_noc::{Coord, IdealNetwork, LatencyModel, Mesh, QueuedNetwork, Transport};
+use sharing_trace::{Benchmark, TraceSpec};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/set_assoc_access", |b| {
+        let geom = CacheGeometry::new(16 << 10, 64, 2).expect("valid");
+        let mut cache = SetAssocCache::new(geom);
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line * 2_862_933_555_777_941_757).wrapping_add(3) % 4096;
+            cache.access(line, line % 3 == 0)
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    let mesh = Mesh::new(8, 8);
+    c.bench_function("noc/ideal_send", |b| {
+        let mut net = IdealNetwork::new(mesh, LatencyModel::tilera());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            net.send(Coord::new(0, 0), Coord::new(7, 7), t)
+        });
+    });
+    c.bench_function("noc/queued_send", |b| {
+        let mut net = QueuedNetwork::new(mesh, LatencyModel::tilera(), 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2;
+            net.send(Coord::new(0, 0), Coord::new(7, 7), t)
+        });
+    });
+}
+
+fn bench_generator(c: &mut Criterion) {
+    c.bench_function("trace/generate_10k_gcc", |b| {
+        b.iter(|| Benchmark::Gcc.generate(&TraceSpec::new(10_000, 3)));
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let trace = Benchmark::Gcc.generate(&TraceSpec::new(10_000, 3));
+    for slices in [1usize, 4] {
+        c.bench_function(&format!("sim/gcc_10k_{slices}slice"), |b| {
+            b.iter_batched(
+                || Simulator::new(SimConfig::with_shape(slices, 2).expect("valid")).expect("valid"),
+                |sim| sim.run(&trace),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_noc, bench_generator, bench_simulator
+}
+criterion_main!(benches);

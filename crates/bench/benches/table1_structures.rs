@@ -1,0 +1,57 @@
+//! Table 1: replicated vs partitioned structures, with the capacity
+//! scaling each choice implies.
+
+use sharing_bench::{render_table, run_experiment};
+use sharing_core::{Distribution, SliceParams, Structure};
+
+fn main() {
+    run_experiment(
+        "table1_structures",
+        "Table 1 (replicated vs partitioned structures)",
+        || {
+            let p = SliceParams::default();
+            let per_slice = |s: Structure| -> usize {
+                match s {
+                    Structure::BranchPredictor => p.predictor_entries,
+                    Structure::Btb => p.btb_entries,
+                    Structure::Scoreboard => p.global_regs,
+                    Structure::IssueWindow => p.issue_window,
+                    Structure::LoadQueue | Structure::StoreQueue => p.lsq_entries,
+                    Structure::Rob => p.rob_entries,
+                    Structure::LocalRat => p.global_regs,
+                    Structure::GlobalRat => 32,
+                    Structure::PhysicalRegisterFile => p.local_regs,
+                }
+            };
+            let rows: Vec<Vec<String>> = Structure::ALL
+                .iter()
+                .map(|&s| {
+                    let dist = match s.distribution() {
+                        Distribution::Replicated => "replicated",
+                        Distribution::Partitioned => "partitioned",
+                    };
+                    vec![
+                        s.name().to_string(),
+                        dist.to_string(),
+                        per_slice(s).to_string(),
+                        s.logical_capacity(per_slice(s), 4).to_string(),
+                        s.logical_capacity(per_slice(s), 8).to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "structure",
+                        "Table 1",
+                        "per-slice",
+                        "4-slice VCore",
+                        "8-slice VCore"
+                    ],
+                    &rows
+                )
+            );
+        },
+    );
+}

@@ -1,0 +1,173 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! Every table and figure of the paper's evaluation has a bench target in
+//! `benches/` (plain `harness = false` binaries, so `cargo bench` prints
+//! the reproduced rows/series and a wall-clock timing). This library holds
+//! what they share: the cached suite sweep, table rendering, and the
+//! standard experiment parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sharing_market::{ExperimentSpec, SuiteSurfaces};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The budget used by all utility-based experiments (arbitrary currency;
+/// every reported number is a ratio in which it cancels).
+pub const BUDGET: f64 = 96.0;
+
+/// Where the suite sweep cache lives (under the workspace `target/`).
+#[must_use]
+pub fn sweep_cache_path() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("target");
+    p.push("sharing-sweep-cache.json");
+    p
+}
+
+/// Loads (or builds and caches) the standard suite sweep: every benchmark
+/// at every `(slices, cache)` shape of the paper's Equation 3 grid.
+#[must_use]
+pub fn standard_suite() -> SuiteSurfaces {
+    let spec = ExperimentSpec::standard();
+    let path = sweep_cache_path();
+    let t = Instant::now();
+    let suite = SuiteSurfaces::build_or_load(spec, &path);
+    eprintln!(
+        "[sweep: {} benchmarks × 72 shapes ready in {:.1?}; cache: {}]",
+        suite.benchmarks().len(),
+        t.elapsed(),
+        path.display()
+    );
+    suite
+}
+
+/// Renders an aligned text table.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes an experiment's data series as CSV under
+/// `target/experiments/<name>.csv`, so every figure is available as a
+/// plottable artifact, not just a printed table. Returns the path written,
+/// or `None` if the filesystem refused (the experiment still prints).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> Option<PathBuf> {
+    let mut dir = sweep_cache_path();
+    dir.pop();
+    dir.push("experiments");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut text = headers.join(",");
+    text.push('\n');
+    for row in rows {
+        // Values are simple identifiers/numbers; quote anything with a comma.
+        let line: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') {
+                    format!("\"{c}\"")
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        text.push_str(&line.join(","));
+        text.push('\n');
+    }
+    std::fs::write(&path, text).ok()?;
+    eprintln!("[wrote {}]", path.display());
+    Some(path)
+}
+
+/// Runs an experiment body with a banner and timing footer — the common
+/// shape of every bench target.
+pub fn run_experiment(name: &str, paper_ref: &str, body: impl FnOnce()) {
+    println!("==================================================================");
+    println!("{name}  —  reproducing {paper_ref}");
+    println!("==================================================================");
+    let t = Instant::now();
+    body();
+    println!("[{name} completed in {:.2?}]", t.elapsed());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let s = render_table(
+            &["a", "bench"],
+            &[
+                vec!["1".into(), "x".into()],
+                vec!["100".into(), "hello".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bench"));
+        assert!(lines[3].ends_with("hello"));
+        // All rows share a width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn cache_path_is_under_target() {
+        let p = sweep_cache_path();
+        assert!(p.to_string_lossy().contains("target"));
+        assert!(p.extension().is_some_and(|e| e == "json"));
+    }
+
+    #[test]
+    fn run_experiment_invokes_body() {
+        let mut ran = false;
+        run_experiment("t", "nothing", || ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn csv_export_roundtrips() {
+        let path = write_csv(
+            "unit-test-export",
+            &["a", "b"],
+            &[
+                vec!["1".into(), "x,y".into()],
+                vec!["2".into(), "z".into()],
+            ],
+        )
+        .expect("target/ is writable in tests");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,\"x,y\"\n2,z\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,318 @@
+//! Way-partitioned shared last-level cache.
+//!
+//! The paper's related work (§6) situates the Sharing Architecture against
+//! shared-LLC partitioning (Qureshi & Patt's utility-based partitioning,
+//! Iyer's QoS policies): "Partitioning a shared LLC potentially mitigates
+//! the negative performance effects of co-scheduling. The Sharing
+//! Architecture builds upon this work by providing a flexible LLC along
+//! with the additive benefits of ALU configuration."
+//!
+//! [`WayPartitionedCache`] is that baseline, built from scratch: one
+//! physical set-associative array whose ways are divided among tenants by
+//! quota. Against the Sharing Architecture's *bank*-granular L2
+//! ([`crate::L2Array`]) it isolates capacity the same way, but cannot vary
+//! total capacity per tenant beyond the fixed array, cannot move capacity
+//! without flushing ways, and shares one bank's bandwidth and distance.
+
+
+use std::fmt;
+
+use crate::set_assoc::CacheStats;
+
+/// Errors configuring a partitioned cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// Quotas sum to more than the physical associativity.
+    QuotaExceedsWays {
+        /// Requested total ways.
+        requested: u32,
+        /// Physical ways available.
+        available: u32,
+    },
+    /// Referenced a tenant that was not configured.
+    UnknownTenant(usize),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::QuotaExceedsWays {
+                requested,
+                available,
+            } => write!(f, "quotas need {requested} ways but the array has {available}"),
+            PartitionError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    tenant: usize,
+    line: u64,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A shared set-associative cache whose ways are partitioned by tenant.
+///
+/// # Example
+///
+/// ```
+/// use sharing_cache::partition::WayPartitionedCache;
+///
+/// // 8 sets × 8 ways shared by two tenants, 6:2.
+/// let mut llc = WayPartitionedCache::new(8, 8, vec![6, 2])?;
+/// assert!(!llc.access(0, 42, false));
+/// assert!(llc.access(0, 42, false));
+/// // Tenants never see each other's lines.
+/// assert!(!llc.access(1, 42, false));
+/// # Ok::<(), sharing_cache::partition::PartitionError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct WayPartitionedCache {
+    sets: Vec<Vec<Entry>>,
+    ways: u32,
+    quotas: Vec<u32>,
+    stats: Vec<CacheStats>,
+    clock: u64,
+}
+
+impl WayPartitionedCache {
+    /// Creates a cache of `sets × ways` lines partitioned by `quotas`
+    /// (one entry per tenant).
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::QuotaExceedsWays`] if quotas oversubscribe the
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets`, `ways`, or `quotas` is empty/zero.
+    pub fn new(sets: usize, ways: u32, quotas: Vec<u32>) -> Result<Self, PartitionError> {
+        assert!(sets > 0 && ways > 0 && !quotas.is_empty());
+        let requested: u32 = quotas.iter().sum();
+        if requested > ways {
+            return Err(PartitionError::QuotaExceedsWays {
+                requested,
+                available: ways,
+            });
+        }
+        Ok(WayPartitionedCache {
+            sets: vec![Vec::new(); sets],
+            ways,
+            stats: vec![CacheStats::default(); quotas.len()],
+            quotas,
+            clock: 0,
+        })
+    }
+
+    /// Number of tenants.
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.quotas.len()
+    }
+
+    /// A tenant's way quota.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::UnknownTenant`] for out-of-range tenants.
+    pub fn quota(&self, tenant: usize) -> Result<u32, PartitionError> {
+        self.quotas
+            .get(tenant)
+            .copied()
+            .ok_or(PartitionError::UnknownTenant(tenant))
+    }
+
+    /// Accesses `line` on behalf of `tenant`; returns whether it hit.
+    /// Misses allocate within the tenant's quota, evicting the tenant's
+    /// own LRU line when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown tenant (use [`Self::quota`] to validate ids).
+    pub fn access(&mut self, tenant: usize, line: u64, write: bool) -> bool {
+        assert!(tenant < self.quotas.len(), "unknown tenant {tenant}");
+        self.clock += 1;
+        let si = (line % self.sets.len() as u64) as usize;
+        let clock = self.clock;
+        let set = &mut self.sets[si];
+        self.stats[tenant].accesses += 1;
+        if let Some(e) = set
+            .iter_mut()
+            .find(|e| e.tenant == tenant && e.line == line)
+        {
+            e.lru = clock;
+            e.dirty |= write;
+            self.stats[tenant].hits += 1;
+            return true;
+        }
+        // Miss: count the tenant's occupancy in this set.
+        let owned = set.iter().filter(|e| e.tenant == tenant).count() as u32;
+        if owned >= self.quotas[tenant] {
+            // Evict the tenant's LRU entry.
+            let victim = set
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.tenant == tenant)
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("occupancy > 0 implies a victim");
+            if set[victim].dirty {
+                self.stats[tenant].writebacks += 1;
+            }
+            set.remove(victim);
+        }
+        set.push(Entry {
+            tenant,
+            line,
+            dirty: write,
+            lru: clock,
+        });
+        false
+    }
+
+    /// Repartitions: sets a tenant's quota, flushing its lines from any
+    /// set where it now exceeds the new quota. Returns dirty lines written
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError`] if the tenant is unknown or the new quota
+    /// oversubscribes the array.
+    pub fn set_quota(&mut self, tenant: usize, ways: u32) -> Result<u64, PartitionError> {
+        if tenant >= self.quotas.len() {
+            return Err(PartitionError::UnknownTenant(tenant));
+        }
+        let others: u32 = self
+            .quotas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != tenant)
+            .map(|(_, &q)| q)
+            .sum();
+        if others + ways > self.ways {
+            return Err(PartitionError::QuotaExceedsWays {
+                requested: others + ways,
+                available: self.ways,
+            });
+        }
+        self.quotas[tenant] = ways;
+        let mut writebacks = 0u64;
+        for set in &mut self.sets {
+            loop {
+                let owned = set.iter().filter(|e| e.tenant == tenant).count() as u32;
+                if owned <= ways {
+                    break;
+                }
+                let victim = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.tenant == tenant)
+                    .min_by_key(|(_, e)| e.lru)
+                    .map(|(i, _)| i)
+                    .expect("owned > 0");
+                if set[victim].dirty {
+                    writebacks += 1;
+                }
+                set.remove(victim);
+            }
+        }
+        self.stats[tenant].writebacks += writebacks;
+        Ok(writebacks)
+    }
+
+    /// Per-tenant statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::UnknownTenant`] for out-of-range tenants.
+    pub fn stats(&self, tenant: usize) -> Result<CacheStats, PartitionError> {
+        self.stats
+            .get(tenant)
+            .copied()
+            .ok_or(PartitionError::UnknownTenant(tenant))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quotas_are_validated() {
+        assert!(WayPartitionedCache::new(4, 8, vec![4, 4]).is_ok());
+        assert_eq!(
+            WayPartitionedCache::new(4, 8, vec![6, 4]).unwrap_err(),
+            PartitionError::QuotaExceedsWays {
+                requested: 10,
+                available: 8
+            }
+        );
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let mut c = WayPartitionedCache::new(4, 4, vec![2, 2]).unwrap();
+        c.access(0, 100, false);
+        assert!(!c.access(1, 100, false), "no cross-tenant hits");
+        assert!(c.access(0, 100, false));
+        // Tenant 1 thrashing its 2 ways cannot evict tenant 0.
+        for line in (0..64u64).map(|x| x * 4) {
+            c.access(1, line, false);
+        }
+        assert!(c.access(0, 100, false), "tenant 0's line survived");
+    }
+
+    #[test]
+    fn quota_bounds_occupancy_per_set() {
+        let mut c = WayPartitionedCache::new(1, 8, vec![2]).unwrap();
+        c.access(0, 1, false);
+        c.access(0, 2, false);
+        c.access(0, 3, false); // evicts LRU (line 1)
+        assert!(!c.access(0, 1, false), "line 1 was evicted");
+        assert!(c.access(0, 3, false));
+    }
+
+    #[test]
+    fn repartition_flushes_excess_and_counts_dirty() {
+        let mut c = WayPartitionedCache::new(1, 8, vec![4, 0]).unwrap();
+        for line in 0..4u64 {
+            c.access(0, line, true); // 4 dirty lines
+        }
+        let wb = c.set_quota(0, 1).unwrap();
+        assert_eq!(wb, 3, "three dirty lines flushed");
+        // Freed ways can be granted to the other tenant.
+        c.set_quota(1, 7).unwrap();
+        assert_eq!(c.quota(1).unwrap(), 7);
+        // Oversubscription still rejected.
+        assert!(c.set_quota(0, 2).is_err());
+    }
+
+    #[test]
+    fn bigger_quota_means_better_hit_rate() {
+        let run = |quota: u32| {
+            let mut c = WayPartitionedCache::new(16, 8, vec![quota, 8 - quota]).unwrap();
+            // Tenant 0 cycles a working set of 64 lines.
+            for pass in 0..4 {
+                for line in 0..64u64 {
+                    let _ = c.access(0, line, false);
+                }
+                let _ = pass;
+            }
+            c.stats(0).unwrap().miss_rate()
+        };
+        assert!(run(8) < run(2), "8 ways {} vs 2 ways {}", run(8), run(2));
+    }
+
+    #[test]
+    fn unknown_tenant_errors() {
+        let c = WayPartitionedCache::new(2, 2, vec![1]).unwrap();
+        assert_eq!(c.quota(3).unwrap_err(), PartitionError::UnknownTenant(3));
+        assert!(c.stats(9).is_err());
+    }
+}

@@ -1,0 +1,641 @@
+//! Library half of the `ssim` CLI: argument parsing and command execution,
+//! separated from `main` so they are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sharing_core::{SimConfig, Simulator, VmSimulator};
+use sharing_trace::{Benchmark, ProgramGenerator, TraceSpec, WorkloadProfile, ALL_BENCHMARKS};
+use std::fmt;
+
+/// A parsed CLI invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `ssim run …` — simulate one benchmark on one configuration.
+    Run(RunArgs),
+    /// `ssim sweep …` — Slice and cache sweeps for one benchmark.
+    Sweep(SweepArgs),
+    /// `ssim config` — emit the default configuration as JSON.
+    EmitConfig,
+    /// `ssim list` — list available benchmarks.
+    List,
+    /// `ssim help` / `--help`.
+    Help,
+}
+
+/// What workload a `run` simulates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Workload {
+    /// One of the paper's fifteen calibrated benchmarks.
+    Benchmark(Benchmark),
+    /// A user-supplied [`WorkloadProfile`] JSON file.
+    ProfileFile(String),
+    /// A hand-written assembly file (see [`sharing_isa::asm`]), repeated
+    /// until the requested trace length.
+    AsmFile(String),
+}
+
+/// Arguments for `ssim run`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunArgs {
+    /// The workload to simulate.
+    pub workload: Workload,
+    /// Slice count.
+    pub slices: usize,
+    /// L2 bank count.
+    pub banks: usize,
+    /// Trace length.
+    pub len: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Optional JSON config file overriding Tables 2/3 parameters.
+    pub config_path: Option<String>,
+    /// Emit machine-readable JSON instead of the human report.
+    pub json: bool,
+}
+
+/// Arguments for `ssim sweep`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepArgs {
+    /// Benchmark name.
+    pub benchmark: Benchmark,
+    /// Trace length.
+    pub len: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// CLI errors.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue(String, String),
+    /// Unknown benchmark name.
+    UnknownBenchmark(String),
+    /// Config file could not be read or parsed.
+    BadConfig(String),
+    /// Workload profile file could not be read or parsed.
+    BadProfile(String),
+    /// Assembly file could not be read or assembled.
+    BadAsm(String),
+    /// The configuration was rejected by the simulator.
+    BadSimConfig(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "expected a subcommand"),
+            CliError::UnknownCommand(c) => write!(f, "unknown subcommand `{c}`"),
+            CliError::UnknownFlag(x) => write!(f, "unknown flag `{x}`"),
+            CliError::MissingValue(x) => write!(f, "flag `{x}` needs a value"),
+            CliError::BadValue(x, v) => write!(f, "flag `{x}`: cannot parse `{v}`"),
+            CliError::UnknownBenchmark(b) => {
+                write!(f, "unknown benchmark `{b}` (try `ssim list`)")
+            }
+            CliError::BadConfig(e) => write!(f, "config file: {e}"),
+            CliError::BadProfile(e) => write!(f, "workload profile: {e}"),
+            CliError::BadAsm(e) => write!(f, "assembly: {e}"),
+            CliError::BadSimConfig(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage string.
+#[must_use]
+pub fn usage() -> String {
+    "ssim — Sharing Architecture simulator (Zhou & Wentzlaff, ASPLOS 2014 reproduction)
+
+USAGE:
+    ssim run   (--benchmark <name> | --profile workload.json | --asm prog.s)
+               [--slices N] [--banks N] [--len N]
+               [--seed N] [--config file.json] [--json]
+    ssim sweep --benchmark <name> [--len N] [--seed N]
+    ssim config            emit the default configuration as JSON
+    ssim list              list available benchmarks
+    ssim help              this message
+
+EXAMPLES:
+    ssim run --benchmark gcc --slices 4 --banks 8
+    ssim run --profile my_workload.json --slices 2
+    ssim config > base.json && ssim run --benchmark mcf --config base.json"
+        .to_string()
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a String, CliError> {
+    it.next().ok_or_else(|| CliError::MissingValue(flag.to_string()))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError> {
+    v.parse()
+        .map_err(|_| CliError::BadValue(flag.to_string(), v.to_string()))
+}
+
+/// Parses CLI arguments (without the binary name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem found.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().ok_or(CliError::MissingCommand)?;
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "config" => Ok(Command::EmitConfig),
+        "run" => {
+            let mut out = RunArgs {
+                workload: Workload::Benchmark(Benchmark::Gcc),
+                slices: 1,
+                banks: 2,
+                len: 60_000,
+                seed: 0xA5_2014,
+                config_path: None,
+                json: false,
+            };
+            let mut got_workload = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--benchmark" => {
+                        let v = take_value(flag, &mut it)?;
+                        let b = Benchmark::from_name(v)
+                            .ok_or_else(|| CliError::UnknownBenchmark(v.clone()))?;
+                        out.workload = Workload::Benchmark(b);
+                        got_workload = true;
+                    }
+                    "--profile" => {
+                        out.workload =
+                            Workload::ProfileFile(take_value(flag, &mut it)?.clone());
+                        got_workload = true;
+                    }
+                    "--asm" => {
+                        out.workload = Workload::AsmFile(take_value(flag, &mut it)?.clone());
+                        got_workload = true;
+                    }
+                    "--slices" => out.slices = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--banks" => out.banks = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--config" => out.config_path = Some(take_value(flag, &mut it)?.clone()),
+                    "--json" => out.json = true,
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if !got_workload {
+                return Err(CliError::MissingValue(
+                    "--benchmark, --profile or --asm".to_string(),
+                ));
+            }
+            Ok(Command::Run(out))
+        }
+        "sweep" => {
+            let mut out = SweepArgs {
+                benchmark: Benchmark::Gcc,
+                len: 30_000,
+                seed: 0xA5_2014,
+            };
+            let mut got_benchmark = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--benchmark" => {
+                        let v = take_value(flag, &mut it)?;
+                        out.benchmark = Benchmark::from_name(v)
+                            .ok_or_else(|| CliError::UnknownBenchmark(v.clone()))?;
+                        got_benchmark = true;
+                    }
+                    "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if !got_benchmark {
+                return Err(CliError::MissingValue("--benchmark".to_string()));
+            }
+            Ok(Command::Sweep(out))
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn load_config(args: &RunArgs) -> Result<SimConfig, CliError> {
+    let mut cfg = match &args.config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
+            serde_json::from_str::<SimConfig>(&text)
+                .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?
+        }
+        None => SimConfig::builder()
+            .build()
+            .map_err(|e| CliError::BadSimConfig(e.to_string()))?,
+    };
+    // Shape flags override the file.
+    cfg = SimConfig::builder()
+        .slices(args.slices)
+        .l2_banks(args.banks)
+        .slice_params(cfg.slice)
+        .mem_params(cfg.mem)
+        .knobs(cfg.knobs)
+        .build()
+        .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
+    Ok(cfg)
+}
+
+fn run_one(bench: Benchmark, cfg: SimConfig, len: usize, seed: u64) -> sharing_core::SimResult {
+    let spec = TraceSpec::new(len, seed);
+    if bench.is_parsec() {
+        VmSimulator::new(cfg)
+            .expect("validated config")
+            .run(&bench.generate_threaded(&spec))
+    } else {
+        Simulator::new(cfg)
+            .expect("validated config")
+            .run(&bench.generate(&spec))
+    }
+}
+
+fn run_workload(
+    workload: &Workload,
+    cfg: SimConfig,
+    len: usize,
+    seed: u64,
+) -> Result<sharing_core::SimResult, CliError> {
+    match workload {
+        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed)),
+        Workload::AsmFile(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::BadAsm(format!("{path}: {e}")))?;
+            let block = sharing_isa::asm::assemble(&text, 0x1_0000)
+                .map_err(|e| CliError::BadAsm(format!("{path}: {e}")))?;
+            let mut block = block;
+            if block.is_empty() {
+                return Err(CliError::BadAsm(format!("{path}: empty program")));
+            }
+            // The block repeats as one loop iteration: if it does not
+            // already end with taken control flow, close the loop with a
+            // jump back to the top so the committed path stays connected.
+            let last = block.last().expect("non-empty");
+            if last.next_pc() != block[0].pc && last.next_pc() == last.pc + 4 {
+                block.push(sharing_isa::DynInst::jump(last.pc + 4, block[0].pc));
+            }
+            let mut insts = Vec::with_capacity(len);
+            while insts.len() < len {
+                insts.extend(block.iter().copied());
+            }
+            insts.truncate(len);
+            let name = std::path::Path::new(path)
+                .file_stem()
+                .map_or_else(|| "asm".to_string(), |s| s.to_string_lossy().into_owned());
+            let trace = sharing_trace::Trace::from_insts(name, insts);
+            Ok(Simulator::new(cfg)
+                .expect("validated config")
+                .run(&trace))
+        }
+        Workload::ProfileFile(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
+            let profile: WorkloadProfile = serde_json::from_str(&text)
+                .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
+            let generator = ProgramGenerator::new(&profile, TraceSpec::new(len, seed))
+                .map_err(CliError::BadProfile)?;
+            if profile.threads > 1 {
+                Ok(VmSimulator::new(cfg)
+                    .expect("validated config")
+                    .run(&generator.generate()))
+            } else {
+                Ok(Simulator::new(cfg)
+                    .expect("validated config")
+                    .run(&generator.generate_single()))
+            }
+        }
+    }
+}
+
+/// Executes a parsed command, returning its stdout payload.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] on config problems; simulation itself is total.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(usage()),
+        Command::List => {
+            let mut out = String::from("available benchmarks (paper §5.2 suite):\n");
+            for b in ALL_BENCHMARKS {
+                let kind = if b.is_parsec() {
+                    "PARSEC, 4 threads"
+                } else {
+                    "single-thread"
+                };
+                out.push_str(&format!("  {:<12} {kind}\n", b.name()));
+            }
+            Ok(out)
+        }
+        Command::EmitConfig => {
+            let cfg = SimConfig::builder()
+                .build()
+                .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
+            serde_json::to_string_pretty(&cfg).map_err(|e| CliError::BadConfig(e.to_string()))
+        }
+        Command::Run(args) => {
+            let cfg = load_config(args)?;
+            let result = run_workload(&args.workload, cfg, args.len, args.seed)?;
+            if args.json {
+                serde_json::to_string_pretty(&result)
+                    .map_err(|e| CliError::BadConfig(e.to_string()))
+            } else {
+                let s = &result.stalls;
+                Ok(format!(
+                    "{}\nstall cycles: rob {} | window {} | lsq {} | mshr {} | store-buffer {} \
+                     | freelist {} | mispredict {} | icache {}\nnetwork: {} operand msgs \
+                     ({} remote operands, {} LRF copy hits), {} LS-sort msgs, {} rename bcasts",
+                    result.summary(),
+                    s.rob_full,
+                    s.window_full,
+                    s.lsq_full,
+                    s.mshr_full,
+                    s.store_buffer_full,
+                    s.freelist_empty,
+                    s.mispredict,
+                    s.icache,
+                    result.operand_net.messages,
+                    result.remote_operand_requests,
+                    result.lrf_copy_hits,
+                    result.ls_sort_messages,
+                    result.rename_broadcasts,
+                ))
+            }
+        }
+        Command::Sweep(args) => {
+            let mut out = format!(
+                "{}: IPC over the paper's configuration grid (len {}, seed {})\n\n",
+                args.benchmark, args.len, args.seed
+            );
+            out.push_str("slices\\banks");
+            let banks = [0usize, 1, 2, 4, 8, 16, 32, 64, 128];
+            for b in banks {
+                out.push_str(&format!("{:>7}", b * 64 / 1024_usize.pow(0) ));
+            }
+            out.push('\n');
+            for s in 1..=8 {
+                out.push_str(&format!("{s:>12}"));
+                for b in banks {
+                    let cfg = SimConfig::with_shape(s, b)
+                        .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
+                    let r = run_one(args.benchmark, cfg, args.len, args.seed);
+                    out.push_str(&format!("{:>7.3}", r.ipc()));
+                }
+                out.push('\n');
+            }
+            out.push_str("\n(columns are L2 KB: 0, 64, 128, 256, 512, 1024, 2048, 4096, 8192)\n");
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse(&s(&[
+            "run",
+            "--benchmark",
+            "mcf",
+            "--slices",
+            "4",
+            "--banks",
+            "8",
+            "--len",
+            "1000",
+            "--seed",
+            "7",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.workload, Workload::Benchmark(Benchmark::Mcf));
+                assert_eq!(a.slices, 4);
+                assert_eq!(a.banks, 8);
+                assert_eq!(a.len, 1000);
+                assert_eq!(a.seed, 7);
+                assert!(a.json);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_benchmark() {
+        assert_eq!(
+            parse(&s(&["run", "--slices", "2"])),
+            Err(CliError::MissingValue(
+                "--benchmark, --profile or --asm".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_benchmark_and_flags() {
+        assert!(matches!(
+            parse(&s(&["run", "--benchmark", "doom"])),
+            Err(CliError::UnknownBenchmark(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["run", "--benchmark", "gcc", "--turbo"])),
+            Err(CliError::UnknownFlag(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["explode"])),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert_eq!(parse(&[]), Err(CliError::MissingCommand));
+    }
+
+    #[test]
+    fn help_and_list_and_config_parse() {
+        assert_eq!(parse(&s(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&s(&["list"])).unwrap(), Command::List);
+        assert_eq!(parse(&s(&["config"])).unwrap(), Command::EmitConfig);
+    }
+
+    #[test]
+    fn list_names_every_benchmark() {
+        let out = execute(&Command::List).unwrap();
+        for b in ALL_BENCHMARKS {
+            assert!(out.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn emitted_config_round_trips_through_run() {
+        let json = execute(&Command::EmitConfig).unwrap();
+        let dir = std::env::temp_dir().join("ssim-test-config.json");
+        std::fs::write(&dir, &json).unwrap();
+        let cmd = parse(&s(&[
+            "run",
+            "--benchmark",
+            "hmmer",
+            "--len",
+            "800",
+            "--config",
+            dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("IPC"), "report should mention IPC: {out}");
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn run_json_output_is_parseable() {
+        let cmd = parse(&s(&[
+            "run", "--benchmark", "gobmk", "--len", "800", "--json",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["instructions"], 800);
+    }
+
+    #[test]
+    fn bad_config_file_reports_cleanly() {
+        let cmd = Command::Run(RunArgs {
+            workload: Workload::Benchmark(Benchmark::Gcc),
+            slices: 1,
+            banks: 1,
+            len: 100,
+            seed: 1,
+            config_path: Some("/nonexistent/ssim.json".to_string()),
+            json: false,
+        });
+        assert!(matches!(execute(&cmd), Err(CliError::BadConfig(_))));
+    }
+}
+
+#[cfg(test)]
+mod profile_tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn profile_flag_parses_and_runs() {
+        let profile = WorkloadProfile::builder("custom")
+            .chains(3)
+            .mem_frac(0.25)
+            .build();
+        let path = std::env::temp_dir().join("ssim-test-profile.json");
+        std::fs::write(&path, serde_json::to_string(&profile).unwrap()).unwrap();
+        let cmd = parse(&s(&[
+            "run",
+            "--profile",
+            path.to_str().unwrap(),
+            "--len",
+            "600",
+            "--json",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["instructions"], 600);
+        assert_eq!(v["workload"], "custom");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_profile_reports_cleanly() {
+        let path = std::env::temp_dir().join("ssim-test-bad-profile.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let cmd = parse(&s(&["run", "--profile", path.to_str().unwrap()])).unwrap();
+        assert!(matches!(execute(&cmd), Err(CliError::BadProfile(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn invalid_profile_parameters_rejected() {
+        let mut profile = WorkloadProfile::builder("broken").build();
+        profile.chains = 0;
+        let path = std::env::temp_dir().join("ssim-test-invalid-profile.json");
+        std::fs::write(&path, serde_json::to_string(&profile).unwrap()).unwrap();
+        let cmd = parse(&s(&["run", "--profile", path.to_str().unwrap()])).unwrap();
+        assert!(matches!(execute(&cmd), Err(CliError::BadProfile(_))));
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod asm_tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn asm_workload_runs_end_to_end() {
+        let path = std::env::temp_dir().join("ssim-test-kernel.s");
+        std::fs::write(
+            &path,
+            "alu r1, r1\nst r1, [0x40]\nld r2, [0x40]\nalu r3, r2\nbr.nt 0x0, r3\n",
+        )
+        .unwrap();
+        let cmd = parse(&s(&[
+            "run",
+            "--asm",
+            path.to_str().unwrap(),
+            "--len",
+            "500",
+            "--slices",
+            "2",
+            "--json",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v["instructions"], 500);
+        assert_eq!(v["workload"], "ssim-test-kernel");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bad_asm_reports_cleanly() {
+        let path = std::env::temp_dir().join("ssim-test-bad.s");
+        std::fs::write(&path, "explode r1").unwrap();
+        let cmd = parse(&s(&["run", "--asm", path.to_str().unwrap()])).unwrap();
+        let e = execute(&cmd).unwrap_err();
+        assert!(matches!(e, CliError::BadAsm(_)), "{e}");
+        assert!(e.to_string().contains("explode"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn empty_asm_rejected() {
+        let path = std::env::temp_dir().join("ssim-test-empty.s");
+        std::fs::write(&path, "# nothing here\n").unwrap();
+        let cmd = parse(&s(&["run", "--asm", path.to_str().unwrap()])).unwrap();
+        assert!(matches!(execute(&cmd), Err(CliError::BadAsm(_))));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,42 @@
+//! `ssim` — command-line front end for the Sharing Architecture simulator.
+//!
+//! The paper's SSim "allows all critical micro-architecture parameters and
+//! latencies to be set from an XML configuration file" and "reports the
+//! cycles executed for a given workload along with cache miss rates and
+//! stage-based micro-architecture stalls and statistics" (§5.2). This
+//! binary is that tool, with JSON standing in for XML:
+//!
+//! ```text
+//! ssim run --benchmark gcc --slices 4 --banks 8
+//! ssim run --benchmark omnetpp --config myconfig.json --json
+//! ssim sweep --benchmark mcf
+//! ssim config                       # emit the default config as JSON
+//! ssim list                         # available benchmarks
+//! ```
+
+use sharing_ssim::{parse, usage, Command};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&args) {
+        Ok(Command::Help) => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Ok(cmd) => match sharing_ssim::execute(&cmd) {
+            Ok(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ssim: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("ssim: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}

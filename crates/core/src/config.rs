@@ -1,0 +1,471 @@
+//! Simulator configuration: the paper's Tables 2 and 3 plus model knobs.
+
+use serde::{Deserialize, Serialize};
+use sharing_cache::L2LatencyModel;
+use sharing_noc::LatencyModel;
+use std::fmt;
+
+/// Maximum Slices a VCore may have (paper Equation 3: `1 ≤ s ≤ 8`).
+pub const MAX_SLICES: usize = 8;
+/// Maximum L2 banks a VCore may have — 8 MB at 64 KB/bank (Equation 3:
+/// `0 KB ≤ c ≤ 8 MB`).
+pub const MAX_L2_BANKS: usize = 128;
+
+/// Configuration validation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Slice count outside `1..=MAX_SLICES`.
+    BadSliceCount(usize),
+    /// Bank count above `MAX_L2_BANKS`.
+    BadBankCount(usize),
+    /// A structural parameter was zero.
+    ZeroParam(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadSliceCount(n) => {
+                write!(f, "slice count {n} outside 1..={MAX_SLICES}")
+            }
+            ConfigError::BadBankCount(n) => {
+                write!(f, "bank count {n} above {MAX_L2_BANKS}")
+            }
+            ConfigError::ZeroParam(p) => write!(f, "parameter {p} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Per-Slice structural parameters (paper Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SliceParams {
+    /// Instructions fetched per Slice per cycle.
+    pub fetch_width: u32,
+    /// ALU issue-window entries.
+    pub issue_window: usize,
+    /// Load/store issue-window entries.
+    pub ls_window: usize,
+    /// Load/store queue entries per Slice bank.
+    pub lsq_entries: usize,
+    /// Reorder-buffer entries per Slice.
+    pub rob_entries: usize,
+    /// Store-buffer entries per Slice.
+    pub store_buffer: usize,
+    /// Maximum in-flight loads per Slice (MSHRs).
+    pub max_inflight_loads: usize,
+    /// Local physical registers per Slice (LRF).
+    pub local_regs: usize,
+    /// Global logical registers shared by the VCore.
+    pub global_regs: usize,
+    /// Bimodal predictor entries per Slice.
+    pub predictor_entries: usize,
+    /// BTB entries per Slice.
+    pub btb_entries: usize,
+}
+
+impl Default for SliceParams {
+    /// Table 2 of the paper.
+    fn default() -> Self {
+        SliceParams {
+            fetch_width: 2,
+            issue_window: 32,
+            ls_window: 32,
+            lsq_entries: 32,
+            rob_entries: 64,
+            store_buffer: 8,
+            max_inflight_loads: 8,
+            local_regs: 64,
+            global_regs: 128,
+            predictor_entries: 2048,
+            btb_entries: 512,
+        }
+    }
+}
+
+/// Memory-system parameters (paper Table 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemParams {
+    /// L1 D-cache size in bytes (per Slice).
+    pub l1d_bytes: u64,
+    /// L1 D-cache associativity.
+    pub l1d_ways: u32,
+    /// L1 hit delay in cycles.
+    pub l1_hit: u32,
+    /// L1 I-cache size in bytes (per Slice).
+    pub l1i_bytes: u64,
+    /// L1 I-cache associativity.
+    pub l1i_ways: u32,
+    /// L1 I-cache miss penalty (refill from the L2 side).
+    pub l1i_miss: u32,
+    /// The distance-based L2 hit-latency model.
+    pub l2_latency: L2LatencyModel,
+    /// Main-memory delay in cycles.
+    pub memory_delay: u32,
+}
+
+impl Default for MemParams {
+    /// Table 3 of the paper (16 KB 2-way L1s at 3 cycles, `distance*2+4`
+    /// L2, 100-cycle memory).
+    fn default() -> Self {
+        MemParams {
+            l1d_bytes: 16 << 10,
+            l1d_ways: 2,
+            l1_hit: 3,
+            l1i_bytes: 16 << 10,
+            l1i_ways: 2,
+            l1i_miss: 10,
+            l2_latency: L2LatencyModel::paper(),
+            memory_delay: 100,
+        }
+    }
+}
+
+/// Branch-direction prediction scheme (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// The paper's baseline: a local bimodal predictor indexed by PC.
+    Bimodal,
+    /// The global scheme §3.1 sketches: gshare with a Global History
+    /// Register composed across Slices "with appropriate delay across the
+    /// switched interconnect" — on an `n`-Slice VCore each Slice predicts
+    /// with a history that is stale by the branches resolved during the
+    /// compose delay.
+    Gshare {
+        /// History length in bits.
+        history_bits: u8,
+    },
+}
+
+impl Default for PredictorKind {
+    fn default() -> Self {
+        PredictorKind::Bimodal
+    }
+}
+
+/// Model fidelity knobs, including the ablations DESIGN.md calls out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelKnobs {
+    /// Physical operand-network planes (§5.1 ablation: the paper found a
+    /// second plane buys only ≈1%).
+    pub operand_planes: usize,
+    /// Remote-operand wakeup one cycle before the reply arrives (§3.3).
+    pub remote_wakeup_headstart: bool,
+    /// Unordered, age-tagged LSQ with speculative loads (§3.6). When
+    /// `false`, loads wait for all older stores' addresses (ordered
+    /// baseline).
+    pub unordered_lsq: bool,
+    /// Whether the VCore's Slices are contiguous on the mesh (§3 requires
+    /// it for performance; `false` models a fragmented allocation with one
+    /// extra hop between logically adjacent Slices).
+    pub contiguous_slices: bool,
+    /// Front-end depth from fetch to rename, in cycles (before the
+    /// multi-Slice global-rename stages are added).
+    pub frontend_depth: u32,
+    /// Extra redirect cycles after a branch resolves as mispredicted.
+    pub mispredict_penalty: u32,
+    /// Replay penalty for a load/store ordering violation, on top of
+    /// re-executing the load (§3.6).
+    pub violation_penalty: u32,
+    /// Inter-Slice operand latency model.
+    pub operand_latency: LatencyModel,
+    /// Branch-direction prediction scheme.
+    pub predictor: PredictorKind,
+}
+
+impl Default for ModelKnobs {
+    fn default() -> Self {
+        ModelKnobs {
+            operand_planes: 1,
+            remote_wakeup_headstart: true,
+            unordered_lsq: true,
+            contiguous_slices: true,
+            frontend_depth: 4,
+            mispredict_penalty: 3,
+            violation_penalty: 6,
+            operand_latency: LatencyModel::tilera(),
+            predictor: PredictorKind::Bimodal,
+        }
+    }
+}
+
+/// A Virtual Core's resource assignment: the two axes every experiment in
+/// the paper sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VCoreShape {
+    /// Number of Slices (`1..=8`).
+    pub slices: usize,
+    /// Number of 64 KB L2 banks (`0..=128`).
+    pub l2_banks: usize,
+}
+
+impl VCoreShape {
+    /// Creates a validated shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if outside the paper's Equation 3 bounds.
+    pub fn new(slices: usize, l2_banks: usize) -> Result<Self, ConfigError> {
+        if slices == 0 || slices > MAX_SLICES {
+            return Err(ConfigError::BadSliceCount(slices));
+        }
+        if l2_banks > MAX_L2_BANKS {
+            return Err(ConfigError::BadBankCount(l2_banks));
+        }
+        Ok(VCoreShape { slices, l2_banks })
+    }
+
+    /// L2 capacity in kilobytes.
+    #[must_use]
+    pub fn l2_kb(self) -> u64 {
+        self.l2_banks as u64 * 64
+    }
+
+    /// All valid shapes over the paper's sweep grid: 1–8 Slices × L2 sizes
+    /// {0, 64 KB, 128 KB, …, 8 MB} (power-of-two bank counts).
+    pub fn sweep_grid() -> impl Iterator<Item = VCoreShape> {
+        const BANK_OPTIONS: [usize; 9] = [0, 1, 2, 4, 8, 16, 32, 64, 128];
+        (1..=MAX_SLICES).flat_map(|s| {
+            BANK_OPTIONS
+                .iter()
+                .map(move |&b| VCoreShape { slices: s, l2_banks: b })
+        })
+    }
+}
+
+impl fmt::Display for VCoreShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s/{}KB", self.slices, self.l2_kb())
+    }
+}
+
+/// Full simulator configuration.
+///
+/// # Example
+///
+/// ```
+/// use sharing_core::SimConfig;
+///
+/// let cfg = SimConfig::builder().slices(4).l2_banks(8).build()?;
+/// assert_eq!(cfg.shape().slices, 4);
+/// assert_eq!(cfg.shape().l2_kb(), 512);
+/// # Ok::<(), sharing_core::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    shape: VCoreShape,
+    /// Per-Slice structural parameters.
+    pub slice: SliceParams,
+    /// Memory-system parameters.
+    pub mem: MemParams,
+    /// Model knobs.
+    pub knobs: ModelKnobs,
+}
+
+impl SimConfig {
+    /// Starts a builder with the paper's default parameters.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Convenience: the paper's base configuration with a given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for out-of-range shapes.
+    pub fn with_shape(slices: usize, l2_banks: usize) -> Result<Self, ConfigError> {
+        SimConfig::builder().slices(slices).l2_banks(l2_banks).build()
+    }
+
+    /// The VCore shape.
+    #[must_use]
+    pub fn shape(&self) -> VCoreShape {
+        self.shape
+    }
+
+    /// Number of Slices.
+    #[must_use]
+    pub fn slices(&self) -> usize {
+        self.shape.slices
+    }
+
+    /// Number of L2 banks.
+    #[must_use]
+    pub fn l2_banks(&self) -> usize {
+        self.shape.l2_banks
+    }
+
+    /// Validates structural parameters (builder output is always valid;
+    /// hand-edited configs can use this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroParam`] for any zero structural size.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let s = &self.slice;
+        let checks: [(&'static str, u64); 9] = [
+            ("fetch_width", u64::from(s.fetch_width)),
+            ("issue_window", s.issue_window as u64),
+            ("ls_window", s.ls_window as u64),
+            ("lsq_entries", s.lsq_entries as u64),
+            ("rob_entries", s.rob_entries as u64),
+            ("store_buffer", s.store_buffer as u64),
+            ("max_inflight_loads", s.max_inflight_loads as u64),
+            ("local_regs", s.local_regs as u64),
+            ("operand_planes", self.knobs.operand_planes as u64),
+        ];
+        for (name, v) in checks {
+            if v == 0 {
+                return Err(ConfigError::ZeroParam(name));
+            }
+        }
+        if s.global_regs <= sharing_isa::NUM_ARCH_REGS {
+            return Err(ConfigError::ZeroParam("global_regs"));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    slices: usize,
+    l2_banks: usize,
+    slice: SliceParams,
+    mem: MemParams,
+    knobs: ModelKnobs,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        SimConfigBuilder {
+            slices: 1,
+            l2_banks: 2, // 128 KB: the paper's Fig 12 normalization base
+            slice: SliceParams::default(),
+            mem: MemParams::default(),
+            knobs: ModelKnobs::default(),
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the Slice count.
+    #[must_use]
+    pub fn slices(mut self, n: usize) -> Self {
+        self.slices = n;
+        self
+    }
+
+    /// Sets the L2 bank count.
+    #[must_use]
+    pub fn l2_banks(mut self, n: usize) -> Self {
+        self.l2_banks = n;
+        self
+    }
+
+    /// Overrides Slice structural parameters.
+    #[must_use]
+    pub fn slice_params(mut self, p: SliceParams) -> Self {
+        self.slice = p;
+        self
+    }
+
+    /// Overrides memory parameters.
+    #[must_use]
+    pub fn mem_params(mut self, p: MemParams) -> Self {
+        self.mem = p;
+        self
+    }
+
+    /// Overrides model knobs.
+    #[must_use]
+    pub fn knobs(mut self, k: ModelKnobs) -> Self {
+        self.knobs = k;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid shapes or zero parameters.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        let shape = VCoreShape::new(self.slices, self.l2_banks)?;
+        let cfg = SimConfig {
+            shape,
+            slice: self.slice,
+            mem: self.mem,
+            knobs: self.knobs,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_tables() {
+        let cfg = SimConfig::builder().build().unwrap();
+        assert_eq!(cfg.slice.issue_window, 32);
+        assert_eq!(cfg.slice.lsq_entries, 32);
+        assert_eq!(cfg.slice.rob_entries, 64);
+        assert_eq!(cfg.slice.store_buffer, 8);
+        assert_eq!(cfg.slice.max_inflight_loads, 8);
+        assert_eq!(cfg.slice.local_regs, 64);
+        assert_eq!(cfg.slice.global_regs, 128);
+        assert_eq!(cfg.slice.fetch_width, 2);
+        assert_eq!(cfg.mem.l1d_bytes, 16 << 10);
+        assert_eq!(cfg.mem.l1_hit, 3);
+        assert_eq!(cfg.mem.memory_delay, 100);
+        assert_eq!(cfg.mem.l2_latency.hit_latency(1), 6); // distance*2+4
+    }
+
+    #[test]
+    fn shape_bounds_match_equation_3() {
+        assert!(VCoreShape::new(1, 0).is_ok());
+        assert!(VCoreShape::new(8, 128).is_ok());
+        assert_eq!(
+            VCoreShape::new(0, 0),
+            Err(ConfigError::BadSliceCount(0))
+        );
+        assert_eq!(
+            VCoreShape::new(9, 0),
+            Err(ConfigError::BadSliceCount(9))
+        );
+        assert_eq!(
+            VCoreShape::new(4, 129),
+            Err(ConfigError::BadBankCount(129))
+        );
+    }
+
+    #[test]
+    fn sweep_grid_covers_the_paper_space() {
+        let shapes: Vec<_> = VCoreShape::sweep_grid().collect();
+        assert_eq!(shapes.len(), 8 * 9);
+        assert!(shapes.contains(&VCoreShape { slices: 1, l2_banks: 0 }));
+        assert!(shapes.contains(&VCoreShape { slices: 8, l2_banks: 128 }));
+    }
+
+    #[test]
+    fn l2_kb_conversion() {
+        assert_eq!(VCoreShape::new(1, 2).unwrap().l2_kb(), 128);
+        assert_eq!(VCoreShape::new(1, 128).unwrap().l2_kb(), 8192);
+    }
+
+    #[test]
+    fn validate_rejects_zero_params() {
+        let mut cfg = SimConfig::builder().build().unwrap();
+        cfg.slice.issue_window = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroParam("issue_window")));
+    }
+
+    #[test]
+    fn display_shape() {
+        assert_eq!(VCoreShape::new(4, 8).unwrap().to_string(), "4s/512KB");
+    }
+}

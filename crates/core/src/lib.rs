@@ -1,0 +1,56 @@
+//! # SSim — cycle-level simulator of the Sharing Architecture
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! manycore fabric whose *Virtual Cores* are composed at run time from
+//! Slices (minimal out-of-order pipelines) and 64 KB L2 cache banks, plus
+//! the trace-driven simulator (SSim) the paper evaluates it with.
+//!
+//! * [`SimConfig`] / [`VCoreShape`] — the paper's Tables 2/3 parameters and
+//!   the `(slices, cache)` configuration space of Equation 3;
+//! * [`Simulator`] — run one trace on one VCore;
+//! * [`VmSimulator`] — multi-VCore VMs sharing a coherent L2 (PARSEC);
+//! * [`run_phased`] — dynamic reconfiguration across program phases with
+//!   the paper's 500/10 000-cycle costs (§5.10);
+//! * [`engine`] — the underlying timing model, exposed for composition;
+//! * [`structures`] — Table 1's replicated-vs-partitioned encoding.
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_core::{SimConfig, Simulator};
+//! use sharing_trace::{Benchmark, TraceSpec};
+//!
+//! // Compare a 1-Slice and a 4-Slice VCore on the same workload.
+//! let trace = Benchmark::H264ref.generate(&TraceSpec::new(4_000, 42));
+//! let small = Simulator::new(SimConfig::with_shape(1, 2)?)?.run(&trace);
+//! let big = Simulator::new(SimConfig::with_shape(4, 2)?)?.run(&trace);
+//! assert!(big.ipc() > small.ipc());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod multi;
+pub mod predictor;
+pub mod reconfig;
+pub mod reconfigurable;
+pub mod sim;
+pub mod stats;
+pub mod structures;
+pub mod timeline;
+
+pub use config::{
+    PredictorKind,
+    ConfigError, MemParams, ModelKnobs, SimConfig, SliceParams, VCoreShape, MAX_L2_BANKS,
+    MAX_SLICES,
+};
+pub use engine::{InstTiming, MemorySystem, VCoreEngine};
+pub use multi::VmSimulator;
+pub use reconfig::ReconfigCosts;
+pub use reconfigurable::ReconfigurableVCore;
+pub use sim::{run_phased, Simulator};
+pub use stats::{MemCounters, SimResult, SliceStats, StallBreakdown};
+pub use structures::{Distribution, Structure};

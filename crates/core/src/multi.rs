@@ -1,0 +1,310 @@
+//! Multi-VCore Virtual Machines: several VCores sharing an L2 and kept
+//! coherent by the L2 directory (paper §3.5, §5.3).
+//!
+//! The paper runs PARSEC with "four threads on four equally configured
+//! VCores which share an L2 Cache". This module composes one
+//! [`VCoreEngine`] per thread over a shared
+//! [`MemorySystem`], interleaving execution in fixed instruction chunks so
+//! the threads contend for (and cohere over) the same banks. Inter-VCore
+//! L1 invalidations produced by the directory are applied between chunks.
+
+use crate::config::{ConfigError, SimConfig};
+use crate::engine::{MemorySystem, VCoreEngine};
+use crate::stats::SimResult;
+use sharing_trace::ThreadedTrace;
+
+/// Default interleaving granularity, in instructions per thread per turn.
+pub const DEFAULT_CHUNK: usize = 1_000;
+
+/// A VM of `t` single-thread VCores sharing one L2.
+///
+/// # Example
+///
+/// ```
+/// use sharing_core::{SimConfig, VmSimulator};
+/// use sharing_trace::{Benchmark, TraceSpec};
+///
+/// let cfg = SimConfig::with_shape(2, 4)?; // per VCore: 2 Slices; VM L2: 256 KB
+/// let workload = Benchmark::Dedup.generate_threaded(&TraceSpec::new(2_000, 5));
+/// let result = VmSimulator::new(cfg)?.run(&workload);
+/// assert!(result.ipc() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct VmSimulator {
+    cfg: SimConfig,
+    chunk: usize,
+}
+
+impl VmSimulator {
+    /// Creates a VM simulator. Every VCore gets the `cfg` Slice count; the
+    /// configured L2 banks form the *shared* VM-level L2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(VmSimulator {
+            cfg,
+            chunk: DEFAULT_CHUNK,
+        })
+    }
+
+    /// Overrides the interleaving chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk must be positive");
+        self.chunk = chunk;
+        self
+    }
+
+    /// Co-schedules *different* workloads, one per VCore, over the shared
+    /// L2 and directory — the datacenter-interference setting the paper's
+    /// §6 cites ("sharing last-level cache and DRAM bandwidth degrades
+    /// responsiveness of workloads"). Returns one result per workload, so
+    /// each tenant's slowdown under contention is visible individually.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads` is empty.
+    #[must_use]
+    pub fn run_coscheduled(&self, workloads: &[sharing_trace::Trace]) -> Vec<SimResult> {
+        assert!(!workloads.is_empty(), "at least one workload required");
+        let mut mem = MemorySystem::shared(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
+        if workloads.len() == 1 {
+            mem.coherent = false;
+        }
+        let mut engines: Vec<VCoreEngine> = (0..workloads.len())
+            .map(|v| VCoreEngine::new(self.cfg.clone(), v))
+            .collect();
+        let mut cursors = vec![0usize; workloads.len()];
+        let mut live = workloads.len();
+        while live > 0 {
+            live = 0;
+            for (tid, engine) in engines.iter_mut().enumerate() {
+                let insts = workloads[tid].insts();
+                let start = cursors[tid];
+                if start >= insts.len() {
+                    continue;
+                }
+                live += 1;
+                let end = (start + self.chunk).min(insts.len());
+                engine.run_chunk(&mut mem, &insts[start..end]);
+                cursors[tid] = end;
+            }
+            let invals = std::mem::take(&mut mem.pending_invals);
+            for (v, line) in invals {
+                if v < engines.len() {
+                    engines[v].invalidate_line(line);
+                }
+            }
+        }
+        let mut results: Vec<SimResult> = engines
+            .into_iter()
+            .zip(workloads)
+            .map(|(e, w)| e.finish(w.name()))
+            .collect();
+        for r in &mut results {
+            VCoreEngine::absorb_mem_stats(r, &mem);
+        }
+        results
+    }
+
+    /// Runs all threads to completion; the VM finishes when its slowest
+    /// thread does (barrier semantics, matching the paper's use of total
+    /// benchmark runtime).
+    #[must_use]
+    pub fn run(&self, workload: &ThreadedTrace) -> SimResult {
+        let threads = workload.thread_count();
+        let mut mem = MemorySystem::shared(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
+        if threads == 1 {
+            mem.coherent = false;
+        }
+        let mut engines: Vec<VCoreEngine> = (0..threads)
+            .map(|v| VCoreEngine::new(self.cfg.clone(), v))
+            .collect();
+        let mut cursors = vec![0usize; threads];
+        let mut live = threads;
+        while live > 0 {
+            live = 0;
+            for (tid, engine) in engines.iter_mut().enumerate() {
+                let insts = workload.threads()[tid].insts();
+                let start = cursors[tid];
+                if start >= insts.len() {
+                    continue;
+                }
+                live += 1;
+                let end = (start + self.chunk).min(insts.len());
+                engine.run_chunk(&mut mem, &insts[start..end]);
+                cursors[tid] = end;
+                // Apply coherence invalidations to the other VCores.
+                let invals = std::mem::take(&mut mem.pending_invals);
+                for (v, line) in invals {
+                    if v != tid {
+                        // Safe: `engines` indexed disjointly from `engine`
+                        // would need split borrows; defer to after loop by
+                        // collecting. (Handled below.)
+                        mem.pending_invals.push((v, line));
+                    }
+                }
+            }
+            // Drain invalidations between rounds.
+            let invals = std::mem::take(&mut mem.pending_invals);
+            for (v, line) in invals {
+                if v < engines.len() {
+                    engines[v].invalidate_line(line);
+                }
+            }
+        }
+        // Aggregate: VM time = slowest thread; instruction counts sum.
+        let mut cycles = 0u64;
+        let mut total = SimResult {
+            workload: workload.name().to_string(),
+            shape: Some(self.cfg.shape()),
+            ..SimResult::default()
+        };
+        for engine in engines {
+            cycles = cycles.max(engine.cycles());
+            let r = engine.finish(workload.name());
+            total.instructions += r.instructions;
+            total.predictor.predictions += r.predictor.predictions;
+            total.predictor.mispredictions += r.predictor.mispredictions;
+            total.predictor.btb_misses += r.predictor.btb_misses;
+            total.mem.l1d.accesses += r.mem.l1d.accesses;
+            total.mem.l1d.hits += r.mem.l1d.hits;
+            total.mem.l1i.accesses += r.mem.l1i.accesses;
+            total.mem.l1i.hits += r.mem.l1i.hits;
+            total.mem.store_forwards += r.mem.store_forwards;
+            total.mem.lsq_violations += r.mem.lsq_violations;
+            total.mem.coherence_invalidations += r.mem.coherence_invalidations;
+            total.mem.coherence_forwards += r.mem.coherence_forwards;
+            total.remote_operand_requests += r.remote_operand_requests;
+            total.lrf_copy_hits += r.lrf_copy_hits;
+            total.ls_sort_messages += r.ls_sort_messages;
+            total.rename_broadcasts += r.rename_broadcasts;
+            total.stalls.rob_full += r.stalls.rob_full;
+            total.stalls.window_full += r.stalls.window_full;
+            total.stalls.lsq_full += r.stalls.lsq_full;
+            total.stalls.mshr_full += r.stalls.mshr_full;
+            total.stalls.store_buffer_full += r.stalls.store_buffer_full;
+            total.stalls.freelist_empty += r.stalls.freelist_empty;
+            total.stalls.mispredict += r.stalls.mispredict;
+            total.stalls.icache += r.stalls.icache;
+        }
+        total.cycles = cycles;
+        VCoreEngine::absorb_mem_stats(&mut total, &mem);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharing_trace::{Benchmark, TraceSpec};
+
+    #[test]
+    fn four_threads_finish_and_cohere() {
+        let cfg = SimConfig::with_shape(2, 4).unwrap();
+        let w = Benchmark::Dedup.generate_threaded(&TraceSpec::new(3_000, 11));
+        let r = VmSimulator::new(cfg).unwrap().run(&w);
+        assert_eq!(r.instructions, 4 * 3_000);
+        assert!(r.cycles > 0);
+        // dedup has a 20% shared-access fraction: coherence must fire.
+        assert!(
+            r.mem.coherence_invalidations + r.mem.coherence_forwards > 0,
+            "expected coherence traffic"
+        );
+    }
+
+    #[test]
+    fn single_thread_vm_matches_plain_simulator_closely() {
+        let cfg = SimConfig::with_shape(2, 2).unwrap();
+        let t = Benchmark::Gcc.generate(&TraceSpec::new(3_000, 2));
+        let tt = sharing_trace::ThreadedTrace::single(t.clone());
+        let vm = VmSimulator::new(cfg.clone()).unwrap().run(&tt);
+        let single = crate::Simulator::new(cfg).unwrap().run(&t);
+        assert_eq!(vm.instructions, single.instructions);
+        // Chunked execution may split a fetch group at a chunk boundary,
+        // shifting timing by a cycle or two.
+        let diff = vm.cycles.abs_diff(single.cycles);
+        assert!(
+            diff * 100 <= single.cycles,
+            "no coherence → near-identical timing (vm {} vs {})",
+            vm.cycles,
+            single.cycles
+        );
+    }
+
+    #[test]
+    fn vm_is_deterministic() {
+        let cfg = SimConfig::with_shape(2, 4).unwrap();
+        let w = Benchmark::Ferret.generate_threaded(&TraceSpec::new(2_000, 4));
+        let a = VmSimulator::new(cfg.clone()).unwrap().run(&w);
+        let b = VmSimulator::new(cfg).unwrap().run(&w);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parsec_scaling_is_bounded(){
+        // Per-thread ILP of ~2 chains should bound slice scaling near 2x
+        // (paper §5.3: "the speedup is bounded by 2").
+        let w = Benchmark::Swaptions.generate_threaded(&TraceSpec::new(4_000, 9));
+        let one = VmSimulator::new(SimConfig::with_shape(1, 4).unwrap())
+            .unwrap()
+            .run(&w);
+        let eight = VmSimulator::new(SimConfig::with_shape(8, 4).unwrap())
+            .unwrap()
+            .run(&w);
+        let speedup = eight.ipc() / one.ipc();
+        assert!(
+            speedup < 3.0,
+            "PARSEC speedup should be bounded, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn coscheduling_inflicts_measurable_interference() {
+        // A cache-sensitive tenant co-runs with a streaming bully on one
+        // shared 256KB L2 vs running alone on the same system.
+        let spec = TraceSpec::new(6_000, 21);
+        let victim = Benchmark::Omnetpp.generate(&spec);
+        let bully = Benchmark::Libquantum.generate(&spec);
+        let cfg = SimConfig::with_shape(2, 4).unwrap();
+        let vm = VmSimulator::new(cfg).unwrap();
+        let alone = vm.run_coscheduled(std::slice::from_ref(&victim));
+        let together = vm.run_coscheduled(&[victim.clone(), bully]);
+        assert_eq!(alone[0].instructions, together[0].instructions);
+        assert!(
+            together[0].cycles > alone[0].cycles,
+            "contention must cost the victim cycles: {} vs {}",
+            together[0].cycles,
+            alone[0].cycles
+        );
+    }
+
+    #[test]
+    fn coscheduled_results_are_per_tenant() {
+        let spec = TraceSpec::new(3_000, 4);
+        let a = Benchmark::Gcc.generate(&spec);
+        let b = Benchmark::Hmmer.generate(&spec);
+        let cfg = SimConfig::with_shape(1, 2).unwrap();
+        let results = VmSimulator::new(cfg).unwrap().run_coscheduled(&[a, b]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].workload, "gcc");
+        assert_eq!(results[1].workload, "hmmer");
+        assert!(results.iter().all(|r| r.instructions == 3_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk must be positive")]
+    fn zero_chunk_rejected() {
+        let _ = VmSimulator::new(SimConfig::with_shape(1, 1).unwrap())
+            .unwrap()
+            .with_chunk(0);
+    }
+}

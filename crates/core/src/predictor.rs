@@ -1,0 +1,241 @@
+//! Distributed branch prediction (paper §3.1).
+//!
+//! Each Slice has a local bimodal predictor indexed by PC; because fetch is
+//! PC-interleaved, "the same PC is always fetched by the same Slice", so
+//! effective predictor capacity grows with Slice count. BTB entries are
+//! replicated (with slice-interleaved "fake" entries) so any Slice can
+//! redirect fetch for a taken branch it did not itself execute.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-bit saturating counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    fn train(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// Prediction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictorStats {
+    /// Conditional branches predicted.
+    pub predictions: u64,
+    /// Direction mispredictions.
+    pub mispredictions: u64,
+    /// Taken control transfers whose target missed in the BTB.
+    pub btb_misses: u64,
+}
+
+impl PredictorStats {
+    /// Direction misprediction rate in `[0, 1]`.
+    #[must_use]
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+/// A Slice's bimodal predictor plus its (replicated) BTB.
+///
+/// # Example
+///
+/// ```
+/// use sharing_core::predictor::BranchPredictor;
+///
+/// let mut bp = BranchPredictor::new(1024, 256);
+/// // Bimodal counters start weakly not-taken; train towards taken.
+/// assert!(!bp.predict_taken(0x40));
+/// bp.train(0x40, true);
+/// bp.train(0x40, true);
+/// assert!(bp.predict_taken(0x40));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BranchPredictor {
+    table: Vec<Counter2>,
+    /// Direct-mapped BTB of branch PCs (tag per entry; `u64::MAX` = empty).
+    btb: Vec<u64>,
+    stats: PredictorStats,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with the given table sizes (rounded up to powers
+    /// of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    #[must_use]
+    pub fn new(predictor_entries: usize, btb_entries: usize) -> Self {
+        assert!(
+            predictor_entries > 0 && btb_entries > 0,
+            "predictor sizes must be positive"
+        );
+        BranchPredictor {
+            table: vec![Counter2(1); predictor_entries.next_power_of_two()],
+            btb: vec![u64::MAX; btb_entries.next_power_of_two()],
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn pht_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.table.len() - 1)
+    }
+
+    fn btb_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.btb.len() - 1)
+    }
+
+    /// Predicts the direction of the conditional branch at `pc` (counts a
+    /// prediction).
+    pub fn predict_taken(&mut self, pc: u64) -> bool {
+        self.stats.predictions += 1;
+        self.table[self.pht_index(pc)].predict_taken()
+    }
+
+    /// Trains the direction counter and records a mispredict if the
+    /// previous prediction was wrong. Returns whether the (pre-training)
+    /// prediction matched.
+    pub fn train(&mut self, pc: u64, taken: bool) -> bool {
+        let idx = self.pht_index(pc);
+        let correct = self.table[idx].predict_taken() == taken;
+        self.table[idx].train(taken);
+        correct
+    }
+
+    /// Full conditional-branch flow: predict, train, account. Returns
+    /// `true` when the direction was predicted correctly.
+    pub fn predict_and_train(&mut self, pc: u64, taken: bool) -> bool {
+        self.stats.predictions += 1;
+        let idx = self.pht_index(pc);
+        let correct = self.table[idx].predict_taken() == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        self.table[idx].train(taken);
+        correct
+    }
+
+    /// gshare variant (paper §3.1's global-scheme option): the prediction
+    /// table is indexed by `pc ⊕ history`. The caller supplies the Global
+    /// History Register — on a multi-Slice VCore that register is composed
+    /// across Slices over the switched interconnect, so the caller passes
+    /// an appropriately *delayed* history.
+    pub fn predict_and_train_gshare(&mut self, pc: u64, history: u64, taken: bool) -> bool {
+        self.stats.predictions += 1;
+        let idx = ((pc >> 2) ^ history) as usize & (self.table.len() - 1);
+        let correct = self.table[idx].predict_taken() == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        self.table[idx].train(taken);
+        correct
+    }
+
+    /// Looks the branch up in the BTB and installs it. Returns `true` on a
+    /// hit (the target was known to fetch). Tag-match is by full PC.
+    pub fn btb_lookup_install(&mut self, pc: u64) -> bool {
+        let idx = self.btb_index(pc);
+        let hit = self.btb[idx] == pc;
+        if !hit {
+            self.stats.btb_misses += 1;
+            self.btb[idx] = pc;
+        }
+        hit
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> PredictorStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate() {
+        let mut c = Counter2(0);
+        c.train(false);
+        assert_eq!(c.0, 0);
+        for _ in 0..5 {
+            c.train(true);
+        }
+        assert_eq!(c.0, 3);
+        assert!(c.predict_taken());
+    }
+
+    #[test]
+    fn biased_branches_predict_well() {
+        let mut bp = BranchPredictor::new(256, 64);
+        let mut correct = 0;
+        for i in 0..1000 {
+            // Loop branch: taken 9 of 10.
+            let taken = i % 10 != 9;
+            if bp.predict_and_train(0x100, taken) {
+                correct += 1;
+            }
+        }
+        assert!(correct > 750, "correct = {correct}");
+    }
+
+    #[test]
+    fn alternating_branch_defeats_bimodal() {
+        // A strictly alternating branch is the bimodal worst case; with
+        // initial state 1 it mispredicts heavily.
+        let mut bp = BranchPredictor::new(256, 64);
+        for i in 0..100 {
+            bp.predict_and_train(0x200, i % 2 == 0);
+        }
+        assert!(bp.stats().mispredict_rate() > 0.4);
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut bp = BranchPredictor::new(256, 64);
+        for _ in 0..10 {
+            bp.predict_and_train(0x100, true);
+            bp.predict_and_train(0x104, false);
+        }
+        assert!(bp.predict_taken(0x100));
+        assert!(!bp.predict_taken(0x104));
+    }
+
+    #[test]
+    fn btb_misses_then_hits() {
+        let mut bp = BranchPredictor::new(256, 8);
+        assert!(!bp.btb_lookup_install(0x40));
+        assert!(bp.btb_lookup_install(0x40));
+        assert_eq!(bp.stats().btb_misses, 1);
+    }
+
+    #[test]
+    fn btb_conflicts_evict() {
+        let mut bp = BranchPredictor::new(256, 4);
+        // PCs 0x10 and 0x50 collide in a 4-entry BTB ((pc>>2) & 3).
+        assert!(!bp.btb_lookup_install(0x10));
+        assert!(!bp.btb_lookup_install(0x50));
+        assert!(!bp.btb_lookup_install(0x10), "0x50 evicted 0x10");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_sizes_rejected() {
+        let _ = BranchPredictor::new(0, 8);
+    }
+}

@@ -1,0 +1,102 @@
+//! VCore reconfiguration costs (paper §3.8 and §5.10).
+//!
+//! Changing the Slice count of a live VCore requires a Register Flush
+//! (dirty architectural registers pushed to surviving Slices over the
+//! operand network) and interconnect re-programming by the hypervisor —
+//! cheap, because there are only 64 local physical registers per Slice.
+//! Changing the L2 bank assignment requires flushing dirty bank state to
+//! main memory — expensive. The paper's Table 7 accounts 500 cycles for a
+//! Slice-only change and 10 000 cycles when the cache configuration
+//! changes.
+
+use crate::config::VCoreShape;
+use serde::{Deserialize, Serialize};
+
+/// Reconfiguration cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigCosts {
+    /// Cycles to change only the Slice count (Register Flush + interconnect
+    /// setup).
+    pub slice_only: u64,
+    /// Cycles when the L2 bank set changes (includes the dirty-bank flush).
+    pub cache_change: u64,
+}
+
+impl ReconfigCosts {
+    /// The paper's Table 7 costs.
+    #[must_use]
+    pub fn paper() -> Self {
+        ReconfigCosts {
+            slice_only: 500,
+            cache_change: 10_000,
+        }
+    }
+
+    /// Cycles charged to go from `from` to `to`.
+    ///
+    /// A change in bank count dominates (the bank flush hides the register
+    /// flush); an identical shape is free.
+    #[must_use]
+    pub fn cost(self, from: VCoreShape, to: VCoreShape) -> u64 {
+        if from == to {
+            0
+        } else if from.l2_banks != to.l2_banks {
+            self.cache_change
+        } else {
+            self.slice_only
+        }
+    }
+
+    /// Total reconfiguration cycles along a schedule of shapes.
+    #[must_use]
+    pub fn schedule_cost(self, shapes: &[VCoreShape]) -> u64 {
+        shapes
+            .windows(2)
+            .map(|w| self.cost(w[0], w[1]))
+            .sum()
+    }
+}
+
+impl Default for ReconfigCosts {
+    fn default() -> Self {
+        ReconfigCosts::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(s: usize, b: usize) -> VCoreShape {
+        VCoreShape::new(s, b).unwrap()
+    }
+
+    #[test]
+    fn same_shape_is_free() {
+        let c = ReconfigCosts::paper();
+        assert_eq!(c.cost(shape(2, 4), shape(2, 4)), 0);
+    }
+
+    #[test]
+    fn slice_only_change_is_cheap() {
+        let c = ReconfigCosts::paper();
+        assert_eq!(c.cost(shape(2, 4), shape(5, 4)), 500);
+    }
+
+    #[test]
+    fn cache_change_dominates() {
+        let c = ReconfigCosts::paper();
+        assert_eq!(c.cost(shape(2, 4), shape(2, 8)), 10_000);
+        // Changing both still charges the cache cost once.
+        assert_eq!(c.cost(shape(2, 4), shape(5, 8)), 10_000);
+    }
+
+    #[test]
+    fn schedule_accumulates() {
+        let c = ReconfigCosts::paper();
+        let sched = [shape(2, 4), shape(2, 4), shape(3, 4), shape(3, 8)];
+        assert_eq!(c.schedule_cost(&sched), 0 + 500 + 10_000);
+        assert_eq!(c.schedule_cost(&sched[..1]), 0);
+        assert_eq!(c.schedule_cost(&[]), 0);
+    }
+}

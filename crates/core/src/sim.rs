@@ -1,0 +1,432 @@
+//! Single-threaded simulation driver.
+
+use crate::config::{ConfigError, SimConfig};
+use crate::engine::{MemorySystem, VCoreEngine};
+use crate::reconfig::ReconfigCosts;
+use crate::stats::SimResult;
+use sharing_trace::Trace;
+
+/// Convenience driver: one trace, one VCore, private memory system.
+///
+/// # Example
+///
+/// ```
+/// use sharing_core::{SimConfig, Simulator};
+/// use sharing_trace::{Benchmark, TraceSpec};
+///
+/// let cfg = SimConfig::with_shape(2, 2)?; // 2 Slices, 128 KB L2
+/// let trace = Benchmark::Gcc.generate(&TraceSpec::new(3_000, 1));
+/// let result = Simulator::new(cfg)?.run(&trace);
+/// assert!(result.ipc() > 0.05);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration is invalid.
+    pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        Ok(Simulator { cfg })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs a trace to completion and returns the result.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> SimResult {
+        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
+        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        engine.run_chunk(&mut mem, trace.insts());
+        let mut result = engine.finish(trace.name());
+        VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        result
+    }
+
+    /// Runs a trace with the L2 banks at explicit network distances — the
+    /// hypervisor's real placement for a lease (e.g.
+    /// `sharing_hv::Lease::bank_distances`) rather than the default compact
+    /// ring. A crowded chip hands out distant banks, and this is where
+    /// that shows up as cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank_distances.len()` differs from the configured bank
+    /// count.
+    #[must_use]
+    pub fn run_placed(&self, trace: &Trace, bank_distances: Vec<u32>) -> SimResult {
+        assert_eq!(
+            bank_distances.len(),
+            self.cfg.l2_banks(),
+            "one distance per configured bank"
+        );
+        let mut mem = MemorySystem::private_placed(bank_distances, self.cfg.mem.memory_delay);
+        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        engine.run_chunk(&mut mem, trace.insts());
+        let mut result = engine.finish(trace.name());
+        VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        result
+    }
+
+    /// Runs a trace with dataflow verification: the engine computes every
+    /// instruction's architectural value through its own rename and
+    /// store-forwarding bookkeeping, and the committed destination-value
+    /// stream is compared against the reference
+    /// [`sharing_isa::Interpreter`]. Returns the result and whether the
+    /// streams matched exactly.
+    ///
+    /// A `false` here means the pipeline model broke program semantics —
+    /// e.g. forwarded from the wrong store or resolved a stale register
+    /// version.
+    #[must_use]
+    pub fn run_verified(&self, trace: &Trace) -> (SimResult, bool) {
+        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
+        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        engine.enable_verification();
+        engine.run_chunk(&mut mem, trace.insts());
+        let committed = engine
+            .committed_values()
+            .expect("verification enabled")
+            .to_vec();
+        let mut result = engine.finish(trace.name());
+        VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        let reference = sharing_isa::Interpreter::new().run(trace.insts());
+        (result, committed == reference)
+    }
+
+    /// Runs a trace and returns per-instruction timing records alongside
+    /// the result (tests/debugging; memory grows with trace length).
+    #[must_use]
+    pub fn run_detailed(&self, trace: &Trace) -> (SimResult, Vec<crate::engine::InstTiming>) {
+        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
+        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        engine.enable_recording();
+        engine.run_chunk(&mut mem, trace.insts());
+        let timings = engine.timings().expect("recording enabled").to_vec();
+        let mut result = engine.finish(trace.name());
+        VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        (result, timings)
+    }
+}
+
+/// Runs a sequence of (trace phase, configuration) pairs on a dynamically
+/// reconfigured VCore, charging the paper's reconfiguration costs between
+/// phases (§5.10). Caches and predictors restart cold per phase — matching
+/// the L2-flush semantics of reconfiguration — and the returned cycle count
+/// includes the reconfiguration stalls.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if any phase configuration is invalid.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty.
+pub fn run_phased(
+    phases: &[(Trace, SimConfig)],
+    costs: ReconfigCosts,
+) -> Result<SimResult, ConfigError> {
+    assert!(!phases.is_empty(), "at least one phase required");
+    let mut total = SimResult {
+        workload: phases[0].0.name().to_string(),
+        ..SimResult::default()
+    };
+    let mut prev_shape = None;
+    for (trace, cfg) in phases {
+        let r = Simulator::new(cfg.clone())?.run(trace);
+        if let Some(prev) = prev_shape {
+            total.cycles += costs.cost(prev, cfg.shape());
+        }
+        prev_shape = Some(cfg.shape());
+        total.cycles += r.cycles;
+        total.instructions += r.instructions;
+        total.mem.lsq_violations += r.mem.lsq_violations;
+        total.predictor.predictions += r.predictor.predictions;
+        total.predictor.mispredictions += r.predictor.mispredictions;
+    }
+    total.shape = prev_shape;
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::VCoreShape;
+    use sharing_trace::{Benchmark, Trace, TraceSpec};
+
+    fn gcc(len: usize) -> Trace {
+        Benchmark::Gcc.generate(&TraceSpec::new(len, 7))
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let cfg = SimConfig::with_shape(1, 2).unwrap();
+        let r = Simulator::new(cfg).unwrap().run(&gcc(2_000));
+        assert_eq!(r.instructions, 2_000);
+        assert!(r.cycles > 2_000, "one ALU cannot exceed IPC 1 overall");
+        assert_eq!(r.shape, Some(VCoreShape::new(1, 2).unwrap()));
+        assert!(r.mem.l1d.accesses > 0);
+        assert!(r.predictor.predictions > 0);
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let cfg = SimConfig::with_shape(3, 4).unwrap();
+        let t = gcc(3_000);
+        let a = Simulator::new(cfg.clone()).unwrap().run(&t);
+        let b = Simulator::new(cfg).unwrap().run(&t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_slices_help_an_ilp_workload() {
+        let t = Benchmark::Libquantum.generate(&TraceSpec::new(8_000, 3));
+        let one = Simulator::new(SimConfig::with_shape(1, 2).unwrap())
+            .unwrap()
+            .run(&t);
+        let four = Simulator::new(SimConfig::with_shape(4, 2).unwrap())
+            .unwrap()
+            .run(&t);
+        assert!(
+            four.ipc() > one.ipc() * 1.3,
+            "4 slices {:.3} should beat 1 slice {:.3}",
+            four.ipc(),
+            one.ipc()
+        );
+    }
+
+    #[test]
+    fn timing_invariants_hold() {
+        let cfg = SimConfig::with_shape(4, 2).unwrap();
+        let (r, timings) = Simulator::new(cfg).unwrap().run_detailed(&gcc(2_000));
+        assert_eq!(timings.len() as u64, r.instructions);
+        let mut prev_commit = 0;
+        for t in &timings {
+            assert!(t.dispatch > t.fetch, "dispatch after fetch: {t:?}");
+            assert!(t.issue > t.dispatch, "issue after dispatch: {t:?}");
+            assert!(t.exec_done > t.issue, "exec after issue: {t:?}");
+            assert!(t.commit >= t.exec_done, "commit after exec: {t:?}");
+            assert!(t.commit >= prev_commit, "in-order commit: {t:?}");
+            assert!(t.slice < 4);
+            prev_commit = t.commit;
+        }
+    }
+
+    #[test]
+    fn gshare_predicts_every_branch_bimodal_does() {
+        use crate::config::{ModelKnobs, PredictorKind};
+        let t = Benchmark::Gcc.generate(&TraceSpec::new(20_000, 5));
+        let bimodal = SimConfig::with_shape(1, 2).unwrap();
+        let gshare = SimConfig::builder()
+            .slices(1)
+            .l2_banks(2)
+            .knobs(ModelKnobs {
+                predictor: PredictorKind::Gshare { history_bits: 12 },
+                ..ModelKnobs::default()
+            })
+            .build()
+            .unwrap();
+        let rb = Simulator::new(bimodal).unwrap().run(&t);
+        let rg = Simulator::new(gshare).unwrap().run(&t);
+        assert_eq!(rb.instructions, rg.instructions);
+        assert_eq!(rb.predictor.predictions, rg.predictor.predictions);
+        assert!(rg.predictor.mispredict_rate() < 0.5);
+    }
+
+    #[test]
+    fn gshare_learns_patterned_branches_bimodal_cannot() {
+        use crate::config::{ModelKnobs, PredictorKind};
+        use sharing_trace::{ProgramGenerator, WorkloadProfile};
+        // A workload whose hard branches all follow short repeating
+        // patterns: correlated history, the textbook gshare win.
+        // One small loop, every branch patterned: deterministic history
+        // with few enough (pc, history) contexts to fit the table.
+        let p = WorkloadProfile::builder("patterned")
+            .chains(3)
+            .branch_frac(0.25)
+            .hard_branches(1.0, 0.5)
+            .pattern_branches(1.0)
+            .loops(1, 48, 100_000)
+            .build();
+        let t = ProgramGenerator::new(&p, sharing_trace::TraceSpec::new(30_000, 5))
+            .unwrap()
+            .generate_single();
+        let bimodal = SimConfig::with_shape(1, 2).unwrap();
+        let gshare = SimConfig::builder()
+            .slices(1)
+            .l2_banks(2)
+            .knobs(ModelKnobs {
+                predictor: PredictorKind::Gshare { history_bits: 10 },
+                ..ModelKnobs::default()
+            })
+            .build()
+            .unwrap();
+        let rb = Simulator::new(bimodal).unwrap().run(&t);
+        let rg = Simulator::new(gshare).unwrap().run(&t);
+        assert!(
+            rg.predictor.mispredict_rate() < 0.7 * rb.predictor.mispredict_rate(),
+            "gshare {:.3} should clearly beat bimodal {:.3} on periodic branches",
+            rg.predictor.mispredict_rate(),
+            rb.predictor.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn gshare_history_staleness_costs_accuracy_at_many_slices() {
+        use crate::config::{ModelKnobs, PredictorKind};
+        let t = Benchmark::Sjeng.generate(&TraceSpec::new(20_000, 5));
+        let mk = |slices: usize| {
+            SimConfig::builder()
+                .slices(slices)
+                .l2_banks(2)
+                .knobs(ModelKnobs {
+                    predictor: PredictorKind::Gshare { history_bits: 12 },
+                    ..ModelKnobs::default()
+                })
+                .build()
+                .unwrap()
+        };
+        let one = Simulator::new(mk(1)).unwrap().run(&t);
+        let eight = Simulator::new(mk(8)).unwrap().run(&t);
+        // The composed (delayed) GHR can only hurt accuracy.
+        assert!(
+            eight.predictor.mispredict_rate() >= one.predictor.mispredict_rate() - 0.01,
+            "stale history should not improve prediction: {:.3} vs {:.3}",
+            eight.predictor.mispredict_rate(),
+            one.predictor.mispredict_rate()
+        );
+    }
+
+    #[test]
+    fn dataflow_verification_passes_on_real_workloads() {
+        for bench in [Benchmark::Gcc, Benchmark::Mcf, Benchmark::Libquantum] {
+            let t = bench.generate(&TraceSpec::new(5_000, 17));
+            for (s, b) in [(1, 0), (4, 4), (8, 2)] {
+                let cfg = SimConfig::with_shape(s, b).unwrap();
+                let (r, ok) = Simulator::new(cfg).unwrap().run_verified(&t);
+                assert!(ok, "{bench} at {s}s/{b}b diverged from the interpreter");
+                assert_eq!(r.instructions, 5_000);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_a_noop() {
+        let cfg = SimConfig::with_shape(4, 4).unwrap();
+        let r = Simulator::new(cfg).unwrap().run(&Trace::from_insts("empty", vec![]));
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.ipc(), 0.0);
+    }
+
+    #[test]
+    fn single_instruction_commits() {
+        use sharing_isa::{ArchReg, DynInst};
+        let cfg = SimConfig::with_shape(8, 0).unwrap();
+        let t = Trace::from_insts("one", vec![DynInst::alu(0x40, ArchReg::new(1), &[])]);
+        let r = Simulator::new(cfg).unwrap().run(&t);
+        assert_eq!(r.instructions, 1);
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn taken_jump_chains_stress_the_front_end() {
+        use sharing_isa::DynInst;
+        // Every instruction is a taken jump: each fetch group is one
+        // instruction, and BTB misses bubble until targets are learned.
+        let insts: Vec<DynInst> = (0..512)
+            .map(|i| {
+                let pc = 0x1000 + 8 * (i % 64);
+                let target = 0x1000 + 8 * ((i + 1) % 64);
+                DynInst::jump(pc, target)
+            })
+            .collect();
+        let t = Trace::from_insts("jumps", insts);
+        let r = Simulator::new(SimConfig::with_shape(2, 1).unwrap())
+            .unwrap()
+            .run(&t);
+        assert_eq!(r.instructions, 512);
+        // One-instruction fetch groups cap IPC at ~1.
+        assert!(r.ipc() <= 1.05, "jump chain IPC {:.2}", r.ipc());
+        assert!(r.predictor.btb_misses >= 32, "cold BTB must miss");
+    }
+
+    #[test]
+    fn store_only_and_load_only_traces_are_total() {
+        use sharing_isa::{ArchReg, DynInst, MemSize};
+        let r1 = ArchReg::new(1);
+        let stores: Vec<DynInst> = (0..256)
+            .map(|i| DynInst::store(4 * i, r1, None, 0x1000 + 8 * i, MemSize::B8))
+            .collect();
+        let loads: Vec<DynInst> = (0..256)
+            .map(|i| DynInst::load(4 * i, r1, None, 0x1000 + 8 * i, MemSize::B8))
+            .collect();
+        let cfg = SimConfig::with_shape(2, 2).unwrap();
+        let rs = Simulator::new(cfg.clone()).unwrap().run(&Trace::from_insts("st", stores));
+        let rl = Simulator::new(cfg).unwrap().run(&Trace::from_insts("ld", loads));
+        assert_eq!(rs.instructions, 256);
+        assert_eq!(rl.instructions, 256);
+        assert_eq!(rs.mem.l1d.accesses, 256);
+        assert!(rl.mem.l1d.accesses >= 256);
+    }
+
+    #[test]
+    fn per_slice_stats_show_balanced_interleaving() {
+        let cfg = SimConfig::with_shape(4, 2).unwrap();
+        let r = Simulator::new(cfg).unwrap().run(&gcc(20_000));
+        assert_eq!(r.per_slice.len(), 4);
+        // PC interleaving spreads predictions; line interleaving spreads
+        // D-cache traffic. Neither should be wildly lopsided.
+        let preds: Vec<u64> = r.per_slice.iter().map(|s| s.predictor.predictions).collect();
+        let accs: Vec<u64> = r.per_slice.iter().map(|s| s.l1d.accesses).collect();
+        let spread = |v: &[u64]| {
+            let max = *v.iter().max().unwrap() as f64;
+            let min = *v.iter().min().unwrap() as f64;
+            max / min.max(1.0)
+        };
+        assert!(spread(&preds) < 4.0, "prediction spread {preds:?}");
+        assert!(spread(&accs) < 3.0, "L1D access spread {accs:?}");
+        // Per-slice counters sum to the aggregate.
+        assert_eq!(
+            preds.iter().sum::<u64>(),
+            r.predictor.predictions,
+            "per-slice predictions must sum to the aggregate"
+        );
+        assert_eq!(accs.iter().sum::<u64>(), r.mem.l1d.accesses);
+    }
+
+    #[test]
+    fn phased_run_charges_reconfiguration() {
+        let t = gcc(4_000);
+        let phases = t.split_phases(2);
+        let cfg_a = SimConfig::with_shape(2, 2).unwrap();
+        let cfg_b = SimConfig::with_shape(2, 4).unwrap();
+        let phased = run_phased(
+            &[(phases[0].clone(), cfg_a.clone()), (phases[1].clone(), cfg_b)],
+            ReconfigCosts::paper(),
+        )
+        .unwrap();
+        let same = run_phased(
+            &[(phases[0].clone(), cfg_a.clone()), (phases[1].clone(), cfg_a)],
+            ReconfigCosts::paper(),
+        )
+        .unwrap();
+        assert_eq!(phased.instructions, 4_000);
+        // Cache change costs 10 000; slice-identical costs 0.
+        assert!(phased.cycles >= same.cycles.saturating_sub(20_000) );
+        let raw_a = Simulator::new(SimConfig::with_shape(2, 2).unwrap())
+            .unwrap()
+            .run(&phases[0]);
+        assert!(phased.cycles > raw_a.cycles, "includes both phases");
+    }
+}

@@ -1,0 +1,144 @@
+//! Table 1 of the paper: which structures are replicated vs partitioned.
+//!
+//! When multiple Slices execute one sequential program, each intra-core
+//! component is either **replicated** (each Slice has a full private copy,
+//! sized for the largest configuration) or **partitioned** (the logical
+//! capacity scales with Slice count). This module encodes the paper's
+//! decisions so the rest of the code (and its tests) can assert capacity
+//! scaling against them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An intra-core structure from Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Structure {
+    BranchPredictor,
+    Btb,
+    Scoreboard,
+    IssueWindow,
+    LoadQueue,
+    StoreQueue,
+    Rob,
+    LocalRat,
+    GlobalRat,
+    PhysicalRegisterFile,
+}
+
+/// Replication vs partitioning (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every Slice keeps a full copy; logical capacity does not grow with
+    /// Slice count.
+    Replicated,
+    /// Entries are spread across Slices; logical capacity grows linearly
+    /// with Slice count.
+    Partitioned,
+}
+
+impl Structure {
+    /// All structures, in Table 1's column order.
+    pub const ALL: [Structure; 10] = [
+        Structure::BranchPredictor,
+        Structure::Btb,
+        Structure::Scoreboard,
+        Structure::IssueWindow,
+        Structure::LoadQueue,
+        Structure::StoreQueue,
+        Structure::Rob,
+        Structure::LocalRat,
+        Structure::GlobalRat,
+        Structure::PhysicalRegisterFile,
+    ];
+
+    /// The paper's Table 1 assignment.
+    ///
+    /// The predictor tables are partitioned by PC interleaving (capacity
+    /// grows with Slices), the BTB is replicated (fake entries let every
+    /// Slice redirect), the scoreboard and RATs are replicated copies kept
+    /// coherent by the rename broadcast, and the windows/queues/ROB/LRF
+    /// partition so capacity scales.
+    #[must_use]
+    pub fn distribution(self) -> Distribution {
+        match self {
+            Structure::BranchPredictor
+            | Structure::IssueWindow
+            | Structure::LoadQueue
+            | Structure::StoreQueue
+            | Structure::Rob
+            | Structure::LocalRat
+            | Structure::PhysicalRegisterFile => Distribution::Partitioned,
+            Structure::Btb | Structure::Scoreboard | Structure::GlobalRat => {
+                Distribution::Replicated
+            }
+        }
+    }
+
+    /// Logical capacity visible to a program on an `n`-Slice VCore, given
+    /// the per-Slice capacity.
+    #[must_use]
+    pub fn logical_capacity(self, per_slice: usize, slices: usize) -> usize {
+        match self.distribution() {
+            Distribution::Partitioned => per_slice * slices,
+            Distribution::Replicated => per_slice,
+        }
+    }
+
+    /// Printable name matching the paper's Table 1 header.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::BranchPredictor => "Branch Predictor",
+            Structure::Btb => "BTB",
+            Structure::Scoreboard => "Scoreboard",
+            Structure::IssueWindow => "Issue Window",
+            Structure::LoadQueue => "Load Queue",
+            Structure::StoreQueue => "Store Queue",
+            Structure::Rob => "ROB",
+            Structure::LocalRat => "Local RAT",
+            Structure::GlobalRat => "Global RAT",
+            Structure::PhysicalRegisterFile => "Physical RF",
+        }
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_assignment() {
+        use Distribution::*;
+        assert_eq!(Structure::BranchPredictor.distribution(), Partitioned);
+        assert_eq!(Structure::Btb.distribution(), Replicated);
+        assert_eq!(Structure::Scoreboard.distribution(), Replicated);
+        assert_eq!(Structure::IssueWindow.distribution(), Partitioned);
+        assert_eq!(Structure::LoadQueue.distribution(), Partitioned);
+        assert_eq!(Structure::StoreQueue.distribution(), Partitioned);
+        assert_eq!(Structure::Rob.distribution(), Partitioned);
+        assert_eq!(Structure::LocalRat.distribution(), Partitioned);
+        assert_eq!(Structure::GlobalRat.distribution(), Replicated);
+        assert_eq!(Structure::PhysicalRegisterFile.distribution(), Partitioned);
+    }
+
+    #[test]
+    fn partitioned_capacity_scales_replicated_does_not() {
+        assert_eq!(Structure::Rob.logical_capacity(64, 4), 256);
+        assert_eq!(Structure::GlobalRat.logical_capacity(128, 4), 128);
+    }
+
+    #[test]
+    fn all_lists_each_once() {
+        let mut names: Vec<_> = Structure::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Structure::ALL.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Pipeline timeline rendering.
+//!
+//! Turns the per-instruction [`InstTiming`](crate::InstTiming) records of
+//! [`Simulator::run_detailed`](crate::Simulator::run_detailed) into a text
+//! Gantt chart (in the spirit of gem5's O3 pipeline viewer), which makes
+//! the Sharing Architecture's behaviours *visible*: the interleaved fetch
+//! groups marching across Slices, remote operands stretching the
+//! dispatch-to-issue span, loads sorting away to their home Slice and
+//! coming back late, the in-order commit frontier.
+//!
+//! ```text
+//! seq slice |f---d.i=e######c         | 0x10040: ld [0x1000...]
+//! ```
+//!
+//! Legend: `f` fetch, `d` dispatch, `i` issue, `e` execution complete,
+//! `c` commit; `-` front end, `.` waiting in the issue window, `=`
+//! executing, `#` waiting to commit.
+
+use crate::engine::InstTiming;
+use sharing_isa::DynInst;
+use std::fmt::Write as _;
+
+/// Renders a window of instructions as a pipeline chart.
+///
+/// `timings` and `insts` must be parallel slices (as produced by
+/// `run_detailed` and the trace it ran). At most `max_width` cycle columns
+/// are drawn; rows extending past the window are truncated with `>`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Example
+///
+/// ```
+/// use sharing_core::{timeline, SimConfig, Simulator};
+/// use sharing_trace::{Benchmark, TraceSpec};
+///
+/// let trace = Benchmark::Gcc.generate(&TraceSpec::new(64, 1));
+/// let (_, timings) = Simulator::new(SimConfig::with_shape(2, 2)?)?.run_detailed(&trace);
+/// let chart = timeline::render(&timings[..16], &trace.insts()[..16], 80);
+/// assert!(chart.contains("seq"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn render(timings: &[InstTiming], insts: &[DynInst], max_width: usize) -> String {
+    assert_eq!(
+        timings.len(),
+        insts.len(),
+        "one timing record per instruction required"
+    );
+    let max_width = max_width.max(16);
+    if timings.is_empty() {
+        return "(empty window)\n".to_string();
+    }
+    let t0 = timings.iter().map(|t| t.fetch).min().expect("non-empty");
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>5} {:>5} |{:-<max_width$}|", "seq", "slice", "cycles");
+    for (t, inst) in timings.iter().zip(insts) {
+        let col = |cycle: u64| (cycle - t0) as usize;
+        let mut row = vec![b' '; max_width];
+        let mut truncated = false;
+        for (from, to, ch) in [
+            (t.fetch, t.dispatch, b'-'),
+            (t.dispatch, t.issue, b'.'),
+            (t.issue, t.exec_done, b'='),
+            (t.exec_done, t.commit, b'#'),
+        ] {
+            for c in col(from) + 1..col(to) {
+                if c < max_width {
+                    row[c] = ch;
+                }
+            }
+        }
+        for (cycle, ch) in [
+            (t.fetch, b'f'),
+            (t.dispatch, b'd'),
+            (t.issue, b'i'),
+            (t.exec_done, b'e'),
+            (t.commit, b'c'),
+        ] {
+            let pos = col(cycle);
+            if pos < max_width {
+                row[pos] = ch;
+            } else {
+                truncated = true;
+            }
+        }
+        if truncated {
+            row[max_width - 1] = b'>';
+        }
+        let lane = String::from_utf8(row).expect("ASCII marks only");
+        let _ = writeln!(out, "{:>5} {:>5} |{lane}| {inst}", t.seq, t.slice);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulator};
+    use sharing_trace::{Benchmark, TraceSpec};
+
+    fn sample(n: usize) -> (Vec<InstTiming>, sharing_trace::Trace) {
+        let trace = Benchmark::Gcc.generate(&TraceSpec::new(n, 3));
+        let (_, timings) = Simulator::new(SimConfig::with_shape(2, 2).unwrap())
+            .unwrap()
+            .run_detailed(&trace);
+        (timings, trace)
+    }
+
+    #[test]
+    fn renders_one_row_per_instruction() {
+        let (timings, trace) = sample(24);
+        let chart = render(&timings, trace.insts(), 100);
+        assert_eq!(chart.lines().count(), 25, "header + 24 rows");
+        for line in chart.lines().skip(1) {
+            assert!(line.contains('f'), "every row shows fetch: {line}");
+            assert!(line.contains('|'));
+        }
+    }
+
+    #[test]
+    fn markers_appear_in_pipeline_order() {
+        let (timings, trace) = sample(12);
+        let chart = render(&timings, trace.insts(), 200);
+        for line in chart.lines().skip(1) {
+            let lane = line.split('|').nth(1).expect("lane exists");
+            let pos = |ch: char| lane.find(ch);
+            if let (Some(f), Some(d)) = (pos('f'), pos('d')) {
+                assert!(f < d, "fetch before dispatch: {line}");
+            }
+            if let (Some(d), Some(i)) = (pos('d'), pos('i')) {
+                assert!(d < i, "dispatch before issue: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_rows_are_truncated_with_a_marker() {
+        let (timings, trace) = sample(64);
+        let chart = render(&timings, trace.insts(), 16);
+        // At 16 columns, later instructions necessarily run off the edge.
+        assert!(chart.lines().any(|l| l.contains('>')));
+        for line in chart.lines() {
+            let lane_len = line.split('|').nth(1).map_or(0, str::len);
+            assert!(lane_len <= 16);
+        }
+    }
+
+    #[test]
+    fn empty_window_is_graceful() {
+        assert_eq!(render(&[], &[], 40), "(empty window)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "one timing record per instruction")]
+    fn mismatched_slices_panic() {
+        let (timings, trace) = sample(4);
+        let _ = render(&timings[..2], trace.insts(), 40);
+    }
+}

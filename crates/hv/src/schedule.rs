@@ -1,0 +1,244 @@
+//! Time-sliced hosting (paper §3.8).
+//!
+//! "We propose having the hypervisor be time sliced on the same resources
+//! as the client VMs. But, unlike client VMs which run on reconfigurable
+//! cores, we propose having the hypervisor execute only on single-Slice
+//! VCores" — so it can locally reprogram protection registers and
+//! interconnect state to set up and tear down client VCores.
+//!
+//! [`TimeSlicer`] simulates that hosting loop over a [`Chip`]: each epoch
+//! the hypervisor takes its management quantum on one Slice, admits queued
+//! tenants (compacting the chip when fragmentation blocks an otherwise
+//! satisfiable lease), advances every running tenant by the scheduling
+//! quantum, and releases finished VCores.
+
+use crate::chip::Chip;
+use crate::hypervisor::{HvError, Hypervisor, LeaseId};
+use serde::{Deserialize, Serialize};
+use sharing_core::VCoreShape;
+use std::collections::VecDeque;
+
+/// A client VM awaiting or consuming cycles.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tenant {
+    /// Display name.
+    pub name: String,
+    /// The VCore shape the tenant leases.
+    pub shape: VCoreShape,
+    /// Cycles of work remaining.
+    pub remaining_cycles: u64,
+}
+
+impl Tenant {
+    /// Creates a tenant.
+    #[must_use]
+    pub fn new(name: impl Into<String>, shape: VCoreShape, cycles: u64) -> Self {
+        Tenant {
+            name: name.into(),
+            shape,
+            remaining_cycles: cycles,
+        }
+    }
+}
+
+/// Outcome of a hosting run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Total wall-clock cycles (epochs × (quantum + hypervisor overhead)).
+    pub total_cycles: u64,
+    /// Cycles spent in the hypervisor's management quantum.
+    pub hypervisor_cycles: u64,
+    /// Completion time (in cycles) per tenant, in finish order.
+    pub completions: Vec<(String, u64)>,
+    /// Chip compactions performed to admit blocked tenants.
+    pub compactions: u64,
+    /// Peak number of concurrently hosted tenants.
+    pub peak_tenants: usize,
+}
+
+impl ScheduleReport {
+    /// Fraction of machine time consumed by the hypervisor.
+    #[must_use]
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.hypervisor_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+/// The time-sliced hosting loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeSlicer {
+    /// Client scheduling quantum, in cycles.
+    pub quantum: u64,
+    /// Hypervisor management overhead per epoch, in cycles (it runs on a
+    /// single-Slice VCore while clients are paused).
+    pub hypervisor_overhead: u64,
+}
+
+impl TimeSlicer {
+    /// A slicer with a typical quantum:overhead ratio (management costs a
+    /// fraction of a percent of machine time).
+    #[must_use]
+    pub fn new(quantum: u64, hypervisor_overhead: u64) -> Self {
+        assert!(quantum > 0, "quantum must be positive");
+        TimeSlicer {
+            quantum,
+            hypervisor_overhead,
+        }
+    }
+
+    /// Hosts `tenants` (admitted in order) on `chip` until all complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tenant's shape can never fit the chip, even when
+    /// empty — the request is unsatisfiable rather than queued.
+    #[must_use]
+    pub fn run(&self, chip: Chip, tenants: Vec<Tenant>) -> ScheduleReport {
+        let total_slices = chip.total_slices();
+        let total_banks = chip.total_banks();
+        for t in &tenants {
+            assert!(
+                t.shape.slices <= total_slices && t.shape.l2_banks <= total_banks,
+                "tenant {} wants {} which can never fit this chip",
+                t.name,
+                t.shape
+            );
+        }
+        let mut hv = Hypervisor::new(chip);
+        let mut waiting: VecDeque<Tenant> = tenants.into();
+        let mut running: Vec<(LeaseId, Tenant)> = Vec::new();
+        let mut report = ScheduleReport {
+            epochs: 0,
+            total_cycles: 0,
+            hypervisor_cycles: 0,
+            completions: Vec::new(),
+            compactions: 0,
+            peak_tenants: 0,
+        };
+        while !(waiting.is_empty() && running.is_empty()) {
+            report.epochs += 1;
+            report.hypervisor_cycles += self.hypervisor_overhead;
+            report.total_cycles += self.hypervisor_overhead;
+
+            // Admission: lease as many queued tenants as fit, in order;
+            // when fragmentation (not capacity) blocks, compact once.
+            while let Some(next) = waiting.front() {
+                match hv.lease(next.shape) {
+                    Ok(id) => {
+                        let t = waiting.pop_front().expect("front exists");
+                        running.push((id, t));
+                    }
+                    Err(HvError::NoContiguousSlices(_)) => {
+                        let free_slices =
+                            total_slices - hv.stats().slices_used;
+                        if free_slices >= next.shape.slices && hv.compact() > 0 {
+                            report.compactions += 1;
+                            continue; // retry after defragmentation
+                        }
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            report.peak_tenants = report.peak_tenants.max(running.len());
+
+            // Client quantum.
+            report.total_cycles += self.quantum;
+            let mut still_running = Vec::with_capacity(running.len());
+            for (id, mut t) in running {
+                t.remaining_cycles = t.remaining_cycles.saturating_sub(self.quantum);
+                if t.remaining_cycles == 0 {
+                    report.completions.push((t.name, report.total_cycles));
+                    hv.release(id).expect("running lease is live");
+                } else {
+                    still_running.push((id, t));
+                }
+            }
+            running = still_running;
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(s: usize, b: usize) -> VCoreShape {
+        VCoreShape::new(s, b).unwrap()
+    }
+
+    #[test]
+    fn everything_completes_and_overhead_is_accounted() {
+        let slicer = TimeSlicer::new(10_000, 100);
+        let report = slicer.run(
+            Chip::new(2, 8),
+            vec![
+                Tenant::new("a", shape(2, 2), 25_000),
+                Tenant::new("b", shape(1, 0), 5_000),
+            ],
+        );
+        assert_eq!(report.completions.len(), 2);
+        // b finishes after one epoch, a after three.
+        assert_eq!(report.epochs, 3);
+        assert_eq!(report.hypervisor_cycles, 300);
+        assert!((report.overhead_fraction() - 300.0 / 30_300.0).abs() < 1e-12);
+        // b completes before a.
+        assert_eq!(report.completions[0].0, "b");
+    }
+
+    #[test]
+    fn queueing_when_the_chip_is_full() {
+        // One row of 4 slices; two tenants of 3 slices each cannot coexist.
+        let slicer = TimeSlicer::new(1_000, 0);
+        let report = slicer.run(
+            Chip::new(1, 8),
+            vec![
+                Tenant::new("first", shape(3, 0), 1_000),
+                Tenant::new("second", shape(3, 0), 1_000),
+            ],
+        );
+        assert_eq!(report.epochs, 2, "second must wait for first");
+        assert_eq!(report.peak_tenants, 1);
+        assert_eq!(report.completions[0].0, "first");
+    }
+
+    #[test]
+    fn small_tenants_share_an_epoch() {
+        let slicer = TimeSlicer::new(1_000, 0);
+        let report = slicer.run(
+            Chip::new(2, 8),
+            vec![
+                Tenant::new("a", shape(1, 1), 1_000),
+                Tenant::new("b", shape(1, 1), 1_000),
+                Tenant::new("c", shape(1, 1), 1_000),
+            ],
+        );
+        assert_eq!(report.epochs, 1);
+        assert_eq!(report.peak_tenants, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "can never fit")]
+    fn impossible_tenant_rejected() {
+        let slicer = TimeSlicer::new(1_000, 0);
+        let _ = slicer.run(
+            Chip::new(1, 4), // 2 slices
+            vec![Tenant::new("huge", shape(8, 0), 1_000)],
+        );
+    }
+
+    #[test]
+    fn overhead_fraction_zero_without_overhead() {
+        let slicer = TimeSlicer::new(500, 0);
+        let report = slicer.run(Chip::new(1, 4), vec![Tenant::new("a", shape(1, 0), 400)]);
+        assert_eq!(report.overhead_fraction(), 0.0);
+        assert_eq!(report.total_cycles, 500);
+    }
+}

@@ -1,0 +1,270 @@
+//! A tiny assembler for hand-written test programs.
+//!
+//! The simulator consumes committed-path dynamic instructions; for unit
+//! tests, pipeline studies and the `ssim --asm` flow it is handy to write
+//! those by hand instead of generating them. One instruction per line:
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! alu   r1, r2, r3        # r1 <- op(r2, r3)
+//! mul   r4, r4            # r4 <- op(r4)
+//! div   r5, r5
+//! ld    r2, [0x1000]      # load, absolute committed address
+//! ld    r2, [0x1000], r7  # with an address-base register
+//! st    r2, [0x1000]      # store r2
+//! br.t  0x40, r1          # conditional branch, taken, testing r1
+//! br.nt 0x40, r1          # not taken
+//! jmp   0x100
+//! nop
+//! ```
+//!
+//! Addresses and targets are the *committed* values, exactly as a trace
+//! record carries them. PCs are assigned sequentially from a base (4 bytes
+//! per instruction).
+
+use crate::inst::{DynInst, InstKind, MemSize};
+use crate::regs::ArchReg;
+use std::fmt;
+
+/// An assembly error with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, AsmError> {
+    let idx = tok
+        .strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .ok_or_else(|| err(line, format!("expected a register, got `{tok}`")))?;
+    ArchReg::try_new(idx).ok_or_else(|| err(line, format!("register `{tok}` out of range")))
+}
+
+fn parse_num(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    parsed.map_err(|_| err(line, format!("expected a number, got `{tok}`")))
+}
+
+fn parse_addr(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [address], got `{tok}`")))?;
+    parse_num(inner, line)
+}
+
+/// Assembles a program into dynamic instructions, assigning PCs
+/// sequentially from `base_pc`.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use sharing_isa::asm::assemble;
+///
+/// let prog = assemble(
+///     "alu r1, r1
+///      st  r1, [0x40]
+///      ld  r2, [0x40]
+///      br.nt 0x0, r2",
+///     0x1000,
+/// )?;
+/// assert_eq!(prog.len(), 4);
+/// assert_eq!(prog[0].pc, 0x1000);
+/// assert!(prog[2].kind.is_load());
+/// # Ok::<(), sharing_isa::asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str, base_pc: u64) -> Result<Vec<DynInst>, AsmError> {
+    let mut out = Vec::new();
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let pc = base_pc + 4 * out.len() as u64;
+        let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let args: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let arity = |want: std::ops::RangeInclusive<usize>| -> Result<(), AsmError> {
+            if want.contains(&args.len()) {
+                Ok(())
+            } else {
+                Err(err(
+                    line_no,
+                    format!("`{mnemonic}` takes {want:?} operands, got {}", args.len()),
+                ))
+            }
+        };
+        let inst = match mnemonic {
+            "alu" | "mul" | "div" => {
+                arity(1..=3)?;
+                let dst = parse_reg(args[0], line_no)?;
+                let srcs: Vec<ArchReg> = args[1..]
+                    .iter()
+                    .map(|t| parse_reg(t, line_no))
+                    .collect::<Result<_, _>>()?;
+                let mut inst = DynInst::alu(pc, dst, &srcs);
+                inst.kind = match mnemonic {
+                    "alu" => InstKind::IntAlu,
+                    "mul" => InstKind::IntMul,
+                    _ => InstKind::IntDiv,
+                };
+                inst
+            }
+            "ld" => {
+                arity(2..=3)?;
+                let dst = parse_reg(args[0], line_no)?;
+                let addr = parse_addr(args[1], line_no)?;
+                let base = args
+                    .get(2)
+                    .map(|t| parse_reg(t, line_no))
+                    .transpose()?;
+                DynInst::load(pc, dst, base, addr, MemSize::B8)
+            }
+            "st" => {
+                arity(2..=3)?;
+                let data = parse_reg(args[0], line_no)?;
+                let addr = parse_addr(args[1], line_no)?;
+                let base = args
+                    .get(2)
+                    .map(|t| parse_reg(t, line_no))
+                    .transpose()?;
+                DynInst::store(pc, data, base, addr, MemSize::B8)
+            }
+            "br.t" | "br.nt" => {
+                arity(2..=2)?;
+                let target = parse_num(args[0], line_no)?;
+                let cond = parse_reg(args[1], line_no)?;
+                DynInst::branch(pc, cond, mnemonic == "br.t", target)
+            }
+            "jmp" => {
+                arity(1..=1)?;
+                DynInst::jump(pc, parse_num(args[0], line_no)?)
+            }
+            "nop" => {
+                arity(0..=0)?;
+                DynInst::nop(pc)
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic `{other}`"))),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_every_mnemonic() {
+        let prog = assemble(
+            "# a demo of everything
+             alu r1, r2, r3
+             mul r4, r4
+             div r5, r5
+             ld  r2, [0x1000]
+             ld  r2, [0x1000], r7
+             st  r2, [0x2000]
+             br.t 0x40, r1
+             br.nt 0x44, r1
+             jmp 0x100
+             nop",
+            0x400,
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 10);
+        assert_eq!(prog[0].pc, 0x400);
+        assert_eq!(prog[9].pc, 0x400 + 9 * 4);
+        assert!(matches!(prog[1].kind, InstKind::IntMul));
+        assert!(matches!(prog[2].kind, InstKind::IntDiv));
+        assert_eq!(prog[3].kind.mem_addr(), Some(0x1000));
+        // Loads carry their base register in the first source slot.
+        assert_eq!(prog[4].srcs[0], Some(ArchReg::new(7)));
+        assert!(prog[5].kind.is_store());
+        assert!(matches!(
+            prog[6].kind,
+            InstKind::Branch { taken: true, target: 0x40 }
+        ));
+        assert!(matches!(
+            prog[7].kind,
+            InstKind::Branch { taken: false, .. }
+        ));
+        assert!(matches!(prog[8].kind, InstKind::Jump { target: 0x100 }));
+        assert!(matches!(prog[9].kind, InstKind::Nop));
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let e = assemble("nop\n frobnicate r1", 0).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = assemble("ld r99, [0x0]", 0).unwrap_err();
+        assert!(e.message.contains("out of range"));
+
+        let e = assemble("ld r1, 0x40", 0).unwrap_err();
+        assert!(e.message.contains("[address]"));
+
+        let e = assemble("br.t r1", 0).unwrap_err();
+        assert!(e.message.contains("number") || e.message.contains("operands"));
+    }
+
+    #[test]
+    fn comments_and_blanks_do_not_consume_pcs() {
+        let prog = assemble("\n# header\nnop\n\n  # mid\nnop\n", 0).unwrap();
+        assert_eq!(prog.len(), 2);
+        assert_eq!(prog[1].pc, 4);
+    }
+
+    #[test]
+    fn wrong_arity_is_rejected() {
+        assert!(assemble("jmp 0x1, 0x2", 0).is_err());
+        assert!(assemble("nop r1", 0).is_err());
+        assert!(assemble("st r1", 0).is_err());
+    }
+
+    #[test]
+    fn assembled_program_runs_through_the_interpreter() {
+        use crate::interp::Interpreter;
+        let prog = assemble(
+            "alu r1, r1
+             st  r1, [0x100]
+             ld  r2, [0x100]
+             alu r3, r2",
+            0,
+        )
+        .unwrap();
+        let vals = Interpreter::new().run(&prog);
+        assert_eq!(vals.len(), 3); // alu, ld, alu
+    }
+}

@@ -1,0 +1,410 @@
+//! Dynamic instruction records.
+
+use crate::regs::ArchReg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Access width of a memory operation, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemSize {
+    /// 1-byte access.
+    B1,
+    /// 2-byte access.
+    B2,
+    /// 4-byte access.
+    B4,
+    /// 8-byte access.
+    B8,
+}
+
+impl MemSize {
+    /// The width in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+}
+
+impl Default for MemSize {
+    fn default() -> Self {
+        MemSize::B8
+    }
+}
+
+/// The operation class of a dynamic instruction.
+///
+/// This is the full set of behaviours the Sharing Architecture pipeline
+/// distinguishes: which issue window the instruction waits in (ALU vs
+/// load/store, §3.3 of the paper), its execution latency, whether it
+/// traverses the load/store sorting network, and whether the front end must
+/// predict it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply.
+    IntMul,
+    /// Multi-cycle integer divide.
+    IntDiv,
+    /// A load from memory. `addr` is the committed effective address.
+    Load {
+        /// Committed effective address.
+        addr: u64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// A store to memory. `addr` is the committed effective address.
+    Store {
+        /// Committed effective address.
+        addr: u64,
+        /// Access width.
+        size: MemSize,
+    },
+    /// Conditional branch with its committed outcome and target.
+    Branch {
+        /// Whether the branch was taken on the committed path.
+        taken: bool,
+        /// Branch target (meaningful whether or not taken; the fall-through
+        /// is `pc + 4`).
+        target: u64,
+    },
+    /// Unconditional direct jump (always taken, statically known target).
+    Jump {
+        /// Jump target.
+        target: u64,
+    },
+    /// Unconditional indirect jump (register target; needs the BTB).
+    JumpIndirect {
+        /// Committed target.
+        target: u64,
+    },
+    /// No-operation (still occupies fetch/ROB slots).
+    Nop,
+}
+
+impl InstKind {
+    /// Execution latency in cycles on the functional unit, excluding any
+    /// memory-system or network time.
+    #[must_use]
+    pub fn exec_latency(self) -> u32 {
+        match self {
+            InstKind::IntAlu | InstKind::Nop => 1,
+            InstKind::IntMul => 3,
+            InstKind::IntDiv => 12,
+            // Address generation; cache access time is added by the memory
+            // system.
+            InstKind::Load { .. } | InstKind::Store { .. } => 1,
+            InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::JumpIndirect { .. } => 1,
+        }
+    }
+
+    /// Whether this instruction occupies the load/store pipeline (and the
+    /// distributed LSQ) rather than the ALU pipeline.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstKind::Load { .. } | InstKind::Store { .. })
+    }
+
+    /// Whether this is a load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, InstKind::Load { .. })
+    }
+
+    /// Whether this is a store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, InstKind::Store { .. })
+    }
+
+    /// Whether the front end must predict this instruction's direction
+    /// and/or target.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            InstKind::Branch { .. } | InstKind::Jump { .. } | InstKind::JumpIndirect { .. }
+        )
+    }
+
+    /// The committed effective address of a memory operation, if any.
+    #[must_use]
+    pub fn mem_addr(self) -> Option<u64> {
+        match self {
+            InstKind::Load { addr, .. } | InstKind::Store { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The committed control-flow target, if this is a control instruction.
+    #[must_use]
+    pub fn control_target(self) -> Option<u64> {
+        match self {
+            InstKind::Branch { target, .. }
+            | InstKind::Jump { target }
+            | InstKind::JumpIndirect { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// Source operands of an instruction (at most two, like the paper's
+/// two-operand Slice datapath).
+pub type SrcRegs = [Option<ArchReg>; 2];
+
+/// A committed-path dynamic instruction, as delivered by a trace.
+///
+/// This mirrors a GEM5 trace record: program counter, operation class with
+/// committed effective address / branch outcome, and architectural operand
+/// names. The out-of-order machinery (renaming, speculation, replay) is the
+/// simulator's job; the trace only fixes the committed path.
+///
+/// # Example
+///
+/// ```
+/// use sharing_isa::{ArchReg, DynInst, InstKind, MemSize};
+///
+/// let ld = DynInst::load(0x400, ArchReg::new(1), Some(ArchReg::new(2)), 0x8000, MemSize::B8);
+/// assert!(ld.kind.is_load());
+/// assert_eq!(ld.kind.mem_addr(), Some(0x8000));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Operation class and committed outcome.
+    pub kind: InstKind,
+    /// Destination architectural register, if the instruction writes one.
+    pub dst: Option<ArchReg>,
+    /// Source architectural registers (up to two).
+    pub srcs: SrcRegs,
+}
+
+impl DynInst {
+    /// Builds a single-cycle ALU instruction `dst <- op(srcs…)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two source registers are supplied.
+    #[must_use]
+    pub fn alu(pc: u64, dst: ArchReg, srcs: &[ArchReg]) -> Self {
+        Self::with_kind(pc, InstKind::IntAlu, Some(dst), srcs)
+    }
+
+    /// Builds a multiply instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two source registers are supplied.
+    #[must_use]
+    pub fn mul(pc: u64, dst: ArchReg, srcs: &[ArchReg]) -> Self {
+        Self::with_kind(pc, InstKind::IntMul, Some(dst), srcs)
+    }
+
+    /// Builds a load `dst <- mem[addr]`, with `base` as the address operand.
+    #[must_use]
+    pub fn load(pc: u64, dst: ArchReg, base: Option<ArchReg>, addr: u64, size: MemSize) -> Self {
+        DynInst {
+            pc,
+            kind: InstKind::Load { addr, size },
+            dst: Some(dst),
+            srcs: [base, None],
+        }
+    }
+
+    /// Builds a store `mem[addr] <- data`, with `base` as the address operand.
+    #[must_use]
+    pub fn store(pc: u64, data: ArchReg, base: Option<ArchReg>, addr: u64, size: MemSize) -> Self {
+        DynInst {
+            pc,
+            kind: InstKind::Store { addr, size },
+            dst: None,
+            srcs: [Some(data), base],
+        }
+    }
+
+    /// Builds a conditional branch testing `cond`.
+    #[must_use]
+    pub fn branch(pc: u64, cond: ArchReg, taken: bool, target: u64) -> Self {
+        DynInst {
+            pc,
+            kind: InstKind::Branch { taken, target },
+            dst: None,
+            srcs: [Some(cond), None],
+        }
+    }
+
+    /// Builds an unconditional direct jump.
+    #[must_use]
+    pub fn jump(pc: u64, target: u64) -> Self {
+        DynInst {
+            pc,
+            kind: InstKind::Jump { target },
+            dst: None,
+            srcs: [None, None],
+        }
+    }
+
+    /// Builds a no-op.
+    #[must_use]
+    pub fn nop(pc: u64) -> Self {
+        DynInst {
+            pc,
+            kind: InstKind::Nop,
+            dst: None,
+            srcs: [None, None],
+        }
+    }
+
+    fn with_kind(pc: u64, kind: InstKind, dst: Option<ArchReg>, srcs: &[ArchReg]) -> Self {
+        assert!(srcs.len() <= 2, "at most two source operands supported");
+        let mut s: SrcRegs = [None, None];
+        for (slot, &r) in s.iter_mut().zip(srcs) {
+            *slot = Some(r);
+        }
+        DynInst {
+            pc,
+            kind,
+            dst,
+            srcs: s,
+        }
+    }
+
+    /// Iterates over the present source registers.
+    pub fn src_iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().flatten().copied()
+    }
+
+    /// The committed next-PC after this instruction (assuming 4-byte
+    /// instruction granularity).
+    #[must_use]
+    pub fn next_pc(&self) -> u64 {
+        match self.kind {
+            InstKind::Branch { taken: true, target }
+            | InstKind::Jump { target }
+            | InstKind::JumpIndirect { target } => target,
+            _ => self.pc.wrapping_add(4),
+        }
+    }
+
+    /// Shorthand for `self.kind.is_mem()`.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        self.kind.is_mem()
+    }
+
+    /// Shorthand for `self.kind.is_control()`.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        self.kind.is_control()
+    }
+}
+
+impl fmt::Display for DynInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}: ", self.pc)?;
+        match self.kind {
+            InstKind::IntAlu => write!(f, "alu")?,
+            InstKind::IntMul => write!(f, "mul")?,
+            InstKind::IntDiv => write!(f, "div")?,
+            InstKind::Load { addr, .. } => write!(f, "ld [{addr:#x}]")?,
+            InstKind::Store { addr, .. } => write!(f, "st [{addr:#x}]")?,
+            InstKind::Branch { taken, target } => {
+                write!(f, "br{} {target:#x}", if taken { ".t" } else { ".nt" })?
+            }
+            InstKind::Jump { target } => write!(f, "jmp {target:#x}")?,
+            InstKind::JumpIndirect { target } => write!(f, "jmpi {target:#x}")?,
+            InstKind::Nop => write!(f, "nop")?,
+        }
+        if let Some(d) = self.dst {
+            write!(f, " -> {d}")?;
+        }
+        let srcs: Vec<String> = self.src_iter().map(|r| r.to_string()).collect();
+        if !srcs.is_empty() {
+            write!(f, " <- {}", srcs.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_latencies_are_positive_and_ordered() {
+        assert_eq!(InstKind::IntAlu.exec_latency(), 1);
+        assert!(InstKind::IntMul.exec_latency() > InstKind::IntAlu.exec_latency());
+        assert!(InstKind::IntDiv.exec_latency() > InstKind::IntMul.exec_latency());
+    }
+
+    #[test]
+    fn classification_predicates() {
+        let ld = InstKind::Load {
+            addr: 0x10,
+            size: MemSize::B4,
+        };
+        let st = InstKind::Store {
+            addr: 0x10,
+            size: MemSize::B4,
+        };
+        let br = InstKind::Branch {
+            taken: true,
+            target: 0x40,
+        };
+        assert!(ld.is_mem() && ld.is_load() && !ld.is_store());
+        assert!(st.is_mem() && st.is_store() && !st.is_load());
+        assert!(br.is_control() && !br.is_mem());
+        assert!(!InstKind::IntAlu.is_mem() && !InstKind::IntAlu.is_control());
+    }
+
+    #[test]
+    fn next_pc_follows_committed_outcome() {
+        let r = ArchReg::new(1);
+        assert_eq!(DynInst::branch(0x100, r, true, 0x200).next_pc(), 0x200);
+        assert_eq!(DynInst::branch(0x100, r, false, 0x200).next_pc(), 0x104);
+        assert_eq!(DynInst::jump(0x100, 0x50).next_pc(), 0x50);
+        assert_eq!(DynInst::nop(0x100).next_pc(), 0x104);
+    }
+
+    #[test]
+    fn builders_populate_operands() {
+        let a = DynInst::alu(0, ArchReg::new(5), &[ArchReg::new(1), ArchReg::new(2)]);
+        assert_eq!(a.src_iter().count(), 2);
+        assert_eq!(a.dst, Some(ArchReg::new(5)));
+
+        let s = DynInst::store(0, ArchReg::new(3), Some(ArchReg::new(4)), 0x80, MemSize::B8);
+        assert_eq!(s.dst, None);
+        assert_eq!(s.src_iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two")]
+    fn too_many_sources_panics() {
+        let rs = [ArchReg::new(1), ArchReg::new(2), ArchReg::new(3)];
+        let _ = DynInst::alu(0, ArchReg::new(0), &rs);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_informative() {
+        let i = DynInst::load(0x400, ArchReg::new(1), Some(ArchReg::new(2)), 0x8000, MemSize::B8);
+        let s = i.to_string();
+        assert!(s.contains("ld"));
+        assert!(s.contains("0x8000"));
+        assert!(s.contains("r1"));
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::B1.bytes(), 1);
+        assert_eq!(MemSize::B2.bytes(), 2);
+        assert_eq!(MemSize::B4.bytes(), 4);
+        assert_eq!(MemSize::B8.bytes(), 8);
+        assert_eq!(MemSize::default(), MemSize::B8);
+    }
+}

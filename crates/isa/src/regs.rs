@@ -1,0 +1,123 @@
+//! Architectural register names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural general-purpose registers.
+///
+/// The paper's global logical register space is sized for the maximum
+/// number of Slices in a VCore; the *architectural* space it renames from is
+/// a conventional 32-entry RISC register file (GEM5's Alpha traces), which we
+/// mirror here.
+pub const NUM_ARCH_REGS: usize = 32;
+
+/// An architectural register name, `r0`..`r31`.
+///
+/// `ArchReg` is a validated newtype: it can only hold indices below
+/// [`NUM_ARCH_REGS`], so downstream tables (RATs, scoreboards) can index
+/// arrays without bounds anxiety.
+///
+/// # Example
+///
+/// ```
+/// use sharing_isa::ArchReg;
+/// let r = ArchReg::new(7);
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "r7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Self {
+        assert!(
+            (index as usize) < NUM_ARCH_REGS,
+            "architectural register index {index} out of range (max {})",
+            NUM_ARCH_REGS - 1
+        );
+        ArchReg(index)
+    }
+
+    /// Creates a register name without the range check, returning `None` when
+    /// out of range instead of panicking.
+    #[must_use]
+    pub fn try_new(index: u8) -> Option<Self> {
+        ((index as usize) < NUM_ARCH_REGS).then_some(ArchReg(index))
+    }
+
+    /// The register's index, `0..NUM_ARCH_REGS`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..NUM_ARCH_REGS as u8).map(ArchReg)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<ArchReg> for usize {
+    fn from(r: ArchReg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_accepts_valid_indices() {
+        for i in 0..NUM_ARCH_REGS as u8 {
+            assert_eq!(ArchReg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = ArchReg::new(NUM_ARCH_REGS as u8);
+    }
+
+    #[test]
+    fn try_new_is_total() {
+        assert!(ArchReg::try_new(0).is_some());
+        assert!(ArchReg::try_new(31).is_some());
+        assert!(ArchReg::try_new(32).is_none());
+        assert!(ArchReg::try_new(255).is_none());
+    }
+
+    #[test]
+    fn all_enumerates_each_register_once() {
+        let regs: Vec<_> = ArchReg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_matches_convention() {
+        assert_eq!(ArchReg::new(0).to_string(), "r0");
+        assert_eq!(format!("{:?}", ArchReg::new(31)), "r31");
+    }
+}

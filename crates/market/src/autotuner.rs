@@ -1,0 +1,305 @@
+//! Online configuration auto-tuning (paper §4).
+//!
+//! The paper's software story for customers without a performance model:
+//! "they could utilize an auto-tuner. The auto-tuner would slowly search
+//! the configuration space by varying the VM instance configuration …
+//! \[and\] pick good configurations provided a high-level goal from the
+//! user. Such an auto-tuning system would likely require the use of a
+//! heartbeat or performance feedback."
+//!
+//! [`AutoTuner`] is that loop: a deterministic hill climber over the
+//! `(slices, banks)` lattice that probes neighbouring configurations with
+//! a caller-supplied heartbeat (performance measurement), scores them with
+//! the customer's objective, and walks uphill until no neighbour improves.
+//! Unlike the exhaustive sweep in [`crate::optimize`], it needs no prior
+//! surface — only live feedback — and measures a handful of shapes rather
+//! than all 72.
+
+use crate::market::Market;
+use crate::utility::UtilityFn;
+use serde::{Deserialize, Serialize};
+use sharing_area::AreaModel;
+use sharing_core::{VCoreShape, MAX_L2_BANKS, MAX_SLICES};
+
+/// The high-level goal the user hands the tuner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Objective {
+    /// Maximize budget-constrained utility `v · P^k` under a market.
+    Utility {
+        /// The customer's utility function.
+        utility: UtilityFn,
+        /// Resource prices.
+        market: Market,
+        /// Customer budget.
+        budget: f64,
+    },
+    /// Maximize `P^k / area` (the Table 4 metrics).
+    PerfPerArea {
+        /// Performance exponent.
+        k: u32,
+        /// The area model.
+        area: AreaModel,
+    },
+    /// Maximize raw performance, cost be damned (a latency-obsessed
+    /// customer with headroom in their budget).
+    Performance,
+}
+
+impl Objective {
+    /// Scores a measured performance at a shape.
+    #[must_use]
+    pub fn score(&self, shape: VCoreShape, perf: f64) -> f64 {
+        match *self {
+            Objective::Utility {
+                utility,
+                market,
+                budget,
+            } => utility.evaluate(perf, market.affordable_cores(shape, budget)),
+            Objective::PerfPerArea { k, ref area } => {
+                perf.max(0.0).powi(k as i32) / area.vcore_mm2(shape.slices, shape.l2_banks)
+            }
+            Objective::Performance => perf,
+        }
+    }
+}
+
+/// One probe the tuner made.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Probe {
+    /// The shape measured.
+    pub shape: VCoreShape,
+    /// The heartbeat's performance reading.
+    pub perf: f64,
+    /// The objective score.
+    pub score: f64,
+}
+
+/// Neighbour moves on the configuration lattice: ±1 Slice, and the bank
+/// count halved/doubled (0 ↔ 1), matching the sweep grid's geometric cache
+/// axis.
+fn neighbors(s: VCoreShape) -> Vec<VCoreShape> {
+    let mut out = Vec::with_capacity(4);
+    if s.slices > 1 {
+        out.push(VCoreShape::new(s.slices - 1, s.l2_banks).expect("valid"));
+    }
+    if s.slices < MAX_SLICES {
+        out.push(VCoreShape::new(s.slices + 1, s.l2_banks).expect("valid"));
+    }
+    match s.l2_banks {
+        0 => out.push(VCoreShape::new(s.slices, 1).expect("valid")),
+        1 => {
+            out.push(VCoreShape::new(s.slices, 0).expect("valid"));
+            out.push(VCoreShape::new(s.slices, 2).expect("valid"));
+        }
+        b => {
+            out.push(VCoreShape::new(s.slices, b / 2).expect("valid"));
+            if b * 2 <= MAX_L2_BANKS {
+                out.push(VCoreShape::new(s.slices, b * 2).expect("valid"));
+            }
+        }
+    }
+    out
+}
+
+/// The online tuner.
+///
+/// # Example
+///
+/// ```
+/// use sharing_market::autotuner::{AutoTuner, Objective};
+/// use sharing_core::VCoreShape;
+///
+/// // A concave synthetic response: peak at 4 slices, 8 banks.
+/// let heartbeat = |s: VCoreShape| {
+///     let ds = (s.slices as f64 - 4.0).abs();
+///     let blog = if s.l2_banks == 0 { -1.0 } else { (s.l2_banks as f64).log2() };
+///     10.0 - ds - (blog - 3.0).abs()
+/// };
+/// let mut tuner = AutoTuner::new(VCoreShape::new(1, 0)?, Objective::Performance);
+/// let best = tuner.run(heartbeat, 50);
+/// assert!(tuner.converged());
+/// assert_eq!((best.slices, best.l2_banks), (4, 8));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AutoTuner {
+    objective: Objective,
+    current: VCoreShape,
+    best: Option<Probe>,
+    probes: Vec<Probe>,
+    converged: bool,
+}
+
+impl AutoTuner {
+    /// Starts a tuner at an initial configuration.
+    #[must_use]
+    pub fn new(start: VCoreShape, objective: Objective) -> Self {
+        AutoTuner {
+            objective,
+            current: start,
+            best: None,
+            probes: Vec::new(),
+            converged: false,
+        }
+    }
+
+    /// The configuration the tuner currently recommends.
+    #[must_use]
+    pub fn current(&self) -> VCoreShape {
+        self.best.map_or(self.current, |p| p.shape)
+    }
+
+    /// Whether the last step found no improving neighbour.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// Every probe made so far, in order.
+    #[must_use]
+    pub fn probes(&self) -> &[Probe] {
+        &self.probes
+    }
+
+    fn measure(&mut self, shape: VCoreShape, heartbeat: &mut impl FnMut(VCoreShape) -> f64) -> Probe {
+        if let Some(&p) = self.probes.iter().find(|p| p.shape == shape) {
+            return p; // already measured; reuse the heartbeat reading
+        }
+        let perf = heartbeat(shape);
+        let probe = Probe {
+            shape,
+            perf,
+            score: self.objective.score(shape, perf),
+        };
+        self.probes.push(probe);
+        probe
+    }
+
+    /// One tuning step: measure the current shape (if new) and its
+    /// neighbours, and move to the best improvement. Returns the new
+    /// recommendation.
+    pub fn step(&mut self, heartbeat: &mut impl FnMut(VCoreShape) -> f64) -> VCoreShape {
+        let here = self.measure(self.current, heartbeat);
+        if self.best.is_none_or(|b| here.score > b.score) {
+            self.best = Some(here);
+        }
+        let mut best_neighbor: Option<Probe> = None;
+        for n in neighbors(self.current) {
+            let p = self.measure(n, heartbeat);
+            if best_neighbor.is_none_or(|b| p.score > b.score) {
+                best_neighbor = Some(p);
+            }
+        }
+        match best_neighbor {
+            Some(n) if n.score > here.score => {
+                self.current = n.shape;
+                if self.best.is_none_or(|b| n.score > b.score) {
+                    self.best = Some(n);
+                }
+                self.converged = false;
+            }
+            _ => self.converged = true,
+        }
+        self.current()
+    }
+
+    /// Runs steps until convergence or the probe budget is exhausted;
+    /// returns the best configuration found.
+    pub fn run(
+        &mut self,
+        mut heartbeat: impl FnMut(VCoreShape) -> f64,
+        probe_budget: usize,
+    ) -> VCoreShape {
+        while !self.converged && self.probes.len() < probe_budget {
+            self.step(&mut heartbeat);
+        }
+        self.current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unimodal(peak_s: usize, peak_b_log: i32) -> impl Fn(VCoreShape) -> f64 {
+        move |s: VCoreShape| {
+            let ds = (s.slices as f64 - peak_s as f64).abs();
+            let blog = if s.l2_banks == 0 {
+                -1.0
+            } else {
+                (s.l2_banks as f64).log2()
+            };
+            let db = (blog - f64::from(peak_b_log)).abs();
+            100.0 - 5.0 * ds - 3.0 * db
+        }
+    }
+
+    #[test]
+    fn climbs_to_a_unimodal_peak() {
+        // Raw-performance objective isolates the search behaviour.
+        let obj = Objective::Performance;
+        let f = unimodal(5, 3); // peak at 5 slices, 8 banks
+        let mut tuner = AutoTuner::new(VCoreShape::new(1, 0).unwrap(), obj);
+        let best = tuner.run(|s| f(s), 500);
+        assert!(tuner.converged());
+        assert_eq!(best.slices, 5, "found {best}");
+        assert_eq!(best.l2_banks, 8, "found {best}");
+    }
+
+    #[test]
+    fn probe_budget_bounds_measurements() {
+        let obj = Objective::PerfPerArea {
+            k: 1,
+            area: AreaModel::paper(),
+        };
+        let f = unimodal(8, 5);
+        let mut tuner = AutoTuner::new(VCoreShape::new(1, 0).unwrap(), obj);
+        tuner.run(|s| f(s), 7);
+        assert!(tuner.probes().len() <= 7 + 4, "one step may finish its frontier");
+    }
+
+    #[test]
+    fn repeated_shapes_are_not_remeasured() {
+        let obj = Objective::PerfPerArea {
+            k: 1,
+            area: AreaModel::paper(),
+        };
+        let mut calls = 0usize;
+        let mut tuner = AutoTuner::new(VCoreShape::new(2, 2).unwrap(), obj);
+        tuner.run(
+            |s| {
+                calls += 1;
+                unimodal(2, 1)(s)
+            },
+            200,
+        );
+        assert_eq!(calls, tuner.probes().len(), "each shape measured once");
+    }
+
+    #[test]
+    fn utility_objective_trades_core_count_for_speed() {
+        // With Utility1 (throughput) the tuner should prefer cheap shapes
+        // when performance is flat.
+        let obj = Objective::Utility {
+            utility: UtilityFn::Throughput,
+            market: Market::MARKET2,
+            budget: 64.0,
+        };
+        let mut tuner = AutoTuner::new(VCoreShape::new(4, 8).unwrap(), obj);
+        let best = tuner.run(|_| 1.0, 500);
+        assert!(tuner.converged());
+        assert_eq!(best.slices, 1, "flat perf → buy the cheapest core: {best}");
+        assert_eq!(best.l2_banks, 0);
+    }
+
+    #[test]
+    fn neighbors_stay_on_the_lattice() {
+        for s in VCoreShape::sweep_grid() {
+            for n in neighbors(s) {
+                assert!(n.slices >= 1 && n.slices <= MAX_SLICES);
+                assert!(n.l2_banks <= MAX_L2_BANKS);
+                assert_ne!(n, s);
+            }
+        }
+    }
+}

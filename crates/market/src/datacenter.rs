@@ -1,0 +1,250 @@
+//! Datacenter heterogeneity comparison (paper §5.9, Figure 17).
+//!
+//! A statically heterogeneous datacenter mixes "big" cores (for hmmer-class
+//! workloads the paper uses gobmk's peak-Utility1 shape: 3 Slices + 256 KB)
+//! and "small" cores (hmmer's peak: 1 Slice + 0 KB). For a fixed area
+//! budget, the study varies the big:small area split and the application
+//! mix, schedules the jobs onto the cores, and measures delivered
+//! throughput per area. The punchline: the best core ratio moves with the
+//! application mix, so *no* fixed ratio serves all mixes — whereas the
+//! Sharing Architecture re-synthesizes its cores on demand.
+
+use crate::surface::SuiteSurfaces;
+use serde::{Deserialize, Serialize};
+use sharing_area::AreaModel;
+use sharing_core::VCoreShape;
+use sharing_trace::Benchmark;
+
+/// The big core: gobmk's peak-Utility1 shape (3 Slices, 256 KB — the
+/// paper's §5.9 big core).
+#[must_use]
+pub fn big_core() -> VCoreShape {
+    VCoreShape::new(3, 4).expect("static shape is valid")
+}
+
+/// The small core: hmmer's peak-Utility1 shape. The paper measured
+/// 1 Slice + 0 KB; in this reproduction hmmer's measured peak carries one
+/// 64 KB bank (our no-L2 configurations are less catastrophic than the
+/// paper's — see EXPERIMENTS.md), so the small core is 1 Slice + 64 KB.
+#[must_use]
+pub fn small_core() -> VCoreShape {
+    VCoreShape::new(1, 1).expect("static shape is valid")
+}
+
+/// One cell of Figure 17: a core-area split and an application mix, with
+/// the throughput the mix achieves on that datacenter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MixPoint {
+    /// Fraction of datacenter area spent on big cores.
+    pub big_area_frac: f64,
+    /// Fraction of jobs that are the first application.
+    pub app_a_frac: f64,
+    /// Aggregate throughput per unit area (sum of per-core performance of
+    /// scheduled jobs, divided by datacenter area).
+    pub throughput_per_area: f64,
+}
+
+/// The completed study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatacenterStudy {
+    /// Application A (the paper uses hmmer).
+    pub app_a: Benchmark,
+    /// Application B (the paper uses gobmk).
+    pub app_b: Benchmark,
+    /// Swept core-area fractions.
+    pub big_fracs: Vec<f64>,
+    /// Swept application mixes.
+    pub app_fracs: Vec<f64>,
+    /// `points[mix][ratio]`.
+    pub points: Vec<Vec<MixPoint>>,
+}
+
+impl DatacenterStudy {
+    /// For each application mix, the big-core area fraction with the best
+    /// throughput per area.
+    #[must_use]
+    pub fn optimal_ratio_per_mix(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|row| {
+                let best = row
+                    .iter()
+                    .max_by(|a, b| a.throughput_per_area.total_cmp(&b.throughput_per_area))
+                    .expect("rows are non-empty");
+                (best.app_a_frac, best.big_area_frac)
+            })
+            .collect()
+    }
+
+    /// Whether the optimal core ratio changes across application mixes —
+    /// the paper's conclusion that "a fixed mixture of big and small cores
+    /// cannot always optimally service heterogeneous workloads".
+    #[must_use]
+    pub fn no_single_ratio_is_optimal(&self) -> bool {
+        let ratios: Vec<f64> = self
+            .optimal_ratio_per_mix()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        ratios
+            .iter()
+            .any(|&r| (r - ratios[0]).abs() > f64::EPSILON)
+    }
+}
+
+/// Schedules `jobs_a` + `jobs_b` onto `n_big` + `n_small` cores to
+/// maximize total delivered performance, one job per core. Jobs that find
+/// no core wait (contribute nothing); cores without jobs idle. Greedy on
+/// comparative advantage, optimal for two job classes and two core
+/// classes.
+fn schedule(
+    perf: impl Fn(Benchmark, VCoreShape) -> f64,
+    app_a: Benchmark,
+    app_b: Benchmark,
+    jobs_a: f64,
+    jobs_b: f64,
+    n_big: f64,
+    n_small: f64,
+) -> f64 {
+    let pa_big = perf(app_a, big_core());
+    let pa_small = perf(app_a, small_core());
+    let pb_big = perf(app_b, big_core());
+    let pb_small = perf(app_b, small_core());
+    // Give big cores to the class with the larger big-vs-small advantage.
+    let (first, first_jobs, second, second_jobs) = if pa_big - pa_small >= pb_big - pb_small {
+        ((pa_big, pa_small), jobs_a, (pb_big, pb_small), jobs_b)
+    } else {
+        ((pb_big, pb_small), jobs_b, (pa_big, pa_small), jobs_a)
+    };
+    let mut big_left = n_big;
+    let mut small_left = n_small;
+    let mut total = 0.0;
+    for ((p_big, p_small), mut jobs) in [(first, first_jobs), (second, second_jobs)] {
+        let on_big = jobs.min(big_left);
+        total += on_big * p_big;
+        big_left -= on_big;
+        jobs -= on_big;
+        let on_small = jobs.min(small_left);
+        total += on_small * p_small;
+        small_left -= on_small;
+        // Remaining jobs are queued: they contribute no additional
+        // simultaneous throughput.
+    }
+    total
+}
+
+/// Runs the Figure 17 study over the given suite surfaces.
+///
+/// The datacenter serves a **fixed customer population** of `J` jobs in
+/// the given application mix, on a fixed silicon budget sized between the
+/// all-small (`2J` bank-units) and all-big (`10J`) extremes — so choosing
+/// big cores genuinely trades machine count for per-machine performance.
+/// For each big-core area split, the jobs are scheduled for maximum
+/// delivered performance.
+#[must_use]
+pub fn run_study(
+    suite: &SuiteSurfaces,
+    app_a: Benchmark,
+    app_b: Benchmark,
+    area: &AreaModel,
+) -> DatacenterStudy {
+    let big_fracs: Vec<f64> = vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
+    let app_fracs: Vec<f64> = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    let jobs = 64.0;
+    let area_big = area.vcore_mm2(big_core().slices, big_core().l2_banks);
+    let area_small = area.vcore_mm2(small_core().slices, small_core().l2_banks);
+    // Budget between the all-small and all-big extremes: every job can get
+    // a small core with ~30% big-core headroom, so the machine-count vs
+    // per-machine-performance trade is live across the whole ratio sweep.
+    let total_area = jobs * (0.30 * area_big + 0.90 * area_small);
+    let perf = |b: Benchmark, s: VCoreShape| suite.surface(b).perf(s);
+    let mut points = Vec::new();
+    for &af in &app_fracs {
+        let mut row = Vec::new();
+        for &bf in &big_fracs {
+            let n_big = bf * total_area / area_big;
+            let n_small = (1.0 - bf) * total_area / area_small;
+            let jobs_a = af * jobs;
+            let jobs_b = (1.0 - af) * jobs;
+            let throughput = schedule(perf, app_a, app_b, jobs_a, jobs_b, n_big, n_small);
+            row.push(MixPoint {
+                big_area_frac: bf,
+                app_a_frac: af,
+                throughput_per_area: throughput / total_area,
+            });
+        }
+        points.push(row);
+    }
+    DatacenterStudy {
+        app_a,
+        app_b,
+        big_fracs,
+        app_fracs,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::{ExperimentSpec, PerfSurface};
+
+    fn synthetic_suite() -> SuiteSurfaces {
+        // hmmer-like: indifferent to size (slightly worse on big per-core
+        // area). gobmk-like: much faster on big cores.
+        let hmmer = PerfSurface::from_fn("hmmer", |s| 1.0 - 0.02 * s.slices as f64);
+        let gobmk = PerfSurface::from_fn("gobmk", |s| {
+            0.4 + 0.3 * s.slices.min(3) as f64 + 0.05 * s.l2_banks.min(4) as f64
+        });
+        let json = serde_json::json!({
+            "spec": ExperimentSpec::quick(),
+            "surfaces": { "Hmmer": hmmer, "Gobmk": gobmk }
+        });
+        serde_json::from_value(json).expect("well-formed synthetic suite")
+    }
+
+    #[test]
+    fn paper_core_shapes() {
+        assert_eq!(big_core().slices, 3);
+        assert_eq!(big_core().l2_kb(), 256);
+        assert_eq!(small_core().slices, 1);
+        assert_eq!(small_core().l2_kb(), 64);
+    }
+
+    #[test]
+    fn optimal_ratio_moves_with_mix() {
+        let suite = synthetic_suite();
+        let study = run_study(&suite, Benchmark::Hmmer, Benchmark::Gobmk, &AreaModel::paper());
+        assert!(study.no_single_ratio_is_optimal());
+        let ratios = study.optimal_ratio_per_mix();
+        // All-hmmer wants no big cores; all-gobmk wants many.
+        let all_hmmer = ratios.iter().find(|(a, _)| *a == 1.0).unwrap().1;
+        let all_gobmk = ratios.iter().find(|(a, _)| *a == 0.0).unwrap().1;
+        assert!(all_hmmer < all_gobmk);
+    }
+
+    #[test]
+    fn schedule_prefers_comparative_advantage() {
+        // app A: big 2.0 / small 1.0; app B: big 1.1 / small 1.0.
+        let perf = |b: Benchmark, s: VCoreShape| match (b, s.slices) {
+            (Benchmark::Hmmer, 3) => 2.0,
+            (Benchmark::Hmmer, _) => 1.0,
+            (Benchmark::Gobmk, 3) => 1.1,
+            _ => 1.0,
+        };
+        let total = schedule(perf, Benchmark::Hmmer, Benchmark::Gobmk, 1.0, 1.0, 1.0, 1.0);
+        // A on big (2.0) + B on small (1.0).
+        assert!((total - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_dimensions_match() {
+        let suite = synthetic_suite();
+        let study = run_study(&suite, Benchmark::Hmmer, Benchmark::Gobmk, &AreaModel::paper());
+        assert_eq!(study.points.len(), study.app_fracs.len());
+        assert!(study
+            .points
+            .iter()
+            .all(|row| row.len() == study.big_fracs.len()));
+    }
+}

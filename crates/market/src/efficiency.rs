@@ -1,0 +1,320 @@
+//! Market-efficiency studies (paper §5.8, Figures 15 and 16).
+//!
+//! The paper restricts these studies to Market 2 (prices = area) and asks:
+//! how much total utility does the reconfigurable Sharing Architecture
+//! deliver compared to
+//!
+//! 1. the **best static fixed architecture** — one `(cache, slices)` shape
+//!    chosen across all benchmarks and all three utility functions
+//!    (Figure 15, gains up to ≈5×), and
+//! 2. a **heterogeneous-style** baseline — for each utility function, the
+//!    shape optimal across the benchmark suite for that function
+//!    (Figure 16, gains over 3×)?
+//!
+//! Each study enumerates pairwise mixes of (benchmark, utility) customers
+//! and reports `(U₁(sharing)+U₂(sharing)) / (U₁(baseline)+U₂(baseline))`.
+
+use crate::market::Market;
+use crate::optimize::{best_utility, utility_at};
+use crate::surface::SuiteSurfaces;
+use crate::utility::{UtilityFn, ALL_UTILITIES};
+use serde::{Deserialize, Serialize};
+use sharing_core::VCoreShape;
+use sharing_trace::Benchmark;
+
+/// The utility gain of one pairwise customer mix.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairGain {
+    /// First customer.
+    pub a: (Benchmark, UtilityFn),
+    /// Second customer.
+    pub b: (Benchmark, UtilityFn),
+    /// `(U_a + U_b)` on the Sharing Architecture (per-customer optimum).
+    pub sharing: f64,
+    /// `(U_a + U_b)` on the baseline configuration(s).
+    pub baseline: f64,
+}
+
+impl PairGain {
+    /// The utility gain (≥ 1 means the Sharing Architecture wins).
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.sharing / self.baseline
+    }
+}
+
+/// A completed efficiency study.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EfficiencyStudy {
+    /// The baseline's label ("static fixed" or "heterogeneous").
+    pub baseline_name: String,
+    /// The baseline shape(s): one per utility function for the
+    /// heterogeneous study, a single entry for the fixed study.
+    pub baseline_shapes: Vec<(UtilityFn, VCoreShape)>,
+    /// Every pairwise permutation's gain.
+    pub pairs: Vec<PairGain>,
+}
+
+impl EfficiencyStudy {
+    /// The maximum gain across permutations (the paper's headline "up to
+    /// 5×" / "over 3×").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the study is empty.
+    #[must_use]
+    pub fn max_gain(&self) -> f64 {
+        self.pairs
+            .iter()
+            .map(PairGain::gain)
+            .max_by(f64::total_cmp)
+            .expect("study has permutations")
+    }
+
+    /// Geometric-mean gain across permutations.
+    #[must_use]
+    pub fn mean_gain(&self) -> f64 {
+        let log_sum: f64 = self.pairs.iter().map(|p| p.gain().ln()).sum();
+        (log_sum / self.pairs.len() as f64).exp()
+    }
+
+    /// Fraction of permutations where the Sharing Architecture strictly
+    /// wins.
+    #[must_use]
+    pub fn win_rate(&self) -> f64 {
+        let wins = self.pairs.iter().filter(|p| p.gain() > 1.0).count();
+        wins as f64 / self.pairs.len() as f64
+    }
+}
+
+/// All (benchmark, utility) customer kinds in a suite.
+fn customers(suite: &SuiteSurfaces) -> Vec<(Benchmark, UtilityFn)> {
+    let mut out = Vec::new();
+    for b in suite.benchmarks() {
+        for u in ALL_UTILITIES {
+            out.push((b, u));
+        }
+    }
+    out
+}
+
+/// The single shape maximizing the geometric mean of utility across every
+/// (benchmark, utility) customer — the best possible *fixed* multicore for
+/// this suite (§5.8's static baseline). Geometric mean, because utilities
+/// with different exponents live on incomparable scales.
+#[must_use]
+pub fn best_fixed_shape(suite: &SuiteSurfaces, market: &Market, budget: f64) -> VCoreShape {
+    let custs = customers(suite);
+    VCoreShape::sweep_grid()
+        .filter(|s| {
+            // A fixed design with zero cache would score zero for any
+            // benchmark that needs it; still allowed — the GME sorts it out.
+            s.slices >= 1
+        })
+        .max_by(|&x, &y| {
+            let score = |shape: VCoreShape| -> f64 {
+                custs
+                    .iter()
+                    .map(|&(b, u)| {
+                        utility_at(suite.surface(b), shape, u, market, budget)
+                            .max(f64::MIN_POSITIVE)
+                            .ln()
+                    })
+                    .sum()
+            };
+            score(x).total_cmp(&score(y))
+        })
+        .expect("sweep grid is non-empty")
+}
+
+/// For each utility function, the shape maximizing the geometric mean of
+/// that utility across benchmarks — what a heterogeneous multicore
+/// designed around these three customer classes would provision (§5.8's
+/// second baseline, after Guevara et al.).
+#[must_use]
+pub fn best_per_utility_shapes(
+    suite: &SuiteSurfaces,
+    market: &Market,
+    budget: f64,
+) -> Vec<(UtilityFn, VCoreShape)> {
+    ALL_UTILITIES
+        .iter()
+        .map(|&u| {
+            let shape = VCoreShape::sweep_grid()
+                .max_by(|&x, &y| {
+                    let score = |shape: VCoreShape| -> f64 {
+                        suite
+                            .iter()
+                            .map(|(_, surf)| {
+                                utility_at(surf, shape, u, market, budget)
+                                    .max(f64::MIN_POSITIVE)
+                                    .ln()
+                            })
+                            .sum()
+                    };
+                    score(x).total_cmp(&score(y))
+                })
+                .expect("sweep grid is non-empty");
+            (u, shape)
+        })
+        .collect()
+}
+
+fn pairwise_study(
+    suite: &SuiteSurfaces,
+    market: &Market,
+    budget: f64,
+    baseline_name: &str,
+    baseline_shapes: Vec<(UtilityFn, VCoreShape)>,
+    shape_for: impl Fn(UtilityFn) -> VCoreShape,
+) -> EfficiencyStudy {
+    let custs = customers(suite);
+    let sharing: Vec<f64> = custs
+        .iter()
+        .map(|&(b, u)| best_utility(suite.surface(b), u, market, budget).value)
+        .collect();
+    let baseline: Vec<f64> = custs
+        .iter()
+        .map(|&(b, u)| utility_at(suite.surface(b), shape_for(u), u, market, budget))
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..custs.len() {
+        for j in i..custs.len() {
+            pairs.push(PairGain {
+                a: custs[i],
+                b: custs[j],
+                sharing: sharing[i] + sharing[j],
+                baseline: (baseline[i] + baseline[j]).max(f64::MIN_POSITIVE),
+            });
+        }
+    }
+    EfficiencyStudy {
+        baseline_name: baseline_name.to_string(),
+        baseline_shapes,
+        pairs,
+    }
+}
+
+/// Figure 15: Sharing Architecture vs the best static fixed architecture.
+#[must_use]
+pub fn vs_static_fixed(suite: &SuiteSurfaces, market: &Market, budget: f64) -> EfficiencyStudy {
+    let fixed = best_fixed_shape(suite, market, budget);
+    pairwise_study(
+        suite,
+        market,
+        budget,
+        "static fixed",
+        vec![
+            (UtilityFn::Throughput, fixed),
+            (UtilityFn::Balanced, fixed),
+            (UtilityFn::LatencyCritical, fixed),
+        ],
+        |_| fixed,
+    )
+}
+
+/// Figure 16: Sharing Architecture vs per-utility-optimal (heterogeneous)
+/// configurations.
+#[must_use]
+pub fn vs_heterogeneous(suite: &SuiteSurfaces, market: &Market, budget: f64) -> EfficiencyStudy {
+    let shapes = best_per_utility_shapes(suite, market, budget);
+    let lookup = shapes.clone();
+    pairwise_study(
+        suite,
+        market,
+        budget,
+        "heterogeneous",
+        shapes,
+        move |u| {
+            lookup
+                .iter()
+                .find(|(uu, _)| *uu == u)
+                .expect("every utility has a baseline shape")
+                .1
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surface::{ExperimentSpec, PerfSurface};
+
+    /// A synthetic suite with two very different benchmarks: one loves
+    /// slices, one loves cache.
+    fn synthetic_suite() -> SuiteSurfaces {
+        let slices_lover = PerfSurface::from_fn("astar", |s| {
+            (s.slices as f64).sqrt() * (1.0 + 0.01 * s.l2_banks as f64)
+        });
+        let cache_lover = PerfSurface::from_fn("bzip", |s| {
+            (1.0 + (1.0 + s.l2_banks as f64).ln()) * (1.0 + 0.05 * s.slices as f64)
+        });
+        // Assemble by hand through serde (fields are private).
+        let json = serde_json::json!({
+            "spec": ExperimentSpec::quick(),
+            "surfaces": {
+                "Astar": slices_lover,
+                "Bzip": cache_lover,
+            }
+        });
+        serde_json::from_value(json).expect("well-formed synthetic suite")
+    }
+
+    #[test]
+    fn sharing_never_loses_to_fixed() {
+        let suite = synthetic_suite();
+        let study = vs_static_fixed(&suite, &Market::MARKET2, 100.0);
+        // Per-customer optimum dominates any single shape.
+        for p in &study.pairs {
+            assert!(
+                p.gain() >= 1.0 - 1e-12,
+                "sharing lost: {:?} gain {}",
+                p,
+                p.gain()
+            );
+        }
+        assert!(study.max_gain() >= study.mean_gain());
+    }
+
+    #[test]
+    fn heterogeneous_baseline_at_least_as_good_as_fixed() {
+        let suite = synthetic_suite();
+        let fixed = vs_static_fixed(&suite, &Market::MARKET2, 100.0);
+        let hetero = vs_heterogeneous(&suite, &Market::MARKET2, 100.0);
+        // Three shapes can only beat one shape, so gains shrink.
+        assert!(hetero.mean_gain() <= fixed.mean_gain() + 1e-9);
+    }
+
+    #[test]
+    fn pair_count_is_upper_triangle() {
+        let suite = synthetic_suite();
+        let study = vs_static_fixed(&suite, &Market::MARKET2, 100.0);
+        let n = 2 * ALL_UTILITIES.len(); // 2 benchmarks × 3 utilities
+        assert_eq!(study.pairs.len(), n * (n + 1) / 2);
+    }
+
+    #[test]
+    fn per_utility_shapes_cover_all_utilities() {
+        let suite = synthetic_suite();
+        let shapes = best_per_utility_shapes(&suite, &Market::MARKET2, 100.0);
+        assert_eq!(shapes.len(), 3);
+        let mut utils: Vec<_> = shapes.iter().map(|(u, _)| *u).collect();
+        utils.sort();
+        utils.dedup();
+        assert_eq!(utils.len(), 3);
+    }
+
+    #[test]
+    fn win_rate_is_a_fraction() {
+        let suite = synthetic_suite();
+        let study = vs_static_fixed(&suite, &Market::MARKET2, 100.0);
+        let w = study.win_rate();
+        assert!((0.0..=1.0).contains(&w));
+    }
+
+    #[test]
+    fn synthetic_suite_deserializes() {
+        let suite = synthetic_suite();
+        assert_eq!(suite.benchmarks().len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Resource markets (paper §5.7).
+//!
+//! The provider prices Slices and 64 KB cache banks separately; a customer
+//! with budget `B` choosing a VCore of `s` Slices and `c` banks can afford
+//! `v = B / (C_s·s + C_c·c)` such cores (Equation 2).
+
+use serde::{Deserialize, Serialize};
+use sharing_core::VCoreShape;
+use std::fmt;
+
+/// A pricing of the two sub-core resources, in abstract cost units.
+///
+/// The natural currency is *bank units*: under the area model one Slice
+/// occupies the area of two 64 KB banks, so the equal-area Market 2 prices
+/// a Slice at 2 and a bank at 1 ("1 Slice costs the same as 128 KB Cache").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Market {
+    /// Human name ("Market1"…).
+    pub name: &'static str,
+    /// Price of one Slice.
+    pub slice_price: f64,
+    /// Price of one 64 KB cache bank.
+    pub bank_price: f64,
+}
+
+impl Market {
+    /// Market 1: Slices at four times their equal-area cost (demand for
+    /// compute outstrips supply).
+    pub const MARKET1: Market = Market {
+        name: "Market1",
+        slice_price: 8.0,
+        bank_price: 1.0,
+    };
+
+    /// Market 2: prices track area (the paper's primary market).
+    pub const MARKET2: Market = Market {
+        name: "Market2",
+        slice_price: 2.0,
+        bank_price: 1.0,
+    };
+
+    /// Market 3: cache at four times its equal-area cost.
+    pub const MARKET3: Market = Market {
+        name: "Market3",
+        slice_price: 2.0,
+        bank_price: 4.0,
+    };
+
+    /// All three markets of §5.7.
+    pub const ALL: [Market; 3] = [Market::MARKET1, Market::MARKET2, Market::MARKET3];
+
+    /// Cost of one VCore of this shape.
+    ///
+    /// A zero-cost configuration is impossible: every VCore has at least
+    /// one Slice.
+    #[must_use]
+    pub fn vcore_cost(&self, shape: VCoreShape) -> f64 {
+        self.slice_price * shape.slices as f64 + self.bank_price * shape.l2_banks as f64
+    }
+
+    /// How many VCores of this shape a budget buys (Equation 2; fractional
+    /// `v` is fine — the paper treats `v` as continuous by replicating
+    /// across VMs).
+    #[must_use]
+    pub fn affordable_cores(&self, shape: VCoreShape, budget: f64) -> f64 {
+        budget / self.vcore_cost(shape)
+    }
+}
+
+impl fmt::Display for Market {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (slice {}, bank {})",
+            self.name, self.slice_price, self.bank_price
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(s: usize, b: usize) -> VCoreShape {
+        VCoreShape::new(s, b).unwrap()
+    }
+
+    #[test]
+    fn market2_is_equal_area() {
+        // One Slice == two banks == 128 KB of cache.
+        let m = Market::MARKET2;
+        assert_eq!(m.vcore_cost(shape(1, 0)), m.bank_price * 2.0);
+    }
+
+    #[test]
+    fn market1_and_3_skew_prices_4x() {
+        assert_eq!(
+            Market::MARKET1.slice_price,
+            4.0 * Market::MARKET2.slice_price
+        );
+        assert_eq!(Market::MARKET3.bank_price, 4.0 * Market::MARKET2.bank_price);
+    }
+
+    #[test]
+    fn budget_buys_inverse_to_cost() {
+        let m = Market::MARKET2;
+        let small = m.affordable_cores(shape(1, 0), 100.0);
+        let big = m.affordable_cores(shape(4, 8), 100.0);
+        assert!(small > big);
+        assert!((small - 50.0).abs() < 1e-12);
+        assert!((big - 100.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_names() {
+        for m in Market::ALL {
+            assert!(m.to_string().contains(m.name));
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Configuration optimization: budget-constrained utility maximization
+//! (§5.6) and the performance-per-area metrics of Table 4.
+
+use crate::market::Market;
+use crate::surface::PerfSurface;
+use crate::utility::UtilityFn;
+use serde::{Deserialize, Serialize};
+use sharing_area::AreaModel;
+use sharing_core::VCoreShape;
+
+/// A chosen configuration with its score.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Chosen {
+    /// The winning VCore shape.
+    pub shape: VCoreShape,
+    /// The objective value at that shape (utility, or `perf^k/area`).
+    pub value: f64,
+    /// The measured performance at that shape.
+    pub perf: f64,
+}
+
+/// Maximizes `U = v · P(c, s)^k` with `v = B / (C_s·s + C_c·c)` over the
+/// swept grid (the customer's decision problem of §5.6).
+///
+/// # Panics
+///
+/// Panics if the surface is empty or the budget is not positive/finite.
+#[must_use]
+pub fn best_utility(
+    surface: &PerfSurface,
+    utility: UtilityFn,
+    market: &Market,
+    budget: f64,
+) -> Chosen {
+    assert!(
+        budget > 0.0 && budget.is_finite(),
+        "budget must be positive and finite"
+    );
+    surface
+        .iter()
+        .map(|(shape, perf)| {
+            let v = market.affordable_cores(shape, budget);
+            Chosen {
+                shape,
+                value: utility.evaluate(perf, v),
+                perf,
+            }
+        })
+        .max_by(|a, b| a.value.total_cmp(&b.value))
+        .expect("surfaces are non-empty")
+}
+
+/// Evaluates a *given* shape under a utility/market/budget (for baseline
+/// comparisons where the configuration is fixed).
+#[must_use]
+pub fn utility_at(
+    surface: &PerfSurface,
+    shape: VCoreShape,
+    utility: UtilityFn,
+    market: &Market,
+    budget: f64,
+) -> f64 {
+    let v = market.affordable_cores(shape, budget);
+    utility.evaluate(surface.perf(shape), v)
+}
+
+/// Maximizes `P(c, s)^k / area` over the grid — Table 4's
+/// `performance/area`, `performance²/area` and `performance³/area`
+/// metrics (`k` = 1, 2, 3).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+#[must_use]
+pub fn best_metric(surface: &PerfSurface, k: u32, area: &AreaModel) -> Chosen {
+    assert!(k > 0, "metric exponent must be positive");
+    surface
+        .iter()
+        .map(|(shape, perf)| Chosen {
+            shape,
+            value: perf.powi(k as i32) / area.vcore_mm2(shape.slices, shape.l2_banks),
+            perf,
+        })
+        .max_by(|a, b| a.value.total_cmp(&b.value))
+        .expect("surfaces are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Perf grows with slices with diminishing returns, and with cache up
+    /// to a knee.
+    fn synthetic() -> PerfSurface {
+        PerfSurface::from_fn("syn", |s| {
+            let slice_part = 2.0 * (1.0 - 0.6f64.powi(s.slices as i32));
+            let cache_part = 1.0 - 0.8f64.powi(1 + s.l2_banks.min(16) as i32);
+            slice_part * (0.5 + cache_part)
+        })
+    }
+
+    #[test]
+    fn throughput_buyers_pick_small_cores() {
+        let s = synthetic();
+        let t = best_utility(&s, UtilityFn::Throughput, &Market::MARKET2, 100.0);
+        let l = best_utility(&s, UtilityFn::LatencyCritical, &Market::MARKET2, 100.0);
+        assert!(
+            t.shape.slices <= l.shape.slices,
+            "throughput {} vs latency {}",
+            t.shape,
+            l.shape
+        );
+        assert!(t.shape.l2_banks <= l.shape.l2_banks);
+    }
+
+    #[test]
+    fn utility_at_matches_best_for_winning_shape() {
+        let s = synthetic();
+        let best = best_utility(&s, UtilityFn::Balanced, &Market::MARKET2, 64.0);
+        let direct = utility_at(&s, best.shape, UtilityFn::Balanced, &Market::MARKET2, 64.0);
+        assert!((best.value - direct).abs() < 1e-12);
+        // No other shape beats it.
+        for (shape, _) in s.iter() {
+            assert!(
+                utility_at(&s, shape, UtilityFn::Balanced, &Market::MARKET2, 64.0)
+                    <= best.value + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn expensive_slices_push_toward_cache() {
+        let s = synthetic();
+        let m1 = best_utility(&s, UtilityFn::Balanced, &Market::MARKET1, 100.0);
+        let m3 = best_utility(&s, UtilityFn::Balanced, &Market::MARKET3, 100.0);
+        // When slices cost 4x, buy no more slices than when cache costs 4x.
+        assert!(m1.shape.slices <= m3.shape.slices);
+    }
+
+    #[test]
+    fn metric_exponent_shifts_optimum_upward() {
+        let s = synthetic();
+        let area = AreaModel::paper();
+        let k1 = best_metric(&s, 1, &area);
+        let k3 = best_metric(&s, 3, &area);
+        assert!(k3.shape.slices >= k1.shape.slices);
+        assert!(k3.perf >= k1.perf);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let s = synthetic();
+        let _ = best_utility(&s, UtilityFn::Throughput, &Market::MARKET2, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must be positive")]
+    fn zero_metric_exponent_rejected() {
+        let _ = best_metric(&synthetic(), 0, &AreaModel::paper());
+    }
+}

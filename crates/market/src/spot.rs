@@ -1,0 +1,269 @@
+//! Spot-price dynamics (paper §1/§2.1).
+//!
+//! "This dynamic nature enables the Cloud provider to price sub-core
+//! resources dynamically and based on instantaneous market demand" — the
+//! sub-core analogue of EC2's Spot Pricing, which §2.1 cites as prior art.
+//! [`SpotMarket`] simulates a sequence of market periods: customers arrive
+//! and depart (seeded, deterministic), each period's prices come from
+//! clearing the [`crate::auction::Auction`] over the current tenant
+//! population, and the result is a per-resource price time series the
+//! provider (or a customer's §4 meta-program) can study.
+
+use crate::auction::{Auction, Bidder, Clearing};
+use crate::surface::PerfSurface;
+use crate::utility::ALL_UTILITIES;
+use rand_like::SplitMix;
+use serde::{Deserialize, Serialize};
+
+/// A tiny deterministic PRNG so this module does not drag `rand` into the
+/// public API (the sequence is part of the experiment's reproducibility).
+mod rand_like {
+    /// SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct SplitMix(u64);
+
+    impl SplitMix {
+        pub fn new(seed: u64) -> Self {
+            SplitMix(seed)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn chance(&mut self, p: f64) -> bool {
+            (self.next_u64() as f64 / u64::MAX as f64) < p
+        }
+
+        pub fn pick(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// One period's market state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpotTick {
+    /// Period index.
+    pub period: usize,
+    /// Tenants present this period.
+    pub tenants: usize,
+    /// Clearing price per Slice.
+    pub slice_price: f64,
+    /// Clearing price per 64 KB bank.
+    pub bank_price: f64,
+    /// Total delivered utility this period.
+    pub welfare: f64,
+}
+
+/// Configuration of the demand process.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DemandProcess {
+    /// Probability a new customer arrives each period.
+    pub arrival_p: f64,
+    /// Probability each resident customer departs each period.
+    pub departure_p: f64,
+    /// Budget of every arriving customer.
+    pub budget: f64,
+}
+
+impl Default for DemandProcess {
+    fn default() -> Self {
+        DemandProcess {
+            arrival_p: 0.7,
+            departure_p: 0.15,
+            budget: 50.0,
+        }
+    }
+}
+
+/// The spot-market simulator.
+pub struct SpotMarket {
+    supply_slices: f64,
+    supply_banks: f64,
+    /// The workload population customers draw from: `(name, surface)`.
+    catalog: Vec<(String, PerfSurface)>,
+    demand: DemandProcess,
+}
+
+impl SpotMarket {
+    /// Creates a spot market over a chip's resources with a workload
+    /// catalog customers draw from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or supplies are not positive.
+    #[must_use]
+    pub fn new(
+        supply_slices: f64,
+        supply_banks: f64,
+        catalog: Vec<(String, PerfSurface)>,
+        demand: DemandProcess,
+    ) -> Self {
+        assert!(!catalog.is_empty(), "catalog must not be empty");
+        assert!(supply_slices > 0.0 && supply_banks > 0.0);
+        SpotMarket {
+            supply_slices,
+            supply_banks,
+            catalog,
+            demand,
+        }
+    }
+
+    /// Runs `periods` market periods with the given seed; returns the
+    /// price/welfare time series. Fully deterministic for a given seed.
+    #[must_use]
+    pub fn run(&self, periods: usize, seed: u64) -> Vec<SpotTick> {
+        let mut rng = SplitMix::new(seed);
+        let mut residents: Vec<Bidder> = Vec::new();
+        let mut next_id = 0usize;
+        let mut out = Vec::with_capacity(periods);
+        for period in 0..periods {
+            // Departures, then arrivals.
+            let mut kept = Vec::with_capacity(residents.len());
+            for b in residents {
+                if !rng.chance(self.demand.departure_p) {
+                    kept.push(b);
+                }
+            }
+            residents = kept;
+            if rng.chance(self.demand.arrival_p) {
+                let (wl_name, surface) = &self.catalog[rng.pick(self.catalog.len())];
+                let utility = ALL_UTILITIES[rng.pick(ALL_UTILITIES.len())];
+                residents.push(Bidder {
+                    name: format!("cust{next_id}-{wl_name}-{utility}"),
+                    surface: surface.clone(),
+                    utility,
+                    budget: self.demand.budget,
+                });
+                next_id += 1;
+            }
+            let tick = if residents.is_empty() {
+                SpotTick {
+                    period,
+                    tenants: 0,
+                    // No demand: prices fall to the floor.
+                    slice_price: 0.0,
+                    bank_price: 0.0,
+                    welfare: 0.0,
+                }
+            } else {
+                let mut auction = Auction::new(self.supply_slices, self.supply_banks);
+                for b in &residents {
+                    auction.add_bidder(b.clone());
+                }
+                let clearing: Clearing = auction.clear(60, 0.05);
+                SpotTick {
+                    period,
+                    tenants: residents.len(),
+                    slice_price: clearing.slice_price,
+                    bank_price: clearing.bank_price,
+                    welfare: clearing.total_utility(),
+                }
+            };
+            out.push(tick);
+        }
+        out
+    }
+}
+
+/// Summary statistics over a price series.
+#[must_use]
+pub fn price_summary(ticks: &[SpotTick]) -> (f64, f64, f64) {
+    let busy: Vec<&SpotTick> = ticks.iter().filter(|t| t.tenants > 0).collect();
+    if busy.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let prices: Vec<f64> = busy.iter().map(|t| t.slice_price).collect();
+    let min = prices.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = prices.iter().sum::<f64>() / prices.len() as f64;
+    (min, mean, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> Vec<(String, PerfSurface)> {
+        vec![
+            (
+                "compute".to_string(),
+                PerfSurface::from_fn("compute", |s| (1.0 + s.slices as f64).ln() * 2.0),
+            ),
+            (
+                "cachey".to_string(),
+                PerfSurface::from_fn("cachey", |s| {
+                    1.0 + (1.0 + s.l2_banks as f64).ln() / 2.0
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let m = SpotMarket::new(64.0, 64.0, catalog(), DemandProcess::default());
+        let a = m.run(30, 7);
+        let b = m.run(30, 7);
+        assert_eq!(a.len(), 30);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenants, y.tenants);
+            assert_eq!(x.slice_price.to_bits(), y.slice_price.to_bits());
+        }
+        let c = m.run(30, 8);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.tenants != y.tenants),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn prices_track_population_pressure() {
+        let mk = |arrival: f64| {
+            let m = SpotMarket::new(
+                24.0,
+                24.0,
+                catalog(),
+                DemandProcess {
+                    arrival_p: arrival,
+                    departure_p: 0.05,
+                    budget: 50.0,
+                },
+            );
+            price_summary(&m.run(60, 42)).1
+        };
+        let quiet = mk(0.15);
+        let crowded = mk(0.95);
+        assert!(
+            crowded > quiet,
+            "more demand should raise mean prices: {crowded} vs {quiet}"
+        );
+    }
+
+    #[test]
+    fn empty_periods_have_floor_prices() {
+        let m = SpotMarket::new(
+            64.0,
+            64.0,
+            catalog(),
+            DemandProcess {
+                arrival_p: 0.0,
+                departure_p: 1.0,
+                budget: 50.0,
+            },
+        );
+        let ticks = m.run(5, 1);
+        assert!(ticks.iter().all(|t| t.tenants == 0 && t.slice_price == 0.0));
+        assert_eq!(price_summary(&ticks), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog must not be empty")]
+    fn empty_catalog_rejected() {
+        let _ = SpotMarket::new(1.0, 1.0, Vec::new(), DemandProcess::default());
+    }
+}

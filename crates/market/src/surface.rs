@@ -1,0 +1,324 @@
+//! Performance surfaces over the configuration grid.
+//!
+//! Every economic experiment consumes `P(c, s)`: the measured performance
+//! of each benchmark at each VCore shape. This module builds those
+//! surfaces by running the simulator over the paper's sweep grid
+//! (Equation 3: 1–8 Slices × 0 KB–8 MB), in parallel, with optional JSON
+//! caching so the bench harness only ever pays for a sweep once.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use sharing_core::{SimConfig, Simulator, VCoreShape, VmSimulator};
+use sharing_trace::{Benchmark, TraceSpec, ALL_BENCHMARKS};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// How a sweep's traces are generated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Dynamic instructions per thread.
+    pub trace_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+    /// Workload calibration version the sweep was built against (see
+    /// [`sharing_trace::CALIBRATION_VERSION`]); result caches keyed on a
+    /// spec invalidate when calibration changes.
+    #[serde(default)]
+    pub calibration: u32,
+}
+
+impl ExperimentSpec {
+    /// The default experiment size used by the bench harness: long enough
+    /// for the scaled working sets to exhibit reuse, short enough that a
+    /// full 72-configuration × 15-benchmark sweep is minutes, not hours.
+    #[must_use]
+    pub fn standard() -> Self {
+        ExperimentSpec {
+            trace_len: 60_000,
+            seed: 0xA5_2014,
+            calibration: sharing_trace::CALIBRATION_VERSION,
+        }
+    }
+
+    /// A reduced size for unit tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        ExperimentSpec {
+            trace_len: 6_000,
+            seed: 0xA5_2014,
+            calibration: sharing_trace::CALIBRATION_VERSION,
+        }
+    }
+
+    fn trace_spec(&self) -> TraceSpec {
+        TraceSpec::new(self.trace_len, self.seed)
+    }
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec::standard()
+    }
+}
+
+/// One benchmark's measured performance at every swept shape.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PerfSurface {
+    name: String,
+    /// Stored as pairs because JSON map keys must be strings.
+    #[serde(with = "points_as_pairs")]
+    points: BTreeMap<VCoreShape, f64>,
+}
+
+mod points_as_pairs {
+    use super::{BTreeMap, VCoreShape};
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<VCoreShape, f64>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        map.iter().collect::<Vec<_>>().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<BTreeMap<VCoreShape, f64>, D::Error> {
+        Ok(Vec::<(VCoreShape, f64)>::deserialize(d)?.into_iter().collect())
+    }
+}
+
+impl PerfSurface {
+    /// Builds a surface from an explicit point set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn new(name: impl Into<String>, points: BTreeMap<VCoreShape, f64>) -> Self {
+        assert!(!points.is_empty(), "a surface needs at least one point");
+        PerfSurface {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// Builds a surface by evaluating `f` over the paper's sweep grid
+    /// (handy for tests and examples).
+    #[must_use]
+    pub fn from_fn(name: impl Into<String>, f: impl Fn(VCoreShape) -> f64) -> Self {
+        let points = VCoreShape::sweep_grid().map(|s| (s, f(s))).collect();
+        PerfSurface::new(name, points)
+    }
+
+    /// The benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Performance at a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape was not swept.
+    #[must_use]
+    pub fn perf(&self, shape: VCoreShape) -> f64 {
+        *self
+            .points
+            .get(&shape)
+            .unwrap_or_else(|| panic!("shape {shape} not in surface {}", self.name))
+    }
+
+    /// Performance at a shape, if swept.
+    #[must_use]
+    pub fn get(&self, shape: VCoreShape) -> Option<f64> {
+        self.points.get(&shape).copied()
+    }
+
+    /// All swept `(shape, perf)` points.
+    pub fn iter(&self) -> impl Iterator<Item = (VCoreShape, f64)> + '_ {
+        self.points.iter().map(|(&s, &p)| (s, p))
+    }
+}
+
+/// Performance surfaces for the whole benchmark suite.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuiteSurfaces {
+    spec: ExperimentSpec,
+    surfaces: BTreeMap<Benchmark, PerfSurface>,
+}
+
+impl SuiteSurfaces {
+    /// Measures one benchmark at one shape (single-threaded benchmarks on
+    /// a [`Simulator`], PARSEC on a [`VmSimulator`] with four VCores and a
+    /// shared L2, per §5.3).
+    #[must_use]
+    pub fn measure(bench: Benchmark, shape: VCoreShape, spec: &ExperimentSpec) -> f64 {
+        let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks)
+            .expect("sweep grid shapes are valid");
+        if bench.is_parsec() {
+            let workload = bench.generate_threaded(&spec.trace_spec());
+            let r = VmSimulator::new(cfg).expect("valid config").run(&workload);
+            // Per-VCore performance: VM IPC divided by thread count, so
+            // PARSEC points are comparable to single-core P(c, s).
+            r.ipc() / workload.thread_count() as f64
+        } else {
+            let trace = bench.generate(&spec.trace_spec());
+            Simulator::new(cfg).expect("valid config").run(&trace).ipc()
+        }
+    }
+
+    /// Builds surfaces for every benchmark over the full sweep grid,
+    /// fanning the (benchmark × shape) space across all CPUs.
+    #[must_use]
+    pub fn build(spec: ExperimentSpec) -> Self {
+        Self::build_subset(spec, &ALL_BENCHMARKS)
+    }
+
+    /// Builds surfaces for a subset of the suite.
+    #[must_use]
+    pub fn build_subset(spec: ExperimentSpec, benches: &[Benchmark]) -> Self {
+        let shapes: Vec<VCoreShape> = VCoreShape::sweep_grid().collect();
+        let mut tasks: Vec<(Benchmark, VCoreShape)> = Vec::new();
+        for &b in benches {
+            for &s in &shapes {
+                tasks.push((b, s));
+            }
+        }
+        let results: Mutex<Vec<(Benchmark, VCoreShape, f64)>> =
+            Mutex::new(Vec::with_capacity(tasks.len()));
+        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&(b, s)) = tasks.get(i) else { break };
+                    let perf = Self::measure(b, s, &spec);
+                    results.lock().push((b, s, perf));
+                });
+            }
+        })
+        .expect("sweep workers do not panic");
+        let mut surfaces: BTreeMap<Benchmark, BTreeMap<VCoreShape, f64>> = BTreeMap::new();
+        for (b, s, p) in results.into_inner() {
+            surfaces.entry(b).or_default().insert(s, p);
+        }
+        SuiteSurfaces {
+            spec,
+            surfaces: surfaces
+                .into_iter()
+                .map(|(b, pts)| (b, PerfSurface::new(b.name(), pts)))
+                .collect(),
+        }
+    }
+
+    /// Loads surfaces from a JSON cache if it matches `spec`, otherwise
+    /// builds them and writes the cache. I/O failures fall back to a fresh
+    /// build (the cache is an optimization, not a requirement).
+    #[must_use]
+    pub fn build_or_load(spec: ExperimentSpec, cache: &Path) -> Self {
+        if let Ok(bytes) = std::fs::read(cache) {
+            if let Ok(loaded) = serde_json::from_slice::<SuiteSurfaces>(&bytes) {
+                if loaded.spec == spec && loaded.surfaces.len() == ALL_BENCHMARKS.len() {
+                    return loaded;
+                }
+            }
+        }
+        let built = Self::build(spec);
+        if let Ok(json) = serde_json::to_vec(&built) {
+            let _ = std::fs::write(cache, json);
+        }
+        built
+    }
+
+    /// The spec these surfaces were built with.
+    #[must_use]
+    pub fn spec(&self) -> ExperimentSpec {
+        self.spec
+    }
+
+    /// The surface for one benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark was not part of the build.
+    #[must_use]
+    pub fn surface(&self, bench: Benchmark) -> &PerfSurface {
+        self.surfaces
+            .get(&bench)
+            .unwrap_or_else(|| panic!("{bench} not in suite surfaces"))
+    }
+
+    /// Iterates `(benchmark, surface)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Benchmark, &PerfSurface)> {
+        self.surfaces.iter().map(|(&b, s)| (b, s))
+    }
+
+    /// The benchmarks present.
+    #[must_use]
+    pub fn benchmarks(&self) -> Vec<Benchmark> {
+        self.surfaces.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_covers_the_grid() {
+        let s = PerfSurface::from_fn("t", |sh| sh.slices as f64);
+        assert_eq!(s.iter().count(), 72);
+        assert_eq!(s.perf(VCoreShape::new(3, 4).unwrap()), 3.0);
+        assert_eq!(s.get(VCoreShape::new(8, 128).unwrap()), Some(8.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in surface")]
+    fn missing_shape_panics() {
+        let mut pts = BTreeMap::new();
+        pts.insert(VCoreShape::new(1, 0).unwrap(), 1.0);
+        let s = PerfSurface::new("t", pts);
+        let _ = s.perf(VCoreShape::new(2, 0).unwrap());
+    }
+
+    #[test]
+    fn build_subset_produces_full_surfaces() {
+        let suite =
+            SuiteSurfaces::build_subset(ExperimentSpec::quick(), &[Benchmark::Hmmer]);
+        let surf = suite.surface(Benchmark::Hmmer);
+        assert_eq!(surf.iter().count(), 72);
+        assert!(surf.iter().all(|(_, p)| p > 0.0));
+    }
+
+    #[test]
+    fn parsec_measure_is_per_vcore() {
+        let spec = ExperimentSpec::quick();
+        let p = SuiteSurfaces::measure(
+            Benchmark::Swaptions,
+            VCoreShape::new(1, 2).unwrap(),
+            &spec,
+        );
+        assert!(p > 0.0 && p < 2.0, "per-VCore IPC expected, got {p}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let suite =
+            SuiteSurfaces::build_subset(ExperimentSpec::quick(), &[Benchmark::Hmmer]);
+        let json = serde_json::to_string(&suite).unwrap();
+        let back: SuiteSurfaces = serde_json::from_str(&json).unwrap();
+        assert_eq!(suite.spec(), back.spec());
+        assert_eq!(suite.benchmarks(), back.benchmarks());
+        // Floats survive JSON up to printing precision.
+        for (b, surf) in suite.iter() {
+            for (shape, perf) in surf.iter() {
+                let other = back.surface(b).perf(shape);
+                assert!((perf - other).abs() < 1e-9, "{b} {shape}: {perf} vs {other}");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Switched 2D on-chip networks for the Sharing Architecture.
+//!
+//! The paper connects Slices and L2 cache banks with multiple, pipelined,
+//! switched interconnection networks (§1, §3.4, §5.1): a **Scalar Operand
+//! Network** carrying operand requests/replies between Slices, a
+//! **load/store sorting network** moving memory operations to their home
+//! Slice's LSQ bank, a **global rename network** for the master-Slice rename
+//! broadcast, and the Slice↔L2 data network. All use the same transport
+//! model, borrowed from Tilera: a two-cycle cost between nearest-neighbour
+//! tiles plus one cycle for each additional network hop.
+//!
+//! Two fidelity levels are provided:
+//!
+//! * [`IdealNetwork`] — the latency formula alone (infinite bandwidth);
+//!   this is the model the paper's headline numbers use.
+//! * [`QueuedNetwork`] — adds per-link serialization (one message per link
+//!   per cycle) over dimension-ordered XY routes, used for the operand
+//!   network bandwidth ablation (§5.1 reports a second operand network buys
+//!   only ≈1%).
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_noc::{Coord, LatencyModel, Mesh};
+//!
+//! let mesh = Mesh::new(4, 4);
+//! let lat = LatencyModel::tilera();
+//! let a = Coord::new(0, 0);
+//! let b = Coord::new(2, 1);
+//! assert_eq!(mesh.hops(a, b), 3);
+//! assert_eq!(lat.latency(mesh.hops(a, b)), 4); // 2 + (3-1)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mesh;
+pub mod network;
+
+pub use mesh::{Coord, Mesh};
+pub use network::{IdealNetwork, LatencyModel, NetStats, QueuedNetwork, Transport};

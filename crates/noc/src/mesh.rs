@@ -1,0 +1,214 @@
+//! Mesh geometry and dimension-ordered routing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tile coordinate on the 2D mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column.
+    pub x: u16,
+    /// Row.
+    pub y: u16,
+}
+
+impl Coord {
+    /// Creates a coordinate.
+    #[must_use]
+    pub fn new(x: u16, y: u16) -> Self {
+        Coord { x, y }
+    }
+
+    /// Manhattan distance to another coordinate.
+    #[must_use]
+    pub fn manhattan(self, other: Coord) -> u32 {
+        (self.x.abs_diff(other.x) as u32) + (self.y.abs_diff(other.y) as u32)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+/// A directed link between adjacent tiles, identified by its source tile
+/// and direction. Used as the unit of bandwidth by the queued network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Source tile of the hop.
+    pub from: Coord,
+    /// Destination tile of the hop (always mesh-adjacent to `from`).
+    pub to: Coord,
+}
+
+/// A rectangular mesh of tiles.
+///
+/// # Example
+///
+/// ```
+/// use sharing_noc::{Coord, Mesh};
+/// let m = Mesh::new(8, 8);
+/// assert_eq!(m.tiles(), 64);
+/// assert_eq!(m.hops(Coord::new(0, 0), Coord::new(7, 7)), 14);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be positive");
+        Mesh { width, height }
+    }
+
+    /// Mesh width (columns).
+    #[must_use]
+    pub fn width(self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    #[must_use]
+    pub fn height(self) -> u16 {
+        self.height
+    }
+
+    /// Total number of tiles.
+    #[must_use]
+    pub fn tiles(self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Whether the coordinate lies on this mesh.
+    #[must_use]
+    pub fn contains(self, c: Coord) -> bool {
+        c.x < self.width && c.y < self.height
+    }
+
+    /// Converts a linear tile index (row-major) to a coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.tiles()`.
+    #[must_use]
+    pub fn coord_of(self, index: usize) -> Coord {
+        assert!(index < self.tiles(), "tile index {index} out of range");
+        Coord::new((index % self.width as usize) as u16, (index / self.width as usize) as u16)
+    }
+
+    /// Converts a coordinate to its linear (row-major) tile index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is off-mesh.
+    #[must_use]
+    pub fn index_of(self, c: Coord) -> usize {
+        assert!(self.contains(c), "coordinate {c} off mesh");
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Network hop count between two tiles (Manhattan distance under
+    /// dimension-ordered routing).
+    #[must_use]
+    pub fn hops(self, a: Coord, b: Coord) -> u32 {
+        debug_assert!(self.contains(a) && self.contains(b));
+        a.manhattan(b)
+    }
+
+    /// The XY-routed path from `a` to `b` as a sequence of directed links
+    /// (X first, then Y). Empty when `a == b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is off-mesh.
+    #[must_use]
+    pub fn route(self, a: Coord, b: Coord) -> Vec<Link> {
+        assert!(self.contains(a) && self.contains(b), "route endpoints must be on mesh");
+        let mut path = Vec::with_capacity(self.hops(a, b) as usize);
+        let mut cur = a;
+        while cur.x != b.x {
+            let next = Coord::new(if b.x > cur.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
+            path.push(Link { from: cur, to: next });
+            cur = next;
+        }
+        while cur.y != b.y {
+            let next = Coord::new(cur.x, if b.y > cur.y { cur.y + 1 } else { cur.y - 1 });
+            path.push(Link { from: cur, to: next });
+            cur = next;
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coord_roundtrip() {
+        let m = Mesh::new(5, 3);
+        for i in 0..m.tiles() {
+            assert_eq!(m.index_of(m.coord_of(i)), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coord_of_out_of_range_panics() {
+        let _ = Mesh::new(2, 2).coord_of(4);
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let m = Mesh::new(8, 8);
+        assert_eq!(m.hops(Coord::new(1, 1), Coord::new(1, 1)), 0);
+        assert_eq!(m.hops(Coord::new(0, 0), Coord::new(3, 0)), 3);
+        assert_eq!(m.hops(Coord::new(2, 5), Coord::new(5, 1)), 7);
+    }
+
+    #[test]
+    fn route_is_x_then_y_and_adjacent() {
+        let m = Mesh::new(8, 8);
+        let path = m.route(Coord::new(1, 1), Coord::new(3, 4));
+        assert_eq!(path.len(), 5);
+        // Each hop is mesh-adjacent and chained.
+        for w in path.windows(2) {
+            assert_eq!(w[0].to, w[1].from);
+        }
+        assert_eq!(path[0].from, Coord::new(1, 1));
+        assert_eq!(path.last().unwrap().to, Coord::new(3, 4));
+        // X dimension resolves first.
+        assert_eq!(path[0].to, Coord::new(2, 1));
+        assert_eq!(path[1].to, Coord::new(3, 1));
+        assert_eq!(path[2].to, Coord::new(3, 2));
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let m = Mesh::new(4, 4);
+        assert!(m.route(Coord::new(2, 2), Coord::new(2, 2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_mesh_rejected() {
+        let _ = Mesh::new(0, 4);
+    }
+
+    #[test]
+    fn route_westward_and_northward() {
+        let m = Mesh::new(8, 8);
+        let path = m.route(Coord::new(5, 6), Coord::new(2, 3));
+        assert_eq!(path.len(), 6);
+        assert_eq!(path.last().unwrap().to, Coord::new(2, 3));
+    }
+}

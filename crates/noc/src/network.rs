@@ -1,0 +1,454 @@
+//! Transport models over the mesh.
+
+use crate::mesh::{Coord, Link, Mesh};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// The latency formula of a pipelined, switched network.
+///
+/// The paper (§3.4) models a two-cycle communication cost between
+/// nearest-neighbour Slices and one additional cycle per extra network hop —
+/// "the same latency as on a Tilera processor".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Cost of a nearest-neighbour (1-hop) message.
+    pub base: u32,
+    /// Additional cost per hop beyond the first.
+    pub per_hop: u32,
+    /// Cost of a message that stays on its own tile (e.g. a load sorted to
+    /// its issuing Slice's own LSQ bank): just the network-interface
+    /// insertion cycle.
+    pub local: u32,
+}
+
+impl LatencyModel {
+    /// The paper's Tilera-derived model: 2 cycles nearest neighbour,
+    /// +1/hop, 1 cycle for tile-local delivery.
+    #[must_use]
+    pub fn tilera() -> Self {
+        LatencyModel {
+            base: 2,
+            per_hop: 1,
+            local: 1,
+        }
+    }
+
+    /// A zero-latency model (useful for idealization ablations).
+    #[must_use]
+    pub fn zero() -> Self {
+        LatencyModel {
+            base: 0,
+            per_hop: 0,
+            local: 0,
+        }
+    }
+
+    /// Delivery latency for a message crossing `hops` links.
+    #[must_use]
+    pub fn latency(self, hops: u32) -> u32 {
+        if hops == 0 {
+            self.local
+        } else {
+            self.base + self.per_hop * (hops - 1)
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::tilera()
+    }
+}
+
+/// Counters accumulated by a transport.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Total hops traversed.
+    pub hops: u64,
+    /// Cycles lost to link contention (queued model only).
+    pub contention_cycles: u64,
+}
+
+/// A message transport over the mesh: given a send cycle, produces the
+/// arrival cycle.
+pub trait Transport {
+    /// Sends a message at cycle `now`; returns its arrival cycle at `dst`.
+    fn send(&mut self, src: Coord, dst: Coord, now: u64) -> u64;
+
+    /// Multicasts a message to several destinations (the Sharing
+    /// Architecture's master-Slice rename broadcast, §3.2.1, and
+    /// mispredict-flush fan-out, §3.1). The default implementation sends
+    /// one unicast per destination; implementations with tree forwarding
+    /// can share path prefixes. Returns the per-destination arrival
+    /// cycles, in `dsts` order.
+    fn multicast(&mut self, src: Coord, dsts: &[Coord], now: u64) -> Vec<u64> {
+        dsts.iter().map(|&d| self.send(src, d, now)).collect()
+    }
+
+    /// Accumulated statistics.
+    fn stats(&self) -> NetStats;
+
+    /// Resets statistics (and any queue state).
+    fn reset(&mut self);
+}
+
+/// Infinite-bandwidth transport: pure latency formula.
+///
+/// # Example
+///
+/// ```
+/// use sharing_noc::{Coord, IdealNetwork, Mesh, Transport};
+///
+/// let mut net = IdealNetwork::new(Mesh::new(4, 4), Default::default());
+/// let arrive = net.send(Coord::new(0, 0), Coord::new(1, 0), 100);
+/// assert_eq!(arrive, 102); // 2-cycle nearest neighbour
+/// ```
+#[derive(Clone, Debug)]
+pub struct IdealNetwork {
+    mesh: Mesh,
+    latency: LatencyModel,
+    stats: NetStats,
+}
+
+impl IdealNetwork {
+    /// Creates an ideal transport.
+    #[must_use]
+    pub fn new(mesh: Mesh, latency: LatencyModel) -> Self {
+        IdealNetwork {
+            mesh,
+            latency,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The latency model in use.
+    #[must_use]
+    pub fn latency_model(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// The mesh geometry.
+    #[must_use]
+    pub fn mesh(&self) -> Mesh {
+        self.mesh
+    }
+}
+
+impl Transport for IdealNetwork {
+    fn send(&mut self, src: Coord, dst: Coord, now: u64) -> u64 {
+        let hops = self.mesh.hops(src, dst);
+        self.stats.messages += 1;
+        self.stats.hops += u64::from(hops);
+        now + u64::from(self.latency.latency(hops))
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.stats = NetStats::default();
+    }
+}
+
+/// Bandwidth-limited transport: one message per directed link per cycle,
+/// dimension-ordered routing, with one or more parallel physical planes.
+///
+/// Multiple planes model the paper's operand-network bandwidth ablation:
+/// with `planes = 2`, each message picks the plane whose first link frees
+/// earliest (§5.1 found the second network buys only ≈1% performance).
+#[derive(Clone, Debug, Default)]
+struct LinkCalendar {
+    busy: BTreeSet<u64>,
+}
+
+impl LinkCalendar {
+    /// Claims the first free cycle at or after `t`.
+    fn claim(&mut self, t: u64) -> u64 {
+        let mut c = t;
+        while self.busy.contains(&c) {
+            c += 1;
+        }
+        self.busy.insert(c);
+        if self.busy.len() > 4096 {
+            let cutoff = c.saturating_sub(2048);
+            self.busy = self.busy.split_off(&cutoff);
+        }
+        c
+    }
+
+    /// Whether cycle `t` is free on this link (for plane selection).
+    fn free_at(&self, t: u64) -> bool {
+        !self.busy.contains(&t)
+    }
+}
+
+/// Bandwidth-limited transport: one message per directed link per cycle,
+/// dimension-ordered routing, with one or more parallel physical planes.
+///
+/// Multiple planes model the paper's operand-network bandwidth ablation
+/// (§5.1 found a second network buys only ≈1% performance).
+#[derive(Clone, Debug)]
+pub struct QueuedNetwork {
+    mesh: Mesh,
+    latency: LatencyModel,
+    planes: usize,
+    /// Per-plane, per-link cycle calendars. Messages are timestamped, not
+    /// processed in time order, so links track exact occupied cycles
+    /// rather than a monotonic cursor.
+    calendars: Vec<HashMap<Link, LinkCalendar>>,
+    stats: NetStats,
+}
+
+impl QueuedNetwork {
+    /// Creates a queued transport with the given number of physical planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes == 0`.
+    #[must_use]
+    pub fn new(mesh: Mesh, latency: LatencyModel, planes: usize) -> Self {
+        assert!(planes > 0, "at least one network plane required");
+        QueuedNetwork {
+            mesh,
+            latency,
+            planes,
+            calendars: vec![HashMap::new(); planes],
+            stats: NetStats::default(),
+        }
+    }
+
+    fn send_on_plane(&mut self, plane: usize, path: &[Link], now: u64) -> u64 {
+        // Insertion into the network interface costs one cycle; each link
+        // then adds a cycle, stalling behind traffic that holds the link in
+        // the same cycle.
+        let mut t = now + 1;
+        for link in path {
+            let cal = self.calendars[plane].entry(*link).or_default();
+            let depart = cal.claim(t);
+            self.stats.contention_cycles += depart - t;
+            t = depart + 1;
+        }
+        t
+    }
+}
+
+impl Transport for QueuedNetwork {
+    fn send(&mut self, src: Coord, dst: Coord, now: u64) -> u64 {
+        let hops = self.mesh.hops(src, dst);
+        self.stats.messages += 1;
+        self.stats.hops += u64::from(hops);
+        if hops == 0 {
+            return now + u64::from(self.latency.local);
+        }
+        let path = self.mesh.route(src, dst);
+        // Pick a plane whose first link is free at the insertion cycle.
+        let plane = (0..self.planes)
+            .find(|&p| {
+                self.calendars[p]
+                    .get(&path[0])
+                    .is_none_or(|c| c.free_at(now + 1))
+            })
+            .unwrap_or(0);
+        let arrival = self.send_on_plane(plane, &path, now);
+        // The uncontended queued cost is 1 (insertion) + hops; align the
+        // floor with the analytic model so both modes agree when idle.
+        let floor = now + u64::from(self.latency.latency(hops));
+        arrival.max(floor)
+    }
+
+    /// Tree multicast: dimension-ordered routes to all destinations share
+    /// their common prefix, so a shared link is claimed (and paid for)
+    /// once — a flit forks at the divergence router instead of being
+    /// re-injected per destination.
+    fn multicast(&mut self, src: Coord, dsts: &[Coord], now: u64) -> Vec<u64> {
+        // Arrival time at each tile the tree has reached so far.
+        let mut reached: HashMap<Coord, u64> = HashMap::new();
+        reached.insert(src, now + 1); // network-interface insertion
+        let mut out = Vec::with_capacity(dsts.len());
+        for &dst in dsts {
+            self.stats.messages += 1;
+            self.stats.hops += u64::from(self.mesh.hops(src, dst));
+            if dst == src {
+                out.push(now + u64::from(self.latency.local));
+                continue;
+            }
+            let path = self.mesh.route(src, dst);
+            // Walk forward from the deepest already-reached tile.
+            let mut t = reached[&src];
+            for link in &path {
+                if let Some(&at) = reached.get(&link.to) {
+                    t = at;
+                    continue;
+                }
+                let cal = self.calendars[0].entry(*link).or_default();
+                let depart = cal.claim(t);
+                self.stats.contention_cycles += depart - t;
+                t = depart + 1;
+                reached.insert(link.to, t);
+            }
+            let floor = now + u64::from(self.latency.latency(self.mesh.hops(src, dst)));
+            out.push(t.max(floor));
+        }
+        out
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        for plane in &mut self.calendars {
+            plane.clear();
+        }
+        self.stats = NetStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(8, 8)
+    }
+
+    #[test]
+    fn tilera_latency_formula() {
+        let l = LatencyModel::tilera();
+        assert_eq!(l.latency(0), 1);
+        assert_eq!(l.latency(1), 2);
+        assert_eq!(l.latency(2), 3);
+        assert_eq!(l.latency(5), 6);
+    }
+
+    #[test]
+    fn ideal_network_applies_formula() {
+        let mut n = IdealNetwork::new(mesh(), LatencyModel::tilera());
+        assert_eq!(n.send(Coord::new(0, 0), Coord::new(0, 0), 10), 11);
+        assert_eq!(n.send(Coord::new(0, 0), Coord::new(1, 0), 10), 12);
+        assert_eq!(n.send(Coord::new(0, 0), Coord::new(3, 2), 10), 16);
+        assert_eq!(n.stats().messages, 3);
+        assert_eq!(n.stats().hops, 0 + 1 + 5);
+    }
+
+    #[test]
+    fn queued_matches_ideal_when_uncontended() {
+        let mut q = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let mut i = IdealNetwork::new(mesh(), LatencyModel::tilera());
+        for (src, dst) in [
+            (Coord::new(0, 0), Coord::new(1, 0)),
+            (Coord::new(2, 2), Coord::new(5, 6)),
+            (Coord::new(7, 7), Coord::new(0, 0)),
+        ] {
+            // Spread sends far apart in time so queues drain.
+            let t = 1_000 * u64::from(src.x + 1);
+            assert_eq!(q.send(src, dst, t), i.send(src, dst, t));
+        }
+        assert_eq!(q.stats().contention_cycles, 0);
+    }
+
+    #[test]
+    fn queued_serializes_same_link_traffic() {
+        let mut q = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 0);
+        let a = q.send(src, dst, 100);
+        let b = q.send(src, dst, 100);
+        let c = q.send(src, dst, 100);
+        assert_eq!(a, 102);
+        assert_eq!(b, 103, "second message stalls one cycle behind the first");
+        assert_eq!(c, 104);
+        assert!(q.stats().contention_cycles >= 3 - 1);
+    }
+
+    #[test]
+    fn second_plane_absorbs_contention() {
+        let mut one = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let mut two = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 2);
+        let src = Coord::new(0, 0);
+        let dst = Coord::new(1, 0);
+        let (a1, b1) = (one.send(src, dst, 0), one.send(src, dst, 0));
+        let (a2, b2) = (two.send(src, dst, 0), two.send(src, dst, 0));
+        assert_eq!(a1, a2);
+        assert!(b2 < b1, "two planes should beat one under contention");
+    }
+
+    #[test]
+    fn local_messages_skip_links() {
+        let mut q = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        assert_eq!(q.send(Coord::new(3, 3), Coord::new(3, 3), 7), 8);
+        assert_eq!(q.stats().hops, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        q.send(Coord::new(0, 0), Coord::new(4, 4), 0);
+        q.reset();
+        assert_eq!(q.stats(), NetStats::default());
+        // After reset, no residual contention.
+        let a = q.send(Coord::new(0, 0), Coord::new(1, 0), 0);
+        assert_eq!(a, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one network plane")]
+    fn zero_planes_rejected() {
+        let _ = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 0);
+    }
+
+    #[test]
+    fn zero_latency_model() {
+        let mut n = IdealNetwork::new(mesh(), LatencyModel::zero());
+        assert_eq!(n.send(Coord::new(0, 0), Coord::new(5, 5), 42), 42);
+    }
+
+    #[test]
+    fn ideal_multicast_matches_unicasts() {
+        let mut n = IdealNetwork::new(mesh(), LatencyModel::tilera());
+        let dsts = [Coord::new(1, 0), Coord::new(3, 0), Coord::new(0, 2)];
+        let arrivals = n.multicast(Coord::new(0, 0), &dsts, 10);
+        assert_eq!(arrivals, vec![12, 14, 13]);
+    }
+
+    #[test]
+    fn queued_multicast_matches_latency_floor_when_idle() {
+        let mut q = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let src = Coord::new(0, 0);
+        let dsts = [Coord::new(1, 0), Coord::new(2, 0), Coord::new(4, 0)];
+        let arrivals = q.multicast(src, &dsts, 100);
+        // Along one row the tree is a single path: each destination hears
+        // the flit at its unicast latency.
+        assert_eq!(arrivals, vec![102, 103, 105]);
+    }
+
+    #[test]
+    fn queued_multicast_shares_the_common_prefix() {
+        // Destinations share the first two row hops. A tree claims those
+        // links once; three unicasts would claim them three times and
+        // serialize.
+        let src = Coord::new(0, 0);
+        let dsts = [Coord::new(2, 1), Coord::new(2, 2), Coord::new(2, 3)];
+        let mut tree = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let tree_arrivals = tree.multicast(src, &dsts, 0);
+        let mut uni = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let uni_arrivals: Vec<u64> = dsts.iter().map(|&d| uni.send(src, d, 0)).collect();
+        assert!(
+            tree_arrivals.iter().max() < uni_arrivals.iter().max(),
+            "tree {tree_arrivals:?} should beat serialized unicasts {uni_arrivals:?}"
+        );
+        assert!(tree.stats().contention_cycles <= uni.stats().contention_cycles);
+    }
+
+    #[test]
+    fn multicast_to_self_is_local() {
+        let mut q = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 1);
+        let src = Coord::new(3, 3);
+        let arrivals = q.multicast(src, &[src, Coord::new(4, 3)], 7);
+        assert_eq!(arrivals[0], 8);
+        assert_eq!(arrivals[1], 9);
+    }
+}

@@ -1,0 +1,375 @@
+//! Compact binary (de)serialization of traces.
+//!
+//! Traces regenerate deterministically from a [`crate::TraceSpec`], but
+//! long-running experiments benefit from caching generated traces on disk;
+//! this module provides the stable binary format for that. The format is a
+//! simple tag-length encoding built on [`bytes`]:
+//!
+//! ```text
+//! magic "SHTR" | version u16 | name-len u16 | name utf-8
+//! inst-count u64 | inst*  (tag u8, pc u64, dst u8, src0 u8, src1 u8, payload)
+//! ```
+//!
+//! Register slots use `0xFF` for "absent".
+
+use crate::trace::{ThreadedTrace, Trace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sharing_isa::{ArchReg, DynInst, InstKind, MemSize};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"SHTR";
+const VERSION: u16 = 1;
+const NO_REG: u8 = 0xFF;
+
+/// Errors produced while decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the trace magic.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u16),
+    /// The buffer ended prematurely.
+    Truncated,
+    /// An instruction tag byte was not recognized.
+    BadTag(u8),
+    /// A register index was out of range.
+    BadRegister(u8),
+    /// An embedded string was not valid UTF-8.
+    BadString,
+    /// A size code was not recognized.
+    BadSize(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "missing trace magic"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "trace buffer ended prematurely"),
+            DecodeError::BadTag(t) => write!(f, "unknown instruction tag {t:#x}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::BadString => write!(f, "embedded string was not valid utf-8"),
+            DecodeError::BadSize(s) => write!(f, "unknown memory size code {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod tag {
+    pub const ALU: u8 = 0;
+    pub const MUL: u8 = 1;
+    pub const DIV: u8 = 2;
+    pub const LOAD: u8 = 3;
+    pub const STORE: u8 = 4;
+    pub const BR_T: u8 = 5;
+    pub const BR_NT: u8 = 6;
+    pub const JMP: u8 = 7;
+    pub const JMPI: u8 = 8;
+    pub const NOP: u8 = 9;
+}
+
+fn size_code(s: MemSize) -> u8 {
+    match s {
+        MemSize::B1 => 0,
+        MemSize::B2 => 1,
+        MemSize::B4 => 2,
+        MemSize::B8 => 3,
+    }
+}
+
+fn decode_size(c: u8) -> Result<MemSize, DecodeError> {
+    match c {
+        0 => Ok(MemSize::B1),
+        1 => Ok(MemSize::B2),
+        2 => Ok(MemSize::B4),
+        3 => Ok(MemSize::B8),
+        other => Err(DecodeError::BadSize(other)),
+    }
+}
+
+fn reg_code(r: Option<ArchReg>) -> u8 {
+    r.map_or(NO_REG, |r| r.index() as u8)
+}
+
+fn decode_reg(c: u8) -> Result<Option<ArchReg>, DecodeError> {
+    if c == NO_REG {
+        Ok(None)
+    } else {
+        ArchReg::try_new(c).map(Some).ok_or(DecodeError::BadRegister(c))
+    }
+}
+
+fn encode_inst(buf: &mut BytesMut, i: &DynInst) {
+    let (t, payload): (u8, Option<(u64, u8)>) = match i.kind {
+        InstKind::IntAlu => (tag::ALU, None),
+        InstKind::IntMul => (tag::MUL, None),
+        InstKind::IntDiv => (tag::DIV, None),
+        InstKind::Load { addr, size } => (tag::LOAD, Some((addr, size_code(size)))),
+        InstKind::Store { addr, size } => (tag::STORE, Some((addr, size_code(size)))),
+        InstKind::Branch { taken, target } => (
+            if taken { tag::BR_T } else { tag::BR_NT },
+            Some((target, 0)),
+        ),
+        InstKind::Jump { target } => (tag::JMP, Some((target, 0))),
+        InstKind::JumpIndirect { target } => (tag::JMPI, Some((target, 0))),
+        InstKind::Nop => (tag::NOP, None),
+    };
+    buf.put_u8(t);
+    buf.put_u64(i.pc);
+    buf.put_u8(reg_code(i.dst));
+    buf.put_u8(reg_code(i.srcs[0]));
+    buf.put_u8(reg_code(i.srcs[1]));
+    if let Some((word, aux)) = payload {
+        buf.put_u64(word);
+        buf.put_u8(aux);
+    }
+}
+
+fn decode_inst(buf: &mut Bytes) -> Result<DynInst, DecodeError> {
+    if buf.remaining() < 12 {
+        return Err(DecodeError::Truncated);
+    }
+    let t = buf.get_u8();
+    let pc = buf.get_u64();
+    let dst = decode_reg(buf.get_u8())?;
+    let s0 = decode_reg(buf.get_u8())?;
+    let s1 = decode_reg(buf.get_u8())?;
+    let mut payload = || -> Result<(u64, u8), DecodeError> {
+        if buf.remaining() < 9 {
+            return Err(DecodeError::Truncated);
+        }
+        Ok((buf.get_u64(), buf.get_u8()))
+    };
+    let kind = match t {
+        tag::ALU => InstKind::IntAlu,
+        tag::MUL => InstKind::IntMul,
+        tag::DIV => InstKind::IntDiv,
+        tag::LOAD => {
+            let (addr, c) = payload()?;
+            InstKind::Load {
+                addr,
+                size: decode_size(c)?,
+            }
+        }
+        tag::STORE => {
+            let (addr, c) = payload()?;
+            InstKind::Store {
+                addr,
+                size: decode_size(c)?,
+            }
+        }
+        tag::BR_T | tag::BR_NT => {
+            let (target, _) = payload()?;
+            InstKind::Branch {
+                taken: t == tag::BR_T,
+                target,
+            }
+        }
+        tag::JMP => {
+            let (target, _) = payload()?;
+            InstKind::Jump { target }
+        }
+        tag::JMPI => {
+            let (target, _) = payload()?;
+            InstKind::JumpIndirect { target }
+        }
+        tag::NOP => InstKind::Nop,
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok(DynInst {
+        pc,
+        kind,
+        dst,
+        srcs: [s0, s1],
+    })
+}
+
+/// Serializes a trace to its binary format.
+#[must_use]
+pub fn encode_trace(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.len() * 21);
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u16(trace.name().len() as u16);
+    buf.put_slice(trace.name().as_bytes());
+    buf.put_u64(trace.len() as u64);
+    for i in trace.iter() {
+        encode_inst(&mut buf, i);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a trace from its binary format.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for malformed input; see its variants.
+pub fn decode_trace(mut buf: Bytes) -> Result<Trace, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name_len = buf.get_u16() as usize;
+    if buf.remaining() < name_len + 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let name = std::str::from_utf8(&name_bytes)
+        .map_err(|_| DecodeError::BadString)?
+        .to_string();
+    let count = buf.get_u64() as usize;
+    let mut insts = Vec::with_capacity(count);
+    for _ in 0..count {
+        insts.push(decode_inst(&mut buf)?);
+    }
+    Ok(Trace::from_insts(name, insts))
+}
+
+/// Serializes a threaded trace (thread count, then each thread's trace).
+#[must_use]
+pub fn encode_threaded(tt: &ThreadedTrace) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u16(tt.name().len() as u16);
+    buf.put_slice(tt.name().as_bytes());
+    buf.put_u32(tt.thread_count() as u32);
+    for t in tt.threads() {
+        let enc = encode_trace(t);
+        buf.put_u64(enc.len() as u64);
+        buf.put_slice(&enc);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a threaded trace.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for malformed input.
+pub fn decode_threaded(mut buf: Bytes) -> Result<ThreadedTrace, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name_len = buf.get_u16() as usize;
+    if buf.remaining() < name_len + 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let name = std::str::from_utf8(&name_bytes)
+        .map_err(|_| DecodeError::BadString)?
+        .to_string();
+    let threads = buf.get_u32() as usize;
+    let mut out = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        if buf.remaining() < 8 {
+            return Err(DecodeError::Truncated);
+        }
+        let n = buf.get_u64() as usize;
+        if buf.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        out.push(decode_trace(buf.copy_to_bytes(n))?);
+    }
+    if out.is_empty() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(ThreadedTrace::new(name, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharing_isa::ArchReg;
+
+    fn sample() -> Trace {
+        let r = ArchReg::new(3);
+        Trace::from_insts(
+            "sample",
+            vec![
+                DynInst::alu(0x0, r, &[ArchReg::new(1)]),
+                DynInst::mul(0x4, r, &[r, ArchReg::new(2)]),
+                DynInst::load(0x8, r, Some(ArchReg::new(2)), 0xABCD, MemSize::B4),
+                DynInst::store(0xC, r, None, 0x1234, MemSize::B1),
+                DynInst::branch(0x10, r, true, 0x0),
+                DynInst::branch(0x14, r, false, 0x40),
+                DynInst::jump(0x18, 0x100),
+                DynInst::nop(0x100),
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let t = sample();
+        let enc = encode_trace(&t);
+        let dec = decode_trace(enc).unwrap();
+        assert_eq!(t, dec);
+    }
+
+    #[test]
+    fn roundtrip_threaded() {
+        let tt = ThreadedTrace::new("mt", vec![sample(), sample()]);
+        let dec = decode_threaded(encode_threaded(&tt)).unwrap();
+        assert_eq!(tt, dec);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut enc = BytesMut::from(&encode_trace(&sample())[..]);
+        enc[0] = b'X';
+        assert_eq!(decode_trace(enc.freeze()), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut enc = BytesMut::from(&encode_trace(&sample())[..]);
+        enc[5] = 99;
+        assert!(matches!(
+            decode_trace(enc.freeze()),
+            Err(DecodeError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let enc = encode_trace(&sample());
+        for cut in [0, 3, 7, 10, enc.len() - 1] {
+            let cutbuf = enc.slice(0..cut);
+            assert!(
+                decode_trace(cutbuf).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let t = Trace::from_insts("x", vec![DynInst::nop(0)]);
+        let mut enc = BytesMut::from(&encode_trace(&t)[..]);
+        let tag_pos = 4 + 2 + 2 + 1 + 8; // magic+ver+namelen+name+count
+        enc[tag_pos] = 0x7F;
+        assert!(matches!(
+            decode_trace(enc.freeze()),
+            Err(DecodeError::BadTag(0x7F))
+        ));
+    }
+}

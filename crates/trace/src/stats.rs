@@ -1,0 +1,182 @@
+//! Summary statistics over a trace.
+
+use serde::{Deserialize, Serialize};
+use sharing_isa::{DynInst, InstKind};
+use std::collections::HashSet;
+
+/// Instruction-mix and footprint statistics for a trace.
+///
+/// # Example
+///
+/// ```
+/// use sharing_isa::{ArchReg, DynInst, MemSize};
+/// use sharing_trace::TraceStats;
+///
+/// let insts = vec![
+///     DynInst::alu(0x0, ArchReg::new(1), &[]),
+///     DynInst::load(0x4, ArchReg::new(2), None, 0x100, MemSize::B8),
+///     DynInst::branch(0x8, ArchReg::new(1), true, 0x0),
+/// ];
+/// let s = TraceStats::from_insts(&insts);
+/// assert_eq!(s.total, 3);
+/// assert_eq!(s.loads, 1);
+/// assert_eq!(s.branches, 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub total: u64,
+    /// Plain ALU operations (including nops).
+    pub alu: u64,
+    /// Multiplies.
+    pub mul: u64,
+    /// Divides.
+    pub div: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Conditional branches.
+    pub branches: u64,
+    /// Unconditional jumps (direct + indirect).
+    pub jumps: u64,
+    /// Taken conditional branches.
+    pub taken_branches: u64,
+    /// Fraction of instructions that are memory operations.
+    pub mem_frac: f64,
+    /// Fraction of instructions that are conditional branches.
+    pub branch_frac: f64,
+    /// Distinct 64-byte data lines touched.
+    pub data_lines: u64,
+    /// Distinct instruction PCs (static footprint).
+    pub static_insts: u64,
+    /// Approximate data working set in bytes (distinct lines × 64).
+    pub data_footprint: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics from an instruction slice.
+    #[must_use]
+    pub fn from_insts(insts: &[DynInst]) -> Self {
+        let mut s = TraceStats::default();
+        let mut lines: HashSet<u64> = HashSet::new();
+        let mut pcs: HashSet<u64> = HashSet::new();
+        for i in insts {
+            s.total += 1;
+            pcs.insert(i.pc);
+            match i.kind {
+                InstKind::IntAlu | InstKind::Nop => s.alu += 1,
+                InstKind::IntMul => s.mul += 1,
+                InstKind::IntDiv => s.div += 1,
+                InstKind::Load { addr, .. } => {
+                    s.loads += 1;
+                    lines.insert(addr >> 6);
+                }
+                InstKind::Store { addr, .. } => {
+                    s.stores += 1;
+                    lines.insert(addr >> 6);
+                }
+                InstKind::Branch { taken, .. } => {
+                    s.branches += 1;
+                    if taken {
+                        s.taken_branches += 1;
+                    }
+                }
+                InstKind::Jump { .. } | InstKind::JumpIndirect { .. } => s.jumps += 1,
+            }
+        }
+        if s.total > 0 {
+            s.mem_frac = (s.loads + s.stores) as f64 / s.total as f64;
+            s.branch_frac = s.branches as f64 / s.total as f64;
+        }
+        s.data_lines = lines.len() as u64;
+        s.static_insts = pcs.len() as u64;
+        s.data_footprint = s.data_lines * 64;
+        s
+    }
+}
+
+impl std::fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} insts: {:.1}% mem ({} ld / {} st), {:.1}% br ({:.1}% taken), footprint {} KB, {} static insts",
+            self.total,
+            100.0 * self.mem_frac,
+            self.loads,
+            self.stores,
+            100.0 * self.branch_frac,
+            if self.branches > 0 {
+                100.0 * self.taken_branches as f64 / self.branches as f64
+            } else {
+                0.0
+            },
+            self.data_footprint >> 10,
+            self.static_insts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharing_isa::{ArchReg, MemSize};
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let s = TraceStats::from_insts(&[]);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mem_frac, 0.0);
+    }
+
+    #[test]
+    fn counts_every_class() {
+        let r = ArchReg::new(1);
+        let insts = vec![
+            DynInst::alu(0, r, &[]),
+            DynInst::mul(4, r, &[]),
+            DynInst {
+                kind: InstKind::IntDiv,
+                ..DynInst::mul(8, r, &[])
+            },
+            DynInst::load(12, r, None, 0x40, MemSize::B8),
+            DynInst::store(16, r, None, 0x80, MemSize::B8),
+            DynInst::branch(20, r, true, 0x0),
+            DynInst::branch(24, r, false, 0x0),
+            DynInst::jump(28, 0x0),
+            DynInst::nop(32),
+        ];
+        let s = TraceStats::from_insts(&insts);
+        assert_eq!(s.total, 9);
+        assert_eq!(s.alu, 2); // alu + nop
+        assert_eq!(s.mul, 1);
+        assert_eq!(s.div, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.branches, 2);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.jumps, 1);
+        assert_eq!(s.data_lines, 2);
+        assert_eq!(s.static_insts, 9);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_lines() {
+        let r = ArchReg::new(1);
+        // Two addresses in the same 64-byte line, one in another.
+        let insts = vec![
+            DynInst::load(0, r, None, 0x100, MemSize::B8),
+            DynInst::load(4, r, None, 0x108, MemSize::B8),
+            DynInst::load(8, r, None, 0x140, MemSize::B8),
+        ];
+        let s = TraceStats::from_insts(&insts);
+        assert_eq!(s.data_lines, 2);
+        assert_eq!(s.data_footprint, 128);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = TraceStats::from_insts(&[DynInst::nop(0)]);
+        assert!(s.to_string().contains("insts"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Online auto-tuning of a live Virtual Core (paper §4).
+//!
+//! A customer without a performance model lets an auto-tuner resize their
+//! VCore: the tuner probes neighbouring configurations with a live
+//! heartbeat (here: a short simulator run of the customer's own workload),
+//! scores each probe with the customer's utility under the market's
+//! prices, and walks uphill. Compare the handful of probes it needs
+//! against the 72-shape exhaustive sweep.
+//!
+//! ```text
+//! cargo run --release --example autotune
+//! ```
+
+use sharing_arch::core::{SimConfig, Simulator, VCoreShape};
+use sharing_arch::market::autotuner::{AutoTuner, Objective};
+use sharing_arch::market::{optimize, ExperimentSpec, Market, SuiteSurfaces, UtilityFn};
+use sharing_arch::trace::{Benchmark, TraceSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Benchmark::Gcc;
+    let heartbeat_spec = TraceSpec::new(12_000, 2026);
+    let market = Market::MARKET2;
+    let utility = UtilityFn::Balanced;
+    let budget = 48.0;
+
+    // The heartbeat: run a profiling slice of the workload on a candidate
+    // shape and report IPC — the paper's "performance feedback".
+    let trace = workload.generate(&heartbeat_spec);
+    let mut heartbeat = |shape: VCoreShape| -> f64 {
+        let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks)
+            .expect("lattice shapes are valid");
+        Simulator::new(cfg).expect("valid").run(&trace).ipc()
+    };
+
+    let mut tuner = AutoTuner::new(
+        VCoreShape::new(1, 0)?,
+        Objective::Utility {
+            utility,
+            market,
+            budget,
+        },
+    );
+    println!("tuning {workload} for {utility} under {market} (budget {budget})…\n");
+    let mut step = 0;
+    while !tuner.converged() && tuner.probes().len() < 40 {
+        step += 1;
+        let rec = tuner.step(&mut heartbeat);
+        println!(
+            "step {step}: {} probes so far, recommending {rec}",
+            tuner.probes().len()
+        );
+    }
+    let tuned = tuner.current();
+    let tuned_score = tuner
+        .probes()
+        .iter()
+        .find(|p| p.shape == tuned)
+        .map(|p| p.score)
+        .unwrap_or_default();
+
+    // Ground truth: the exhaustive sweep the provider could run offline.
+    println!("\nmeasuring the exhaustive 72-shape surface for comparison…");
+    let suite = SuiteSurfaces::build_subset(
+        ExperimentSpec {
+            trace_len: heartbeat_spec.len,
+            seed: heartbeat_spec.seed,
+            ..ExperimentSpec::standard()
+        },
+        &[workload],
+    );
+    let exhaustive = optimize::best_utility(suite.surface(workload), utility, &market, budget);
+
+    println!(
+        "\nauto-tuner : {tuned} with utility {tuned_score:.4} after {} probes",
+        tuner.probes().len()
+    );
+    println!(
+        "exhaustive : {} with utility {:.4} after 72 measurements",
+        exhaustive.shape, exhaustive.value
+    );
+    println!(
+        "the tuner reached {:.0}% of the exhaustive optimum with {:.0}% of the probes",
+        100.0 * tuned_score / exhaustive.value,
+        100.0 * tuner.probes().len() as f64 / 72.0
+    );
+    Ok(())
+}

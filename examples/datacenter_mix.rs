@@ -1,0 +1,63 @@
+//! Why static heterogeneity is not enough (paper §5.9, Figure 17).
+//!
+//! A datacenter of fixed silicon must serve a shifting mix of hmmer-like
+//! (small-core-friendly) and gobmk-like (big-core-friendly) jobs. For each
+//! mix, a different big:small core ratio is optimal — so any fixed ratio
+//! leaves utility on the table, while the Sharing Architecture simply
+//! re-synthesizes its cores.
+//!
+//! ```text
+//! cargo run --release --example datacenter_mix
+//! ```
+
+use sharing_arch::area::AreaModel;
+use sharing_arch::market::datacenter;
+use sharing_arch::market::{ExperimentSpec, SuiteSurfaces};
+use sharing_arch::trace::Benchmark;
+
+fn main() {
+    let spec = ExperimentSpec::quick();
+    println!("measuring hmmer and gobmk performance surfaces…");
+    let suite = SuiteSurfaces::build_subset(spec, &[Benchmark::Hmmer, Benchmark::Gobmk]);
+    let study = datacenter::run_study(
+        &suite,
+        Benchmark::Hmmer,
+        Benchmark::Gobmk,
+        &AreaModel::paper(),
+    );
+
+    println!(
+        "\nbig core = {} ({} KB)   small core = {} ({} KB)\n",
+        datacenter::big_core(),
+        datacenter::big_core().l2_kb(),
+        datacenter::small_core(),
+        datacenter::small_core().l2_kb()
+    );
+    print!("{:>12}", "hmmer share");
+    for bf in &study.big_fracs {
+        print!("{:>10}", format!("big={bf:.2}"));
+    }
+    println!();
+    for row in &study.points {
+        let best = row
+            .iter()
+            .map(|p| p.throughput_per_area)
+            .fold(f64::MIN, f64::max);
+        print!("{:>12.2}", row[0].app_a_frac);
+        for p in row {
+            let mark = if p.throughput_per_area == best { '*' } else { ' ' };
+            print!("{:>9.4}{mark}", p.throughput_per_area);
+        }
+        println!();
+    }
+    println!("\n(*) the best core ratio for that application mix");
+    for (mix, ratio) in study.optimal_ratio_per_mix() {
+        println!("hmmer share {mix:.2} → optimal big-core area fraction {ratio:.2}");
+    }
+    if study.no_single_ratio_is_optimal() {
+        println!(
+            "\nNo single big:small ratio is optimal across mixes — the paper's argument \
+             for sub-core reconfigurability over static heterogeneity."
+        );
+    }
+}

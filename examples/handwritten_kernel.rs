@@ -1,0 +1,64 @@
+//! Hand-write a kernel, watch it run.
+//!
+//! The tiny assembler in `sharing_isa::asm` lets you write committed-path
+//! programs directly — here, a pointer-ish reduction loop — and the
+//! timeline renderer shows exactly how the Sharing Architecture executes
+//! it at different VCore widths.
+//!
+//! ```text
+//! cargo run --release --example handwritten_kernel
+//! ```
+
+use sharing_arch::core::{timeline, SimConfig, Simulator};
+use sharing_arch::isa::asm::assemble;
+use sharing_arch::trace::Trace;
+
+const KERNEL: &str = "
+    # One iteration of a reduction: two independent loads feed an
+    # accumulate chain; a flag store publishes the partial sum.
+    ld   r1, [0x1000]
+    ld   r2, [0x1040]
+    alu  r3, r3, r1
+    alu  r3, r3, r2
+    mul  r4, r3
+    st   r4, [0x2000]
+    alu  r26, r26          # induction update
+    br.nt 0x0, r26         # loop test (falls through; harness loops us)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let block = assemble(KERNEL, 0x1_0000)?;
+    // Repeat the kernel into a steady-state trace, closed by a back jump.
+    let mut insts = Vec::new();
+    let mut body = block.clone();
+    body.push(sharing_arch::isa::DynInst::jump(
+        body.last().expect("non-empty").pc + 4,
+        body[0].pc,
+    ));
+    while insts.len() < 600 {
+        insts.extend(body.iter().copied());
+    }
+    insts.truncate(600);
+    let trace = Trace::from_insts("reduction", insts);
+
+    for slices in [1usize, 4] {
+        let cfg = SimConfig::with_shape(slices, 2)?;
+        let (result, timings) = Simulator::new(cfg)?.run_detailed(&trace);
+        println!(
+            "===== {slices}-Slice VCore: IPC {:.2}, {} cycles =====",
+            result.ipc(),
+            result.cycles
+        );
+        let window = 300..318; // steady state
+        println!(
+            "{}",
+            timeline::render(&timings[window.clone()], &trace.insts()[window], 90)
+        );
+    }
+    println!(
+        "The two loads are independent and overlap; the accumulate chain \
+         serializes through r3; more Slices help exactly as much as the \
+         kernel's dataflow allows — the paper's core resource-fit argument."
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Quickstart: compose a Virtual Core and run a workload on it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sharing_arch::core::{SimConfig, Simulator};
+use sharing_arch::trace::{Benchmark, TraceSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A synthetic gcc-like workload, standing in for a GEM5 trace.
+    let trace = Benchmark::Gcc.generate(&TraceSpec::new(30_000, 42));
+    println!("workload: {}", trace.stats());
+
+    // The Sharing Architecture's whole point: the "core" is a knob.
+    // Sweep a few Virtual Core shapes over the same binary.
+    println!("\n{:<22} {:>8} {:>10} {:>12}", "VCore", "IPC", "cycles", "L1D miss");
+    for (slices, banks) in [(1, 0), (1, 2), (2, 2), (4, 8), (8, 16)] {
+        let config = SimConfig::with_shape(slices, banks)?;
+        let result = Simulator::new(config)?.run(&trace);
+        println!(
+            "{:<22} {:>8.3} {:>10} {:>11.1}%",
+            format!("{} slices / {}KB L2", slices, banks * 64),
+            result.ipc(),
+            result.cycles,
+            100.0 * result.mem.l1d.miss_rate(),
+        );
+    }
+
+    println!(
+        "\nEvery row ran the same instruction stream — no recompilation — \
+         on a differently synthesized core, which is what an IaaS provider \
+         would lease on a per-Slice / per-bank basis."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! # The Sharing Architecture — reproduction facade
+//!
+//! This crate re-exports the whole Sharing Architecture reproduction
+//! (Zhou & Wentzlaff, ASPLOS 2014) behind one dependency:
+//!
+//! * [`isa`] — generic RISC-like ISA and the reference interpreter;
+//! * [`trace`] — synthetic workloads standing in for GEM5 traces of
+//!   SPEC CINT2006 / Apache / PARSEC;
+//! * [`noc`] — the switched 2D on-chip networks (scalar operand network,
+//!   load/store sorting, global rename);
+//! * [`cache`] — L1s, the sea of 64 KB L2 banks, and directory coherence;
+//! * [`core`] — SSim, the cycle-level Virtual-Core simulator (the paper's
+//!   primary contribution);
+//! * [`area`] — the 45 nm area model behind the paper's Figures 10/11;
+//! * [`hv`] — the hypervisor-level chip allocator (Slice contiguity,
+//!   fragmentation, reconfiguration costs);
+//! * [`market`] — the IaaS economic model: utility functions, sub-core
+//!   markets, and the market-efficiency studies.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sharing_arch::core::{SimConfig, Simulator};
+//! use sharing_arch::trace::{Benchmark, TraceSpec};
+//!
+//! // A 2-Slice Virtual Core with 128 KB of L2 (two 64 KB banks), running
+//! // a synthetic gcc-like workload.
+//! let config = SimConfig::builder().slices(2).l2_banks(2).build()?;
+//! let trace = Benchmark::Gcc.generate(&TraceSpec::new(5_000, 42));
+//! let result = Simulator::new(config)?.run(&trace);
+//! println!("IPC = {:.2}", result.ipc());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use sharing_area as area;
+pub use sharing_cache as cache;
+pub use sharing_core as core;
+pub use sharing_hv as hv;
+pub use sharing_isa as isa;
+pub use sharing_market as market;
+pub use sharing_noc as noc;
+pub use sharing_trace as trace;

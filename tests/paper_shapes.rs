@@ -1,0 +1,185 @@
+//! Shape-level regression tests against the paper's published results:
+//! not absolute numbers (our substrate is a synthetic-trace simulator, not
+//! the authors' GEM5 + Verilog flow), but who wins, in which direction,
+//! and roughly by how much. These are the claims EXPERIMENTS.md records.
+
+use sharing_arch::area::{AreaModel, SliceComponent};
+use sharing_arch::core::{SimConfig, Simulator, VCoreShape, VmSimulator};
+use sharing_arch::trace::{Benchmark, TraceSpec};
+
+const SPEC: TraceSpec = TraceSpec {
+    len: 20_000,
+    seed: 0x5A7E,
+};
+
+fn ipc(bench: Benchmark, slices: usize, banks: usize) -> f64 {
+    let cfg = SimConfig::with_shape(slices, banks).unwrap();
+    if bench.is_parsec() {
+        VmSimulator::new(cfg)
+            .unwrap()
+            .run(&bench.generate_threaded(&SPEC))
+            .ipc()
+    } else {
+        Simulator::new(cfg).unwrap().run(&bench.generate(&SPEC)).ipc()
+    }
+}
+
+// ---- Figure 12: Slice scalability -------------------------------------
+
+#[test]
+fn fig12_ilp_workloads_scale_with_slices() {
+    // The paper's best curves approach 5x at 8 Slices.
+    let speedup = ipc(Benchmark::Libquantum, 8, 2) / ipc(Benchmark::Libquantum, 1, 2);
+    assert!(speedup > 2.5, "libquantum 8-slice speedup {speedup:.2}");
+    let h264 = ipc(Benchmark::H264ref, 8, 2) / ipc(Benchmark::H264ref, 1, 2);
+    assert!(h264 > 1.6, "h264ref 8-slice speedup {h264:.2}");
+}
+
+#[test]
+fn fig12_serial_workloads_do_not_scale() {
+    // hmmer prefers a single Slice (Table 4 / §5.9); extra Slices only add
+    // operand-communication latency.
+    let hmmer = ipc(Benchmark::Hmmer, 8, 2) / ipc(Benchmark::Hmmer, 1, 2);
+    assert!(hmmer < 1.0, "hmmer should not benefit: {hmmer:.2}");
+    let mcf = ipc(Benchmark::Mcf, 8, 2) / ipc(Benchmark::Mcf, 1, 2);
+    assert!(mcf < 1.15, "mcf is memory-bound: {mcf:.2}");
+}
+
+#[test]
+fn fig12_parsec_speedup_is_bounded_near_two() {
+    // §5.3: "Compared with SPEC, PARSEC benchmarks have less ILP; the
+    // speedup is bounded by 2."
+    for bench in [Benchmark::Dedup, Benchmark::Swaptions, Benchmark::Ferret] {
+        let speedup = ipc(bench, 8, 4) / ipc(bench, 1, 4);
+        assert!(
+            speedup < 3.0,
+            "{bench}: PARSEC speedup should be bounded, got {speedup:.2}"
+        );
+    }
+}
+
+// ---- Figure 13: cache sensitivity --------------------------------------
+
+#[test]
+fn fig13_sensitive_benchmarks_gain_from_cache() {
+    for bench in [Benchmark::Omnetpp, Benchmark::Mcf] {
+        let gain = ipc(bench, 2, 8) / ipc(bench, 2, 0);
+        assert!(gain > 1.4, "{bench} 512KB gain {gain:.2}");
+    }
+}
+
+#[test]
+fn fig13_insensitive_benchmarks_stay_flat() {
+    // gobmk/sjeng sit near the flat group in the paper's Figure 13.
+    for bench in [Benchmark::Gobmk, Benchmark::Sjeng] {
+        let gain = ipc(bench, 2, 32) / ipc(bench, 2, 1);
+        assert!(
+            gain < 1.25,
+            "{bench} should be nearly flat beyond 64KB: {gain:.2}"
+        );
+    }
+}
+
+#[test]
+fn fig13_giant_caches_can_hurt() {
+    // §5.4: "Performance can actually decrease as more cache is added"
+    // because of the 2-cycles-per-256KB distance model.
+    for bench in [Benchmark::Hmmer, Benchmark::Gobmk, Benchmark::H264ref] {
+        let small = ipc(bench, 2, 4);
+        let huge = ipc(bench, 2, 128);
+        assert!(
+            huge < small,
+            "{bench}: 8MB ({huge:.3}) should lose to 256KB ({small:.3})"
+        );
+    }
+}
+
+// ---- Figures 10/11: area ------------------------------------------------
+
+#[test]
+fn fig10_sharing_overhead_is_modest() {
+    let model = AreaModel::paper();
+    let frac = model.sharing_overhead_mm2() / model.slice_mm2();
+    assert!((frac - 0.08).abs() < 0.01, "sharing overhead {frac:.3}");
+    // Caches dominate the Slice, as in the paper's pie chart.
+    let l1 = SliceComponent::L1ICache.fraction() + SliceComponent::L1DCache.fraction();
+    assert!(l1 > 0.45);
+}
+
+#[test]
+fn fig11_bank_is_about_a_third_of_slice_plus_bank() {
+    let model = AreaModel::paper();
+    let (_, bank_share) = model.with_bank_fractions();
+    assert!((bank_share - 0.35).abs() < 0.05, "bank share {bank_share:.3}");
+}
+
+// ---- §5.1: one operand network suffices ---------------------------------
+
+#[test]
+fn second_operand_network_buys_little() {
+    use sharing_arch::core::ModelKnobs;
+    let trace = Benchmark::Gcc.generate(&SPEC);
+    let base_cfg = SimConfig::builder()
+        .slices(8)
+        .l2_banks(2)
+        .build()
+        .unwrap();
+    let two = SimConfig::builder()
+        .slices(8)
+        .l2_banks(2)
+        .knobs(ModelKnobs {
+            operand_planes: 2,
+            ..ModelKnobs::default()
+        })
+        .build()
+        .unwrap();
+    let one_ipc = Simulator::new(base_cfg).unwrap().run(&trace).ipc();
+    let two_ipc = Simulator::new(two).unwrap().run(&trace).ipc();
+    let gain = two_ipc / one_ipc - 1.0;
+    assert!(
+        gain < 0.10,
+        "paper found ≈1%; a second plane should not be transformative: {:.1}%",
+        100.0 * gain
+    );
+}
+
+// ---- §5.8: market efficiency ---------------------------------------------
+
+#[test]
+fn sharing_dominates_any_fixed_shape_per_customer() {
+    use sharing_arch::market::{optimize, ExperimentSpec, Market, SuiteSurfaces, UtilityFn};
+    let suite = SuiteSurfaces::build_subset(
+        ExperimentSpec::quick(),
+        &[Benchmark::Hmmer, Benchmark::Omnetpp],
+    );
+    let fixed = VCoreShape::new(4, 8).unwrap();
+    for (b, surf) in suite.iter() {
+        for u in [UtilityFn::Throughput, UtilityFn::LatencyCritical] {
+            let best = optimize::best_utility(surf, u, &Market::MARKET2, 48.0);
+            let at_fixed = optimize::utility_at(surf, fixed, u, &Market::MARKET2, 48.0);
+            assert!(
+                best.value >= at_fixed - 1e-12,
+                "{b}/{u}: optimum {} below fixed {at_fixed}",
+                best.value
+            );
+        }
+    }
+}
+
+// ---- Table 2/3 defaults ---------------------------------------------------
+
+#[test]
+fn base_configuration_matches_paper_tables() {
+    let cfg = SimConfig::builder().build().unwrap();
+    assert_eq!(cfg.slice.rob_entries, 64);
+    assert_eq!(cfg.slice.issue_window, 32);
+    assert_eq!(cfg.slice.lsq_entries, 32);
+    assert_eq!(cfg.slice.store_buffer, 8);
+    assert_eq!(cfg.slice.max_inflight_loads, 8);
+    assert_eq!(cfg.slice.local_regs, 64);
+    assert_eq!(cfg.slice.global_regs, 128);
+    assert_eq!(cfg.mem.memory_delay, 100);
+    assert_eq!(cfg.mem.l1_hit, 3);
+    // Table 3's L2 delay: distance*2 + 4.
+    assert_eq!(cfg.mem.l2_latency.hit_latency(3), 10);
+}
