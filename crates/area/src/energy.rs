@@ -11,11 +11,10 @@
 //! not just asserted.
 
 use crate::model::AreaModel;
-use serde::{Deserialize, Serialize};
 use sharing_core::{SimResult, VCoreShape};
 
 /// Per-event dynamic energies in picojoules, and leakage density.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyModel {
     /// One instruction's worth of pipeline overhead (fetch, decode,
     /// rename, commit).
@@ -60,7 +59,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy accounting for one simulated run.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyReport {
     /// Dynamic energy in nanojoules.
     pub dynamic_nj: f64,
@@ -131,9 +130,9 @@ pub fn estimate(result: &SimResult, model: &EnergyModel, area: &AreaModel) -> En
         + (result.ls_sort_messages + result.rename_broadcasts) as f64 * model.hop_pj
         + m.l1d.writebacks as f64 * model.l2_pj
         + (m.store_forwards + m.lsq_violations) as f64 * model.lsq_search_pj;
-    let shape = result.shape.unwrap_or(
-        VCoreShape::new(1, 0).expect("fallback shape is valid"),
-    );
+    let shape = result
+        .shape
+        .unwrap_or(VCoreShape::new(1, 0).expect("fallback shape is valid"));
     let mm2 = area.vcore_mm2(shape.slices, shape.l2_banks);
     let leakage_pj = mm2 * model.leakage_pj_per_mm2_cycle * result.cycles as f64;
     EnergyReport {

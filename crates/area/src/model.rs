@@ -1,10 +1,9 @@
 //! The Figure 10/11 component model.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A component of a Slice's area (Figure 10's slices of the pie).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum SliceComponent {
     L1ICache,
@@ -124,7 +123,7 @@ impl fmt::Display for SliceComponent {
 /// Everything downstream (the market's resource prices, performance-per-
 /// area metrics, datacenter area budgets) consumes only ratios of these
 /// numbers, which are pinned by the paper's figures.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AreaModel {
     slice_mm2: f64,
     bank_mm2: f64,
@@ -257,7 +256,10 @@ mod tests {
         let (_, bank_share) = m.with_bank_fractions();
         // Figure 11: the 64 KB bank is ≈35 % of Slice+bank (1/3 exactly in
         // our 2:1 calibration; the paper's 35 % includes rounding).
-        assert!((bank_share - 1.0 / 3.0).abs() < 0.02, "bank share {bank_share}");
+        assert!(
+            (bank_share - 1.0 / 3.0).abs() < 0.02,
+            "bank share {bank_share}"
+        );
     }
 
     #[test]

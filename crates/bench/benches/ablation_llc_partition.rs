@@ -12,15 +12,13 @@ use sharing_cache::{partition::WayPartitionedCache, CacheGeometry, SetAssocCache
 
 /// A tenant cyclically walking a working set of `lines` cache lines.
 fn stream(lines: u64, passes: usize) -> Vec<u64> {
-    (0..passes)
-        .flat_map(|_| 0..lines)
-        .collect()
+    (0..passes).flat_map(|_| 0..lines).collect()
 }
 
 fn run_way_partitioned(quota_a: u32, a: &[u64], b: &[u64]) -> (f64, f64) {
     // 64 sets × 8 ways = 512 lines of shared LLC.
-    let mut llc = WayPartitionedCache::new(64, 8, vec![quota_a, 8 - quota_a])
-        .expect("quotas fit the array");
+    let mut llc =
+        WayPartitionedCache::new(64, 8, vec![quota_a, 8 - quota_a]).expect("quotas fit the array");
     let mut ia = a.iter();
     let mut ib = b.iter();
     // Interleave the two tenants' accesses.
@@ -86,7 +84,11 @@ fn main() {
             println!(
                 "{}",
                 render_table(
-                    &["capacity split (A/total)", "way-partition miss A/B", "bank-assign miss A/B"],
+                    &[
+                        "capacity split (A/total)",
+                        "way-partition miss A/B",
+                        "bank-assign miss A/B"
+                    ],
                     &rows
                 )
             );

@@ -4,38 +4,42 @@ use sharing_area::{AreaModel, SliceComponent};
 use sharing_bench::{render_table, run_experiment};
 
 fn main() {
-    run_experiment("fig10_area", "Figure 10 (Slice area breakdown, 45nm)", || {
-        let model = AreaModel::paper();
-        let mut rows: Vec<Vec<String>> = SliceComponent::ALL
-            .iter()
-            .map(|&c| {
-                vec![
-                    c.name().to_string(),
-                    format!("{:.1}%", 100.0 * c.fraction()),
-                    format!("{:.4} mm2", model.component_mm2(c)),
-                    if c.is_sharing_overhead() { "yes" } else { "" }.to_string(),
-                ]
-            })
-            .collect();
-        rows.push(vec![
-            "TOTAL (one Slice)".to_string(),
-            "100.0%".to_string(),
-            format!("{:.4} mm2", model.slice_mm2()),
-            String::new(),
-        ]);
-        rows.push(vec![
-            "Sharing overhead subtotal".to_string(),
-            format!(
-                "{:.1}%",
-                100.0 * model.sharing_overhead_mm2() / model.slice_mm2()
-            ),
-            format!("{:.4} mm2", model.sharing_overhead_mm2()),
-            String::new(),
-        ]);
-        println!(
-            "{}",
-            render_table(&["component", "share", "area", "sharing-overhead"], &rows)
-        );
-        println!("paper: L1s 24%+24%, sharing overhead 8% of the Slice");
-    });
+    run_experiment(
+        "fig10_area",
+        "Figure 10 (Slice area breakdown, 45nm)",
+        || {
+            let model = AreaModel::paper();
+            let mut rows: Vec<Vec<String>> = SliceComponent::ALL
+                .iter()
+                .map(|&c| {
+                    vec![
+                        c.name().to_string(),
+                        format!("{:.1}%", 100.0 * c.fraction()),
+                        format!("{:.4} mm2", model.component_mm2(c)),
+                        if c.is_sharing_overhead() { "yes" } else { "" }.to_string(),
+                    ]
+                })
+                .collect();
+            rows.push(vec![
+                "TOTAL (one Slice)".to_string(),
+                "100.0%".to_string(),
+                format!("{:.4} mm2", model.slice_mm2()),
+                String::new(),
+            ]);
+            rows.push(vec![
+                "Sharing overhead subtotal".to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * model.sharing_overhead_mm2() / model.slice_mm2()
+                ),
+                format!("{:.4} mm2", model.sharing_overhead_mm2()),
+                String::new(),
+            ]);
+            println!(
+                "{}",
+                render_table(&["component", "share", "area", "sharing-overhead"], &rows)
+            );
+            println!("paper: L1s 24%+24%, sharing overhead 8% of the Slice");
+        },
+    );
 }

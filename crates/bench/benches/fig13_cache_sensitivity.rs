@@ -27,7 +27,15 @@ fn main() {
                 "{}",
                 render_table(
                     &[
-                        "benchmark", "0KB", "64K", "128K", "256K", "512K", "1M", "2M", "4M",
+                        "benchmark",
+                        "0KB",
+                        "64K",
+                        "128K",
+                        "256K",
+                        "512K",
+                        "1M",
+                        "2M",
+                        "4M",
                         "8M"
                     ],
                     &rows
@@ -35,7 +43,18 @@ fn main() {
             );
             write_csv(
                 "fig13_cache_sensitivity",
-                &["benchmark", "0KB", "64K", "128K", "256K", "512K", "1M", "2M", "4M", "8M"],
+                &[
+                    "benchmark",
+                    "0KB",
+                    "64K",
+                    "128K",
+                    "256K",
+                    "512K",
+                    "1M",
+                    "2M",
+                    "4M",
+                    "8M",
+                ],
                 &rows,
             );
             println!(

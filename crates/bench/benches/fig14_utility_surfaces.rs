@@ -18,10 +18,11 @@ fn main() {
             for bench in [Benchmark::Gcc, Benchmark::Bzip] {
                 for utility in [UtilityFn::Throughput, UtilityFn::Balanced] {
                     let surf = suite.surface(bench);
-                    println!("\n{bench} under {utility} (rows: L2 banks log2 scale; cols: slices 1..8)");
+                    println!(
+                        "\n{bench} under {utility} (rows: L2 banks log2 scale; cols: slices 1..8)"
+                    );
                     // Normalize so the peak is 1.0, like reading a heatmap.
-                    let peak =
-                        optimize::best_utility(surf, utility, &Market::MARKET2, BUDGET);
+                    let peak = optimize::best_utility(surf, utility, &Market::MARKET2, BUDGET);
                     for &banks in BANK_STEPS.iter().rev() {
                         print!("{:5}KB |", banks * 64);
                         for s in 1..=8 {

@@ -39,7 +39,11 @@ fn main() {
                         .fold(f64::MIN, f64::max);
                     std::iter::once(format!("{:.2}", row[0].app_a_frac))
                         .chain(row.iter().map(|p| {
-                            let mark = if p.throughput_per_area == best { "*" } else { " " };
+                            let mark = if p.throughput_per_area == best {
+                                "*"
+                            } else {
+                                " "
+                            };
                             format!("{:.4}{mark}", p.throughput_per_area)
                         }))
                         .collect()

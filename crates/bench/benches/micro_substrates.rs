@@ -1,67 +1,94 @@
-//! Criterion microbenchmarks of the simulator substrates: these are the
+//! Microbenchmarks of the simulator substrates: these are the
 //! performance-sensitive inner loops every experiment above runs millions
-//! of times.
+//! of times. A plain timing harness (median of several runs) keeps the
+//! workspace dependency-free.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sharing_bench::{render_table, run_experiment};
 use sharing_cache::{CacheGeometry, SetAssocCache};
 use sharing_core::{SimConfig, Simulator};
 use sharing_noc::{Coord, IdealNetwork, LatencyModel, Mesh, QueuedNetwork, Transport};
 use sharing_trace::{Benchmark, TraceSpec};
+use std::time::Instant;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/set_assoc_access", |b| {
+/// Times `f` over `iters` iterations, repeated `runs` times; returns the
+/// median per-iteration nanoseconds.
+fn time_ns(runs: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn row(name: &str, ns: f64) -> Vec<String> {
+    let rate = 1e9 / ns;
+    vec![
+        name.to_string(),
+        format!("{ns:.1} ns"),
+        format!("{:.2} M/s", rate / 1e6),
+    ]
+}
+
+fn main() {
+    run_experiment("micro_substrates", "Substrate microbenchmarks", || {
+        let mut rows = Vec::new();
+
         let geom = CacheGeometry::new(16 << 10, 64, 2).expect("valid");
         let mut cache = SetAssocCache::new(geom);
         let mut line = 0u64;
-        b.iter(|| {
-            line = (line * 2_862_933_555_777_941_757).wrapping_add(3) % 4096;
-            cache.access(line, line % 3 == 0)
-        });
-    });
-}
+        rows.push(row(
+            "cache/set_assoc_access",
+            time_ns(7, 200_000, || {
+                line = (line.wrapping_mul(2_862_933_555_777_941_757)).wrapping_add(3) % 4096;
+                let _ = cache.access(line, line.is_multiple_of(3));
+            }),
+        ));
 
-fn bench_noc(c: &mut Criterion) {
-    let mesh = Mesh::new(8, 8);
-    c.bench_function("noc/ideal_send", |b| {
-        let mut net = IdealNetwork::new(mesh, LatencyModel::tilera());
+        let mesh = Mesh::new(8, 8);
+        let mut ideal = IdealNetwork::new(mesh, LatencyModel::tilera());
         let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            net.send(Coord::new(0, 0), Coord::new(7, 7), t)
-        });
-    });
-    c.bench_function("noc/queued_send", |b| {
-        let mut net = QueuedNetwork::new(mesh, LatencyModel::tilera(), 1);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 2;
-            net.send(Coord::new(0, 0), Coord::new(7, 7), t)
-        });
-    });
-}
+        rows.push(row(
+            "noc/ideal_send",
+            time_ns(7, 200_000, || {
+                t += 1;
+                let _ = ideal.send(Coord::new(0, 0), Coord::new(7, 7), t);
+            }),
+        ));
+        let mut queued = QueuedNetwork::new(mesh, LatencyModel::tilera(), 1);
+        let mut tq = 0u64;
+        rows.push(row(
+            "noc/queued_send",
+            time_ns(7, 200_000, || {
+                tq += 2;
+                let _ = queued.send(Coord::new(0, 0), Coord::new(7, 7), tq);
+            }),
+        ));
 
-fn bench_generator(c: &mut Criterion) {
-    c.bench_function("trace/generate_10k_gcc", |b| {
-        b.iter(|| Benchmark::Gcc.generate(&TraceSpec::new(10_000, 3)));
+        rows.push(row(
+            "trace/generate_10k_gcc",
+            time_ns(5, 20, || {
+                let _ = Benchmark::Gcc.generate(&TraceSpec::new(10_000, 3));
+            }),
+        ));
+
+        let trace = Benchmark::Gcc.generate(&TraceSpec::new(10_000, 3));
+        for slices in [1usize, 4] {
+            rows.push(row(
+                &format!("sim/gcc_10k_{slices}slice"),
+                time_ns(5, 5, || {
+                    let sim = Simulator::new(SimConfig::with_shape(slices, 2).expect("valid"))
+                        .expect("valid");
+                    let _ = sim.run(&trace);
+                }),
+            ));
+        }
+
+        println!("{}", render_table(&["benchmark", "median", "rate"], &rows));
     });
 }
-
-fn bench_simulator(c: &mut Criterion) {
-    let trace = Benchmark::Gcc.generate(&TraceSpec::new(10_000, 3));
-    for slices in [1usize, 4] {
-        c.bench_function(&format!("sim/gcc_10k_{slices}slice"), |b| {
-            b.iter_batched(
-                || Simulator::new(SimConfig::with_shape(slices, 2).expect("valid")).expect("valid"),
-                |sim| sim.run(&trace),
-                BatchSize::SmallInput,
-            );
-        });
-    }
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cache, bench_noc, bench_generator, bench_simulator
-}
-criterion_main!(benches);

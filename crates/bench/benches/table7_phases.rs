@@ -32,8 +32,8 @@ fn main() {
                 rows.push(slice_row);
             }
             let headers = [
-                "metric", "ph1", "ph2", "ph3", "ph4", "ph5", "ph6", "ph7", "ph8", "ph9",
-                "ph10", "summary",
+                "metric", "ph1", "ph2", "ph3", "ph4", "ph5", "ph6", "ph7", "ph8", "ph9", "ph10",
+                "summary",
             ];
             println!("{}", render_table(&headers, &rows));
             println!(

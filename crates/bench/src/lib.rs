@@ -160,10 +160,7 @@ mod tests {
         let path = write_csv(
             "unit-test-export",
             &["a", "b"],
-            &[
-                vec!["1".into(), "x,y".into()],
-                vec!["2".into(), "z".into()],
-            ],
+            &[vec!["1".into(), "x,y".into()], vec!["2".into(), "z".into()]],
         )
         .expect("target/ is writable in tests");
         let text = std::fs::read_to_string(&path).unwrap();

@@ -8,14 +8,13 @@
 //! this directory tracks which VCores' L1s hold each line and emits the
 //! invalidation/forward actions whose network cost the simulator charges.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Maximum VCores a single directory can track (bitmask width).
 pub const MAX_VCORES: usize = 64;
 
 /// MSI state of a line at the directory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DirState {
     /// No L1 holds the line.
     Invalid,
@@ -33,7 +32,9 @@ struct Entry {
 
 impl Entry {
     fn sharer_list(&self) -> Vec<usize> {
-        (0..MAX_VCORES).filter(|&i| self.sharers & (1 << i) != 0).collect()
+        (0..MAX_VCORES)
+            .filter(|&i| self.sharers & (1 << i) != 0)
+            .collect()
     }
 }
 
@@ -60,7 +61,7 @@ impl CoherenceAction {
 }
 
 /// Counters for coherence activity.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirStats {
     /// Read requests processed.
     pub reads: u64,
@@ -108,7 +109,9 @@ impl Directory {
     /// Current sharer set of a line.
     #[must_use]
     pub fn sharers(&self, line: u64) -> Vec<usize> {
-        self.lines.get(&line).map_or_else(Vec::new, Entry::sharer_list)
+        self.lines
+            .get(&line)
+            .map_or_else(Vec::new, Entry::sharer_list)
     }
 
     /// Accumulated statistics.
@@ -118,7 +121,10 @@ impl Directory {
     }
 
     fn check_vcore(vcore: usize) {
-        assert!(vcore < MAX_VCORES, "vcore id {vcore} exceeds directory width");
+        assert!(
+            vcore < MAX_VCORES,
+            "vcore id {vcore} exceeds directory width"
+        );
     }
 
     /// A VCore's L1 reads `line`.

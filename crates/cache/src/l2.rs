@@ -1,7 +1,6 @@
 //! The configurable, banked L2: a VCore's slice of the sea of cache banks.
 
 use crate::set_assoc::{CacheGeometry, CacheStats, SetAssocCache};
-use serde::{Deserialize, Serialize};
 
 /// Nominal size of one L2 cache bank (the paper assumes 64 KB banks, §3.5).
 pub const BANK_BYTES: u64 = 64 << 10;
@@ -18,7 +17,7 @@ pub const LINE_BYTES: u64 = 64;
 /// additional 2-cycles of communication delay for each additional 256 KB of
 /// cache", which is the same statement under the default placement where
 /// each additional 256 KB (four banks) sits one mesh hop further out.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct L2LatencyModel {
     /// Fixed lookup cost.
     pub base: u32,
@@ -59,6 +58,12 @@ impl Default for L2LatencyModel {
         L2LatencyModel::paper()
     }
 }
+
+sharing_json::json_struct!(L2LatencyModel {
+    base,
+    per_distance,
+    banks_per_hop
+});
 
 /// Outcome of an L2 access.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -39,7 +39,7 @@ pub mod mshr;
 pub mod partition;
 pub mod set_assoc;
 
-pub use directory::{CoherenceAction, Directory, DirState};
+pub use directory::{CoherenceAction, DirState, Directory};
 pub use l2::{L2Array, L2LatencyModel, L2Outcome};
 pub use mshr::MshrFile;
 pub use partition::WayPartitionedCache;

@@ -14,7 +14,6 @@
 //! total capacity per tenant beyond the fixed array, cannot move capacity
 //! without flushing ways, and shares one bank's bandwidth and distance.
 
-
 use std::fmt;
 
 use crate::set_assoc::CacheStats;
@@ -39,7 +38,10 @@ impl fmt::Display for PartitionError {
             PartitionError::QuotaExceedsWays {
                 requested,
                 available,
-            } => write!(f, "quotas need {requested} ways but the array has {available}"),
+            } => write!(
+                f,
+                "quotas need {requested} ways but the array has {available}"
+            ),
             PartitionError::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
         }
     }

@@ -1,6 +1,5 @@
 //! LRU set-associative cache core.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Invalid cache geometry.
@@ -27,7 +26,7 @@ impl fmt::Display for GeometryError {
 impl std::error::Error for GeometryError {}
 
 /// Shape of a cache: capacity, line size, associativity.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     size_bytes: u64,
     line_bytes: u64,
@@ -51,7 +50,7 @@ impl CacheGeometry {
         if size_bytes < line_bytes * u64::from(ways) {
             return Err(GeometryError::TooSmall);
         }
-        if size_bytes % (line_bytes * u64::from(ways)) != 0 {
+        if !size_bytes.is_multiple_of(line_bytes * u64::from(ways)) {
             return Err(GeometryError::NotPowerOfTwo);
         }
         let sets = size_bytes / (line_bytes * u64::from(ways));
@@ -91,7 +90,7 @@ impl CacheGeometry {
 }
 
 /// Hit/miss counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Total accesses.
     pub accesses: u64,
@@ -102,6 +101,13 @@ pub struct CacheStats {
     /// Lines invalidated externally (coherence).
     pub invalidations: u64,
 }
+
+sharing_json::json_struct!(CacheStats {
+    accesses,
+    hits,
+    writebacks,
+    invalidations
+});
 
 impl CacheStats {
     /// Miss count.
@@ -310,7 +316,7 @@ mod tests {
         c.access(0, true);
         c.access(4, false);
         let out = c.access(8, false); // evicts dirty 0? No: LRU is 0 after 4 accessed
-        // Access order: 0 (dirty), 4 → LRU = 0.
+                                      // Access order: 0 (dirty), 4 → LRU = 0.
         assert_eq!(out.writeback, Some(0));
         assert_eq!(c.stats().writebacks, 1);
     }
@@ -331,7 +337,7 @@ mod tests {
         c.access(0, true); // hit, becomes dirty
         c.access(4, false);
         let out = c.access(8, false); // evicts 4? LRU after (0,0,4) = 0? order: 0 MRU→ 4, LRU=0
-        // After accesses [0,0w,4]: MRU=4, LRU=0(dirty).
+                                      // After accesses [0,0w,4]: MRU=4, LRU=0(dirty).
         assert_eq!(out.writeback, Some(0));
     }
 

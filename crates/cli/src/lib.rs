@@ -17,6 +17,10 @@ pub enum Command {
     Sweep(SweepArgs),
     /// `ssim config` — emit the default configuration as JSON.
     EmitConfig,
+    /// `ssim serve …` — run the ssimd simulation daemon in-process.
+    Serve(ServeArgs),
+    /// `ssim submit …` — submit a job to a running ssimd daemon.
+    Submit(SubmitArgs),
     /// `ssim list` — list available benchmarks.
     List,
     /// `ssim help` / `--help`.
@@ -65,6 +69,52 @@ pub struct SweepArgs {
     pub seed: u64,
 }
 
+/// Arguments for `ssim serve`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeArgs {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker pool size; `None` sizes to the machine.
+    pub workers: Option<usize>,
+    /// Bounded job-queue capacity.
+    pub queue: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache: usize,
+}
+
+/// What `ssim submit` asks the daemon to do.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitAction {
+    /// Submit one benchmark run.
+    Run {
+        /// Benchmark name.
+        benchmark: Benchmark,
+        /// Slice count.
+        slices: usize,
+        /// L2 bank count.
+        banks: usize,
+        /// Trace length.
+        len: usize,
+        /// Trace seed.
+        seed: u64,
+    },
+    /// Liveness check.
+    Ping,
+    /// Fetch the server metrics snapshot.
+    Stats,
+    /// Ask the daemon to drain and stop.
+    Shutdown,
+}
+
+/// Arguments for `ssim submit`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitArgs {
+    /// Daemon address.
+    pub addr: String,
+    /// The request to make.
+    pub action: SubmitAction,
+}
+
 /// CLI errors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CliError {
@@ -88,6 +138,10 @@ pub enum CliError {
     BadAsm(String),
     /// The configuration was rejected by the simulator.
     BadSimConfig(String),
+    /// A daemon could not be started or reached.
+    Server(String),
+    /// Two flags that cannot be used together.
+    ConflictingFlags(String),
 }
 
 impl fmt::Display for CliError {
@@ -105,6 +159,8 @@ impl fmt::Display for CliError {
             CliError::BadProfile(e) => write!(f, "workload profile: {e}"),
             CliError::BadAsm(e) => write!(f, "assembly: {e}"),
             CliError::BadSimConfig(e) => write!(f, "invalid configuration: {e}"),
+            CliError::Server(e) => write!(f, "server: {e}"),
+            CliError::ConflictingFlags(e) => write!(f, "{e}"),
         }
     }
 }
@@ -121,6 +177,10 @@ USAGE:
                [--slices N] [--banks N] [--len N]
                [--seed N] [--config file.json] [--json]
     ssim sweep --benchmark <name> [--len N] [--seed N]
+    ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+    ssim submit [--addr HOST:PORT]
+               (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
+                | --ping | --stats | --shutdown)
     ssim config            emit the default configuration as JSON
     ssim list              list available benchmarks
     ssim help              this message
@@ -128,7 +188,10 @@ USAGE:
 EXAMPLES:
     ssim run --benchmark gcc --slices 4 --banks 8
     ssim run --profile my_workload.json --slices 2
-    ssim config > base.json && ssim run --benchmark mcf --config base.json"
+    ssim config > base.json && ssim run --benchmark mcf --config base.json
+    ssim serve --workers 4 &
+    ssim submit --benchmark mcf --slices 2 --banks 4
+    ssim submit --stats && ssim submit --shutdown"
         .to_string()
 }
 
@@ -136,7 +199,8 @@ fn take_value<'a>(
     flag: &str,
     it: &mut std::slice::Iter<'a, String>,
 ) -> Result<&'a String, CliError> {
-    it.next().ok_or_else(|| CliError::MissingValue(flag.to_string()))
+    it.next()
+        .ok_or_else(|| CliError::MissingValue(flag.to_string()))
 }
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError> {
@@ -177,8 +241,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         got_workload = true;
                     }
                     "--profile" => {
-                        out.workload =
-                            Workload::ProfileFile(take_value(flag, &mut it)?.clone());
+                        out.workload = Workload::ProfileFile(take_value(flag, &mut it)?.clone());
                         got_workload = true;
                     }
                     "--asm" => {
@@ -226,6 +289,75 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Sweep(out))
         }
+        "serve" => {
+            let mut out = ServeArgs {
+                addr: format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT),
+                workers: None,
+                queue: 64,
+                cache: 1024,
+            };
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => out.addr = take_value(flag, &mut it)?.clone(),
+                    "--workers" => {
+                        out.workers = Some(parse_num(flag, take_value(flag, &mut it)?)?);
+                    }
+                    "--queue" => out.queue = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--cache" => out.cache = parse_num(flag, take_value(flag, &mut it)?)?,
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Serve(out))
+        }
+        "submit" => {
+            let mut addr = format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT);
+            let mut action: Option<SubmitAction> = None;
+            let (mut slices, mut banks, mut len, mut seed) =
+                (1usize, 2usize, 60_000usize, 0xA5_2014u64);
+            let mut benchmark: Option<Benchmark> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--addr" => addr = take_value(flag, &mut it)?.clone(),
+                    "--benchmark" => {
+                        let v = take_value(flag, &mut it)?;
+                        benchmark = Some(
+                            Benchmark::from_name(v)
+                                .ok_or_else(|| CliError::UnknownBenchmark(v.clone()))?,
+                        );
+                    }
+                    "--slices" => slices = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--banks" => banks = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--len" => len = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--ping" => action = Some(SubmitAction::Ping),
+                    "--stats" => action = Some(SubmitAction::Stats),
+                    "--shutdown" => action = Some(SubmitAction::Shutdown),
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            let action = match (action, benchmark) {
+                (Some(a), None) => a,
+                (None, Some(benchmark)) => SubmitAction::Run {
+                    benchmark,
+                    slices,
+                    banks,
+                    len,
+                    seed,
+                },
+                (Some(_), Some(_)) => {
+                    return Err(CliError::ConflictingFlags(
+                        "`--benchmark` cannot be combined with --ping/--stats/--shutdown"
+                            .to_string(),
+                    ));
+                }
+                (None, None) => {
+                    return Err(CliError::MissingValue(
+                        "--benchmark, --ping, --stats or --shutdown".to_string(),
+                    ));
+                }
+            };
+            Ok(Command::Submit(SubmitArgs { addr, action }))
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -235,7 +367,7 @@ fn load_config(args: &RunArgs) -> Result<SimConfig, CliError> {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
-            serde_json::from_str::<SimConfig>(&text)
+            sharing_json::from_str::<SimConfig>(&text)
                 .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?
         }
         None => SimConfig::builder()
@@ -300,14 +432,12 @@ fn run_workload(
                 .file_stem()
                 .map_or_else(|| "asm".to_string(), |s| s.to_string_lossy().into_owned());
             let trace = sharing_trace::Trace::from_insts(name, insts);
-            Ok(Simulator::new(cfg)
-                .expect("validated config")
-                .run(&trace))
+            Ok(Simulator::new(cfg).expect("validated config").run(&trace))
         }
         Workload::ProfileFile(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
-            let profile: WorkloadProfile = serde_json::from_str(&text)
+            let profile: WorkloadProfile = sharing_json::from_str(&text)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
             let generator = ProgramGenerator::new(&profile, TraceSpec::new(len, seed))
                 .map_err(CliError::BadProfile)?;
@@ -348,14 +478,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             let cfg = SimConfig::builder()
                 .build()
                 .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
-            serde_json::to_string_pretty(&cfg).map_err(|e| CliError::BadConfig(e.to_string()))
+            Ok(sharing_json::to_string_pretty(&cfg))
         }
         Command::Run(args) => {
             let cfg = load_config(args)?;
             let result = run_workload(&args.workload, cfg, args.len, args.seed)?;
             if args.json {
-                serde_json::to_string_pretty(&result)
-                    .map_err(|e| CliError::BadConfig(e.to_string()))
+                Ok(sharing_json::to_string_pretty(&result))
             } else {
                 let s = &result.stalls;
                 Ok(format!(
@@ -379,6 +508,69 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 ))
             }
         }
+        Command::Serve(args) => {
+            let mut cfg = sharing_server::ServerConfig {
+                addr: args.addr.clone(),
+                queue_capacity: args.queue,
+                cache_capacity: args.cache,
+                ..sharing_server::ServerConfig::default()
+            };
+            if let Some(w) = args.workers {
+                cfg.workers = w;
+            }
+            let handle =
+                sharing_server::Server::start(cfg).map_err(|e| CliError::Server(e.to_string()))?;
+            eprintln!(
+                "ssim serve: listening on {} (stop with `ssim submit --shutdown`)",
+                handle.local_addr()
+            );
+            handle.join();
+            Ok("ssim serve: drained and stopped".to_string())
+        }
+        Command::Submit(args) => {
+            let mut client = sharing_server::Client::connect(&args.addr)
+                .map_err(|e| CliError::Server(format!("{}: {e}", args.addr)))?;
+            let reply = match &args.action {
+                SubmitAction::Ping => {
+                    let up = client.ping().map_err(|e| CliError::Server(e.to_string()))?;
+                    return if up {
+                        Ok(format!("{}: pong", args.addr))
+                    } else {
+                        Err(CliError::Server(format!("{}: unexpected reply", args.addr)))
+                    };
+                }
+                SubmitAction::Stats => client
+                    .stats()
+                    .map_err(|e| CliError::Server(e.to_string()))?,
+                SubmitAction::Shutdown => client
+                    .shutdown()
+                    .map_err(|e| CliError::Server(e.to_string()))?,
+                SubmitAction::Run {
+                    benchmark,
+                    slices,
+                    banks,
+                    len,
+                    seed,
+                } => client
+                    .run(sharing_server::RunJob {
+                        workload: sharing_server::JobWorkload::Benchmark(*benchmark),
+                        slices: *slices,
+                        banks: *banks,
+                        len: *len,
+                        seed: *seed,
+                    })
+                    .map_err(|e| CliError::Server(e.to_string()))?,
+            };
+            if reply.get("ok").and_then(|v| v.as_bool()) == Some(false) {
+                let msg = reply
+                    .get("error")
+                    .and_then(|v| v.as_str())
+                    .unwrap_or("request failed")
+                    .to_string();
+                return Err(CliError::Server(msg));
+            }
+            Ok(sharing_json::to_string_pretty(&reply))
+        }
         Command::Sweep(args) => {
             let mut out = format!(
                 "{}: IPC over the paper's configuration grid (len {}, seed {})\n\n",
@@ -387,7 +579,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             out.push_str("slices\\banks");
             let banks = [0usize, 1, 2, 4, 8, 16, 32, 64, 128];
             for b in banks {
-                out.push_str(&format!("{:>7}", b * 64 / 1024_usize.pow(0) ));
+                out.push_str(&format!("{:>7}", b * 64 / 1024_usize.pow(0)));
             }
             out.push('\n');
             for s in 1..=8 {
@@ -509,12 +701,17 @@ mod tests {
     #[test]
     fn run_json_output_is_parseable() {
         let cmd = parse(&s(&[
-            "run", "--benchmark", "gobmk", "--len", "800", "--json",
+            "run",
+            "--benchmark",
+            "gobmk",
+            "--len",
+            "800",
+            "--json",
         ]))
         .unwrap();
         let out = execute(&cmd).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(v["instructions"], 800);
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert_eq!(v.get("instructions").and_then(|x| x.as_int()), Some(800));
     }
 
     #[test]
@@ -533,6 +730,141 @@ mod tests {
 }
 
 #[cfg(test)]
+mod server_tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_serve_and_submit() {
+        let cmd = parse(&s(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:7777",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+            "--cache",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve(ServeArgs {
+                addr: "0.0.0.0:7777".to_string(),
+                workers: Some(2),
+                queue: 8,
+                cache: 16,
+            })
+        );
+
+        let cmd = parse(&s(&["submit", "--benchmark", "mcf", "--slices", "4"])).unwrap();
+        match cmd {
+            Command::Submit(a) => {
+                assert_eq!(
+                    a.addr,
+                    format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT)
+                );
+                assert_eq!(
+                    a.action,
+                    SubmitAction::Run {
+                        benchmark: Benchmark::Mcf,
+                        slices: 4,
+                        banks: 2,
+                        len: 60_000,
+                        seed: 0xA5_2014,
+                    }
+                );
+            }
+            other => panic!("expected submit, got {other:?}"),
+        }
+
+        assert!(matches!(
+            parse(&s(&["submit", "--stats"])).unwrap(),
+            Command::Submit(SubmitArgs {
+                action: SubmitAction::Stats,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse(&s(&["submit"])),
+            Err(CliError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["submit", "--benchmark", "gcc", "--shutdown"])),
+            Err(CliError::ConflictingFlags(_))
+        ));
+    }
+
+    #[test]
+    fn submit_round_trips_against_live_daemon() {
+        let handle = sharing_server::Server::start(sharing_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+
+        let out = execute(&Command::Submit(SubmitArgs {
+            addr: addr.clone(),
+            action: SubmitAction::Ping,
+        }))
+        .unwrap();
+        assert!(out.ends_with("pong"), "{out}");
+
+        let out = execute(&Command::Submit(SubmitArgs {
+            addr: addr.clone(),
+            action: SubmitAction::Run {
+                benchmark: Benchmark::Gcc,
+                slices: 2,
+                banks: 2,
+                len: 500,
+                seed: 3,
+            },
+        }))
+        .unwrap();
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert_eq!(v.get("ok").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("instructions"))
+                .and_then(|x| x.as_int()),
+            Some(500)
+        );
+
+        let out = execute(&Command::Submit(SubmitArgs {
+            addr: addr.clone(),
+            action: SubmitAction::Stats,
+        }))
+        .unwrap();
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert!(v.get("jobs_completed").and_then(|x| x.as_int()).is_some());
+
+        let out = execute(&Command::Submit(SubmitArgs {
+            addr: addr.clone(),
+            action: SubmitAction::Shutdown,
+        }))
+        .unwrap();
+        assert!(out.contains("shutdown"), "{out}");
+        handle.join();
+
+        // With the daemon gone, submit reports a clean server error.
+        assert!(matches!(
+            execute(&Command::Submit(SubmitArgs {
+                addr,
+                action: SubmitAction::Ping,
+            })),
+            Err(CliError::Server(_))
+        ));
+    }
+}
+
+#[cfg(test)]
 mod profile_tests {
     use super::*;
 
@@ -547,7 +879,7 @@ mod profile_tests {
             .mem_frac(0.25)
             .build();
         let path = std::env::temp_dir().join("ssim-test-profile.json");
-        std::fs::write(&path, serde_json::to_string(&profile).unwrap()).unwrap();
+        std::fs::write(&path, sharing_json::to_string(&profile)).unwrap();
         let cmd = parse(&s(&[
             "run",
             "--profile",
@@ -558,9 +890,9 @@ mod profile_tests {
         ]))
         .unwrap();
         let out = execute(&cmd).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(v["instructions"], 600);
-        assert_eq!(v["workload"], "custom");
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert_eq!(v.get("instructions").and_then(|x| x.as_int()), Some(600));
+        assert_eq!(v.get("workload").and_then(|x| x.as_str()), Some("custom"));
         let _ = std::fs::remove_file(path);
     }
 
@@ -578,7 +910,7 @@ mod profile_tests {
         let mut profile = WorkloadProfile::builder("broken").build();
         profile.chains = 0;
         let path = std::env::temp_dir().join("ssim-test-invalid-profile.json");
-        std::fs::write(&path, serde_json::to_string(&profile).unwrap()).unwrap();
+        std::fs::write(&path, sharing_json::to_string(&profile)).unwrap();
         let cmd = parse(&s(&["run", "--profile", path.to_str().unwrap()])).unwrap();
         assert!(matches!(execute(&cmd), Err(CliError::BadProfile(_))));
         let _ = std::fs::remove_file(path);
@@ -613,9 +945,12 @@ mod asm_tests {
         ]))
         .unwrap();
         let out = execute(&cmd).unwrap();
-        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
-        assert_eq!(v["instructions"], 500);
-        assert_eq!(v["workload"], "ssim-test-kernel");
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert_eq!(v.get("instructions").and_then(|x| x.as_int()), Some(500));
+        assert_eq!(
+            v.get("workload").and_then(|x| x.as_str()),
+            Some("ssim-test-kernel")
+        );
         let _ = std::fs::remove_file(path);
     }
 

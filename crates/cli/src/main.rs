@@ -10,6 +10,8 @@
 //! ssim run --benchmark gcc --slices 4 --banks 8
 //! ssim run --benchmark omnetpp --config myconfig.json --json
 //! ssim sweep --benchmark mcf
+//! ssim serve --workers 4            # run the ssimd daemon in-process
+//! ssim submit --benchmark mcf       # submit a job to a running daemon
 //! ssim config                       # emit the default config as JSON
 //! ssim list                         # available benchmarks
 //! ```

@@ -1,7 +1,7 @@
 //! Simulator configuration: the paper's Tables 2 and 3 plus model knobs.
 
-use serde::{Deserialize, Serialize};
 use sharing_cache::L2LatencyModel;
+use sharing_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use sharing_noc::LatencyModel;
 use std::fmt;
 
@@ -39,7 +39,7 @@ impl fmt::Display for ConfigError {
 impl std::error::Error for ConfigError {}
 
 /// Per-Slice structural parameters (paper Table 2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SliceParams {
     /// Instructions fetched per Slice per cycle.
     pub fetch_width: u32,
@@ -85,7 +85,7 @@ impl Default for SliceParams {
 }
 
 /// Memory-system parameters (paper Table 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemParams {
     /// L1 D-cache size in bytes (per Slice).
     pub l1d_bytes: u64,
@@ -123,9 +123,10 @@ impl Default for MemParams {
 }
 
 /// Branch-direction prediction scheme (paper §3.1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum PredictorKind {
     /// The paper's baseline: a local bimodal predictor indexed by PC.
+    #[default]
     Bimodal,
     /// The global scheme §3.1 sketches: gshare with a Global History
     /// Register composed across Slices "with appropriate delay across the
@@ -138,14 +139,40 @@ pub enum PredictorKind {
     },
 }
 
-impl Default for PredictorKind {
-    fn default() -> Self {
-        PredictorKind::Bimodal
+impl ToJson for PredictorKind {
+    fn to_json(&self) -> Json {
+        match self {
+            PredictorKind::Bimodal => Json::Str("Bimodal".to_string()),
+            PredictorKind::Gshare { history_bits } => Json::obj(vec![(
+                "Gshare",
+                Json::obj(vec![("history_bits", history_bits.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for PredictorKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "Bimodal" => Ok(PredictorKind::Bimodal),
+            Json::Obj(_) => {
+                let body = v
+                    .get("Gshare")
+                    .ok_or_else(|| JsonError::msg(format!("unknown predictor kind {v}")))?;
+                let bits = body
+                    .get("history_bits")
+                    .ok_or_else(|| JsonError::msg("Gshare missing history_bits".to_string()))?;
+                Ok(PredictorKind::Gshare {
+                    history_bits: u8::from_json(bits)?,
+                })
+            }
+            other => Err(JsonError::msg(format!("unknown predictor kind {other}"))),
+        }
     }
 }
 
 /// Model fidelity knobs, including the ablations DESIGN.md calls out.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ModelKnobs {
     /// Physical operand-network planes (§5.1 ablation: the paper found a
     /// second plane buys only ≈1%).
@@ -192,7 +219,7 @@ impl Default for ModelKnobs {
 
 /// A Virtual Core's resource assignment: the two axes every experiment in
 /// the paper sweeps.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VCoreShape {
     /// Number of Slices (`1..=8`).
     pub slices: usize,
@@ -227,10 +254,83 @@ impl VCoreShape {
     pub fn sweep_grid() -> impl Iterator<Item = VCoreShape> {
         const BANK_OPTIONS: [usize; 9] = [0, 1, 2, 4, 8, 16, 32, 64, 128];
         (1..=MAX_SLICES).flat_map(|s| {
-            BANK_OPTIONS
-                .iter()
-                .map(move |&b| VCoreShape { slices: s, l2_banks: b })
+            BANK_OPTIONS.iter().map(move |&b| VCoreShape {
+                slices: s,
+                l2_banks: b,
+            })
         })
+    }
+}
+
+json_struct!(SliceParams {
+    fetch_width,
+    issue_window,
+    ls_window,
+    lsq_entries,
+    rob_entries,
+    store_buffer,
+    max_inflight_loads,
+    local_regs,
+    global_regs,
+    predictor_entries,
+    btb_entries,
+});
+
+json_struct!(MemParams {
+    l1d_bytes,
+    l1d_ways,
+    l1_hit,
+    l1i_bytes,
+    l1i_ways,
+    l1i_miss,
+    l2_latency,
+    memory_delay,
+});
+
+json_struct!(ModelKnobs {
+    operand_planes,
+    remote_wakeup_headstart,
+    unordered_lsq,
+    contiguous_slices,
+    frontend_depth,
+    mispredict_penalty,
+    violation_penalty,
+    operand_latency,
+    predictor,
+});
+
+json_struct!(VCoreShape { slices, l2_banks });
+
+impl ToJson for SimConfig {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("shape", self.shape.to_json()),
+            ("slice", self.slice.to_json()),
+            ("mem", self.mem.to_json()),
+            ("knobs", self.knobs.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SimConfig {
+    /// Parses and **validates**: shapes outside Equation 3 or zero-sized
+    /// structures are rejected, so a config arriving over the wire is safe
+    /// to hand to [`crate::Simulator::new`].
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| JsonError::msg(format!("SimConfig missing field `{name}`")))
+        };
+        let shape = VCoreShape::from_json(field("shape")?)?;
+        let cfg = SimConfig {
+            shape: VCoreShape::new(shape.slices, shape.l2_banks)
+                .map_err(|e| JsonError::msg(e.to_string()))?,
+            slice: SliceParams::from_json(field("slice")?)?,
+            mem: MemParams::from_json(field("mem")?)?,
+            knobs: ModelKnobs::from_json(field("knobs")?)?,
+        };
+        cfg.validate().map_err(|e| JsonError::msg(e.to_string()))?;
+        Ok(cfg)
     }
 }
 
@@ -252,7 +352,7 @@ impl fmt::Display for VCoreShape {
 /// assert_eq!(cfg.shape().l2_kb(), 512);
 /// # Ok::<(), sharing_core::ConfigError>(())
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SimConfig {
     shape: VCoreShape,
     /// Per-Slice structural parameters.
@@ -276,7 +376,10 @@ impl SimConfig {
     ///
     /// Returns [`ConfigError`] for out-of-range shapes.
     pub fn with_shape(slices: usize, l2_banks: usize) -> Result<Self, ConfigError> {
-        SimConfig::builder().slices(slices).l2_banks(l2_banks).build()
+        SimConfig::builder()
+            .slices(slices)
+            .l2_banks(l2_banks)
+            .build()
     }
 
     /// The VCore shape.
@@ -429,26 +532,23 @@ mod tests {
     fn shape_bounds_match_equation_3() {
         assert!(VCoreShape::new(1, 0).is_ok());
         assert!(VCoreShape::new(8, 128).is_ok());
-        assert_eq!(
-            VCoreShape::new(0, 0),
-            Err(ConfigError::BadSliceCount(0))
-        );
-        assert_eq!(
-            VCoreShape::new(9, 0),
-            Err(ConfigError::BadSliceCount(9))
-        );
-        assert_eq!(
-            VCoreShape::new(4, 129),
-            Err(ConfigError::BadBankCount(129))
-        );
+        assert_eq!(VCoreShape::new(0, 0), Err(ConfigError::BadSliceCount(0)));
+        assert_eq!(VCoreShape::new(9, 0), Err(ConfigError::BadSliceCount(9)));
+        assert_eq!(VCoreShape::new(4, 129), Err(ConfigError::BadBankCount(129)));
     }
 
     #[test]
     fn sweep_grid_covers_the_paper_space() {
         let shapes: Vec<_> = VCoreShape::sweep_grid().collect();
         assert_eq!(shapes.len(), 8 * 9);
-        assert!(shapes.contains(&VCoreShape { slices: 1, l2_banks: 0 }));
-        assert!(shapes.contains(&VCoreShape { slices: 8, l2_banks: 128 }));
+        assert!(shapes.contains(&VCoreShape {
+            slices: 1,
+            l2_banks: 0
+        }));
+        assert!(shapes.contains(&VCoreShape {
+            slices: 8,
+            l2_banks: 128
+        }));
     }
 
     #[test]

@@ -156,7 +156,9 @@ struct Slots {
 
 impl Slots {
     fn new(n: usize) -> Self {
-        Slots { free_at: vec![0; n] }
+        Slots {
+            free_at: vec![0; n],
+        }
     }
 
     /// Earliest cycle at/after `t` a slot is available.
@@ -375,10 +377,7 @@ impl VCoreEngine {
         let coords: Vec<Coord> = (0..n).map(|k| Coord::new(k as u16 * spacing, 0)).collect();
         let slices = (0..n)
             .map(|_| SliceState {
-                predictor: BranchPredictor::new(
-                    cfg.slice.predictor_entries,
-                    cfg.slice.btb_entries,
-                ),
+                predictor: BranchPredictor::new(cfg.slice.predictor_entries, cfg.slice.btb_entries),
                 l1i: SetAssocCache::new(l1i_geom),
                 l1i_expected: u64::MAX,
                 l1d: SetAssocCache::new(l1d_geom),
@@ -496,7 +495,8 @@ impl VCoreEngine {
     }
 
     fn operand_hops_latency(&mut self, from: usize, to: usize, at: u64) -> u64 {
-        self.operand_net.send(self.coords[from], self.coords[to], at)
+        self.operand_net
+            .send(self.coords[from], self.coords[to], at)
     }
 
     /// Rename pipeline depth for an instruction on `slice`: local rename
@@ -509,7 +509,11 @@ impl VCoreEngine {
         }
         let master = n / 2;
         let hops = (slice as i64 - master as i64).unsigned_abs() as u32
-            * if self.cfg.knobs.contiguous_slices { 1 } else { 2 };
+            * if self.cfg.knobs.contiguous_slices {
+                1
+            } else {
+                2
+            };
         let lat = self.cfg.knobs.operand_latency;
         // Local rename, one network leg to/from the master (the send and
         // the broadcast overlap in the pipelined implementation), and the
@@ -524,7 +528,12 @@ impl VCoreEngine {
         if n == 1 {
             return 0;
         }
-        let hops = (n as u32 - 1) * if self.cfg.knobs.contiguous_slices { 1 } else { 2 };
+        let hops = (n as u32 - 1)
+            * if self.cfg.knobs.contiguous_slices {
+                1
+            } else {
+                2
+            };
         u64::from(self.cfg.knobs.operand_latency.latency(hops))
     }
 
@@ -532,7 +541,11 @@ impl VCoreEngine {
     /// trips (ideal transport; messages counted).
     fn ls_latency(&self, from: usize, to: usize) -> u64 {
         let hops = (from as i64 - to as i64).unsigned_abs() as u32
-            * if self.cfg.knobs.contiguous_slices { 1 } else { 2 };
+            * if self.cfg.knobs.contiguous_slices {
+                1
+            } else {
+                2
+            };
         u64::from(self.cfg.knobs.operand_latency.latency(hops))
     }
 
@@ -544,8 +557,8 @@ impl VCoreEngine {
         while idx < insts.len() {
             let group_end = self.find_group_end(insts, idx);
             let group_time = self.fetch_group(insts, idx, group_end);
-            for i in idx..group_end {
-                self.process_inst(mem, &insts[i], group_time);
+            for inst in &insts[idx..group_end] {
+                self.process_inst(mem, inst, group_time);
             }
             idx = group_end;
         }
@@ -736,8 +749,7 @@ impl VCoreEngine {
                 if lsq_at > data_at_home {
                     self.result.stalls.lsq_full += lsq_at - data_at_home;
                 }
-                self.slices[home].store_barrier =
-                    self.slices[home].store_barrier.max(addr_known);
+                self.slices[home].store_barrier = self.slices[home].store_barrier.max(addr_known);
                 let store_value = sharing_isa::interp::mix(inst.pc, sv0, sv1);
                 self.store_map.insert(
                     addr,
@@ -767,8 +779,7 @@ impl VCoreEngine {
                         // The history visible to this Slice lags by the
                         // branches still in flight on the compose network
                         // (none on a single-Slice VCore).
-                        let visible =
-                            self.ghr_in_flight.front().copied().unwrap_or(self.ghr);
+                        let visible = self.ghr_in_flight.front().copied().unwrap_or(self.ghr);
                         let c = self.slices[s].predictor.predict_and_train_gshare(
                             inst.pc,
                             visible & mask,
@@ -1000,11 +1011,7 @@ impl VCoreEngine {
                     match self.slices[home].mshr.request(line, t, fill) {
                         MshrOutcome::Allocated(done) | MshrOutcome::Merged(done) => done,
                         MshrOutcome::Full => {
-                            let retry = self.slices[home]
-                                .mshr
-                                .earliest_free()
-                                .unwrap_or(t)
-                                .max(t);
+                            let retry = self.slices[home].mshr.earliest_free().unwrap_or(t).max(t);
                             self.result.stalls.mshr_full += retry - t;
                             let fill = retry + u64::from(self.cfg.mem.l1_hit) + u64::from(extra);
                             match self.slices[home].mshr.request(line, retry, fill) {

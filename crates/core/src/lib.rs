@@ -43,9 +43,8 @@ pub mod structures;
 pub mod timeline;
 
 pub use config::{
-    PredictorKind,
-    ConfigError, MemParams, ModelKnobs, SimConfig, SliceParams, VCoreShape, MAX_L2_BANKS,
-    MAX_SLICES,
+    ConfigError, MemParams, ModelKnobs, PredictorKind, SimConfig, SliceParams, VCoreShape,
+    MAX_L2_BANKS, MAX_SLICES,
 };
 pub use engine::{InstTiming, MemorySystem, VCoreEngine};
 pub use multi::VmSimulator;

@@ -80,7 +80,7 @@ impl VmSimulator {
             mem.coherent = false;
         }
         let mut engines: Vec<VCoreEngine> = (0..workloads.len())
-            .map(|v| VCoreEngine::new(self.cfg.clone(), v))
+            .map(|v| VCoreEngine::new(self.cfg, v))
             .collect();
         let mut cursors = vec![0usize; workloads.len()];
         let mut live = workloads.len();
@@ -126,7 +126,7 @@ impl VmSimulator {
             mem.coherent = false;
         }
         let mut engines: Vec<VCoreEngine> = (0..threads)
-            .map(|v| VCoreEngine::new(self.cfg.clone(), v))
+            .map(|v| VCoreEngine::new(self.cfg, v))
             .collect();
         let mut cursors = vec![0usize; threads];
         let mut live = threads;
@@ -226,7 +226,7 @@ mod tests {
         let cfg = SimConfig::with_shape(2, 2).unwrap();
         let t = Benchmark::Gcc.generate(&TraceSpec::new(3_000, 2));
         let tt = sharing_trace::ThreadedTrace::single(t.clone());
-        let vm = VmSimulator::new(cfg.clone()).unwrap().run(&tt);
+        let vm = VmSimulator::new(cfg).unwrap().run(&tt);
         let single = crate::Simulator::new(cfg).unwrap().run(&t);
         assert_eq!(vm.instructions, single.instructions);
         // Chunked execution may split a fetch group at a chunk boundary,
@@ -244,13 +244,13 @@ mod tests {
     fn vm_is_deterministic() {
         let cfg = SimConfig::with_shape(2, 4).unwrap();
         let w = Benchmark::Ferret.generate_threaded(&TraceSpec::new(2_000, 4));
-        let a = VmSimulator::new(cfg.clone()).unwrap().run(&w);
+        let a = VmSimulator::new(cfg).unwrap().run(&w);
         let b = VmSimulator::new(cfg).unwrap().run(&w);
         assert_eq!(a, b);
     }
 
     #[test]
-    fn parsec_scaling_is_bounded(){
+    fn parsec_scaling_is_bounded() {
         // Per-thread ILP of ~2 chains should bound slice scaling near 2x
         // (paper §5.3: "the speedup is bounded by 2").
         let w = Benchmark::Swaptions.generate_threaded(&TraceSpec::new(4_000, 9));

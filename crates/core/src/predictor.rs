@@ -6,8 +6,6 @@
 //! replicated (with slice-interleaved "fake" entries) so any Slice can
 //! redirect fetch for a taken branch it did not itself execute.
 
-use serde::{Deserialize, Serialize};
-
 /// A 2-bit saturating counter.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct Counter2(u8);
@@ -27,7 +25,7 @@ impl Counter2 {
 }
 
 /// Prediction counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PredictorStats {
     /// Conditional branches predicted.
     pub predictions: u64,
@@ -36,6 +34,12 @@ pub struct PredictorStats {
     /// Taken control transfers whose target missed in the BTB.
     pub btb_misses: u64,
 }
+
+sharing_json::json_struct!(PredictorStats {
+    predictions,
+    mispredictions,
+    btb_misses
+});
 
 impl PredictorStats {
     /// Direction misprediction rate in `[0, 1]`.

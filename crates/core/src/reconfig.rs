@@ -10,10 +10,9 @@
 //! changes.
 
 use crate::config::VCoreShape;
-use serde::{Deserialize, Serialize};
 
 /// Reconfiguration cost model.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ReconfigCosts {
     /// Cycles to change only the Slice count (Register Flush + interconnect
     /// setup).
@@ -50,10 +49,7 @@ impl ReconfigCosts {
     /// Total reconfiguration cycles along a schedule of shapes.
     #[must_use]
     pub fn schedule_cost(self, shapes: &[VCoreShape]) -> u64 {
-        shapes
-            .windows(2)
-            .map(|w| self.cost(w[0], w[1]))
-            .sum()
+        shapes.windows(2).map(|w| self.cost(w[0], w[1])).sum()
     }
 }
 
@@ -95,7 +91,7 @@ mod tests {
     fn schedule_accumulates() {
         let c = ReconfigCosts::paper();
         let sched = [shape(2, 4), shape(2, 4), shape(3, 4), shape(3, 8)];
-        assert_eq!(c.schedule_cost(&sched), 0 + 500 + 10_000);
+        assert_eq!(c.schedule_cost(&sched), 500 + 10_000);
         assert_eq!(c.schedule_cost(&sched[..1]), 0);
         assert_eq!(c.schedule_cost(&[]), 0);
     }

@@ -67,7 +67,7 @@ impl ReconfigurableVCore {
     pub fn new(cfg: SimConfig) -> Result<Self, ConfigError> {
         cfg.validate()?;
         Ok(ReconfigurableVCore {
-            engine: VCoreEngine::new(cfg.clone(), 0),
+            engine: VCoreEngine::new(cfg, 0),
             mem: MemorySystem::private(cfg.l2_banks(), cfg.mem.memory_delay),
             cfg,
             costs: ReconfigCosts::paper(),
@@ -137,7 +137,7 @@ impl ReconfigurableVCore {
 
         // Retire the old engine's statistics, attributing only the memory
         // traffic this incarnation added.
-        let old_engine = std::mem::replace(&mut self.engine, VCoreEngine::new(new_cfg.clone(), 0));
+        let old_engine = std::mem::replace(&mut self.engine, VCoreEngine::new(new_cfg, 0));
         let mut retired = old_engine.finish("phase");
         self.absorb_mem_delta(&mut retired);
         self.completed.push(retired);
@@ -174,7 +174,7 @@ impl ReconfigurableVCore {
     /// continuous clock.
     #[must_use]
     pub fn finish(mut self) -> SimResult {
-        let engine = std::mem::replace(&mut self.engine, VCoreEngine::new(self.cfg.clone(), 0));
+        let engine = std::mem::replace(&mut self.engine, VCoreEngine::new(self.cfg, 0));
         let mut last = engine.finish("reconfigurable-vcore");
         self.absorb_mem_delta(&mut last);
         let mut completed = std::mem::take(&mut self.completed);

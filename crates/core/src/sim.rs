@@ -46,7 +46,7 @@ impl Simulator {
     #[must_use]
     pub fn run(&self, trace: &Trace) -> SimResult {
         let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        let mut engine = VCoreEngine::new(self.cfg, 0);
         engine.run_chunk(&mut mem, trace.insts());
         let mut result = engine.finish(trace.name());
         VCoreEngine::absorb_mem_stats(&mut result, &mem);
@@ -71,7 +71,7 @@ impl Simulator {
             "one distance per configured bank"
         );
         let mut mem = MemorySystem::private_placed(bank_distances, self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        let mut engine = VCoreEngine::new(self.cfg, 0);
         engine.run_chunk(&mut mem, trace.insts());
         let mut result = engine.finish(trace.name());
         VCoreEngine::absorb_mem_stats(&mut result, &mem);
@@ -91,7 +91,7 @@ impl Simulator {
     #[must_use]
     pub fn run_verified(&self, trace: &Trace) -> (SimResult, bool) {
         let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        let mut engine = VCoreEngine::new(self.cfg, 0);
         engine.enable_verification();
         engine.run_chunk(&mut mem, trace.insts());
         let committed = engine
@@ -109,7 +109,7 @@ impl Simulator {
     #[must_use]
     pub fn run_detailed(&self, trace: &Trace) -> (SimResult, Vec<crate::engine::InstTiming>) {
         let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg.clone(), 0);
+        let mut engine = VCoreEngine::new(self.cfg, 0);
         engine.enable_recording();
         engine.run_chunk(&mut mem, trace.insts());
         let timings = engine.timings().expect("recording enabled").to_vec();
@@ -143,7 +143,7 @@ pub fn run_phased(
     };
     let mut prev_shape = None;
     for (trace, cfg) in phases {
-        let r = Simulator::new(cfg.clone())?.run(trace);
+        let r = Simulator::new(*cfg)?.run(trace);
         if let Some(prev) = prev_shape {
             total.cycles += costs.cost(prev, cfg.shape());
         }
@@ -183,7 +183,7 @@ mod tests {
     fn deterministic_results() {
         let cfg = SimConfig::with_shape(3, 4).unwrap();
         let t = gcc(3_000);
-        let a = Simulator::new(cfg.clone()).unwrap().run(&t);
+        let a = Simulator::new(cfg).unwrap().run(&t);
         let b = Simulator::new(cfg).unwrap().run(&t);
         assert_eq!(a, b);
     }
@@ -323,7 +323,9 @@ mod tests {
     #[test]
     fn empty_trace_is_a_noop() {
         let cfg = SimConfig::with_shape(4, 4).unwrap();
-        let r = Simulator::new(cfg).unwrap().run(&Trace::from_insts("empty", vec![]));
+        let r = Simulator::new(cfg)
+            .unwrap()
+            .run(&Trace::from_insts("empty", vec![]));
         assert_eq!(r.instructions, 0);
         assert_eq!(r.cycles, 0);
         assert_eq!(r.ipc(), 0.0);
@@ -372,8 +374,12 @@ mod tests {
             .map(|i| DynInst::load(4 * i, r1, None, 0x1000 + 8 * i, MemSize::B8))
             .collect();
         let cfg = SimConfig::with_shape(2, 2).unwrap();
-        let rs = Simulator::new(cfg.clone()).unwrap().run(&Trace::from_insts("st", stores));
-        let rl = Simulator::new(cfg).unwrap().run(&Trace::from_insts("ld", loads));
+        let rs = Simulator::new(cfg)
+            .unwrap()
+            .run(&Trace::from_insts("st", stores));
+        let rl = Simulator::new(cfg)
+            .unwrap()
+            .run(&Trace::from_insts("ld", loads));
         assert_eq!(rs.instructions, 256);
         assert_eq!(rl.instructions, 256);
         assert_eq!(rs.mem.l1d.accesses, 256);
@@ -387,7 +393,11 @@ mod tests {
         assert_eq!(r.per_slice.len(), 4);
         // PC interleaving spreads predictions; line interleaving spreads
         // D-cache traffic. Neither should be wildly lopsided.
-        let preds: Vec<u64> = r.per_slice.iter().map(|s| s.predictor.predictions).collect();
+        let preds: Vec<u64> = r
+            .per_slice
+            .iter()
+            .map(|s| s.predictor.predictions)
+            .collect();
         let accs: Vec<u64> = r.per_slice.iter().map(|s| s.l1d.accesses).collect();
         let spread = |v: &[u64]| {
             let max = *v.iter().max().unwrap() as f64;
@@ -412,18 +422,18 @@ mod tests {
         let cfg_a = SimConfig::with_shape(2, 2).unwrap();
         let cfg_b = SimConfig::with_shape(2, 4).unwrap();
         let phased = run_phased(
-            &[(phases[0].clone(), cfg_a.clone()), (phases[1].clone(), cfg_b)],
+            &[(phases[0].clone(), cfg_a), (phases[1].clone(), cfg_b)],
             ReconfigCosts::paper(),
         )
         .unwrap();
         let same = run_phased(
-            &[(phases[0].clone(), cfg_a.clone()), (phases[1].clone(), cfg_a)],
+            &[(phases[0].clone(), cfg_a), (phases[1].clone(), cfg_a)],
             ReconfigCosts::paper(),
         )
         .unwrap();
         assert_eq!(phased.instructions, 4_000);
         // Cache change costs 10 000; slice-identical costs 0.
-        assert!(phased.cycles >= same.cycles.saturating_sub(20_000) );
+        assert!(phased.cycles >= same.cycles.saturating_sub(20_000));
         let raw_a = Simulator::new(SimConfig::with_shape(2, 2).unwrap())
             .unwrap()
             .run(&phases[0]);

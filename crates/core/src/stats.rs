@@ -6,13 +6,13 @@
 
 use crate::config::VCoreShape;
 use crate::predictor::PredictorStats;
-use serde::{Deserialize, Serialize};
 use sharing_cache::CacheStats;
+use sharing_json::json_struct;
 use sharing_noc::NetStats;
 
 /// Cycles lost waiting on each structural resource (attributed at
 /// dispatch).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StallBreakdown {
     /// Reorder buffer full.
     pub rob_full: u64,
@@ -33,7 +33,7 @@ pub struct StallBreakdown {
 }
 
 /// Memory-hierarchy counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MemCounters {
     /// Aggregated L1 D-cache statistics (all Slices).
     pub l1d: CacheStats,
@@ -55,7 +55,7 @@ pub struct MemCounters {
 
 /// Per-Slice activity (fetch/predict on the PC-interleaved front end,
 /// memory on the line-interleaved home Slice).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SliceStats {
     /// This Slice's branch predictor.
     pub predictor: PredictorStats,
@@ -66,7 +66,7 @@ pub struct SliceStats {
 }
 
 /// The result of simulating one trace on one VCore configuration.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimResult {
     /// Workload name.
     pub workload: String,
@@ -95,9 +95,51 @@ pub struct SimResult {
     /// Global-rename broadcast messages.
     pub rename_broadcasts: u64,
     /// Per-Slice breakdown (one entry per Slice, index = Slice id).
-    #[serde(default)]
     pub per_slice: Vec<SliceStats>,
 }
+
+json_struct!(StallBreakdown {
+    rob_full,
+    window_full,
+    lsq_full,
+    mshr_full,
+    store_buffer_full,
+    freelist_empty,
+    mispredict,
+    icache,
+});
+
+json_struct!(MemCounters {
+    l1d,
+    l1i,
+    l2,
+    memory_accesses,
+    store_forwards,
+    lsq_violations,
+    coherence_invalidations,
+    coherence_forwards,
+});
+
+json_struct!(SliceStats {
+    predictor,
+    l1d,
+    l1i
+});
+
+json_struct!(SimResult {
+    workload,
+    shape,
+    cycles,
+    instructions,
+    predictor,
+    mem,
+    stalls,
+    operand_net,
+    remote_operand_requests,
+    lrf_copy_hits,
+    ls_sort_messages,
+    rename_broadcasts,
+} defaults { per_slice });
 
 impl SimResult {
     /// Instructions per cycle.

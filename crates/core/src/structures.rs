@@ -7,11 +7,10 @@
 //! decisions so the rest of the code (and its tests) can assert capacity
 //! scaling against them.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An intra-core structure from Table 1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Structure {
     BranchPredictor,
@@ -27,7 +26,7 @@ pub enum Structure {
 }
 
 /// Replication vs partitioning (Table 1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Distribution {
     /// Every Slice keeps a full copy; logical capacity does not grow with
     /// Slice count.

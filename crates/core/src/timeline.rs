@@ -55,7 +55,11 @@ pub fn render(timings: &[InstTiming], insts: &[DynInst], max_width: usize) -> St
     }
     let t0 = timings.iter().map(|t| t.fetch).min().expect("non-empty");
     let mut out = String::new();
-    let _ = writeln!(out, "{:>5} {:>5} |{:-<max_width$}|", "seq", "slice", "cycles");
+    let _ = writeln!(
+        out,
+        "{:>5} {:>5} |{:-<max_width$}|",
+        "seq", "slice", "cycles"
+    );
     for (t, inst) in timings.iter().zip(insts) {
         let col = |cycle: u64| (cycle - t0) as usize;
         let mut row = vec![b' '; max_width];
@@ -66,10 +70,12 @@ pub fn render(timings: &[InstTiming], insts: &[DynInst], max_width: usize) -> St
             (t.issue, t.exec_done, b'='),
             (t.exec_done, t.commit, b'#'),
         ] {
-            for c in col(from) + 1..col(to) {
-                if c < max_width {
-                    row[c] = ch;
-                }
+            for cell in row
+                .iter_mut()
+                .take(max_width.min(col(to)))
+                .skip(col(from) + 1)
+            {
+                *cell = ch;
             }
         }
         for (cycle, ch) in [

@@ -10,12 +10,11 @@
 //! only bill whole cores.
 
 use crate::hypervisor::{HvStats, Hypervisor};
-use serde::{Deserialize, Serialize};
 use sharing_core::VCoreShape;
 
 /// Prices per billing period (abstract currency, matching
 /// `sharing_market::Market`'s units).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Tariff {
     /// Price of one Slice for one period.
     pub slice_price: f64,
@@ -41,7 +40,7 @@ impl Tariff {
 }
 
 /// A metered billing period.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BillingPeriod {
     /// Period index.
     pub period: u64,
@@ -58,7 +57,7 @@ pub struct BillingPeriod {
 }
 
 /// The provider's ledger over a sequence of metered periods.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Ledger {
     periods: Vec<BillingPeriod>,
 }

@@ -1,10 +1,9 @@
 //! The chip: a grid of Slice and cache-bank tiles.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What occupies a tile.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TileKind {
     /// A compute Slice.
     Slice,
@@ -13,7 +12,7 @@ pub enum TileKind {
 }
 
 /// One tile of the chip.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Tile {
     /// Row on the grid.
     pub row: u16,
@@ -86,7 +85,7 @@ impl Chip {
     /// The kind of the tile at `(row, col)` under the alternating layout.
     #[must_use]
     pub fn kind_at(&self, _row: u16, col: u16) -> TileKind {
-        if col % 2 == 0 {
+        if col.is_multiple_of(2) {
             TileKind::Slice
         } else {
             TileKind::CacheBank

@@ -12,12 +12,11 @@
 
 use crate::chip::Chip;
 use crate::hypervisor::{HvError, Hypervisor, LeaseId};
-use serde::{Deserialize, Serialize};
 use sharing_core::VCoreShape;
 use std::fmt;
 
 /// Which chip gets the next request.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PlacementPolicy {
     /// The first chip that can satisfy the request.
     FirstFit,
@@ -30,7 +29,7 @@ pub enum PlacementPolicy {
 }
 
 /// A lease handle spanning the cloud.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CloudLease {
     /// Which chip hosts the VCore.
     pub chip: usize,
@@ -45,7 +44,7 @@ impl fmt::Display for CloudLease {
 }
 
 /// Aggregate utilization across the fleet.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CloudStats {
     /// Per-chip Slice utilization.
     pub slice_utilization: Vec<f64>,
@@ -113,9 +112,8 @@ impl Cloud {
     }
 
     fn candidate_order(&self, shape: VCoreShape) -> Vec<usize> {
-        let free_slices = |hv: &Hypervisor| {
-            hv.chip().total_slices() as i64 - hv.stats().slices_used as i64
-        };
+        let free_slices =
+            |hv: &Hypervisor| hv.chip().total_slices() as i64 - hv.stats().slices_used as i64;
         let mut order: Vec<usize> = (0..self.chips.len())
             .filter(|&i| {
                 let hv = &self.chips[i];
@@ -216,7 +214,9 @@ mod tests {
     #[test]
     fn worst_fit_spreads_load() {
         let mut cloud = Cloud::new(3, 2, 8, PlacementPolicy::WorstFit);
-        let chips: Vec<usize> = (0..3).map(|_| cloud.lease(shape(2, 0)).unwrap().chip).collect();
+        let chips: Vec<usize> = (0..3)
+            .map(|_| cloud.lease(shape(2, 0)).unwrap().chip)
+            .collect();
         let mut sorted = chips.clone();
         sorted.sort_unstable();
         sorted.dedup();

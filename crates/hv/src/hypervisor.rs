@@ -1,13 +1,12 @@
 //! VCore lease management.
 
 use crate::chip::{Chip, Tile, TileKind};
-use serde::{Deserialize, Serialize};
 use sharing_core::{ReconfigCosts, VCoreShape};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Opaque lease identifier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LeaseId(u64);
 
 impl fmt::Display for LeaseId {
@@ -72,7 +71,7 @@ impl fmt::Display for HvError {
 impl std::error::Error for HvError {}
 
 /// Utilization statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct HvStats {
     /// Live VCore leases.
     pub live_vcores: usize,
@@ -348,10 +347,7 @@ mod tests {
     fn exhaustion_denies_and_counts() {
         let mut hv = Hypervisor::new(Chip::new(1, 8)); // 4 slices, 4 banks
         let _a = hv.lease(shape(3, 0)).unwrap();
-        assert_eq!(
-            hv.lease(shape(2, 0)),
-            Err(HvError::NoContiguousSlices(2))
-        );
+        assert_eq!(hv.lease(shape(2, 0)), Err(HvError::NoContiguousSlices(2)));
         assert_eq!(hv.stats().denials, 1);
         assert!(matches!(
             hv.lease(shape(1, 8)),

@@ -14,12 +14,11 @@
 
 use crate::chip::Chip;
 use crate::hypervisor::{HvError, Hypervisor, LeaseId};
-use serde::{Deserialize, Serialize};
 use sharing_core::VCoreShape;
 use std::collections::VecDeque;
 
 /// A client VM awaiting or consuming cycles.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Tenant {
     /// Display name.
     pub name: String,
@@ -42,7 +41,7 @@ impl Tenant {
 }
 
 /// Outcome of a hosting run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScheduleReport {
     /// Epochs executed.
     pub epochs: u64,
@@ -71,7 +70,7 @@ impl ScheduleReport {
 }
 
 /// The time-sliced hosting loop.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimeSlicer {
     /// Client scheduling quantum, in cycles.
     pub quantum: u64,
@@ -135,8 +134,7 @@ impl TimeSlicer {
                         running.push((id, t));
                     }
                     Err(HvError::NoContiguousSlices(_)) => {
-                        let free_slices =
-                            total_slices - hv.stats().slices_used;
+                        let free_slices = total_slices - hv.stats().slices_used;
                         if free_slices >= next.shape.slices && hv.compact() > 0 {
                             report.compactions += 1;
                             continue; // retry after defragmentation

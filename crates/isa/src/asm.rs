@@ -144,20 +144,14 @@ pub fn assemble(source: &str, base_pc: u64) -> Result<Vec<DynInst>, AsmError> {
                 arity(2..=3)?;
                 let dst = parse_reg(args[0], line_no)?;
                 let addr = parse_addr(args[1], line_no)?;
-                let base = args
-                    .get(2)
-                    .map(|t| parse_reg(t, line_no))
-                    .transpose()?;
+                let base = args.get(2).map(|t| parse_reg(t, line_no)).transpose()?;
                 DynInst::load(pc, dst, base, addr, MemSize::B8)
             }
             "st" => {
                 arity(2..=3)?;
                 let data = parse_reg(args[0], line_no)?;
                 let addr = parse_addr(args[1], line_no)?;
-                let base = args
-                    .get(2)
-                    .map(|t| parse_reg(t, line_no))
-                    .transpose()?;
+                let base = args.get(2).map(|t| parse_reg(t, line_no)).transpose()?;
                 DynInst::store(pc, data, base, addr, MemSize::B8)
             }
             "br.t" | "br.nt" => {
@@ -213,7 +207,10 @@ mod tests {
         assert!(prog[5].kind.is_store());
         assert!(matches!(
             prog[6].kind,
-            InstKind::Branch { taken: true, target: 0x40 }
+            InstKind::Branch {
+                taken: true,
+                target: 0x40
+            }
         ));
         assert!(matches!(
             prog[7].kind,

@@ -1,11 +1,10 @@
 //! Dynamic instruction records.
 
 use crate::regs::ArchReg;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Access width of a memory operation, in bytes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum MemSize {
     /// 1-byte access.
     B1,
@@ -14,6 +13,7 @@ pub enum MemSize {
     /// 4-byte access.
     B4,
     /// 8-byte access.
+    #[default]
     B8,
 }
 
@@ -30,12 +30,6 @@ impl MemSize {
     }
 }
 
-impl Default for MemSize {
-    fn default() -> Self {
-        MemSize::B8
-    }
-}
-
 /// The operation class of a dynamic instruction.
 ///
 /// This is the full set of behaviours the Sharing Architecture pipeline
@@ -43,7 +37,7 @@ impl Default for MemSize {
 /// load/store, §3.3 of the paper), its execution latency, whether it
 /// traverses the load/store sorting network, and whether the front end must
 /// predict it.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum InstKind {
     /// Single-cycle integer ALU operation.
     IntAlu,
@@ -173,7 +167,7 @@ pub type SrcRegs = [Option<ArchReg>; 2];
 /// assert!(ld.kind.is_load());
 /// assert_eq!(ld.kind.mem_addr(), Some(0x8000));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct DynInst {
     /// Program counter of the instruction.
     pub pc: u64,
@@ -285,7 +279,10 @@ impl DynInst {
     #[must_use]
     pub fn next_pc(&self) -> u64 {
         match self.kind {
-            InstKind::Branch { taken: true, target }
+            InstKind::Branch {
+                taken: true,
+                target,
+            }
             | InstKind::Jump { target }
             | InstKind::JumpIndirect { target } => target,
             _ => self.pc.wrapping_add(4),
@@ -392,7 +389,13 @@ mod tests {
 
     #[test]
     fn display_is_nonempty_and_informative() {
-        let i = DynInst::load(0x400, ArchReg::new(1), Some(ArchReg::new(2)), 0x8000, MemSize::B8);
+        let i = DynInst::load(
+            0x400,
+            ArchReg::new(1),
+            Some(ArchReg::new(2)),
+            0x8000,
+            MemSize::B8,
+        );
         let s = i.to_string();
         assert!(s.contains("ld"));
         assert!(s.contains("0x8000"));

@@ -168,7 +168,10 @@ mod tests {
         b.step(&DynInst::alu(0x14, r(1), &[]));
         let va = a.step(&DynInst::alu(0x20, r(2), &[r(1)]));
         let vb = b.step(&DynInst::alu(0x20, r(2), &[r(1)]));
-        assert_ne!(va, vb, "different source values must yield different results");
+        assert_ne!(
+            va, vb,
+            "different source values must yield different results"
+        );
     }
 
     #[test]

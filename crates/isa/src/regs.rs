@@ -1,6 +1,5 @@
 //! Architectural register names.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of architectural general-purpose registers.
@@ -25,7 +24,7 @@ pub const NUM_ARCH_REGS: usize = 32;
 /// assert_eq!(r.index(), 7);
 /// assert_eq!(r.to_string(), "r7");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArchReg(u8);
 
 impl ArchReg {

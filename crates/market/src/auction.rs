@@ -15,11 +15,10 @@
 //! versa — exactly the demand-shift behaviour Table 6 shows across
 //! Markets 1–3.
 
+use crate::market::Market;
 use crate::optimize::best_utility;
 use crate::surface::PerfSurface;
-use crate::market::Market;
 use crate::utility::UtilityFn;
-use serde::{Deserialize, Serialize};
 use sharing_core::VCoreShape;
 
 /// A customer participating in the auction.
@@ -36,7 +35,7 @@ pub struct Bidder {
 }
 
 /// One bidder's cleared allocation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Allocation {
     /// The bidder's name.
     pub bidder: String,
@@ -49,7 +48,7 @@ pub struct Allocation {
 }
 
 /// The auction outcome.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Clearing {
     /// Clearing price per Slice.
     pub slice_price: f64,
@@ -257,7 +256,7 @@ mod tests {
 
     #[test]
     fn demand_substitutes_away_from_expensive_resources() {
-        let mut a = Auction::new(1.0, 1.0, );
+        let mut a = Auction::new(1.0, 1.0);
         a.add_bidder(bidder("flex", 1.0, 1.0, 100.0));
         // At slice-heavy prices the bidder buys relatively more banks.
         let (s_cheap_slices, b_cheap_slices, _) = a.demand_at(1.0, 8.0);

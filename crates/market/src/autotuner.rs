@@ -17,7 +17,6 @@
 
 use crate::market::Market;
 use crate::utility::UtilityFn;
-use serde::{Deserialize, Serialize};
 use sharing_area::AreaModel;
 use sharing_core::{VCoreShape, MAX_L2_BANKS, MAX_SLICES};
 
@@ -64,7 +63,7 @@ impl Objective {
 }
 
 /// One probe the tuner made.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Probe {
     /// The shape measured.
     pub shape: VCoreShape,
@@ -161,7 +160,11 @@ impl AutoTuner {
         &self.probes
     }
 
-    fn measure(&mut self, shape: VCoreShape, heartbeat: &mut impl FnMut(VCoreShape) -> f64) -> Probe {
+    fn measure(
+        &mut self,
+        shape: VCoreShape,
+        heartbeat: &mut impl FnMut(VCoreShape) -> f64,
+    ) -> Probe {
         if let Some(&p) = self.probes.iter().find(|p| p.shape == shape) {
             return p; // already measured; reuse the heartbeat reading
         }
@@ -240,7 +243,7 @@ mod tests {
         let obj = Objective::Performance;
         let f = unimodal(5, 3); // peak at 5 slices, 8 banks
         let mut tuner = AutoTuner::new(VCoreShape::new(1, 0).unwrap(), obj);
-        let best = tuner.run(|s| f(s), 500);
+        let best = tuner.run(f, 500);
         assert!(tuner.converged());
         assert_eq!(best.slices, 5, "found {best}");
         assert_eq!(best.l2_banks, 8, "found {best}");
@@ -254,8 +257,11 @@ mod tests {
         };
         let f = unimodal(8, 5);
         let mut tuner = AutoTuner::new(VCoreShape::new(1, 0).unwrap(), obj);
-        tuner.run(|s| f(s), 7);
-        assert!(tuner.probes().len() <= 7 + 4, "one step may finish its frontier");
+        tuner.run(f, 7);
+        assert!(
+            tuner.probes().len() <= 7 + 4,
+            "one step may finish its frontier"
+        );
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //! Sharing Architecture re-synthesizes its cores on demand.
 
 use crate::surface::SuiteSurfaces;
-use serde::{Deserialize, Serialize};
 use sharing_area::AreaModel;
 use sharing_core::VCoreShape;
 use sharing_trace::Benchmark;
@@ -33,7 +32,7 @@ pub fn small_core() -> VCoreShape {
 
 /// One cell of Figure 17: a core-area split and an application mix, with
 /// the throughput the mix achieves on that datacenter.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MixPoint {
     /// Fraction of datacenter area spent on big cores.
     pub big_area_frac: f64,
@@ -45,7 +44,7 @@ pub struct MixPoint {
 }
 
 /// The completed study.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatacenterStudy {
     /// Application A (the paper uses hmmer).
     pub app_a: Benchmark,
@@ -86,9 +85,7 @@ impl DatacenterStudy {
             .into_iter()
             .map(|(_, r)| r)
             .collect();
-        ratios
-            .iter()
-            .any(|&r| (r - ratios[0]).abs() > f64::EPSILON)
+        ratios.iter().any(|&r| (r - ratios[0]).abs() > f64::EPSILON)
     }
 }
 
@@ -196,11 +193,12 @@ mod tests {
         let gobmk = PerfSurface::from_fn("gobmk", |s| {
             0.4 + 0.3 * s.slices.min(3) as f64 + 0.05 * s.l2_banks.min(4) as f64
         });
-        let json = serde_json::json!({
-            "spec": ExperimentSpec::quick(),
-            "surfaces": { "Hmmer": hmmer, "Gobmk": gobmk }
-        });
-        serde_json::from_value(json).expect("well-formed synthetic suite")
+        SuiteSurfaces::from_parts(
+            ExperimentSpec::quick(),
+            [(Benchmark::Hmmer, hmmer), (Benchmark::Gobmk, gobmk)]
+                .into_iter()
+                .collect(),
+        )
     }
 
     #[test]
@@ -214,7 +212,12 @@ mod tests {
     #[test]
     fn optimal_ratio_moves_with_mix() {
         let suite = synthetic_suite();
-        let study = run_study(&suite, Benchmark::Hmmer, Benchmark::Gobmk, &AreaModel::paper());
+        let study = run_study(
+            &suite,
+            Benchmark::Hmmer,
+            Benchmark::Gobmk,
+            &AreaModel::paper(),
+        );
         assert!(study.no_single_ratio_is_optimal());
         let ratios = study.optimal_ratio_per_mix();
         // All-hmmer wants no big cores; all-gobmk wants many.
@@ -240,7 +243,12 @@ mod tests {
     #[test]
     fn grid_dimensions_match() {
         let suite = synthetic_suite();
-        let study = run_study(&suite, Benchmark::Hmmer, Benchmark::Gobmk, &AreaModel::paper());
+        let study = run_study(
+            &suite,
+            Benchmark::Hmmer,
+            Benchmark::Gobmk,
+            &AreaModel::paper(),
+        );
         assert_eq!(study.points.len(), study.app_fracs.len());
         assert!(study
             .points

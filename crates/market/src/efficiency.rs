@@ -18,12 +18,11 @@ use crate::market::Market;
 use crate::optimize::{best_utility, utility_at};
 use crate::surface::SuiteSurfaces;
 use crate::utility::{UtilityFn, ALL_UTILITIES};
-use serde::{Deserialize, Serialize};
 use sharing_core::VCoreShape;
 use sharing_trace::Benchmark;
 
 /// The utility gain of one pairwise customer mix.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PairGain {
     /// First customer.
     pub a: (Benchmark, UtilityFn),
@@ -44,7 +43,7 @@ impl PairGain {
 }
 
 /// A completed efficiency study.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EfficiencyStudy {
     /// The baseline's label ("static fixed" or "heterogeneous").
     pub baseline_name: String,
@@ -219,20 +218,13 @@ pub fn vs_static_fixed(suite: &SuiteSurfaces, market: &Market, budget: f64) -> E
 pub fn vs_heterogeneous(suite: &SuiteSurfaces, market: &Market, budget: f64) -> EfficiencyStudy {
     let shapes = best_per_utility_shapes(suite, market, budget);
     let lookup = shapes.clone();
-    pairwise_study(
-        suite,
-        market,
-        budget,
-        "heterogeneous",
-        shapes,
-        move |u| {
-            lookup
-                .iter()
-                .find(|(uu, _)| *uu == u)
-                .expect("every utility has a baseline shape")
-                .1
-        },
-    )
+    pairwise_study(suite, market, budget, "heterogeneous", shapes, move |u| {
+        lookup
+            .iter()
+            .find(|(uu, _)| *uu == u)
+            .expect("every utility has a baseline shape")
+            .1
+    })
 }
 
 #[cfg(test)]
@@ -249,15 +241,15 @@ mod tests {
         let cache_lover = PerfSurface::from_fn("bzip", |s| {
             (1.0 + (1.0 + s.l2_banks as f64).ln()) * (1.0 + 0.05 * s.slices as f64)
         });
-        // Assemble by hand through serde (fields are private).
-        let json = serde_json::json!({
-            "spec": ExperimentSpec::quick(),
-            "surfaces": {
-                "Astar": slices_lover,
-                "Bzip": cache_lover,
-            }
-        });
-        serde_json::from_value(json).expect("well-formed synthetic suite")
+        SuiteSurfaces::from_parts(
+            ExperimentSpec::quick(),
+            [
+                (Benchmark::Astar, slices_lover),
+                (Benchmark::Bzip, cache_lover),
+            ]
+            .into_iter()
+            .collect(),
+        )
     }
 
     #[test]

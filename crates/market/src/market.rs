@@ -4,7 +4,6 @@
 //! with budget `B` choosing a VCore of `s` Slices and `c` banks can afford
 //! `v = B / (C_s·s + C_c·c)` such cores (Equation 2).
 
-use serde::{Deserialize, Serialize};
 use sharing_core::VCoreShape;
 use std::fmt;
 
@@ -13,7 +12,7 @@ use std::fmt;
 /// The natural currency is *bank units*: under the area model one Slice
 /// occupies the area of two 64 KB banks, so the equal-area Market 2 prices
 /// a Slice at 2 and a bank at 1 ("1 Slice costs the same as 128 KB Cache").
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Market {
     /// Human name ("Market1"…).
     pub name: &'static str,

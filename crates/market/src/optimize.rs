@@ -4,12 +4,11 @@
 use crate::market::Market;
 use crate::surface::PerfSurface;
 use crate::utility::UtilityFn;
-use serde::{Deserialize, Serialize};
 use sharing_area::AreaModel;
 use sharing_core::VCoreShape;
 
 /// A chosen configuration with its score.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Chosen {
     /// The winning VCore shape.
     pub shape: VCoreShape,

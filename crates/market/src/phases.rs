@@ -7,14 +7,13 @@
 //! *single* static shape for the whole program. Gains reach 19.4 % for
 //! `performance³/area`.
 
-use serde::{Deserialize, Serialize};
 use sharing_area::AreaModel;
 use sharing_core::{ReconfigCosts, SimConfig, Simulator, VCoreShape};
 use sharing_trace::{gcc_phase_trace, TraceSpec};
 use std::collections::BTreeMap;
 
 /// Per-phase measurements for one metric exponent.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PhaseRow {
     /// Metric exponent `k` in `perf^k/area`.
     pub k: u32,
@@ -28,7 +27,7 @@ pub struct PhaseRow {
 }
 
 /// The Table 7 study result.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PhaseStudy {
     /// Number of phases (the paper uses 10).
     pub phases: usize,
@@ -44,25 +43,29 @@ fn measure_phases(spec: &TraceSpec, phases: usize, shapes: &[VCoreShape]) -> Pha
     let tasks: Vec<(usize, VCoreShape)> = (1..=phases)
         .flat_map(|p| shapes.iter().map(move |&s| (p, s)))
         .collect();
-    let results = parking_lot::Mutex::new(Vec::with_capacity(tasks.len()));
+    let results = std::sync::Mutex::new(Vec::with_capacity(tasks.len()));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(p, shape)) = tasks.get(i) else { break };
+                let Some(&(p, shape)) = tasks.get(i) else {
+                    break;
+                };
                 let trace = gcc_phase_trace(p, spec);
                 let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks)
                     .expect("candidate shapes are valid");
                 let r = Simulator::new(cfg).expect("valid config").run(&trace);
-                results.lock().push((p, shape, (r.cycles, r.instructions)));
+                results
+                    .lock()
+                    .expect("phase lock")
+                    .push((p, shape, (r.cycles, r.instructions)));
             });
         }
-    })
-    .expect("phase workers do not panic");
+    });
     let mut out: PhaseCycles = vec![BTreeMap::new(); phases];
-    for (p, shape, v) in results.into_inner() {
+    for (p, shape, v) in results.into_inner().expect("phase lock") {
         out[p - 1].insert(shape, v);
     }
     out
@@ -94,18 +97,14 @@ pub fn run_study_with(
             // is ln(perf^k/area) with the transition's reconfiguration
             // cycles charged against that phase's performance — exactly
             // the accounting of the paper's Table 7.
-            let score = |phase: &BTreeMap<VCoreShape, (u64, u64)>,
-                         shape: VCoreShape,
-                         reconfig: u64| {
-                let (cycles, insts) = phase[&shape];
-                let perf = insts as f64 / (cycles + reconfig) as f64;
-                metric(perf, k, shape, area).ln()
-            };
+            let score =
+                |phase: &BTreeMap<VCoreShape, (u64, u64)>, shape: VCoreShape, reconfig: u64| {
+                    let (cycles, insts) = phase[&shape];
+                    let perf = insts as f64 / (cycles + reconfig) as f64;
+                    metric(perf, k, shape, area).ln()
+                };
             // value[s] = best log-sum ending at shape s; back[phase][s].
-            let mut value: Vec<f64> = shapes
-                .iter()
-                .map(|&s| score(&measured[0], s, 0))
-                .collect();
+            let mut value: Vec<f64> = shapes.iter().map(|&s| score(&measured[0], s, 0)).collect();
             let mut back: Vec<Vec<usize>> = Vec::with_capacity(phases);
             for phase in &measured[1..] {
                 let mut next_value = vec![f64::NEG_INFINITY; shapes.len()];

@@ -13,7 +13,6 @@ use crate::auction::{Auction, Bidder, Clearing};
 use crate::surface::PerfSurface;
 use crate::utility::ALL_UTILITIES;
 use rand_like::SplitMix;
-use serde::{Deserialize, Serialize};
 
 /// A tiny deterministic PRNG so this module does not drag `rand` into the
 /// public API (the sequence is part of the experiment's reproducibility).
@@ -46,7 +45,7 @@ mod rand_like {
 }
 
 /// One period's market state.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SpotTick {
     /// Period index.
     pub period: usize,
@@ -61,7 +60,7 @@ pub struct SpotTick {
 }
 
 /// Configuration of the demand process.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DemandProcess {
     /// Probability a new customer arrives each period.
     pub arrival_p: f64,
@@ -197,9 +196,7 @@ mod tests {
             ),
             (
                 "cachey".to_string(),
-                PerfSurface::from_fn("cachey", |s| {
-                    1.0 + (1.0 + s.l2_banks as f64).ln() / 2.0
-                }),
+                PerfSurface::from_fn("cachey", |s| 1.0 + (1.0 + s.l2_banks as f64).ln() / 2.0),
             ),
         ]
     }

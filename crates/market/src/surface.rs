@@ -6,16 +6,15 @@
 //! (Equation 3: 1–8 Slices × 0 KB–8 MB), in parallel, with optional JSON
 //! caching so the bench harness only ever pays for a sweep once.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use sharing_core::{SimConfig, Simulator, VCoreShape, VmSimulator};
+use sharing_json::{json_struct, FromJson, Json, JsonError, ToJson};
 use sharing_trace::{Benchmark, TraceSpec, ALL_BENCHMARKS};
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Mutex;
 
 /// How a sweep's traces are generated.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ExperimentSpec {
     /// Dynamic instructions per thread.
     pub trace_len: usize,
@@ -24,7 +23,6 @@ pub struct ExperimentSpec {
     /// Workload calibration version the sweep was built against (see
     /// [`sharing_trace::CALIBRATION_VERSION`]); result caches keyed on a
     /// spec invalidate when calibration changes.
-    #[serde(default)]
     pub calibration: u32,
 }
 
@@ -62,30 +60,55 @@ impl Default for ExperimentSpec {
     }
 }
 
+json_struct!(ExperimentSpec {
+    trace_len,
+    seed,
+    calibration
+});
+
 /// One benchmark's measured performance at every swept shape.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PerfSurface {
     name: String,
-    /// Stored as pairs because JSON map keys must be strings.
-    #[serde(with = "points_as_pairs")]
+    /// Serialized as `(shape, perf)` pairs because JSON map keys must be
+    /// strings.
     points: BTreeMap<VCoreShape, f64>,
 }
 
-mod points_as_pairs {
-    use super::{BTreeMap, VCoreShape};
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(
-        map: &BTreeMap<VCoreShape, f64>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        map.iter().collect::<Vec<_>>().serialize(s)
+impl ToJson for PerfSurface {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            (
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|(s, p)| Json::Arr(vec![s.to_json(), p.to_json()]))
+                        .collect(),
+                ),
+            ),
+        ])
     }
+}
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<BTreeMap<VCoreShape, f64>, D::Error> {
-        Ok(Vec::<(VCoreShape, f64)>::deserialize(d)?.into_iter().collect())
+impl FromJson for PerfSurface {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = String::from_json(
+            v.get("name")
+                .ok_or_else(|| JsonError("PerfSurface missing field `name`".into()))?,
+        )?;
+        let pairs = Vec::<(VCoreShape, f64)>::from_json(
+            v.get("points")
+                .ok_or_else(|| JsonError("PerfSurface missing field `points`".into()))?,
+        )?;
+        if pairs.is_empty() {
+            return Err(JsonError("PerfSurface needs at least one point".into()));
+        }
+        Ok(PerfSurface {
+            name,
+            points: pairs.into_iter().collect(),
+        })
     }
 }
 
@@ -144,13 +167,62 @@ impl PerfSurface {
 }
 
 /// Performance surfaces for the whole benchmark suite.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SuiteSurfaces {
     spec: ExperimentSpec,
     surfaces: BTreeMap<Benchmark, PerfSurface>,
 }
 
+impl ToJson for SuiteSurfaces {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("spec", self.spec.to_json()),
+            (
+                "surfaces",
+                Json::Obj(
+                    self.surfaces
+                        .iter()
+                        .map(|(b, s)| (b.name().to_string(), s.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SuiteSurfaces {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let spec = ExperimentSpec::from_json(
+            v.get("spec")
+                .ok_or_else(|| JsonError("SuiteSurfaces missing field `spec`".into()))?,
+        )?;
+        let obj = v
+            .get("surfaces")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| JsonError("SuiteSurfaces missing object `surfaces`".into()))?;
+        let mut surfaces = BTreeMap::new();
+        for (name, sv) in obj {
+            let bench = Benchmark::from_name(name)
+                .ok_or_else(|| JsonError(format!("unknown benchmark `{name}`")))?;
+            surfaces.insert(bench, PerfSurface::from_json(sv)?);
+        }
+        Ok(SuiteSurfaces { spec, surfaces })
+    }
+}
+
 impl SuiteSurfaces {
+    /// Assembles suite surfaces from already-measured parts (tests and
+    /// external tooling; normal callers use [`SuiteSurfaces::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `surfaces` is empty.
+    #[must_use]
+    pub fn from_parts(spec: ExperimentSpec, surfaces: BTreeMap<Benchmark, PerfSurface>) -> Self {
+        assert!(!surfaces.is_empty(), "a suite needs at least one surface");
+        SuiteSurfaces { spec, surfaces }
+    }
+
     /// Measures one benchmark at one shape (single-threaded benchmarks on
     /// a [`Simulator`], PARSEC on a [`VmSimulator`] with four VCores and a
     /// shared L2, per §5.3).
@@ -191,19 +263,18 @@ impl SuiteSurfaces {
             Mutex::new(Vec::with_capacity(tasks.len()));
         let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
         let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     let Some(&(b, s)) = tasks.get(i) else { break };
                     let perf = Self::measure(b, s, &spec);
-                    results.lock().push((b, s, perf));
+                    results.lock().expect("sweep lock").push((b, s, perf));
                 });
             }
-        })
-        .expect("sweep workers do not panic");
+        });
         let mut surfaces: BTreeMap<Benchmark, BTreeMap<VCoreShape, f64>> = BTreeMap::new();
-        for (b, s, p) in results.into_inner() {
+        for (b, s, p) in results.into_inner().expect("sweep lock") {
             surfaces.entry(b).or_default().insert(s, p);
         }
         SuiteSurfaces {
@@ -220,17 +291,15 @@ impl SuiteSurfaces {
     /// build (the cache is an optimization, not a requirement).
     #[must_use]
     pub fn build_or_load(spec: ExperimentSpec, cache: &Path) -> Self {
-        if let Ok(bytes) = std::fs::read(cache) {
-            if let Ok(loaded) = serde_json::from_slice::<SuiteSurfaces>(&bytes) {
+        if let Ok(text) = std::fs::read_to_string(cache) {
+            if let Ok(loaded) = sharing_json::from_str::<SuiteSurfaces>(&text) {
                 if loaded.spec == spec && loaded.surfaces.len() == ALL_BENCHMARKS.len() {
                     return loaded;
                 }
             }
         }
         let built = Self::build(spec);
-        if let Ok(json) = serde_json::to_vec(&built) {
-            let _ = std::fs::write(cache, json);
-        }
+        let _ = std::fs::write(cache, sharing_json::to_string(&built));
         built
     }
 
@@ -287,8 +356,7 @@ mod tests {
 
     #[test]
     fn build_subset_produces_full_surfaces() {
-        let suite =
-            SuiteSurfaces::build_subset(ExperimentSpec::quick(), &[Benchmark::Hmmer]);
+        let suite = SuiteSurfaces::build_subset(ExperimentSpec::quick(), &[Benchmark::Hmmer]);
         let surf = suite.surface(Benchmark::Hmmer);
         assert_eq!(surf.iter().count(), 72);
         assert!(surf.iter().all(|(_, p)| p > 0.0));
@@ -297,27 +365,25 @@ mod tests {
     #[test]
     fn parsec_measure_is_per_vcore() {
         let spec = ExperimentSpec::quick();
-        let p = SuiteSurfaces::measure(
-            Benchmark::Swaptions,
-            VCoreShape::new(1, 2).unwrap(),
-            &spec,
-        );
+        let p = SuiteSurfaces::measure(Benchmark::Swaptions, VCoreShape::new(1, 2).unwrap(), &spec);
         assert!(p > 0.0 && p < 2.0, "per-VCore IPC expected, got {p}");
     }
 
     #[test]
     fn json_roundtrip() {
-        let suite =
-            SuiteSurfaces::build_subset(ExperimentSpec::quick(), &[Benchmark::Hmmer]);
-        let json = serde_json::to_string(&suite).unwrap();
-        let back: SuiteSurfaces = serde_json::from_str(&json).unwrap();
+        let suite = SuiteSurfaces::build_subset(ExperimentSpec::quick(), &[Benchmark::Hmmer]);
+        let json = sharing_json::to_string(&suite);
+        let back: SuiteSurfaces = sharing_json::from_str(&json).unwrap();
         assert_eq!(suite.spec(), back.spec());
         assert_eq!(suite.benchmarks(), back.benchmarks());
         // Floats survive JSON up to printing precision.
         for (b, surf) in suite.iter() {
             for (shape, perf) in surf.iter() {
                 let other = back.surface(b).perf(shape);
-                assert!((perf - other).abs() < 1e-9, "{b} {shape}: {perf} vs {other}");
+                assert!(
+                    (perf - other).abs() < 1e-9,
+                    "{b} {shape}: {perf} vs {other}"
+                );
             }
         }
     }

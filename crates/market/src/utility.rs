@@ -1,6 +1,5 @@
 //! Customer utility functions (paper §2.2, §5.6, Table 5).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A Cloud customer's utility function `U(c, s, v) = v · P(c, s)^k`.
@@ -16,7 +15,7 @@ use std::fmt;
 ///   to completion like `Energy·Delay²` research weights delay;
 /// * **Utility3** (`v·P³`): On-Line Data-Intensive workloads needing
 ///   sub-second responsiveness (Equation 1).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum UtilityFn {
     /// `v · P` — throughput computing (the paper's Utility1).
     Throughput,

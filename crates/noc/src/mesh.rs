@@ -1,10 +1,9 @@
 //! Mesh geometry and dimension-ordered routing.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tile coordinate on the 2D mesh.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Coord {
     /// Column.
     pub x: u16,
@@ -52,7 +51,7 @@ pub struct Link {
 /// assert_eq!(m.tiles(), 64);
 /// assert_eq!(m.hops(Coord::new(0, 0), Coord::new(7, 7)), 14);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Mesh {
     width: u16,
     height: u16,
@@ -102,7 +101,10 @@ impl Mesh {
     #[must_use]
     pub fn coord_of(self, index: usize) -> Coord {
         assert!(index < self.tiles(), "tile index {index} out of range");
-        Coord::new((index % self.width as usize) as u16, (index / self.width as usize) as u16)
+        Coord::new(
+            (index % self.width as usize) as u16,
+            (index / self.width as usize) as u16,
+        )
     }
 
     /// Converts a coordinate to its linear (row-major) tile index.
@@ -132,17 +134,26 @@ impl Mesh {
     /// Panics if either coordinate is off-mesh.
     #[must_use]
     pub fn route(self, a: Coord, b: Coord) -> Vec<Link> {
-        assert!(self.contains(a) && self.contains(b), "route endpoints must be on mesh");
+        assert!(
+            self.contains(a) && self.contains(b),
+            "route endpoints must be on mesh"
+        );
         let mut path = Vec::with_capacity(self.hops(a, b) as usize);
         let mut cur = a;
         while cur.x != b.x {
             let next = Coord::new(if b.x > cur.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
-            path.push(Link { from: cur, to: next });
+            path.push(Link {
+                from: cur,
+                to: next,
+            });
             cur = next;
         }
         while cur.y != b.y {
             let next = Coord::new(cur.x, if b.y > cur.y { cur.y + 1 } else { cur.y - 1 });
-            path.push(Link { from: cur, to: next });
+            path.push(Link {
+                from: cur,
+                to: next,
+            });
             cur = next;
         }
         path

@@ -1,7 +1,7 @@
 //! Transport models over the mesh.
 
 use crate::mesh::{Coord, Link, Mesh};
-use serde::{Deserialize, Serialize};
+use sharing_json::json_struct;
 use std::collections::{BTreeSet, HashMap};
 
 /// The latency formula of a pipelined, switched network.
@@ -9,7 +9,7 @@ use std::collections::{BTreeSet, HashMap};
 /// The paper (§3.4) models a two-cycle communication cost between
 /// nearest-neighbour Slices and one additional cycle per extra network hop —
 /// "the same latency as on a Tilera processor".
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LatencyModel {
     /// Cost of a nearest-neighbour (1-hop) message.
     pub base: u32,
@@ -61,7 +61,7 @@ impl Default for LatencyModel {
 }
 
 /// Counters accumulated by a transport.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages sent.
     pub messages: u64,
@@ -70,6 +70,17 @@ pub struct NetStats {
     /// Cycles lost to link contention (queued model only).
     pub contention_cycles: u64,
 }
+
+json_struct!(LatencyModel {
+    base,
+    per_hop,
+    local
+});
+json_struct!(NetStats {
+    messages,
+    hops,
+    contention_cycles
+});
 
 /// A message transport over the mesh: given a send cycle, produces the
 /// arrival cycle.
@@ -331,7 +342,7 @@ mod tests {
         assert_eq!(n.send(Coord::new(0, 0), Coord::new(1, 0), 10), 12);
         assert_eq!(n.send(Coord::new(0, 0), Coord::new(3, 2), 10), 16);
         assert_eq!(n.stats().messages, 3);
-        assert_eq!(n.stats().hops, 0 + 1 + 5);
+        assert_eq!(n.stats().hops, 1 + 5);
     }
 
     #[test]

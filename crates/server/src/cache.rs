@@ -1,0 +1,118 @@
+//! The result cache: canonical job key → serialized result payload.
+//!
+//! Keys are the canonical JSON of the job (see
+//! [`crate::protocol::RunJob::cache_key`]); values are the *serialized*
+//! result payload, so a cache hit replays the exact bytes a fresh run
+//! would produce — trace generation and the simulator are deterministic,
+//! which is what makes this sound. Capacity is bounded with FIFO
+//! eviction; the full key string is compared on lookup, so hash
+//! collisions cannot alias jobs.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A bounded, thread-safe string-keyed result cache.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, String>,
+    order: VecDeque<String>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables
+    /// caching entirely).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+        }
+    }
+
+    /// Looks up a payload by its canonical key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.inner.lock().expect("cache lock").map.get(key).cloned()
+    }
+
+    /// Inserts a payload, evicting the oldest entry when full. Re-inserting
+    /// an existing key refreshes the value without growing the cache.
+    pub fn insert(&self, key: &str, payload: &str) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner
+            .map
+            .insert(key.to_string(), payload.to_string())
+            .is_none()
+        {
+            inner.order.push_back(key.to_string());
+            while inner.order.len() > self.capacity {
+                let oldest = inner.order.pop_front().expect("non-empty");
+                inner.map.remove(&oldest);
+            }
+        }
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.insert("k", "payload");
+        assert_eq!(c.get("k").as_deref(), Some("payload"));
+    }
+
+    #[test]
+    fn evicts_oldest_beyond_capacity() {
+        let c = ResultCache::new(2);
+        c.insert("a", "1");
+        c.insert("b", "2");
+        c.insert("c", "3");
+        assert_eq!(c.get("a"), None, "oldest evicted");
+        assert_eq!(c.get("b").as_deref(), Some("2"));
+        assert_eq!(c.get("c").as_deref(), Some("3"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let c = ResultCache::new(2);
+        c.insert("a", "1");
+        c.insert("a", "updated");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").as_deref(), Some("updated"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::new(0);
+        c.insert("a", "1");
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+    }
+}

@@ -1,0 +1,234 @@
+//! A blocking client for the ssimd protocol.
+//!
+//! One `Client` wraps one TCP connection. Requests are answered in order,
+//! so the typed helpers below send a request and read exactly the reply
+//! lines it produces. For pipelining, use [`Client::send`] /
+//! [`Client::recv`] directly with distinct `id`s.
+
+use crate::protocol::{self, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use sharing_json::Json;
+use sharing_market::{Market, UtilityFn};
+use sharing_trace::{Benchmark, WorkloadProfile};
+use std::io::{BufReader, Error, ErrorKind};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected ssimd client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn bad_data(msg: impl Into<String>) -> Error {
+    Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn send(&mut self, env: &Envelope) -> std::io::Result<()> {
+        protocol::write_line(&mut self.writer, &env.to_line())
+    }
+
+    /// Reads one reply line as JSON.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the server closed the connection; `InvalidData`
+    /// for non-JSON replies.
+    pub fn recv(&mut self) -> std::io::Result<Json> {
+        let line = protocol::read_line(&mut self.reader)?
+            .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof, "server closed connection"))?;
+        Json::parse(&line).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Sends a request and reads its single reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] / [`Client::recv`] errors.
+    pub fn call(&mut self, env: &Envelope) -> std::io::Result<Json> {
+        self.send(env)?;
+        self.recv()
+    }
+
+    /// Liveness check; `true` when the server answers `pong`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn ping(&mut self) -> std::io::Result<bool> {
+        let v = self.call(&Envelope {
+            id: None,
+            req: Request::Ping,
+        })?;
+        Ok(v.get("type").and_then(Json::as_str) == Some("pong"))
+    }
+
+    /// Fetches the server's metrics snapshot (the `"stats"` object).
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the reply carries no stats object.
+    pub fn stats(&mut self) -> std::io::Result<Json> {
+        let v = self.call(&Envelope {
+            id: None,
+            req: Request::Stats,
+        })?;
+        v.get("stats")
+            .cloned()
+            .ok_or_else(|| bad_data("stats reply missing `stats`"))
+    }
+
+    /// Requests graceful shutdown; returns the final reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn shutdown(&mut self) -> std::io::Result<Json> {
+        self.call(&Envelope {
+            id: None,
+            req: Request::Shutdown,
+        })
+    }
+
+    /// Submits a single run job and waits for its result line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; server-side failures come back as
+    /// `{"ok":false}` replies, not `Err`.
+    pub fn run(&mut self, job: RunJob) -> std::io::Result<Json> {
+        self.call(&Envelope {
+            id: None,
+            req: Request::Run(job),
+        })
+    }
+
+    /// Convenience: runs a named benchmark.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` for an unknown benchmark name; otherwise as
+    /// [`Client::run`].
+    pub fn run_benchmark(
+        &mut self,
+        name: &str,
+        slices: usize,
+        banks: usize,
+        len: usize,
+        seed: u64,
+    ) -> std::io::Result<Json> {
+        let bench = Benchmark::from_name(name).ok_or_else(|| {
+            Error::new(
+                ErrorKind::InvalidInput,
+                format!("unknown benchmark `{name}`"),
+            )
+        })?;
+        self.run(RunJob {
+            workload: JobWorkload::Benchmark(bench),
+            slices,
+            banks,
+            len,
+            seed,
+        })
+    }
+
+    /// Convenience: runs an inline workload profile.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::run`].
+    pub fn run_profile(
+        &mut self,
+        profile: WorkloadProfile,
+        slices: usize,
+        banks: usize,
+        len: usize,
+        seed: u64,
+    ) -> std::io::Result<Json> {
+        self.run(RunJob {
+            workload: JobWorkload::Profile(Box::new(profile)),
+            slices,
+            banks,
+            len,
+            seed,
+        })
+    }
+
+    /// Submits a sweep and collects its streamed lines: every
+    /// `sweep_point` plus the trailing `sweep_done` (or a single error
+    /// line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn sweep(
+        &mut self,
+        benchmark: Benchmark,
+        len: usize,
+        seed: u64,
+    ) -> std::io::Result<Vec<Json>> {
+        self.send(&Envelope {
+            id: None,
+            req: Request::Sweep(SweepJob {
+                benchmark,
+                len,
+                seed,
+            }),
+        })?;
+        let mut lines = Vec::new();
+        loop {
+            let v = self.recv()?;
+            let done = v.get("ok").and_then(Json::as_bool) != Some(true)
+                || v.get("type").and_then(Json::as_str) == Some("sweep_done");
+            lines.push(v);
+            if done {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// Submits a market evaluation and waits for its result line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn market(
+        &mut self,
+        benchmark: Benchmark,
+        utility: UtilityFn,
+        market: Market,
+        budget: f64,
+        len: usize,
+        seed: u64,
+    ) -> std::io::Result<Json> {
+        self.call(&Envelope {
+            id: None,
+            req: Request::Market(MarketJob {
+                benchmark,
+                utility,
+                market,
+                budget,
+                len,
+                seed,
+            }),
+        })
+    }
+}

@@ -1,0 +1,125 @@
+//! Job execution: the bridge from protocol jobs to the simulator.
+//!
+//! Everything here is deterministic — same job, same bytes out — which is
+//! the contract the result cache relies on.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::protocol::{JobWorkload, RunJob};
+use sharing_core::{SimConfig, SimResult, Simulator, VmSimulator};
+use sharing_trace::{ProgramGenerator, TraceSpec};
+use std::sync::atomic::Ordering;
+
+/// Runs one job on a fresh simulator.
+///
+/// # Errors
+///
+/// Returns a human-readable message for invalid shapes or profiles;
+/// simulation itself is total.
+pub fn simulate(job: &RunJob) -> Result<SimResult, String> {
+    let cfg = SimConfig::with_shape(job.slices, job.banks).map_err(|e| e.to_string())?;
+    let spec = TraceSpec::new(job.len, job.seed);
+    match &job.workload {
+        JobWorkload::Benchmark(b) => {
+            if b.is_parsec() {
+                Ok(VmSimulator::new(cfg)
+                    .expect("validated config")
+                    .run(&b.generate_threaded(&spec)))
+            } else {
+                Ok(Simulator::new(cfg)
+                    .expect("validated config")
+                    .run(&b.generate(&spec)))
+            }
+        }
+        JobWorkload::Profile(p) => {
+            let generator = ProgramGenerator::new(p, spec)?;
+            if p.threads > 1 {
+                Ok(VmSimulator::new(cfg)
+                    .expect("validated config")
+                    .run(&generator.generate()))
+            } else {
+                Ok(Simulator::new(cfg)
+                    .expect("validated config")
+                    .run(&generator.generate_single()))
+            }
+        }
+    }
+}
+
+/// Runs a job through the result cache: on a hit, the stored payload is
+/// returned verbatim (byte-identical to the fresh run that produced it).
+/// Returns `(payload_json, was_cached)`.
+///
+/// # Errors
+///
+/// Propagates [`simulate`]'s message. Failures are not cached.
+pub fn run_cached(
+    cache: &ResultCache,
+    metrics: &Metrics,
+    job: &RunJob,
+) -> Result<(String, bool), String> {
+    let key = job.cache_key();
+    if let Some(hit) = cache.get(&key) {
+        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((hit, true));
+    }
+    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let payload = sharing_json::to_string(&simulate(job)?);
+    cache.insert(&key, &payload);
+    Ok((payload, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharing_trace::Benchmark;
+
+    fn job(len: usize, seed: u64) -> RunJob {
+        RunJob {
+            workload: JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 2,
+            banks: 2,
+            len,
+            seed,
+        }
+    }
+
+    #[test]
+    fn simulate_is_deterministic() {
+        let a = sharing_json::to_string(&simulate(&job(600, 3)).unwrap());
+        let b = sharing_json::to_string(&simulate(&job(600, 3)).unwrap());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_shape_is_an_error_not_a_panic() {
+        let mut j = job(100, 1);
+        j.slices = 0;
+        assert!(simulate(&j).is_err());
+        j.slices = 999;
+        assert!(simulate(&j).is_err());
+    }
+
+    #[test]
+    fn cached_payload_is_byte_identical_to_fresh() {
+        let cache = ResultCache::new(16);
+        let metrics = Metrics::new(1);
+        let (fresh, was_cached) = run_cached(&cache, &metrics, &job(500, 9)).unwrap();
+        assert!(!was_cached);
+        let (hit, was_cached) = run_cached(&cache, &metrics, &job(500, 9)).unwrap();
+        assert!(was_cached);
+        assert_eq!(fresh, hit, "cache replay must be byte-identical");
+        assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn different_jobs_do_not_alias() {
+        let cache = ResultCache::new(16);
+        let metrics = Metrics::new(1);
+        let (a, _) = run_cached(&cache, &metrics, &job(500, 1)).unwrap();
+        let (b, _) = run_cached(&cache, &metrics, &job(500, 2)).unwrap();
+        assert_ne!(a, b, "different seeds are different cache entries");
+        assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 2);
+    }
+}

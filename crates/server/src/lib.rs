@@ -1,0 +1,56 @@
+//! ssimd — simulation-as-a-service for the Sharing Architecture.
+//!
+//! The sweep and market studies behind the paper's figures each run the
+//! simulator hundreds of times over the same `(benchmark, shape, trace)`
+//! grid. This crate turns the simulator into a long-lived daemon so that
+//! cost is paid once and shared:
+//!
+//! * [`protocol`] — newline-delimited JSON over TCP: `run`, `sweep`,
+//!   `market`, `stats`, `ping`, `shutdown`;
+//! * [`queue`] — a bounded job queue with non-blocking admission control
+//!   (a full queue answers with an explicit backpressure reply);
+//! * [`server`] — the daemon: listener, per-connection threads, a fixed
+//!   worker pool;
+//! * [`cache`] — a result cache keyed by the canonical job JSON; hits
+//!   replay the exact bytes of the fresh run (the simulator and trace
+//!   generation are deterministic);
+//! * [`metrics`] — queue depth, cache hit rate, worker utilization, and
+//!   p50/p99 job latency, served by the `stats` request;
+//! * [`client`] — a blocking client used by `ssim submit` and the tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_server::{Client, Server, ServerConfig};
+//!
+//! let handle = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     workers: 2,
+//!     queue_capacity: 8,
+//!     cache_capacity: 64,
+//! })?;
+//! let mut client = Client::connect(handle.local_addr())?;
+//! let reply = client.run_benchmark("gcc", 2, 2, 400, 7)?;
+//! assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod exec;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use metrics::Metrics;
+pub use protocol::{Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob, DEFAULT_PORT};
+pub use queue::{JobQueue, PushError};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,90 @@
+//! `ssimd` — the Sharing Architecture simulation daemon.
+//!
+//! ```text
+//! ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+//!
+//! Runs until a client sends `{"type":"shutdown"}` (e.g. via
+//! `ssim submit --shutdown`).
+
+use sharing_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+fn usage() -> String {
+    format!(
+        "ssimd — simulation-as-a-service daemon
+
+USAGE:
+    ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+
+DEFAULTS:
+    --addr 127.0.0.1:{}   --workers <cores, max 8>   --queue 64   --cache 1024
+
+The daemon speaks newline-delimited JSON; see `ssim submit --help` or the
+sharing-server crate docs for the request shapes.",
+        sharing_server::DEFAULT_PORT
+    )
+}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag `{name}` needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number".to_string())?;
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: not a number".to_string())?;
+            }
+            "--cache" => {
+                cfg.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache: not a number".to_string())?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("ssimd: {msg}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match Server::start(cfg) {
+        Ok(handle) => {
+            eprintln!(
+                "ssimd: listening on {} (send {{\"type\":\"shutdown\"}} to stop)",
+                handle.local_addr()
+            );
+            handle.join();
+            eprintln!("ssimd: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ssimd: bind failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Server-wide metrics, queryable via the `stats` request.
+//!
+//! Counters are atomics (lock-free on the hot path); completed-job
+//! latencies go to a bounded ring so p50/p99 reflect the recent window
+//! without unbounded growth.
+
+use sharing_json::Json;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many recent job latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 1024;
+
+/// Shared server metrics.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Jobs admitted to the queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs fully executed.
+    pub jobs_completed: AtomicU64,
+    /// Jobs refused by admission control (queue full).
+    pub jobs_rejected: AtomicU64,
+    /// Requests that failed to parse or execute.
+    pub errors: AtomicU64,
+    /// Result-cache hits.
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses.
+    pub cache_misses: AtomicU64,
+    /// Workers currently executing a job.
+    pub busy_workers: AtomicUsize,
+    /// Total worker count (fixed at startup).
+    pub workers: usize,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl Metrics {
+    /// Fresh metrics for a pool of `workers` workers.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        Metrics {
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            busy_workers: AtomicUsize::new(0),
+            workers,
+            latencies: Mutex::new(LatencyRing {
+                samples: Vec::with_capacity(LATENCY_WINDOW),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one completed job's latency in microseconds.
+    pub fn record_latency_us(&self, us: u64) {
+        let mut ring = self.latencies.lock().expect("latency lock");
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(us);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// The (p50, p99) of the recent latency window, in microseconds.
+    /// Zeros until the first job completes.
+    #[must_use]
+    pub fn latency_percentiles_us(&self) -> (u64, u64) {
+        let ring = self.latencies.lock().expect("latency lock");
+        if ring.samples.is_empty() {
+            return (0, 0);
+        }
+        let mut sorted = ring.samples.clone();
+        sorted.sort_unstable();
+        let pick = |p: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        (pick(0.50), pick(0.99))
+    }
+
+    /// The cache hit rate in `[0, 1]` (zero before any lookup).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let h = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let m = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// A JSON snapshot for the `stats` reply. `queue_depth` and
+    /// `cache_entries` are gauges owned elsewhere, passed in.
+    #[must_use]
+    pub fn snapshot(&self, queue_depth: usize, cache_entries: usize) -> Json {
+        let (p50, p99) = self.latency_percentiles_us();
+        let busy = self.busy_workers.load(Ordering::Relaxed);
+        Json::obj(vec![
+            ("queue_depth", Json::Int(queue_depth as i128)),
+            (
+                "jobs_submitted",
+                Json::Int(i128::from(self.jobs_submitted.load(Ordering::Relaxed))),
+            ),
+            (
+                "jobs_completed",
+                Json::Int(i128::from(self.jobs_completed.load(Ordering::Relaxed))),
+            ),
+            (
+                "jobs_rejected",
+                Json::Int(i128::from(self.jobs_rejected.load(Ordering::Relaxed))),
+            ),
+            (
+                "errors",
+                Json::Int(i128::from(self.errors.load(Ordering::Relaxed))),
+            ),
+            (
+                "cache_hits",
+                Json::Int(i128::from(self.cache_hits.load(Ordering::Relaxed))),
+            ),
+            (
+                "cache_misses",
+                Json::Int(i128::from(self.cache_misses.load(Ordering::Relaxed))),
+            ),
+            ("cache_hit_rate", Json::Float(self.cache_hit_rate())),
+            ("cache_entries", Json::Int(cache_entries as i128)),
+            ("workers", Json::Int(self.workers as i128)),
+            ("busy_workers", Json::Int(busy as i128)),
+            (
+                "worker_utilization",
+                Json::Float(if self.workers == 0 {
+                    0.0
+                } else {
+                    busy as f64 / self.workers as f64
+                }),
+            ),
+            ("latency_p50_us", Json::Int(i128::from(p50))),
+            ("latency_p99_us", Json::Int(i128::from(p99))),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_empty_window_are_zero() {
+        assert_eq!(Metrics::new(2).latency_percentiles_us(), (0, 0));
+    }
+
+    #[test]
+    fn percentiles_order_correctly() {
+        let m = Metrics::new(2);
+        for us in 1..=100 {
+            m.record_latency_us(us);
+        }
+        let (p50, p99) = m.latency_percentiles_us();
+        assert!((49..=51).contains(&p50), "p50 {p50}");
+        assert!((98..=100).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = Metrics::new(1);
+        for us in 0..5_000 {
+            m.record_latency_us(us);
+        }
+        // Window holds the most recent LATENCY_WINDOW samples only.
+        let (p50, _) = m.latency_percentiles_us();
+        assert!(p50 >= 5_000 - LATENCY_WINDOW as u64, "old samples evicted");
+    }
+
+    #[test]
+    fn hit_rate_tracks_counters() {
+        let m = Metrics::new(1);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+        m.cache_hits.store(3, Ordering::Relaxed);
+        m.cache_misses.store(1, Ordering::Relaxed);
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_well_formed() {
+        let m = Metrics::new(4);
+        m.record_latency_us(10);
+        let v = m.snapshot(3, 7);
+        assert_eq!(v.get("queue_depth").and_then(Json::as_int), Some(3));
+        assert_eq!(v.get("cache_entries").and_then(Json::as_int), Some(7));
+        assert_eq!(v.get("workers").and_then(Json::as_int), Some(4));
+        assert!(v.get("worker_utilization").and_then(Json::as_f64).is_some());
+    }
+}

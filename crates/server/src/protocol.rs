@@ -1,0 +1,474 @@
+//! The ssimd wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every reply is one JSON
+//! object on one line. A request may produce several reply lines (sweeps
+//! stream one line per shape before their final line). Replies always
+//! carry `"ok"` and echo the request's `"id"` when one was given, so
+//! clients can pipeline.
+//!
+//! Request shapes:
+//!
+//! ```text
+//! {"type":"ping"}
+//! {"type":"stats"}
+//! {"type":"shutdown"}
+//! {"type":"run","benchmark":"gcc","slices":4,"banks":8,"len":60000,"seed":7}
+//! {"type":"run","profile":{...WorkloadProfile...},"slices":2,...}
+//! {"type":"sweep","benchmark":"mcf","len":30000,"seed":7}
+//! {"type":"market","benchmark":"gcc","utility":"throughput",
+//!  "market":"Market2","budget":100.0,"len":30000,"seed":7}
+//! ```
+
+use sharing_json::{Json, JsonError};
+use sharing_market::{Market, UtilityFn};
+use sharing_trace::{Benchmark, WorkloadProfile};
+use std::io::{BufRead, Read, Write};
+
+/// Default TCP port (`0xA5` + `2014`, the paper's year).
+pub const DEFAULT_PORT: u16 = 42014;
+
+/// Maximum accepted request line length (1 MiB) — bounds memory per
+/// connection against hostile input.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// What a `run` job simulates.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobWorkload {
+    /// One of the calibrated paper benchmarks.
+    Benchmark(Benchmark),
+    /// An inline workload profile.
+    Profile(Box<WorkloadProfile>),
+}
+
+/// A single-configuration simulation job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunJob {
+    /// The workload.
+    pub workload: JobWorkload,
+    /// Slice count.
+    pub slices: usize,
+    /// L2 bank count.
+    pub banks: usize,
+    /// Trace length.
+    pub len: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// A full-grid sweep job (72 shapes, streamed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepJob {
+    /// The benchmark to sweep.
+    pub benchmark: Benchmark,
+    /// Trace length.
+    pub len: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// A market-evaluation job: sweep the grid, then pick the
+/// budget-constrained utility-optimal shape (paper §5.6).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarketJob {
+    /// The benchmark whose surface is evaluated.
+    pub benchmark: Benchmark,
+    /// The customer's utility function.
+    pub utility: UtilityFn,
+    /// The pricing market.
+    pub market: Market,
+    /// The customer's budget.
+    pub budget: f64,
+    /// Trace length.
+    pub len: usize,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+/// A parsed request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Server-wide metrics.
+    Stats,
+    /// Graceful shutdown: drain in-flight jobs, then exit.
+    Shutdown,
+    /// A single simulation.
+    Run(RunJob),
+    /// A grid sweep.
+    Sweep(SweepJob),
+    /// A market evaluation.
+    Market(MarketJob),
+}
+
+/// A request plus its optional client-chosen correlation id.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    /// Echoed verbatim in every reply line for this request.
+    pub id: Option<u64>,
+    /// The request itself.
+    pub req: Request,
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    v.get(key)
+        .ok_or_else(|| JsonError(format!("request missing field `{key}`")))
+}
+
+fn num_field<T: sharing_json::FromJson>(v: &Json, key: &str, default: T) -> Result<T, JsonError> {
+    match v.get(key) {
+        Some(x) => T::from_json(x),
+        None => Ok(default),
+    }
+}
+
+fn parse_benchmark(v: &Json) -> Result<Benchmark, JsonError> {
+    let name = field(v, "benchmark")?
+        .as_str()
+        .ok_or_else(|| JsonError("`benchmark` must be a string".into()))?;
+    Benchmark::from_name(name).ok_or_else(|| JsonError(format!("unknown benchmark `{name}`")))
+}
+
+fn parse_utility(name: &str) -> Result<UtilityFn, JsonError> {
+    match name.to_ascii_lowercase().as_str() {
+        "throughput" | "utility1" => Ok(UtilityFn::Throughput),
+        "balanced" | "utility2" => Ok(UtilityFn::Balanced),
+        "latency" | "latencycritical" | "latency-critical" | "utility3" => {
+            Ok(UtilityFn::LatencyCritical)
+        }
+        other => Err(JsonError(format!("unknown utility `{other}`"))),
+    }
+}
+
+fn parse_market(name: &str) -> Result<Market, JsonError> {
+    Market::ALL
+        .into_iter()
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| JsonError(format!("unknown market `{name}`")))
+}
+
+impl Envelope {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] describing the first problem; the server
+    /// turns this into an `"ok": false` reply rather than dropping the
+    /// connection.
+    pub fn parse(line: &str) -> Result<Envelope, JsonError> {
+        let v = Json::parse(line)?;
+        let id = match v.get("id") {
+            Some(x) => Some(u64::from_json(x).map_err(|_| JsonError("`id` must be a u64".into()))?),
+            None => None,
+        };
+        let ty = field(&v, "type")?
+            .as_str()
+            .ok_or_else(|| JsonError("`type` must be a string".into()))?;
+        let req = match ty {
+            "ping" => Request::Ping,
+            "stats" => Request::Stats,
+            "shutdown" => Request::Shutdown,
+            "run" => {
+                let workload = if let Some(p) = v.get("profile") {
+                    JobWorkload::Profile(Box::new(WorkloadProfile::from_json(p)?))
+                } else {
+                    JobWorkload::Benchmark(parse_benchmark(&v)?)
+                };
+                Request::Run(RunJob {
+                    workload,
+                    slices: num_field(&v, "slices", 1usize)?,
+                    banks: num_field(&v, "banks", 2usize)?,
+                    len: num_field(&v, "len", 60_000usize)?,
+                    seed: num_field(&v, "seed", 0xA5_2014u64)?,
+                })
+            }
+            "sweep" => Request::Sweep(SweepJob {
+                benchmark: parse_benchmark(&v)?,
+                len: num_field(&v, "len", 30_000usize)?,
+                seed: num_field(&v, "seed", 0xA5_2014u64)?,
+            }),
+            "market" => Request::Market(MarketJob {
+                benchmark: parse_benchmark(&v)?,
+                utility: parse_utility(
+                    field(&v, "utility")?
+                        .as_str()
+                        .ok_or_else(|| JsonError("`utility` must be a string".into()))?,
+                )?,
+                market: parse_market(
+                    field(&v, "market")?
+                        .as_str()
+                        .ok_or_else(|| JsonError("`market` must be a string".into()))?,
+                )?,
+                budget: num_field(&v, "budget", 100.0f64)?,
+                len: num_field(&v, "len", 30_000usize)?,
+                seed: num_field(&v, "seed", 0xA5_2014u64)?,
+            }),
+            other => return Err(JsonError(format!("unknown request type `{other}`"))),
+        };
+        Ok(Envelope { id, req })
+    }
+
+    /// Serializes the envelope back to its wire line (the client side of
+    /// [`Envelope::parse`]).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        if let Some(id) = self.id {
+            pairs.push(("id", Json::Int(i128::from(id))));
+        }
+        match &self.req {
+            Request::Ping => pairs.push(("type", Json::Str("ping".into()))),
+            Request::Stats => pairs.push(("type", Json::Str("stats".into()))),
+            Request::Shutdown => pairs.push(("type", Json::Str("shutdown".into()))),
+            Request::Run(job) => {
+                pairs.push(("type", Json::Str("run".into())));
+                match &job.workload {
+                    JobWorkload::Benchmark(b) => {
+                        pairs.push(("benchmark", Json::Str(b.name().into())));
+                    }
+                    JobWorkload::Profile(p) => pairs.push(("profile", p.to_json())),
+                }
+                pairs.push(("slices", Json::Int(job.slices as i128)));
+                pairs.push(("banks", Json::Int(job.banks as i128)));
+                pairs.push(("len", Json::Int(job.len as i128)));
+                pairs.push(("seed", Json::Int(i128::from(job.seed))));
+            }
+            Request::Sweep(job) => {
+                pairs.push(("type", Json::Str("sweep".into())));
+                pairs.push(("benchmark", Json::Str(job.benchmark.name().into())));
+                pairs.push(("len", Json::Int(job.len as i128)));
+                pairs.push(("seed", Json::Int(i128::from(job.seed))));
+            }
+            Request::Market(job) => {
+                pairs.push(("type", Json::Str("market".into())));
+                pairs.push(("benchmark", Json::Str(job.benchmark.name().into())));
+                pairs.push(("utility", Json::Str(job.utility.name().into())));
+                pairs.push(("market", Json::Str(job.market.name.into())));
+                pairs.push(("budget", Json::Float(job.budget)));
+                pairs.push(("len", Json::Int(job.len as i128)));
+                pairs.push(("seed", Json::Int(i128::from(job.seed))));
+            }
+        }
+        Json::obj(pairs).to_string()
+    }
+}
+
+impl RunJob {
+    /// The canonical cache key for this job: a compact JSON string with a
+    /// fixed field order, independent of how the request spelled it.
+    /// Identical keys mean identical simulations (trace generation and the
+    /// simulator are deterministic), so cached payloads replay
+    /// byte-identically.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        let workload = match &self.workload {
+            JobWorkload::Benchmark(b) => Json::Str(b.name().into()),
+            JobWorkload::Profile(p) => p.to_json(),
+        };
+        Json::obj(vec![
+            ("workload", workload),
+            ("slices", Json::Int(self.slices as i128)),
+            ("banks", Json::Int(self.banks as i128)),
+            ("len", Json::Int(self.len as i128)),
+            ("seed", Json::Int(i128::from(self.seed))),
+        ])
+        .to_string()
+    }
+}
+
+/// Reads one protocol line. Returns `Ok(None)` on a clean EOF.
+///
+/// # Errors
+///
+/// I/O errors propagate; an over-long line is reported as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_line(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE_BYTES as u64 + 1)
+        .read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > MAX_LINE_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "request line exceeds 1 MiB",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Writes one protocol line and flushes it.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Builds an error reply line.
+#[must_use]
+pub fn error_line(id: Option<u64>, message: &str) -> String {
+    let mut pairs: Vec<(&str, Json)> = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id", Json::Int(i128::from(id))));
+    }
+    pairs.push(("ok", Json::Bool(false)));
+    pairs.push(("error", Json::Str(message.into())));
+    Json::obj(pairs).to_string()
+}
+
+use sharing_json::{FromJson, ToJson};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_round_trips() {
+        let env = Envelope {
+            id: Some(7),
+            req: Request::Run(RunJob {
+                workload: JobWorkload::Benchmark(Benchmark::Gcc),
+                slices: 4,
+                banks: 8,
+                len: 1000,
+                seed: 42,
+            }),
+        };
+        let back = Envelope::parse(&env.to_line()).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn sweep_and_market_round_trip() {
+        for env in [
+            Envelope {
+                id: None,
+                req: Request::Sweep(SweepJob {
+                    benchmark: Benchmark::Mcf,
+                    len: 500,
+                    seed: 1,
+                }),
+            },
+            Envelope {
+                id: Some(3),
+                req: Request::Market(MarketJob {
+                    benchmark: Benchmark::Astar,
+                    utility: UtilityFn::Balanced,
+                    market: Market::MARKET3,
+                    budget: 64.0,
+                    len: 500,
+                    seed: 1,
+                }),
+            },
+            Envelope {
+                id: None,
+                req: Request::Ping,
+            },
+            Envelope {
+                id: Some(0),
+                req: Request::Stats,
+            },
+            Envelope {
+                id: None,
+                req: Request::Shutdown,
+            },
+        ] {
+            let back = Envelope::parse(&env.to_line()).unwrap();
+            assert_eq!(env, back);
+        }
+    }
+
+    #[test]
+    fn profile_workload_round_trips() {
+        let profile = WorkloadProfile::builder("svc")
+            .chains(3)
+            .mem_frac(0.2)
+            .build();
+        let env = Envelope {
+            id: None,
+            req: Request::Run(RunJob {
+                workload: JobWorkload::Profile(Box::new(profile)),
+                slices: 2,
+                banks: 2,
+                len: 700,
+                seed: 9,
+            }),
+        };
+        let back = Envelope::parse(&env.to_line()).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let env = Envelope::parse(r#"{"type":"run","benchmark":"gcc"}"#).unwrap();
+        match env.req {
+            Request::Run(job) => {
+                assert_eq!(job.slices, 1);
+                assert_eq!(job.banks, 2);
+                assert_eq!(job.len, 60_000);
+                assert_eq!(job.seed, 0xA5_2014);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(Envelope::parse("not json").is_err());
+        assert!(Envelope::parse(r#"{"no":"type"}"#).is_err());
+        assert!(Envelope::parse(r#"{"type":"explode"}"#).is_err());
+        assert!(Envelope::parse(r#"{"type":"run"}"#).is_err(), "no workload");
+        assert!(Envelope::parse(r#"{"type":"run","benchmark":"doom"}"#).is_err());
+        assert!(Envelope::parse(
+            r#"{"type":"market","benchmark":"gcc","utility":"x","market":"Market1"}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cache_key_ignores_request_id() {
+        let job = RunJob {
+            workload: JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 1,
+            banks: 2,
+            len: 100,
+            seed: 5,
+        };
+        let a = Envelope {
+            id: Some(1),
+            req: Request::Run(job.clone()),
+        };
+        let b = Envelope {
+            id: Some(99),
+            req: Request::Run(job.clone()),
+        };
+        match (
+            Envelope::parse(&a.to_line()).unwrap().req,
+            Envelope::parse(&b.to_line()).unwrap().req,
+        ) {
+            (Request::Run(x), Request::Run(y)) => {
+                assert_eq!(x.cache_key(), y.cache_key());
+                assert_eq!(x.cache_key(), job.cache_key());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn error_line_is_parseable_json() {
+        let line = error_line(Some(5), "queue full");
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("id").and_then(Json::as_int), Some(5));
+    }
+}

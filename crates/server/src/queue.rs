@@ -1,0 +1,223 @@
+//! The bounded job queue with admission control and drain support.
+//!
+//! `try_push` never blocks: when the queue is at capacity the caller gets
+//! an explicit [`PushError::Full`] to turn into a backpressure reply,
+//! rather than the connection silently stalling. `pop` blocks workers
+//! until work arrives or the queue is closed; `wait_drained` is the
+//! graceful-shutdown barrier (queue empty *and* no job still executing).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a job was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; retry later (backpressure).
+    Full {
+        /// The capacity that was hit.
+        capacity: usize,
+    },
+    /// The server is shutting down and admits no new work.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full { capacity } => {
+                write!(f, "queue full (capacity {capacity}); retry later")
+            }
+            PushError::Closed => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+/// A bounded MPMC queue for jobs of type `T`.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    /// Jobs popped but not yet reported done.
+    active: usize,
+    closed: bool,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `capacity` waiting jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the server could never admit work).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        JobQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                active: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`JobQueue::close`].
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cv.notify_all();
+        Ok(depth)
+    }
+
+    /// Blocks for the next job. Returns `None` once the queue is closed
+    /// *and* empty — the worker-exit signal. A returned job counts as
+    /// active until [`JobQueue::job_done`].
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                inner.active += 1;
+                drop(inner);
+                // Wake try_push waiters… there are none (non-blocking), but
+                // wake drain waiters observing the depth gauge.
+                self.cv.notify_all();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Marks a popped job as finished (drain accounting).
+    pub fn job_done(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.active = inner.active.checked_sub(1).expect("job_done without pop");
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Stops admission and wakes blocked workers.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Blocks until every admitted job has fully executed (queue empty and
+    /// nothing active). Used by graceful shutdown after [`JobQueue::close`].
+    pub fn wait_drained(&self) {
+        let mut inner = self.inner.lock().expect("queue lock");
+        while !inner.items.is_empty() || inner.active > 0 {
+            inner = self.cv.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Jobs currently waiting (not counting active ones).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.job_done();
+        q.job_done();
+    }
+
+    #[test]
+    fn admission_control_reports_full() {
+        let q = JobQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full { capacity: 2 }));
+        // Popping frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        q.job_done();
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_unblocks() {
+        let q = Arc::new(JobQueue::<u32>::new(2));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None, "blocked pop wakes with None");
+        assert_eq!(q.try_push(1), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn close_drains_remaining_items_before_none() {
+        let q = JobQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.pop(), Some(1), "closed queue still hands out backlog");
+        q.job_done();
+        assert_eq!(q.pop(), Some(2));
+        q.job_done();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn wait_drained_blocks_until_active_done() {
+        let q = Arc::new(JobQueue::new(4));
+        q.try_push(7).unwrap();
+        assert_eq!(q.pop(), Some(7));
+        q.close();
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            q2.job_done();
+        });
+        let t0 = std::time::Instant::now();
+        q.wait_drained();
+        assert!(
+            t0.elapsed() >= std::time::Duration::from_millis(25),
+            "drain waited for the active job"
+        );
+        h.join().unwrap();
+    }
+}

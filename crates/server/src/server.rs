@@ -1,0 +1,424 @@
+//! The ssimd daemon: TCP listener, connection handlers, worker pool.
+//!
+//! ```text
+//!  clients ──TCP──▶ connection threads ──try_push──▶ bounded JobQueue
+//!                        ▲    │ backpressure reply          │ pop
+//!                        │    ▼                             ▼
+//!                   reply mpsc  ◀───── lines ─────── worker pool (N threads)
+//!                                                           │
+//!                                                     ResultCache + Metrics
+//! ```
+//!
+//! Each connection thread reads requests in order; control requests
+//! (`ping`, `stats`, `shutdown`) are answered inline, simulation jobs go
+//! through admission control into the shared queue and their reply lines
+//! stream back through a per-job channel. Shutdown closes admission,
+//! drains every in-flight job, answers the requester, then stops the
+//! listener.
+
+use crate::cache::ResultCache;
+use crate::exec;
+use crate::metrics::Metrics;
+use crate::protocol::{self, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use crate::queue::{JobQueue, PushError};
+use sharing_core::VCoreShape;
+use sharing_json::Json;
+use sharing_market::{optimize, PerfSurface};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Daemon tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 for an ephemeral port in tests).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded queue capacity (admission control threshold).
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: format!("127.0.0.1:{}", protocol::DEFAULT_PORT),
+            workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
+            queue_capacity: 64,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// One queued job: the request plus the channel its reply lines go to.
+struct Job {
+    id: Option<u64>,
+    kind: JobKind,
+    reply: mpsc::Sender<String>,
+}
+
+enum JobKind {
+    Run(RunJob),
+    Sweep(SweepJob),
+    Market(MarketJob),
+}
+
+/// Shared daemon state.
+struct State {
+    queue: JobQueue<Job>,
+    cache: ResultCache,
+    metrics: Metrics,
+    stopping: AtomicBool,
+}
+
+/// A running daemon; dropping the handle does *not* stop it — call
+/// [`ServerHandle::shutdown`] or send a `shutdown` request.
+pub struct Server;
+
+/// Handle to a started daemon.
+pub struct ServerHandle {
+    local: SocketAddr,
+    state: Arc<State>,
+    listener_thread: Option<JoinHandle<()>>,
+    worker_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the daemon: listener thread plus a fixed worker
+    /// pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind errors.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(State {
+            queue: JobQueue::new(cfg.queue_capacity),
+            cache: ResultCache::new(cfg.cache_capacity),
+            metrics: Metrics::new(cfg.workers),
+            stopping: AtomicBool::new(false),
+        });
+        let worker_threads = (0..cfg.workers.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("ssimd-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let lstate = Arc::clone(&state);
+        let listener_thread = std::thread::Builder::new()
+            .name("ssimd-listener".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if lstate.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let cstate = Arc::clone(&lstate);
+                    let _ = std::thread::Builder::new()
+                        .name("ssimd-conn".into())
+                        .spawn(move || handle_connection(stream, &cstate, local));
+                }
+            })
+            .expect("spawn listener");
+        Ok(ServerHandle {
+            local,
+            state,
+            listener_thread: Some(listener_thread),
+            worker_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// Programmatic graceful shutdown: drain, then stop the listener.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.state, self.local);
+    }
+
+    /// Waits for the daemon to exit (after a shutdown from any source).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a daemon thread panicked.
+    pub fn join(mut self) {
+        if let Some(t) = self.listener_thread.take() {
+            t.join().expect("listener thread");
+        }
+        for t in self.worker_threads.drain(..) {
+            t.join().expect("worker thread");
+        }
+    }
+
+    /// Shuts down and waits; the one-call teardown for tests and examples.
+    pub fn stop(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+/// Closes admission, waits for in-flight jobs, then unblocks `accept`.
+fn initiate_shutdown(state: &State, local: SocketAddr) {
+    state.queue.close();
+    state.queue.wait_drained();
+    if !state.stopping.swap(true, Ordering::SeqCst) {
+        // Kick the listener out of accept() with a throwaway connection.
+        let _ = TcpStream::connect(local);
+    }
+}
+
+fn ok_head(id: Option<u64>, ty: &str) -> String {
+    let mut s = String::from("{");
+    if let Some(id) = id {
+        s.push_str(&format!("\"id\":{id},"));
+    }
+    s.push_str(&format!("\"ok\":true,\"type\":\"{ty}\""));
+    s
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let line = match protocol::read_line(&mut reader) {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(_) => return,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        let env = match Envelope::parse(&line) {
+            Ok(env) => env,
+            Err(e) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if protocol::write_line(&mut writer, &protocol::error_line(None, &e.to_string()))
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let kind = match env.req {
+            Request::Ping => {
+                let reply = ok_head(env.id, "pong") + "}";
+                if protocol::write_line(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Request::Stats => {
+                let snap = state
+                    .metrics
+                    .snapshot(state.queue.depth(), state.cache.len());
+                let reply = format!("{},\"stats\":{snap}}}", ok_head(env.id, "stats"));
+                if protocol::write_line(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Request::Shutdown => {
+                // Drain first, then answer, and only then unblock the
+                // listener: once `accept` returns the daemon may exit, and
+                // nothing joins this connection thread — replying after
+                // the kick races with process teardown.
+                state.queue.close();
+                state.queue.wait_drained();
+                let done = state.metrics.jobs_completed.load(Ordering::Relaxed);
+                let reply = format!(
+                    "{},\"jobs_completed\":{done}}}",
+                    ok_head(env.id, "shutdown")
+                );
+                let _ = protocol::write_line(&mut writer, &reply);
+                initiate_shutdown(state, local);
+                return;
+            }
+            Request::Run(job) => JobKind::Run(job),
+            Request::Sweep(job) => JobKind::Sweep(job),
+            Request::Market(job) => JobKind::Market(job),
+        };
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            id: env.id,
+            kind,
+            reply: tx,
+        };
+        match state.queue.try_push(job) {
+            Ok(_) => {
+                state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                // Stream every reply line for this job; the channel closes
+                // when the worker drops the sender.
+                for reply_line in rx {
+                    if protocol::write_line(&mut writer, &reply_line).is_err() {
+                        // Client is gone; keep draining so the worker's
+                        // sends fail fast instead of blocking.
+                        return;
+                    }
+                }
+            }
+            Err(e) => {
+                state.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                let mut reply = String::from("{");
+                if let Some(id) = env.id {
+                    reply.push_str(&format!("\"id\":{id},"));
+                }
+                let backpressure = matches!(e, PushError::Full { .. });
+                reply.push_str(&format!(
+                    "\"ok\":false,\"error\":\"{e}\",\"backpressure\":{backpressure},\
+                     \"queue_depth\":{}}}",
+                    state.queue.depth()
+                ));
+                if protocol::write_line(&mut writer, &reply).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<State>) {
+    while let Some(job) = state.queue.pop() {
+        state.metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        execute_job(state, &job);
+        // Completion metrics are recorded before `job_done()` so that a
+        // shutdown drain (which waits on `job_done`) always observes them.
+        state.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        state
+            .metrics
+            .record_latency_us(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        state.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        drop(job);
+        state.queue.job_done();
+    }
+}
+
+/// Extracts IPC from a serialized `SimResult` payload.
+fn payload_ipc(payload: &str) -> Option<f64> {
+    let v = Json::parse(payload).ok()?;
+    let cycles = v.get("cycles")?.as_f64()?;
+    let insts = v.get("instructions")?.as_f64()?;
+    if cycles > 0.0 {
+        Some(insts / cycles)
+    } else {
+        None
+    }
+}
+
+fn execute_job(state: &Arc<State>, job: &Job) {
+    match &job.kind {
+        JobKind::Run(run) => {
+            match exec::run_cached(&state.cache, &state.metrics, run) {
+                Ok((payload, cached)) => {
+                    // The payload is spliced verbatim so cache hits are
+                    // byte-identical to the fresh run that filled them.
+                    let line = format!(
+                        "{},\"cached\":{cached},\"result\":{payload}}}",
+                        ok_head(job.id, "result")
+                    );
+                    let _ = job.reply.send(line);
+                }
+                Err(e) => {
+                    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(protocol::error_line(job.id, &e));
+                }
+            }
+        }
+        JobKind::Sweep(sweep) => {
+            let mut points = 0usize;
+            for shape in VCoreShape::sweep_grid() {
+                let run = RunJob {
+                    workload: JobWorkload::Benchmark(sweep.benchmark),
+                    slices: shape.slices,
+                    banks: shape.l2_banks,
+                    len: sweep.len,
+                    seed: sweep.seed,
+                };
+                match exec::run_cached(&state.cache, &state.metrics, &run) {
+                    Ok((payload, cached)) => {
+                        let ipc = payload_ipc(&payload).unwrap_or(0.0);
+                        let line = format!(
+                            "{},\"shape\":{{\"slices\":{},\"l2_banks\":{}}},\
+                             \"ipc\":{},\"cached\":{cached}}}",
+                            ok_head(job.id, "sweep_point"),
+                            shape.slices,
+                            shape.l2_banks,
+                            Json::Float(ipc)
+                        );
+                        if job.reply.send(line).is_err() {
+                            return; // client disconnected; stop early
+                        }
+                        points += 1;
+                    }
+                    Err(e) => {
+                        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(protocol::error_line(job.id, &e));
+                        return;
+                    }
+                }
+            }
+            let line = format!("{},\"points\":{points}}}", ok_head(job.id, "sweep_done"));
+            let _ = job.reply.send(line);
+        }
+        JobKind::Market(market) => {
+            let mut points: BTreeMap<VCoreShape, f64> = BTreeMap::new();
+            for shape in VCoreShape::sweep_grid() {
+                let run = RunJob {
+                    workload: JobWorkload::Benchmark(market.benchmark),
+                    slices: shape.slices,
+                    banks: shape.l2_banks,
+                    len: market.len,
+                    seed: market.seed,
+                };
+                match exec::run_cached(&state.cache, &state.metrics, &run) {
+                    Ok((payload, _)) => {
+                        points.insert(shape, payload_ipc(&payload).unwrap_or(0.0));
+                    }
+                    Err(e) => {
+                        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = job.reply.send(protocol::error_line(job.id, &e));
+                        return;
+                    }
+                }
+            }
+            let surface = PerfSurface::new(market.benchmark.name(), points);
+            let chosen =
+                optimize::best_utility(&surface, market.utility, &market.market, market.budget);
+            let cores = market.market.affordable_cores(chosen.shape, market.budget);
+            let line = format!(
+                "{},\"benchmark\":\"{}\",\"utility\":\"{}\",\"market\":\"{}\",\
+                 \"budget\":{},\"shape\":{{\"slices\":{},\"l2_banks\":{}}},\
+                 \"cores\":{},\"perf\":{},\"value\":{}}}",
+                ok_head(job.id, "market_result"),
+                market.benchmark.name(),
+                market.utility.name(),
+                market.market.name,
+                Json::Float(market.budget),
+                chosen.shape.slices,
+                chosen.shape.l2_banks,
+                Json::Float(cores),
+                Json::Float(chosen.perf),
+                Json::Float(chosen.value),
+            );
+            let _ = job.reply.send(line);
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! End-to-end tests of the ssimd daemon over real TCP sockets.
+
+use sharing_json::Json;
+use sharing_market::{Market, UtilityFn};
+use sharing_server::{Client, Envelope, Request, Server, ServerConfig};
+use sharing_trace::Benchmark;
+
+fn start(workers: usize, queue: usize) -> sharing_server::ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: queue,
+        cache_capacity: 256,
+    })
+    .expect("bind ephemeral port")
+}
+
+fn ok(v: &Json) -> bool {
+    v.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+/// Pulls the raw serialized `"result"` payload out of a reply line, for
+/// byte-level comparison.
+fn raw_result_payload(line: &str) -> &str {
+    let start = line.find("\"result\":").expect("result field") + "\"result\":".len();
+    &line[start..line.len() - 1]
+}
+
+#[test]
+fn ping_stats_and_error_replies() {
+    let handle = start(1, 4);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    assert!(c.ping().unwrap());
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("jobs_completed").and_then(Json::as_int), Some(0));
+    assert_eq!(stats.get("workers").and_then(Json::as_int), Some(1));
+
+    // Malformed requests get an error reply, not a dropped connection.
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(handle.local_addr()).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    let v = Json::parse(line.trim()).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    // The connection is still usable afterwards.
+    raw.write_all(b"{\"type\":\"ping\"}\n").unwrap();
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert!(ok(&Json::parse(line.trim()).unwrap()));
+
+    handle.stop();
+}
+
+#[test]
+fn run_result_matches_local_simulation_and_cache_is_byte_identical() {
+    let handle = start(2, 8);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    // First submission: fresh.
+    let env = Envelope {
+        id: Some(1),
+        req: Request::Run(sharing_server::RunJob {
+            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 2,
+            banks: 2,
+            len: 800,
+            seed: 42,
+        }),
+    };
+    c.send(&env).unwrap();
+    let first = c.recv().unwrap();
+    assert!(ok(&first), "{first}");
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    assert_eq!(first.get("id").and_then(Json::as_int), Some(1));
+    assert_eq!(
+        first
+            .get("result")
+            .and_then(|r| r.get("instructions"))
+            .and_then(Json::as_int),
+        Some(800)
+    );
+
+    // Second submission: served from cache, byte-identical payload.
+    c.send(&env).unwrap();
+    let second = c.recv().unwrap();
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    let first_line = first.to_string();
+    let second_line = second.to_string();
+    assert_eq!(
+        raw_result_payload(&first_line),
+        raw_result_payload(&second_line),
+        "cache replay must be byte-identical"
+    );
+
+    // The payload also matches a local simulation exactly.
+    let local = sharing_json::to_string(
+        &sharing_server::exec::simulate(&sharing_server::RunJob {
+            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 2,
+            banks: 2,
+            len: 800,
+            seed: 42,
+        })
+        .unwrap(),
+    );
+    assert_eq!(raw_result_payload(&first_line), local);
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("cache_hits").and_then(Json::as_int), Some(1));
+    assert_eq!(stats.get("cache_misses").and_then(Json::as_int), Some(1));
+
+    handle.stop();
+}
+
+#[test]
+fn queue_full_gets_backpressure_reply_and_recovers() {
+    // One slow worker, queue of one: saturating it must produce explicit
+    // backpressure replies, and draining must restore admission.
+    let handle = start(1, 1);
+    let addr = handle.local_addr();
+
+    let job = |seed: u64| Envelope {
+        id: Some(seed),
+        req: Request::Run(sharing_server::RunJob {
+            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Mcf),
+            slices: 1,
+            banks: 2,
+            len: 20_000,
+            seed,
+        }),
+    };
+
+    // Fire 6 jobs from 6 connections without reading replies: at most
+    // 1 active + 1 queued can be admitted at any instant, so at least 4
+    // must bounce.
+    let mut clients: Vec<Client> = (0..6)
+        .map(|i| {
+            let mut c = Client::connect(addr).unwrap();
+            c.send(&job(i)).unwrap();
+            c
+        })
+        .collect();
+    let replies: Vec<Json> = clients.iter_mut().map(|c| c.recv().unwrap()).collect();
+    let rejected: Vec<&Json> = replies.iter().filter(|v| !ok(v)).collect();
+    let accepted = replies.iter().filter(|v| ok(v)).count();
+    assert!(
+        rejected.len() >= 4,
+        "expected >=4 backpressure replies, got {} of {replies:?}",
+        rejected.len()
+    );
+    assert!(accepted >= 1, "at least the first job must be admitted");
+    for r in &rejected {
+        assert_eq!(
+            r.get("backpressure").and_then(Json::as_bool),
+            Some(true),
+            "{r}"
+        );
+        assert!(r.get("queue_depth").and_then(Json::as_int).is_some());
+    }
+
+    // After the accepted work drains, the queue admits again.
+    let mut c = Client::connect(addr).unwrap();
+    let retry = c.run_benchmark("mcf", 1, 2, 500, 99).unwrap();
+    assert!(ok(&retry), "{retry}");
+
+    let stats = c.stats().unwrap();
+    assert!(
+        stats
+            .get("jobs_rejected")
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+            >= 4,
+        "rejections must be counted"
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_results() {
+    let handle = start(4, 32);
+    let addr = handle.local_addr();
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let reply = c.run_benchmark("gcc", 1 + i, 2, 600, i as u64).unwrap();
+                assert!(ok(&reply), "{reply}");
+                let insts = reply
+                    .get("result")
+                    .and_then(|r| r.get("instructions"))
+                    .and_then(Json::as_int);
+                assert_eq!(insts, Some(600));
+                reply
+                    .get("result")
+                    .and_then(|r| r.get("cycles"))
+                    .and_then(Json::as_int)
+                    .expect("cycles")
+            })
+        })
+        .collect();
+    let cycles: Vec<i128> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+    // Different shapes ⇒ different cycle counts (sanity that jobs were not
+    // cross-wired between connections).
+    assert_eq!(cycles.len(), 4);
+
+    // Metrics are updated by the workers just after the reply is sent, so
+    // give the counter a moment to settle.
+    let mut c = Client::connect(addr).unwrap();
+    let mut completed = 0;
+    for _ in 0..50 {
+        completed = c
+            .stats()
+            .unwrap()
+            .get("jobs_completed")
+            .and_then(Json::as_int)
+            .unwrap_or(0);
+        if completed == 4 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(completed, 4);
+
+    handle.stop();
+}
+
+#[test]
+fn sweep_streams_points_and_market_picks_a_grid_shape() {
+    let handle = start(2, 8);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    let lines = c.sweep(Benchmark::Hmmer, 300, 5).unwrap();
+    let done = lines.last().unwrap();
+    assert_eq!(done.get("type").and_then(Json::as_str), Some("sweep_done"));
+    assert_eq!(done.get("points").and_then(Json::as_int), Some(72));
+    assert_eq!(lines.len(), 73, "72 streamed points plus the final line");
+    for p in &lines[..72] {
+        assert_eq!(p.get("type").and_then(Json::as_str), Some("sweep_point"));
+        assert!(p.get("ipc").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+
+    // A market evaluation over the same grid reuses the cache.
+    let reply = c
+        .market(
+            Benchmark::Hmmer,
+            UtilityFn::Throughput,
+            Market::MARKET2,
+            100.0,
+            300,
+            5,
+        )
+        .unwrap();
+    assert!(ok(&reply), "{reply}");
+    let shape = reply.get("shape").expect("shape");
+    let slices = shape.get("slices").and_then(Json::as_int).unwrap();
+    assert!((1..=8).contains(&slices));
+    let stats = c.stats().unwrap();
+    assert_eq!(
+        stats.get("cache_hits").and_then(Json::as_int),
+        Some(72),
+        "market evaluation should be fully cache-fed after the sweep"
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let handle = start(1, 4);
+    let addr = handle.local_addr();
+
+    // A slow-ish job occupies the single worker.
+    let mut busy = Client::connect(addr).unwrap();
+    busy.send(&Envelope {
+        id: Some(1),
+        req: Request::Run(sharing_server::RunJob {
+            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 1,
+            banks: 2,
+            len: 30_000,
+            seed: 1,
+        }),
+    })
+    .unwrap();
+
+    // Wait until the job is admitted before asking for shutdown — the
+    // `send` above only guarantees the bytes left our socket.
+    let mut admin = Client::connect(addr).unwrap();
+    for _ in 0..100 {
+        let submitted = admin
+            .stats()
+            .unwrap()
+            .get("jobs_submitted")
+            .and_then(Json::as_int)
+            .unwrap_or(0);
+        if submitted >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Shutdown must wait for the drain.
+    let reply = admin.shutdown().unwrap();
+    assert!(ok(&reply), "{reply}");
+    assert!(
+        reply.get("jobs_completed").and_then(Json::as_int).unwrap() >= 1,
+        "shutdown replied before the in-flight job drained: {reply}"
+    );
+
+    // The in-flight job still got its result.
+    let result = busy.recv().unwrap();
+    assert!(ok(&result), "{result}");
+    assert_eq!(
+        result
+            .get("result")
+            .and_then(|r| r.get("instructions"))
+            .and_then(Json::as_int),
+        Some(30_000)
+    );
+
+    handle.join();
+    // The listener is gone: new connections are refused.
+    assert!(Client::connect(addr).is_err());
+}

@@ -20,11 +20,10 @@
 use crate::generator::ProgramGenerator;
 use crate::profile::{MemRegion, WorkloadProfile};
 use crate::trace::{ThreadedTrace, Trace, TraceSpec};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A workload from the paper's evaluation suite.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum Benchmark {
     Apache,
@@ -82,6 +81,22 @@ pub const SPEC_BENCHMARKS: [Benchmark; 12] = [
 /// The multi-threaded PARSEC subset (run with four threads, §5.3).
 pub const PARSEC_BENCHMARKS: [Benchmark; 3] =
     [Benchmark::Dedup, Benchmark::Swaptions, Benchmark::Ferret];
+
+impl sharing_json::ToJson for Benchmark {
+    fn to_json(&self) -> sharing_json::Json {
+        sharing_json::Json::Str(self.name().to_string())
+    }
+}
+
+impl sharing_json::FromJson for Benchmark {
+    fn from_json(v: &sharing_json::Json) -> Result<Self, sharing_json::JsonError> {
+        let name = v.as_str().ok_or_else(|| {
+            sharing_json::JsonError::msg(format!("expected benchmark name, got {v}"))
+        })?;
+        Benchmark::from_name(name)
+            .ok_or_else(|| sharing_json::JsonError::msg(format!("unknown benchmark `{name}`")))
+    }
+}
 
 impl Benchmark {
     /// The benchmark's lowercase name as printed in the paper's figures.
@@ -427,7 +442,10 @@ mod tests {
 
     #[test]
     fn suite_partitions_into_spec_and_parsec() {
-        assert_eq!(SPEC_BENCHMARKS.len() + PARSEC_BENCHMARKS.len(), ALL_BENCHMARKS.len());
+        assert_eq!(
+            SPEC_BENCHMARKS.len() + PARSEC_BENCHMARKS.len(),
+            ALL_BENCHMARKS.len()
+        );
         for b in SPEC_BENCHMARKS {
             assert!(!b.is_parsec());
             assert_eq!(b.profile().threads, 1);

@@ -20,9 +20,8 @@
 //!   register, capping memory-level parallelism like mcf/omnetpp.
 
 use crate::profile::{AccessPattern, WorkloadProfile};
+use crate::rng::Rng64;
 use crate::trace::{ThreadedTrace, Trace, TraceSpec};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sharing_isa::{ArchReg, DynInst, InstKind, MemSize};
 
 /// Register assignment conventions used by generated programs.
@@ -193,10 +192,10 @@ impl ProgramGenerator {
         // The static program is identical across threads (same binary); only
         // the dynamic randomness (hard-branch outcomes, random addresses)
         // and the private address offset differ.
-        let mut prog_rng = StdRng::seed_from_u64(self.spec.seed ^ 0xA5A5_0000);
+        let mut prog_rng = Rng64::seed_from_u64(self.spec.seed ^ 0xA5A5_0000);
         let (loops, regions) = self.build_program(&mut prog_rng);
         let mut dyn_rng =
-            StdRng::seed_from_u64(self.spec.seed.wrapping_add(0x1357 * (tid as u64 + 1)));
+            Rng64::seed_from_u64(self.spec.seed.wrapping_add(0x1357 * (tid as u64 + 1)));
         let mut walker = Walker {
             profile: p,
             loops: &loops,
@@ -212,7 +211,7 @@ impl ProgramGenerator {
     }
 
     /// Builds the static program: loops, slots, and the region layout.
-    fn build_program(&self, rng: &mut StdRng) -> (Vec<Loop>, Vec<RegionLayout>) {
+    fn build_program(&self, rng: &mut Rng64) -> (Vec<Loop>, Vec<RegionLayout>) {
         let p = &self.profile;
         let regions = layout_regions(p);
         let mut loops = Vec::with_capacity(p.n_loops);
@@ -233,8 +232,8 @@ impl ProgramGenerator {
             }
             // Jitter iteration counts ±25% so loops don't beat in lockstep.
             let jitter = (p.loop_iters / 4).max(1);
-            let iters = (p.loop_iters - jitter.min(p.loop_iters - 1))
-                + rng.gen_range(0..=2 * jitter);
+            let iters =
+                (p.loop_iters - jitter.min(p.loop_iters - 1)) + rng.usize_inclusive(0, 2 * jitter);
             loops.push(Loop {
                 base_pc,
                 slots,
@@ -248,22 +247,22 @@ impl ProgramGenerator {
 
     fn sample_slot(
         &self,
-        rng: &mut StdRng,
+        rng: &mut Rng64,
         regions: &[RegionLayout],
         idx: usize,
         body: usize,
     ) -> Slot {
         let p = &self.profile;
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.f64();
         if roll < p.branch_frac && idx + 2 < body {
             // Forward conditional branch. Skip must stay inside the body
             // (never skipping the loop-end slot).
             let max_skip = (body - 2 - idx).min(3);
-            let skip = rng.gen_range(1..=max_skip.max(1));
-            let hard = rng.gen_bool(p.hard_branch_frac);
+            let skip = rng.usize_inclusive(1, max_skip.max(1));
+            let hard = rng.bool(p.hard_branch_frac);
             let taken_p = if hard {
                 p.hard_taken
-            } else if rng.gen_bool(0.5) {
+            } else if rng.bool(0.5) {
                 0.04
             } else {
                 0.96
@@ -271,16 +270,21 @@ impl ProgramGenerator {
             // Hard (data-dependent) branches test the chain being computed
             // right here (a just-produced value); easy branches mostly test
             // the fast induction value.
-            let cond = if hard || rng.gen_bool(0.35) {
+            let cond = if hard || rng.bool(0.35) {
                 ((idx / 3) % p.chains) as u8
             } else {
                 regs::IND
             };
             // A share of the hard branches follow a short repeating
             // pattern instead of a coin: correlated, history-predictable.
-            let pattern = (hard && rng.gen_bool(p.pattern_branch_frac))
-                .then(|| rng.gen_range(3..=6u8));
-            return Slot::Branch { cond, skip, taken_p, pattern };
+            let pattern =
+                (hard && rng.bool(p.pattern_branch_frac)).then(|| rng.range_inclusive(3, 6) as u8);
+            return Slot::Branch {
+                cond,
+                skip,
+                taken_p,
+                pattern,
+            };
         }
         // Dependent operations cluster in program order, the way compiled
         // expression code does: a short run of slots extends one chain
@@ -289,22 +293,22 @@ impl ProgramGenerator {
         // matching the locality real schedules exhibit.
         let run_chain = ((idx / 3) % p.chains) as u8;
         if roll < p.branch_frac + p.mem_frac {
-            let region = pick_region(regions, rng.gen());
+            let region = pick_region(regions, rng.f64());
             let mode = match regions[region].access {
                 AccessPattern::Streaming { stride } => SlotMode::Stream {
                     stride,
-                    cursor: rng.gen_range(0..regions[region].bytes) & !7,
+                    cursor: rng.below(regions[region].bytes) & !7,
                 },
                 AccessPattern::Random => SlotMode::Random,
             };
-            if rng.gen_bool(p.store_frac) {
+            if rng.bool(p.store_frac) {
                 return Slot::Store {
                     region,
                     mode,
                     data_chain: run_chain,
                 };
             }
-            let chase = rng.gen_bool(p.pointer_chase_frac);
+            let chase = rng.bool(p.pointer_chase_frac);
             return Slot::Load {
                 region,
                 mode,
@@ -312,7 +316,7 @@ impl ProgramGenerator {
                 chase,
             };
         }
-        let op_roll: f64 = rng.gen();
+        let op_roll: f64 = rng.f64();
         let op = if op_roll < p.div_frac {
             AluOp::Div
         } else if op_roll < p.div_frac + p.mul_frac {
@@ -325,14 +329,16 @@ impl ProgramGenerator {
         // value, rarely another chain — heavy cross-chain coupling would
         // tie every chain to the globally slowest value, which real
         // dataflow graphs do not do.
-        let extra_src = rng.gen_bool(0.12).then(|| {
-            if rng.gen_bool(0.3) {
-                rng.gen_range(0..p.chains) as u8
-            } else {
-                regs::IND
-            }
-        })
-        .filter(|&c| c != chain);
+        let extra_src = rng
+            .bool(0.12)
+            .then(|| {
+                if rng.bool(0.3) {
+                    rng.below(p.chains as u64) as u8
+                } else {
+                    regs::IND
+                }
+            })
+            .filter(|&c| c != chain);
         Slot::Alu {
             op,
             chain,
@@ -379,7 +385,7 @@ struct Walker<'a> {
     profile: &'a WorkloadProfile,
     loops: &'a [Loop],
     regions: &'a [RegionLayout],
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng64,
     tid: u64,
     /// Streaming cursor per (loop, slot), lazily initialized from the
     /// template cursor. Indexed `loop * body + slot`.
@@ -435,7 +441,8 @@ impl Walker<'_> {
                     } else {
                         (ArchReg::new(*chain), Some(ArchReg::new(regs::BASE)))
                     };
-                    self.out.push(DynInst::load(pc, dst, base, addr, MemSize::B8));
+                    self.out
+                        .push(DynInst::load(pc, dst, base, addr, MemSize::B8));
                     slot += 1;
                 }
                 Slot::Store {
@@ -458,16 +465,19 @@ impl Walker<'_> {
                     self.out.push(DynInst::alu(pc, ind, &[ind]));
                     slot += 1;
                 }
-                Slot::Branch { cond, skip, taken_p, pattern } => {
+                Slot::Branch {
+                    cond,
+                    skip,
+                    taken_p,
+                    pattern,
+                } => {
                     let taken = match pattern {
                         // Iteration-correlated: taken on the last iteration
                         // of each period (e.g. a condition true every 4th
                         // element), so outcomes are periodic in the loop
                         // index — learnable from branch history.
-                        Some(period) => {
-                            iter as u64 % u64::from(*period) == u64::from(*period) - 1
-                        }
-                        None => self.rng.gen_bool(*taken_p),
+                        Some(period) => iter as u64 % u64::from(*period) == u64::from(*period) - 1,
+                        None => self.rng.bool(*taken_p),
                     };
                     let target = l.slot_pc(slot + skip + 1);
                     self.out
@@ -504,8 +514,8 @@ impl Walker<'_> {
         let p = self.profile;
         // Shared accesses (multi-threaded workloads) hit a common region so
         // VCores contend and cohere over the same lines.
-        if p.threads > 1 && self.rng.gen_bool(p.shared_frac) {
-            let off = self.rng.gen_range(0..SHARED_REGION_BYTES) & !7;
+        if p.threads > 1 && self.rng.bool(p.shared_frac) {
+            let off = self.rng.below(SHARED_REGION_BYTES) & !7;
             return SHARED_REGION_BASE + off;
         }
         let r = &self.regions[region];
@@ -524,11 +534,11 @@ impl Walker<'_> {
                 let (line_off, left) = self.burst_state[key];
                 if left > 0 {
                     self.burst_state[key] = (line_off, left - 1);
-                    line_off + (self.rng.gen_range(0..64u64) & !7)
+                    line_off + (self.rng.below(64) & !7)
                 } else {
-                    let new_line = (self.rng.gen_range(0..r.bytes) >> 6) << 6;
+                    let new_line = (self.rng.below(r.bytes) >> 6) << 6;
                     self.burst_state[key] = (new_line, p.spatial_burst as u32 - 1);
-                    new_line + (self.rng.gen_range(0..64u64) & !7)
+                    new_line + (self.rng.below(64) & !7)
                 }
             }
         };
@@ -591,12 +601,7 @@ mod tests {
             .unwrap()
             .generate_single();
         for w in t.insts().windows(2) {
-            assert_eq!(
-                w[0].next_pc(),
-                w[1].pc,
-                "control-flow break after {}",
-                w[0]
-            );
+            assert_eq!(w[0].next_pc(), w[1].pc, "control-flow break after {}", w[0]);
         }
     }
 
@@ -659,7 +664,9 @@ mod tests {
             let shared = t
                 .iter()
                 .filter_map(|i| i.kind.mem_addr())
-                .filter(|a| (SHARED_REGION_BASE..SHARED_REGION_BASE + SHARED_REGION_BYTES).contains(a))
+                .filter(|a| {
+                    (SHARED_REGION_BASE..SHARED_REGION_BASE + SHARED_REGION_BYTES).contains(a)
+                })
                 .count();
             assert!(shared > 0, "expected shared-region traffic");
         }
@@ -739,7 +746,10 @@ mod pattern_tests {
                 }
             }
         }
-        assert!(periodic >= 3, "expected several periodic branches, got {periodic}");
+        assert!(
+            periodic >= 3,
+            "expected several periodic branches, got {periodic}"
+        );
     }
 
     #[test]

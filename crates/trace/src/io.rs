@@ -3,7 +3,7 @@
 //! Traces regenerate deterministically from a [`crate::TraceSpec`], but
 //! long-running experiments benefit from caching generated traces on disk;
 //! this module provides the stable binary format for that. The format is a
-//! simple tag-length encoding built on [`bytes`]:
+//! simple tag-length encoding over plain byte vectors (big-endian fields):
 //!
 //! ```text
 //! magic "SHTR" | version u16 | name-len u16 | name utf-8
@@ -13,7 +13,6 @@
 //! Register slots use `0xFF` for "absent".
 
 use crate::trace::{ThreadedTrace, Trace};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sharing_isa::{ArchReg, DynInst, InstKind, MemSize};
 use std::fmt;
 
@@ -69,6 +68,65 @@ mod tag {
     pub const NOP: u8 = 9;
 }
 
+/// A bounds-checked big-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
 fn size_code(s: MemSize) -> u8 {
     match s {
         MemSize::B1 => 0,
@@ -96,11 +154,13 @@ fn decode_reg(c: u8) -> Result<Option<ArchReg>, DecodeError> {
     if c == NO_REG {
         Ok(None)
     } else {
-        ArchReg::try_new(c).map(Some).ok_or(DecodeError::BadRegister(c))
+        ArchReg::try_new(c)
+            .map(Some)
+            .ok_or(DecodeError::BadRegister(c))
     }
 }
 
-fn encode_inst(buf: &mut BytesMut, i: &DynInst) {
+fn encode_inst(buf: &mut Vec<u8>, i: &DynInst) {
     let (t, payload): (u8, Option<(u64, u8)>) = match i.kind {
         InstKind::IntAlu => (tag::ALU, None),
         InstKind::IntMul => (tag::MUL, None),
@@ -115,32 +175,24 @@ fn encode_inst(buf: &mut BytesMut, i: &DynInst) {
         InstKind::JumpIndirect { target } => (tag::JMPI, Some((target, 0))),
         InstKind::Nop => (tag::NOP, None),
     };
-    buf.put_u8(t);
-    buf.put_u64(i.pc);
-    buf.put_u8(reg_code(i.dst));
-    buf.put_u8(reg_code(i.srcs[0]));
-    buf.put_u8(reg_code(i.srcs[1]));
+    buf.push(t);
+    put_u64(buf, i.pc);
+    buf.push(reg_code(i.dst));
+    buf.push(reg_code(i.srcs[0]));
+    buf.push(reg_code(i.srcs[1]));
     if let Some((word, aux)) = payload {
-        buf.put_u64(word);
-        buf.put_u8(aux);
+        put_u64(buf, word);
+        buf.push(aux);
     }
 }
 
-fn decode_inst(buf: &mut Bytes) -> Result<DynInst, DecodeError> {
-    if buf.remaining() < 12 {
-        return Err(DecodeError::Truncated);
-    }
-    let t = buf.get_u8();
-    let pc = buf.get_u64();
-    let dst = decode_reg(buf.get_u8())?;
-    let s0 = decode_reg(buf.get_u8())?;
-    let s1 = decode_reg(buf.get_u8())?;
-    let mut payload = || -> Result<(u64, u8), DecodeError> {
-        if buf.remaining() < 9 {
-            return Err(DecodeError::Truncated);
-        }
-        Ok((buf.get_u64(), buf.get_u8()))
-    };
+fn decode_inst(r: &mut Reader<'_>) -> Result<DynInst, DecodeError> {
+    let t = r.u8()?;
+    let pc = r.u64()?;
+    let dst = decode_reg(r.u8()?)?;
+    let s0 = decode_reg(r.u8()?)?;
+    let s1 = decode_reg(r.u8()?)?;
+    let mut payload = || -> Result<(u64, u8), DecodeError> { Ok((r.u64()?, r.u8()?)) };
     let kind = match t {
         tag::ALU => InstKind::IntAlu,
         tag::MUL => InstKind::IntMul,
@@ -187,17 +239,33 @@ fn decode_inst(buf: &mut Bytes) -> Result<DynInst, DecodeError> {
 
 /// Serializes a trace to its binary format.
 #[must_use]
-pub fn encode_trace(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + trace.len() * 21);
-    buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
-    buf.put_u16(trace.name().len() as u16);
-    buf.put_slice(trace.name().as_bytes());
-    buf.put_u64(trace.len() as u64);
+pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + trace.len() * 21);
+    buf.extend_from_slice(MAGIC);
+    put_u16(&mut buf, VERSION);
+    put_u16(&mut buf, trace.name().len() as u16);
+    buf.extend_from_slice(trace.name().as_bytes());
+    put_u64(&mut buf, trace.len() as u64);
     for i in trace.iter() {
         encode_inst(&mut buf, i);
     }
-    buf.freeze()
+    buf
+}
+
+fn decode_header<'a>(r: &mut Reader<'a>) -> Result<String, DecodeError> {
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name_len = r.u16()? as usize;
+    let name_bytes = r.take(name_len)?;
+    std::str::from_utf8(name_bytes)
+        .map(str::to_string)
+        .map_err(|_| DecodeError::BadString)
 }
 
 /// Deserializes a trace from its binary format.
@@ -205,50 +273,37 @@ pub fn encode_trace(trace: &Trace) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`DecodeError`] for malformed input; see its variants.
-pub fn decode_trace(mut buf: Bytes) -> Result<Trace, DecodeError> {
-    if buf.remaining() < 8 {
+pub fn decode_trace(buf: &[u8]) -> Result<Trace, DecodeError> {
+    let mut r = Reader::new(buf);
+    let name = decode_header(&mut r)?;
+    let count = r.u64()? as usize;
+    // An instruction takes at least 12 bytes; reject counts the buffer
+    // cannot possibly hold before reserving memory for them.
+    if count > r.remaining() / 12 {
         return Err(DecodeError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let version = buf.get_u16();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    let name_len = buf.get_u16() as usize;
-    if buf.remaining() < name_len + 8 {
-        return Err(DecodeError::Truncated);
-    }
-    let name_bytes = buf.copy_to_bytes(name_len);
-    let name = std::str::from_utf8(&name_bytes)
-        .map_err(|_| DecodeError::BadString)?
-        .to_string();
-    let count = buf.get_u64() as usize;
     let mut insts = Vec::with_capacity(count);
     for _ in 0..count {
-        insts.push(decode_inst(&mut buf)?);
+        insts.push(decode_inst(&mut r)?);
     }
     Ok(Trace::from_insts(name, insts))
 }
 
 /// Serializes a threaded trace (thread count, then each thread's trace).
 #[must_use]
-pub fn encode_threaded(tt: &ThreadedTrace) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_slice(MAGIC);
-    buf.put_u16(VERSION);
-    buf.put_u16(tt.name().len() as u16);
-    buf.put_slice(tt.name().as_bytes());
-    buf.put_u32(tt.thread_count() as u32);
+pub fn encode_threaded(tt: &ThreadedTrace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    put_u16(&mut buf, VERSION);
+    put_u16(&mut buf, tt.name().len() as u16);
+    buf.extend_from_slice(tt.name().as_bytes());
+    put_u32(&mut buf, tt.thread_count() as u32);
     for t in tt.threads() {
         let enc = encode_trace(t);
-        buf.put_u64(enc.len() as u64);
-        buf.put_slice(&enc);
+        put_u64(&mut buf, enc.len() as u64);
+        buf.extend_from_slice(&enc);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes a threaded trace.
@@ -256,38 +311,14 @@ pub fn encode_threaded(tt: &ThreadedTrace) -> Bytes {
 /// # Errors
 ///
 /// Returns a [`DecodeError`] for malformed input.
-pub fn decode_threaded(mut buf: Bytes) -> Result<ThreadedTrace, DecodeError> {
-    if buf.remaining() < 8 {
-        return Err(DecodeError::Truncated);
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    let version = buf.get_u16();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
-    let name_len = buf.get_u16() as usize;
-    if buf.remaining() < name_len + 4 {
-        return Err(DecodeError::Truncated);
-    }
-    let name_bytes = buf.copy_to_bytes(name_len);
-    let name = std::str::from_utf8(&name_bytes)
-        .map_err(|_| DecodeError::BadString)?
-        .to_string();
-    let threads = buf.get_u32() as usize;
-    let mut out = Vec::with_capacity(threads);
+pub fn decode_threaded(buf: &[u8]) -> Result<ThreadedTrace, DecodeError> {
+    let mut r = Reader::new(buf);
+    let name = decode_header(&mut r)?;
+    let threads = r.u32()? as usize;
+    let mut out = Vec::with_capacity(threads.min(64));
     for _ in 0..threads {
-        if buf.remaining() < 8 {
-            return Err(DecodeError::Truncated);
-        }
-        let n = buf.get_u64() as usize;
-        if buf.remaining() < n {
-            return Err(DecodeError::Truncated);
-        }
-        out.push(decode_trace(buf.copy_to_bytes(n))?);
+        let n = r.u64()? as usize;
+        out.push(decode_trace(r.take(n)?)?);
     }
     if out.is_empty() {
         return Err(DecodeError::Truncated);
@@ -321,30 +352,30 @@ mod tests {
     fn roundtrip_preserves_trace() {
         let t = sample();
         let enc = encode_trace(&t);
-        let dec = decode_trace(enc).unwrap();
+        let dec = decode_trace(&enc).unwrap();
         assert_eq!(t, dec);
     }
 
     #[test]
     fn roundtrip_threaded() {
         let tt = ThreadedTrace::new("mt", vec![sample(), sample()]);
-        let dec = decode_threaded(encode_threaded(&tt)).unwrap();
+        let dec = decode_threaded(&encode_threaded(&tt)).unwrap();
         assert_eq!(tt, dec);
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut enc = BytesMut::from(&encode_trace(&sample())[..]);
+        let mut enc = encode_trace(&sample());
         enc[0] = b'X';
-        assert_eq!(decode_trace(enc.freeze()), Err(DecodeError::BadMagic));
+        assert_eq!(decode_trace(&enc), Err(DecodeError::BadMagic));
     }
 
     #[test]
     fn rejects_bad_version() {
-        let mut enc = BytesMut::from(&encode_trace(&sample())[..]);
+        let mut enc = encode_trace(&sample());
         enc[5] = 99;
         assert!(matches!(
-            decode_trace(enc.freeze()),
+            decode_trace(&enc),
             Err(DecodeError::BadVersion(_))
         ));
     }
@@ -353,23 +384,28 @@ mod tests {
     fn rejects_truncation_everywhere() {
         let enc = encode_trace(&sample());
         for cut in [0, 3, 7, 10, enc.len() - 1] {
-            let cutbuf = enc.slice(0..cut);
             assert!(
-                decode_trace(cutbuf).is_err(),
+                decode_trace(&enc[..cut]).is_err(),
                 "cut at {cut} should fail"
             );
         }
     }
 
     #[test]
+    fn rejects_absurd_instruction_count() {
+        let t = Trace::from_insts("x", vec![DynInst::nop(0)]);
+        let mut enc = encode_trace(&t);
+        let count_pos = 4 + 2 + 2 + 1; // magic+ver+namelen+name
+        enc[count_pos..count_pos + 8].copy_from_slice(&u64::MAX.to_be_bytes());
+        assert_eq!(decode_trace(&enc), Err(DecodeError::Truncated));
+    }
+
+    #[test]
     fn rejects_unknown_tag() {
         let t = Trace::from_insts("x", vec![DynInst::nop(0)]);
-        let mut enc = BytesMut::from(&encode_trace(&t)[..]);
+        let mut enc = encode_trace(&t);
         let tag_pos = 4 + 2 + 2 + 1 + 8; // magic+ver+namelen+name+count
         enc[tag_pos] = 0x7F;
-        assert!(matches!(
-            decode_trace(enc.freeze()),
-            Err(DecodeError::BadTag(0x7F))
-        ));
+        assert!(matches!(decode_trace(&enc), Err(DecodeError::BadTag(0x7F))));
     }
 }

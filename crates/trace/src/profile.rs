@@ -1,9 +1,9 @@
 //! Workload profiles: the parameter space of the synthetic generator.
 
-use serde::{Deserialize, Serialize};
+use sharing_json::{json_struct, FromJson, Json, JsonError, ToJson};
 
 /// How a memory region is accessed.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum AccessPattern {
     /// Sequential streaming with the given stride in bytes (e.g. libquantum's
     /// vector sweeps). Streams wrap around the region.
@@ -22,7 +22,7 @@ pub enum AccessPattern {
 /// is insensitive, one with a multi-megabyte warm region keeps improving to
 /// 8 MB, and one whose only big region exceeds 8 MB is flat because it misses
 /// at every size.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MemRegion {
     /// Region size in bytes.
     pub bytes: u64,
@@ -31,6 +31,65 @@ pub struct MemRegion {
     /// Access pattern within the region.
     pub access: AccessPattern,
 }
+
+impl ToJson for AccessPattern {
+    fn to_json(&self) -> Json {
+        match self {
+            AccessPattern::Streaming { stride } => Json::obj(vec![(
+                "Streaming",
+                Json::obj(vec![("stride", stride.to_json())]),
+            )]),
+            AccessPattern::Random => Json::Str("Random".to_string()),
+        }
+    }
+}
+
+impl FromJson for AccessPattern {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Str(s) if s == "Random" => Ok(AccessPattern::Random),
+            Json::Obj(_) => {
+                let body = v
+                    .get("Streaming")
+                    .ok_or_else(|| JsonError::msg(format!("unknown access pattern {v}")))?;
+                let stride = body
+                    .get("stride")
+                    .ok_or_else(|| JsonError::msg("Streaming missing stride".to_string()))?;
+                Ok(AccessPattern::Streaming {
+                    stride: u64::from_json(stride)?,
+                })
+            }
+            other => Err(JsonError::msg(format!("unknown access pattern {other}"))),
+        }
+    }
+}
+
+json_struct!(MemRegion {
+    bytes,
+    weight,
+    access
+});
+
+json_struct!(WorkloadProfile {
+    name,
+    chains,
+    mem_frac,
+    store_frac,
+    branch_frac,
+    hard_branch_frac,
+    hard_taken,
+    mul_frac,
+    div_frac,
+    pointer_chase_frac,
+    regions,
+    threads,
+    shared_frac,
+    loop_body,
+    loop_iters,
+    n_loops,
+    spatial_burst,
+    pattern_branch_frac,
+});
 
 impl MemRegion {
     /// A streaming region.
@@ -74,7 +133,7 @@ impl MemRegion {
 /// assert_eq!(p.name, "toy");
 /// assert!(p.validate().is_ok());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadProfile {
     /// Workload name (used in reports).
     pub name: String,

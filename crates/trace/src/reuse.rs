@@ -10,12 +10,11 @@
 //! capacity without running the simulator.
 
 use crate::trace::Trace;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Reuse-distance distribution of a trace's memory accesses, over
 /// 64-byte lines, with power-of-two distance buckets.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReuseProfile {
     /// `buckets[k]` counts accesses with reuse distance in
     /// `[2^k, 2^(k+1))` lines (bucket 0 holds distances 0 and 1).
@@ -139,10 +138,7 @@ mod tests {
 
     #[test]
     fn cold_misses_are_counted() {
-        let t = Trace::from_insts(
-            "t",
-            vec![load(0, 0x000), load(4, 0x040), load(8, 0x080)],
-        );
+        let t = Trace::from_insts("t", vec![load(0, 0x000), load(4, 0x040), load(8, 0x080)]);
         let p = ReuseProfile::of(&t);
         assert_eq!(p.total(), 3);
         assert_eq!(p.cold(), 3);
@@ -174,7 +170,7 @@ mod tests {
         // At/above the working set: the three re-walks hit.
         assert!(p.hit_rate(128) > 0.70, "{}", p.hit_rate(128));
         let knee = p.working_set_lines(0.99);
-        assert!(knee >= 64 && knee <= 256, "knee at {knee} lines");
+        assert!((64..=256).contains(&knee), "knee at {knee} lines");
     }
 
     #[test]

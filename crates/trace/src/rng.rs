@@ -1,0 +1,159 @@
+//! A small deterministic PRNG for workload generation.
+//!
+//! The generator previously used `rand::StdRng`; the workspace must build
+//! with no external dependencies, so this module provides the few
+//! operations the generator needs on top of **xoshiro256++** seeded
+//! through **SplitMix64** — the standard construction (Blackman &
+//! Vigna), deterministic across platforms and Rust versions, which is
+//! what trace reproducibility (and the `ssimd` result cache) relies on.
+
+/// xoshiro256++ seeded via SplitMix64.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the seed into the full state; it cannot
+        // produce the all-zero state.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Rng64 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit output.
+    #[must_use]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 random bits).
+    #[must_use]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[must_use]
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// A uniform integer in `[0, bound)`. `bound` must be positive.
+    ///
+    /// Uses Lemire's multiply-shift rejection method: unbiased, and
+    /// usually a single multiply.
+    #[must_use]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty range");
+        let mut x = self.next_u64();
+        let mut m = (u128::from(x)) * (u128::from(bound));
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (u128::from(x)) * (u128::from(bound));
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    #[must_use]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range_inclusive({lo}, {hi})");
+        if lo == 0 && hi == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A uniform `usize` in `[lo, hi]`.
+    #[must_use]
+    pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_inclusive(lo as u64, hi as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = r.f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform_and_in_range() {
+        let mut r = Rng64::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            let v = r.below(10) as usize;
+            counts[v] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut r = Rng64::seed_from_u64(3);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.range_inclusive(5, 8) {
+                5 => lo_seen = true,
+                8 => hi_seen = true,
+                6 | 7 => {}
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn bool_probability_tracks_p() {
+        let mut r = Rng64::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| r.bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+    }
+}

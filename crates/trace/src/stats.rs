@@ -1,6 +1,5 @@
 //! Summary statistics over a trace.
 
-use serde::{Deserialize, Serialize};
 use sharing_isa::{DynInst, InstKind};
 use std::collections::HashSet;
 
@@ -22,7 +21,7 @@ use std::collections::HashSet;
 /// assert_eq!(s.loads, 1);
 /// assert_eq!(s.branches, 1);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceStats {
     /// Total dynamic instructions.
     pub total: u64,

@@ -1,20 +1,21 @@
 //! Trace containers.
 
 use crate::stats::TraceStats;
-use serde::{Deserialize, Serialize};
 use sharing_isa::DynInst;
 
 /// How long a trace to generate and with which seed.
 ///
 /// All generation is deterministic: the same spec always yields the same
 /// trace, so every experiment in the repository is exactly reproducible.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TraceSpec {
     /// Number of dynamic instructions per thread.
     pub len: usize,
     /// Generator seed.
     pub seed: u64,
 }
+
+sharing_json::json_struct!(TraceSpec { len, seed });
 
 impl TraceSpec {
     /// Creates a spec.
@@ -43,7 +44,7 @@ impl Default for TraceSpec {
 /// assert_eq!(t.len(), 2);
 /// assert_eq!(t.name(), "demo");
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     name: String,
     insts: Vec<DynInst>,
@@ -132,7 +133,7 @@ impl<'a> IntoIterator for &'a Trace {
 ///
 /// The paper runs PARSEC benchmarks with four threads on four equally
 /// configured VCores which share an L2 cache (§5.3).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ThreadedTrace {
     name: String,
     threads: Vec<Trace>,
@@ -195,7 +196,9 @@ mod tests {
     fn trace_of(n: usize) -> Trace {
         Trace::from_insts(
             "t",
-            (0..n).map(|i| DynInst::nop(4 * i as u64)).collect::<Vec<_>>(),
+            (0..n)
+                .map(|i| DynInst::nop(4 * i as u64))
+                .collect::<Vec<_>>(),
         )
     }
 

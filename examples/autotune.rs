@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // shape and report IPC — the paper's "performance feedback".
     let trace = workload.generate(&heartbeat_spec);
     let mut heartbeat = |shape: VCoreShape| -> f64 {
-        let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks)
-            .expect("lattice shapes are valid");
+        let cfg =
+            SimConfig::with_shape(shape.slices, shape.l2_banks).expect("lattice shapes are valid");
         Simulator::new(cfg).expect("valid").run(&trace).ipc()
     };
 

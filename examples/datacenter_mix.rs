@@ -45,7 +45,11 @@ fn main() {
             .fold(f64::MIN, f64::max);
         print!("{:>12.2}", row[0].app_a_frac);
         for p in row {
-            let mark = if p.throughput_per_area == best { '*' } else { ' ' };
+            let mark = if p.throughput_per_area == best {
+                '*'
+            } else {
+                ' '
+            };
             print!("{:>9.4}{mark}", p.throughput_per_area);
         }
         println!();

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Benchmark::H264ref,
         Benchmark::Hmmer,
     ];
-    println!("measuring performance surfaces for {} workloads…", workloads.len());
+    println!(
+        "measuring performance surfaces for {} workloads…",
+        workloads.len()
+    );
     let suite = SuiteSurfaces::build_subset(spec, &workloads);
 
     let customers = [
@@ -114,8 +117,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fixed = efficiency::best_fixed_shape(&suite, &market, 48.0);
     let mut total_fixed_utility = 0.0;
     for c in &customers {
-        total_fixed_utility +=
-            optimize::utility_at(suite.surface(c.workload), fixed, c.utility, &market, c.budget);
+        total_fixed_utility += optimize::utility_at(
+            suite.surface(c.workload),
+            fixed,
+            c.utility,
+            &market,
+            c.budget,
+        );
     }
     println!(
         "\nfixed-instance provider would offer only {fixed} to everyone:\n\

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The meta-program: profile each phase on the candidate shapes and
     // solve for the reconfiguration-aware optimal schedule.
-    println!("profiling 10 gcc phases on {} candidate shapes…", candidates.len());
+    println!(
+        "profiling 10 gcc phases on {} candidate shapes…",
+        candidates.len()
+    );
     let study = run_study_with(&spec, 10, &candidates, ReconfigCosts::paper(), &area);
     let row = study
         .rows

@@ -27,11 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "{}",
-            timeline::render(
-                &timings[window.clone()],
-                &trace.insts()[window.clone()],
-                96
-            )
+            timeline::render(&timings[window.clone()], &trace.insts()[window.clone()], 96)
         );
     }
     println!(

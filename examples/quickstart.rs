@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The Sharing Architecture's whole point: the "core" is a knob.
     // Sweep a few Virtual Core shapes over the same binary.
-    println!("\n{:<22} {:>8} {:>10} {:>12}", "VCore", "IPC", "cycles", "L1D miss");
+    println!(
+        "\n{:<22} {:>8} {:>10} {:>12}",
+        "VCore", "IPC", "cycles", "L1D miss"
+    );
     for (slices, banks) in [(1, 0), (1, 2), (2, 2), (4, 8), (8, 16)] {
         let config = SimConfig::with_shape(slices, banks)?;
         let result = Simulator::new(config)?.run(&trace);

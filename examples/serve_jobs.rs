@@ -1,0 +1,97 @@
+//! Simulation-as-a-service: the ssimd daemon end to end.
+//!
+//! The sweeps and market studies behind the paper's figures re-run the
+//! simulator over the same `(benchmark, shape, trace)` points again and
+//! again. ssimd amortizes that: a daemon owns a worker pool and a result
+//! cache, and clients submit jobs over newline-delimited JSON. This
+//! example starts a daemon in-process and walks through the acceptance
+//! checklist:
+//!
+//! 1. several clients submitting concurrently;
+//! 2. a repeated job served from the cache, byte-identical to the fresh
+//!    run;
+//! 3. the server metrics (`stats`) after the burst;
+//! 4. graceful shutdown that drains in-flight work.
+//!
+//! ```text
+//! cargo run --release --example serve_jobs
+//! ```
+
+use sharing_arch::json::Json;
+use sharing_arch::server::{Client, Server, ServerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(), // ephemeral port: no collisions
+        workers: 4,
+        queue_capacity: 16,
+        cache_capacity: 64,
+    })?;
+    let addr = handle.local_addr();
+    println!("ssimd listening on {addr}\n");
+
+    // 1. Four clients, four different Virtual-Core shapes, concurrently.
+    println!("== concurrent clients ==");
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || -> std::io::Result<(usize, f64)> {
+                let slices = 1 + i;
+                let mut c = Client::connect(addr)?;
+                let reply = c.run_benchmark("gcc", slices, 2, 20_000, 7)?;
+                let r = reply.get("result").expect("result");
+                let ipc = r.get("instructions").and_then(Json::as_int).unwrap() as f64
+                    / r.get("cycles").and_then(Json::as_int).unwrap() as f64;
+                Ok((slices, ipc))
+            })
+        })
+        .collect();
+    for t in clients {
+        let (slices, ipc) = t.join().expect("client thread")?;
+        println!("  gcc on {slices} slice(s): IPC {ipc:.3}");
+    }
+
+    // 2. Submit one of those jobs again: a cache hit, byte-identical.
+    println!("\n== cache replay ==");
+    let mut c = Client::connect(addr)?;
+    let again = c.run_benchmark("gcc", 2, 2, 20_000, 7)?;
+    println!(
+        "  repeated job: cached = {}",
+        again.get("cached").and_then(Json::as_bool).unwrap()
+    );
+
+    // 3. What the server saw.
+    println!("\n== server metrics ==");
+    let stats = c.stats()?;
+    for key in [
+        "jobs_submitted",
+        "jobs_completed",
+        "cache_hits",
+        "cache_misses",
+        "cache_hit_rate",
+        "worker_utilization",
+        "latency_p50_us",
+        "latency_p99_us",
+    ] {
+        println!("  {key:>18}: {}", stats.get(key).expect(key));
+    }
+
+    // 4. Graceful shutdown: a job is still in flight when we ask the
+    // daemon to stop; the drain finishes it first.
+    println!("\n== graceful shutdown ==");
+    let mut busy = Client::connect(addr)?;
+    let in_flight = std::thread::spawn(move || busy.run_benchmark("mcf", 4, 4, 40_000, 1));
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let reply = c.shutdown()?;
+    println!(
+        "  shutdown acknowledged after {} completed job(s)",
+        reply.get("jobs_completed").and_then(Json::as_int).unwrap()
+    );
+    let last = in_flight.join().expect("in-flight thread")?;
+    println!(
+        "  in-flight job still answered: ok = {}",
+        last.get("ok").and_then(Json::as_bool).unwrap()
+    );
+    handle.join();
+    println!("  daemon drained and stopped");
+    Ok(())
+}

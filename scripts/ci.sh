@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the sharing-arch workspace. Everything runs offline:
+# the workspace has zero external dependencies by design (see DESIGN.md §5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings denied) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace --offline
+
+echo "== cargo test =="
+cargo test -q --workspace --offline
+
+echo "ci: all green"

@@ -15,7 +15,10 @@
 //! * [`hv`] — the hypervisor-level chip allocator (Slice contiguity,
 //!   fragmentation, reconfiguration costs);
 //! * [`market`] — the IaaS economic model: utility functions, sub-core
-//!   markets, and the market-efficiency studies.
+//!   markets, and the market-efficiency studies;
+//! * [`server`] — ssimd, the simulation-as-a-service daemon: a TCP job
+//!   server with a bounded queue, worker pool, and result cache (see
+//!   `examples/serve_jobs.rs`).
 //!
 //! # Quick start
 //!
@@ -39,6 +42,8 @@ pub use sharing_cache as cache;
 pub use sharing_core as core;
 pub use sharing_hv as hv;
 pub use sharing_isa as isa;
+pub use sharing_json as json;
 pub use sharing_market as market;
 pub use sharing_noc as noc;
+pub use sharing_server as server;
 pub use sharing_trace as trace;

@@ -38,7 +38,7 @@ fn every_benchmark_runs_on_representative_shapes() {
 fn simulation_is_deterministic_across_reruns() {
     let t = Benchmark::Sjeng.generate(&SPEC);
     let cfg = SimConfig::with_shape(3, 4).unwrap();
-    let a = Simulator::new(cfg.clone()).unwrap().run(&t);
+    let a = Simulator::new(cfg).unwrap().run(&t);
     let b = Simulator::new(cfg).unwrap().run(&t);
     assert_eq!(a, b);
 }
@@ -47,7 +47,7 @@ fn simulation_is_deterministic_across_reruns() {
 fn trace_io_roundtrips_through_the_facade() {
     use sharing_arch::trace::io;
     let t = Benchmark::Bzip.generate(&SPEC);
-    let decoded = io::decode_trace(io::encode_trace(&t)).unwrap();
+    let decoded = io::decode_trace(&io::encode_trace(&t)).unwrap();
     assert_eq!(t, decoded);
 }
 
@@ -88,7 +88,7 @@ fn reconfiguration_costs_show_up_in_phased_runs() {
     let small = SimConfig::with_shape(1, 1).unwrap();
     let big = SimConfig::with_shape(1, 4).unwrap();
     let alternating = vec![
-        (phases[0].clone(), small.clone()),
+        (phases[0].clone(), small),
         (phases[1].clone(), big),
         (phases[2].clone(), small),
     ];

@@ -20,7 +20,10 @@ fn ipc(bench: Benchmark, slices: usize, banks: usize) -> f64 {
             .run(&bench.generate_threaded(&SPEC))
             .ipc()
     } else {
-        Simulator::new(cfg).unwrap().run(&bench.generate(&SPEC)).ipc()
+        Simulator::new(cfg)
+            .unwrap()
+            .run(&bench.generate(&SPEC))
+            .ipc()
     }
 }
 
@@ -110,7 +113,10 @@ fn fig10_sharing_overhead_is_modest() {
 fn fig11_bank_is_about_a_third_of_slice_plus_bank() {
     let model = AreaModel::paper();
     let (_, bank_share) = model.with_bank_fractions();
-    assert!((bank_share - 0.35).abs() < 0.05, "bank share {bank_share:.3}");
+    assert!(
+        (bank_share - 0.35).abs() < 0.05,
+        "bank share {bank_share:.3}"
+    );
 }
 
 // ---- §5.1: one operand network suffices ---------------------------------
@@ -119,11 +125,7 @@ fn fig11_bank_is_about_a_third_of_slice_plus_bank() {
 fn second_operand_network_buys_little() {
     use sharing_arch::core::ModelKnobs;
     let trace = Benchmark::Gcc.generate(&SPEC);
-    let base_cfg = SimConfig::builder()
-        .slices(8)
-        .l2_banks(2)
-        .build()
-        .unwrap();
+    let base_cfg = SimConfig::builder().slices(8).l2_banks(2).build().unwrap();
     let two = SimConfig::builder()
         .slices(8)
         .l2_banks(2)

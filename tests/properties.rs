@@ -1,144 +1,212 @@
-//! Property-based tests over the whole stack (see DESIGN.md §6).
+//! Property-style tests over the whole stack (see DESIGN.md §6).
+//!
+//! Each test draws a couple dozen random cases from a seeded [`Rng64`], so
+//! coverage is property-shaped but fully deterministic — a failure
+//! reproduces by its printed case seed alone.
 
-use proptest::prelude::*;
 use sharing_arch::core::{ModelKnobs, SimConfig, Simulator, VCoreShape};
 use sharing_arch::hv::{Chip, Hypervisor};
 use sharing_arch::market::{optimize, Market, PerfSurface, UtilityFn};
 use sharing_arch::trace::io;
-use sharing_arch::trace::{MemRegion, ProgramGenerator, TraceSpec, WorkloadProfile};
+use sharing_arch::trace::{MemRegion, ProgramGenerator, Rng64, TraceSpec, WorkloadProfile};
 
-fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
-    (
-        1usize..8,       // chains
-        0.05f64..0.45,   // mem_frac
-        0.02f64..0.25,   // branch_frac
-        0.0f64..0.5,     // hard branch share
-        0.0f64..0.6,     // pointer chase
-        12u64..4096,     // region KB
-        1usize..10,      // spatial burst
+const CASES: u64 = 24;
+
+/// A random but valid workload profile.
+fn arb_profile(rng: &mut Rng64) -> WorkloadProfile {
+    let chains = rng.usize_inclusive(1, 7);
+    let mem = 0.05 + 0.40 * rng.f64();
+    let br = 0.02 + 0.23 * rng.f64();
+    let hard = 0.5 * rng.f64();
+    let chase = 0.6 * rng.f64();
+    let region_kb = rng.range_inclusive(12, 4095);
+    let burst = rng.usize_inclusive(1, 9);
+    WorkloadProfile::builder("prop")
+        .chains(chains)
+        .mem_frac(mem)
+        .branch_frac(br)
+        .hard_branches(hard, 0.5)
+        .pointer_chase(chase)
+        .spatial_burst(burst)
+        .region(MemRegion::random(8 << 10, 0.5))
+        .region(MemRegion::random(region_kb << 10, 0.5))
+        .build()
+}
+
+/// A random shape from the sweep grid's bank set.
+fn arb_shape(rng: &mut Rng64) -> VCoreShape {
+    let banks = [0usize, 1, 2, 4, 8, 16];
+    VCoreShape::new(
+        rng.usize_inclusive(1, 8),
+        banks[rng.usize_inclusive(0, banks.len() - 1)],
     )
-        .prop_map(
-            |(chains, mem, br, hard, chase, region_kb, burst)| {
-                WorkloadProfile::builder("prop")
-                    .chains(chains)
-                    .mem_frac(mem)
-                    .branch_frac(br)
-                    .hard_branches(hard, 0.5)
-                    .pointer_chase(chase)
-                    .spatial_burst(burst)
-                    .region(MemRegion::random(8 << 10, 0.5))
-                    .region(MemRegion::random(region_kb << 10, 0.5))
-                    .build()
-            },
-        )
+    .expect("valid")
 }
 
-fn arb_shape() -> impl Strategy<Value = VCoreShape> {
-    (1usize..=8, prop::sample::select(vec![0usize, 1, 2, 4, 8, 16]))
-        .prop_map(|(s, b)| VCoreShape::new(s, b).expect("valid"))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any valid profile on any valid shape simulates to a sane result
-    /// with ordered commits and conservation of instructions.
-    #[test]
-    fn simulator_is_total_and_sane(profile in arb_profile(), shape in arb_shape(), seed in 0u64..1000) {
+/// Any valid profile on any valid shape simulates to a sane result with
+/// ordered commits and conservation of instructions.
+#[test]
+fn simulator_is_total_and_sane() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x51A9E + case);
+        let profile = arb_profile(&mut rng);
+        let shape = arb_shape(&mut rng);
+        let seed = rng.below(1000);
         let spec = TraceSpec::new(1_500, seed);
-        let trace = ProgramGenerator::new(&profile, spec).unwrap().generate_single();
+        let trace = ProgramGenerator::new(&profile, spec)
+            .unwrap()
+            .generate_single();
         let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks).unwrap();
         let (r, timings) = Simulator::new(cfg).unwrap().run_detailed(&trace);
-        prop_assert_eq!(r.instructions, 1_500);
-        prop_assert!(r.cycles > 0);
-        prop_assert!(r.ipc() <= 2.0 * shape.slices as f64 + 0.01, "IPC beyond fetch width");
+        assert_eq!(r.instructions, 1_500, "case {case}");
+        assert!(r.cycles > 0, "case {case}");
+        assert!(
+            r.ipc() <= 2.0 * shape.slices as f64 + 0.01,
+            "case {case}: IPC beyond fetch width"
+        );
         let mut prev_commit = 0;
         for t in &timings {
-            prop_assert!(t.fetch < t.dispatch);
-            prop_assert!(t.dispatch < t.issue);
-            prop_assert!(t.issue < t.exec_done);
-            prop_assert!(t.exec_done <= t.commit);
-            prop_assert!(t.commit >= prev_commit, "commit order violated");
-            prop_assert!(t.slice < shape.slices);
+            assert!(t.fetch < t.dispatch, "case {case}");
+            assert!(t.dispatch < t.issue, "case {case}");
+            assert!(t.issue < t.exec_done, "case {case}");
+            assert!(t.exec_done <= t.commit, "case {case}");
+            assert!(
+                t.commit >= prev_commit,
+                "case {case}: commit order violated"
+            );
+            assert!(t.slice < shape.slices, "case {case}");
             prev_commit = t.commit;
         }
     }
+}
 
-    /// The pipeline preserves program semantics: the committed
-    /// destination-value stream, computed through the engine's own rename
-    /// and store-forwarding bookkeeping, matches the architectural
-    /// interpreter on arbitrary programs and shapes.
-    #[test]
-    fn dataflow_matches_interpreter(profile in arb_profile(), shape in arb_shape(), seed in 0u64..300) {
+/// The pipeline preserves program semantics: the committed
+/// destination-value stream, computed through the engine's own rename and
+/// store-forwarding bookkeeping, matches the architectural interpreter on
+/// arbitrary programs and shapes.
+#[test]
+fn dataflow_matches_interpreter() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xDA7A + case);
+        let profile = arb_profile(&mut rng);
+        let shape = arb_shape(&mut rng);
+        let seed = rng.below(300);
         let spec = TraceSpec::new(1_200, seed);
-        let trace = ProgramGenerator::new(&profile, spec).unwrap().generate_single();
+        let trace = ProgramGenerator::new(&profile, spec)
+            .unwrap()
+            .generate_single();
         let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks).unwrap();
         let (_, ok) = Simulator::new(cfg).unwrap().run_verified(&trace);
-        prop_assert!(ok, "committed values diverged from the interpreter");
+        assert!(
+            ok,
+            "case {case}: committed values diverged from the interpreter"
+        );
     }
+}
 
-    /// The unordered, speculative LSQ never beats ordering by more than
-    /// speculation can explain — and an ordered LSQ never reports
-    /// violations.
-    #[test]
-    fn ordered_lsq_has_no_violations(profile in arb_profile(), seed in 0u64..200) {
+/// An ordered LSQ never reports violations.
+#[test]
+fn ordered_lsq_has_no_violations() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x15C0 + case);
+        let profile = arb_profile(&mut rng);
+        let seed = rng.below(200);
         let spec = TraceSpec::new(1_500, seed);
-        let trace = ProgramGenerator::new(&profile, spec).unwrap().generate_single();
+        let trace = ProgramGenerator::new(&profile, spec)
+            .unwrap()
+            .generate_single();
         let ordered = SimConfig::builder()
             .slices(4)
             .l2_banks(2)
-            .knobs(ModelKnobs { unordered_lsq: false, ..ModelKnobs::default() })
+            .knobs(ModelKnobs {
+                unordered_lsq: false,
+                ..ModelKnobs::default()
+            })
             .build()
             .unwrap();
         let r = Simulator::new(ordered).unwrap().run(&trace);
-        prop_assert_eq!(r.mem.lsq_violations, 0);
+        assert_eq!(r.mem.lsq_violations, 0, "case {case}");
     }
+}
 
-    /// Trace serialization roundtrips exactly for arbitrary generated
-    /// programs.
-    #[test]
-    fn trace_io_roundtrip(profile in arb_profile(), seed in 0u64..500) {
+/// Trace serialization roundtrips exactly for arbitrary generated
+/// programs.
+#[test]
+fn trace_io_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x10AD + case);
+        let profile = arb_profile(&mut rng);
+        let seed = rng.below(500);
         let spec = TraceSpec::new(400, seed);
-        let trace = ProgramGenerator::new(&profile, spec).unwrap().generate_single();
-        let decoded = io::decode_trace(io::encode_trace(&trace)).unwrap();
-        prop_assert_eq!(trace, decoded);
+        let trace = ProgramGenerator::new(&profile, spec)
+            .unwrap()
+            .generate_single();
+        let decoded = io::decode_trace(&io::encode_trace(&trace)).unwrap();
+        assert_eq!(trace, decoded, "case {case}");
     }
+}
 
-    /// The committed path produced by the generator is a real control-flow
-    /// path: every instruction's next-PC is the next instruction's PC.
-    #[test]
-    fn generated_control_flow_is_connected(profile in arb_profile(), seed in 0u64..500) {
+/// The committed path produced by the generator is a real control-flow
+/// path: every instruction's next-PC is the next instruction's PC.
+#[test]
+fn generated_control_flow_is_connected() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xC0DE + case);
+        let profile = arb_profile(&mut rng);
+        let seed = rng.below(500);
         let spec = TraceSpec::new(1_000, seed);
-        let trace = ProgramGenerator::new(&profile, spec).unwrap().generate_single();
+        let trace = ProgramGenerator::new(&profile, spec)
+            .unwrap()
+            .generate_single();
         for w in trace.insts().windows(2) {
-            prop_assert_eq!(w[0].next_pc(), w[1].pc);
+            assert_eq!(w[0].next_pc(), w[1].pc, "case {case}");
         }
     }
+}
 
-    /// The utility optimizer never exceeds the budget and always returns a
-    /// grid shape.
-    #[test]
-    fn optimizer_respects_budget(budget in 1.0f64..1000.0, k in 0usize..3) {
-        let utility = [UtilityFn::Throughput, UtilityFn::Balanced, UtilityFn::LatencyCritical][k];
+/// The utility optimizer never exceeds the budget and always returns a
+/// grid shape.
+#[test]
+fn optimizer_respects_budget() {
+    let mut rng = Rng64::seed_from_u64(0xB1D);
+    for case in 0..CASES {
+        let budget = 1.0 + 999.0 * rng.f64();
+        let utility = [
+            UtilityFn::Throughput,
+            UtilityFn::Balanced,
+            UtilityFn::LatencyCritical,
+        ][rng.usize_inclusive(0, 2)];
         let surface = PerfSurface::from_fn("prop", |s| {
             (1.0 + s.slices as f64).ln() * (1.0 + (s.l2_banks as f64).sqrt() / 4.0)
         });
         for market in Market::ALL {
             let chosen = optimize::best_utility(&surface, utility, &market, budget);
             let v = market.affordable_cores(chosen.shape, budget);
-            prop_assert!(v * market.vcore_cost(chosen.shape) <= budget * (1.0 + 1e-9));
-            prop_assert!(chosen.shape.slices >= 1 && chosen.shape.slices <= 8);
+            assert!(
+                v * market.vcore_cost(chosen.shape) <= budget * (1.0 + 1e-9),
+                "case {case}"
+            );
+            assert!(
+                chosen.shape.slices >= 1 && chosen.shape.slices <= 8,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// The hypervisor never double-books tiles, whatever the lease/release
-    /// sequence, and released capacity is reusable.
-    #[test]
-    fn hypervisor_never_double_books(ops in prop::collection::vec((1usize..=4, 0usize..=6, prop::bool::ANY), 1..24)) {
+/// The hypervisor never double-books tiles, whatever the lease/release
+/// sequence, and released capacity is reusable.
+#[test]
+fn hypervisor_never_double_books() {
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0x2EA5E + case);
+        let n_ops = rng.usize_inclusive(1, 23);
         let mut hv = Hypervisor::new(Chip::new(4, 12));
         let mut live: Vec<sharing_arch::hv::LeaseId> = Vec::new();
-        for (slices, banks, release_first) in ops {
-            if release_first {
+        for _ in 0..n_ops {
+            let slices = rng.usize_inclusive(1, 4);
+            let banks = rng.usize_inclusive(0, 6);
+            if rng.bool(0.5) {
                 if let Some(id) = live.pop() {
                     hv.release(id).unwrap();
                 }
@@ -151,44 +219,53 @@ proptest! {
             for &id in &live {
                 let lease = hv.get(id).unwrap();
                 for t in lease.slices.iter().chain(&lease.banks) {
-                    prop_assert!(seen.insert((t.row, t.col)), "tile double-booked");
+                    assert!(
+                        seen.insert((t.row, t.col)),
+                        "case {case}: tile double-booked"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Mesh routing always terminates at the destination with hop count
-    /// equal to the Manhattan distance.
-    #[test]
-    fn mesh_routes_are_shortest_paths(ax in 0u16..8, ay in 0u16..8, bx in 0u16..8, by in 0u16..8) {
-        use sharing_arch::noc::{Coord, Mesh};
-        let mesh = Mesh::new(8, 8);
-        let a = Coord::new(ax, ay);
-        let b = Coord::new(bx, by);
+/// Mesh routing always terminates at the destination with hop count equal
+/// to the Manhattan distance.
+#[test]
+fn mesh_routes_are_shortest_paths() {
+    use sharing_arch::noc::{Coord, Mesh};
+    let mesh = Mesh::new(8, 8);
+    let mut rng = Rng64::seed_from_u64(0x3E5);
+    for case in 0..4 * CASES {
+        let a = Coord::new(rng.below(8) as u16, rng.below(8) as u16);
+        let b = Coord::new(rng.below(8) as u16, rng.below(8) as u16);
         let path = mesh.route(a, b);
-        prop_assert_eq!(path.len() as u32, mesh.hops(a, b));
+        assert_eq!(path.len() as u32, mesh.hops(a, b), "case {case}");
         if let Some(last) = path.last() {
-            prop_assert_eq!(last.to, b);
+            assert_eq!(last.to, b, "case {case}");
         }
         for w in path.windows(2) {
-            prop_assert_eq!(w[0].to, w[1].from);
-            prop_assert_eq!(w[0].from.manhattan(w[0].to), 1);
+            assert_eq!(w[0].to, w[1].from, "case {case}");
+            assert_eq!(w[0].from.manhattan(w[0].to), 1, "case {case}");
         }
     }
+}
 
-    /// Caches never report more hits than accesses and a flushed cache is
-    /// empty, whatever the access pattern.
-    #[test]
-    fn cache_accounting_is_consistent(lines in prop::collection::vec((0u64..512, prop::bool::ANY), 1..200)) {
-        use sharing_arch::cache::{CacheGeometry, SetAssocCache};
+/// Caches never report more hits than accesses and a flushed cache is
+/// empty, whatever the access pattern.
+#[test]
+fn cache_accounting_is_consistent() {
+    use sharing_arch::cache::{CacheGeometry, SetAssocCache};
+    for case in 0..CASES {
+        let mut rng = Rng64::seed_from_u64(0xCAC4E + case);
         let mut c = SetAssocCache::new(CacheGeometry::new(4 << 10, 64, 2).unwrap());
-        for (line, write) in lines {
-            c.access(line, write);
+        for _ in 0..rng.usize_inclusive(1, 199) {
+            c.access(rng.below(512), rng.bool(0.5));
         }
         let s = c.stats();
-        prop_assert!(s.hits <= s.accesses);
-        prop_assert!(c.resident_lines() <= 64);
+        assert!(s.hits <= s.accesses, "case {case}");
+        assert!(c.resident_lines() <= 64, "case {case}");
         c.flush_all();
-        prop_assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.resident_lines(), 0, "case {case}");
     }
 }
