@@ -5,8 +5,10 @@
 #![warn(missing_docs)]
 
 use sharing_core::{SimConfig, Simulator, VmSimulator};
+use sharing_dc::{BillingMode, DcSim, Scenario};
 use sharing_trace::{Benchmark, ProgramGenerator, TraceSpec, WorkloadProfile, ALL_BENCHMARKS};
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A parsed CLI invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -15,6 +17,8 @@ pub enum Command {
     Run(RunArgs),
     /// `ssim sweep …` — Slice and cache sweeps for one benchmark.
     Sweep(SweepArgs),
+    /// `ssim dc …` — run a datacenter scenario through `sharing-dc`.
+    Dc(DcArgs),
     /// `ssim config` — emit the default configuration as JSON.
     EmitConfig,
     /// `ssim serve …` — run the ssimd simulation daemon in-process.
@@ -67,6 +71,26 @@ pub struct SweepArgs {
     pub len: usize,
     /// Trace seed.
     pub seed: u64,
+    /// When set, submit the sweep to a running ssimd daemon at this
+    /// address instead of simulating in-process, sharing its result cache.
+    pub daemon: Option<String>,
+}
+
+/// Arguments for `ssim dc`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DcArgs {
+    /// Scenario JSON file; `None` only with `emit_example`.
+    pub scenario_path: Option<String>,
+    /// Event seed (same seed ⇒ byte-identical logs and CSV).
+    pub seed: u64,
+    /// Billing mode; `None` runs both and prints the comparison.
+    pub mode: Option<BillingMode>,
+    /// When set, write per-mode `<scenario>-<mode>.csv` / `.log` files
+    /// into this directory.
+    pub out_dir: Option<String>,
+    /// Print the built-in example scenario as pretty JSON and exit —
+    /// the easiest way to get a schema template.
+    pub emit_example: bool,
 }
 
 /// Arguments for `ssim serve`.
@@ -80,6 +104,9 @@ pub struct ServeArgs {
     pub queue: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache: usize,
+    /// When set, the result cache is loaded from this file on start and
+    /// saved back on graceful shutdown.
+    pub cache_file: Option<String>,
 }
 
 /// What `ssim submit` asks the daemon to do.
@@ -97,6 +124,15 @@ pub enum SubmitAction {
         len: usize,
         /// Trace seed.
         seed: u64,
+    },
+    /// Submit a datacenter scenario.
+    Dc {
+        /// Scenario JSON file.
+        scenario_path: String,
+        /// Event seed.
+        seed: u64,
+        /// Billing mode; `None` runs both.
+        mode: Option<BillingMode>,
     },
     /// Liveness check.
     Ping,
@@ -140,6 +176,8 @@ pub enum CliError {
     BadSimConfig(String),
     /// A daemon could not be started or reached.
     Server(String),
+    /// Scenario file could not be read, parsed, or validated.
+    BadScenario(String),
     /// Two flags that cannot be used together.
     ConflictingFlags(String),
 }
@@ -160,6 +198,7 @@ impl fmt::Display for CliError {
             CliError::BadAsm(e) => write!(f, "assembly: {e}"),
             CliError::BadSimConfig(e) => write!(f, "invalid configuration: {e}"),
             CliError::Server(e) => write!(f, "server: {e}"),
+            CliError::BadScenario(e) => write!(f, "scenario: {e}"),
             CliError::ConflictingFlags(e) => write!(f, "{e}"),
         }
     }
@@ -176,10 +215,14 @@ USAGE:
     ssim run   (--benchmark <name> | --profile workload.json | --asm prog.s)
                [--slices N] [--banks N] [--len N]
                [--seed N] [--config file.json] [--json]
-    ssim sweep --benchmark <name> [--len N] [--seed N]
+    ssim sweep --benchmark <name> [--len N] [--seed N] [--daemon HOST:PORT]
+    ssim dc    (--scenario file.json | --emit-example)
+               [--seed N] [--mode sharing|fixed] [--out DIR]
     ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+               [--cache-file PATH]
     ssim submit [--addr HOST:PORT]
                (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
+                | --dc scenario.json [--seed N] [--mode sharing|fixed]
                 | --ping | --stats | --shutdown)
     ssim config            emit the default configuration as JSON
     ssim list              list available benchmarks
@@ -189,8 +232,11 @@ EXAMPLES:
     ssim run --benchmark gcc --slices 4 --banks 8
     ssim run --profile my_workload.json --slices 2
     ssim config > base.json && ssim run --benchmark mcf --config base.json
-    ssim serve --workers 4 &
+    ssim dc --emit-example > bursty.json && ssim dc --scenario bursty.json --seed 7
+    ssim serve --workers 4 --cache-file /tmp/ssimd.cache &
+    ssim sweep --benchmark mcf --daemon 127.0.0.1:42014
     ssim submit --benchmark mcf --slices 2 --banks 4
+    ssim submit --dc bursty.json --mode sharing
     ssim submit --stats && ssim submit --shutdown"
         .to_string()
 }
@@ -269,6 +315,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 benchmark: Benchmark::Gcc,
                 len: 30_000,
                 seed: 0xA5_2014,
+                daemon: None,
             };
             let mut got_benchmark = false;
             while let Some(flag) = it.next() {
@@ -281,6 +328,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--daemon" => out.daemon = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -289,12 +337,49 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Sweep(out))
         }
+        "dc" => {
+            let mut out = DcArgs {
+                scenario_path: None,
+                seed: 0xA5_2014,
+                mode: None,
+                out_dir: None,
+                emit_example: false,
+            };
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--scenario" => out.scenario_path = Some(take_value(flag, &mut it)?.clone()),
+                    "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--mode" => {
+                        let v = take_value(flag, &mut it)?;
+                        out.mode = Some(
+                            BillingMode::parse(v)
+                                .map_err(|_| CliError::BadValue(flag.clone(), v.clone()))?,
+                        );
+                    }
+                    "--out" => out.out_dir = Some(take_value(flag, &mut it)?.clone()),
+                    "--emit-example" => out.emit_example = true,
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if out.scenario_path.is_none() && !out.emit_example {
+                return Err(CliError::MissingValue(
+                    "--scenario or --emit-example".to_string(),
+                ));
+            }
+            if out.scenario_path.is_some() && out.emit_example {
+                return Err(CliError::ConflictingFlags(
+                    "`--scenario` cannot be combined with --emit-example".to_string(),
+                ));
+            }
+            Ok(Command::Dc(out))
+        }
         "serve" => {
             let mut out = ServeArgs {
                 addr: format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT),
                 workers: None,
                 queue: 64,
                 cache: 1024,
+                cache_file: None,
             };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -304,6 +389,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--queue" => out.queue = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--cache" => out.cache = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--cache-file" => out.cache_file = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -315,6 +401,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let (mut slices, mut banks, mut len, mut seed) =
                 (1usize, 2usize, 60_000usize, 0xA5_2014u64);
             let mut benchmark: Option<Benchmark> = None;
+            let mut dc_path: Option<String> = None;
+            let mut mode: Option<BillingMode> = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--addr" => addr = take_value(flag, &mut it)?.clone(),
@@ -323,6 +411,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         benchmark = Some(
                             Benchmark::from_name(v)
                                 .ok_or_else(|| CliError::UnknownBenchmark(v.clone()))?,
+                        );
+                    }
+                    "--dc" => dc_path = Some(take_value(flag, &mut it)?.clone()),
+                    "--mode" => {
+                        let v = take_value(flag, &mut it)?;
+                        mode = Some(
+                            BillingMode::parse(v)
+                                .map_err(|_| CliError::BadValue(flag.clone(), v.clone()))?,
                         );
                     }
                     "--slices" => slices = parse_num(flag, take_value(flag, &mut it)?)?,
@@ -335,24 +431,28 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
-            let action = match (action, benchmark) {
-                (Some(a), None) => a,
-                (None, Some(benchmark)) => SubmitAction::Run {
+            let action = match (action, benchmark, dc_path) {
+                (Some(a), None, None) => a,
+                (None, Some(benchmark), None) => SubmitAction::Run {
                     benchmark,
                     slices,
                     banks,
                     len,
                     seed,
                 },
-                (Some(_), Some(_)) => {
-                    return Err(CliError::ConflictingFlags(
-                        "`--benchmark` cannot be combined with --ping/--stats/--shutdown"
-                            .to_string(),
+                (None, None, Some(scenario_path)) => SubmitAction::Dc {
+                    scenario_path,
+                    seed,
+                    mode,
+                },
+                (None, None, None) => {
+                    return Err(CliError::MissingValue(
+                        "--benchmark, --dc, --ping, --stats or --shutdown".to_string(),
                     ));
                 }
-                (None, None) => {
-                    return Err(CliError::MissingValue(
-                        "--benchmark, --ping, --stats or --shutdown".to_string(),
+                _ => {
+                    return Err(CliError::ConflictingFlags(
+                        "pick one of --benchmark, --dc, --ping, --stats, --shutdown".to_string(),
                     ));
                 }
             };
@@ -454,6 +554,100 @@ fn run_workload(
     }
 }
 
+/// IPC per `(slices, banks)` grid point, as collected from a daemon sweep.
+type SweepGrid = std::collections::HashMap<(usize, usize), f64>;
+
+/// Submits the sweep to a running ssimd and collects the full grid.
+/// Returns `(ipc by (slices, banks), cached point count)`.
+fn sweep_via_daemon(addr: &str, args: &SweepArgs) -> Result<(SweepGrid, usize), CliError> {
+    let mut client = sharing_server::Client::connect(addr)
+        .map_err(|e| CliError::Server(format!("{addr}: {e}")))?;
+    let lines = client
+        .sweep(args.benchmark, args.len, args.seed)
+        .map_err(|e| CliError::Server(e.to_string()))?;
+    let last = lines.last().expect("sweep yields at least one line");
+    if last.get("type").and_then(|v| v.as_str()) != Some("sweep_done") {
+        let msg = last
+            .get("error")
+            .and_then(|v| v.as_str())
+            .unwrap_or("sweep failed")
+            .to_string();
+        return Err(CliError::Server(msg));
+    }
+    let mut points = std::collections::HashMap::new();
+    let mut cached = 0usize;
+    for p in &lines[..lines.len() - 1] {
+        let shape = p
+            .get("shape")
+            .ok_or_else(|| CliError::Server("sweep point missing shape".to_string()))?;
+        let s = shape.get("slices").and_then(|v| v.as_int()).unwrap_or(0) as usize;
+        let b = shape.get("l2_banks").and_then(|v| v.as_int()).unwrap_or(0) as usize;
+        let ipc = p.get("ipc").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if p.get("cached").and_then(|v| v.as_bool()) == Some(true) {
+            cached += 1;
+        }
+        points.insert((s, b), ipc);
+    }
+    Ok((points, cached))
+}
+
+/// Reads and validates a scenario JSON file.
+fn load_scenario(path: &str) -> Result<Scenario, CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::BadScenario(format!("{path}: {e}")))?;
+    let scenario =
+        Scenario::parse(&text).map_err(|e| CliError::BadScenario(format!("{path}: {e}")))?;
+    scenario
+        .validate()
+        .map_err(|e| CliError::BadScenario(format!("{path}: {e}")))?;
+    Ok(scenario)
+}
+
+/// Runs `ssim dc`: one billing mode or the full comparison, with optional
+/// CSV / event-log artifacts. Same scenario + same seed ⇒ byte-identical
+/// output and files.
+fn execute_dc(args: &DcArgs) -> Result<String, CliError> {
+    if args.emit_example {
+        return Ok(sharing_json::to_string_pretty(&Scenario::example_bursty()));
+    }
+    let path = args
+        .scenario_path
+        .as_ref()
+        .expect("parse() requires a scenario unless --emit-example");
+    let scenario = load_scenario(path)?;
+    let sim = DcSim::new(scenario).map_err(CliError::BadScenario)?;
+
+    let mut out = String::new();
+    let outcomes = match args.mode {
+        Some(mode) => vec![sim.run(mode, args.seed)],
+        None => {
+            let cmp = sim.run_comparison(args.seed);
+            out.push_str(&cmp.summary());
+            out.push('\n');
+            vec![cmp.sharing, cmp.fixed]
+        }
+    };
+    for o in &outcomes {
+        let _ = writeln!(out, "{}", o.summary());
+        let _ = writeln!(out, "  {} event-log hash {}", o.mode.name(), o.log_hash());
+    }
+    if let Some(dir) = &args.out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::BadScenario(format!("--out {dir}: {e}")))?;
+        for o in &outcomes {
+            let stem = format!("{}-{}", o.scenario, o.mode.name());
+            let csv = std::path::Path::new(dir).join(format!("{stem}.csv"));
+            let log = std::path::Path::new(dir).join(format!("{stem}.log"));
+            std::fs::write(&csv, o.csv())
+                .map_err(|e| CliError::BadScenario(format!("{}: {e}", csv.display())))?;
+            std::fs::write(&log, &o.log)
+                .map_err(|e| CliError::BadScenario(format!("{}: {e}", log.display())))?;
+            let _ = writeln!(out, "wrote {} and {}", csv.display(), log.display());
+        }
+    }
+    Ok(out)
+}
+
 /// Executes a parsed command, returning its stdout payload.
 ///
 /// # Errors
@@ -508,11 +702,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 ))
             }
         }
+        Command::Dc(args) => execute_dc(args),
         Command::Serve(args) => {
             let mut cfg = sharing_server::ServerConfig {
                 addr: args.addr.clone(),
                 queue_capacity: args.queue,
                 cache_capacity: args.cache,
+                cache_path: args.cache_file.clone(),
                 ..sharing_server::ServerConfig::default()
             };
             if let Some(w) = args.workers {
@@ -560,6 +756,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         seed: *seed,
                     })
                     .map_err(|e| CliError::Server(e.to_string()))?,
+                SubmitAction::Dc {
+                    scenario_path,
+                    seed,
+                    mode,
+                } => {
+                    let scenario = load_scenario(scenario_path)?;
+                    client
+                        .dc(scenario, *seed, *mode)
+                        .map_err(|e| CliError::Server(e.to_string()))?
+                }
             };
             if reply.get("ok").and_then(|v| v.as_bool()) == Some(false) {
                 let msg = reply
@@ -572,6 +778,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             Ok(sharing_json::to_string_pretty(&reply))
         }
         Command::Sweep(args) => {
+            // With --daemon, all 72 points come from a running ssimd (and
+            // its shared result cache); otherwise they are simulated
+            // in-process. The table itself is identical either way.
+            let remote = match &args.daemon {
+                Some(addr) => Some(sweep_via_daemon(addr, args)?),
+                None => None,
+            };
             let mut out = format!(
                 "{}: IPC over the paper's configuration grid (len {}, seed {})\n\n",
                 args.benchmark, args.len, args.seed
@@ -585,14 +798,28 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             for s in 1..=8 {
                 out.push_str(&format!("{s:>12}"));
                 for b in banks {
-                    let cfg = SimConfig::with_shape(s, b)
-                        .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
-                    let r = run_one(args.benchmark, cfg, args.len, args.seed);
-                    out.push_str(&format!("{:>7.3}", r.ipc()));
+                    let ipc = match &remote {
+                        Some(points) => *points.0.get(&(s, b)).ok_or_else(|| {
+                            CliError::Server(format!("daemon sweep missing shape {s}s/{b}b"))
+                        })?,
+                        None => {
+                            let cfg = SimConfig::with_shape(s, b)
+                                .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
+                            run_one(args.benchmark, cfg, args.len, args.seed).ipc()
+                        }
+                    };
+                    out.push_str(&format!("{ipc:>7.3}"));
                 }
                 out.push('\n');
             }
             out.push_str("\n(columns are L2 KB: 0, 64, 128, 256, 512, 1024, 2048, 4096, 8192)\n");
+            if let (Some(addr), Some(points)) = (&args.daemon, &remote) {
+                let _ = writeln!(
+                    out,
+                    "served by ssimd at {addr}: {} of 72 points from its cache",
+                    points.1
+                );
+            }
             Ok(out)
         }
     }
@@ -749,6 +976,8 @@ mod server_tests {
             "8",
             "--cache",
             "16",
+            "--cache-file",
+            "/tmp/ssimd.cache",
         ]))
         .unwrap();
         assert_eq!(
@@ -758,6 +987,7 @@ mod server_tests {
                 workers: Some(2),
                 queue: 8,
                 cache: 16,
+                cache_file: Some("/tmp/ssimd.cache".to_string()),
             })
         );
 
@@ -800,12 +1030,97 @@ mod server_tests {
     }
 
     #[test]
+    fn parses_sweep_daemon_and_submit_dc() {
+        let cmd = parse(&s(&["sweep", "--benchmark", "mcf", "--daemon", "h:1"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep(SweepArgs {
+                benchmark: Benchmark::Mcf,
+                len: 30_000,
+                seed: 0xA5_2014,
+                daemon: Some("h:1".to_string()),
+            })
+        );
+
+        let cmd = parse(&s(&[
+            "submit", "--dc", "sc.json", "--seed", "9", "--mode", "sharing",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Submit(a) => assert_eq!(
+                a.action,
+                SubmitAction::Dc {
+                    scenario_path: "sc.json".to_string(),
+                    seed: 9,
+                    mode: Some(BillingMode::Sharing),
+                }
+            ),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        assert!(matches!(
+            parse(&s(&["submit", "--dc", "sc.json", "--ping"])),
+            Err(CliError::ConflictingFlags(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["submit", "--dc", "sc.json", "--mode", "weird"])),
+            Err(CliError::BadValue(..))
+        ));
+    }
+
+    #[test]
+    fn sweep_via_daemon_matches_local_sweep() {
+        let handle = sharing_server::Server::start(sharing_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 256,
+            ..sharing_server::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+
+        let local = execute(&Command::Sweep(SweepArgs {
+            benchmark: Benchmark::Hmmer,
+            len: 300,
+            seed: 5,
+            daemon: None,
+        }))
+        .unwrap();
+        let remote = execute(&Command::Sweep(SweepArgs {
+            benchmark: Benchmark::Hmmer,
+            len: 300,
+            seed: 5,
+            daemon: Some(addr.clone()),
+        }))
+        .unwrap();
+        // Same table; the daemon run appends a provenance line.
+        assert!(
+            remote.starts_with(&local),
+            "daemon sweep table must match local:\n{remote}"
+        );
+        assert!(remote.contains(&format!("served by ssimd at {addr}")));
+
+        // A second remote sweep is fully cache-fed.
+        let again = execute(&Command::Sweep(SweepArgs {
+            benchmark: Benchmark::Hmmer,
+            len: 300,
+            seed: 5,
+            daemon: Some(addr),
+        }))
+        .unwrap();
+        assert!(again.contains("72 of 72 points from its cache"), "{again}");
+
+        handle.stop();
+    }
+
+    #[test]
     fn submit_round_trips_against_live_daemon() {
         let handle = sharing_server::Server::start(sharing_server::ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue_capacity: 4,
             cache_capacity: 16,
+            ..sharing_server::ServerConfig::default()
         })
         .unwrap();
         let addr = handle.local_addr().to_string();
@@ -861,6 +1176,166 @@ mod server_tests {
             })),
             Err(CliError::Server(_))
         ));
+    }
+}
+
+#[cfg(test)]
+mod dc_tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    fn write_small_scenario(name: &str) -> std::path::PathBuf {
+        let mut sc = Scenario::example_bursty();
+        sc.name = name.to_string();
+        sc.chips = 2;
+        sc.epochs = 8;
+        sc.epoch_cycles = 10_000;
+        let path = std::env::temp_dir().join(format!("ssim-test-{name}.json"));
+        std::fs::write(&path, sharing_json::to_string_pretty(&sc)).unwrap();
+        path
+    }
+
+    #[test]
+    fn parses_dc_flags_and_requirements() {
+        let cmd = parse(&s(&[
+            "dc",
+            "--scenario",
+            "sc.json",
+            "--seed",
+            "7",
+            "--mode",
+            "fixed",
+            "--out",
+            "/tmp/dc",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Dc(DcArgs {
+                scenario_path: Some("sc.json".to_string()),
+                seed: 7,
+                mode: Some(BillingMode::Fixed),
+                out_dir: Some("/tmp/dc".to_string()),
+                emit_example: false,
+            })
+        );
+        assert!(matches!(parse(&s(&["dc"])), Err(CliError::MissingValue(_))));
+        assert!(matches!(
+            parse(&s(&["dc", "--scenario", "a", "--emit-example"])),
+            Err(CliError::ConflictingFlags(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["dc", "--scenario", "a", "--mode", "spot"])),
+            Err(CliError::BadValue(..))
+        ));
+    }
+
+    #[test]
+    fn emit_example_is_a_valid_scenario() {
+        let out = execute(&parse(&s(&["dc", "--emit-example"])).unwrap()).unwrap();
+        let sc = Scenario::parse(&out).unwrap();
+        assert_eq!(sc, Scenario::example_bursty());
+        sc.validate().unwrap();
+    }
+
+    #[test]
+    fn dc_run_is_byte_identical_for_the_same_seed() {
+        let scenario = write_small_scenario("cli-determinism");
+        let dir_a = std::env::temp_dir().join("ssim-test-dc-out-a");
+        let dir_b = std::env::temp_dir().join("ssim-test-dc-out-b");
+        let run = |dir: &std::path::Path| {
+            execute(&Command::Dc(DcArgs {
+                scenario_path: Some(scenario.to_string_lossy().into_owned()),
+                seed: 7,
+                mode: None,
+                out_dir: Some(dir.to_string_lossy().into_owned()),
+                emit_example: false,
+            }))
+            .unwrap()
+        };
+        let out_a = run(&dir_a);
+        let out_b = run(&dir_b);
+        // stdout differs only in the artifact paths; compare up to them.
+        let head = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("wrote "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(head(&out_a), head(&out_b));
+        for stem in ["cli-determinism-sharing", "cli-determinism-fixed"] {
+            for ext in ["csv", "log"] {
+                let a = std::fs::read(dir_a.join(format!("{stem}.{ext}"))).unwrap();
+                let b = std::fs::read(dir_b.join(format!("{stem}.{ext}"))).unwrap();
+                assert_eq!(a, b, "{stem}.{ext} must be byte-identical across runs");
+                assert!(!a.is_empty());
+            }
+        }
+        assert!(out_a.contains("utility gain"), "{out_a}");
+        assert!(out_a.contains("event-log hash"), "{out_a}");
+
+        let _ = std::fs::remove_file(&scenario);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn dc_single_mode_and_submit_dc_against_live_daemon() {
+        let scenario = write_small_scenario("cli-submit");
+        let out = execute(&Command::Dc(DcArgs {
+            scenario_path: Some(scenario.to_string_lossy().into_owned()),
+            seed: 3,
+            mode: Some(BillingMode::Sharing),
+            out_dir: None,
+            emit_example: false,
+        }))
+        .unwrap();
+        assert!(out.contains("[sharing]"), "{out}");
+        assert!(!out.contains("[fixed]"), "{out}");
+
+        let handle = sharing_server::Server::start(sharing_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            ..sharing_server::ServerConfig::default()
+        })
+        .unwrap();
+        let reply = execute(&Command::Submit(SubmitArgs {
+            addr: handle.local_addr().to_string(),
+            action: SubmitAction::Dc {
+                scenario_path: scenario.to_string_lossy().into_owned(),
+                seed: 3,
+                mode: None,
+            },
+        }))
+        .unwrap();
+        let v = sharing_json::Json::parse(&reply).unwrap();
+        assert_eq!(v.get("ok").and_then(|x| x.as_bool()), Some(true));
+        assert_eq!(
+            v.get("result")
+                .and_then(|r| r.get("scenario"))
+                .and_then(|x| x.as_str()),
+            Some("cli-submit")
+        );
+        handle.stop();
+
+        let _ = std::fs::remove_file(&scenario);
+    }
+
+    #[test]
+    fn missing_scenario_file_reports_cleanly() {
+        let cmd = Command::Dc(DcArgs {
+            scenario_path: Some("/nonexistent/scenario.json".to_string()),
+            seed: 1,
+            mode: None,
+            out_dir: None,
+            emit_example: false,
+        });
+        assert!(matches!(execute(&cmd), Err(CliError::BadScenario(_))));
     }
 }
 

@@ -1,0 +1,196 @@
+//! The deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, class, seq)`: earlier cycles first, then
+//! a fixed class order at equal times (departures before the epoch
+//! clearing that would otherwise re-bill them, arrivals after it, the end
+//! marker last), then insertion order. Every tie is broken
+//! deterministically, which is what makes a whole run replayable from a
+//! single seed.
+
+use sharing_market::UtilityFn;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A tenant drawn by the arrival process, before it joins the resident
+/// population.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantSpawn {
+    /// Stable tenant id (assigned in arrival order).
+    pub id: u64,
+    /// Index into the scenario's surface catalog.
+    pub bench: usize,
+    /// The tenant's utility function.
+    pub utility: UtilityFn,
+    /// Per-epoch budget.
+    pub budget: f64,
+    /// Residence in epochs once arrived.
+    pub residence: usize,
+}
+
+/// What happens at an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A tenant leaves, releasing its VCores.
+    Depart {
+        /// The departing tenant's id.
+        tenant: u64,
+    },
+    /// The market clears for one epoch: auction, placement, metering.
+    EpochClear {
+        /// Epoch index.
+        epoch: usize,
+    },
+    /// A tenant arrives and waits for the next clearing.
+    Arrive(TenantSpawn),
+    /// End of the simulated horizon.
+    End,
+}
+
+impl EventKind {
+    /// Class rank used to order simultaneous events.
+    fn class(&self) -> u8 {
+        match self {
+            EventKind::Depart { .. } => 0,
+            EventKind::EpochClear { .. } => 1,
+            EventKind::Arrive(_) => 2,
+            EventKind::End => 3,
+        }
+    }
+}
+
+/// One scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Absolute cycle the event fires at.
+    pub time: u64,
+    seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.time, self.kind.class(), self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    // Reversed so the std max-heap pops the *earliest* event.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A seeded min-queue of events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules an event at an absolute cycle.
+    pub fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the next event in deterministic order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Events still pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is drained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::End);
+        q.push(10, EventKind::Depart { tenant: 1 });
+        q.push(20, EventKind::EpochClear { epoch: 2 });
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn class_breaks_ties_departure_before_clear_before_arrival() {
+        let mut q = EventQueue::new();
+        let spawn = TenantSpawn {
+            id: 7,
+            bench: 0,
+            utility: UtilityFn::Balanced,
+            budget: 10.0,
+            residence: 2,
+        };
+        q.push(100, EventKind::Arrive(spawn));
+        q.push(100, EventKind::EpochClear { epoch: 1 });
+        q.push(100, EventKind::Depart { tenant: 3 });
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Depart { .. }));
+        assert!(matches!(
+            q.pop().unwrap().kind,
+            EventKind::EpochClear { .. }
+        ));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Arrive(_)));
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(5, EventKind::Depart { tenant: 1 });
+        q.push(5, EventKind::Depart { tenant: 2 });
+        q.push(5, EventKind::Depart { tenant: 3 });
+        let ids: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Depart { tenant } => tenant,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::End);
+        assert_eq!(q.len(), 1);
+        let _ = q.pop();
+        assert!(q.is_empty());
+    }
+}

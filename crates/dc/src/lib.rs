@@ -1,0 +1,44 @@
+//! # sharing-dc — a discrete-event datacenter for the sub-core market
+//!
+//! The paper's economic results (§2, §5.6, Tables 4/6) are one-shot
+//! optimizations: given a budget and a price sheet, what shape does each
+//! customer buy? This crate turns that static story into the dynamic
+//! cloud the paper assumes — a deterministic discrete-event simulator in
+//! the CloudSim tradition where tenants *arrive*, *bid*, *run*, and
+//! *leave*:
+//!
+//! * a seeded [`events::EventQueue`] drives tenant lifecycles drawn from
+//!   a JSON [`Scenario`] (arrival bursts, budgets, utility functions,
+//!   workload mix);
+//! * every epoch the market clears through
+//!   `sharing-market`'s tâtonnement auction, producing a **spot-price
+//!   time series**;
+//! * allocations are placed on a multi-chip `sharing-hv` [`Cloud`] with
+//!   the paper's 500 / 10 000-cycle reconfiguration costs charged
+//!   whenever the market moves a tenant between shapes;
+//! * per-config performance comes from cached `sharing-core` sweeps (or
+//!   synthetic surfaces), so the event loop never blocks on cycle-level
+//!   simulation;
+//! * revenue is metered through `sharing-hv`'s [`Ledger`] and compared
+//!   against a fixed-instance provider billing the *same* tenant trace.
+//!
+//! Determinism is a contract: the same `(scenario, mode, seed)` yields
+//! byte-identical event logs and CSV, hashed so remote runs (via ssimd)
+//! can be checked cheaply.
+//!
+//! [`Cloud`]: sharing_hv::cloud::Cloud
+//! [`Ledger`]: sharing_hv::billing::Ledger
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod scenario;
+pub mod sim;
+
+pub use scenario::{
+    ArrivalSpec, AuctionSpec, Scenario, ShapeSpec, SurfaceSpec, TariffSpec, TenantSpec,
+};
+pub use sim::{
+    fnv64, BillingMode, Comparison, DcOutcome, DcSim, EpochRecord, SurfaceCatalog, Totals,
+};

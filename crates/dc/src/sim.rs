@@ -1,0 +1,1075 @@
+//! The discrete-event datacenter engine.
+//!
+//! A [`DcSim`] replays a seeded tenant trace against a [`Cloud`] of
+//! Sharing Architecture chips. Every `epoch_cycles` cycles the market
+//! clears: under [`BillingMode::Sharing`] the resident tenants bid in a
+//! tâtonnement auction (`sharing-market`), take the shapes and VCore
+//! counts their budgets buy at the clearing prices, and pay the paper's
+//! reconfiguration costs when the market moves them; under
+//! [`BillingMode::Fixed`] every tenant rents as many copies of one fixed
+//! instance shape as its budget covers at a flat tariff. Both modes share
+//! the *same* arrival trace for a given seed, so their revenue, utility,
+//! and fragmentation series are directly comparable.
+//!
+//! Per-config performance comes from a [`SurfaceCatalog`] built once up
+//! front — calibrated `sharing-core` sweeps or synthetic surfaces — so
+//! the event loop never blocks on cycle-level simulation.
+
+use crate::events::{EventKind, EventQueue, TenantSpawn};
+use crate::scenario::Scenario;
+use sharing_core::{ReconfigCosts, VCoreShape};
+use sharing_hv::billing::{Ledger, Tariff};
+use sharing_hv::cloud::{Cloud, CloudLease};
+use sharing_json::json_struct;
+use sharing_market::auction::{Auction, Bidder};
+use sharing_market::utility::ALL_UTILITIES;
+use sharing_market::{ExperimentSpec, Market, PerfSurface, SuiteSurfaces};
+use sharing_trace::rng::Rng64;
+use sharing_trace::Benchmark;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// FNV-1a over bytes; used for synthetic surface shaping and log hashing.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-workload performance surfaces, resolved before the event loop
+/// starts.
+#[derive(Clone, Debug)]
+pub struct SurfaceCatalog {
+    entries: Vec<PerfSurface>,
+}
+
+impl SurfaceCatalog {
+    /// Builds the catalog a scenario asks for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the scenario names an unknown source or,
+    /// for calibrated surfaces, an unknown benchmark.
+    pub fn build(sc: &Scenario) -> Result<Self, String> {
+        let names = sc.tenants.benchmark_names();
+        let entries = match sc.surfaces.source.as_str() {
+            "synthetic" => names.iter().map(|n| Self::synthetic(n)).collect(),
+            "calibrated" => {
+                let benches: Vec<Benchmark> = names
+                    .iter()
+                    .map(|n| {
+                        Benchmark::from_name(n).ok_or_else(|| format!("unknown benchmark `{n}`"))
+                    })
+                    .collect::<Result<_, String>>()?;
+                let spec = ExperimentSpec {
+                    trace_len: sc.surfaces.trace_len,
+                    seed: sc.surfaces.sweep_seed,
+                    calibration: sharing_trace::CALIBRATION_VERSION,
+                };
+                let suite = SuiteSurfaces::build_subset(spec, &benches);
+                benches.iter().map(|&b| suite.surface(b).clone()).collect()
+            }
+            other => return Err(format!("unknown surface source `{other}`")),
+        };
+        Ok(SurfaceCatalog { entries })
+    }
+
+    /// A smooth synthetic `P(c, s)` whose Slice- and cache-affinity are
+    /// derived from the workload's name, so different names yield
+    /// differently shaped tenants (which is what gives the market
+    /// something to arbitrage).
+    #[must_use]
+    pub fn synthetic(name: &str) -> PerfSurface {
+        let h = fnv64(name.as_bytes());
+        let slice_love = 0.3 + 1.7 * ((h >> 8) & 0xFFFF) as f64 / 65535.0;
+        let cache_love = 0.3 + 2.2 * ((h >> 24) & 0xFFFF) as f64 / 65535.0;
+        PerfSurface::from_fn(name, move |s| {
+            (1.0 + slice_love * (s.slices as f64).ln())
+                * (1.0 + cache_love * (1.0 + s.l2_banks as f64).ln() / 4.0)
+        })
+    }
+
+    /// The surface at a catalog index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[must_use]
+    pub fn surface(&self, index: usize) -> &PerfSurface {
+        &self.entries[index]
+    }
+
+    /// The workload name at a catalog index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    #[must_use]
+    pub fn name(&self, index: usize) -> &str {
+        self.entries[index].name()
+    }
+
+    /// Number of workloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Which billing regime a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BillingMode {
+    /// Epoch auctions over Slices and banks (the paper's market).
+    Sharing,
+    /// One fixed instance shape at a flat tariff.
+    Fixed,
+}
+
+impl BillingMode {
+    /// The mode's lowercase name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BillingMode::Sharing => "sharing",
+            BillingMode::Fixed => "fixed",
+        }
+    }
+
+    /// Parses a mode name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for anything but `sharing` / `fixed`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "sharing" => Ok(BillingMode::Sharing),
+            "fixed" => Ok(BillingMode::Fixed),
+            other => Err(format!(
+                "unknown mode `{other}` (expected sharing or fixed)"
+            )),
+        }
+    }
+}
+
+/// One epoch's metered outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Residents at clearing time.
+    pub tenants: usize,
+    /// Per-Slice price this epoch.
+    pub slice_price: f64,
+    /// Per-bank price this epoch.
+    pub bank_price: f64,
+    /// Revenue metered this epoch.
+    pub revenue: f64,
+    /// Counterfactual fixed-instance revenue for the same leases.
+    pub fixed_instance_revenue: f64,
+    /// Aggregate tenant utility realized this epoch.
+    pub utility: f64,
+    /// VCores placed.
+    pub placed_vcores: usize,
+    /// VCores wanted but denied by placement.
+    pub denied_vcores: usize,
+    /// Tenants whose budget bought less than one VCore.
+    pub priced_out: usize,
+    /// Reconfiguration cycles charged this epoch.
+    pub reconfig_cycles: u64,
+    /// Mean Slice utilization across chips.
+    pub slice_utilization: f64,
+    /// Mean Slice fragmentation across chips.
+    pub fragmentation: f64,
+}
+
+/// Whole-run totals (the server's reply payload for dc jobs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Totals {
+    /// Billing mode name.
+    pub mode: String,
+    /// Epochs simulated.
+    pub epochs: usize,
+    /// Tenant arrivals processed.
+    pub arrivals: u64,
+    /// Tenant departures processed.
+    pub departures: u64,
+    /// Peak resident population.
+    pub peak_tenants: usize,
+    /// Σ per-epoch utility.
+    pub aggregate_utility: f64,
+    /// Σ metered revenue.
+    pub revenue: f64,
+    /// Σ fixed-instance counterfactual revenue.
+    pub fixed_instance_revenue: f64,
+    /// Σ reconfiguration cycles charged.
+    pub reconfig_cycles: u64,
+    /// Σ VCore placement denials.
+    pub denied_vcores: u64,
+    /// Σ priced-out tenant-epochs.
+    pub priced_out: u64,
+    /// Mean fragmentation over epochs.
+    pub mean_fragmentation: f64,
+    /// Highest clearing Slice price seen.
+    pub peak_slice_price: f64,
+    /// FNV-1a of the event log, for remote determinism checks.
+    pub log_hash: String,
+}
+
+json_struct!(Totals {
+    mode,
+    epochs,
+    arrivals,
+    departures,
+    peak_tenants,
+    aggregate_utility,
+    revenue,
+    fixed_instance_revenue,
+    reconfig_cycles,
+    denied_vcores,
+    priced_out,
+    mean_fragmentation,
+    peak_slice_price,
+    log_hash
+});
+
+/// The result of one run: the epoch series plus the replayable event log.
+#[derive(Clone, Debug)]
+pub struct DcOutcome {
+    /// Billing mode of the run.
+    pub mode: BillingMode,
+    /// Scenario name.
+    pub scenario: String,
+    /// Per-epoch records, one per scenario epoch.
+    pub records: Vec<EpochRecord>,
+    /// Human-readable, deterministic event log.
+    pub log: String,
+    /// Arrivals processed.
+    pub arrivals: u64,
+    /// Departures processed.
+    pub departures: u64,
+    /// Peak resident population.
+    pub peak_tenants: usize,
+}
+
+impl DcOutcome {
+    /// Whole-run totals.
+    #[must_use]
+    pub fn totals(&self) -> Totals {
+        let epochs = self.records.len();
+        let mean_frag = if epochs == 0 {
+            0.0
+        } else {
+            self.records.iter().map(|r| r.fragmentation).sum::<f64>() / epochs as f64
+        };
+        Totals {
+            mode: self.mode.name().to_string(),
+            epochs,
+            arrivals: self.arrivals,
+            departures: self.departures,
+            peak_tenants: self.peak_tenants,
+            aggregate_utility: self.records.iter().map(|r| r.utility).sum(),
+            revenue: self.records.iter().map(|r| r.revenue).sum(),
+            fixed_instance_revenue: self.records.iter().map(|r| r.fixed_instance_revenue).sum(),
+            reconfig_cycles: self.records.iter().map(|r| r.reconfig_cycles).sum(),
+            denied_vcores: self.records.iter().map(|r| r.denied_vcores as u64).sum(),
+            priced_out: self.records.iter().map(|r| r.priced_out as u64).sum(),
+            mean_fragmentation: mean_frag,
+            peak_slice_price: self
+                .records
+                .iter()
+                .map(|r| r.slice_price)
+                .fold(0.0, f64::max),
+            log_hash: self.log_hash(),
+        }
+    }
+
+    /// FNV-1a hash of the event log, hex-encoded.
+    #[must_use]
+    pub fn log_hash(&self) -> String {
+        format!("{:016x}", fnv64(self.log.as_bytes()))
+    }
+
+    /// The epoch series as CSV (deterministic formatting).
+    #[must_use]
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "epoch,tenants,slice_price,bank_price,revenue,fixed_instance_revenue,utility,\
+             placed_vcores,denied_vcores,priced_out,reconfig_cycles,slice_utilization,\
+             fragmentation\n",
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{},{},{},{},{:.6},{:.6}",
+                r.epoch,
+                r.tenants,
+                r.slice_price,
+                r.bank_price,
+                r.revenue,
+                r.fixed_instance_revenue,
+                r.utility,
+                r.placed_vcores,
+                r.denied_vcores,
+                r.priced_out,
+                r.reconfig_cycles,
+                r.slice_utilization,
+                r.fragmentation,
+            );
+        }
+        out
+    }
+
+    /// A short human summary of the run.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let t = self.totals();
+        format!(
+            "{} [{}]: {} epochs, {} arrivals ({} peak residents), \
+             utility {:.1}, revenue {:.1}, {} denied VCores, \
+             {} reconfig cycles, mean fragmentation {:.3}",
+            self.scenario,
+            t.mode,
+            t.epochs,
+            t.arrivals,
+            t.peak_tenants,
+            t.aggregate_utility,
+            t.revenue,
+            t.denied_vcores,
+            t.reconfig_cycles,
+            t.mean_fragmentation,
+        )
+    }
+}
+
+/// Sharing-vs-fixed outcomes over the *same* seeded arrival trace.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// The spot-market run.
+    pub sharing: DcOutcome,
+    /// The fixed-instance run.
+    pub fixed: DcOutcome,
+}
+
+impl Comparison {
+    /// Aggregate-utility ratio, sharing over fixed.
+    #[must_use]
+    pub fn utility_gain(&self) -> f64 {
+        let s = self.sharing.totals().aggregate_utility;
+        let f = self.fixed.totals().aggregate_utility;
+        if f > 0.0 {
+            s / f
+        } else if s > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// Revenue ratio, sharing over fixed.
+    #[must_use]
+    pub fn revenue_ratio(&self) -> f64 {
+        let s = self.sharing.totals().revenue;
+        let f = self.fixed.totals().revenue;
+        if f > 0.0 {
+            s / f
+        } else {
+            1.0
+        }
+    }
+
+    /// A side-by-side text summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let s = self.sharing.totals();
+        let f = self.fixed.totals();
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<24} {:>14} {:>14}", "metric", "sharing", "fixed");
+        let mut row = |name: &str, a: f64, b: f64| {
+            let _ = writeln!(out, "{name:<24} {a:>14.2} {b:>14.2}");
+        };
+        row(
+            "aggregate utility",
+            s.aggregate_utility,
+            f.aggregate_utility,
+        );
+        row("revenue", s.revenue, f.revenue);
+        row(
+            "fixed counterfactual",
+            s.fixed_instance_revenue,
+            f.fixed_instance_revenue,
+        );
+        row(
+            "denied vcores",
+            s.denied_vcores as f64,
+            f.denied_vcores as f64,
+        );
+        row(
+            "priced-out epochs",
+            s.priced_out as f64,
+            f.priced_out as f64,
+        );
+        row(
+            "reconfig cycles",
+            s.reconfig_cycles as f64,
+            f.reconfig_cycles as f64,
+        );
+        row(
+            "mean fragmentation",
+            s.mean_fragmentation,
+            f.mean_fragmentation,
+        );
+        row("peak slice price", s.peak_slice_price, f.peak_slice_price);
+        let _ = writeln!(
+            out,
+            "utility gain {:.3}x, revenue ratio {:.3}x",
+            self.utility_gain(),
+            self.revenue_ratio()
+        );
+        out
+    }
+}
+
+/// A resident tenant.
+#[derive(Clone, Debug)]
+struct Tenant {
+    spawn: TenantSpawn,
+    arrived_epoch: usize,
+    shape: Option<VCoreShape>,
+    leases: Vec<CloudLease>,
+}
+
+/// Poisson sample via Knuth's product method (fine for the per-epoch
+/// rates scenarios use).
+fn poisson(rng: &mut Rng64, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.f64();
+        if p <= limit || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Geometric residence with the given mean, capped at `cap` epochs.
+fn geometric(rng: &mut Rng64, mean: f64, cap: usize) -> usize {
+    let p = 1.0 / mean.max(1.0);
+    let mut r = 1usize;
+    while r < cap && !rng.bool(p) {
+        r += 1;
+    }
+    r
+}
+
+/// The datacenter simulator: a validated scenario plus its resolved
+/// surface catalog.
+///
+/// # Example
+///
+/// ```
+/// use sharing_dc::{BillingMode, DcSim, Scenario};
+///
+/// let mut sc = Scenario::example_bursty();
+/// sc.epochs = 8; // keep the doctest fast
+/// let sim = DcSim::new(sc)?;
+/// let outcome = sim.run(BillingMode::Sharing, 42);
+/// assert_eq!(outcome.records.len(), 8);
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct DcSim {
+    scenario: Scenario,
+    catalog: SurfaceCatalog,
+}
+
+impl DcSim {
+    /// Validates the scenario and resolves its performance surfaces
+    /// (calibrated sweeps run here, once, not inside the event loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation or catalog problem.
+    pub fn new(scenario: Scenario) -> Result<Self, String> {
+        scenario.validate()?;
+        let catalog = SurfaceCatalog::build(&scenario)?;
+        let fixed = scenario.fixed_instance.to_shape()?;
+        for i in 0..catalog.len() {
+            if catalog.surface(i).get(fixed).is_none() {
+                return Err(format!(
+                    "surface `{}` does not cover the fixed instance {fixed}",
+                    catalog.name(i)
+                ));
+            }
+        }
+        Ok(DcSim { scenario, catalog })
+    }
+
+    /// The validated scenario.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The resolved surface catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &SurfaceCatalog {
+        &self.catalog
+    }
+
+    /// Pre-generates the seeded event trace. All randomness is consumed
+    /// here, before the clock starts, so [`BillingMode::Sharing`] and
+    /// [`BillingMode::Fixed`] replay the *same* tenant population.
+    fn build_events(&self, seed: u64) -> EventQueue {
+        let sc = &self.scenario;
+        let e = sc.epoch_cycles;
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut queue = EventQueue::new();
+        for epoch in 0..sc.epochs {
+            queue.push(epoch as u64 * e, EventKind::EpochClear { epoch });
+        }
+        let a = &sc.arrivals;
+        let burst_end = a.burst_start.saturating_add(a.burst_len);
+        let mut next_id = 1u64;
+        for epoch in 0..sc.epochs {
+            let in_burst = epoch >= a.burst_start && epoch < burst_end;
+            let rate = if in_burst { a.burst_rate } else { a.base_rate };
+            for _ in 0..poisson(&mut rng, rate) {
+                // Strictly inside the epoch: after this epoch's clearing,
+                // before the next one.
+                let offset = 1 + rng.below(e - 1);
+                let spawn = TenantSpawn {
+                    id: next_id,
+                    bench: rng.below(self.catalog.len() as u64) as usize,
+                    utility: ALL_UTILITIES[rng.below(ALL_UTILITIES.len() as u64) as usize],
+                    budget: sc.tenants.budget_min
+                        + rng.f64() * (sc.tenants.budget_max - sc.tenants.budget_min),
+                    residence: geometric(&mut rng, a.mean_residence, sc.epochs),
+                };
+                next_id += 1;
+                queue.push(epoch as u64 * e + offset, EventKind::Arrive(spawn));
+            }
+        }
+        queue.push(sc.epochs as u64 * e, EventKind::End);
+        queue
+    }
+
+    /// Runs the scenario under one billing mode.
+    ///
+    /// Bit-for-bit deterministic: the same `(scenario, mode, seed)` always
+    /// produces byte-identical [`DcOutcome::log`] and [`DcOutcome::csv`].
+    #[must_use]
+    pub fn run(&self, mode: BillingMode, seed: u64) -> DcOutcome {
+        let sc = &self.scenario;
+        let policy = sc.placement_policy().expect("scenario validated");
+        let mut engine = Engine {
+            sim: self,
+            mode,
+            cloud: Cloud::new(sc.chips, sc.rows as u16, sc.cols as u16, policy),
+            ledgers: (0..sc.chips).map(|_| Ledger::new()).collect(),
+            residents: BTreeMap::new(),
+            fixed_shape: sc.fixed_instance.to_shape().expect("scenario validated"),
+            fixed_tariff: sc.fixed_tariff.to_tariff(),
+            costs: ReconfigCosts::paper(),
+            last_prices: (Market::MARKET2.slice_price, Market::MARKET2.bank_price),
+            log: String::new(),
+            records: Vec::with_capacity(sc.epochs),
+            arrivals: 0,
+            departures: 0,
+            peak_tenants: 0,
+        };
+        let _ = writeln!(
+            engine.log,
+            "# scenario={} mode={} seed={} chips={} slices/chip={} banks/chip={}",
+            sc.name,
+            mode.name(),
+            seed,
+            sc.chips,
+            sc.slices_per_chip(),
+            sc.banks_per_chip(),
+        );
+        let mut queue = self.build_events(seed);
+        while let Some(ev) = queue.pop() {
+            match ev.kind {
+                EventKind::Arrive(spawn) => engine.on_arrive(ev.time, spawn, &mut queue),
+                EventKind::Depart { tenant } => engine.on_depart(ev.time, tenant),
+                EventKind::EpochClear { epoch } => engine.on_clear(ev.time, epoch),
+                EventKind::End => {
+                    let _ = writeln!(
+                        engine.log,
+                        "[t={:>12}] end: arrivals={} departures={} peak_tenants={}",
+                        ev.time, engine.arrivals, engine.departures, engine.peak_tenants
+                    );
+                    break;
+                }
+            }
+        }
+        DcOutcome {
+            mode,
+            scenario: sc.name.clone(),
+            records: engine.records,
+            log: engine.log,
+            arrivals: engine.arrivals,
+            departures: engine.departures,
+            peak_tenants: engine.peak_tenants,
+        }
+    }
+
+    /// Runs both billing modes over the same seeded trace.
+    #[must_use]
+    pub fn run_comparison(&self, seed: u64) -> Comparison {
+        Comparison {
+            sharing: self.run(BillingMode::Sharing, seed),
+            fixed: self.run(BillingMode::Fixed, seed),
+        }
+    }
+}
+
+/// Mutable state of one run.
+struct Engine<'a> {
+    sim: &'a DcSim,
+    mode: BillingMode,
+    cloud: Cloud,
+    ledgers: Vec<Ledger>,
+    residents: BTreeMap<u64, Tenant>,
+    fixed_shape: VCoreShape,
+    fixed_tariff: Tariff,
+    costs: ReconfigCosts,
+    last_prices: (f64, f64),
+    log: String,
+    records: Vec<EpochRecord>,
+    arrivals: u64,
+    departures: u64,
+    peak_tenants: usize,
+}
+
+/// One tenant's cleared plan for an epoch.
+struct Plan {
+    tenant: u64,
+    shape: VCoreShape,
+    want: usize,
+}
+
+impl Engine<'_> {
+    fn on_arrive(&mut self, time: u64, spawn: TenantSpawn, queue: &mut EventQueue) {
+        let sc = &self.sim.scenario;
+        let epoch = (time / sc.epoch_cycles) as usize;
+        let departs = epoch + spawn.residence;
+        if departs < sc.epochs {
+            queue.push(
+                departs as u64 * sc.epoch_cycles,
+                EventKind::Depart { tenant: spawn.id },
+            );
+        }
+        let _ = writeln!(
+            self.log,
+            "[t={:>12}] arrive tenant={} bench={} utility={} budget={:.2} residence={}",
+            time,
+            spawn.id,
+            self.sim.catalog.name(spawn.bench),
+            spawn.utility.name(),
+            spawn.budget,
+            spawn.residence
+        );
+        self.arrivals += 1;
+        self.residents.insert(
+            spawn.id,
+            Tenant {
+                spawn,
+                arrived_epoch: epoch,
+                shape: None,
+                leases: Vec::new(),
+            },
+        );
+        self.peak_tenants = self.peak_tenants.max(self.residents.len());
+    }
+
+    fn on_depart(&mut self, time: u64, tenant: u64) {
+        let Some(t) = self.residents.remove(&tenant) else {
+            return;
+        };
+        for lease in t.leases {
+            let _ = self.cloud.release(lease);
+        }
+        self.departures += 1;
+        let epoch = (time / self.sim.scenario.epoch_cycles) as usize;
+        let _ = writeln!(
+            self.log,
+            "[t={:>12}] depart tenant={} held_epochs={}",
+            time,
+            tenant,
+            epoch.saturating_sub(t.arrived_epoch)
+        );
+    }
+
+    /// Clears the market for one epoch: price, place, charge, meter.
+    fn on_clear(&mut self, time: u64, epoch: usize) {
+        let mut rec = EpochRecord {
+            epoch,
+            tenants: self.residents.len(),
+            slice_price: 0.0,
+            bank_price: 0.0,
+            revenue: 0.0,
+            fixed_instance_revenue: 0.0,
+            utility: 0.0,
+            placed_vcores: 0,
+            denied_vcores: 0,
+            priced_out: 0,
+            reconfig_cycles: 0,
+            slice_utilization: 0.0,
+            fragmentation: 0.0,
+        };
+        let (tariff, plans) = self.clear_prices(&mut rec);
+        for plan in plans {
+            self.apply_plan(time, &plan, &mut rec);
+        }
+        for (i, ledger) in self.ledgers.iter_mut().enumerate() {
+            ledger.meter(self.cloud.hypervisor(i), tariff, self.fixed_shape);
+            let p = ledger.periods().last().expect("just metered");
+            rec.revenue += p.revenue;
+            rec.fixed_instance_revenue += p.fixed_instance_revenue;
+        }
+        let stats = self.cloud.stats();
+        let chips = stats.slice_utilization.len().max(1) as f64;
+        rec.slice_utilization = stats.slice_utilization.iter().sum::<f64>() / chips;
+        rec.fragmentation = stats.fragmentation.iter().sum::<f64>() / chips;
+        let _ = writeln!(
+            self.log,
+            "[t={:>12}] epoch {:>3} clear: tenants={} slice_price={:.4} bank_price={:.4} \
+             placed={} denied={} priced_out={} reconfig={} revenue={:.4} utility={:.4} \
+             slice_util={:.4} frag={:.4}",
+            time,
+            epoch,
+            rec.tenants,
+            rec.slice_price,
+            rec.bank_price,
+            rec.placed_vcores,
+            rec.denied_vcores,
+            rec.priced_out,
+            rec.reconfig_cycles,
+            rec.revenue,
+            rec.utility,
+            rec.slice_utilization,
+            rec.fragmentation
+        );
+        self.records.push(rec);
+    }
+
+    /// Prices the epoch and returns each resident's (shape, vcores) plan.
+    fn clear_prices(&mut self, rec: &mut EpochRecord) -> (Tariff, Vec<Plan>) {
+        let sc = &self.sim.scenario;
+        let max_v = sc.tenants.max_vcores;
+        match self.mode {
+            BillingMode::Fixed => {
+                let rate = self.fixed_tariff.rate(self.fixed_shape);
+                rec.slice_price = self.fixed_tariff.slice_price;
+                rec.bank_price = self.fixed_tariff.bank_price;
+                let plans = self
+                    .residents
+                    .values()
+                    .map(|t| Plan {
+                        tenant: t.spawn.id,
+                        shape: self.fixed_shape,
+                        want: ((t.spawn.budget / rate).floor() as usize).min(max_v),
+                    })
+                    .collect();
+                (self.fixed_tariff, plans)
+            }
+            BillingMode::Sharing => {
+                if self.residents.is_empty() {
+                    rec.slice_price = self.last_prices.0;
+                    rec.bank_price = self.last_prices.1;
+                    return (
+                        Tariff {
+                            slice_price: self.last_prices.0,
+                            bank_price: self.last_prices.1,
+                        },
+                        Vec::new(),
+                    );
+                }
+                let supply_slices = (sc.chips * sc.slices_per_chip()) as f64;
+                let supply_banks = (sc.chips * sc.banks_per_chip()).max(1) as f64;
+                let mut auction = Auction::new(supply_slices, supply_banks);
+                for t in self.residents.values() {
+                    auction.add_bidder(Bidder {
+                        name: format!("t{}", t.spawn.id),
+                        surface: self.sim.catalog.surface(t.spawn.bench).clone(),
+                        utility: t.spawn.utility,
+                        budget: t.spawn.budget,
+                    });
+                }
+                let clearing = auction.clear(sc.auction.max_iterations, sc.auction.tolerance);
+                self.last_prices = (clearing.slice_price, clearing.bank_price);
+                rec.slice_price = clearing.slice_price;
+                rec.bank_price = clearing.bank_price;
+                // Allocations come back in bidder insertion order, which is
+                // resident id order (BTreeMap iteration).
+                let plans = self
+                    .residents
+                    .values()
+                    .zip(&clearing.allocations)
+                    .map(|(t, alloc)| Plan {
+                        tenant: t.spawn.id,
+                        shape: alloc.shape,
+                        want: (alloc.vcores.floor() as usize).min(max_v),
+                    })
+                    .collect();
+                (
+                    Tariff {
+                        slice_price: clearing.slice_price,
+                        bank_price: clearing.bank_price,
+                    },
+                    plans,
+                )
+            }
+        }
+    }
+
+    /// Applies one tenant's plan: reconfigure, place, and score utility.
+    fn apply_plan(&mut self, time: u64, plan: &Plan, rec: &mut EpochRecord) {
+        let sc = &self.sim.scenario;
+        let t = self
+            .residents
+            .get_mut(&plan.tenant)
+            .expect("plans come from residents");
+        if plan.want == 0 {
+            for lease in t.leases.drain(..) {
+                let _ = self.cloud.release(lease);
+            }
+            t.shape = None;
+            rec.priced_out += 1;
+            let _ = writeln!(
+                self.log,
+                "[t={:>12}] priced-out tenant={} budget={:.2}",
+                time, plan.tenant, t.spawn.budget
+            );
+            return;
+        }
+        let mut reconfig = 0u64;
+        if t.shape == Some(plan.shape) {
+            // Same shape: trim or top up without disturbing placed VCores.
+            while t.leases.len() > plan.want {
+                let lease = t.leases.pop().expect("len checked");
+                let _ = self.cloud.release(lease);
+            }
+            while t.leases.len() < plan.want {
+                match self.cloud.lease(plan.shape) {
+                    Ok(lease) => t.leases.push(lease),
+                    Err(_) => break,
+                }
+            }
+        } else {
+            if let Some(old) = t.shape {
+                if !t.leases.is_empty() {
+                    reconfig = self.costs.cost(old, plan.shape);
+                    let _ = writeln!(
+                        self.log,
+                        "[t={:>12}] reconfig tenant={} {} -> {} cost={}",
+                        time, plan.tenant, old, plan.shape, reconfig
+                    );
+                }
+            }
+            for lease in t.leases.drain(..) {
+                let _ = self.cloud.release(lease);
+            }
+            t.shape = Some(plan.shape);
+            while t.leases.len() < plan.want {
+                match self.cloud.lease(plan.shape) {
+                    Ok(lease) => t.leases.push(lease),
+                    Err(_) => break,
+                }
+            }
+        }
+        let placed = t.leases.len();
+        if placed < plan.want {
+            rec.denied_vcores += plan.want - placed;
+            let _ = writeln!(
+                self.log,
+                "[t={:>12}] deny tenant={} shape={} placed={} of {}",
+                time, plan.tenant, plan.shape, placed, plan.want
+            );
+        }
+        rec.placed_vcores += placed;
+        rec.reconfig_cycles += reconfig;
+        // Reconfiguration eats into the epoch the tenant can actually run.
+        let active = 1.0 - (reconfig as f64 / sc.epoch_cycles as f64).min(1.0);
+        let perf = self.sim.catalog.surface(t.spawn.bench).perf(plan.shape);
+        rec.utility += t.spawn.utility.evaluate(perf, placed as f64) * active;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> Scenario {
+        let mut sc = Scenario::example_bursty();
+        sc.name = "test-small".to_string();
+        sc.chips = 2;
+        sc.rows = 4;
+        sc.cols = 8; // 16 slices + 16 banks per chip
+        sc.epochs = 12;
+        sc.epoch_cycles = 10_000;
+        sc.arrivals.base_rate = 1.0;
+        sc.arrivals.burst_rate = 4.0;
+        sc.arrivals.burst_start = 4;
+        sc.arrivals.burst_len = 4;
+        sc.arrivals.mean_residence = 4.0;
+        sc.tenants.budget_min = 30.0;
+        sc.tenants.budget_max = 90.0;
+        sc.tenants.max_vcores = 2;
+        sc
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        for mode in [BillingMode::Sharing, BillingMode::Fixed] {
+            let a = sim.run(mode, 2014);
+            let b = sim.run(mode, 2014);
+            assert_eq!(a.log, b.log, "{} log must replay", mode.name());
+            assert_eq!(a.csv(), b.csv(), "{} csv must replay", mode.name());
+            assert_eq!(a.log_hash(), b.log_hash());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let a = sim.run(BillingMode::Sharing, 1);
+        let b = sim.run(BillingMode::Sharing, 2);
+        assert_ne!(a.log, b.log);
+    }
+
+    #[test]
+    fn both_modes_replay_the_same_tenant_trace() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let c = sim.run_comparison(7);
+        assert_eq!(c.sharing.arrivals, c.fixed.arrivals);
+        assert_eq!(c.sharing.departures, c.fixed.departures);
+        assert_eq!(c.sharing.peak_tenants, c.fixed.peak_tenants);
+        // Same arrival/departure lines; only clearing lines differ.
+        let tenant_lines = |log: &str| -> Vec<String> {
+            log.lines()
+                .filter(|l| l.contains("arrive") || l.contains("depart"))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(tenant_lines(&c.sharing.log), tenant_lines(&c.fixed.log));
+    }
+
+    #[test]
+    fn records_cover_every_epoch() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let out = sim.run(BillingMode::Sharing, 3);
+        assert_eq!(out.records.len(), 12);
+        for (i, r) in out.records.iter().enumerate() {
+            assert_eq!(r.epoch, i);
+        }
+        assert!(out.arrivals > 0, "the trace should produce tenants");
+        assert!(out.peak_tenants > 0);
+        assert!(out.departures <= out.arrivals);
+    }
+
+    #[test]
+    fn fixed_mode_revenue_equals_its_own_counterfactual() {
+        // Every fixed-mode lease is exactly the fixed instance, so the
+        // fixed-instance counterfactual must equal the metered revenue.
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let out = sim.run(BillingMode::Fixed, 11);
+        let t = out.totals();
+        assert!(t.revenue > 0.0);
+        assert!(
+            (t.revenue - t.fixed_instance_revenue).abs() < 1e-6,
+            "{} vs {}",
+            t.revenue,
+            t.fixed_instance_revenue
+        );
+    }
+
+    #[test]
+    fn sharing_market_beats_fixed_instances_on_bursty_utility() {
+        // The acceptance scenario: heterogeneous tenants on a bursty
+        // trace. The market lets cache-lovers buy banks and slice-lovers
+        // buy Slices; the fixed provider sells everyone the same box.
+        let sim = DcSim::new(Scenario::example_bursty()).unwrap();
+        let c = sim.run_comparison(2014);
+        let gain = c.utility_gain();
+        assert!(
+            gain > 1.0,
+            "sharing must beat fixed on aggregate utility, got {gain:.3}x\n{}",
+            c.summary()
+        );
+    }
+
+    #[test]
+    fn market_reconfigures_tenants_as_prices_move() {
+        let sim = DcSim::new(Scenario::example_bursty()).unwrap();
+        let out = sim.run(BillingMode::Sharing, 2014);
+        let t = out.totals();
+        assert!(
+            t.reconfig_cycles > 0,
+            "a bursty market should move at least one tenant between shapes"
+        );
+        assert!(out.log.contains("reconfig tenant="));
+        // Fixed mode never reconfigures.
+        let f = sim.run(BillingMode::Fixed, 2014).totals();
+        assert_eq!(f.reconfig_cycles, 0);
+    }
+
+    #[test]
+    fn csv_has_a_row_per_epoch_and_parses_numerically() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let out = sim.run(BillingMode::Sharing, 5);
+        let csv = out.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 13, "header + 12 epochs");
+        assert!(lines[0].starts_with("epoch,tenants,slice_price"));
+        for line in &lines[1..] {
+            for field in line.split(',') {
+                field.parse::<f64>().expect("numeric field");
+            }
+        }
+    }
+
+    #[test]
+    fn totals_round_trip_through_json() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let t = sim.run(BillingMode::Sharing, 9).totals();
+        let text = sharing_json::to_string(&t);
+        let back: Totals = sharing_json::from_str(&text).unwrap();
+        assert_eq!(t.mode, back.mode);
+        assert_eq!(t.log_hash, back.log_hash);
+        assert_eq!(t.arrivals, back.arrivals);
+        assert!((t.aggregate_utility - back.aggregate_utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthetic_surfaces_are_monotone_in_slices() {
+        let s = SurfaceCatalog::synthetic("gcc");
+        let p1 = s.perf(VCoreShape::new(1, 4).unwrap());
+        let p8 = s.perf(VCoreShape::new(8, 4).unwrap());
+        assert!(p8 > p1);
+    }
+
+    #[test]
+    fn catalog_defaults_to_the_whole_suite() {
+        let sc = small_scenario();
+        let catalog = SurfaceCatalog::build(&sc).unwrap();
+        assert_eq!(catalog.len(), sharing_trace::ALL_BENCHMARKS.len());
+    }
+}

@@ -805,6 +805,98 @@ mod tests {
     }
 
     #[test]
+    fn nesting_exactly_at_the_limit_is_accepted() {
+        // The top-level value sits at depth 0, so MAX_DEPTH + 1 brackets
+        // put the innermost value exactly at the limit.
+        let at_limit = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let v = Json::parse(&at_limit).unwrap();
+        assert_eq!(v.to_string(), at_limit, "deep round trip");
+        let too_deep = format!("[{at_limit}]");
+        assert!(Json::parse(&too_deep).is_err(), "one more must fail");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        // JSON has no NaN/Inf; the writer follows serde_json and emits
+        // null, so a round trip degrades them to Json::Null — not a parse
+        // error and not a bare token the parser would choke on.
+        for f in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let s = Json::Float(f).to_string();
+            assert_eq!(s, "null", "{f}");
+            assert_eq!(Json::parse(&s).unwrap(), Json::Null);
+        }
+        let v = Json::obj(vec![("ipc", Json::Float(f64::NAN))]);
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back.get("ipc"), Some(&Json::Null));
+        assert_eq!(Option::<f64>::from_json(back.get("ipc").unwrap()), Ok(None));
+        // The raw tokens themselves are invalid JSON.
+        for bad in ["NaN", "Infinity", "-Infinity", "nan", "inf"] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn large_integers_round_trip_or_fail_loudly() {
+        // The full i128 range survives a round trip as Json::Int...
+        for i in [i128::MAX, i128::MIN, i128::from(u64::MAX) + 1] {
+            let s = Json::Int(i).to_string();
+            assert_eq!(Json::parse(&s).unwrap(), Json::Int(i), "{i}");
+        }
+        // ...one past it is a parse error, not a silent precision loss.
+        let over = format!("{}0", i128::MAX);
+        let e = Json::parse(&over).unwrap_err();
+        assert!(e.0.contains("out of range"), "{e}");
+        let under = format!("{}0", i128::MIN);
+        assert!(Json::parse(&under).is_err());
+        // Narrowing conversions fail loudly too: u64::MAX + 1 parses as an
+        // integer but does not convert to u64.
+        let v = Json::parse("18446744073709551616").unwrap();
+        assert!(u64::from_json(&v).unwrap_err().0.contains("out of range"));
+    }
+
+    #[test]
+    fn control_characters_escape_and_round_trip() {
+        // Every control character must be written in escaped form and
+        // parse back to itself.
+        let all_controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let s = Json::Str(all_controls.clone()).to_string();
+        assert!(
+            !s.chars().any(|c| (c as u32) < 0x20),
+            "no raw control bytes on the wire: {s:?}"
+        );
+        assert_eq!(Json::parse(&s).unwrap(), Json::Str(all_controls));
+        // Named escapes are preferred where JSON has them.
+        assert_eq!(Json::Str("\u{08}\u{0C}".into()).to_string(), r#""\b\f""#);
+        assert_eq!(Json::Str("\u{01}".into()).to_string(), r#""\u0001""#);
+        // Raw (unescaped) control characters in input are rejected.
+        assert!(Json::parse("\"a\u{01}b\"").is_err());
+        assert!(Json::parse("\"a\nb\"").is_err(), "raw newline in string");
+    }
+
+    #[test]
+    fn unicode_escape_edge_cases() {
+        // Surrogate pairs decode; escaped and literal forms are equal.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+        // Escaped solidus is legal and decodes to a plain slash.
+        assert_eq!(Json::parse(r#""\/""#).unwrap(), Json::Str("/".to_string()));
+        // `\u0000` is a valid escape for NUL.
+        assert_eq!(
+            Json::parse(r#""\u0000""#).unwrap(),
+            Json::Str("\0".to_string())
+        );
+        for bad in [
+            r#""\ud83dx""#,      // high surrogate not followed by \u
+            r#""\ud83d\u0041""#, // high surrogate followed by a non-surrogate
+            r#""\udc00""#,       // lone low surrogate
+            r#""\uZZZZ""#,       // non-hex digits
+            r#""\u12""#,         // truncated escape
+            r#""\q""#,           // unknown escape
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
     fn unicode_escapes_and_surrogates() {
         assert_eq!(Json::parse(r#""é""#).unwrap(), Json::Str("é".to_string()));
         assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));

@@ -7,10 +7,23 @@
 //! which is what makes this sound. Capacity is bounded with FIFO
 //! eviction; the full key string is compared on lookup, so hash
 //! collisions cannot alias jobs.
+//!
+//! The cache can be persisted to a plain line-oriented file
+//! ([`ResultCache::save_to_file`] / [`ResultCache::load_from_file`]) so
+//! sweep results survive daemon restarts. Keys and payloads are compact
+//! single-line JSON, so the format is simply a header line followed by
+//! alternating key / payload lines — and because the stored payload bytes
+//! are written and read back verbatim, a reloaded cache replays exactly
+//! the bytes the original run produced.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::path::Path;
 use std::sync::Mutex;
+
+/// First line of a persisted cache file.
+pub const CACHE_FILE_HEADER: &str = "ssimd-cache v1";
 
 /// A bounded, thread-safe string-keyed result cache.
 #[derive(Debug)]
@@ -60,6 +73,84 @@ impl ResultCache {
                 inner.map.remove(&oldest);
             }
         }
+    }
+
+    /// All entries in FIFO (insertion) order, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock().expect("cache lock");
+        inner
+            .order
+            .iter()
+            .filter_map(|k| inner.map.get(k).map(|v| (k.clone(), v.clone())))
+            .collect()
+    }
+
+    /// Writes the cache to a plain-format file: a header line, then one
+    /// key line and one payload line per entry, oldest first (so a reload
+    /// into the same capacity evicts the same entries). Returns the
+    /// number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; the file is written atomically via a
+    /// sibling temp file so a crash cannot leave a torn cache.
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let path = path.as_ref();
+        let entries = self.snapshot();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            writeln!(f, "{CACHE_FILE_HEADER}")?;
+            for (key, payload) in &entries {
+                // Keys and payloads are compact JSON and never contain
+                // newlines; skip (rather than corrupt) anything odd.
+                if key.contains('\n') || payload.contains('\n') {
+                    continue;
+                }
+                writeln!(f, "{key}")?;
+                writeln!(f, "{payload}")?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(entries.len())
+    }
+
+    /// Loads entries from a file produced by [`ResultCache::save_to_file`],
+    /// preserving their order (FIFO eviction applies if the file holds
+    /// more than the capacity). A missing file loads zero entries; a file
+    /// with the wrong header is rejected. Returns the number loaded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; `InvalidData` for a bad header or a
+    /// truncated trailing entry.
+    pub fn load_from_file(&self, path: impl AsRef<Path>) -> io::Result<usize> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(CACHE_FILE_HEADER) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an ssimd cache file",
+            ));
+        }
+        let mut loaded = 0usize;
+        while let Some(key) = lines.next() {
+            let Some(payload) = lines.next() else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "cache file ends with a key but no payload",
+                ));
+            };
+            self.insert(key, payload);
+            loaded += 1;
+        }
+        Ok(loaded)
     }
 
     /// Number of cached entries.
@@ -114,5 +205,58 @@ mod tests {
         c.insert("a", "1");
         assert!(c.is_empty());
         assert_eq!(c.get("a"), None);
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ssimd-cache-unit-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_and_load_round_trip_preserves_bytes_and_order() {
+        let path = temp_path("round-trip");
+        let c = ResultCache::new(8);
+        c.insert(r#"{"job":1}"#, r#"{"ipc":1.25,"cycles":800}"#);
+        c.insert(r#"{"job":2}"#, r#"{"ipc":0.5}"#);
+        assert_eq!(c.save_to_file(&path).unwrap(), 2);
+
+        let fresh = ResultCache::new(8);
+        assert_eq!(fresh.load_from_file(&path).unwrap(), 2);
+        assert_eq!(
+            fresh.get(r#"{"job":1}"#).as_deref(),
+            Some(r#"{"ipc":1.25,"cycles":800}"#),
+            "payload bytes must survive the round trip"
+        );
+        assert_eq!(fresh.snapshot(), c.snapshot(), "FIFO order preserved");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_respects_capacity_with_fifo_eviction() {
+        let path = temp_path("capacity");
+        let big = ResultCache::new(8);
+        big.insert("old", "1");
+        big.insert("mid", "2");
+        big.insert("new", "3");
+        big.save_to_file(&path).unwrap();
+
+        let small = ResultCache::new(2);
+        assert_eq!(small.load_from_file(&path).unwrap(), 3);
+        assert_eq!(small.get("old"), None, "oldest entry evicted on load");
+        assert_eq!(small.get("new").as_deref(), Some("3"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start_but_garbage_is_an_error() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.load_from_file(temp_path("nonexistent")).unwrap(), 0);
+        assert!(c.is_empty());
+
+        let path = temp_path("garbage");
+        std::fs::write(&path, "definitely not a cache\n").unwrap();
+        assert!(c.load_from_file(&path).is_err(), "bad header rejected");
+        std::fs::write(&path, format!("{CACHE_FILE_HEADER}\nkey-without-payload\n")).unwrap();
+        assert!(c.load_from_file(&path).is_err(), "truncated entry rejected");
+        std::fs::remove_file(&path).unwrap();
     }
 }

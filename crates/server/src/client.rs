@@ -5,7 +5,8 @@
 //! lines it produces. For pipelining, use [`Client::send`] /
 //! [`Client::recv`] directly with distinct `id`s.
 
-use crate::protocol::{self, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use crate::protocol::{self, DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use sharing_dc::{BillingMode, Scenario};
 use sharing_json::Json;
 use sharing_market::{Market, UtilityFn};
 use sharing_trace::{Benchmark, WorkloadProfile};
@@ -203,6 +204,29 @@ impl Client {
                 return Ok(lines);
             }
         }
+    }
+
+    /// Submits a datacenter-scenario job and waits for its result line;
+    /// `mode` of `None` runs both billing modes and reports the
+    /// comparison.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn dc(
+        &mut self,
+        scenario: Scenario,
+        seed: u64,
+        mode: Option<BillingMode>,
+    ) -> std::io::Result<Json> {
+        self.call(&Envelope {
+            id: None,
+            req: Request::Dc(Box::new(DcJob {
+                scenario,
+                seed,
+                mode,
+            })),
+        })
     }
 
     /// Submits a market evaluation and waits for its result line.

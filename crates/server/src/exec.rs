@@ -5,8 +5,10 @@
 
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
-use crate::protocol::{JobWorkload, RunJob};
+use crate::protocol::{DcJob, JobWorkload, RunJob};
 use sharing_core::{SimConfig, SimResult, Simulator, VmSimulator};
+use sharing_dc::DcSim;
+use sharing_json::{Json, ToJson};
 use sharing_trace::{ProgramGenerator, TraceSpec};
 use std::sync::atomic::Ordering;
 
@@ -69,6 +71,56 @@ pub fn run_cached(
     Ok((payload, false))
 }
 
+/// Runs a datacenter-scenario job and serializes its totals: one
+/// `Totals` object per mode run, under `"sharing"` / `"fixed"` keys,
+/// plus the scenario name and seed.
+///
+/// # Errors
+///
+/// Returns the scenario validation message; simulation itself is total.
+pub fn run_dc(job: &DcJob) -> Result<String, String> {
+    let sim = DcSim::new(job.scenario.clone())?;
+    let mut pairs: Vec<(&str, Json)> = vec![
+        ("scenario", Json::Str(job.scenario.name.clone())),
+        ("seed", Json::Int(i128::from(job.seed))),
+    ];
+    match job.mode {
+        Some(mode) => {
+            let totals = sim.run(mode, job.seed).totals();
+            pairs.push((mode.name(), totals.to_json()));
+        }
+        None => {
+            let cmp = sim.run_comparison(job.seed);
+            pairs.push(("sharing", cmp.sharing.totals().to_json()));
+            pairs.push(("fixed", cmp.fixed.totals().to_json()));
+        }
+    }
+    Ok(Json::obj(pairs).to_string())
+}
+
+/// [`run_dc`] through the result cache, mirroring [`run_cached`]:
+/// hits replay the stored payload verbatim. Returns
+/// `(payload_json, was_cached)`.
+///
+/// # Errors
+///
+/// Propagates [`run_dc`]'s message. Failures are not cached.
+pub fn run_dc_cached(
+    cache: &ResultCache,
+    metrics: &Metrics,
+    job: &DcJob,
+) -> Result<(String, bool), String> {
+    let key = job.cache_key();
+    if let Some(hit) = cache.get(&key) {
+        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return Ok((hit, true));
+    }
+    metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+    let payload = run_dc(job)?;
+    cache.insert(&key, &payload);
+    Ok((payload, false))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +163,41 @@ mod tests {
         assert_eq!(fresh, hit, "cache replay must be byte-identical");
         assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+    }
+
+    fn dc_job(mode: Option<sharing_dc::BillingMode>) -> DcJob {
+        let mut sc = sharing_dc::Scenario::example_bursty();
+        sc.chips = 2;
+        sc.epochs = 8;
+        sc.epoch_cycles = 10_000;
+        DcJob {
+            scenario: sc,
+            seed: 5,
+            mode,
+        }
+    }
+
+    #[test]
+    fn dc_payload_is_deterministic_and_cached() {
+        let cache = ResultCache::new(8);
+        let metrics = Metrics::new(1);
+        let job = dc_job(None);
+        let (fresh, c0) = run_dc_cached(&cache, &metrics, &job).unwrap();
+        assert!(!c0);
+        let (hit, c1) = run_dc_cached(&cache, &metrics, &job).unwrap();
+        assert!(c1);
+        assert_eq!(fresh, hit, "cache replay must be byte-identical");
+        let v = Json::parse(&fresh).unwrap();
+        assert!(v.get("sharing").is_some(), "comparison carries sharing");
+        assert!(v.get("fixed").is_some(), "comparison carries fixed");
+    }
+
+    #[test]
+    fn dc_single_mode_reports_only_that_mode() {
+        let payload = run_dc(&dc_job(Some(sharing_dc::BillingMode::Sharing))).unwrap();
+        let v = Json::parse(&payload).unwrap();
+        assert!(v.get("sharing").is_some());
+        assert!(v.get("fixed").is_none());
     }
 
     #[test]

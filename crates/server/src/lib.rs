@@ -6,14 +6,16 @@
 //! cost is paid once and shared:
 //!
 //! * [`protocol`] — newline-delimited JSON over TCP: `run`, `sweep`,
-//!   `market`, `stats`, `ping`, `shutdown`;
+//!   `market`, `dc` (datacenter scenarios via `sharing-dc`), `stats`,
+//!   `ping`, `shutdown`;
 //! * [`queue`] — a bounded job queue with non-blocking admission control
 //!   (a full queue answers with an explicit backpressure reply);
 //! * [`server`] — the daemon: listener, per-connection threads, a fixed
 //!   worker pool;
 //! * [`cache`] — a result cache keyed by the canonical job JSON; hits
 //!   replay the exact bytes of the fresh run (the simulator and trace
-//!   generation are deterministic);
+//!   generation are deterministic), and it can persist to a plain file
+//!   across restarts (`ServerConfig::cache_path`);
 //! * [`metrics`] — queue depth, cache hit rate, worker utilization, and
 //!   p50/p99 job latency, served by the `stats` request;
 //! * [`client`] — a blocking client used by `ssim submit` and the tests.
@@ -28,6 +30,7 @@
 //!     workers: 2,
 //!     queue_capacity: 8,
 //!     cache_capacity: 64,
+//!     ..ServerConfig::default()
 //! })?;
 //! let mut client = Client::connect(handle.local_addr())?;
 //! let reply = client.run_benchmark("gcc", 2, 2, 400, 7)?;
@@ -51,6 +54,8 @@ pub mod server;
 pub use cache::ResultCache;
 pub use client::Client;
 pub use metrics::Metrics;
-pub use protocol::{Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob, DEFAULT_PORT};
+pub use protocol::{
+    DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob, DEFAULT_PORT,
+};
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig, ServerHandle};

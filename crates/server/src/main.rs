@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!       [--cache-file PATH]
 //! ```
 //!
 //! Runs until a client sends `{"type":"shutdown"}` (e.g. via
@@ -16,9 +17,13 @@ fn usage() -> String {
 
 USAGE:
     ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+          [--cache-file PATH]
 
 DEFAULTS:
     --addr 127.0.0.1:{}   --workers <cores, max 8>   --queue 64   --cache 1024
+
+With `--cache-file`, the result cache is reloaded from PATH on start and
+saved back on graceful shutdown, so results survive restarts.
 
 The daemon speaks newline-delimited JSON; see `ssim submit --help` or the
 sharing-server crate docs for the request shapes.",
@@ -52,6 +57,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|_| "--cache: not a number".to_string())?;
             }
+            "--cache-file" => cfg.cache_path = Some(value("--cache-file")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }

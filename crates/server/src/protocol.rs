@@ -17,8 +17,10 @@
 //! {"type":"sweep","benchmark":"mcf","len":30000,"seed":7}
 //! {"type":"market","benchmark":"gcc","utility":"throughput",
 //!  "market":"Market2","budget":100.0,"len":30000,"seed":7}
+//! {"type":"dc","scenario":{"name":"bursty",...},"seed":7,"mode":"sharing"}
 //! ```
 
+use sharing_dc::{BillingMode, Scenario};
 use sharing_json::{Json, JsonError};
 use sharing_market::{Market, UtilityFn};
 use sharing_trace::{Benchmark, WorkloadProfile};
@@ -84,6 +86,18 @@ pub struct MarketJob {
     pub seed: u64,
 }
 
+/// A datacenter-scenario job: run the discrete-event simulator over a
+/// full scenario (see `sharing-dc`), in one billing mode or both.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DcJob {
+    /// The scenario to simulate.
+    pub scenario: Scenario,
+    /// Event seed.
+    pub seed: u64,
+    /// Billing mode; `None` runs both and reports the comparison.
+    pub mode: Option<BillingMode>,
+}
+
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -99,6 +113,8 @@ pub enum Request {
     Sweep(SweepJob),
     /// A market evaluation.
     Market(MarketJob),
+    /// A datacenter scenario simulation.
+    Dc(Box<DcJob>),
 }
 
 /// A request plus its optional client-chosen correlation id.
@@ -203,6 +219,28 @@ impl Envelope {
                 len: num_field(&v, "len", 30_000usize)?,
                 seed: num_field(&v, "seed", 0xA5_2014u64)?,
             }),
+            "dc" => {
+                let scenario_json = field(&v, "scenario")?;
+                if scenario_json.get("name").is_none() {
+                    return Err(JsonError("`scenario` must carry a `name`".into()));
+                }
+                let scenario = Scenario::from_json(scenario_json)?;
+                scenario.validate().map_err(JsonError)?;
+                let mode = match v.get("mode") {
+                    Some(m) => {
+                        let name = m
+                            .as_str()
+                            .ok_or_else(|| JsonError("`mode` must be a string".into()))?;
+                        Some(BillingMode::parse(name).map_err(JsonError)?)
+                    }
+                    None => None,
+                };
+                Request::Dc(Box::new(DcJob {
+                    scenario,
+                    seed: num_field(&v, "seed", 0xA5_2014u64)?,
+                    mode,
+                }))
+            }
             other => return Err(JsonError(format!("unknown request type `{other}`"))),
         };
         Ok(Envelope { id, req })
@@ -248,6 +286,14 @@ impl Envelope {
                 pairs.push(("len", Json::Int(job.len as i128)));
                 pairs.push(("seed", Json::Int(i128::from(job.seed))));
             }
+            Request::Dc(job) => {
+                pairs.push(("type", Json::Str("dc".into())));
+                pairs.push(("scenario", job.scenario.to_json()));
+                pairs.push(("seed", Json::Int(i128::from(job.seed))));
+                if let Some(mode) = job.mode {
+                    pairs.push(("mode", Json::Str(mode.name().into())));
+                }
+            }
         }
         Json::obj(pairs).to_string()
     }
@@ -271,6 +317,26 @@ impl RunJob {
             ("banks", Json::Int(self.banks as i128)),
             ("len", Json::Int(self.len as i128)),
             ("seed", Json::Int(i128::from(self.seed))),
+        ])
+        .to_string()
+    }
+}
+
+impl DcJob {
+    /// The canonical cache key for this job (see [`RunJob::cache_key`]):
+    /// the scenario's canonical JSON plus seed and mode. The simulator is
+    /// fully deterministic in `(scenario, seed, mode)`, so identical keys
+    /// replay byte-identical results.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        let mode = match self.mode {
+            Some(m) => Json::Str(m.name().into()),
+            None => Json::Str("both".into()),
+        };
+        Json::obj(vec![
+            ("dc", self.scenario.to_json()),
+            ("seed", Json::Int(i128::from(self.seed))),
+            ("mode", mode),
         ])
         .to_string()
     }
@@ -462,6 +528,56 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn dc_round_trips_and_validates() {
+        for mode in [None, Some(BillingMode::Sharing), Some(BillingMode::Fixed)] {
+            let env = Envelope {
+                id: Some(11),
+                req: Request::Dc(Box::new(DcJob {
+                    scenario: Scenario::example_bursty(),
+                    seed: 99,
+                    mode,
+                })),
+            };
+            let back = Envelope::parse(&env.to_line()).unwrap();
+            assert_eq!(env, back);
+        }
+        // A scenario without a name is rejected, as is a bad mode.
+        assert!(Envelope::parse(r#"{"type":"dc","scenario":{}}"#).is_err());
+        assert!(Envelope::parse(r#"{"type":"dc"}"#).is_err());
+        let line = Envelope {
+            id: None,
+            req: Request::Dc(Box::new(DcJob {
+                scenario: Scenario::example_bursty(),
+                seed: 1,
+                mode: None,
+            })),
+        }
+        .to_line()
+        .replace(r#""seed":1"#, r#""seed":1,"mode":"weird""#);
+        assert!(Envelope::parse(&line).is_err());
+    }
+
+    #[test]
+    fn dc_cache_key_distinguishes_seed_and_mode() {
+        let base = DcJob {
+            scenario: Scenario::example_bursty(),
+            seed: 7,
+            mode: None,
+        };
+        let other_seed = DcJob {
+            seed: 8,
+            ..base.clone()
+        };
+        let other_mode = DcJob {
+            mode: Some(BillingMode::Fixed),
+            ..base.clone()
+        };
+        assert_ne!(base.cache_key(), other_seed.cache_key());
+        assert_ne!(base.cache_key(), other_mode.cache_key());
+        assert_eq!(base.cache_key(), base.clone().cache_key());
     }
 
     #[test]

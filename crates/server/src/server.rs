@@ -19,7 +19,7 @@
 use crate::cache::ResultCache;
 use crate::exec;
 use crate::metrics::Metrics;
-use crate::protocol::{self, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use crate::protocol::{self, DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
 use crate::queue::{JobQueue, PushError};
 use sharing_core::VCoreShape;
 use sharing_json::Json;
@@ -43,6 +43,10 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// When set, the result cache is loaded from this file at startup and
+    /// saved back on graceful shutdown, so cached results (and their
+    /// byte-identical replays) survive daemon restarts.
+    pub cache_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +56,7 @@ impl Default for ServerConfig {
             workers: std::thread::available_parallelism().map_or(2, |n| n.get().min(8)),
             queue_capacity: 64,
             cache_capacity: 1024,
+            cache_path: None,
         }
     }
 }
@@ -67,12 +72,14 @@ enum JobKind {
     Run(RunJob),
     Sweep(SweepJob),
     Market(MarketJob),
+    Dc(Box<DcJob>),
 }
 
 /// Shared daemon state.
 struct State {
     queue: JobQueue<Job>,
     cache: ResultCache,
+    cache_path: Option<String>,
     metrics: Metrics,
     stopping: AtomicBool,
 }
@@ -102,9 +109,18 @@ impl Server {
         let state = Arc::new(State {
             queue: JobQueue::new(cfg.queue_capacity),
             cache: ResultCache::new(cfg.cache_capacity),
+            cache_path: cfg.cache_path,
             metrics: Metrics::new(cfg.workers),
             stopping: AtomicBool::new(false),
         });
+        if let Some(path) = &state.cache_path {
+            // A missing file is a cold start, not an error; a corrupt file
+            // fails the bind so the operator notices.
+            state
+                .cache
+                .load_from_file(path)
+                .map_err(|e| std::io::Error::new(e.kind(), format!("cache file {path}: {e}")))?;
+        }
         let worker_threads = (0..cfg.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&state);
@@ -178,7 +194,12 @@ fn initiate_shutdown(state: &State, local: SocketAddr) {
     state.queue.close();
     state.queue.wait_drained();
     if !state.stopping.swap(true, Ordering::SeqCst) {
-        // Kick the listener out of accept() with a throwaway connection.
+        // Exactly-once on the first shutdown path: persist the cache (all
+        // jobs have drained, so it is quiescent), then kick the listener
+        // out of accept() with a throwaway connection.
+        if let Some(path) = &state.cache_path {
+            let _ = state.cache.save_to_file(path);
+        }
         let _ = TcpStream::connect(local);
     }
 }
@@ -254,6 +275,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             Request::Run(job) => JobKind::Run(job),
             Request::Sweep(job) => JobKind::Sweep(job),
             Request::Market(job) => JobKind::Market(job),
+            Request::Dc(job) => JobKind::Dc(job),
         };
         let (tx, rx) = mpsc::channel();
         let job = Job {
@@ -420,5 +442,21 @@ fn execute_job(state: &Arc<State>, job: &Job) {
             );
             let _ = job.reply.send(line);
         }
+        JobKind::Dc(dc) => match exec::run_dc_cached(&state.cache, &state.metrics, dc) {
+            Ok((payload, cached)) => {
+                // Spliced verbatim, like run results, so cache hits (and
+                // reloads from a persisted cache file) replay the exact
+                // bytes of the original run.
+                let line = format!(
+                    "{},\"cached\":{cached},\"result\":{payload}}}",
+                    ok_head(job.id, "dc_result")
+                );
+                let _ = job.reply.send(line);
+            }
+            Err(e) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(protocol::error_line(job.id, &e));
+            }
+        },
     }
 }

@@ -11,6 +11,7 @@ fn start(workers: usize, queue: usize) -> sharing_server::ServerHandle {
         workers,
         queue_capacity: queue,
         cache_capacity: 256,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
 }
@@ -266,6 +267,137 @@ fn sweep_streams_points_and_market_picks_a_grid_shape() {
     );
 
     handle.stop();
+}
+
+/// A scenario small enough for fast e2e runs but with enough churn to
+/// exercise the market.
+fn small_scenario() -> sharing_dc::Scenario {
+    let mut sc = sharing_dc::Scenario::example_bursty();
+    sc.name = "e2e-small".into();
+    sc.chips = 2;
+    sc.epochs = 8;
+    sc.epoch_cycles = 10_000;
+    sc
+}
+
+#[test]
+fn dc_job_runs_a_scenario_and_caches_the_comparison() {
+    let handle = start(2, 8);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+
+    let first = c.dc(small_scenario(), 7, None).unwrap();
+    assert!(ok(&first), "{first}");
+    assert_eq!(first.get("type").and_then(Json::as_str), Some("dc_result"));
+    assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
+    let result = first.get("result").expect("result");
+    assert_eq!(
+        result.get("scenario").and_then(Json::as_str),
+        Some("e2e-small")
+    );
+    let sharing = result.get("sharing").expect("sharing totals");
+    let fixed = result.get("fixed").expect("fixed totals");
+    assert_eq!(sharing.get("epochs").and_then(Json::as_int), Some(8));
+    assert_eq!(fixed.get("epochs").and_then(Json::as_int), Some(8));
+
+    // The reply's totals match a local run of the same scenario exactly —
+    // including the event-log hash, the strongest determinism check that
+    // fits in one line.
+    let local = sharing_dc::DcSim::new(small_scenario())
+        .unwrap()
+        .run(sharing_dc::BillingMode::Sharing, 7)
+        .totals();
+    assert_eq!(
+        sharing.get("log_hash").and_then(Json::as_str),
+        Some(local.log_hash.as_str())
+    );
+    assert_eq!(
+        sharing.get("arrivals").and_then(Json::as_int),
+        Some(i128::from(local.arrivals))
+    );
+
+    // Resubmission hits the cache with a byte-identical payload.
+    let second = c.dc(small_scenario(), 7, None).unwrap();
+    assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
+    let first_line = first.to_string();
+    let second_line = second.to_string();
+    assert_eq!(
+        raw_result_payload(&first_line),
+        raw_result_payload(&second_line),
+        "cache replay must be byte-identical"
+    );
+
+    // A single-mode run reports only that mode, under a different key.
+    let only_fixed = c
+        .dc(small_scenario(), 7, Some(sharing_dc::BillingMode::Fixed))
+        .unwrap();
+    assert!(ok(&only_fixed), "{only_fixed}");
+    let r = only_fixed.get("result").unwrap();
+    assert!(r.get("fixed").is_some());
+    assert!(r.get("sharing").is_none());
+    assert_eq!(
+        only_fixed.get("cached").and_then(Json::as_bool),
+        Some(false)
+    );
+
+    handle.stop();
+}
+
+#[test]
+fn cache_persists_across_daemon_restarts() {
+    let dir = std::env::temp_dir().join(format!("ssimd-cache-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.ssimd").to_string_lossy().into_owned();
+    let cfg = || ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 256,
+        cache_path: Some(path.clone()),
+    };
+
+    // First daemon: run one simulation job and one dc job, then shut down
+    // gracefully so the cache is persisted.
+    let handle = Server::start(cfg()).expect("bind first daemon");
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let run_fresh = c.run_benchmark("gcc", 2, 2, 800, 42).unwrap();
+    assert_eq!(run_fresh.get("cached").and_then(Json::as_bool), Some(false));
+    let dc_fresh = c.dc(small_scenario(), 7, None).unwrap();
+    assert_eq!(dc_fresh.get("cached").and_then(Json::as_bool), Some(false));
+    handle.stop();
+    assert!(
+        std::fs::metadata(&path).is_ok(),
+        "graceful shutdown must write the cache file"
+    );
+
+    // Second daemon: both jobs are warm on the very first submission, and
+    // the replayed payloads are byte-identical to the original runs.
+    let handle = Server::start(cfg()).expect("bind second daemon");
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let run_warm = c.run_benchmark("gcc", 2, 2, 800, 42).unwrap();
+    assert_eq!(
+        run_warm.get("cached").and_then(Json::as_bool),
+        Some(true),
+        "reloaded cache must serve the run job: {run_warm}"
+    );
+    let dc_warm = c.dc(small_scenario(), 7, None).unwrap();
+    assert_eq!(dc_warm.get("cached").and_then(Json::as_bool), Some(true));
+    let fresh_line = run_fresh.to_string();
+    let warm_line = run_warm.to_string();
+    assert_eq!(
+        raw_result_payload(&fresh_line),
+        raw_result_payload(&warm_line),
+        "persisted replay must be byte-identical"
+    );
+    let dc_fresh_line = dc_fresh.to_string();
+    let dc_warm_line = dc_warm.to_string();
+    assert_eq!(
+        raw_result_payload(&dc_fresh_line),
+        raw_result_payload(&dc_warm_line),
+        "persisted dc replay must be byte-identical"
+    );
+    handle.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         workers: 4,
         queue_capacity: 16,
         cache_capacity: 64,
+        ..ServerConfig::default()
     })?;
     let addr = handle.local_addr();
     println!("ssimd listening on {addr}\n");

@@ -16,4 +16,24 @@ cargo build --release --workspace --offline
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== examples (build all, smoke-run one per crate) =="
+cargo build --release --offline --examples
+# One representative example per crate layer, so examples can't silently
+# rot. Each prints to stdout; CI only cares that it exits 0.
+EXAMPLES=(
+  handwritten_kernel # isa: hand-assembled kernel on the reference interpreter
+  quickstart         # core + trace: SSim on a synthetic benchmark
+  pipeline_view      # noc + cache: per-stage pipeline statistics
+  autotune           # area: area-constrained configuration search
+  datacenter_mix     # hv: chip allocator under a tenant mix
+  iaas_market        # market: the §5.6 sub-core market end to end
+  spot_prices        # market + json: spot-price series serialization
+  dc_scenario        # dc: discrete-event datacenter, sharing vs fixed
+  serve_jobs         # server: ssimd daemon end to end
+)
+for ex in "${EXAMPLES[@]}"; do
+  echo "-- example: $ex"
+  cargo run --release --offline --example "$ex" >/dev/null
+done
+
 echo "ci: all green"

@@ -16,6 +16,9 @@
 //!   fragmentation, reconfiguration costs);
 //! * [`market`] — the IaaS economic model: utility functions, sub-core
 //!   markets, and the market-efficiency studies;
+//! * [`dc`] — the discrete-event datacenter simulator: seeded tenant
+//!   arrivals, epoch market clearing, placement, reconfiguration costs
+//!   and revenue metering (see `examples/dc_scenario.rs`);
 //! * [`server`] — ssimd, the simulation-as-a-service daemon: a TCP job
 //!   server with a bounded queue, worker pool, and result cache (see
 //!   `examples/serve_jobs.rs`).
@@ -40,6 +43,7 @@
 pub use sharing_area as area;
 pub use sharing_cache as cache;
 pub use sharing_core as core;
+pub use sharing_dc as dc;
 pub use sharing_hv as hv;
 pub use sharing_isa as isa;
 pub use sharing_json as json;
