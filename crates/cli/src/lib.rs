@@ -6,6 +6,7 @@
 
 use sharing_core::{SimConfig, Simulator, VmSimulator};
 use sharing_dc::{BillingMode, DcSim, Scenario};
+use sharing_obs::TraceBuffer;
 use sharing_trace::{Benchmark, ProgramGenerator, TraceSpec, WorkloadProfile, ALL_BENCHMARKS};
 use std::fmt;
 use std::fmt::Write as _;
@@ -60,6 +61,8 @@ pub struct RunArgs {
     pub config_path: Option<String>,
     /// Emit machine-readable JSON instead of the human report.
     pub json: bool,
+    /// When set, write a Chrome trace of the run's phases here.
+    pub trace_out: Option<String>,
 }
 
 /// Arguments for `ssim sweep`.
@@ -74,6 +77,8 @@ pub struct SweepArgs {
     /// When set, submit the sweep to a running ssimd daemon at this
     /// address instead of simulating in-process, sharing its result cache.
     pub daemon: Option<String>,
+    /// When set, write a Chrome trace with one span per sweep point here.
+    pub trace_out: Option<String>,
 }
 
 /// Arguments for `ssim dc`.
@@ -91,6 +96,10 @@ pub struct DcArgs {
     /// Print the built-in example scenario as pretty JSON and exit —
     /// the easiest way to get a schema template.
     pub emit_example: bool,
+    /// When set, write a Chrome trace with logical-cycle spans for every
+    /// epoch's auction/placement/billing phases here. Tracing never
+    /// changes the simulated outcome (logs and CSV stay byte-identical).
+    pub trace_out: Option<String>,
 }
 
 /// Arguments for `ssim serve`.
@@ -107,6 +116,9 @@ pub struct ServeArgs {
     /// When set, the result cache is loaded from this file on start and
     /// saved back on graceful shutdown.
     pub cache_file: Option<String>,
+    /// When set, the daemon writes a Chrome trace of every executed job
+    /// here on graceful shutdown.
+    pub trace_out: Option<String>,
 }
 
 /// What `ssim submit` asks the daemon to do.
@@ -138,6 +150,8 @@ pub enum SubmitAction {
     Ping,
     /// Fetch the server metrics snapshot.
     Stats,
+    /// Fetch the server metrics as Prometheus text exposition.
+    Metrics,
     /// Ask the daemon to drain and stop.
     Shutdown,
 }
@@ -180,6 +194,8 @@ pub enum CliError {
     BadScenario(String),
     /// Two flags that cannot be used together.
     ConflictingFlags(String),
+    /// The `--trace-out` file could not be written.
+    TraceOut(String),
 }
 
 impl fmt::Display for CliError {
@@ -200,6 +216,7 @@ impl fmt::Display for CliError {
             CliError::Server(e) => write!(f, "server: {e}"),
             CliError::BadScenario(e) => write!(f, "scenario: {e}"),
             CliError::ConflictingFlags(e) => write!(f, "{e}"),
+            CliError::TraceOut(e) => write!(f, "trace output: {e}"),
         }
     }
 }
@@ -214,16 +231,17 @@ pub fn usage() -> String {
 USAGE:
     ssim run   (--benchmark <name> | --profile workload.json | --asm prog.s)
                [--slices N] [--banks N] [--len N]
-               [--seed N] [--config file.json] [--json]
+               [--seed N] [--config file.json] [--json] [--trace-out FILE]
     ssim sweep --benchmark <name> [--len N] [--seed N] [--daemon HOST:PORT]
+               [--trace-out FILE]
     ssim dc    (--scenario file.json | --emit-example)
-               [--seed N] [--mode sharing|fixed] [--out DIR]
+               [--seed N] [--mode sharing|fixed] [--out DIR] [--trace-out FILE]
     ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-               [--cache-file PATH]
+               [--cache-file PATH] [--trace-out FILE]
     ssim submit [--addr HOST:PORT]
                (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
                 | --dc scenario.json [--seed N] [--mode sharing|fixed]
-                | --ping | --stats | --shutdown)
+                | --ping | --stats | --metrics | --shutdown)
     ssim config            emit the default configuration as JSON
     ssim list              list available benchmarks
     ssim help              this message
@@ -237,7 +255,13 @@ EXAMPLES:
     ssim sweep --benchmark mcf --daemon 127.0.0.1:42014
     ssim submit --benchmark mcf --slices 2 --banks 4
     ssim submit --dc bursty.json --mode sharing
-    ssim submit --stats && ssim submit --shutdown"
+    ssim submit --stats && ssim submit --shutdown
+    ssim dc --scenario bursty.json --trace-out dc.trace.json
+    ssim submit --metrics    # Prometheus text exposition
+
+`--trace-out` writes Chrome trace_event JSON; open it in Perfetto
+(https://ui.perfetto.dev) or chrome://tracing. Simulator spans use
+logical (simulated-cycle) time, so tracing never perturbs results."
         .to_string()
 }
 
@@ -275,6 +299,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed: 0xA5_2014,
                 config_path: None,
                 json: false,
+                trace_out: None,
             };
             let mut got_workload = false;
             while let Some(flag) = it.next() {
@@ -300,6 +325,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--config" => out.config_path = Some(take_value(flag, &mut it)?.clone()),
                     "--json" => out.json = true,
+                    "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -316,6 +342,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 len: 30_000,
                 seed: 0xA5_2014,
                 daemon: None,
+                trace_out: None,
             };
             let mut got_benchmark = false;
             while let Some(flag) = it.next() {
@@ -329,6 +356,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--daemon" => out.daemon = Some(take_value(flag, &mut it)?.clone()),
+                    "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -344,6 +372,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 mode: None,
                 out_dir: None,
                 emit_example: false,
+                trace_out: None,
             };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -358,6 +387,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--out" => out.out_dir = Some(take_value(flag, &mut it)?.clone()),
                     "--emit-example" => out.emit_example = true,
+                    "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -380,6 +410,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 queue: 64,
                 cache: 1024,
                 cache_file: None,
+                trace_out: None,
             };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -390,6 +421,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--queue" => out.queue = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--cache" => out.cache = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--cache-file" => out.cache_file = Some(take_value(flag, &mut it)?.clone()),
+                    "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -427,6 +459,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--ping" => action = Some(SubmitAction::Ping),
                     "--stats" => action = Some(SubmitAction::Stats),
+                    "--metrics" => action = Some(SubmitAction::Metrics),
                     "--shutdown" => action = Some(SubmitAction::Shutdown),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
@@ -447,12 +480,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 },
                 (None, None, None) => {
                     return Err(CliError::MissingValue(
-                        "--benchmark, --dc, --ping, --stats or --shutdown".to_string(),
+                        "--benchmark, --dc, --ping, --stats, --metrics or --shutdown".to_string(),
                     ));
                 }
                 _ => {
                     return Err(CliError::ConflictingFlags(
-                        "pick one of --benchmark, --dc, --ping, --stats, --shutdown".to_string(),
+                        "pick one of --benchmark, --dc, --ping, --stats, --metrics, --shutdown"
+                            .to_string(),
                     ));
                 }
             };
@@ -486,16 +520,34 @@ fn load_config(args: &RunArgs) -> Result<SimConfig, CliError> {
     Ok(cfg)
 }
 
-fn run_one(bench: Benchmark, cfg: SimConfig, len: usize, seed: u64) -> sharing_core::SimResult {
+fn run_one(
+    bench: Benchmark,
+    cfg: SimConfig,
+    len: usize,
+    seed: u64,
+    obs: Option<&TraceBuffer>,
+) -> sharing_core::SimResult {
     let spec = TraceSpec::new(len, seed);
     if bench.is_parsec() {
-        VmSimulator::new(cfg)
-            .expect("validated config")
-            .run(&bench.generate_threaded(&spec))
+        let trace = {
+            let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
+            bench.generate_threaded(&spec)
+        };
+        let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
+        VmSimulator::new(cfg).expect("validated config").run(&trace)
     } else {
-        Simulator::new(cfg)
-            .expect("validated config")
-            .run(&bench.generate(&spec))
+        let trace = {
+            let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
+            bench.generate(&spec)
+        };
+        let sim = Simulator::new(cfg).expect("validated config");
+        let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
+        match obs {
+            // The traced path also emits a logical-cycle span, so the
+            // trace shows both wall time and simulated time.
+            Some(o) => sim.run_traced(&trace, o),
+            None => sim.run(&trace),
+        }
     }
 }
 
@@ -504,9 +556,10 @@ fn run_workload(
     cfg: SimConfig,
     len: usize,
     seed: u64,
+    obs: Option<&TraceBuffer>,
 ) -> Result<sharing_core::SimResult, CliError> {
     match workload {
-        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed)),
+        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed, obs)),
         Workload::AsmFile(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadAsm(format!("{path}: {e}")))?;
@@ -532,7 +585,12 @@ fn run_workload(
                 .file_stem()
                 .map_or_else(|| "asm".to_string(), |s| s.to_string_lossy().into_owned());
             let trace = sharing_trace::Trace::from_insts(name, insts);
-            Ok(Simulator::new(cfg).expect("validated config").run(&trace))
+            let sim = Simulator::new(cfg).expect("validated config");
+            let _g = obs.map(|o| o.span(format!("simulate {}", trace.name()), "ssim", 0));
+            Ok(match obs {
+                Some(o) => sim.run_traced(&trace, o),
+                None => sim.run(&trace),
+            })
         }
         Workload::ProfileFile(path) => {
             let text = std::fs::read_to_string(path)
@@ -542,13 +600,23 @@ fn run_workload(
             let generator = ProgramGenerator::new(&profile, TraceSpec::new(len, seed))
                 .map_err(CliError::BadProfile)?;
             if profile.threads > 1 {
-                Ok(VmSimulator::new(cfg)
-                    .expect("validated config")
-                    .run(&generator.generate()))
+                let trace = {
+                    let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
+                    generator.generate()
+                };
+                let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
+                Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
             } else {
-                Ok(Simulator::new(cfg)
-                    .expect("validated config")
-                    .run(&generator.generate_single()))
+                let trace = {
+                    let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
+                    generator.generate_single()
+                };
+                let sim = Simulator::new(cfg).expect("validated config");
+                let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
+                Ok(match obs {
+                    Some(o) => sim.run_traced(&trace, o),
+                    None => sim.run(&trace),
+                })
             }
         }
     }
@@ -591,6 +659,12 @@ fn sweep_via_daemon(addr: &str, args: &SweepArgs) -> Result<(SweepGrid, usize), 
     Ok((points, cached))
 }
 
+/// Writes a trace buffer as Chrome trace JSON.
+fn save_trace(buf: &TraceBuffer, path: &str) -> Result<(), CliError> {
+    buf.save_chrome(path)
+        .map_err(|e| CliError::TraceOut(format!("{path}: {e}")))
+}
+
 /// Reads and validates a scenario JSON file.
 fn load_scenario(path: &str) -> Result<Scenario, CliError> {
     let text =
@@ -617,11 +691,15 @@ fn execute_dc(args: &DcArgs) -> Result<String, CliError> {
     let scenario = load_scenario(path)?;
     let sim = DcSim::new(scenario).map_err(CliError::BadScenario)?;
 
+    // Logical-cycle tracing: spans carry simulated timestamps and
+    // deterministic durations, so the outcome below is byte-identical
+    // with or without `--trace-out`.
+    let obs = args.trace_out.as_ref().map(|_| TraceBuffer::new());
     let mut out = String::new();
     let outcomes = match args.mode {
-        Some(mode) => vec![sim.run(mode, args.seed)],
+        Some(mode) => vec![sim.run_traced(mode, args.seed, obs.as_ref())],
         None => {
-            let cmp = sim.run_comparison(args.seed);
+            let cmp = sim.run_comparison_traced(args.seed, obs.as_ref());
             out.push_str(&cmp.summary());
             out.push('\n');
             vec![cmp.sharing, cmp.fixed]
@@ -644,6 +722,10 @@ fn execute_dc(args: &DcArgs) -> Result<String, CliError> {
                 .map_err(|e| CliError::BadScenario(format!("{}: {e}", log.display())))?;
             let _ = writeln!(out, "wrote {} and {}", csv.display(), log.display());
         }
+    }
+    if let (Some(path), Some(buf)) = (&args.trace_out, &obs) {
+        save_trace(buf, path)?;
+        let _ = writeln!(out, "wrote trace {path} ({} spans)", buf.len());
     }
     Ok(out)
 }
@@ -675,13 +757,17 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             Ok(sharing_json::to_string_pretty(&cfg))
         }
         Command::Run(args) => {
-            let cfg = load_config(args)?;
-            let result = run_workload(&args.workload, cfg, args.len, args.seed)?;
-            if args.json {
-                Ok(sharing_json::to_string_pretty(&result))
+            let obs = args.trace_out.as_ref().map(|_| TraceBuffer::new());
+            let cfg = {
+                let _g = obs.as_ref().map(|o| o.span("load-config", "ssim", 0));
+                load_config(args)?
+            };
+            let result = run_workload(&args.workload, cfg, args.len, args.seed, obs.as_ref())?;
+            let mut out = if args.json {
+                sharing_json::to_string_pretty(&result)
             } else {
                 let s = &result.stalls;
-                Ok(format!(
+                format!(
                     "{}\nstall cycles: rob {} | window {} | lsq {} | mshr {} | store-buffer {} \
                      | freelist {} | mispredict {} | icache {}\nnetwork: {} operand msgs \
                      ({} remote operands, {} LRF copy hits), {} LS-sort msgs, {} rename bcasts",
@@ -699,8 +785,18 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     result.lrf_copy_hits,
                     result.ls_sort_messages,
                     result.rename_broadcasts,
-                ))
+                )
+            };
+            if let (Some(path), Some(buf)) = (&args.trace_out, &obs) {
+                save_trace(buf, path)?;
+                if args.json {
+                    // Keep stdout pure JSON for machine consumers.
+                    eprintln!("ssim: wrote trace {path} ({} spans)", buf.len());
+                } else {
+                    let _ = write!(out, "\nwrote trace {path} ({} spans)", buf.len());
+                }
             }
+            Ok(out)
         }
         Command::Dc(args) => execute_dc(args),
         Command::Serve(args) => {
@@ -709,6 +805,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 queue_capacity: args.queue,
                 cache_capacity: args.cache,
                 cache_path: args.cache_file.clone(),
+                trace_path: args.trace_out.clone(),
                 ..sharing_server::ServerConfig::default()
             };
             if let Some(w) = args.workers {
@@ -738,6 +835,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 SubmitAction::Stats => client
                     .stats()
                     .map_err(|e| CliError::Server(e.to_string()))?,
+                SubmitAction::Metrics => {
+                    // Prometheus text exposition goes out verbatim so it
+                    // can be piped straight to a scrape file.
+                    return client
+                        .metrics()
+                        .map_err(|e| CliError::Server(e.to_string()));
+                }
                 SubmitAction::Shutdown => client
                     .shutdown()
                     .map_err(|e| CliError::Server(e.to_string()))?,
@@ -781,8 +885,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             // With --daemon, all 72 points come from a running ssimd (and
             // its shared result cache); otherwise they are simulated
             // in-process. The table itself is identical either way.
+            let obs = args.trace_out.as_ref().map(|_| TraceBuffer::new());
             let remote = match &args.daemon {
-                Some(addr) => Some(sweep_via_daemon(addr, args)?),
+                Some(addr) => {
+                    let _g = obs.as_ref().map(|o| {
+                        o.span(format!("sweep {} via {addr}", args.benchmark), "sweep", 0)
+                    });
+                    Some(sweep_via_daemon(addr, args)?)
+                }
                 None => None,
             };
             let mut out = format!(
@@ -805,7 +915,21 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         None => {
                             let cfg = SimConfig::with_shape(s, b)
                                 .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
-                            run_one(args.benchmark, cfg, args.len, args.seed).ipc()
+                            let t0 = std::time::Instant::now();
+                            let mut guard = obs
+                                .as_ref()
+                                .map(|o| o.span(format!("point {s}s/{b}b"), "sweep", 0));
+                            let r = run_one(args.benchmark, cfg, args.len, args.seed, None);
+                            if let Some(g) = guard.as_mut() {
+                                use sharing_json::Json;
+                                let dt = t0.elapsed().as_secs_f64().max(1e-9);
+                                g.add_arg("slices", Json::Int(s as i128));
+                                g.add_arg("l2_banks", Json::Int(b as i128));
+                                g.add_arg("ipc", Json::Float(r.ipc()));
+                                g.add_arg("cycles", Json::Int(i128::from(r.cycles)));
+                                g.add_arg("cycles_per_sec", Json::Float(r.cycles as f64 / dt));
+                            }
+                            r.ipc()
                         }
                     };
                     out.push_str(&format!("{ipc:>7.3}"));
@@ -819,6 +943,10 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     "served by ssimd at {addr}: {} of 72 points from its cache",
                     points.1
                 );
+            }
+            if let (Some(path), Some(buf)) = (&args.trace_out, &obs) {
+                save_trace(buf, path)?;
+                let _ = writeln!(out, "wrote trace {path} ({} spans)", buf.len());
             }
             Ok(out)
         }
@@ -951,8 +1079,52 @@ mod tests {
             seed: 1,
             config_path: Some("/nonexistent/ssim.json".to_string()),
             json: false,
+            trace_out: None,
         });
         assert!(matches!(execute(&cmd), Err(CliError::BadConfig(_))));
+    }
+
+    #[test]
+    fn run_trace_out_writes_parseable_chrome_trace() {
+        let path = std::env::temp_dir().join("ssim-test-run-trace.json");
+        let cmd = parse(&s(&[
+            "run",
+            "--benchmark",
+            "gcc",
+            "--len",
+            "600",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        assert!(out.contains("wrote trace"), "{out}");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = sharing_json::Json::parse(&text).expect("trace must be valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .expect("traceEvents array");
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert!(!spans.is_empty(), "expected at least one span");
+        for e in &spans {
+            let ts = e.get("ts").and_then(|x| x.as_int()).expect("ts");
+            let dur = e.get("dur").and_then(|x| x.as_int()).expect("dur");
+            assert!(ts >= 0, "negative ts in {e}");
+            assert!(dur >= 0, "negative dur in {e}");
+        }
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.iter().any(|n| n.contains("trace-gen")), "{names:?}");
+        assert!(names.iter().any(|n| n.contains("simulate")), "{names:?}");
+
+        let _ = std::fs::remove_file(&path);
     }
 }
 
@@ -988,6 +1160,7 @@ mod server_tests {
                 queue: 8,
                 cache: 16,
                 cache_file: Some("/tmp/ssimd.cache".to_string()),
+                trace_out: None,
             })
         );
 
@@ -1039,6 +1212,7 @@ mod server_tests {
                 len: 30_000,
                 seed: 0xA5_2014,
                 daemon: Some("h:1".to_string()),
+                trace_out: None,
             })
         );
 
@@ -1084,6 +1258,7 @@ mod server_tests {
             len: 300,
             seed: 5,
             daemon: None,
+            trace_out: None,
         }))
         .unwrap();
         let remote = execute(&Command::Sweep(SweepArgs {
@@ -1091,6 +1266,7 @@ mod server_tests {
             len: 300,
             seed: 5,
             daemon: Some(addr.clone()),
+            trace_out: None,
         }))
         .unwrap();
         // Same table; the daemon run appends a provenance line.
@@ -1106,6 +1282,7 @@ mod server_tests {
             len: 300,
             seed: 5,
             daemon: Some(addr),
+            trace_out: None,
         }))
         .unwrap();
         assert!(again.contains("72 of 72 points from its cache"), "{again}");
@@ -1220,6 +1397,7 @@ mod dc_tests {
                 mode: Some(BillingMode::Fixed),
                 out_dir: Some("/tmp/dc".to_string()),
                 emit_example: false,
+                trace_out: None,
             })
         );
         assert!(matches!(parse(&s(&["dc"])), Err(CliError::MissingValue(_))));
@@ -1253,6 +1431,7 @@ mod dc_tests {
                 mode: None,
                 out_dir: Some(dir.to_string_lossy().into_owned()),
                 emit_example: false,
+                trace_out: None,
             }))
             .unwrap()
         };
@@ -1291,6 +1470,7 @@ mod dc_tests {
             mode: Some(BillingMode::Sharing),
             out_dir: None,
             emit_example: false,
+            trace_out: None,
         }))
         .unwrap();
         assert!(out.contains("[sharing]"), "{out}");
@@ -1334,8 +1514,66 @@ mod dc_tests {
             mode: None,
             out_dir: None,
             emit_example: false,
+            trace_out: None,
         });
         assert!(matches!(execute(&cmd), Err(CliError::BadScenario(_))));
+    }
+
+    #[test]
+    fn dc_trace_out_leaves_artifacts_byte_identical() {
+        let scenario = write_small_scenario("cli-trace");
+        let dir_plain = std::env::temp_dir().join("ssim-test-dc-trace-plain");
+        let dir_traced = std::env::temp_dir().join("ssim-test-dc-trace-traced");
+        let trace = std::env::temp_dir().join("ssim-test-dc.trace.json");
+        let run = |dir: &std::path::Path, trace_out: Option<String>| {
+            execute(&Command::Dc(DcArgs {
+                scenario_path: Some(scenario.to_string_lossy().into_owned()),
+                seed: 2014,
+                mode: None,
+                out_dir: Some(dir.to_string_lossy().into_owned()),
+                emit_example: false,
+                trace_out,
+            }))
+            .unwrap()
+        };
+        let plain = run(&dir_plain, None);
+        let traced = run(&dir_traced, Some(trace.to_string_lossy().into_owned()));
+
+        // Tracing must not perturb any simulator output: same stdout
+        // (minus artifact paths and the trace notice) and byte-identical
+        // CSV/log artifacts.
+        let head = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("wrote "))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(head(&plain), head(&traced));
+        for stem in ["cli-trace-sharing", "cli-trace-fixed"] {
+            for ext in ["csv", "log"] {
+                let a = std::fs::read(dir_plain.join(format!("{stem}.{ext}"))).unwrap();
+                let b = std::fs::read(dir_traced.join(format!("{stem}.{ext}"))).unwrap();
+                assert_eq!(a, b, "{stem}.{ext} must be byte-identical with tracing on");
+            }
+        }
+
+        // The trace itself is valid Chrome JSON with one span per epoch
+        // phase, per billing mode, on the logical clock.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let v = sharing_json::Json::parse(&text).expect("trace must be valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        for phase in ["auction", "placement", "billing"] {
+            let n = events
+                .iter()
+                .filter(|e| e.get("name").and_then(|x| x.as_str()) == Some(phase))
+                .count();
+            assert_eq!(n, 2 * 8, "want one `{phase}` span per epoch per mode");
+        }
+
+        let _ = std::fs::remove_file(&scenario);
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_dir_all(&dir_plain);
+        let _ = std::fs::remove_dir_all(&dir_traced);
     }
 }
 

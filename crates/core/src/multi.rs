@@ -198,6 +198,7 @@ impl VmSimulator {
         }
         total.cycles = cycles;
         VCoreEngine::absorb_mem_stats(&mut total, &mem);
+        crate::sim::observe_run(&total);
         total
     }
 }

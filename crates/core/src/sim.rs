@@ -5,6 +5,26 @@ use crate::engine::{MemorySystem, VCoreEngine};
 use crate::reconfig::ReconfigCosts;
 use crate::stats::SimResult;
 use sharing_trace::Trace;
+use std::sync::OnceLock;
+
+/// Feeds the finished run into the process-global obs registry
+/// (`ssim_runs_total`, `ssim_cycles_total`, `ssim_instructions_total`).
+/// Three relaxed atomic adds per *run* — nothing on the cycle loop — and
+/// compiled out entirely when `sharing-obs` is built without its
+/// `enabled` feature.
+pub(crate) fn observe_run(result: &SimResult) {
+    static RUNS: OnceLock<&'static sharing_obs::Counter> = OnceLock::new();
+    static CYCLES: OnceLock<&'static sharing_obs::Counter> = OnceLock::new();
+    static INSTS: OnceLock<&'static sharing_obs::Counter> = OnceLock::new();
+    RUNS.get_or_init(|| sharing_obs::counter("ssim_runs_total"))
+        .inc();
+    CYCLES
+        .get_or_init(|| sharing_obs::counter("ssim_cycles_total"))
+        .add(result.cycles);
+    INSTS
+        .get_or_init(|| sharing_obs::counter("ssim_instructions_total"))
+        .add(result.instructions);
+}
 
 /// Convenience driver: one trace, one VCore, private memory system.
 ///
@@ -50,6 +70,37 @@ impl Simulator {
         engine.run_chunk(&mut mem, trace.insts());
         let mut result = engine.finish(trace.name());
         VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        observe_run(&result);
+        result
+    }
+
+    /// Runs a trace and records one *logical-cycle* span for the whole
+    /// run into `obs`: the span covers `[0, cycles)` in simulated time
+    /// and carries instructions, cycles, IPC, and the shape as args.
+    /// Because the timestamps come from the simulated clock (never a
+    /// real one), tracing is exactly as deterministic as the result —
+    /// enabling it cannot perturb bit-for-bit replay.
+    #[must_use]
+    pub fn run_traced(&self, trace: &Trace, obs: &sharing_obs::TraceBuffer) -> SimResult {
+        use sharing_json::Json;
+        let result = self.run(trace);
+        obs.record_logical(
+            format!("simulate {}", trace.name()),
+            "ssim",
+            0,
+            0,
+            result.cycles,
+            vec![
+                (
+                    "instructions".into(),
+                    Json::Int(i128::from(result.instructions)),
+                ),
+                ("cycles".into(), Json::Int(i128::from(result.cycles))),
+                ("ipc".into(), Json::Float(result.ipc())),
+                ("slices".into(), Json::Int(self.cfg.slices() as i128)),
+                ("l2_banks".into(), Json::Int(self.cfg.l2_banks() as i128)),
+            ],
+        );
         result
     }
 
@@ -75,6 +126,7 @@ impl Simulator {
         engine.run_chunk(&mut mem, trace.insts());
         let mut result = engine.finish(trace.name());
         VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        observe_run(&result);
         result
     }
 

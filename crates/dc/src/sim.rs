@@ -574,6 +574,23 @@ impl DcSim {
     /// produces byte-identical [`DcOutcome::log`] and [`DcOutcome::csv`].
     #[must_use]
     pub fn run(&self, mode: BillingMode, seed: u64) -> DcOutcome {
+        self.run_traced(mode, seed, None)
+    }
+
+    /// [`DcSim::run`] with optional tracing: when `obs` is given, every
+    /// epoch emits *logical-cycle* spans — an epoch-wide span plus one
+    /// span per clearing phase (auction, placement, billing) — whose
+    /// timestamps are simulated cycles and whose durations are
+    /// deterministic work counts (bidders, VCores touched, chips
+    /// metered). Tracing reads no clock and consumes no randomness, so
+    /// the outcome (log, CSV, hash) is byte-identical with or without it.
+    #[must_use]
+    pub fn run_traced(
+        &self,
+        mode: BillingMode,
+        seed: u64,
+        obs: Option<&sharing_obs::TraceBuffer>,
+    ) -> DcOutcome {
         let sc = &self.scenario;
         let policy = sc.placement_policy().expect("scenario validated");
         let mut engine = Engine {
@@ -591,6 +608,7 @@ impl DcSim {
             arrivals: 0,
             departures: 0,
             peak_tenants: 0,
+            obs,
         };
         let _ = writeln!(
             engine.log,
@@ -632,9 +650,20 @@ impl DcSim {
     /// Runs both billing modes over the same seeded trace.
     #[must_use]
     pub fn run_comparison(&self, seed: u64) -> Comparison {
+        self.run_comparison_traced(seed, None)
+    }
+
+    /// [`DcSim::run_comparison`] with optional tracing; each mode's
+    /// spans land on its own track pair (see [`DcSim::run_traced`]).
+    #[must_use]
+    pub fn run_comparison_traced(
+        &self,
+        seed: u64,
+        obs: Option<&sharing_obs::TraceBuffer>,
+    ) -> Comparison {
         Comparison {
-            sharing: self.run(BillingMode::Sharing, seed),
-            fixed: self.run(BillingMode::Fixed, seed),
+            sharing: self.run_traced(BillingMode::Sharing, seed, obs),
+            fixed: self.run_traced(BillingMode::Fixed, seed, obs),
         }
     }
 }
@@ -655,6 +684,7 @@ struct Engine<'a> {
     arrivals: u64,
     departures: u64,
     peak_tenants: usize,
+    obs: Option<&'a sharing_obs::TraceBuffer>,
 }
 
 /// One tenant's cleared plan for an epoch.
@@ -766,7 +796,79 @@ impl Engine<'_> {
             rec.slice_utilization,
             rec.fragmentation
         );
+        self.observe_epoch(time, epoch, &rec);
         self.records.push(rec);
+    }
+
+    /// Emits the epoch's logical-cycle spans, when tracing is on.
+    ///
+    /// Durations are deterministic work counts — bidders priced, VCores
+    /// touched, chips metered — laid end to end from the clearing
+    /// instant, so a trace of the run is itself replayable. Each billing
+    /// mode gets its own track pair (epoch row + phase row).
+    fn observe_epoch(&self, time: u64, epoch: usize, rec: &EpochRecord) {
+        let Some(obs) = self.obs else { return };
+        use sharing_json::Json;
+        let base = match self.mode {
+            BillingMode::Sharing => 0,
+            BillingMode::Fixed => 10,
+        };
+        let d_auction = (rec.tenants as u64).max(1);
+        let d_place = ((rec.placed_vcores + rec.denied_vcores) as u64).max(1);
+        let d_bill = (self.ledgers.len() as u64).max(1);
+        obs.record_logical(
+            format!("epoch {epoch} ({})", self.mode.name()),
+            "dc",
+            base,
+            time,
+            self.sim.scenario.epoch_cycles,
+            vec![
+                ("mode".into(), Json::Str(self.mode.name().into())),
+                ("tenants".into(), Json::Int(rec.tenants as i128)),
+                ("revenue".into(), Json::Float(rec.revenue)),
+                ("utility".into(), Json::Float(rec.utility)),
+                ("slice_price".into(), Json::Float(rec.slice_price)),
+            ],
+        );
+        obs.record_logical(
+            "auction",
+            "dc",
+            base + 1,
+            time,
+            d_auction,
+            vec![
+                ("bidders".into(), Json::Int(rec.tenants as i128)),
+                ("slice_price".into(), Json::Float(rec.slice_price)),
+                ("bank_price".into(), Json::Float(rec.bank_price)),
+            ],
+        );
+        obs.record_logical(
+            "placement",
+            "dc",
+            base + 1,
+            time + d_auction,
+            d_place,
+            vec![
+                ("placed".into(), Json::Int(rec.placed_vcores as i128)),
+                ("denied".into(), Json::Int(rec.denied_vcores as i128)),
+                ("priced_out".into(), Json::Int(rec.priced_out as i128)),
+                (
+                    "reconfig_cycles".into(),
+                    Json::Int(i128::from(rec.reconfig_cycles)),
+                ),
+            ],
+        );
+        obs.record_logical(
+            "billing",
+            "dc",
+            base + 1,
+            time + d_auction + d_place,
+            d_bill,
+            vec![
+                ("chips".into(), Json::Int(self.ledgers.len() as i128)),
+                ("revenue".into(), Json::Float(rec.revenue)),
+            ],
+        );
     }
 
     /// Prices the epoch and returns each resident's (shape, vcores) plan.
@@ -945,6 +1047,50 @@ mod tests {
             assert_eq!(a.csv(), b.csv(), "{} csv must replay", mode.name());
             assert_eq!(a.log_hash(), b.log_hash());
         }
+    }
+
+    #[test]
+    fn tracing_leaves_outputs_byte_identical() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let obs = sharing_obs::TraceBuffer::new();
+        for mode in [BillingMode::Sharing, BillingMode::Fixed] {
+            let plain = sim.run(mode, 2014);
+            let traced = sim.run_traced(mode, 2014, Some(&obs));
+            assert_eq!(plain.log, traced.log, "{} log must not move", mode.name());
+            assert_eq!(
+                plain.csv(),
+                traced.csv(),
+                "{} csv must not move",
+                mode.name()
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_spans_every_epoch_phase() {
+        let sim = DcSim::new(small_scenario()).unwrap();
+        let obs = sharing_obs::TraceBuffer::new();
+        let out = sim.run_traced(BillingMode::Sharing, 5, Some(&obs));
+        let events = obs.snapshot();
+        for phase in ["auction", "placement", "billing"] {
+            let spans: Vec<_> = events.iter().filter(|e| e.name == phase).collect();
+            assert_eq!(spans.len(), out.records.len(), "one {phase} span per epoch");
+            assert!(spans
+                .iter()
+                .all(|e| e.clock == sharing_obs::Clock::Logical && e.dur >= 1));
+        }
+        // Epoch spans carry cycle timestamps on the logical clock.
+        let epochs: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("epoch "))
+            .collect();
+        assert_eq!(epochs.len(), out.records.len());
+        for (i, e) in epochs.iter().enumerate() {
+            assert_eq!(e.ts, i as u64 * sim.scenario().epoch_cycles);
+        }
+        // The trace exports as valid Chrome trace JSON.
+        let json = sharing_json::Json::parse(&obs.to_chrome_json()).unwrap();
+        assert!(json.get("traceEvents").and_then(|t| t.as_arr()).is_some());
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! sharing-obs — the workspace's observability substrate.
+//!
+//! The paper's SSim exists to *explain* where cycles go; this crate is
+//! the measurement layer that lets every long-running path in the
+//! reproduction say the same thing about itself, with no external
+//! dependencies:
+//!
+//! * [`registry`] — a process-global table of named [`Counter`]s and
+//!   [`Gauge`]s behind atomics, cheap enough for per-job accounting and
+//!   rendered as Prometheus text exposition by
+//!   [`registry::prometheus_text`];
+//! * [`span`] — [`TraceBuffer`], an explicit, caller-owned buffer of
+//!   [`SpanEvent`]s on **two clocks**: wall-clock spans (microseconds
+//!   since the buffer was created) for daemons and CLI phases, and
+//!   *logical-cycle* spans (simulated cycles) for the deterministic
+//!   simulators, so tracing can never perturb bit-for-bit replay;
+//! * [`chrome`] — exports a buffer as Chrome `trace_event` JSON,
+//!   loadable in Perfetto (<https://ui.perfetto.dev>) or
+//!   `about://tracing`;
+//! * [`prom`] — a small Prometheus text-exposition writer plus the
+//!   percentile helper the ssimd metrics endpoint uses.
+//!
+//! # The two-clock model
+//!
+//! Wall-clock spans answer "where did the *real* time go" (ssimd
+//! queue-wait vs execute, sweep throughput). Logical spans answer
+//! "where did the *simulated* time go" (datacenter epoch phases at
+//! their cycle timestamps). Both land in the same [`TraceBuffer`] and
+//! the Chrome exporter places them under two separate process tracks,
+//! so a single trace file shows both timelines without conflating them.
+//!
+//! # Compile-out
+//!
+//! Everything that records is gated on the crate's `enabled` feature
+//! (on by default). Built with `default-features = false`, every
+//! `inc`/`add`/`record` call is an empty inline function and the
+//! exporters emit empty traces — dependents keep compiling unchanged.
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_obs::{counter, TraceBuffer};
+//!
+//! let jobs = counter("demo_jobs_total");
+//! jobs.inc();
+//!
+//! let trace = TraceBuffer::new();
+//! {
+//!     let _span = trace.span("phase-one", "demo", 0);
+//!     // ... timed work ...
+//! }
+//! trace.record_logical("epoch 0", "sim", 0, 0, 10_000, Vec::new());
+//! let json = trace.to_chrome_json();
+//! assert!(json.contains("traceEvents"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod prom;
+pub mod registry;
+pub mod span;
+
+pub use prom::{percentile, PromWriter};
+pub use registry::{counter, gauge, prometheus_text, Counter, Gauge};
+pub use span::{Clock, Phase, SpanEvent, SpanGuard, TraceBuffer};

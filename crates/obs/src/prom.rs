@@ -1,0 +1,142 @@
+//! Prometheus text exposition (format version 0.0.4), hand-rolled.
+//!
+//! [`PromWriter`] builds one exposition document: `# HELP` / `# TYPE`
+//! headers once per family, then sample lines. [`percentile`] is the
+//! shared nearest-rank helper used for `{quantile="..."}` summaries.
+
+use std::fmt::Write as _;
+
+/// Builds one Prometheus text-exposition document.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+impl PromWriter {
+    /// An empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, ty: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(self.out, "# TYPE {name} {ty}");
+    }
+
+    /// One unlabelled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A counter family with one label dimension, e.g.
+    /// `jobs_total{kind="simulate"} 3`.
+    pub fn counter_family(&mut self, name: &str, help: &str, label: &str, samples: &[(&str, u64)]) {
+        self.header(name, help, "counter");
+        for (label_value, value) in samples {
+            let _ = writeln!(
+                self.out,
+                "{name}{{{label}=\"{}\"}} {value}",
+                escape_label(label_value)
+            );
+        }
+    }
+
+    /// One unlabelled gauge (integer).
+    pub fn gauge_i64(&mut self, name: &str, help: &str, value: i64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One unlabelled gauge (float).
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A summary: quantile sample lines plus `_count`. `quantiles` pairs
+    /// a quantile (e.g. `0.99`) with its value.
+    pub fn summary(&mut self, name: &str, help: &str, quantiles: &[(f64, u64)], count: u64) {
+        self.header(name, help, "summary");
+        for (q, v) in quantiles {
+            let _ = writeln!(self.out, "{name}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(self.out, "{name}_count {count}");
+    }
+
+    /// The finished document.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Nearest-rank percentile over an already **sorted** slice; returns 0
+/// for an empty slice. `p` is in `[0, 1]`.
+#[must_use]
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_emits_help_type_and_samples() {
+        let mut w = PromWriter::new();
+        w.counter("jobs_total", "total jobs", 7);
+        w.gauge_f64("utilization", "busy fraction", 0.5);
+        w.counter_family(
+            "jobs_by_kind_total",
+            "per-kind jobs",
+            "kind",
+            &[("simulate", 3), ("dc", 4)],
+        );
+        w.summary("latency_us", "latency", &[(0.5, 10), (0.99, 90)], 100);
+        let text = w.finish();
+        assert!(text.contains("# HELP jobs_total total jobs\n"));
+        assert!(text.contains("# TYPE jobs_total counter\n"));
+        assert!(text.contains("jobs_total 7\n"));
+        assert!(text.contains("utilization 0.5\n"));
+        assert!(text.contains("jobs_by_kind_total{kind=\"simulate\"} 3\n"));
+        assert!(text.contains("latency_us{quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("latency_us{quantile=\"0.99\"} 90\n"));
+        assert!(text.contains("latency_us_count 100\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.counter_family("m_total", "m", "k", &[("a\"b", 1)]);
+        assert!(w.finish().contains("m_total{k=\"a\\\"b\"} 1"));
+    }
+
+    #[test]
+    fn percentile_matches_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 100);
+        let p50 = percentile(&v, 0.5);
+        assert!((49..=51).contains(&p50));
+        let p99 = percentile(&v, 0.99);
+        assert!((98..=100).contains(&p99));
+    }
+}

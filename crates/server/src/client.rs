@@ -97,6 +97,22 @@ impl Client {
             .ok_or_else(|| bad_data("stats reply missing `stats`"))
     }
 
+    /// Fetches the server's metrics as Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` if the reply carries no metrics text.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        let v = self.call(&Envelope {
+            id: None,
+            req: Request::Metrics,
+        })?;
+        v.get("metrics")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad_data("metrics reply missing `metrics`"))
+    }
+
     /// Requests graceful shutdown; returns the final reply.
     ///
     /// # Errors

@@ -7,7 +7,7 @@
 //!
 //! * [`protocol`] — newline-delimited JSON over TCP: `run`, `sweep`,
 //!   `market`, `dc` (datacenter scenarios via `sharing-dc`), `stats`,
-//!   `ping`, `shutdown`;
+//!   `metrics` (Prometheus text exposition), `ping`, `shutdown`;
 //! * [`queue`] — a bounded job queue with non-blocking admission control
 //!   (a full queue answers with an explicit backpressure reply);
 //! * [`server`] — the daemon: listener, per-connection threads, a fixed
@@ -16,8 +16,11 @@
 //!   replay the exact bytes of the fresh run (the simulator and trace
 //!   generation are deterministic), and it can persist to a plain file
 //!   across restarts (`ServerConfig::cache_path`);
-//! * [`metrics`] — queue depth, cache hit rate, worker utilization, and
-//!   p50/p99 job latency, served by the `stats` request;
+//! * [`metrics`] — queue depth, cache hit rate, worker utilization,
+//!   per-kind completion counters, and p50/p99 queue-wait / execute /
+//!   end-to-end latency, served as JSON by `stats` and as Prometheus
+//!   text by `metrics`; per-job wall-clock spans land in a Chrome trace
+//!   written at shutdown when `ServerConfig::trace_path` is set;
 //! * [`client`] — a blocking client used by `ssim submit` and the tests.
 //!
 //! # Example
@@ -53,7 +56,7 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::Client;
-pub use metrics::Metrics;
+pub use metrics::{JobClass, Metrics};
 pub use protocol::{
     DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob, DEFAULT_PORT,
 };

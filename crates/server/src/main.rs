@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!       [--cache-file PATH]
+//!       [--cache-file PATH] [--trace-out PATH]
 //! ```
 //!
 //! Runs until a client sends `{"type":"shutdown"}` (e.g. via
@@ -17,13 +17,17 @@ fn usage() -> String {
 
 USAGE:
     ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-          [--cache-file PATH]
+          [--cache-file PATH] [--trace-out PATH]
 
 DEFAULTS:
     --addr 127.0.0.1:{}   --workers <cores, max 8>   --queue 64   --cache 1024
 
 With `--cache-file`, the result cache is reloaded from PATH on start and
 saved back on graceful shutdown, so results survive restarts.
+
+With `--trace-out`, a Chrome trace of every executed job (one wall-clock
+span per job, per worker, with queue-wait/execute timings) is written to
+PATH on graceful shutdown; open it in Perfetto or chrome://tracing.
 
 The daemon speaks newline-delimited JSON; see `ssim submit --help` or the
 sharing-server crate docs for the request shapes.",
@@ -58,6 +62,7 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|_| "--cache: not a number".to_string())?;
             }
             "--cache-file" => cfg.cache_path = Some(value("--cache-file")?),
+            "--trace-out" => cfg.trace_path = Some(value("--trace-out")?),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }

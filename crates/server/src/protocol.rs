@@ -11,6 +11,7 @@
 //! ```text
 //! {"type":"ping"}
 //! {"type":"stats"}
+//! {"type":"metrics"}
 //! {"type":"shutdown"}
 //! {"type":"run","benchmark":"gcc","slices":4,"banks":8,"len":60000,"seed":7}
 //! {"type":"run","profile":{...WorkloadProfile...},"slices":2,...}
@@ -103,8 +104,10 @@ pub struct DcJob {
 pub enum Request {
     /// Liveness check.
     Ping,
-    /// Server-wide metrics.
+    /// Server-wide metrics as a JSON snapshot.
     Stats,
+    /// Server-wide metrics as Prometheus text exposition.
+    Metrics,
     /// Graceful shutdown: drain in-flight jobs, then exit.
     Shutdown,
     /// A single simulation.
@@ -183,6 +186,7 @@ impl Envelope {
         let req = match ty {
             "ping" => Request::Ping,
             "stats" => Request::Stats,
+            "metrics" => Request::Metrics,
             "shutdown" => Request::Shutdown,
             "run" => {
                 let workload = if let Some(p) = v.get("profile") {
@@ -257,6 +261,7 @@ impl Envelope {
         match &self.req {
             Request::Ping => pairs.push(("type", Json::Str("ping".into()))),
             Request::Stats => pairs.push(("type", Json::Str("stats".into()))),
+            Request::Metrics => pairs.push(("type", Json::Str("metrics".into()))),
             Request::Shutdown => pairs.push(("type", Json::Str("shutdown".into()))),
             Request::Run(job) => {
                 pairs.push(("type", Json::Str("run".into())));
@@ -443,6 +448,10 @@ mod tests {
             Envelope {
                 id: Some(0),
                 req: Request::Stats,
+            },
+            Envelope {
+                id: Some(12),
+                req: Request::Metrics,
             },
             Envelope {
                 id: None,

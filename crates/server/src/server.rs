@@ -18,12 +18,13 @@
 
 use crate::cache::ResultCache;
 use crate::exec;
-use crate::metrics::Metrics;
+use crate::metrics::{JobClass, Metrics};
 use crate::protocol::{self, DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
 use crate::queue::{JobQueue, PushError};
 use sharing_core::VCoreShape;
 use sharing_json::Json;
 use sharing_market::{optimize, PerfSurface};
+use sharing_obs::{SpanEvent, TraceBuffer};
 use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +48,10 @@ pub struct ServerConfig {
     /// saved back on graceful shutdown, so cached results (and their
     /// byte-identical replays) survive daemon restarts.
     pub cache_path: Option<String>,
+    /// When set, a Chrome trace of every job (per-worker wall-clock
+    /// spans with queue-wait and execute timings) is written here on
+    /// graceful shutdown.
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             cache_path: None,
+            trace_path: None,
         }
     }
 }
@@ -66,6 +72,7 @@ struct Job {
     id: Option<u64>,
     kind: JobKind,
     reply: mpsc::Sender<String>,
+    enqueued: Instant,
 }
 
 enum JobKind {
@@ -81,6 +88,8 @@ struct State {
     cache: ResultCache,
     cache_path: Option<String>,
     metrics: Metrics,
+    trace: TraceBuffer,
+    trace_path: Option<String>,
     stopping: AtomicBool,
 }
 
@@ -111,6 +120,8 @@ impl Server {
             cache: ResultCache::new(cfg.cache_capacity),
             cache_path: cfg.cache_path,
             metrics: Metrics::new(cfg.workers),
+            trace: TraceBuffer::new(),
+            trace_path: cfg.trace_path,
             stopping: AtomicBool::new(false),
         });
         if let Some(path) = &state.cache_path {
@@ -126,7 +137,7 @@ impl Server {
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
                     .name(format!("ssimd-worker-{i}"))
-                    .spawn(move || worker_loop(&state))
+                    .spawn(move || worker_loop(&state, i as u64))
                     .expect("spawn worker")
             })
             .collect();
@@ -194,11 +205,15 @@ fn initiate_shutdown(state: &State, local: SocketAddr) {
     state.queue.close();
     state.queue.wait_drained();
     if !state.stopping.swap(true, Ordering::SeqCst) {
-        // Exactly-once on the first shutdown path: persist the cache (all
-        // jobs have drained, so it is quiescent), then kick the listener
-        // out of accept() with a throwaway connection.
+        // Exactly-once on the first shutdown path: persist the cache and
+        // the job trace (all jobs have drained, so both are quiescent),
+        // then kick the listener out of accept() with a throwaway
+        // connection.
         if let Some(path) = &state.cache_path {
             let _ = state.cache.save_to_file(path);
+        }
+        if let Some(path) = &state.trace_path {
+            let _ = state.trace.save_chrome(path);
         }
         let _ = TcpStream::connect(local);
     }
@@ -256,6 +271,22 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
                 }
                 continue;
             }
+            Request::Metrics => {
+                // Prometheus text is multi-line; it ships as one JSON
+                // string field so the one-line-per-reply protocol holds.
+                let text = state
+                    .metrics
+                    .prometheus_text(state.queue.depth(), state.cache.len());
+                let reply = format!(
+                    "{},\"metrics\":{}}}",
+                    ok_head(env.id, "metrics"),
+                    Json::Str(text)
+                );
+                if protocol::write_line(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
             Request::Shutdown => {
                 // Drain first, then answer, and only then unblock the
                 // listener: once `accept` returns the daemon may exit, and
@@ -282,6 +313,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             id: env.id,
             kind,
             reply: tx,
+            enqueued: Instant::now(),
         };
         match state.queue.try_push(job) {
             Ok(_) => {
@@ -316,21 +348,81 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
     }
 }
 
-fn worker_loop(state: &Arc<State>) {
+fn worker_loop(state: &Arc<State>, track: u64) {
     while let Some(job) = state.queue.pop() {
+        let queue_wait_us = u64::try_from(job.enqueued.elapsed().as_micros()).unwrap_or(u64::MAX);
         state.metrics.busy_workers.fetch_add(1, Ordering::Relaxed);
+        let start_us = state.trace.now_us();
         let t0 = Instant::now();
-        execute_job(state, &job);
+        let report = execute_job(state, &job);
+        let exec_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
         // Completion metrics are recorded before `job_done()` so that a
         // shutdown drain (which waits on `job_done`) always observes them.
         state.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
         state
             .metrics
-            .record_latency_us(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            .record_job(report.class, report.units, queue_wait_us, exec_us);
         state.metrics.busy_workers.fetch_sub(1, Ordering::Relaxed);
+        observe_job(
+            state,
+            &job,
+            &report,
+            track,
+            start_us,
+            queue_wait_us,
+            exec_us,
+        );
         drop(job);
         state.queue.job_done();
     }
+}
+
+/// One executed job's accounting: what it counted as, how many work
+/// units it completed, and whether a cache hit served it.
+struct JobReport {
+    class: JobClass,
+    units: u64,
+    cached: Option<bool>,
+    ok: bool,
+}
+
+/// Records one job's wall-clock span (this worker's track) with its
+/// structured record: request id, kind, queue wait, execute time, and
+/// cache outcome.
+#[allow(clippy::too_many_arguments)]
+fn observe_job(
+    state: &State,
+    job: &Job,
+    report: &JobReport,
+    track: u64,
+    start_us: u64,
+    queue_wait_us: u64,
+    exec_us: u64,
+) {
+    let mut args = vec![
+        ("kind".to_string(), Json::Str(report.class.name().into())),
+        ("units".to_string(), Json::Int(i128::from(report.units))),
+        (
+            "queue_wait_us".to_string(),
+            Json::Int(i128::from(queue_wait_us)),
+        ),
+        ("exec_us".to_string(), Json::Int(i128::from(exec_us))),
+        ("ok".to_string(), Json::Bool(report.ok)),
+    ];
+    if let Some(id) = job.id {
+        args.push(("id".to_string(), Json::Int(i128::from(id))));
+    }
+    if let Some(cached) = report.cached {
+        args.push(("cached".to_string(), Json::Bool(cached)));
+    }
+    state.trace.record(SpanEvent::wall(
+        format!("{} job", report.class.name()),
+        "ssimd",
+        track,
+        start_us,
+        exec_us,
+        args,
+    ));
 }
 
 /// Extracts IPC from a serialized `SimResult` payload.
@@ -345,7 +437,7 @@ fn payload_ipc(payload: &str) -> Option<f64> {
     }
 }
 
-fn execute_job(state: &Arc<State>, job: &Job) {
+fn execute_job(state: &Arc<State>, job: &Job) -> JobReport {
     match &job.kind {
         JobKind::Run(run) => {
             match exec::run_cached(&state.cache, &state.metrics, run) {
@@ -357,15 +449,33 @@ fn execute_job(state: &Arc<State>, job: &Job) {
                         ok_head(job.id, "result")
                     );
                     let _ = job.reply.send(line);
+                    JobReport {
+                        class: JobClass::Simulate,
+                        units: 1,
+                        cached: Some(cached),
+                        ok: true,
+                    }
                 }
                 Err(e) => {
                     state.metrics.errors.fetch_add(1, Ordering::Relaxed);
                     let _ = job.reply.send(protocol::error_line(job.id, &e));
+                    JobReport {
+                        class: JobClass::Simulate,
+                        units: 0,
+                        cached: None,
+                        ok: false,
+                    }
                 }
             }
         }
         JobKind::Sweep(sweep) => {
-            let mut points = 0usize;
+            let mut points = 0u64;
+            let report = |points, ok| JobReport {
+                class: JobClass::SweepPoint,
+                units: points,
+                cached: None,
+                ok,
+            };
             for shape in VCoreShape::sweep_grid() {
                 let run = RunJob {
                     workload: JobWorkload::Benchmark(sweep.benchmark),
@@ -386,19 +496,22 @@ fn execute_job(state: &Arc<State>, job: &Job) {
                             Json::Float(ipc)
                         );
                         if job.reply.send(line).is_err() {
-                            return; // client disconnected; stop early
+                            // Client disconnected; stop early but still
+                            // account for the points already swept.
+                            return report(points, true);
                         }
                         points += 1;
                     }
                     Err(e) => {
                         state.metrics.errors.fetch_add(1, Ordering::Relaxed);
                         let _ = job.reply.send(protocol::error_line(job.id, &e));
-                        return;
+                        return report(points, false);
                     }
                 }
             }
             let line = format!("{},\"points\":{points}}}", ok_head(job.id, "sweep_done"));
             let _ = job.reply.send(line);
+            report(points, true)
         }
         JobKind::Market(market) => {
             let mut points: BTreeMap<VCoreShape, f64> = BTreeMap::new();
@@ -417,7 +530,12 @@ fn execute_job(state: &Arc<State>, job: &Job) {
                     Err(e) => {
                         state.metrics.errors.fetch_add(1, Ordering::Relaxed);
                         let _ = job.reply.send(protocol::error_line(job.id, &e));
-                        return;
+                        return JobReport {
+                            class: JobClass::Market,
+                            units: 0,
+                            cached: None,
+                            ok: false,
+                        };
                     }
                 }
             }
@@ -441,6 +559,12 @@ fn execute_job(state: &Arc<State>, job: &Job) {
                 Json::Float(chosen.value),
             );
             let _ = job.reply.send(line);
+            JobReport {
+                class: JobClass::Market,
+                units: 1,
+                cached: None,
+                ok: true,
+            }
         }
         JobKind::Dc(dc) => match exec::run_dc_cached(&state.cache, &state.metrics, dc) {
             Ok((payload, cached)) => {
@@ -452,10 +576,22 @@ fn execute_job(state: &Arc<State>, job: &Job) {
                     ok_head(job.id, "dc_result")
                 );
                 let _ = job.reply.send(line);
+                JobReport {
+                    class: JobClass::Dc,
+                    units: 1,
+                    cached: Some(cached),
+                    ok: true,
+                }
             }
             Err(e) => {
                 state.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 let _ = job.reply.send(protocol::error_line(job.id, &e));
+                JobReport {
+                    class: JobClass::Dc,
+                    units: 0,
+                    cached: None,
+                    ok: false,
+                }
             }
         },
     }

@@ -56,6 +56,106 @@ fn ping_stats_and_error_replies() {
 }
 
 #[test]
+fn metrics_request_returns_prometheus_text_and_trace_lands_on_shutdown() {
+    let dir = std::env::temp_dir().join(format!("ssimd-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("jobs.trace.json").to_string_lossy().into_owned();
+    let handle = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 8,
+        cache_capacity: 64,
+        trace_path: Some(trace_path.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.run_benchmark("gcc", 2, 2, 600, 5).unwrap();
+    c.run_benchmark("gcc", 2, 2, 600, 5).unwrap(); // cache hit
+    c.dc(small_scenario(), 3, Some(sharing_dc::BillingMode::Sharing))
+        .unwrap();
+
+    // stats carries the queue-wait/execute split and per-kind counters.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.get("jobs_completed").and_then(Json::as_int), Some(3));
+    assert!(stats
+        .get("queue_wait_p50_us")
+        .and_then(Json::as_int)
+        .is_some());
+    assert!(stats
+        .get("queue_wait_p99_us")
+        .and_then(Json::as_int)
+        .is_some());
+    assert!(stats.get("exec_p50_us").and_then(Json::as_int).is_some());
+    let by_kind = stats.get("completed_by_kind").expect("kind breakdown");
+    assert_eq!(by_kind.get("simulate").and_then(Json::as_int), Some(2));
+    assert_eq!(by_kind.get("dc").and_then(Json::as_int), Some(1));
+
+    // The metrics request answers with Prometheus text exposition.
+    let text = c.metrics().unwrap();
+    assert!(
+        text.contains("# TYPE ssimd_jobs_completed_total counter"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ssimd_jobs_completed_total{kind=\"simulate\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ssimd_jobs_completed_total{kind=\"dc\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ssimd_queue_wait_us{quantile=\"0.5\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ssimd_queue_wait_us{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(text.contains("ssimd_queue_wait_us_count 3"), "{text}");
+    assert!(
+        text.contains("ssimd_cache_lookups_total{outcome=\"hit\"} 1"),
+        "{text}"
+    );
+
+    // Graceful shutdown writes the per-job Chrome trace.
+    handle.stop();
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let v = Json::parse(&trace).expect("trace is valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    let job_spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Json::as_str) == Some("ssimd"))
+        .collect();
+    assert_eq!(job_spans.len(), 3, "one span per executed job");
+    for span in &job_spans {
+        let args = span.get("args").expect("span args");
+        assert!(args.get("queue_wait_us").and_then(Json::as_int).is_some());
+        assert!(args.get("exec_us").and_then(Json::as_int).is_some());
+        assert!(args.get("kind").and_then(Json::as_str).is_some());
+        assert!(span.get("ts").and_then(Json::as_int).unwrap() >= 0);
+        assert!(span.get("dur").and_then(Json::as_int).unwrap() >= 0);
+    }
+    let cached_flags: Vec<bool> = job_spans
+        .iter()
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("cached"))
+                .and_then(Json::as_bool)
+        })
+        .collect();
+    assert!(
+        cached_flags.contains(&true),
+        "the warm run span marks the cache hit"
+    );
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
 fn run_result_matches_local_simulation_and_cache_is_byte_identical() {
     let handle = start(2, 8);
     let mut c = Client::connect(handle.local_addr()).unwrap();
@@ -353,6 +453,7 @@ fn cache_persists_across_daemon_restarts() {
         queue_capacity: 8,
         cache_capacity: 256,
         cache_path: Some(path.clone()),
+        trace_path: None,
     };
 
     // First daemon: run one simulation job and one dc job, then shut down

@@ -1,0 +1,45 @@
+//! Observability quickstart: trace simulator runs on both clocks and
+//! render the global counters as Prometheus text.
+//!
+//! ```text
+//! cargo run --release --example trace_a_run
+//! ```
+//!
+//! Writes a Chrome `trace_event` file next to the system temp dir; open
+//! it in Perfetto (<https://ui.perfetto.dev>) or `about://tracing` to see
+//! one wall-clock track (real microseconds) and one logical track
+//! (simulated cycles) side by side.
+
+use sharing_arch::core::{SimConfig, Simulator};
+use sharing_arch::obs::TraceBuffer;
+use sharing_arch::trace::{Benchmark, TraceSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let obs = TraceBuffer::new();
+
+    // Each shape gets a wall-clock span (how long the host took) and,
+    // via `run_traced`, a logical span (how many cycles were simulated,
+    // with IPC and shape in the span args).
+    for (slices, banks) in [(1, 2), (2, 4), (4, 8)] {
+        let _phase = obs.span(format!("simulate {slices}s/{banks}b"), "example", 0);
+        let trace = Benchmark::Gcc.generate(&TraceSpec::new(20_000, 42));
+        let config = SimConfig::with_shape(slices, banks)?;
+        let result = Simulator::new(config)?.run_traced(&trace, &obs);
+        println!(
+            "{slices} slices / {:>3} KB L2: IPC {:.3} over {} cycles",
+            banks * 64,
+            result.ipc(),
+            result.cycles
+        );
+    }
+
+    let path = std::env::temp_dir().join("trace_a_run.trace.json");
+    obs.save_chrome(path.to_str().expect("temp path is UTF-8"))?;
+    println!("\nwrote {} ({} spans)", path.display(), obs.len());
+    println!("open it in Perfetto or about://tracing");
+
+    // The simulator also bumps process-global counters on every run;
+    // this is the same registry ssimd serves over its `metrics` request.
+    println!("\n{}", sharing_arch::obs::prometheus_text());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Validate a Chrome `trace_event` file produced by `--trace-out`.
+//!
+//! ```text
+//! cargo run --release --example validate_trace -- path/to/trace.json
+//! ```
+//!
+//! Checks that the file is valid JSON with a `traceEvents` array and
+//! that every complete ("X") span has non-negative `ts` and `dur`.
+//! Exits non-zero on any violation — `scripts/ci.sh` runs this against a
+//! fresh `ssim run --trace-out` artifact.
+
+use sharing_arch::json::Json;
+use std::process::ExitCode;
+
+fn validate(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = Json::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing `traceEvents` array"))?;
+
+    let mut spans = 0usize;
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        spans += 1;
+        let name = e.get("name").and_then(Json::as_str).unwrap_or("<unnamed>");
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("span `{name}`: missing integer `ts`"))?;
+        let dur = e
+            .get("dur")
+            .and_then(Json::as_int)
+            .ok_or_else(|| format!("span `{name}`: missing integer `dur`"))?;
+        if ts < 0 || dur < 0 {
+            return Err(format!("span `{name}`: negative ts/dur ({ts}/{dur})"));
+        }
+    }
+    if spans == 0 {
+        return Err(format!("{path}: no complete (`X`) spans"));
+    }
+    Ok(format!(
+        "{path}: ok — {} events, {spans} spans, ts/dur all non-negative",
+        events.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    match validate(&path) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("validate_trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

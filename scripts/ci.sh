@@ -7,7 +7,7 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== cargo clippy (warnings denied) =="
+echo "== cargo clippy (warnings denied; tier-1.5 gate) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo build --release =="
@@ -30,10 +30,18 @@ EXAMPLES=(
   spot_prices        # market + json: spot-price series serialization
   dc_scenario        # dc: discrete-event datacenter, sharing vs fixed
   serve_jobs         # server: ssimd daemon end to end
+  trace_a_run        # obs: two-clock tracing + Prometheus counters
 )
 for ex in "${EXAMPLES[@]}"; do
   echo "-- example: $ex"
   cargo run --release --offline --example "$ex" >/dev/null
 done
+
+echo "== trace smoke: ssim --trace-out emits a valid Chrome trace =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release --offline -p sharing-ssim --bin ssim -- \
+  run --benchmark gcc --len 2000 --trace-out "$TRACE_TMP/run.trace.json" >/dev/null
+cargo run --release --offline --example validate_trace -- "$TRACE_TMP/run.trace.json"
 
 echo "ci: all green"

@@ -21,7 +21,11 @@
 //!   and revenue metering (see `examples/dc_scenario.rs`);
 //! * [`server`] — ssimd, the simulation-as-a-service daemon: a TCP job
 //!   server with a bounded queue, worker pool, and result cache (see
-//!   `examples/serve_jobs.rs`).
+//!   `examples/serve_jobs.rs`);
+//! * [`obs`] — zero-dependency tracing and metrics: wall-clock and
+//!   logical-cycle spans, global counters/gauges, a Chrome `trace_event`
+//!   exporter (Perfetto-loadable) and Prometheus text exposition (see
+//!   `examples/trace_a_run.rs` and DESIGN.md §observability).
 //!
 //! # Quick start
 //!
@@ -49,5 +53,6 @@ pub use sharing_isa as isa;
 pub use sharing_json as json;
 pub use sharing_market as market;
 pub use sharing_noc as noc;
+pub use sharing_obs as obs;
 pub use sharing_server as server;
 pub use sharing_trace as trace;
