@@ -119,6 +119,15 @@ pub struct ServeArgs {
     /// When set, the daemon writes a Chrome trace of every executed job
     /// here on graceful shutdown.
     pub trace_out: Option<String>,
+    /// Remote worker daemon addresses (repeatable `--worker`). When
+    /// non-empty the daemon runs as a coordinator: jobs fan out to these
+    /// workers with health checks and bounded retry instead of executing
+    /// in the local pool.
+    pub workers_remote: Vec<String>,
+    /// Per-dispatch retry budget in coordinator mode.
+    pub retries: u32,
+    /// Per-job remote timeout in milliseconds in coordinator mode.
+    pub job_timeout_ms: u64,
 }
 
 /// What `ssim submit` asks the daemon to do.
@@ -148,6 +157,9 @@ pub enum SubmitAction {
     },
     /// Liveness check.
     Ping,
+    /// Protocol-version negotiation: print the version the daemon settled
+    /// on.
+    Hello,
     /// Fetch the server metrics snapshot.
     Stats,
     /// Fetch the server metrics as Prometheus text exposition.
@@ -238,10 +250,11 @@ USAGE:
                [--seed N] [--mode sharing|fixed] [--out DIR] [--trace-out FILE]
     ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                [--cache-file PATH] [--trace-out FILE]
+               [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
     ssim submit [--addr HOST:PORT]
                (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
                 | --dc scenario.json [--seed N] [--mode sharing|fixed]
-                | --ping | --stats | --metrics | --shutdown)
+                | --ping | --hello | --stats | --metrics | --shutdown)
     ssim config            emit the default configuration as JSON
     ssim list              list available benchmarks
     ssim help              this message
@@ -253,6 +266,8 @@ EXAMPLES:
     ssim dc --emit-example > bursty.json && ssim dc --scenario bursty.json --seed 7
     ssim serve --workers 4 --cache-file /tmp/ssimd.cache &
     ssim sweep --benchmark mcf --daemon 127.0.0.1:42014
+    ssim serve --addr :42020 --worker host-a:42014 --worker host-b:42014
+    ssim submit --hello       # negotiated protocol version
     ssim submit --benchmark mcf --slices 2 --banks 4
     ssim submit --dc bursty.json --mode sharing
     ssim submit --stats && ssim submit --shutdown
@@ -411,6 +426,9 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 cache: 1024,
                 cache_file: None,
                 trace_out: None,
+                workers_remote: Vec::new(),
+                retries: 3,
+                job_timeout_ms: 30_000,
             };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -422,6 +440,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--cache" => out.cache = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--cache-file" => out.cache_file = Some(take_value(flag, &mut it)?.clone()),
                     "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
+                    "--worker" => out.workers_remote.push(take_value(flag, &mut it)?.clone()),
+                    "--retries" => out.retries = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--job-timeout-ms" => {
+                        out.job_timeout_ms = parse_num(flag, take_value(flag, &mut it)?)?;
+                    }
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -458,6 +481,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--len" => len = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--seed" => seed = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--ping" => action = Some(SubmitAction::Ping),
+                    "--hello" => action = Some(SubmitAction::Hello),
                     "--stats" => action = Some(SubmitAction::Stats),
                     "--metrics" => action = Some(SubmitAction::Metrics),
                     "--shutdown" => action = Some(SubmitAction::Shutdown),
@@ -480,12 +504,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 },
                 (None, None, None) => {
                     return Err(CliError::MissingValue(
-                        "--benchmark, --dc, --ping, --stats, --metrics or --shutdown".to_string(),
+                        "--benchmark, --dc, --ping, --hello, --stats, --metrics or --shutdown"
+                            .to_string(),
                     ));
                 }
                 _ => {
                     return Err(CliError::ConflictingFlags(
-                        "pick one of --benchmark, --dc, --ping, --stats, --metrics, --shutdown"
+                        "pick one of --benchmark, --dc, --ping, --hello, --stats, --metrics, \
+                         --shutdown"
                             .to_string(),
                     ));
                 }
@@ -630,8 +656,15 @@ type SweepGrid = std::collections::HashMap<(usize, usize), f64>;
 fn sweep_via_daemon(addr: &str, args: &SweepArgs) -> Result<(SweepGrid, usize), CliError> {
     let mut client = sharing_server::Client::connect(addr)
         .map_err(|e| CliError::Server(format!("{addr}: {e}")))?;
+    client
+        .hello()
+        .map_err(|e| CliError::Server(format!("{addr}: {e}")))?;
     let lines = client
-        .sweep(args.benchmark, args.len, args.seed)
+        .submit_all(sharing_server::Job::Sweep(sharing_server::SweepJob {
+            benchmark: args.benchmark,
+            len: args.len,
+            seed: args.seed,
+        }))
         .map_err(|e| CliError::Server(e.to_string()))?;
     let last = lines.last().expect("sweep yields at least one line");
     if last.get("type").and_then(|v| v.as_str()) != Some("sweep_done") {
@@ -806,6 +839,9 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 cache_capacity: args.cache,
                 cache_path: args.cache_file.clone(),
                 trace_path: args.trace_out.clone(),
+                remote_workers: args.workers_remote.clone(),
+                dispatch_retries: args.retries,
+                job_timeout_ms: args.job_timeout_ms,
                 ..sharing_server::ServerConfig::default()
             };
             if let Some(w) = args.workers {
@@ -813,10 +849,19 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             }
             let handle =
                 sharing_server::Server::start(cfg).map_err(|e| CliError::Server(e.to_string()))?;
-            eprintln!(
-                "ssim serve: listening on {} (stop with `ssim submit --shutdown`)",
-                handle.local_addr()
-            );
+            if args.workers_remote.is_empty() {
+                eprintln!(
+                    "ssim serve: listening on {} (stop with `ssim submit --shutdown`)",
+                    handle.local_addr()
+                );
+            } else {
+                eprintln!(
+                    "ssim serve: coordinating {} worker(s) on {} (stop with `ssim submit \
+                     --shutdown`)",
+                    args.workers_remote.len(),
+                    handle.local_addr()
+                );
+            }
             handle.join();
             Ok("ssim serve: drained and stopped".to_string())
         }
@@ -831,6 +876,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     } else {
                         Err(CliError::Server(format!("{}: unexpected reply", args.addr)))
                     };
+                }
+                SubmitAction::Hello => {
+                    let proto = client
+                        .hello()
+                        .map_err(|e| CliError::Server(e.to_string()))?;
+                    return Ok(format!(
+                        "{}: speaking protocol v{proto} (client v{})",
+                        args.addr,
+                        sharing_server::PROTO_VERSION
+                    ));
                 }
                 SubmitAction::Stats => client
                     .stats()
@@ -852,13 +907,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     len,
                     seed,
                 } => client
-                    .run(sharing_server::RunJob {
+                    .submit(sharing_server::Job::Run(sharing_server::RunJob {
                         workload: sharing_server::JobWorkload::Benchmark(*benchmark),
                         slices: *slices,
                         banks: *banks,
                         len: *len,
                         seed: *seed,
-                    })
+                    }))
                     .map_err(|e| CliError::Server(e.to_string()))?,
                 SubmitAction::Dc {
                     scenario_path,
@@ -867,16 +922,17 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 } => {
                     let scenario = load_scenario(scenario_path)?;
                     client
-                        .dc(scenario, *seed, *mode)
+                        .submit(sharing_server::Job::Dc(Box::new(sharing_server::DcJob {
+                            scenario,
+                            seed: *seed,
+                            mode: *mode,
+                        })))
                         .map_err(|e| CliError::Server(e.to_string()))?
                 }
             };
             if reply.get("ok").and_then(|v| v.as_bool()) == Some(false) {
-                let msg = reply
-                    .get("error")
-                    .and_then(|v| v.as_str())
-                    .unwrap_or("request failed")
-                    .to_string();
+                let msg = sharing_server::ServerError::from_reply(&reply)
+                    .map_or_else(|| "request failed".to_string(), |e| e.to_string());
                 return Err(CliError::Server(msg));
             }
             Ok(sharing_json::to_string_pretty(&reply))
@@ -1161,8 +1217,41 @@ mod server_tests {
                 cache: 16,
                 cache_file: Some("/tmp/ssimd.cache".to_string()),
                 trace_out: None,
+                workers_remote: vec![],
+                retries: 3,
+                job_timeout_ms: 30_000,
             })
         );
+
+        // Coordinator mode: `--worker` repeats, retry/timeout knobs parse.
+        let cmd = parse(&s(&[
+            "serve",
+            "--worker",
+            "host-a:42014",
+            "--worker",
+            "host-b:42014",
+            "--retries",
+            "5",
+            "--job-timeout-ms",
+            "1500",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.workers_remote, vec!["host-a:42014", "host-b:42014"]);
+                assert_eq!(a.retries, 5);
+                assert_eq!(a.job_timeout_ms, 1500);
+            }
+            other => panic!("expected serve, got {other:?}"),
+        }
+
+        assert!(matches!(
+            parse(&s(&["submit", "--hello"])).unwrap(),
+            Command::Submit(SubmitArgs {
+                action: SubmitAction::Hello,
+                ..
+            })
+        ));
 
         let cmd = parse(&s(&["submit", "--benchmark", "mcf", "--slices", "4"])).unwrap();
         match cmd {
@@ -1308,6 +1397,16 @@ mod server_tests {
         }))
         .unwrap();
         assert!(out.ends_with("pong"), "{out}");
+
+        let out = execute(&Command::Submit(SubmitArgs {
+            addr: addr.clone(),
+            action: SubmitAction::Hello,
+        }))
+        .unwrap();
+        assert!(
+            out.contains(&format!("protocol v{}", sharing_server::PROTO_VERSION)),
+            "{out}"
+        );
 
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),

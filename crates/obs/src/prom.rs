@@ -54,6 +54,19 @@ impl PromWriter {
         }
     }
 
+    /// A gauge family with one label dimension, e.g.
+    /// `worker_healthy{worker="host:42014"} 1`.
+    pub fn gauge_family(&mut self, name: &str, help: &str, label: &str, samples: &[(&str, i64)]) {
+        self.header(name, help, "gauge");
+        for (label_value, value) in samples {
+            let _ = writeln!(
+                self.out,
+                "{name}{{{label}=\"{}\"}} {value}",
+                escape_label(label_value)
+            );
+        }
+    }
+
     /// One unlabelled gauge (integer).
     pub fn gauge_i64(&mut self, name: &str, help: &str, value: i64) {
         self.header(name, help, "gauge");
@@ -109,6 +122,12 @@ mod tests {
             "kind",
             &[("simulate", 3), ("dc", 4)],
         );
+        w.gauge_family(
+            "worker_healthy",
+            "per-worker health",
+            "worker",
+            &[("a:1", 1), ("b:2", 0)],
+        );
         w.summary("latency_us", "latency", &[(0.5, 10), (0.99, 90)], 100);
         let text = w.finish();
         assert!(text.contains("# HELP jobs_total total jobs\n"));
@@ -116,6 +135,9 @@ mod tests {
         assert!(text.contains("jobs_total 7\n"));
         assert!(text.contains("utilization 0.5\n"));
         assert!(text.contains("jobs_by_kind_total{kind=\"simulate\"} 3\n"));
+        assert!(text.contains("# TYPE worker_healthy gauge\n"));
+        assert!(text.contains("worker_healthy{worker=\"a:1\"} 1\n"));
+        assert!(text.contains("worker_healthy{worker=\"b:2\"} 0\n"));
         assert!(text.contains("latency_us{quantile=\"0.5\"} 10\n"));
         assert!(text.contains("latency_us{quantile=\"0.99\"} 90\n"));
         assert!(text.contains("latency_us_count 100\n"));

@@ -4,14 +4,22 @@
 //! so the typed helpers below send a request and read exactly the reply
 //! lines it produces. For pipelining, use [`Client::send`] /
 //! [`Client::recv`] directly with distinct `id`s.
+//!
+//! Jobs go through one door: [`Client::submit`] (single reply) or
+//! [`Client::submit_all`] (streamed replies, e.g. sweeps). The old
+//! per-kind methods survive as deprecated wrappers.
 
-use crate::protocol::{self, DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use crate::protocol::{
+    self, DcJob, Envelope, Job, JobWorkload, MarketJob, Request, RunJob, ServerError, SweepJob,
+    MIN_PROTO, PROTO_VERSION,
+};
 use sharing_dc::{BillingMode, Scenario};
 use sharing_json::Json;
 use sharing_market::{Market, UtilityFn};
 use sharing_trace::{Benchmark, WorkloadProfile};
 use std::io::{BufReader, Error, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A connected ssimd client.
 pub struct Client {
@@ -38,6 +46,37 @@ impl Client {
         })
     }
 
+    /// Connects with a connect timeout (the first resolved address is
+    /// used). Coordinators use this so a dead worker can't stall
+    /// registration.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if `addr` resolves to nothing; otherwise propagates
+    /// connection errors (including `TimedOut`).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<Client> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| Error::new(ErrorKind::InvalidInput, "address resolved to nothing"))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Bounds every subsequent reply read; `None` blocks forever.
+    /// A read that times out surfaces as `WouldBlock`/`TimedOut`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one request line.
     ///
     /// # Errors
@@ -47,6 +86,18 @@ impl Client {
         protocol::write_line(&mut self.writer, &env.to_line())
     }
 
+    /// Reads one raw reply line (the exact bytes the server sent, minus
+    /// the newline). The coordinator uses this to splice result payloads
+    /// byte-identically instead of re-serializing parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the server closed the connection.
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        protocol::read_line(&mut self.reader)?
+            .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof, "server closed connection"))
+    }
+
     /// Reads one reply line as JSON.
     ///
     /// # Errors
@@ -54,8 +105,7 @@ impl Client {
     /// `UnexpectedEof` if the server closed the connection; `InvalidData`
     /// for non-JSON replies.
     pub fn recv(&mut self) -> std::io::Result<Json> {
-        let line = protocol::read_line(&mut self.reader)?
-            .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof, "server closed connection"))?;
+        let line = self.recv_line()?;
         Json::parse(&line).map_err(|e| bad_data(e.to_string()))
     }
 
@@ -69,16 +119,53 @@ impl Client {
         self.recv()
     }
 
+    fn control(&mut self, req: Request) -> std::io::Result<Json> {
+        self.call(&Envelope {
+            id: None,
+            proto: Some(PROTO_VERSION),
+            req,
+        })
+    }
+
+    /// Negotiates the protocol version: sends `hello` announcing
+    /// [`PROTO_VERSION`] and returns the version the server speaks.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` carrying the server's [`ServerError`] text when the
+    /// server rejects this client's version (`version_mismatch`), or when
+    /// the advertised window `[min, proto]` doesn't overlap ours. The
+    /// coordinator calls this at worker registration so mismatches fail
+    /// fast instead of mid-sweep.
+    pub fn hello(&mut self) -> std::io::Result<u64> {
+        let v = self.control(Request::Hello {
+            proto: PROTO_VERSION,
+        })?;
+        if let Some(err) = ServerError::from_reply(&v) {
+            return Err(bad_data(err.to_string()));
+        }
+        let server_proto = v
+            .get("proto")
+            .and_then(Json::as_int)
+            .ok_or_else(|| bad_data("hello reply missing `proto`"))?;
+        let server_min = v.get("min_proto").and_then(Json::as_int).unwrap_or(1);
+        let (proto, min) = (server_proto as u64, server_min as u64);
+        if min > PROTO_VERSION || proto < MIN_PROTO {
+            return Err(bad_data(format!(
+                "server speaks protocol {min}..={proto}, this client speaks \
+                 {MIN_PROTO}..={PROTO_VERSION}"
+            )));
+        }
+        Ok(proto)
+    }
+
     /// Liveness check; `true` when the server answers `pong`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn ping(&mut self) -> std::io::Result<bool> {
-        let v = self.call(&Envelope {
-            id: None,
-            req: Request::Ping,
-        })?;
+        let v = self.control(Request::Ping)?;
         Ok(v.get("type").and_then(Json::as_str) == Some("pong"))
     }
 
@@ -88,10 +175,7 @@ impl Client {
     ///
     /// `InvalidData` if the reply carries no stats object.
     pub fn stats(&mut self) -> std::io::Result<Json> {
-        let v = self.call(&Envelope {
-            id: None,
-            req: Request::Stats,
-        })?;
+        let v = self.control(Request::Stats)?;
         v.get("stats")
             .cloned()
             .ok_or_else(|| bad_data("stats reply missing `stats`"))
@@ -103,10 +187,7 @@ impl Client {
     ///
     /// `InvalidData` if the reply carries no metrics text.
     pub fn metrics(&mut self) -> std::io::Result<String> {
-        let v = self.call(&Envelope {
-            id: None,
-            req: Request::Metrics,
-        })?;
+        let v = self.control(Request::Metrics)?;
         v.get("metrics")
             .and_then(Json::as_str)
             .map(str::to_string)
@@ -119,10 +200,46 @@ impl Client {
     ///
     /// Propagates I/O errors.
     pub fn shutdown(&mut self) -> std::io::Result<Json> {
-        self.call(&Envelope {
+        self.control(Request::Shutdown)
+    }
+
+    /// Submits a job and returns its final reply line. For streaming jobs
+    /// (sweeps) this is the terminal line only — use
+    /// [`Client::submit_all`] to keep the streamed points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; server-side failures come back as
+    /// `{"ok":false,"code":...}` replies, not `Err` — use
+    /// [`ServerError::from_reply`] to type them.
+    pub fn submit(&mut self, job: Job) -> std::io::Result<Json> {
+        let mut lines = self.submit_all(job)?;
+        lines.pop().ok_or_else(|| bad_data("job produced no reply"))
+    }
+
+    /// Submits a job and collects every reply line it produces: one line
+    /// for `run`/`market`/`dc`, 72 `sweep_point` lines plus the trailing
+    /// `sweep_done` for `sweep` (or a single error line).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn submit_all(&mut self, job: Job) -> std::io::Result<Vec<Json>> {
+        self.send(&Envelope {
             id: None,
-            req: Request::Shutdown,
-        })
+            proto: Some(PROTO_VERSION),
+            req: Request::Job(job),
+        })?;
+        let mut lines = Vec::new();
+        loop {
+            let v = self.recv()?;
+            let done = v.get("ok").and_then(Json::as_bool) != Some(true)
+                || v.get("type").and_then(Json::as_str) != Some("sweep_point");
+            lines.push(v);
+            if done {
+                return Ok(lines);
+            }
+        }
     }
 
     /// Submits a single run job and waits for its result line.
@@ -131,11 +248,9 @@ impl Client {
     ///
     /// Propagates I/O errors; server-side failures come back as
     /// `{"ok":false}` replies, not `Err`.
+    #[deprecated(since = "0.4.0", note = "use `submit(Job::Run(job))`")]
     pub fn run(&mut self, job: RunJob) -> std::io::Result<Json> {
-        self.call(&Envelope {
-            id: None,
-            req: Request::Run(job),
-        })
+        self.submit(Job::Run(job))
     }
 
     /// Convenience: runs a named benchmark.
@@ -143,7 +258,8 @@ impl Client {
     /// # Errors
     ///
     /// `InvalidInput` for an unknown benchmark name; otherwise as
-    /// [`Client::run`].
+    /// [`Client::submit`].
+    #[deprecated(since = "0.4.0", note = "use `submit(Job::Run(..))`")]
     pub fn run_benchmark(
         &mut self,
         name: &str,
@@ -158,20 +274,21 @@ impl Client {
                 format!("unknown benchmark `{name}`"),
             )
         })?;
-        self.run(RunJob {
+        self.submit(Job::Run(RunJob {
             workload: JobWorkload::Benchmark(bench),
             slices,
             banks,
             len,
             seed,
-        })
+        }))
     }
 
     /// Convenience: runs an inline workload profile.
     ///
     /// # Errors
     ///
-    /// As [`Client::run`].
+    /// As [`Client::submit`].
+    #[deprecated(since = "0.4.0", note = "use `submit(Job::Run(..))`")]
     pub fn run_profile(
         &mut self,
         profile: WorkloadProfile,
@@ -180,13 +297,13 @@ impl Client {
         len: usize,
         seed: u64,
     ) -> std::io::Result<Json> {
-        self.run(RunJob {
+        self.submit(Job::Run(RunJob {
             workload: JobWorkload::Profile(Box::new(profile)),
             slices,
             banks,
             len,
             seed,
-        })
+        }))
     }
 
     /// Submits a sweep and collects its streamed lines: every
@@ -196,30 +313,18 @@ impl Client {
     /// # Errors
     ///
     /// Propagates I/O errors.
+    #[deprecated(since = "0.4.0", note = "use `submit_all(Job::Sweep(..))`")]
     pub fn sweep(
         &mut self,
         benchmark: Benchmark,
         len: usize,
         seed: u64,
     ) -> std::io::Result<Vec<Json>> {
-        self.send(&Envelope {
-            id: None,
-            req: Request::Sweep(SweepJob {
-                benchmark,
-                len,
-                seed,
-            }),
-        })?;
-        let mut lines = Vec::new();
-        loop {
-            let v = self.recv()?;
-            let done = v.get("ok").and_then(Json::as_bool) != Some(true)
-                || v.get("type").and_then(Json::as_str) == Some("sweep_done");
-            lines.push(v);
-            if done {
-                return Ok(lines);
-            }
-        }
+        self.submit_all(Job::Sweep(SweepJob {
+            benchmark,
+            len,
+            seed,
+        }))
     }
 
     /// Submits a datacenter-scenario job and waits for its result line;
@@ -229,20 +334,18 @@ impl Client {
     /// # Errors
     ///
     /// Propagates I/O errors.
+    #[deprecated(since = "0.4.0", note = "use `submit(Job::Dc(..))`")]
     pub fn dc(
         &mut self,
         scenario: Scenario,
         seed: u64,
         mode: Option<BillingMode>,
     ) -> std::io::Result<Json> {
-        self.call(&Envelope {
-            id: None,
-            req: Request::Dc(Box::new(DcJob {
-                scenario,
-                seed,
-                mode,
-            })),
-        })
+        self.submit(Job::Dc(Box::new(DcJob {
+            scenario,
+            seed,
+            mode,
+        })))
     }
 
     /// Submits a market evaluation and waits for its result line.
@@ -250,6 +353,7 @@ impl Client {
     /// # Errors
     ///
     /// Propagates I/O errors.
+    #[deprecated(since = "0.4.0", note = "use `submit(Job::Market(..))`")]
     pub fn market(
         &mut self,
         benchmark: Benchmark,
@@ -259,16 +363,13 @@ impl Client {
         len: usize,
         seed: u64,
     ) -> std::io::Result<Json> {
-        self.call(&Envelope {
-            id: None,
-            req: Request::Market(MarketJob {
-                benchmark,
-                utility,
-                market,
-                budget,
-                len,
-                seed,
-            }),
-        })
+        self.submit(Job::Market(MarketJob {
+            benchmark,
+            utility,
+            market,
+            budget,
+            len,
+            seed,
+        }))
     }
 }

@@ -1,0 +1,714 @@
+//! Multi-node dispatch: the coordinator's pool of remote workers.
+//!
+//! ```text
+//!  coordinator ssimd ──Client──▶ worker ssimd (same protocol, same sim)
+//!        │                          ▲
+//!        ├── health pings ──────────┤   fresh connection per probe
+//!        └── job dispatch ──────────┘   persistent connection per worker
+//! ```
+//!
+//! A [`WorkerPool`] holds one persistent connection per remote worker
+//! daemon plus a background health thread that pings every worker on an
+//! interval over *fresh* connections (a draining daemon still answers
+//! pings on established connections, so only a new connect detects that
+//! it stopped accepting). Jobs dispatch to healthy workers with a
+//! per-job read timeout, bounded retries with exponential backoff, and
+//! re-queue onto another healthy worker when one dies mid-job.
+//!
+//! Workers run the same deterministic simulator, and result payloads are
+//! spliced out of the worker's reply *verbatim* (never re-serialized),
+//! so coordinator results are byte-identical to single-node execution.
+//!
+//! Registration is strict: every listed worker must accept a connection
+//! and pass [`Client::hello`] version negotiation, so a mismatched or
+//! dead worker fails the coordinator's startup instead of a sweep.
+
+use crate::client::Client;
+use crate::metrics::Metrics;
+use crate::protocol::{Envelope, ErrorCode, Job, Request, RunJob, ServerError, PROTO_VERSION};
+use sharing_json::Json;
+use sharing_obs::{PromWriter, SpanEvent, TraceBuffer};
+use std::collections::VecDeque;
+use std::io::{Error, ErrorKind};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Trace tracks for dispatch spans start here, clear of the local worker
+/// pool's per-thread tracks (one per remote worker: `BASE + index`).
+const DISPATCH_TRACK_BASE: u64 = 1000;
+
+/// Tunables for the dispatch layer.
+#[derive(Clone, Debug)]
+pub struct DispatchOpts {
+    /// Per-job reply timeout on worker connections.
+    pub job_timeout: Duration,
+    /// Extra attempts after a failed dispatch (0 = try once).
+    pub retries: u32,
+    /// Health-ping cadence.
+    pub ping_interval: Duration,
+    /// First retry backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Connect timeout for registration, reconnects, and health probes.
+    pub connect_timeout: Duration,
+}
+
+impl Default for DispatchOpts {
+    fn default() -> Self {
+        DispatchOpts {
+            job_timeout: Duration::from_secs(30),
+            retries: 3,
+            ping_interval: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(50),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One remote worker daemon: its address, the persistent job connection,
+/// and health/accounting state.
+struct RemoteWorker {
+    addr: String,
+    index: usize,
+    /// The persistent job connection; `None` until (re)connected. Held
+    /// locked for a whole request/reply exchange, which also serializes
+    /// jobs per worker (the wire protocol answers in order).
+    conn: Mutex<Option<Client>>,
+    healthy: AtomicBool,
+    dispatched: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl RemoteWorker {
+    /// Marks the worker unusable and drops its connection; the health
+    /// thread will re-admit it once a fresh ping succeeds.
+    fn mark_broken(&self) {
+        self.healthy.store(false, Ordering::SeqCst);
+        *self.conn.lock().expect("worker conn lock") = None;
+    }
+}
+
+/// How one dispatch attempt failed.
+enum TryError {
+    /// The worker answered but can't take work right now (`queue_full`);
+    /// its connection is still good — back off and retry.
+    Busy(ServerError),
+    /// The connection is gone or the worker is draining; give the job to
+    /// another worker.
+    Broken(ServerError),
+    /// The job itself is bad (`exec_failed`, `bad_request`, …); no
+    /// worker will do better, propagate to the client.
+    Fatal(ServerError),
+}
+
+/// Shared state of one in-flight grid fan-out.
+struct GridState {
+    /// Per-point results; `Some` once resolved (payload, was-cached).
+    results: Vec<Option<(String, bool)>>,
+    /// Indices not yet claimed by a worker thread.
+    pending: VecDeque<usize>,
+    /// Points still unresolved (claimed or pending).
+    remaining: usize,
+    /// Worker threads still running.
+    live_threads: usize,
+    /// First unrecoverable failure; stops everything.
+    fatal: Option<ServerError>,
+    /// Set when the client disconnected; stops everything quietly.
+    cancelled: bool,
+}
+
+/// The coordinator's pool of remote workers.
+pub struct WorkerPool {
+    workers: Vec<Arc<RemoteWorker>>,
+    opts: DispatchOpts,
+    metrics: Arc<Metrics>,
+    closed: Arc<AtomicBool>,
+    next: AtomicUsize,
+    health_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Connects to every worker, negotiates the protocol version with
+    /// each ([`Client::hello`]), and starts the health thread.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any listed worker is unreachable or speaks an
+    /// incompatible protocol version — a coordinator with a bad roster
+    /// should not come up.
+    pub fn connect(
+        addrs: &[String],
+        opts: DispatchOpts,
+        metrics: Arc<Metrics>,
+    ) -> std::io::Result<Arc<WorkerPool>> {
+        if addrs.is_empty() {
+            return Err(Error::new(ErrorKind::InvalidInput, "no workers listed"));
+        }
+        let mut workers = Vec::with_capacity(addrs.len());
+        for (index, addr) in addrs.iter().enumerate() {
+            let client = register(addr, &opts)
+                .map_err(|e| Error::new(e.kind(), format!("worker {addr}: {e}")))?;
+            workers.push(Arc::new(RemoteWorker {
+                addr: addr.clone(),
+                index,
+                conn: Mutex::new(Some(client)),
+                healthy: AtomicBool::new(true),
+                dispatched: AtomicU64::new(0),
+                failures: AtomicU64::new(0),
+            }));
+        }
+        metrics
+            .workers_configured
+            .store(workers.len(), Ordering::SeqCst);
+        metrics
+            .workers_healthy
+            .store(workers.len(), Ordering::SeqCst);
+        let pool = Arc::new(WorkerPool {
+            workers,
+            opts,
+            metrics,
+            closed: Arc::new(AtomicBool::new(false)),
+            next: AtomicUsize::new(0),
+            health_thread: Mutex::new(None),
+        });
+        let hpool = Arc::clone(&pool);
+        let handle = std::thread::Builder::new()
+            .name("ssimd-health".into())
+            .spawn(move || health_loop(&hpool))
+            .expect("spawn health thread");
+        *pool.health_thread.lock().expect("health handle lock") = Some(handle);
+        Ok(pool)
+    }
+
+    /// Worker addresses, in registration order.
+    #[must_use]
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// Workers currently marked healthy.
+    #[must_use]
+    pub fn healthy_count(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.healthy.load(Ordering::SeqCst))
+            .count()
+    }
+
+    /// Stops the health thread. Idempotent; called on coordinator
+    /// shutdown.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        if let Some(t) = self
+            .health_thread
+            .lock()
+            .expect("health handle lock")
+            .take()
+        {
+            let _ = t.join();
+        }
+    }
+
+    /// Dispatches one single-reply job (`run` or `dc`) to a healthy
+    /// worker and returns its result payload, spliced verbatim from the
+    /// worker's reply.
+    ///
+    /// # Errors
+    ///
+    /// A fatal [`ServerError`] from the worker propagates as-is (the job
+    /// is bad everywhere); transport failures and busy workers retry up
+    /// to `opts.retries` times with exponential backoff, then surface as
+    /// [`ErrorCode::WorkerUnavailable`].
+    pub fn dispatch_one(&self, job: &Job, trace: &TraceBuffer) -> Result<String, ServerError> {
+        let expect = match job {
+            Job::Run(_) => "result",
+            Job::Dc(_) => "dc_result",
+            Job::Sweep(_) | Job::Market(_) => {
+                // Grid jobs fan out point-by-point; see `dispatch_grid`.
+                return Err(ServerError::new(
+                    ErrorCode::ExecFailed,
+                    "grid jobs dispatch via dispatch_grid",
+                ));
+            }
+        };
+        let env = job_envelope(job);
+        let mut last: Option<ServerError> = None;
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                self.metrics
+                    .dispatch_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff(self.opts.backoff_base, attempt));
+            }
+            let Some(worker) = self.pick_worker() else {
+                last.get_or_insert_with(|| {
+                    ServerError::new(ErrorCode::WorkerUnavailable, "no healthy workers")
+                });
+                continue;
+            };
+            match self.try_worker(&worker, &env, expect, trace) {
+                Ok(payload) => return Ok(payload),
+                Err(TryError::Fatal(e)) => return Err(e),
+                Err(TryError::Busy(e)) => last = Some(e),
+                Err(TryError::Broken(e)) => {
+                    self.note_broken(&worker);
+                    last = Some(e);
+                }
+            }
+        }
+        Err(unavailable(last))
+    }
+
+    /// Fans a grid of independent run jobs out over every healthy
+    /// worker, streaming results back **in grid order** through `emit`
+    /// (`emit(index, payload, was_cached)`; return `false` to cancel,
+    /// e.g. when the requesting client disconnected).
+    ///
+    /// Cached points are served locally; misses go to a shared work
+    /// queue that one thread per healthy worker drains over its
+    /// persistent connection, inserting fresh payloads into `cache`.
+    /// When a worker dies mid-grid its claimed point is re-queued for
+    /// the survivors ([`Metrics::dispatch_retries`] counts each
+    /// re-queue). Returns the number of points emitted.
+    ///
+    /// # Errors
+    ///
+    /// A fatal worker error propagates; if every worker dies with points
+    /// outstanding, [`ErrorCode::WorkerUnavailable`].
+    pub fn dispatch_grid(
+        &self,
+        jobs: &[RunJob],
+        cache: &crate::cache::ResultCache,
+        trace: &TraceBuffer,
+        mut emit: impl FnMut(usize, &str, bool) -> bool,
+    ) -> Result<u64, ServerError> {
+        let n = jobs.len();
+        let mut results: Vec<Option<(String, bool)>> = Vec::with_capacity(n);
+        let mut pending = VecDeque::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if let Some(hit) = cache.get(&job.cache_key()) {
+                self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                results.push(Some((hit, true)));
+            } else {
+                self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                results.push(None);
+                pending.push_back(i);
+            }
+        }
+        let remaining = pending.len();
+        let threads: Vec<Arc<RemoteWorker>> = self
+            .workers
+            .iter()
+            .filter(|w| w.healthy.load(Ordering::SeqCst))
+            .cloned()
+            .collect();
+        if remaining > 0 && threads.is_empty() {
+            return Err(ServerError::new(
+                ErrorCode::WorkerUnavailable,
+                "no healthy workers",
+            ));
+        }
+        let shared = Mutex::new(GridState {
+            results,
+            pending,
+            remaining,
+            live_threads: threads.len(),
+            fatal: None,
+            cancelled: false,
+        });
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            for worker in &threads {
+                s.spawn(|| self.grid_worker(worker, jobs, cache, trace, &shared, &cv));
+            }
+            // The coordinator thread emits results in grid order as they
+            // resolve, so a sweep streams through the coordinator exactly
+            // like it streams from a single node.
+            let mut emitted = 0u64;
+            let mut guard = shared.lock().expect("grid lock");
+            while (emitted as usize) < n {
+                let next = match guard.results[emitted as usize].take() {
+                    Some(point) => point,
+                    None => {
+                        if guard.fatal.is_some() {
+                            return Err(guard.fatal.take().expect("checked"));
+                        }
+                        guard = cv.wait(guard).expect("grid lock");
+                        continue;
+                    }
+                };
+                drop(guard);
+                let keep_going = emit(emitted as usize, &next.0, next.1);
+                emitted += 1;
+                guard = shared.lock().expect("grid lock");
+                if !keep_going {
+                    guard.cancelled = true;
+                    cv.notify_all();
+                    return Ok(emitted);
+                }
+            }
+            Ok(emitted)
+        })
+    }
+
+    /// One grid worker thread: claim a point, execute it on this
+    /// worker's connection, publish the result; on a broken worker,
+    /// re-queue the claimed point for the survivors and exit.
+    fn grid_worker(
+        &self,
+        worker: &RemoteWorker,
+        jobs: &[RunJob],
+        cache: &crate::cache::ResultCache,
+        trace: &TraceBuffer,
+        shared: &Mutex<GridState>,
+        cv: &Condvar,
+    ) {
+        loop {
+            let i = {
+                let mut guard = shared.lock().expect("grid lock");
+                loop {
+                    if guard.fatal.is_some() || guard.cancelled || guard.remaining == 0 {
+                        guard.live_threads -= 1;
+                        return;
+                    }
+                    if let Some(i) = guard.pending.pop_front() {
+                        break i;
+                    }
+                    guard = cv.wait(guard).expect("grid lock");
+                }
+            };
+            match self.grid_attempt(worker, &jobs[i], trace) {
+                Ok(payload) => {
+                    cache.insert(&jobs[i].cache_key(), &payload);
+                    let mut guard = shared.lock().expect("grid lock");
+                    guard.results[i] = Some((payload, false));
+                    guard.remaining -= 1;
+                    cv.notify_all();
+                }
+                Err(TryError::Fatal(e)) => {
+                    let mut guard = shared.lock().expect("grid lock");
+                    guard.fatal.get_or_insert(e);
+                    guard.live_threads -= 1;
+                    cv.notify_all();
+                    return;
+                }
+                Err(TryError::Busy(e)) | Err(TryError::Broken(e)) => {
+                    // This worker is out (grid_attempt already burned the
+                    // per-worker retry budget on Busy). Hand the point to
+                    // the survivors; if there are none, the grid is stuck.
+                    self.note_broken(worker);
+                    self.metrics
+                        .dispatch_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut guard = shared.lock().expect("grid lock");
+                    guard.pending.push_front(i);
+                    guard.live_threads -= 1;
+                    if guard.live_threads == 0 && guard.remaining > 0 {
+                        guard.fatal.get_or_insert(ServerError::new(
+                            ErrorCode::WorkerUnavailable,
+                            format!("every worker failed; last: {e}"),
+                        ));
+                    }
+                    cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One point on one worker, retrying `queue_full` in place with
+    /// backoff (the connection is still good); transport failures return
+    /// immediately so the point can move to another worker.
+    fn grid_attempt(
+        &self,
+        worker: &RemoteWorker,
+        job: &RunJob,
+        trace: &TraceBuffer,
+    ) -> Result<String, TryError> {
+        let env = job_envelope(&Job::Run(job.clone()));
+        let mut last: Option<ServerError> = None;
+        for attempt in 0..=self.opts.retries {
+            if attempt > 0 {
+                self.metrics
+                    .dispatch_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff(self.opts.backoff_base, attempt));
+            }
+            match self.try_worker(worker, &env, "result", trace) {
+                Ok(payload) => return Ok(payload),
+                Err(TryError::Busy(e)) => last = Some(e),
+                Err(other) => return Err(other),
+            }
+        }
+        Err(TryError::Busy(unavailable(last)))
+    }
+
+    /// One request/reply exchange on one worker's persistent connection.
+    fn try_worker(
+        &self,
+        worker: &RemoteWorker,
+        env: &Envelope,
+        expect: &str,
+        trace: &TraceBuffer,
+    ) -> Result<String, TryError> {
+        let broken = |addr: &str, e: &dyn std::fmt::Display| {
+            TryError::Broken(ServerError::new(
+                ErrorCode::WorkerUnavailable,
+                format!("worker {addr}: {e}"),
+            ))
+        };
+        let mut conn = worker.conn.lock().expect("worker conn lock");
+        if conn.is_none() {
+            *conn = Some(register(&worker.addr, &self.opts).map_err(|e| broken(&worker.addr, &e))?);
+        }
+        let start_us = trace.now_us();
+        let t0 = Instant::now();
+        let exchanged = {
+            let client = conn.as_mut().expect("just connected");
+            client.send(env).and_then(|()| client.recv_line())
+        };
+        let line = match exchanged {
+            Ok(line) => line,
+            Err(e) => {
+                // The connection is desynced or gone; force a reconnect.
+                *conn = None;
+                return Err(broken(&worker.addr, &e));
+            }
+        };
+        let exec_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        drop(conn);
+        let v = Json::parse(&line).map_err(|e| broken(&worker.addr, &e))?;
+        let outcome = if let Some(err) = ServerError::from_reply(&v) {
+            worker.failures.fetch_add(1, Ordering::Relaxed);
+            match err.code {
+                ErrorCode::QueueFull => Err(TryError::Busy(err)),
+                ErrorCode::ShuttingDown | ErrorCode::WorkerUnavailable => {
+                    Err(TryError::Broken(err))
+                }
+                _ => Err(TryError::Fatal(err)),
+            }
+        } else if v.get("type").and_then(Json::as_str) != Some(expect) {
+            worker.failures.fetch_add(1, Ordering::Relaxed);
+            Err(broken(
+                &worker.addr,
+                &format!("unexpected reply type (wanted {expect})"),
+            ))
+        } else {
+            match splice_payload(&line) {
+                Some(payload) => {
+                    worker.dispatched.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.dispatched_jobs.fetch_add(1, Ordering::Relaxed);
+                    Ok(payload.to_string())
+                }
+                None => {
+                    worker.failures.fetch_add(1, Ordering::Relaxed);
+                    Err(broken(&worker.addr, &"reply carried no result payload"))
+                }
+            }
+        };
+        trace.record(SpanEvent::wall(
+            format!("dispatch {expect}"),
+            "dispatch",
+            DISPATCH_TRACK_BASE + worker.index as u64,
+            start_us,
+            exec_us,
+            vec![
+                ("worker".to_string(), Json::Str(worker.addr.clone())),
+                ("ok".to_string(), Json::Bool(outcome.is_ok())),
+            ],
+        ));
+        outcome
+    }
+
+    /// Round-robin over healthy workers.
+    fn pick_worker(&self) -> Option<Arc<RemoteWorker>> {
+        let n = self.workers.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        (0..n)
+            .map(|i| &self.workers[(start + i) % n])
+            .find(|w| w.healthy.load(Ordering::SeqCst))
+            .cloned()
+    }
+
+    /// Marks a worker broken and refreshes the healthy gauge.
+    fn note_broken(&self, worker: &RemoteWorker) {
+        worker.mark_broken();
+        self.metrics
+            .workers_healthy
+            .store(self.healthy_count(), Ordering::SeqCst);
+    }
+
+    /// Per-worker Prometheus families, appended after the server-wide
+    /// exposition (`ssimd_worker_*{worker="addr"}`).
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let mut w = PromWriter::new();
+        let healthy: Vec<(&str, u64)> = self
+            .workers
+            .iter()
+            .map(|wk| {
+                (
+                    wk.addr.as_str(),
+                    u64::from(wk.healthy.load(Ordering::SeqCst)),
+                )
+            })
+            .collect();
+        let dispatched: Vec<(&str, u64)> = self
+            .workers
+            .iter()
+            .map(|wk| (wk.addr.as_str(), wk.dispatched.load(Ordering::Relaxed)))
+            .collect();
+        let failures: Vec<(&str, u64)> = self
+            .workers
+            .iter()
+            .map(|wk| (wk.addr.as_str(), wk.failures.load(Ordering::Relaxed)))
+            .collect();
+        w.gauge_family(
+            "ssimd_worker_healthy",
+            "Per-worker health (1 healthy, 0 not) from the last probe or dispatch.",
+            "worker",
+            &healthy
+                .iter()
+                .map(|&(a, v)| (a, v as i64))
+                .collect::<Vec<_>>(),
+        );
+        w.counter_family(
+            "ssimd_worker_dispatched_total",
+            "Jobs completed per remote worker.",
+            "worker",
+            &dispatched,
+        );
+        w.counter_family(
+            "ssimd_worker_failures_total",
+            "Failed dispatch exchanges per remote worker.",
+            "worker",
+            &failures,
+        );
+        w.finish()
+    }
+}
+
+/// Exponential backoff: `base * 2^(attempt-1)`.
+fn backoff(base: Duration, attempt: u32) -> Duration {
+    base.saturating_mul(1 << (attempt - 1).min(16))
+}
+
+fn unavailable(last: Option<ServerError>) -> ServerError {
+    last.unwrap_or_else(|| ServerError::new(ErrorCode::WorkerUnavailable, "no healthy workers"))
+}
+
+fn job_envelope(job: &Job) -> Envelope {
+    Envelope {
+        id: None,
+        proto: Some(PROTO_VERSION),
+        req: Request::Job(job.clone()),
+    }
+}
+
+/// Connect + version-negotiate + arm the per-job read timeout: the full
+/// worker registration handshake, also used for reconnects.
+fn register(addr: &str, opts: &DispatchOpts) -> std::io::Result<Client> {
+    let mut client = Client::connect_timeout(addr, opts.connect_timeout)?;
+    client.set_read_timeout(Some(opts.job_timeout))?;
+    client.hello()?;
+    Ok(client)
+}
+
+/// Splices the result payload out of a worker's reply line *verbatim*.
+/// Worker replies put `"result"` last (`…,"result":{…}}`), and the
+/// coordinator sends worker requests without an `id`, so the first
+/// occurrence is the envelope's own key and the payload runs to the
+/// line's closing brace.
+fn splice_payload(line: &str) -> Option<&str> {
+    const KEY: &str = "\"result\":";
+    let idx = line.find(KEY)?;
+    if !line.ends_with('}') {
+        return None;
+    }
+    Some(&line[idx + KEY.len()..line.len() - 1])
+}
+
+/// Pings every worker over a fresh connection on the configured
+/// interval, updating per-worker health and the `workers_healthy` gauge.
+fn health_loop(pool: &WorkerPool) {
+    while !pool.closed.load(Ordering::SeqCst) {
+        let mut healthy = 0usize;
+        for worker in &pool.workers {
+            let alive = Client::connect_timeout(&worker.addr, pool.opts.connect_timeout)
+                .and_then(|mut c| {
+                    c.set_read_timeout(Some(pool.opts.connect_timeout))?;
+                    c.ping()
+                })
+                .unwrap_or(false);
+            if alive {
+                healthy += 1;
+            } else {
+                // Drop the job connection too: a worker that refuses new
+                // connections is draining or dead, and an exchange on the
+                // old connection would only stall until the job timeout.
+                worker.mark_broken();
+            }
+            worker.healthy.store(alive, Ordering::SeqCst);
+        }
+        pool.metrics
+            .workers_healthy
+            .store(healthy, Ordering::SeqCst);
+        // Sleep in short slices so close() is prompt.
+        let mut slept = Duration::ZERO;
+        while slept < pool.opts.ping_interval && !pool.closed.load(Ordering::SeqCst) {
+            let slice = Duration::from_millis(50).min(pool.opts.ping_interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splice_extracts_the_exact_payload_bytes() {
+        let line =
+            r#"{"ok":true,"type":"result","cached":false,"result":{"cycles":10,"instructions":7}}"#;
+        assert_eq!(
+            splice_payload(line),
+            Some(r#"{"cycles":10,"instructions":7}"#)
+        );
+        // Nested `"result":` keys inside the payload don't confuse the
+        // splice — the envelope's key comes first.
+        let nested = r#"{"ok":true,"type":"result","cached":true,"result":{"result":1}}"#;
+        assert_eq!(splice_payload(nested), Some(r#"{"result":1}"#));
+        assert_eq!(splice_payload(r#"{"ok":true}"#), None);
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let base = Duration::from_millis(50);
+        assert_eq!(backoff(base, 1), Duration::from_millis(50));
+        assert_eq!(backoff(base, 2), Duration::from_millis(100));
+        assert_eq!(backoff(base, 3), Duration::from_millis(200));
+        // Huge attempt counts must not overflow the shift.
+        let _ = backoff(base, 40);
+    }
+
+    #[test]
+    fn registration_refuses_a_dead_worker() {
+        // Nothing listens here: bind, learn the port, drop the listener.
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let opts = DispatchOpts {
+            connect_timeout: Duration::from_millis(200),
+            ..DispatchOpts::default()
+        };
+        let metrics = Arc::new(Metrics::new(1));
+        let err = match WorkerPool::connect(&[format!("127.0.0.1:{port}")], opts, metrics) {
+            Ok(_) => panic!("dead worker must fail registration"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("worker 127.0.0.1"));
+    }
+}

@@ -5,9 +5,11 @@
 //! grid. This crate turns the simulator into a long-lived daemon so that
 //! cost is paid once and shared:
 //!
-//! * [`protocol`] — newline-delimited JSON over TCP: `run`, `sweep`,
-//!   `market`, `dc` (datacenter scenarios via `sharing-dc`), `stats`,
-//!   `metrics` (Prometheus text exposition), `ping`, `shutdown`;
+//! * [`protocol`] — versioned newline-delimited JSON over TCP: `run`,
+//!   `sweep`, `market`, `dc` (datacenter scenarios via `sharing-dc`),
+//!   `stats`, `metrics` (Prometheus text exposition), `ping`, `hello`
+//!   (version negotiation), `shutdown`; failures carry typed
+//!   [`protocol::ErrorCode`]s;
 //! * [`queue`] — a bounded job queue with non-blocking admission control
 //!   (a full queue answers with an explicit backpressure reply);
 //! * [`server`] — the daemon: listener, per-connection threads, a fixed
@@ -21,12 +23,19 @@
 //!   end-to-end latency, served as JSON by `stats` and as Prometheus
 //!   text by `metrics`; per-job wall-clock spans land in a Chrome trace
 //!   written at shutdown when `ServerConfig::trace_path` is set;
-//! * [`client`] — a blocking client used by `ssim submit` and the tests.
+//! * [`client`] — a blocking client used by `ssim submit` and the tests;
+//!   all job kinds go through one [`Client::submit`] door;
+//! * [`dispatch`] — coordinator mode: `ServerConfig::remote_workers`
+//!   turns the daemon into a front-end that fans jobs out to remote
+//!   worker daemons with health pings, per-job timeouts, and bounded
+//!   retry/re-queue, while results stay byte-identical to single-node.
 //!
 //! # Example
 //!
 //! ```
+//! use sharing_server::protocol::{Job, JobWorkload, RunJob};
 //! use sharing_server::{Client, Server, ServerConfig};
+//! use sharing_trace::Benchmark;
 //!
 //! let handle = Server::start(ServerConfig {
 //!     addr: "127.0.0.1:0".into(), // ephemeral port
@@ -36,7 +45,14 @@
 //!     ..ServerConfig::default()
 //! })?;
 //! let mut client = Client::connect(handle.local_addr())?;
-//! let reply = client.run_benchmark("gcc", 2, 2, 400, 7)?;
+//! assert_eq!(client.hello()?, sharing_server::PROTO_VERSION);
+//! let reply = client.submit(Job::Run(RunJob {
+//!     workload: JobWorkload::Benchmark(Benchmark::Gcc),
+//!     slices: 2,
+//!     banks: 2,
+//!     len: 400,
+//!     seed: 7,
+//! }))?;
 //! assert_eq!(reply.get("ok").and_then(|v| v.as_bool()), Some(true));
 //! client.shutdown()?;
 //! handle.join();
@@ -48,6 +64,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod dispatch;
 pub mod exec;
 pub mod metrics;
 pub mod protocol;
@@ -56,9 +73,11 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::Client;
+pub use dispatch::{DispatchOpts, WorkerPool};
 pub use metrics::{JobClass, Metrics};
 pub use protocol::{
-    DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob, DEFAULT_PORT,
+    DcJob, Envelope, ErrorCode, Job, JobWorkload, MarketJob, Request, RunJob, ServerError,
+    SweepJob, DEFAULT_PORT, MIN_PROTO, PROTO_VERSION,
 };
 pub use queue::{JobQueue, PushError};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -3,7 +3,12 @@
 //! ```text
 //! ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!       [--cache-file PATH] [--trace-out PATH]
+//!       [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
 //! ```
+//!
+//! With one or more `--worker` flags the daemon runs as a coordinator:
+//! jobs fan out to those remote ssimd workers (health pings, bounded
+//! retry, byte-identical results) instead of the local pool.
 //!
 //! Runs until a client sends `{"type":"shutdown"}` (e.g. via
 //! `ssim submit --shutdown`).
@@ -18,6 +23,11 @@ fn usage() -> String {
 USAGE:
     ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
           [--cache-file PATH] [--trace-out PATH]
+          [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
+
+Repeat `--worker` to run as a coordinator fanning jobs out to remote
+ssimd workers with health pings and bounded retry; results stay
+byte-identical to single-node (see DESIGN.md §8).
 
 DEFAULTS:
     --addr 127.0.0.1:{}   --workers <cores, max 8>   --queue 64   --cache 1024
@@ -63,6 +73,17 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             }
             "--cache-file" => cfg.cache_path = Some(value("--cache-file")?),
             "--trace-out" => cfg.trace_path = Some(value("--trace-out")?),
+            "--worker" => cfg.remote_workers.push(value("--worker")?),
+            "--retries" => {
+                cfg.dispatch_retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "--retries: not a number".to_string())?;
+            }
+            "--job-timeout-ms" => {
+                cfg.job_timeout_ms = value("--job-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--job-timeout-ms: not a number".to_string())?;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }

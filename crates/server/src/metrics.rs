@@ -78,6 +78,15 @@ pub struct Metrics {
     pub busy_workers: AtomicUsize,
     /// Total worker count (fixed at startup).
     pub workers: usize,
+    /// Jobs executed on remote workers (coordinator mode).
+    pub dispatched_jobs: AtomicU64,
+    /// Dispatch retries: re-sends after a failed or refused exchange,
+    /// including points re-queued when a worker died mid-grid.
+    pub dispatch_retries: AtomicU64,
+    /// Remote workers registered at startup (0 in single-node mode).
+    pub workers_configured: AtomicUsize,
+    /// Remote workers currently passing health probes.
+    pub workers_healthy: AtomicUsize,
     /// Work units completed, indexed by [`JobClass::index`].
     completed_by_kind: [AtomicU64; 4],
     /// End-to-end (queue wait + execute) latency window.
@@ -136,6 +145,10 @@ impl Metrics {
             cache_misses: AtomicU64::new(0),
             busy_workers: AtomicUsize::new(0),
             workers,
+            dispatched_jobs: AtomicU64::new(0),
+            dispatch_retries: AtomicU64::new(0),
+            workers_configured: AtomicUsize::new(0),
+            workers_healthy: AtomicUsize::new(0),
             completed_by_kind: Default::default(),
             latencies: Mutex::new(LatencyRing::new()),
             queue_waits: Mutex::new(LatencyRing::new()),
@@ -242,6 +255,22 @@ impl Metrics {
             ("workers", Json::Int(self.workers as i128)),
             ("busy_workers", Json::Int(busy as i128)),
             (
+                "dispatched_jobs",
+                Json::Int(i128::from(self.dispatched_jobs.load(Ordering::Relaxed))),
+            ),
+            (
+                "dispatch_retries",
+                Json::Int(i128::from(self.dispatch_retries.load(Ordering::Relaxed))),
+            ),
+            (
+                "workers_configured",
+                Json::Int(self.workers_configured.load(Ordering::Relaxed) as i128),
+            ),
+            (
+                "workers_healthy",
+                Json::Int(self.workers_healthy.load(Ordering::Relaxed) as i128),
+            ),
+            (
                 "worker_utilization",
                 Json::Float(if self.workers == 0 {
                     0.0
@@ -316,6 +345,26 @@ impl Metrics {
             "ssimd_busy_workers",
             "Workers currently executing a job.",
             self.busy_workers.load(Ordering::Relaxed) as i64,
+        );
+        w.counter(
+            "ssimd_dispatched_total",
+            "Jobs executed on remote workers (coordinator mode).",
+            self.dispatched_jobs.load(Ordering::Relaxed),
+        );
+        w.counter(
+            "ssimd_dispatch_retries_total",
+            "Dispatch retries, including points re-queued off a dead worker.",
+            self.dispatch_retries.load(Ordering::Relaxed),
+        );
+        w.gauge_i64(
+            "ssimd_workers_configured",
+            "Remote workers registered at startup (0 in single-node mode).",
+            self.workers_configured.load(Ordering::Relaxed) as i64,
+        );
+        w.gauge_i64(
+            "ssimd_workers_healthy",
+            "Remote workers currently passing health probes.",
+            self.workers_healthy.load(Ordering::Relaxed) as i64,
         );
         w.summary(
             "ssimd_queue_wait_us",
@@ -434,6 +483,32 @@ mod tests {
         assert!(text.contains("ssimd_queue_depth 2"));
         assert!(text.contains("ssimd_cache_entries 9"));
         assert!(text.contains("ssimd_cache_lookups_total{outcome=\"hit\"} 0"));
+        assert!(text.contains("# TYPE ssimd_dispatch_retries_total counter"));
+        assert!(text.contains("ssimd_dispatched_total 0"));
+        assert!(text.contains("ssimd_workers_configured 0"));
+        assert!(text.contains("ssimd_workers_healthy 0"));
+    }
+
+    #[test]
+    fn dispatch_metrics_land_in_snapshot_and_prometheus() {
+        let m = Metrics::new(2);
+        m.dispatched_jobs.store(40, Ordering::Relaxed);
+        m.dispatch_retries.store(3, Ordering::Relaxed);
+        m.workers_configured.store(2, Ordering::Relaxed);
+        m.workers_healthy.store(1, Ordering::Relaxed);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.get("dispatched_jobs").and_then(Json::as_int), Some(40));
+        assert_eq!(snap.get("dispatch_retries").and_then(Json::as_int), Some(3));
+        assert_eq!(
+            snap.get("workers_configured").and_then(Json::as_int),
+            Some(2)
+        );
+        assert_eq!(snap.get("workers_healthy").and_then(Json::as_int), Some(1));
+        let text = m.prometheus_text(0, 0);
+        assert!(text.contains("ssimd_dispatched_total 40"));
+        assert!(text.contains("ssimd_dispatch_retries_total 3"));
+        assert!(text.contains("ssimd_workers_configured 2"));
+        assert!(text.contains("ssimd_workers_healthy 1"));
     }
 
     #[test]

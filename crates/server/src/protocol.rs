@@ -6,9 +6,20 @@
 //! carry `"ok"` and echo the request's `"id"` when one was given, so
 //! clients can pipeline.
 //!
+//! # Versioning
+//!
+//! The protocol is versioned. A request may carry a `"proto"` field; the
+//! server rejects versions outside `[MIN_PROTO, PROTO_VERSION]` with a
+//! structured `version_mismatch` error instead of guessing. A `hello`
+//! request negotiates up front: the reply names the server's current and
+//! minimum versions, so a coordinator can refuse a mismatched worker at
+//! registration time rather than mid-sweep. Requests without `"proto"`
+//! are treated as the oldest supported dialect (v1 predates the field).
+//!
 //! Request shapes:
 //!
 //! ```text
+//! {"type":"hello","proto":2}
 //! {"type":"ping"}
 //! {"type":"stats"}
 //! {"type":"metrics"}
@@ -20,6 +31,9 @@
 //!  "market":"Market2","budget":100.0,"len":30000,"seed":7}
 //! {"type":"dc","scenario":{"name":"bursty",...},"seed":7,"mode":"sharing"}
 //! ```
+//!
+//! Error replies are structured: `{"ok":false,"code":"queue_full",
+//! "error":"..."}` — assert on [`ErrorCode`]s, not message substrings.
 
 use sharing_dc::{BillingMode, Scenario};
 use sharing_json::{Json, JsonError};
@@ -29,6 +43,16 @@ use std::io::{BufRead, Read, Write};
 
 /// Default TCP port (`0xA5` + `2014`, the paper's year).
 pub const DEFAULT_PORT: u16 = 42014;
+
+/// The protocol version this build speaks (and advertises in `hello`).
+///
+/// v1 was the unversioned PR 1–3 dialect; v2 added `proto`, `hello`,
+/// and structured error codes.
+pub const PROTO_VERSION: u64 = 2;
+
+/// The oldest protocol version the server still accepts. Requests
+/// without a `"proto"` field are treated as this version.
+pub const MIN_PROTO: u64 = 1;
 
 /// Maximum accepted request line length (1 MiB) — bounds memory per
 /// connection against hostile input.
@@ -99,9 +123,80 @@ pub struct DcJob {
     pub mode: Option<BillingMode>,
 }
 
+/// One simulation job, unifying every kind the daemon executes.
+///
+/// This is the payload of [`Request::Job`] and the argument to
+/// `Client::submit`; control requests (`ping`, `stats`, …) are *not*
+/// jobs — they never enter the queue.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Job {
+    /// A single simulation.
+    Run(RunJob),
+    /// A grid sweep (streams one line per shape).
+    Sweep(SweepJob),
+    /// A market evaluation.
+    Market(MarketJob),
+    /// A datacenter scenario simulation.
+    Dc(Box<DcJob>),
+}
+
+impl Job {
+    /// The canonical cache key for this job: compact JSON with a fixed
+    /// field order, independent of how the request spelled it. Identical
+    /// keys mean identical results (the simulator is deterministic), so
+    /// cached payloads replay byte-identically. Sweeps and markets are
+    /// executed as grids of [`RunJob`]s and cached per point, but their
+    /// keys are still canonical so batch-level caches can layer on top.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        match self {
+            Job::Run(job) => job.cache_key(),
+            Job::Dc(job) => job.cache_key(),
+            Job::Sweep(job) => Json::obj(vec![(
+                "sweep",
+                Json::obj(vec![
+                    ("benchmark", Json::Str(job.benchmark.name().into())),
+                    ("len", Json::Int(job.len as i128)),
+                    ("seed", Json::Int(i128::from(job.seed))),
+                ]),
+            )])
+            .to_string(),
+            Job::Market(job) => Json::obj(vec![(
+                "market",
+                Json::obj(vec![
+                    ("benchmark", Json::Str(job.benchmark.name().into())),
+                    ("utility", Json::Str(job.utility.name().into())),
+                    ("market", Json::Str(job.market.name.into())),
+                    ("budget", Json::Float(job.budget)),
+                    ("len", Json::Int(job.len as i128)),
+                    ("seed", Json::Int(i128::from(job.seed))),
+                ]),
+            )])
+            .to_string(),
+        }
+    }
+
+    /// The wire name of this job kind (`run`, `sweep`, `market`, `dc`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Job::Run(_) => "run",
+            Job::Sweep(_) => "sweep",
+            Job::Market(_) => "market",
+            Job::Dc(_) => "dc",
+        }
+    }
+}
+
 /// A parsed request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
+    /// Version negotiation: the reply advertises the server's
+    /// `[MIN_PROTO, PROTO_VERSION]` range.
+    Hello {
+        /// The protocol version the client speaks.
+        proto: u64,
+    },
     /// Liveness check.
     Ping,
     /// Server-wide metrics as a JSON snapshot.
@@ -110,24 +205,176 @@ pub enum Request {
     Metrics,
     /// Graceful shutdown: drain in-flight jobs, then exit.
     Shutdown,
-    /// A single simulation.
-    Run(RunJob),
-    /// A grid sweep.
-    Sweep(SweepJob),
-    /// A market evaluation.
-    Market(MarketJob),
-    /// A datacenter scenario simulation.
-    Dc(Box<DcJob>),
+    /// A simulation job (run, sweep, market, or dc).
+    Job(Job),
 }
 
-/// A request plus its optional client-chosen correlation id.
+/// A request plus its optional client-chosen correlation id and
+/// protocol version.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Envelope {
     /// Echoed verbatim in every reply line for this request.
     pub id: Option<u64>,
+    /// The protocol version the sender speaks; `None` means the v1
+    /// dialect, which predates the field.
+    pub proto: Option<u64>,
     /// The request itself.
     pub req: Request,
 }
+
+/// Machine-readable failure class, carried in every error reply's
+/// `"code"` field. Tests and clients dispatch on these, never on
+/// message text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line failed to parse or validate.
+    BadRequest,
+    /// The request `type` is not one the server knows.
+    UnknownRequest,
+    /// The envelope's `proto` is outside the supported range.
+    VersionMismatch,
+    /// Admission control refused the job (bounded queue at capacity).
+    QueueFull,
+    /// The server is draining and admits no new work.
+    ShuttingDown,
+    /// No healthy remote worker could take the job (coordinator mode).
+    WorkerUnavailable,
+    /// The job was admitted but failed to execute.
+    ExecFailed,
+}
+
+impl ErrorCode {
+    /// Every code, in exposition order.
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownRequest,
+        ErrorCode::VersionMismatch,
+        ErrorCode::QueueFull,
+        ErrorCode::ShuttingDown,
+        ErrorCode::WorkerUnavailable,
+        ErrorCode::ExecFailed,
+    ];
+
+    /// The wire name of this code.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownRequest => "unknown_request",
+            ErrorCode::VersionMismatch => "version_mismatch",
+            ErrorCode::QueueFull => "queue_full",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::WorkerUnavailable => "worker_unavailable",
+            ErrorCode::ExecFailed => "exec_failed",
+        }
+    }
+
+    /// Parses a wire name back to a code.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed server-side failure: a machine-readable [`ErrorCode`] plus a
+/// human-readable message. Serializes into the response envelope as
+/// `{"ok":false,"code":...,"error":...}`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServerError {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// Human-readable detail; never dispatch on this.
+    pub message: String,
+}
+
+impl ServerError {
+    /// A new error.
+    #[must_use]
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ServerError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`ErrorCode::BadRequest`].
+    #[must_use]
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServerError::new(ErrorCode::BadRequest, message)
+    }
+
+    /// Shorthand for [`ErrorCode::ExecFailed`].
+    #[must_use]
+    pub fn exec_failed(message: impl Into<String>) -> Self {
+        ServerError::new(ErrorCode::ExecFailed, message)
+    }
+
+    /// Shorthand for [`ErrorCode::VersionMismatch`], naming the
+    /// offending version and the supported range.
+    #[must_use]
+    pub fn version_mismatch(got: u64) -> Self {
+        ServerError::new(
+            ErrorCode::VersionMismatch,
+            format!("protocol version {got} unsupported (speaks {MIN_PROTO}..={PROTO_VERSION})"),
+        )
+    }
+
+    /// The error reply line for this failure, echoing `id` when given.
+    #[must_use]
+    pub fn to_line(&self, id: Option<u64>) -> String {
+        self.to_line_with(id, vec![])
+    }
+
+    /// [`ServerError::to_line`] plus extra reply fields (e.g. the
+    /// backpressure hint on `queue_full`).
+    #[must_use]
+    pub fn to_line_with(&self, id: Option<u64>, extra: Vec<(&str, Json)>) -> String {
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        if let Some(id) = id {
+            pairs.push(("id", Json::Int(i128::from(id))));
+        }
+        pairs.push(("ok", Json::Bool(false)));
+        pairs.push(("code", Json::Str(self.code.name().into())));
+        pairs.push(("error", Json::Str(self.message.clone())));
+        pairs.extend(extra);
+        Json::obj(pairs).to_string()
+    }
+
+    /// Extracts the typed error from a parsed reply line, if the line is
+    /// an error reply. Replies predating v2 (no `"code"`) map to
+    /// [`ErrorCode::ExecFailed`].
+    #[must_use]
+    pub fn from_reply(v: &Json) -> Option<ServerError> {
+        if v.get("ok").and_then(Json::as_bool) != Some(false) {
+            return None;
+        }
+        let code = v
+            .get("code")
+            .and_then(Json::as_str)
+            .and_then(ErrorCode::parse)
+            .unwrap_or(ErrorCode::ExecFailed);
+        let message = v
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("request failed")
+            .to_string();
+        Some(ServerError { code, message })
+    }
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.name(), self.message)
+    }
+}
+
+impl std::error::Error for ServerError {}
 
 fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
     v.get(key)
@@ -171,19 +418,49 @@ impl Envelope {
     ///
     /// # Errors
     ///
-    /// Returns a [`JsonError`] describing the first problem; the server
-    /// turns this into an `"ok": false` reply rather than dropping the
-    /// connection.
-    pub fn parse(line: &str) -> Result<Envelope, JsonError> {
-        let v = Json::parse(line)?;
+    /// Returns a typed [`ServerError`] — [`ErrorCode::UnknownRequest`]
+    /// for an unrecognized `type`, [`ErrorCode::BadRequest`] for
+    /// everything else; the server turns either into an `"ok": false`
+    /// reply rather than dropping the connection. Version checking is
+    /// the *server's* job (it knows what it speaks); parse only requires
+    /// `proto`, when present, to be a u64.
+    pub fn parse(line: &str) -> Result<Envelope, ServerError> {
+        let v = Json::parse(line).map_err(|e| ServerError::bad_request(e.to_string()))?;
         let id = match v.get("id") {
-            Some(x) => Some(u64::from_json(x).map_err(|_| JsonError("`id` must be a u64".into()))?),
+            Some(x) => Some(
+                u64::from_json(x).map_err(|_| ServerError::bad_request("`id` must be a u64"))?,
+            ),
             None => None,
         };
-        let ty = field(&v, "type")?
-            .as_str()
-            .ok_or_else(|| JsonError("`type` must be a string".into()))?;
+        let proto = match v.get("proto") {
+            Some(x) => Some(
+                u64::from_json(x).map_err(|_| ServerError::bad_request("`proto` must be a u64"))?,
+            ),
+            None => None,
+        };
+        let ty = field(&v, "type")
+            .and_then(|t| {
+                t.as_str()
+                    .ok_or_else(|| JsonError("`type` must be a string".into()))
+            })
+            .map_err(|e| ServerError::bad_request(e.to_string()))?;
+        let req = Envelope::parse_request(ty, &v, proto)
+            .map_err(|e| ServerError::bad_request(e.to_string()))?
+            .ok_or_else(|| {
+                ServerError::new(
+                    ErrorCode::UnknownRequest,
+                    format!("unknown request type `{ty}`"),
+                )
+            })?;
+        Ok(Envelope { id, proto, req })
+    }
+
+    /// Parses the typed request body; `Ok(None)` means an unknown type.
+    fn parse_request(ty: &str, v: &Json, proto: Option<u64>) -> Result<Option<Request>, JsonError> {
         let req = match ty {
+            "hello" => Request::Hello {
+                proto: num_field(v, "proto", proto.unwrap_or(PROTO_VERSION))?,
+            },
             "ping" => Request::Ping,
             "stats" => Request::Stats,
             "metrics" => Request::Metrics,
@@ -192,39 +469,39 @@ impl Envelope {
                 let workload = if let Some(p) = v.get("profile") {
                     JobWorkload::Profile(Box::new(WorkloadProfile::from_json(p)?))
                 } else {
-                    JobWorkload::Benchmark(parse_benchmark(&v)?)
+                    JobWorkload::Benchmark(parse_benchmark(v)?)
                 };
-                Request::Run(RunJob {
+                Request::Job(Job::Run(RunJob {
                     workload,
-                    slices: num_field(&v, "slices", 1usize)?,
-                    banks: num_field(&v, "banks", 2usize)?,
-                    len: num_field(&v, "len", 60_000usize)?,
-                    seed: num_field(&v, "seed", 0xA5_2014u64)?,
-                })
+                    slices: num_field(v, "slices", 1usize)?,
+                    banks: num_field(v, "banks", 2usize)?,
+                    len: num_field(v, "len", 60_000usize)?,
+                    seed: num_field(v, "seed", 0xA5_2014u64)?,
+                }))
             }
-            "sweep" => Request::Sweep(SweepJob {
-                benchmark: parse_benchmark(&v)?,
-                len: num_field(&v, "len", 30_000usize)?,
-                seed: num_field(&v, "seed", 0xA5_2014u64)?,
-            }),
-            "market" => Request::Market(MarketJob {
-                benchmark: parse_benchmark(&v)?,
+            "sweep" => Request::Job(Job::Sweep(SweepJob {
+                benchmark: parse_benchmark(v)?,
+                len: num_field(v, "len", 30_000usize)?,
+                seed: num_field(v, "seed", 0xA5_2014u64)?,
+            })),
+            "market" => Request::Job(Job::Market(MarketJob {
+                benchmark: parse_benchmark(v)?,
                 utility: parse_utility(
-                    field(&v, "utility")?
+                    field(v, "utility")?
                         .as_str()
                         .ok_or_else(|| JsonError("`utility` must be a string".into()))?,
                 )?,
                 market: parse_market(
-                    field(&v, "market")?
+                    field(v, "market")?
                         .as_str()
                         .ok_or_else(|| JsonError("`market` must be a string".into()))?,
                 )?,
-                budget: num_field(&v, "budget", 100.0f64)?,
-                len: num_field(&v, "len", 30_000usize)?,
-                seed: num_field(&v, "seed", 0xA5_2014u64)?,
-            }),
+                budget: num_field(v, "budget", 100.0f64)?,
+                len: num_field(v, "len", 30_000usize)?,
+                seed: num_field(v, "seed", 0xA5_2014u64)?,
+            })),
             "dc" => {
-                let scenario_json = field(&v, "scenario")?;
+                let scenario_json = field(v, "scenario")?;
                 if scenario_json.get("name").is_none() {
                     return Err(JsonError("`scenario` must carry a `name`".into()));
                 }
@@ -239,15 +516,15 @@ impl Envelope {
                     }
                     None => None,
                 };
-                Request::Dc(Box::new(DcJob {
+                Request::Job(Job::Dc(Box::new(DcJob {
                     scenario,
-                    seed: num_field(&v, "seed", 0xA5_2014u64)?,
+                    seed: num_field(v, "seed", 0xA5_2014u64)?,
                     mode,
-                }))
+                })))
             }
-            other => return Err(JsonError(format!("unknown request type `{other}`"))),
+            _ => return Ok(None),
         };
-        Ok(Envelope { id, req })
+        Ok(Some(req))
     }
 
     /// Serializes the envelope back to its wire line (the client side of
@@ -258,12 +535,21 @@ impl Envelope {
         if let Some(id) = self.id {
             pairs.push(("id", Json::Int(i128::from(id))));
         }
+        // `hello` owns the `proto` key below; writing the envelope-level
+        // copy too would duplicate it.
+        if let (Some(proto), false) = (self.proto, matches!(self.req, Request::Hello { .. })) {
+            pairs.push(("proto", Json::Int(i128::from(proto))));
+        }
         match &self.req {
+            Request::Hello { proto } => {
+                pairs.push(("type", Json::Str("hello".into())));
+                pairs.push(("proto", Json::Int(i128::from(*proto))));
+            }
             Request::Ping => pairs.push(("type", Json::Str("ping".into()))),
             Request::Stats => pairs.push(("type", Json::Str("stats".into()))),
             Request::Metrics => pairs.push(("type", Json::Str("metrics".into()))),
             Request::Shutdown => pairs.push(("type", Json::Str("shutdown".into()))),
-            Request::Run(job) => {
+            Request::Job(Job::Run(job)) => {
                 pairs.push(("type", Json::Str("run".into())));
                 match &job.workload {
                     JobWorkload::Benchmark(b) => {
@@ -276,13 +562,13 @@ impl Envelope {
                 pairs.push(("len", Json::Int(job.len as i128)));
                 pairs.push(("seed", Json::Int(i128::from(job.seed))));
             }
-            Request::Sweep(job) => {
+            Request::Job(Job::Sweep(job)) => {
                 pairs.push(("type", Json::Str("sweep".into())));
                 pairs.push(("benchmark", Json::Str(job.benchmark.name().into())));
                 pairs.push(("len", Json::Int(job.len as i128)));
                 pairs.push(("seed", Json::Int(i128::from(job.seed))));
             }
-            Request::Market(job) => {
+            Request::Job(Job::Market(job)) => {
                 pairs.push(("type", Json::Str("market".into())));
                 pairs.push(("benchmark", Json::Str(job.benchmark.name().into())));
                 pairs.push(("utility", Json::Str(job.utility.name().into())));
@@ -291,7 +577,7 @@ impl Envelope {
                 pairs.push(("len", Json::Int(job.len as i128)));
                 pairs.push(("seed", Json::Int(i128::from(job.seed))));
             }
-            Request::Dc(job) => {
+            Request::Job(Job::Dc(job)) => {
                 pairs.push(("type", Json::Str("dc".into())));
                 pairs.push(("scenario", job.scenario.to_json()));
                 pairs.push(("seed", Json::Int(i128::from(job.seed))));
@@ -302,6 +588,20 @@ impl Envelope {
         }
         Json::obj(pairs).to_string()
     }
+
+    /// Whether this envelope's declared protocol version is one the
+    /// server speaks (`None` is treated as [`MIN_PROTO`]).
+    #[must_use]
+    pub fn proto_supported(&self) -> bool {
+        proto_supported(self.proto.unwrap_or(MIN_PROTO))
+    }
+}
+
+/// Whether `proto` is within the supported `[MIN_PROTO, PROTO_VERSION]`
+/// range.
+#[must_use]
+pub fn proto_supported(proto: u64) -> bool {
+    (MIN_PROTO..=PROTO_VERSION).contains(&proto)
 }
 
 impl RunJob {
@@ -385,18 +685,6 @@ pub fn write_line(writer: &mut impl Write, line: &str) -> std::io::Result<()> {
     writer.flush()
 }
 
-/// Builds an error reply line.
-#[must_use]
-pub fn error_line(id: Option<u64>, message: &str) -> String {
-    let mut pairs: Vec<(&str, Json)> = Vec::new();
-    if let Some(id) = id {
-        pairs.push(("id", Json::Int(i128::from(id))));
-    }
-    pairs.push(("ok", Json::Bool(false)));
-    pairs.push(("error", Json::Str(message.into())));
-    Json::obj(pairs).to_string()
-}
-
 use sharing_json::{FromJson, ToJson};
 
 #[cfg(test)]
@@ -407,60 +695,131 @@ mod tests {
     fn run_round_trips() {
         let env = Envelope {
             id: Some(7),
-            req: Request::Run(RunJob {
+            proto: Some(PROTO_VERSION),
+            req: Request::Job(Job::Run(RunJob {
                 workload: JobWorkload::Benchmark(Benchmark::Gcc),
                 slices: 4,
                 banks: 8,
                 len: 1000,
                 seed: 42,
-            }),
+            })),
         };
         let back = Envelope::parse(&env.to_line()).unwrap();
         assert_eq!(env, back);
     }
 
     #[test]
-    fn sweep_and_market_round_trip() {
+    fn every_job_kind_round_trips_through_the_job_enum() {
+        let jobs = [
+            Job::Run(RunJob {
+                workload: JobWorkload::Benchmark(Benchmark::Gcc),
+                slices: 2,
+                banks: 4,
+                len: 900,
+                seed: 3,
+            }),
+            Job::Sweep(SweepJob {
+                benchmark: Benchmark::Mcf,
+                len: 500,
+                seed: 1,
+            }),
+            Job::Market(MarketJob {
+                benchmark: Benchmark::Astar,
+                utility: UtilityFn::Balanced,
+                market: Market::MARKET3,
+                budget: 64.0,
+                len: 500,
+                seed: 1,
+            }),
+            Job::Dc(Box::new(DcJob {
+                scenario: Scenario::example_bursty(),
+                seed: 99,
+                mode: None,
+            })),
+        ];
+        for job in jobs {
+            let env = Envelope {
+                id: Some(5),
+                proto: Some(PROTO_VERSION),
+                req: Request::Job(job.clone()),
+            };
+            let back = Envelope::parse(&env.to_line()).unwrap();
+            assert_eq!(env, back, "{} must round-trip", job.kind());
+            match back.req {
+                Request::Job(j) => assert_eq!(j.cache_key(), job.cache_key()),
+                other => panic!("expected job, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn control_requests_round_trip() {
         for env in [
             Envelope {
                 id: None,
-                req: Request::Sweep(SweepJob {
-                    benchmark: Benchmark::Mcf,
-                    len: 500,
-                    seed: 1,
-                }),
-            },
-            Envelope {
-                id: Some(3),
-                req: Request::Market(MarketJob {
-                    benchmark: Benchmark::Astar,
-                    utility: UtilityFn::Balanced,
-                    market: Market::MARKET3,
-                    budget: 64.0,
-                    len: 500,
-                    seed: 1,
-                }),
-            },
-            Envelope {
-                id: None,
+                proto: None,
                 req: Request::Ping,
             },
             Envelope {
                 id: Some(0),
+                proto: None,
                 req: Request::Stats,
             },
             Envelope {
                 id: Some(12),
+                proto: Some(2),
                 req: Request::Metrics,
             },
             Envelope {
                 id: None,
+                proto: None,
                 req: Request::Shutdown,
             },
         ] {
             let back = Envelope::parse(&env.to_line()).unwrap();
             assert_eq!(env, back);
         }
+    }
+
+    #[test]
+    fn hello_round_trips_and_negotiates() {
+        let env = Envelope {
+            id: Some(1),
+            proto: None,
+            req: Request::Hello {
+                proto: PROTO_VERSION,
+            },
+        };
+        // `hello` writes its version into the top-level `proto` field, so
+        // the parse reads it back into both places.
+        let back = Envelope::parse(&env.to_line()).unwrap();
+        assert_eq!(back.proto, Some(PROTO_VERSION));
+        assert_eq!(
+            back.req,
+            Request::Hello {
+                proto: PROTO_VERSION
+            }
+        );
+        // A bare hello defaults to the current version.
+        let bare = Envelope::parse(r#"{"type":"hello"}"#).unwrap();
+        assert_eq!(
+            bare.req,
+            Request::Hello {
+                proto: PROTO_VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn proto_support_window() {
+        assert!(proto_supported(MIN_PROTO));
+        assert!(proto_supported(PROTO_VERSION));
+        assert!(!proto_supported(PROTO_VERSION + 1));
+        assert!(!proto_supported(0));
+        let v1 = Envelope::parse(r#"{"type":"ping"}"#).unwrap();
+        assert!(v1.proto_supported(), "missing proto means v1, supported");
+        let future = Envelope::parse(r#"{"type":"ping","proto":99}"#).unwrap();
+        assert!(!future.proto_supported());
     }
 
     #[test]
@@ -471,13 +830,14 @@ mod tests {
             .build();
         let env = Envelope {
             id: None,
-            req: Request::Run(RunJob {
+            proto: None,
+            req: Request::Job(Job::Run(RunJob {
                 workload: JobWorkload::Profile(Box::new(profile)),
                 slices: 2,
                 banks: 2,
                 len: 700,
                 seed: 9,
-            }),
+            })),
         };
         let back = Envelope::parse(&env.to_line()).unwrap();
         assert_eq!(env, back);
@@ -487,7 +847,7 @@ mod tests {
     fn defaults_fill_missing_fields() {
         let env = Envelope::parse(r#"{"type":"run","benchmark":"gcc"}"#).unwrap();
         match env.req {
-            Request::Run(job) => {
+            Request::Job(Job::Run(job)) => {
                 assert_eq!(job.slices, 1);
                 assert_eq!(job.banks, 2);
                 assert_eq!(job.len, 60_000);
@@ -498,20 +858,28 @@ mod tests {
     }
 
     #[test]
-    fn rejects_malformed_requests() {
-        assert!(Envelope::parse("not json").is_err());
-        assert!(Envelope::parse(r#"{"no":"type"}"#).is_err());
-        assert!(Envelope::parse(r#"{"type":"explode"}"#).is_err());
-        assert!(Envelope::parse(r#"{"type":"run"}"#).is_err(), "no workload");
-        assert!(Envelope::parse(r#"{"type":"run","benchmark":"doom"}"#).is_err());
-        assert!(Envelope::parse(
-            r#"{"type":"market","benchmark":"gcc","utility":"x","market":"Market1"}"#
-        )
-        .is_err());
+    fn rejects_malformed_requests_with_typed_codes() {
+        let code = |line: &str| Envelope::parse(line).unwrap_err().code;
+        assert_eq!(code("not json"), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"no":"type"}"#), ErrorCode::BadRequest);
+        assert_eq!(code(r#"{"type":"explode"}"#), ErrorCode::UnknownRequest);
+        assert_eq!(code(r#"{"type":"run"}"#), ErrorCode::BadRequest);
+        assert_eq!(
+            code(r#"{"type":"run","benchmark":"doom"}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"type":"market","benchmark":"gcc","utility":"x","market":"Market1"}"#),
+            ErrorCode::BadRequest
+        );
+        assert_eq!(
+            code(r#"{"type":"ping","proto":"two"}"#),
+            ErrorCode::BadRequest
+        );
     }
 
     #[test]
-    fn cache_key_ignores_request_id() {
+    fn cache_key_ignores_request_id_and_proto() {
         let job = RunJob {
             workload: JobWorkload::Benchmark(Benchmark::Gcc),
             slices: 1,
@@ -521,17 +889,19 @@ mod tests {
         };
         let a = Envelope {
             id: Some(1),
-            req: Request::Run(job.clone()),
+            proto: Some(1),
+            req: Request::Job(Job::Run(job.clone())),
         };
         let b = Envelope {
             id: Some(99),
-            req: Request::Run(job.clone()),
+            proto: Some(2),
+            req: Request::Job(Job::Run(job.clone())),
         };
         match (
             Envelope::parse(&a.to_line()).unwrap().req,
             Envelope::parse(&b.to_line()).unwrap().req,
         ) {
-            (Request::Run(x), Request::Run(y)) => {
+            (Request::Job(x), Request::Job(y)) => {
                 assert_eq!(x.cache_key(), y.cache_key());
                 assert_eq!(x.cache_key(), job.cache_key());
             }
@@ -540,15 +910,44 @@ mod tests {
     }
 
     #[test]
+    fn job_cache_keys_are_distinct_across_kinds() {
+        let sweep = Job::Sweep(SweepJob {
+            benchmark: Benchmark::Gcc,
+            len: 100,
+            seed: 5,
+        });
+        let market = Job::Market(MarketJob {
+            benchmark: Benchmark::Gcc,
+            utility: UtilityFn::Throughput,
+            market: Market::MARKET2,
+            budget: 100.0,
+            len: 100,
+            seed: 5,
+        });
+        let run = Job::Run(RunJob {
+            workload: JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 1,
+            banks: 2,
+            len: 100,
+            seed: 5,
+        });
+        let keys = [sweep.cache_key(), market.cache_key(), run.cache_key()];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+    }
+
+    #[test]
     fn dc_round_trips_and_validates() {
         for mode in [None, Some(BillingMode::Sharing), Some(BillingMode::Fixed)] {
             let env = Envelope {
                 id: Some(11),
-                req: Request::Dc(Box::new(DcJob {
+                proto: None,
+                req: Request::Job(Job::Dc(Box::new(DcJob {
                     scenario: Scenario::example_bursty(),
                     seed: 99,
                     mode,
-                })),
+                }))),
             };
             let back = Envelope::parse(&env.to_line()).unwrap();
             assert_eq!(env, back);
@@ -558,11 +957,12 @@ mod tests {
         assert!(Envelope::parse(r#"{"type":"dc"}"#).is_err());
         let line = Envelope {
             id: None,
-            req: Request::Dc(Box::new(DcJob {
+            proto: None,
+            req: Request::Job(Job::Dc(Box::new(DcJob {
                 scenario: Scenario::example_bursty(),
                 seed: 1,
                 mode: None,
-            })),
+            }))),
         }
         .to_line()
         .replace(r#""seed":1"#, r#""seed":1,"mode":"weird""#);
@@ -590,10 +990,35 @@ mod tests {
     }
 
     #[test]
-    fn error_line_is_parseable_json() {
-        let line = error_line(Some(5), "queue full");
+    fn error_line_is_parseable_and_typed() {
+        let err = ServerError::new(ErrorCode::QueueFull, "queue full");
+        let line = err.to_line(Some(5));
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(v.get("id").and_then(Json::as_int), Some(5));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("queue_full"));
+        let back = ServerError::from_reply(&v).unwrap();
+        assert_eq!(back.code, ErrorCode::QueueFull);
+
+        // Extra fields ride along without disturbing the code.
+        let line = err.to_line_with(None, vec![("backpressure", Json::Bool(true))]);
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("backpressure").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            ServerError::from_reply(&v).unwrap().code,
+            ErrorCode::QueueFull
+        );
+
+        // Success replies are not errors.
+        let okv = Json::parse(r#"{"ok":true,"type":"pong"}"#).unwrap();
+        assert!(ServerError::from_reply(&okv).is_none());
+    }
+
+    #[test]
+    fn error_codes_round_trip_by_name() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::parse(code.name()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("explode"), None);
     }
 }

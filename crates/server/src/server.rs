@@ -6,20 +6,36 @@
 //!                        │    ▼                             ▼
 //!                   reply mpsc  ◀───── lines ─────── worker pool (N threads)
 //!                                                           │
-//!                                                     ResultCache + Metrics
+//!                                               ResultCache + Metrics
+//!                                                           │
+//!                                            (coordinator mode only)
+//!                                                           ▼
+//!                                              WorkerPool ──▶ remote ssimds
 //! ```
 //!
 //! Each connection thread reads requests in order; control requests
-//! (`ping`, `stats`, `shutdown`) are answered inline, simulation jobs go
-//! through admission control into the shared queue and their reply lines
-//! stream back through a per-job channel. Shutdown closes admission,
-//! drains every in-flight job, answers the requester, then stops the
-//! listener.
+//! (`ping`, `hello`, `stats`, `shutdown`) are answered inline, simulation
+//! jobs go through admission control into the shared queue and their
+//! reply lines stream back through a per-job channel. Shutdown closes
+//! admission, drains every in-flight job, answers the requester, then
+//! stops the listener.
+//!
+//! In **coordinator mode** (`ServerConfig::remote_workers` non-empty)
+//! the queue and cache work exactly as in single-node mode, but job
+//! execution dispatches to remote worker daemons through a
+//! [`WorkerPool`] instead of the local simulator — with health checks,
+//! per-job timeouts, and retry/re-queue (see [`crate::dispatch`]).
+//! Workers run the same deterministic simulator and payloads are spliced
+//! verbatim, so results stay byte-identical to single-node execution.
 
 use crate::cache::ResultCache;
+use crate::dispatch::{DispatchOpts, WorkerPool};
 use crate::exec;
 use crate::metrics::{JobClass, Metrics};
-use crate::protocol::{self, DcJob, Envelope, JobWorkload, MarketJob, Request, RunJob, SweepJob};
+use crate::protocol::{
+    self, DcJob, Envelope, ErrorCode, Job, JobWorkload, Request, RunJob, ServerError, MIN_PROTO,
+    PROTO_VERSION,
+};
 use crate::queue::{JobQueue, PushError};
 use sharing_core::VCoreShape;
 use sharing_json::Json;
@@ -31,7 +47,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Daemon tunables.
 #[derive(Clone, Debug)]
@@ -52,6 +68,17 @@ pub struct ServerConfig {
     /// spans with queue-wait and execute timings) is written here on
     /// graceful shutdown.
     pub trace_path: Option<String>,
+    /// Remote worker daemon addresses. Non-empty turns this daemon into
+    /// a coordinator: jobs dispatch to these workers instead of the
+    /// local simulator. Every worker must be reachable and speak a
+    /// compatible protocol version at startup.
+    pub remote_workers: Vec<String>,
+    /// Per-job reply timeout on worker connections (coordinator mode).
+    pub job_timeout_ms: u64,
+    /// Extra dispatch attempts after a failure (coordinator mode).
+    pub dispatch_retries: u32,
+    /// Worker health-ping cadence (coordinator mode).
+    pub ping_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -63,34 +90,33 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             cache_path: None,
             trace_path: None,
+            remote_workers: Vec::new(),
+            job_timeout_ms: 30_000,
+            dispatch_retries: 3,
+            ping_interval_ms: 2_000,
         }
     }
 }
 
 /// One queued job: the request plus the channel its reply lines go to.
-struct Job {
+struct Queued {
     id: Option<u64>,
-    kind: JobKind,
+    job: Job,
     reply: mpsc::Sender<String>,
     enqueued: Instant,
 }
 
-enum JobKind {
-    Run(RunJob),
-    Sweep(SweepJob),
-    Market(MarketJob),
-    Dc(Box<DcJob>),
-}
-
 /// Shared daemon state.
 struct State {
-    queue: JobQueue<Job>,
+    queue: JobQueue<Queued>,
     cache: ResultCache,
     cache_path: Option<String>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     trace: TraceBuffer,
     trace_path: Option<String>,
     stopping: AtomicBool,
+    /// Remote dispatch pool; `Some` only in coordinator mode.
+    pool: Option<Arc<WorkerPool>>,
 }
 
 /// A running daemon; dropping the handle does *not* stop it — call
@@ -107,22 +133,40 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds and starts the daemon: listener thread plus a fixed worker
-    /// pool.
+    /// pool. With `remote_workers` set, registers every remote worker
+    /// (connect + `hello` version negotiation) before accepting clients.
     ///
     /// # Errors
     ///
-    /// Propagates socket bind errors.
+    /// Propagates socket bind errors, and in coordinator mode any
+    /// unreachable or protocol-mismatched worker.
     pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new(cfg.workers));
+        let pool = if cfg.remote_workers.is_empty() {
+            None
+        } else {
+            Some(WorkerPool::connect(
+                &cfg.remote_workers,
+                DispatchOpts {
+                    job_timeout: Duration::from_millis(cfg.job_timeout_ms.max(1)),
+                    retries: cfg.dispatch_retries,
+                    ping_interval: Duration::from_millis(cfg.ping_interval_ms.max(1)),
+                    ..DispatchOpts::default()
+                },
+                Arc::clone(&metrics),
+            )?)
+        };
         let state = Arc::new(State {
             queue: JobQueue::new(cfg.queue_capacity),
             cache: ResultCache::new(cfg.cache_capacity),
             cache_path: cfg.cache_path,
-            metrics: Metrics::new(cfg.workers),
+            metrics,
             trace: TraceBuffer::new(),
             trace_path: cfg.trace_path,
             stopping: AtomicBool::new(false),
+            pool,
         });
         if let Some(path) = &state.cache_path {
             // A missing file is a cold start, not an error; a corrupt file
@@ -207,13 +251,16 @@ fn initiate_shutdown(state: &State, local: SocketAddr) {
     if !state.stopping.swap(true, Ordering::SeqCst) {
         // Exactly-once on the first shutdown path: persist the cache and
         // the job trace (all jobs have drained, so both are quiescent),
-        // then kick the listener out of accept() with a throwaway
-        // connection.
+        // stop the dispatch pool's health thread, then kick the listener
+        // out of accept() with a throwaway connection.
         if let Some(path) = &state.cache_path {
             let _ = state.cache.save_to_file(path);
         }
         if let Some(path) = &state.trace_path {
             let _ = state.trace.save_chrome(path);
+        }
+        if let Some(pool) = &state.pool {
+            pool.close();
         }
         let _ = TcpStream::connect(local);
     }
@@ -226,6 +273,41 @@ fn ok_head(id: Option<u64>, ty: &str) -> String {
     }
     s.push_str(&format!("\"ok\":true,\"type\":\"{ty}\""));
     s
+}
+
+/// The streamed per-shape sweep line, shared by the local and
+/// coordinator execution paths so both produce identical bytes.
+fn sweep_point_line(id: Option<u64>, shape: VCoreShape, payload: &str, cached: bool) -> String {
+    let ipc = payload_ipc(payload).unwrap_or(0.0);
+    format!(
+        "{},\"shape\":{{\"slices\":{},\"l2_banks\":{}}},\"ipc\":{},\"cached\":{cached}}}",
+        ok_head(id, "sweep_point"),
+        shape.slices,
+        shape.l2_banks,
+        Json::Float(ipc)
+    )
+}
+
+/// The 72 per-shape run jobs behind one sweep or market grid.
+fn grid_jobs(
+    benchmark: sharing_trace::Benchmark,
+    len: usize,
+    seed: u64,
+) -> Vec<(VCoreShape, RunJob)> {
+    VCoreShape::sweep_grid()
+        .map(|shape| {
+            (
+                shape,
+                RunJob {
+                    workload: JobWorkload::Benchmark(benchmark),
+                    slices: shape.slices,
+                    banks: shape.l2_banks,
+                    len,
+                    seed,
+                },
+            )
+        })
+        .collect()
 }
 
 fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
@@ -245,15 +327,36 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             Ok(env) => env,
             Err(e) => {
                 state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                if protocol::write_line(&mut writer, &protocol::error_line(None, &e.to_string()))
-                    .is_err()
-                {
+                if protocol::write_line(&mut writer, &e.to_line(None)).is_err() {
                     return;
                 }
                 continue;
             }
         };
-        let kind = match env.req {
+        // Version gate: a request from a protocol this server does not
+        // speak gets a structured refusal, never a guess. (`hello` from
+        // a newer client lands here too — the error *is* the
+        // negotiation answer.)
+        if !env.proto_supported() {
+            state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            let err = ServerError::version_mismatch(env.proto.unwrap_or(0));
+            if protocol::write_line(&mut writer, &err.to_line(env.id)).is_err() {
+                return;
+            }
+            continue;
+        }
+        let job = match env.req {
+            Request::Hello { proto } => {
+                let reply = format!(
+                    "{},\"proto\":{PROTO_VERSION},\"min_proto\":{MIN_PROTO},\
+                     \"client_proto\":{proto}}}",
+                    ok_head(env.id, "hello")
+                );
+                if protocol::write_line(&mut writer, &reply).is_err() {
+                    return;
+                }
+                continue;
+            }
             Request::Ping => {
                 let reply = ok_head(env.id, "pong") + "}";
                 if protocol::write_line(&mut writer, &reply).is_err() {
@@ -274,9 +377,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             Request::Metrics => {
                 // Prometheus text is multi-line; it ships as one JSON
                 // string field so the one-line-per-reply protocol holds.
-                let text = state
+                // Coordinators append per-worker families from the pool.
+                let mut text = state
                     .metrics
                     .prometheus_text(state.queue.depth(), state.cache.len());
+                if let Some(pool) = &state.pool {
+                    text.push_str(&pool.prometheus_text());
+                }
                 let reply = format!(
                     "{},\"metrics\":{}}}",
                     ok_head(env.id, "metrics"),
@@ -303,19 +410,16 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
                 initiate_shutdown(state, local);
                 return;
             }
-            Request::Run(job) => JobKind::Run(job),
-            Request::Sweep(job) => JobKind::Sweep(job),
-            Request::Market(job) => JobKind::Market(job),
-            Request::Dc(job) => JobKind::Dc(job),
+            Request::Job(job) => job,
         };
         let (tx, rx) = mpsc::channel();
-        let job = Job {
+        let queued = Queued {
             id: env.id,
-            kind,
+            job,
             reply: tx,
             enqueued: Instant::now(),
         };
-        match state.queue.try_push(job) {
+        match state.queue.try_push(queued) {
             Ok(_) => {
                 state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
                 // Stream every reply line for this job; the channel closes
@@ -330,16 +434,18 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             }
             Err(e) => {
                 state.metrics.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                let mut reply = String::from("{");
-                if let Some(id) = env.id {
-                    reply.push_str(&format!("\"id\":{id},"));
-                }
+                let code = match e {
+                    PushError::Full { .. } => ErrorCode::QueueFull,
+                    PushError::Closed => ErrorCode::ShuttingDown,
+                };
                 let backpressure = matches!(e, PushError::Full { .. });
-                reply.push_str(&format!(
-                    "\"ok\":false,\"error\":\"{e}\",\"backpressure\":{backpressure},\
-                     \"queue_depth\":{}}}",
-                    state.queue.depth()
-                ));
+                let reply = ServerError::new(code, e.to_string()).to_line_with(
+                    env.id,
+                    vec![
+                        ("backpressure", Json::Bool(backpressure)),
+                        ("queue_depth", Json::Int(state.queue.depth() as i128)),
+                    ],
+                );
                 if protocol::write_line(&mut writer, &reply).is_err() {
                     return;
                 }
@@ -392,7 +498,7 @@ struct JobReport {
 #[allow(clippy::too_many_arguments)]
 fn observe_job(
     state: &State,
-    job: &Job,
+    job: &Queued,
     report: &JobReport,
     track: u64,
     start_us: u64,
@@ -437,107 +543,153 @@ fn payload_ipc(payload: &str) -> Option<f64> {
     }
 }
 
-fn execute_job(state: &Arc<State>, job: &Job) -> JobReport {
-    match &job.kind {
-        JobKind::Run(run) => {
-            match exec::run_cached(&state.cache, &state.metrics, run) {
-                Ok((payload, cached)) => {
-                    // The payload is spliced verbatim so cache hits are
-                    // byte-identical to the fresh run that filled them.
-                    let line = format!(
-                        "{},\"cached\":{cached},\"result\":{payload}}}",
-                        ok_head(job.id, "result")
-                    );
-                    let _ = job.reply.send(line);
-                    JobReport {
-                        class: JobClass::Simulate,
-                        units: 1,
-                        cached: Some(cached),
-                        ok: true,
-                    }
-                }
-                Err(e) => {
-                    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(protocol::error_line(job.id, &e));
-                    JobReport {
-                        class: JobClass::Simulate,
-                        units: 0,
-                        cached: None,
-                        ok: false,
-                    }
+/// A run job's payload: local cache, then the dispatch pool
+/// (coordinator) or the local simulator (single-node). Returns
+/// `(payload, was_cached)`.
+fn run_payload(state: &State, run: &RunJob) -> Result<(String, bool), ServerError> {
+    match &state.pool {
+        Some(pool) => {
+            let key = run.cache_key();
+            if let Some(hit) = state.cache.get(&key) {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((hit, true));
+            }
+            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let payload = pool.dispatch_one(&Job::Run(run.clone()), &state.trace)?;
+            state.cache.insert(&key, &payload);
+            Ok((payload, false))
+        }
+        None => {
+            exec::run_cached(&state.cache, &state.metrics, run).map_err(ServerError::exec_failed)
+        }
+    }
+}
+
+/// A dc job's payload, mirroring [`run_payload`].
+fn dc_payload(state: &State, dc: &DcJob) -> Result<(String, bool), ServerError> {
+    match &state.pool {
+        Some(pool) => {
+            let key = dc.cache_key();
+            if let Some(hit) = state.cache.get(&key) {
+                state.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((hit, true));
+            }
+            state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            let payload = pool.dispatch_one(&Job::Dc(Box::new(dc.clone())), &state.trace)?;
+            state.cache.insert(&key, &payload);
+            Ok((payload, false))
+        }
+        None => {
+            exec::run_dc_cached(&state.cache, &state.metrics, dc).map_err(ServerError::exec_failed)
+        }
+    }
+}
+
+/// Resolves one grid of run jobs (a sweep or a market surface), calling
+/// `each(index, payload, was_cached) -> keep_going` **in grid order** —
+/// fanned out over the dispatch pool in coordinator mode, computed
+/// point-by-point locally otherwise. Returns the points resolved.
+fn grid_payloads(
+    state: &State,
+    jobs: &[(VCoreShape, RunJob)],
+    mut each: impl FnMut(usize, &str, bool) -> bool,
+) -> Result<u64, ServerError> {
+    match &state.pool {
+        Some(pool) => {
+            let runs: Vec<RunJob> = jobs.iter().map(|(_, r)| r.clone()).collect();
+            pool.dispatch_grid(&runs, &state.cache, &state.trace, |i, payload, cached| {
+                each(i, payload, cached)
+            })
+        }
+        None => {
+            let mut points = 0u64;
+            for (i, (_, run)) in jobs.iter().enumerate() {
+                let (payload, cached) = exec::run_cached(&state.cache, &state.metrics, run)
+                    .map_err(ServerError::exec_failed)?;
+                points += 1;
+                if !each(i, &payload, cached) {
+                    break;
                 }
             }
+            Ok(points)
         }
-        JobKind::Sweep(sweep) => {
-            let mut points = 0u64;
+    }
+}
+
+fn execute_job(state: &Arc<State>, job: &Queued) -> JobReport {
+    match &job.job {
+        Job::Run(run) => match run_payload(state, run) {
+            Ok((payload, cached)) => {
+                // The payload is spliced verbatim so cache hits (and
+                // coordinator dispatches) are byte-identical to the fresh
+                // run that filled them.
+                let line = format!(
+                    "{},\"cached\":{cached},\"result\":{payload}}}",
+                    ok_head(job.id, "result")
+                );
+                let _ = job.reply.send(line);
+                JobReport {
+                    class: JobClass::Simulate,
+                    units: 1,
+                    cached: Some(cached),
+                    ok: true,
+                }
+            }
+            Err(e) => {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(e.to_line(job.id));
+                JobReport {
+                    class: JobClass::Simulate,
+                    units: 0,
+                    cached: None,
+                    ok: false,
+                }
+            }
+        },
+        Job::Sweep(sweep) => {
+            let jobs = grid_jobs(sweep.benchmark, sweep.len, sweep.seed);
             let report = |points, ok| JobReport {
                 class: JobClass::SweepPoint,
                 units: points,
                 cached: None,
                 ok,
             };
-            for shape in VCoreShape::sweep_grid() {
-                let run = RunJob {
-                    workload: JobWorkload::Benchmark(sweep.benchmark),
-                    slices: shape.slices,
-                    banks: shape.l2_banks,
-                    len: sweep.len,
-                    seed: sweep.seed,
-                };
-                match exec::run_cached(&state.cache, &state.metrics, &run) {
-                    Ok((payload, cached)) => {
-                        let ipc = payload_ipc(&payload).unwrap_or(0.0);
-                        let line = format!(
-                            "{},\"shape\":{{\"slices\":{},\"l2_banks\":{}}},\
-                             \"ipc\":{},\"cached\":{cached}}}",
-                            ok_head(job.id, "sweep_point"),
-                            shape.slices,
-                            shape.l2_banks,
-                            Json::Float(ipc)
-                        );
-                        if job.reply.send(line).is_err() {
-                            // Client disconnected; stop early but still
-                            // account for the points already swept.
-                            return report(points, true);
-                        }
-                        points += 1;
-                    }
-                    Err(e) => {
-                        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        let _ = job.reply.send(protocol::error_line(job.id, &e));
-                        return report(points, false);
-                    }
+            let streamed = grid_payloads(state, &jobs, |i, payload, cached| {
+                let line = sweep_point_line(job.id, jobs[i].0, payload, cached);
+                // A failed send means the client disconnected; stop the
+                // grid early but still account for points already swept.
+                job.reply.send(line).is_ok()
+            });
+            match streamed {
+                Ok(points) if points == jobs.len() as u64 => {
+                    let line = format!("{},\"points\":{points}}}", ok_head(job.id, "sweep_done"));
+                    let _ = job.reply.send(line);
+                    report(points, true)
+                }
+                Ok(points) => report(points, true), // client went away
+                Err(e) => {
+                    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(e.to_line(job.id));
+                    report(0, false)
                 }
             }
-            let line = format!("{},\"points\":{points}}}", ok_head(job.id, "sweep_done"));
-            let _ = job.reply.send(line);
-            report(points, true)
         }
-        JobKind::Market(market) => {
+        Job::Market(market) => {
+            let jobs = grid_jobs(market.benchmark, market.len, market.seed);
             let mut points: BTreeMap<VCoreShape, f64> = BTreeMap::new();
-            for shape in VCoreShape::sweep_grid() {
-                let run = RunJob {
-                    workload: JobWorkload::Benchmark(market.benchmark),
-                    slices: shape.slices,
-                    banks: shape.l2_banks,
-                    len: market.len,
-                    seed: market.seed,
+            let gathered = grid_payloads(state, &jobs, |i, payload, _| {
+                points.insert(jobs[i].0, payload_ipc(payload).unwrap_or(0.0));
+                true
+            });
+            if let Err(e) = gathered {
+                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(e.to_line(job.id));
+                return JobReport {
+                    class: JobClass::Market,
+                    units: 0,
+                    cached: None,
+                    ok: false,
                 };
-                match exec::run_cached(&state.cache, &state.metrics, &run) {
-                    Ok((payload, _)) => {
-                        points.insert(shape, payload_ipc(&payload).unwrap_or(0.0));
-                    }
-                    Err(e) => {
-                        state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                        let _ = job.reply.send(protocol::error_line(job.id, &e));
-                        return JobReport {
-                            class: JobClass::Market,
-                            units: 0,
-                            cached: None,
-                            ok: false,
-                        };
-                    }
-                }
             }
             let surface = PerfSurface::new(market.benchmark.name(), points);
             let chosen =
@@ -566,7 +718,7 @@ fn execute_job(state: &Arc<State>, job: &Job) -> JobReport {
                 ok: true,
             }
         }
-        JobKind::Dc(dc) => match exec::run_dc_cached(&state.cache, &state.metrics, dc) {
+        Job::Dc(dc) => match dc_payload(state, dc) {
             Ok((payload, cached)) => {
                 // Spliced verbatim, like run results, so cache hits (and
                 // reloads from a persisted cache file) replay the exact
@@ -585,7 +737,7 @@ fn execute_job(state: &Arc<State>, job: &Job) -> JobReport {
             }
             Err(e) => {
                 state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(protocol::error_line(job.id, &e));
+                let _ = job.reply.send(e.to_line(job.id));
                 JobReport {
                     class: JobClass::Dc,
                     units: 0,

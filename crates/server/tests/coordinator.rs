@@ -1,0 +1,197 @@
+//! Multi-node tests: a coordinator ssimd fanning a sweep out over real
+//! worker daemons on loopback, including a worker killed mid-sweep.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sharing_json::Json;
+use sharing_server::{Server, ServerConfig, ServerHandle};
+
+fn daemon() -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        ..ServerConfig::default()
+    })
+    .expect("bind worker daemon")
+}
+
+fn coordinator(worker_addrs: Vec<String>) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        remote_workers: worker_addrs,
+        ping_interval_ms: 100,
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator")
+}
+
+/// One fixed sweep request, sent byte-for-byte identically to every
+/// daemon under test so replies can be compared byte-for-byte too.
+const SWEEP_REQ: &[u8] =
+    b"{\"id\":1,\"type\":\"sweep\",\"benchmark\":\"gcc\",\"len\":2000,\"seed\":9}\n";
+
+/// Streams one sweep over a raw socket and returns the reply lines
+/// verbatim (72 `sweep_point`s then `sweep_done` on success).
+/// `after_first` runs once the first line has arrived — the hook the
+/// kill test uses to stop a worker mid-sweep.
+fn raw_sweep(addr: std::net::SocketAddr, mut after_first: impl FnMut()) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(SWEEP_REQ).expect("send sweep");
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read reply") == 0 {
+            panic!("connection closed mid-sweep after {} lines", lines.len());
+        }
+        let line = line.trim_end().to_string();
+        let v = Json::parse(&line).expect("reply is JSON");
+        let ty = v.get("type").and_then(Json::as_str).map(str::to_string);
+        lines.push(line);
+        if lines.len() == 1 {
+            after_first();
+        }
+        match ty.as_deref() {
+            Some("sweep_point") => {}
+            Some("sweep_done") => return lines,
+            other => panic!("unexpected reply type {other:?}: {}", lines.last().unwrap()),
+        }
+    }
+}
+
+fn metrics_text(addr: std::net::SocketAddr) -> String {
+    let mut c = sharing_server::Client::connect(addr).unwrap();
+    c.metrics().unwrap()
+}
+
+/// Reads one counter/gauge sample value out of Prometheus text.
+fn sample(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn coordinator_sweep_over_two_workers_is_byte_identical_to_single_node() {
+    let single = daemon();
+    let reference = raw_sweep(single.local_addr(), || {});
+    single.stop();
+    assert_eq!(reference.len(), 73, "72 points + sweep_done");
+
+    let w1 = daemon();
+    let w2 = daemon();
+    let coord = coordinator(vec![
+        w1.local_addr().to_string(),
+        w2.local_addr().to_string(),
+    ]);
+
+    let fanned = raw_sweep(coord.local_addr(), || {});
+    assert_eq!(fanned, reference, "fan-out must not change a single byte");
+
+    // Every cache miss was dispatched remotely, spread over both workers.
+    let text = metrics_text(coord.local_addr());
+    assert_eq!(
+        sample(&text, "ssimd_dispatched_total"),
+        Some(72.0),
+        "{text}"
+    );
+    assert_eq!(sample(&text, "ssimd_workers_configured"), Some(2.0));
+    assert_eq!(sample(&text, "ssimd_workers_healthy"), Some(2.0));
+    for w in [&w1, &w2] {
+        let name = format!(
+            "ssimd_worker_dispatched_total{{worker=\"{}\"}}",
+            w.local_addr()
+        );
+        assert!(
+            sample(&text, &name).is_some_and(|n| n > 0.0),
+            "both workers should have taken points: {text}"
+        );
+    }
+
+    // A repeat sweep is answered from the coordinator's own cache —
+    // still byte-identical except for the per-point `cached` flag.
+    let replay = raw_sweep(coord.local_addr(), || {});
+    assert_eq!(replay.len(), reference.len());
+    for (r, f) in replay.iter().zip(&reference) {
+        assert_eq!(r.replace("\"cached\":true", "\"cached\":false"), *f);
+    }
+    let text = metrics_text(coord.local_addr());
+    assert_eq!(
+        sample(&text, "ssimd_dispatched_total"),
+        Some(72.0),
+        "replay must not re-dispatch: {text}"
+    );
+
+    coord.stop();
+    w1.stop();
+    w2.stop();
+}
+
+#[test]
+fn worker_killed_mid_sweep_is_retried_on_the_survivor_byte_identically() {
+    let single = daemon();
+    let reference = raw_sweep(single.local_addr(), || {});
+    single.stop();
+
+    let w1 = daemon();
+    let w2 = daemon();
+    let coord = coordinator(vec![
+        w1.local_addr().to_string(),
+        w2.local_addr().to_string(),
+    ]);
+
+    // Kill w1 as soon as the first point lands. Its in-flight point (if
+    // any) drains, then every later dispatch to it is refused, so the
+    // coordinator must re-queue that work onto w2.
+    let mut killer = Some(w1);
+    let fanned = raw_sweep(coord.local_addr(), || {
+        if let Some(w) = killer.take() {
+            w.stop();
+        }
+    });
+    assert_eq!(
+        fanned, reference,
+        "losing a worker mid-sweep must not change a single byte"
+    );
+
+    // The failure is visible, not silent: retries were taken and the
+    // pool now counts one healthy worker of two.
+    let text = metrics_text(coord.local_addr());
+    assert!(
+        sample(&text, "ssimd_dispatch_retries_total").is_some_and(|n| n >= 1.0),
+        "expected at least one recorded retry: {text}"
+    );
+    assert_eq!(sample(&text, "ssimd_workers_configured"), Some(2.0));
+    assert_eq!(sample(&text, "ssimd_workers_healthy"), Some(1.0), "{text}");
+
+    coord.stop();
+    w2.stop();
+}
+
+#[test]
+fn coordinator_refuses_to_start_without_reachable_workers() {
+    // Reserve an address that is then closed again: nothing listens there.
+    let dead = {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let err = match Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        cache_capacity: 16,
+        remote_workers: vec![dead.clone()],
+        ..ServerConfig::default()
+    }) {
+        Ok(_) => panic!("registration against a dead worker must fail"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains(&dead), "{err}");
+}

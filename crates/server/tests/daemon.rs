@@ -2,8 +2,34 @@
 
 use sharing_json::Json;
 use sharing_market::{Market, UtilityFn};
-use sharing_server::{Client, Envelope, Request, Server, ServerConfig};
+use sharing_server::{
+    Client, Envelope, ErrorCode, Job, Request, Server, ServerConfig, ServerError,
+};
 use sharing_trace::Benchmark;
+
+fn gcc_run(slices: usize, banks: usize, len: usize, seed: u64) -> Job {
+    Job::Run(sharing_server::RunJob {
+        workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
+        slices,
+        banks,
+        len,
+        seed,
+    })
+}
+
+fn dc_job(scenario: sharing_dc::Scenario, seed: u64, mode: Option<sharing_dc::BillingMode>) -> Job {
+    Job::Dc(Box::new(sharing_server::DcJob {
+        scenario,
+        seed,
+        mode,
+    }))
+}
+
+/// The typed error code of a reply, for code-based (never substring)
+/// assertions.
+fn code(v: &Json) -> Option<ErrorCode> {
+    ServerError::from_reply(v).map(|e| e.code)
+}
 
 fn start(workers: usize, queue: usize) -> sharing_server::ServerHandle {
     Server::start(ServerConfig {
@@ -45,12 +71,50 @@ fn ping_stats_and_error_replies() {
     let mut line = String::new();
     std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
     let v = Json::parse(line.trim()).unwrap();
-    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(code(&v), Some(ErrorCode::BadRequest), "{v}");
+    // An unknown request type gets its own code.
+    raw.write_all(b"{\"type\":\"explode\"}\n").unwrap();
+    line.clear();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    let v = Json::parse(line.trim()).unwrap();
+    assert_eq!(code(&v), Some(ErrorCode::UnknownRequest), "{v}");
     // The connection is still usable afterwards.
     raw.write_all(b"{\"type\":\"ping\"}\n").unwrap();
     line.clear();
     std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
     assert!(ok(&Json::parse(line.trim()).unwrap()));
+
+    handle.stop();
+}
+
+#[test]
+fn hello_negotiates_and_future_protos_are_refused_with_a_typed_code() {
+    let handle = start(1, 4);
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    assert_eq!(c.hello().unwrap(), sharing_server::PROTO_VERSION);
+
+    // A request announcing a protocol from the future gets a
+    // version_mismatch refusal, not a guess — and the connection lives on.
+    let v = c
+        .call(&Envelope {
+            id: Some(9),
+            proto: Some(sharing_server::PROTO_VERSION + 1),
+            req: Request::Ping,
+        })
+        .unwrap();
+    assert_eq!(code(&v), Some(ErrorCode::VersionMismatch), "{v}");
+    assert_eq!(v.get("id").and_then(Json::as_int), Some(9));
+    assert!(c.ping().unwrap());
+
+    // A versionless request is the v1 dialect: still accepted.
+    let v = c
+        .call(&Envelope {
+            id: None,
+            proto: None,
+            req: Request::Ping,
+        })
+        .unwrap();
+    assert!(ok(&v), "{v}");
 
     handle.stop();
 }
@@ -70,10 +134,14 @@ fn metrics_request_returns_prometheus_text_and_trace_lands_on_shutdown() {
     })
     .expect("bind ephemeral port");
     let mut c = Client::connect(handle.local_addr()).unwrap();
-    c.run_benchmark("gcc", 2, 2, 600, 5).unwrap();
-    c.run_benchmark("gcc", 2, 2, 600, 5).unwrap(); // cache hit
-    c.dc(small_scenario(), 3, Some(sharing_dc::BillingMode::Sharing))
-        .unwrap();
+    c.submit(gcc_run(2, 2, 600, 5)).unwrap();
+    c.submit(gcc_run(2, 2, 600, 5)).unwrap(); // cache hit
+    c.submit(dc_job(
+        small_scenario(),
+        3,
+        Some(sharing_dc::BillingMode::Sharing),
+    ))
+    .unwrap();
 
     // stats carries the queue-wait/execute split and per-kind counters.
     let stats = c.stats().unwrap();
@@ -163,13 +231,8 @@ fn run_result_matches_local_simulation_and_cache_is_byte_identical() {
     // First submission: fresh.
     let env = Envelope {
         id: Some(1),
-        req: Request::Run(sharing_server::RunJob {
-            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
-            slices: 2,
-            banks: 2,
-            len: 800,
-            seed: 42,
-        }),
+        proto: Some(sharing_server::PROTO_VERSION),
+        req: Request::Job(gcc_run(2, 2, 800, 42)),
     };
     c.send(&env).unwrap();
     let first = c.recv().unwrap();
@@ -225,13 +288,14 @@ fn queue_full_gets_backpressure_reply_and_recovers() {
 
     let job = |seed: u64| Envelope {
         id: Some(seed),
-        req: Request::Run(sharing_server::RunJob {
+        proto: None,
+        req: Request::Job(Job::Run(sharing_server::RunJob {
             workload: sharing_server::JobWorkload::Benchmark(Benchmark::Mcf),
             slices: 1,
             banks: 2,
             len: 20_000,
             seed,
-        }),
+        })),
     };
 
     // Fire 6 jobs from 6 connections without reading replies: at most
@@ -254,6 +318,7 @@ fn queue_full_gets_backpressure_reply_and_recovers() {
     );
     assert!(accepted >= 1, "at least the first job must be admitted");
     for r in &rejected {
+        assert_eq!(code(r), Some(ErrorCode::QueueFull), "{r}");
         assert_eq!(
             r.get("backpressure").and_then(Json::as_bool),
             Some(true),
@@ -264,7 +329,15 @@ fn queue_full_gets_backpressure_reply_and_recovers() {
 
     // After the accepted work drains, the queue admits again.
     let mut c = Client::connect(addr).unwrap();
-    let retry = c.run_benchmark("mcf", 1, 2, 500, 99).unwrap();
+    let retry = c
+        .submit(Job::Run(sharing_server::RunJob {
+            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Mcf),
+            slices: 1,
+            banks: 2,
+            len: 500,
+            seed: 99,
+        }))
+        .unwrap();
     assert!(ok(&retry), "{retry}");
 
     let stats = c.stats().unwrap();
@@ -288,7 +361,7 @@ fn concurrent_clients_all_get_correct_results() {
         .map(|i| {
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).unwrap();
-                let reply = c.run_benchmark("gcc", 1 + i, 2, 600, i as u64).unwrap();
+                let reply = c.submit(gcc_run(1 + i, 2, 600, i as u64)).unwrap();
                 assert!(ok(&reply), "{reply}");
                 let insts = reply
                     .get("result")
@@ -334,7 +407,13 @@ fn sweep_streams_points_and_market_picks_a_grid_shape() {
     let handle = start(2, 8);
     let mut c = Client::connect(handle.local_addr()).unwrap();
 
-    let lines = c.sweep(Benchmark::Hmmer, 300, 5).unwrap();
+    let lines = c
+        .submit_all(Job::Sweep(sharing_server::SweepJob {
+            benchmark: Benchmark::Hmmer,
+            len: 300,
+            seed: 5,
+        }))
+        .unwrap();
     let done = lines.last().unwrap();
     assert_eq!(done.get("type").and_then(Json::as_str), Some("sweep_done"));
     assert_eq!(done.get("points").and_then(Json::as_int), Some(72));
@@ -346,14 +425,14 @@ fn sweep_streams_points_and_market_picks_a_grid_shape() {
 
     // A market evaluation over the same grid reuses the cache.
     let reply = c
-        .market(
-            Benchmark::Hmmer,
-            UtilityFn::Throughput,
-            Market::MARKET2,
-            100.0,
-            300,
-            5,
-        )
+        .submit(Job::Market(sharing_server::MarketJob {
+            benchmark: Benchmark::Hmmer,
+            utility: UtilityFn::Throughput,
+            market: Market::MARKET2,
+            budget: 100.0,
+            len: 300,
+            seed: 5,
+        }))
         .unwrap();
     assert!(ok(&reply), "{reply}");
     let shape = reply.get("shape").expect("shape");
@@ -385,7 +464,7 @@ fn dc_job_runs_a_scenario_and_caches_the_comparison() {
     let handle = start(2, 8);
     let mut c = Client::connect(handle.local_addr()).unwrap();
 
-    let first = c.dc(small_scenario(), 7, None).unwrap();
+    let first = c.submit(dc_job(small_scenario(), 7, None)).unwrap();
     assert!(ok(&first), "{first}");
     assert_eq!(first.get("type").and_then(Json::as_str), Some("dc_result"));
     assert_eq!(first.get("cached").and_then(Json::as_bool), Some(false));
@@ -416,7 +495,7 @@ fn dc_job_runs_a_scenario_and_caches_the_comparison() {
     );
 
     // Resubmission hits the cache with a byte-identical payload.
-    let second = c.dc(small_scenario(), 7, None).unwrap();
+    let second = c.submit(dc_job(small_scenario(), 7, None)).unwrap();
     assert_eq!(second.get("cached").and_then(Json::as_bool), Some(true));
     let first_line = first.to_string();
     let second_line = second.to_string();
@@ -428,7 +507,11 @@ fn dc_job_runs_a_scenario_and_caches_the_comparison() {
 
     // A single-mode run reports only that mode, under a different key.
     let only_fixed = c
-        .dc(small_scenario(), 7, Some(sharing_dc::BillingMode::Fixed))
+        .submit(dc_job(
+            small_scenario(),
+            7,
+            Some(sharing_dc::BillingMode::Fixed),
+        ))
         .unwrap();
     assert!(ok(&only_fixed), "{only_fixed}");
     let r = only_fixed.get("result").unwrap();
@@ -453,16 +536,16 @@ fn cache_persists_across_daemon_restarts() {
         queue_capacity: 8,
         cache_capacity: 256,
         cache_path: Some(path.clone()),
-        trace_path: None,
+        ..ServerConfig::default()
     };
 
     // First daemon: run one simulation job and one dc job, then shut down
     // gracefully so the cache is persisted.
     let handle = Server::start(cfg()).expect("bind first daemon");
     let mut c = Client::connect(handle.local_addr()).unwrap();
-    let run_fresh = c.run_benchmark("gcc", 2, 2, 800, 42).unwrap();
+    let run_fresh = c.submit(gcc_run(2, 2, 800, 42)).unwrap();
     assert_eq!(run_fresh.get("cached").and_then(Json::as_bool), Some(false));
-    let dc_fresh = c.dc(small_scenario(), 7, None).unwrap();
+    let dc_fresh = c.submit(dc_job(small_scenario(), 7, None)).unwrap();
     assert_eq!(dc_fresh.get("cached").and_then(Json::as_bool), Some(false));
     handle.stop();
     assert!(
@@ -474,13 +557,13 @@ fn cache_persists_across_daemon_restarts() {
     // the replayed payloads are byte-identical to the original runs.
     let handle = Server::start(cfg()).expect("bind second daemon");
     let mut c = Client::connect(handle.local_addr()).unwrap();
-    let run_warm = c.run_benchmark("gcc", 2, 2, 800, 42).unwrap();
+    let run_warm = c.submit(gcc_run(2, 2, 800, 42)).unwrap();
     assert_eq!(
         run_warm.get("cached").and_then(Json::as_bool),
         Some(true),
         "reloaded cache must serve the run job: {run_warm}"
     );
-    let dc_warm = c.dc(small_scenario(), 7, None).unwrap();
+    let dc_warm = c.submit(dc_job(small_scenario(), 7, None)).unwrap();
     assert_eq!(dc_warm.get("cached").and_then(Json::as_bool), Some(true));
     let fresh_line = run_fresh.to_string();
     let warm_line = run_warm.to_string();
@@ -510,13 +593,8 @@ fn shutdown_drains_in_flight_jobs() {
     let mut busy = Client::connect(addr).unwrap();
     busy.send(&Envelope {
         id: Some(1),
-        req: Request::Run(sharing_server::RunJob {
-            workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
-            slices: 1,
-            banks: 2,
-            len: 30_000,
-            seed: 1,
-        }),
+        proto: None,
+        req: Request::Job(gcc_run(1, 2, 30_000, 1)),
     })
     .unwrap();
 

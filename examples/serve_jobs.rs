@@ -18,7 +18,18 @@
 //! ```
 
 use sharing_arch::json::Json;
-use sharing_arch::server::{Client, Server, ServerConfig};
+use sharing_arch::server::{Client, Job, JobWorkload, RunJob, Server, ServerConfig};
+use sharing_arch::trace::Benchmark;
+
+fn gcc_run(slices: usize, banks: usize, len: usize, seed: u64) -> Job {
+    Job::Run(RunJob {
+        workload: JobWorkload::Benchmark(Benchmark::Gcc),
+        slices,
+        banks,
+        len,
+        seed,
+    })
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let handle = Server::start(ServerConfig {
@@ -38,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             std::thread::spawn(move || -> std::io::Result<(usize, f64)> {
                 let slices = 1 + i;
                 let mut c = Client::connect(addr)?;
-                let reply = c.run_benchmark("gcc", slices, 2, 20_000, 7)?;
+                c.hello()?; // negotiate the protocol version up front
+                let reply = c.submit(gcc_run(slices, 2, 20_000, 7))?;
                 let r = reply.get("result").expect("result");
                 let ipc = r.get("instructions").and_then(Json::as_int).unwrap() as f64
                     / r.get("cycles").and_then(Json::as_int).unwrap() as f64;
@@ -54,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Submit one of those jobs again: a cache hit, byte-identical.
     println!("\n== cache replay ==");
     let mut c = Client::connect(addr)?;
-    let again = c.run_benchmark("gcc", 2, 2, 20_000, 7)?;
+    let again = c.submit(gcc_run(2, 2, 20_000, 7))?;
     println!(
         "  repeated job: cached = {}",
         again.get("cached").and_then(Json::as_bool).unwrap()
@@ -80,7 +92,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // daemon to stop; the drain finishes it first.
     println!("\n== graceful shutdown ==");
     let mut busy = Client::connect(addr)?;
-    let in_flight = std::thread::spawn(move || busy.run_benchmark("mcf", 4, 4, 40_000, 1));
+    let in_flight = std::thread::spawn(move || {
+        busy.submit(Job::Run(RunJob {
+            workload: JobWorkload::Benchmark(Benchmark::Mcf),
+            slices: 4,
+            banks: 4,
+            len: 40_000,
+            seed: 1,
+        }))
+    });
     std::thread::sleep(std::time::Duration::from_millis(50));
     let reply = c.shutdown()?;
     println!(

@@ -44,4 +44,44 @@ cargo run --release --offline -p sharing-ssim --bin ssim -- \
   run --benchmark gcc --len 2000 --trace-out "$TRACE_TMP/run.trace.json" >/dev/null
 cargo run --release --offline --example validate_trace -- "$TRACE_TMP/run.trace.json"
 
+echo "== multi-node smoke: 2 workers + 1 coordinator, byte-identical sweep =="
+SSIM="target/release/ssim"
+"$SSIM" serve --addr 127.0.0.1:42115 --workers 2 &
+W1=$!
+"$SSIM" serve --addr 127.0.0.1:42116 --workers 2 &
+W2=$!
+COORD=""
+cleanup_daemons() {
+  kill "$W1" "$W2" ${COORD:+"$COORD"} 2>/dev/null || true
+  rm -rf "$TRACE_TMP"
+}
+trap cleanup_daemons EXIT
+# The coordinator registers its workers at startup, so they go first.
+for port in 42115 42116; do
+  for _ in $(seq 1 50); do
+    "$SSIM" submit --addr "127.0.0.1:$port" --ping >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+done
+"$SSIM" serve --addr 127.0.0.1:42117 --workers 2 \
+  --worker 127.0.0.1:42115 --worker 127.0.0.1:42116 &
+COORD=$!
+for _ in $(seq 1 50); do
+  "$SSIM" submit --addr 127.0.0.1:42117 --ping >/dev/null 2>&1 && break
+  sleep 0.2
+done
+"$SSIM" submit --addr 127.0.0.1:42117 --hello
+# The same sweep in-process and through the coordinator must agree on
+# every byte of the table (the daemon run appends a provenance line).
+"$SSIM" sweep --benchmark gcc --len 2000 --seed 9 > "$TRACE_TMP/local.txt"
+"$SSIM" sweep --benchmark gcc --len 2000 --seed 9 \
+  --daemon 127.0.0.1:42117 > "$TRACE_TMP/fanout.txt"
+diff "$TRACE_TMP/local.txt" <(grep -v '^served by' "$TRACE_TMP/fanout.txt")
+"$SSIM" submit --addr 127.0.0.1:42117 --metrics | grep -q '^ssimd_dispatched_total 72'
+"$SSIM" submit --addr 127.0.0.1:42117 --metrics | grep -q '^ssimd_workers_healthy 2'
+"$SSIM" submit --addr 127.0.0.1:42117 --shutdown >/dev/null
+"$SSIM" submit --addr 127.0.0.1:42115 --shutdown >/dev/null
+"$SSIM" submit --addr 127.0.0.1:42116 --shutdown >/dev/null
+wait "$W1" "$W2" "$COORD"
+
 echo "ci: all green"
