@@ -7,8 +7,6 @@
 //! time); a new miss to a fresh line allocates an entry if one is free,
 //! otherwise the pipeline must stall and retry.
 
-use std::collections::HashMap;
-
 /// Outcome of asking the MSHR file to track a miss.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -40,8 +38,10 @@ pub enum MshrOutcome {
 #[derive(Clone, Debug)]
 pub struct MshrFile {
     capacity: usize,
-    // line -> fill completion cycle
-    pending: HashMap<u64, u64>,
+    // (line, fill completion cycle); at most `capacity` entries, so the
+    // flat vector beats a hash map on every lookup path and never
+    // reallocates after the first fill.
+    pending: Vec<(u64, u64)>,
 }
 
 impl MshrFile {
@@ -55,7 +55,7 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR capacity must be positive");
         MshrFile {
             capacity,
-            pending: HashMap::new(),
+            pending: Vec::with_capacity(capacity),
         }
     }
 
@@ -63,19 +63,19 @@ impl MshrFile {
     /// would complete at `fill_done`. Expired entries are reclaimed first.
     pub fn request(&mut self, line: u64, now: u64, fill_done: u64) -> MshrOutcome {
         self.expire(now);
-        if let Some(&done) = self.pending.get(&line) {
+        if let Some(&(_, done)) = self.pending.iter().find(|&&(l, _)| l == line) {
             return MshrOutcome::Merged(done);
         }
         if self.pending.len() >= self.capacity {
             return MshrOutcome::Full;
         }
-        self.pending.insert(line, fill_done);
+        self.pending.push((line, fill_done));
         MshrOutcome::Allocated(fill_done)
     }
 
     /// Releases entries whose fills have completed by `now`.
     pub fn expire(&mut self, now: u64) {
-        self.pending.retain(|_, &mut done| done > now);
+        self.pending.retain(|&(_, done)| done > now);
     }
 
     /// Entries currently in flight (as of the last `expire`/`request`).
@@ -94,7 +94,7 @@ impl MshrFile {
     /// when a requester gets [`MshrOutcome::Full`] it can retry then.
     #[must_use]
     pub fn earliest_free(&self) -> Option<u64> {
-        self.pending.values().min().copied()
+        self.pending.iter().map(|&(_, done)| done).min()
     }
 
     /// Clears all entries (pipeline flush/reconfiguration).

@@ -7,7 +7,7 @@
 use sharing_core::{SimConfig, Simulator, VmSimulator};
 use sharing_dc::{BillingMode, DcSim, Scenario};
 use sharing_obs::TraceBuffer;
-use sharing_trace::{Benchmark, ProgramGenerator, TraceSpec, WorkloadProfile, ALL_BENCHMARKS};
+use sharing_trace::{Benchmark, TraceCache, TraceSpec, WorkloadProfile, ALL_BENCHMARKS};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -77,6 +77,11 @@ pub struct SweepArgs {
     /// When set, submit the sweep to a running ssimd daemon at this
     /// address instead of simulating in-process, sharing its result cache.
     pub daemon: Option<String>,
+    /// Worker threads for the local grid (`None` sizes to the machine).
+    /// The rendered table is byte-identical for every value.
+    pub jobs: Option<usize>,
+    /// When set, also write the grid as machine-readable CSV here.
+    pub csv_out: Option<String>,
     /// When set, write a Chrome trace with one span per sweep point here.
     pub trace_out: Option<String>,
 }
@@ -208,6 +213,8 @@ pub enum CliError {
     ConflictingFlags(String),
     /// The `--trace-out` file could not be written.
     TraceOut(String),
+    /// The `--csv-out` file could not be written.
+    CsvOut(String),
 }
 
 impl fmt::Display for CliError {
@@ -229,6 +236,7 @@ impl fmt::Display for CliError {
             CliError::BadScenario(e) => write!(f, "scenario: {e}"),
             CliError::ConflictingFlags(e) => write!(f, "{e}"),
             CliError::TraceOut(e) => write!(f, "trace output: {e}"),
+            CliError::CsvOut(e) => write!(f, "csv output: {e}"),
         }
     }
 }
@@ -244,8 +252,8 @@ USAGE:
     ssim run   (--benchmark <name> | --profile workload.json | --asm prog.s)
                [--slices N] [--banks N] [--len N]
                [--seed N] [--config file.json] [--json] [--trace-out FILE]
-    ssim sweep --benchmark <name> [--len N] [--seed N] [--daemon HOST:PORT]
-               [--trace-out FILE]
+    ssim sweep --benchmark <name> [--len N] [--seed N] [--jobs N]
+               [--daemon HOST:PORT] [--csv-out FILE] [--trace-out FILE]
     ssim dc    (--scenario file.json | --emit-example)
                [--seed N] [--mode sharing|fixed] [--out DIR] [--trace-out FILE]
     ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
@@ -357,6 +365,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 len: 30_000,
                 seed: 0xA5_2014,
                 daemon: None,
+                jobs: None,
+                csv_out: None,
                 trace_out: None,
             };
             let mut got_benchmark = false;
@@ -371,6 +381,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
                     "--daemon" => out.daemon = Some(take_value(flag, &mut it)?.clone()),
+                    "--jobs" => out.jobs = Some(parse_num(flag, take_value(flag, &mut it)?)?),
+                    "--csv-out" => out.csv_out = Some(take_value(flag, &mut it)?.clone()),
                     "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
@@ -554,17 +566,18 @@ fn run_one(
     obs: Option<&TraceBuffer>,
 ) -> sharing_core::SimResult {
     let spec = TraceSpec::new(len, seed);
+    let traces = TraceCache::global();
     if bench.is_parsec() {
         let trace = {
             let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
-            bench.generate_threaded(&spec)
+            traces.threaded(bench, &spec)
         };
         let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
         VmSimulator::new(cfg).expect("validated config").run(&trace)
     } else {
         let trace = {
             let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
-            bench.generate(&spec)
+            traces.single(bench, &spec)
         };
         let sim = Simulator::new(cfg).expect("validated config");
         let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
@@ -623,19 +636,22 @@ fn run_workload(
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
             let profile: WorkloadProfile = sharing_json::from_str(&text)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
-            let generator = ProgramGenerator::new(&profile, TraceSpec::new(len, seed))
-                .map_err(CliError::BadProfile)?;
+            let spec = TraceSpec::new(len, seed);
             if profile.threads > 1 {
                 let trace = {
                     let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
-                    generator.generate()
+                    TraceCache::global()
+                        .profile_threaded(&profile, &spec)
+                        .map_err(CliError::BadProfile)?
                 };
                 let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
                 Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
             } else {
                 let trace = {
                     let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
-                    generator.generate_single()
+                    TraceCache::global()
+                        .profile_single(&profile, &spec)
+                        .map_err(CliError::BadProfile)?
                 };
                 let sim = Simulator::new(cfg).expect("validated config");
                 let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
@@ -940,7 +956,11 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Sweep(args) => {
             // With --daemon, all 72 points come from a running ssimd (and
             // its shared result cache); otherwise they are simulated
-            // in-process. The table itself is identical either way.
+            // in-process: the trace is generated once (shared through the
+            // process-wide TraceCache) and the grid runs on a `--jobs`-
+            // sized worker pool. Results are collected by point index, so
+            // the rendered table is byte-identical no matter how many
+            // workers ran — or whether the points came from a daemon.
             let obs = args.trace_out.as_ref().map(|_| TraceBuffer::new());
             let remote = match &args.daemon {
                 Some(addr) => {
@@ -951,48 +971,71 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 }
                 None => None,
             };
+            let banks = [0usize, 1, 2, 4, 8, 16, 32, 64, 128];
+            let grid: Vec<(usize, usize)> = (1..=8)
+                .flat_map(|s| banks.iter().map(move |&b| (s, b)))
+                .collect();
+            let ipcs: Vec<f64> = match &remote {
+                Some(points) => grid
+                    .iter()
+                    .map(|&(s, b)| {
+                        points.0.get(&(s, b)).copied().ok_or_else(|| {
+                            CliError::Server(format!("daemon sweep missing shape {s}s/{b}b"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => {
+                    let jobs = sharing_core::par::resolve_jobs(args.jobs);
+                    sharing_core::par::map_indexed(jobs, &grid, |_, &(s, b)| {
+                        let cfg = SimConfig::with_shape(s, b)
+                            .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
+                        let t0 = std::time::Instant::now();
+                        let mut guard = obs
+                            .as_ref()
+                            .map(|o| o.span(format!("point {s}s/{b}b"), "sweep", 0));
+                        let r = run_one(args.benchmark, cfg, args.len, args.seed, None);
+                        if let Some(g) = guard.as_mut() {
+                            use sharing_json::Json;
+                            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+                            g.add_arg("slices", Json::Int(s as i128));
+                            g.add_arg("l2_banks", Json::Int(b as i128));
+                            g.add_arg("ipc", Json::Float(r.ipc()));
+                            g.add_arg("cycles", Json::Int(i128::from(r.cycles)));
+                            g.add_arg("cycles_per_sec", Json::Float(r.cycles as f64 / dt));
+                        }
+                        Ok(r.ipc())
+                    })
+                    .into_iter()
+                    .collect::<Result<_, _>>()?
+                }
+            };
             let mut out = format!(
                 "{}: IPC over the paper's configuration grid (len {}, seed {})\n\n",
                 args.benchmark, args.len, args.seed
             );
             out.push_str("slices\\banks");
-            let banks = [0usize, 1, 2, 4, 8, 16, 32, 64, 128];
             for b in banks {
-                out.push_str(&format!("{:>7}", b * 64 / 1024_usize.pow(0)));
+                out.push_str(&format!("{:>7}", b * 64));
             }
             out.push('\n');
-            for s in 1..=8 {
-                out.push_str(&format!("{s:>12}"));
-                for b in banks {
-                    let ipc = match &remote {
-                        Some(points) => *points.0.get(&(s, b)).ok_or_else(|| {
-                            CliError::Server(format!("daemon sweep missing shape {s}s/{b}b"))
-                        })?,
-                        None => {
-                            let cfg = SimConfig::with_shape(s, b)
-                                .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
-                            let t0 = std::time::Instant::now();
-                            let mut guard = obs
-                                .as_ref()
-                                .map(|o| o.span(format!("point {s}s/{b}b"), "sweep", 0));
-                            let r = run_one(args.benchmark, cfg, args.len, args.seed, None);
-                            if let Some(g) = guard.as_mut() {
-                                use sharing_json::Json;
-                                let dt = t0.elapsed().as_secs_f64().max(1e-9);
-                                g.add_arg("slices", Json::Int(s as i128));
-                                g.add_arg("l2_banks", Json::Int(b as i128));
-                                g.add_arg("ipc", Json::Float(r.ipc()));
-                                g.add_arg("cycles", Json::Int(i128::from(r.cycles)));
-                                g.add_arg("cycles_per_sec", Json::Float(r.cycles as f64 / dt));
-                            }
-                            r.ipc()
-                        }
-                    };
-                    out.push_str(&format!("{ipc:>7.3}"));
+            for (i, ipc) in ipcs.iter().enumerate() {
+                if i % banks.len() == 0 {
+                    out.push_str(&format!("{:>12}", grid[i].0));
                 }
-                out.push('\n');
+                out.push_str(&format!("{ipc:>7.3}"));
+                if (i + 1) % banks.len() == 0 {
+                    out.push('\n');
+                }
             }
             out.push_str("\n(columns are L2 KB: 0, 64, 128, 256, 512, 1024, 2048, 4096, 8192)\n");
+            if let Some(path) = &args.csv_out {
+                let mut csv = String::from("benchmark,slices,l2_banks,l2_kb,ipc\n");
+                for (&(s, b), ipc) in grid.iter().zip(&ipcs) {
+                    let _ = writeln!(csv, "{},{s},{b},{},{ipc:.6}", args.benchmark, b * 64);
+                }
+                std::fs::write(path, csv).map_err(|e| CliError::CsvOut(format!("{path}: {e}")))?;
+                let _ = writeln!(out, "wrote csv {path} ({} points)", grid.len());
+            }
             if let (Some(addr), Some(points)) = (&args.daemon, &remote) {
                 let _ = writeln!(
                     out,
@@ -1301,6 +1344,8 @@ mod server_tests {
                 len: 30_000,
                 seed: 0xA5_2014,
                 daemon: Some("h:1".to_string()),
+                jobs: None,
+                csv_out: None,
                 trace_out: None,
             })
         );
@@ -1347,6 +1392,8 @@ mod server_tests {
             len: 300,
             seed: 5,
             daemon: None,
+            jobs: None,
+            csv_out: None,
             trace_out: None,
         }))
         .unwrap();
@@ -1355,6 +1402,8 @@ mod server_tests {
             len: 300,
             seed: 5,
             daemon: Some(addr.clone()),
+            jobs: None,
+            csv_out: None,
             trace_out: None,
         }))
         .unwrap();
@@ -1371,12 +1420,84 @@ mod server_tests {
             len: 300,
             seed: 5,
             daemon: Some(addr),
+            jobs: None,
+            csv_out: None,
             trace_out: None,
         }))
         .unwrap();
         assert!(again.contains("72 of 72 points from its cache"), "{again}");
 
         handle.stop();
+    }
+
+    #[test]
+    fn parses_sweep_jobs_and_csv_out() {
+        let cmd = parse(&s(&[
+            "sweep",
+            "--benchmark",
+            "gcc",
+            "--jobs",
+            "4",
+            "--csv-out",
+            "grid.csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(a) => {
+                assert_eq!(a.jobs, Some(4));
+                assert_eq!(a.csv_out.as_deref(), Some("grid.csv"));
+            }
+            other => panic!("expected sweep, got {other:?}"),
+        }
+        assert!(matches!(
+            parse(&s(&["sweep", "--benchmark", "gcc", "--jobs", "x"])),
+            Err(CliError::BadValue(..))
+        ));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        for seed in [5u64, 11] {
+            let run = |jobs: usize| {
+                execute(&Command::Sweep(SweepArgs {
+                    benchmark: Benchmark::Hmmer,
+                    len: 300,
+                    seed,
+                    daemon: None,
+                    jobs: Some(jobs),
+                    csv_out: None,
+                    trace_out: None,
+                }))
+                .unwrap()
+            };
+            assert_eq!(run(1), run(4), "seed {seed}: --jobs must not change a byte");
+        }
+    }
+
+    #[test]
+    fn sweep_csv_out_writes_the_grid() {
+        let dir = std::env::temp_dir().join(format!("ssim-csv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.csv");
+        let out = execute(&Command::Sweep(SweepArgs {
+            benchmark: Benchmark::Hmmer,
+            len: 300,
+            seed: 5,
+            daemon: None,
+            jobs: Some(2),
+            csv_out: Some(path.to_string_lossy().into_owned()),
+            trace_out: None,
+        }))
+        .unwrap();
+        assert!(out.contains("wrote csv"), "{out}");
+        let csv = std::fs::read_to_string(&path).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("benchmark,slices,l2_banks,l2_kb,ipc"));
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 72, "one row per grid point");
+        assert!(rows[0].starts_with("hmmer,1,0,0,"), "{}", rows[0]);
+        assert!(rows[71].starts_with("hmmer,8,128,8192,"), "{}", rows[71]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

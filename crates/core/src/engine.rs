@@ -34,7 +34,7 @@ use sharing_cache::mshr::MshrOutcome;
 use sharing_cache::{CacheGeometry, Directory, L2Array, MshrFile, SetAssocCache};
 use sharing_isa::{ArchReg, DynInst, InstKind, NUM_ARCH_REGS};
 use sharing_noc::{Coord, Mesh, QueuedNetwork, Transport};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
 /// The memory system beyond the L1s: the VCore's (or VM's shared) L2 bank
 /// set, the main-memory delay, and — when several VCores share it — the
@@ -186,6 +186,43 @@ impl Slots {
     }
 }
 
+/// [`Slots`] specialised for resources released **at commit** (ROB
+/// entries, the global register free list, LRF entries).
+///
+/// Commit times are monotonically nondecreasing in program order
+/// (`commit = commit_ready.max(prev_commit)`), so the release times form
+/// a sorted circular buffer: the earliest-free slot is always the oldest
+/// occupied one. That turns both the `available_at` min-scan and the
+/// `occupy` argmin-scan — O(entries) per instruction in [`Slots`] — into
+/// O(1) ring operations with the identical observable multiset.
+#[derive(Clone, Debug)]
+struct FifoSlots {
+    free_at: Vec<u64>,
+    head: usize,
+}
+
+impl FifoSlots {
+    fn new(n: usize) -> Self {
+        FifoSlots {
+            free_at: vec![0; n],
+            head: 0,
+        }
+    }
+
+    /// Earliest cycle at/after `t` a slot is available.
+    fn available_at(&self, t: u64) -> u64 {
+        t.max(self.free_at[self.head])
+    }
+
+    /// Occupies the earliest-free slot until `until` (a commit time, so
+    /// `until` is never below the head's current release).
+    fn occupy(&mut self, _t: u64, until: u64) {
+        let head = self.head;
+        self.free_at[head] = self.free_at[head].max(until);
+        self.head = (head + 1) % self.free_at.len();
+    }
+}
+
 /// A unit-throughput functional unit as a cycle calendar.
 ///
 /// Out-of-order issue means a younger instruction whose operands are ready
@@ -193,38 +230,129 @@ impl Slots {
 /// instruction. A monotonic "next free" cursor cannot express that, so the
 /// FU tracks the exact set of occupied cycles and each instruction takes
 /// the first free run at or after its ready time.
+///
+/// The set is a windowed bitmap over `[base, base + 64 * words.len())`:
+/// cycle keys are dense around the issue frontier, so one word covers 64
+/// cycles and claiming a slot is bit arithmetic instead of a tree probe
+/// per cycle. Cycles outside the window are free, exactly like absent keys
+/// in a set — pruned history stays pruned, the untouched future is open.
 #[derive(Clone, Debug, Default)]
 struct FuCalendar {
-    busy: BTreeSet<u64>,
+    words: Vec<u64>,
+    /// First cycle the bitmap covers (always word-aligned).
+    base: u64,
+    /// Number of occupied cycles in the window.
+    count: usize,
 }
 
 impl FuCalendar {
+    fn contains(&self, c: u64) -> bool {
+        if c < self.base {
+            return false;
+        }
+        let off = (c - self.base) as usize;
+        self.words
+            .get(off / 64)
+            .is_some_and(|w| w >> (off % 64) & 1 == 1)
+    }
+
+    fn insert(&mut self, c: u64) {
+        if c < self.base {
+            // Re-opening pruned history (possible only right after a
+            // prune); grow the window backwards, keeping word alignment.
+            let grow = ((self.base - c) as usize).div_ceil(64);
+            self.base -= grow as u64 * 64;
+            self.words.splice(0..0, std::iter::repeat_n(0u64, grow));
+        }
+        let off = (c - self.base) as usize;
+        let w = off / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let bit = 1u64 << (off % 64);
+        if self.words[w] & bit == 0 {
+            self.words[w] |= bit;
+            self.count += 1;
+        }
+    }
+
+    /// First free cycle at or after `ready` (single-cycle fast path).
+    fn first_free_at(&self, ready: u64) -> u64 {
+        if ready < self.base {
+            return ready;
+        }
+        let off = (ready - self.base) as usize;
+        let mut w = off / 64;
+        if w >= self.words.len() {
+            return ready;
+        }
+        let mut mask = !0u64 << (off % 64);
+        while w < self.words.len() {
+            let free = !self.words[w] & mask;
+            if free != 0 {
+                return self.base + w as u64 * 64 + u64::from(free.trailing_zeros());
+            }
+            w += 1;
+            mask = !0;
+        }
+        self.base + self.words.len() as u64 * 64
+    }
+
     /// Claims the first `occupancy` consecutive free cycles at or after
     /// `ready`; returns the start cycle.
     fn issue_at(&mut self, ready: u64, occupancy: u64) -> u64 {
-        let mut c = ready;
-        'search: loop {
-            for k in 0..occupancy {
-                if self.busy.contains(&(c + k)) {
-                    c = c + k + 1;
-                    continue 'search;
+        let c = if occupancy == 1 {
+            let c = self.first_free_at(ready);
+            self.insert(c);
+            c
+        } else {
+            let mut c = ready;
+            'search: loop {
+                for k in 0..occupancy {
+                    if self.contains(c + k) {
+                        c = c + k + 1;
+                        continue 'search;
+                    }
                 }
+                for k in 0..occupancy {
+                    self.insert(c + k);
+                }
+                break c;
             }
-            for k in 0..occupancy {
-                self.busy.insert(c + k);
-            }
-            break;
-        }
+        };
         // Bound memory: drop cycles far behind the issue frontier.
-        if self.busy.len() > 8192 {
-            let cutoff = c.saturating_sub(4096);
-            self.busy = self.busy.split_off(&cutoff);
+        if self.count > 8192 {
+            self.prune_below(c.saturating_sub(4096));
         }
         c
     }
 
+    /// Frees every cycle below `cutoff` and drops it from the window.
+    fn prune_below(&mut self, cutoff: u64) {
+        if cutoff <= self.base {
+            return;
+        }
+        let full = (((cutoff - self.base) / 64) as usize).min(self.words.len());
+        for w in &self.words[..full] {
+            self.count -= w.count_ones() as usize;
+        }
+        self.words.drain(..full);
+        self.base += full as u64 * 64;
+        if cutoff > self.base {
+            if let Some(w0) = self.words.first_mut() {
+                let low = (1u64 << (cutoff - self.base)) - 1;
+                self.count -= (*w0 & low).count_ones() as usize;
+                *w0 &= !low;
+            }
+        }
+    }
+
     fn clear(&mut self) {
-        self.busy.clear();
+        // Keeps the allocation: calendars are cleared at every pipeline
+        // drain and refill the same window next chunk.
+        self.words.clear();
+        self.base = 0;
+        self.count = 0;
     }
 }
 
@@ -241,8 +369,8 @@ struct SliceState {
     lsu: FuCalendar,
     alu_window: Slots,
     ls_window: Slots,
-    rob: Slots,
-    lrf: Slots,
+    rob: FifoSlots,
+    lrf: FifoSlots,
     lsq_bank: Slots,
     store_buffer: Slots,
     /// For the ordered-LSQ baseline: latest address-resolve time of any
@@ -312,7 +440,7 @@ pub struct VCoreEngine {
     coords: Vec<Coord>,
     operand_net: QueuedNetwork,
     reg: [RegVersion; NUM_ARCH_REGS],
-    freelist: Slots,
+    freelist: FifoSlots,
     store_map: HashMap<u64, StoreRec>,
     /// Earliest cycle the next fetch group may issue.
     fetch_ready: u64,
@@ -386,8 +514,8 @@ impl VCoreEngine {
                 lsu: FuCalendar::default(),
                 alu_window: Slots::new(cfg.slice.issue_window),
                 ls_window: Slots::new(cfg.slice.ls_window),
-                rob: Slots::new(cfg.slice.rob_entries),
-                lrf: Slots::new(cfg.slice.local_regs),
+                rob: FifoSlots::new(cfg.slice.rob_entries),
+                lrf: FifoSlots::new(cfg.slice.local_regs),
                 lsq_bank: Slots::new(cfg.slice.lsq_entries),
                 store_buffer: Slots::new(cfg.slice.store_buffer),
                 store_barrier: 0,
@@ -397,7 +525,7 @@ impl VCoreEngine {
         // "The free-list of global logical registers is distributed across
         // Slices in a VCore" (§3.2.1): capacity scales with Slice count
         // while the namespace is sized for the largest configuration.
-        let freelist = Slots::new((cfg.slice.global_regs - NUM_ARCH_REGS) * n);
+        let freelist = FifoSlots::new((cfg.slice.global_regs - NUM_ARCH_REGS) * n);
         VCoreEngine {
             operand_net: QueuedNetwork::new(
                 mesh,
@@ -1121,6 +1249,78 @@ mod tests {
         assert_eq!(s.available_at(5), 50);
         s.occupy(50, 70); // replaces the slot that freed at 50
         assert_eq!(s.available_at(0), 60);
+    }
+
+    #[test]
+    fn fu_calendar_matches_btreeset_reference() {
+        // The bitmap calendar must be observably identical to the exact
+        // set-of-busy-cycles model it replaced, prune rule included.
+        use std::collections::BTreeSet;
+        struct Reference {
+            busy: BTreeSet<u64>,
+        }
+        impl Reference {
+            fn issue_at(&mut self, ready: u64, occupancy: u64) -> u64 {
+                let mut c = ready;
+                'search: loop {
+                    for k in 0..occupancy {
+                        if self.busy.contains(&(c + k)) {
+                            c = c + k + 1;
+                            continue 'search;
+                        }
+                    }
+                    for k in 0..occupancy {
+                        self.busy.insert(c + k);
+                    }
+                    break;
+                }
+                if self.busy.len() > 8192 {
+                    let cutoff = c.saturating_sub(4096);
+                    self.busy = self.busy.split_off(&cutoff);
+                }
+                c
+            }
+        }
+        let mut fu = FuCalendar::default();
+        let mut reference = Reference {
+            busy: BTreeSet::new(),
+        };
+        // A deterministic pseudo-random stream of (ready, occupancy)
+        // claims, wide enough to drive both through several prunes.
+        let mut x = 0x2014_u64;
+        let mut frontier = 0u64;
+        for i in 0..30_000u64 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            frontier += x >> 61; // advance 0..=7 cycles
+            let ready = frontier.saturating_sub(x >> 56 & 0x3F); // jitter back
+            let occupancy = if x & 0xF == 0 { 4 } else { 1 };
+            assert_eq!(
+                fu.issue_at(ready, occupancy),
+                reference.issue_at(ready, occupancy),
+                "claim {i} diverged"
+            );
+            assert_eq!(fu.count, reference.busy.len(), "claim {i} count diverged");
+        }
+        assert!(frontier > 100_000, "stream should outrun the prune window");
+    }
+
+    #[test]
+    fn fifo_slots_match_slots_for_monotonic_releases() {
+        // FifoSlots is only used for commit-released resources, where the
+        // release times are nondecreasing; under that contract it must be
+        // observably identical to the min-scan Slots.
+        let mut ring = FifoSlots::new(7);
+        let mut reference = Slots::new(7);
+        let mut x = 0xA5_u64;
+        let mut commit = 0u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let t = commit.saturating_sub(x >> 60);
+            assert_eq!(ring.available_at(t), reference.available_at(t));
+            commit += x >> 62; // nondecreasing, advances 0..=3
+            ring.occupy(t, commit);
+            reference.occupy(t, commit);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod config;
 pub mod engine;
 pub mod multi;
+pub mod par;
 pub mod predictor;
 pub mod reconfig;
 pub mod reconfigurable;

@@ -84,6 +84,8 @@ impl VmSimulator {
             .collect();
         let mut cursors = vec![0usize; workloads.len()];
         let mut live = workloads.len();
+        // Reused across rounds so the inval hand-off never reallocates.
+        let mut inval_scratch: Vec<(usize, u64)> = Vec::new();
         while live > 0 {
             live = 0;
             for (tid, engine) in engines.iter_mut().enumerate() {
@@ -97,8 +99,8 @@ impl VmSimulator {
                 engine.run_chunk(&mut mem, &insts[start..end]);
                 cursors[tid] = end;
             }
-            let invals = std::mem::take(&mut mem.pending_invals);
-            for (v, line) in invals {
+            std::mem::swap(&mut inval_scratch, &mut mem.pending_invals);
+            for (v, line) in inval_scratch.drain(..) {
                 if v < engines.len() {
                     engines[v].invalidate_line(line);
                 }
@@ -130,6 +132,10 @@ impl VmSimulator {
             .collect();
         let mut cursors = vec![0usize; threads];
         let mut live = threads;
+        // Reused across rounds: the scratch and the pending queue ping-pong
+        // their allocations, so chunked coherence hand-off stops churning
+        // the allocator.
+        let mut inval_scratch: Vec<(usize, u64)> = Vec::new();
         while live > 0 {
             live = 0;
             for (tid, engine) in engines.iter_mut().enumerate() {
@@ -143,8 +149,8 @@ impl VmSimulator {
                 engine.run_chunk(&mut mem, &insts[start..end]);
                 cursors[tid] = end;
                 // Apply coherence invalidations to the other VCores.
-                let invals = std::mem::take(&mut mem.pending_invals);
-                for (v, line) in invals {
+                std::mem::swap(&mut inval_scratch, &mut mem.pending_invals);
+                for (v, line) in inval_scratch.drain(..) {
                     if v != tid {
                         // Safe: `engines` indexed disjointly from `engine`
                         // would need split borrows; defer to after loop by
@@ -154,8 +160,8 @@ impl VmSimulator {
                 }
             }
             // Drain invalidations between rounds.
-            let invals = std::mem::take(&mut mem.pending_invals);
-            for (v, line) in invals {
+            std::mem::swap(&mut inval_scratch, &mut mem.pending_invals);
+            for (v, line) in inval_scratch.drain(..) {
                 if v < engines.len() {
                     engines[v].invalidate_line(line);
                 }

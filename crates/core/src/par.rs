@@ -1,0 +1,127 @@
+//! A minimal scoped-thread work queue for deterministic fan-out.
+//!
+//! Every sweep consumer (the CLI grid, `SuiteSurfaces`, the dc
+//! simulator's surface build) runs the same shape of job: an indexed
+//! task list whose results must come back **in task order** so rendered
+//! tables and serialized caches are byte-identical no matter how many
+//! workers ran. [`map_indexed`] is that loop: workers pull the next
+//! index from an atomic counter, write results into their own slot, and
+//! the caller gets a `Vec` in input order.
+//!
+//! std-only by design — the workspace builds offline with zero external
+//! dependencies (DESIGN.md §5).
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_core::par;
+//!
+//! let squares = par::map_indexed(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolves a `--jobs`-style knob: `Some(n)` is used as given (minimum
+/// 1), `None` sizes to the machine.
+#[must_use]
+pub fn resolve_jobs(jobs: Option<usize>) -> usize {
+    match jobs {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Applies `f` to every task on up to `jobs` worker threads and returns
+/// the results **in task order**. `f` receives `(index, &task)`.
+///
+/// With `jobs <= 1` (or a single task) everything runs inline on the
+/// calling thread — no threads are spawned, and side effects (spans,
+/// counters) happen in task order, exactly as a plain sequential loop.
+/// With more workers the task order of side effects is unspecified, but
+/// the returned `Vec` is always index-ordered, which is what makes
+/// parallel sweeps byte-identical to sequential ones.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins its workers first).
+pub fn map_indexed<T, R, F>(jobs: usize, tasks: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || tasks.len() <= 1 {
+        return tasks.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = jobs.min(tasks.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let r = f(i, task);
+                *slots[i].lock().expect("par slot lock") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("par slot lock")
+                .unwrap_or_else(|| panic!("task {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let tasks: Vec<usize> = (0..100).collect();
+        for jobs in [1, 2, 4, 16] {
+            let out = map_indexed(jobs, &tasks, |i, &t| {
+                assert_eq!(i, t);
+                t * 10
+            });
+            assert_eq!(out, tasks.iter().map(|t| t * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let tasks: Vec<u64> = (0..57).map(|i| i * 31 + 7).collect();
+        let seq = map_indexed(1, &tasks, |i, &t| t.wrapping_mul(i as u64 + 1));
+        let par = map_indexed(8, &tasks, |i, &t| t.wrapping_mul(i as u64 + 1));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single_task_lists() {
+        let none: Vec<u32> = vec![];
+        assert!(map_indexed(4, &none, |_, &x| x).is_empty());
+        assert_eq!(map_indexed(4, &[9u32], |_, &x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let tasks: Vec<usize> = (0..200).collect();
+        let _ = map_indexed(6, &tasks, |_, &t| hits[t].fetch_add(1, Ordering::Relaxed));
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn resolve_jobs_floors_at_one() {
+        assert_eq!(resolve_jobs(Some(0)), 1);
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+}

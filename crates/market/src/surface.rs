@@ -6,12 +6,11 @@
 //! (Equation 3: 1–8 Slices × 0 KB–8 MB), in parallel, with optional JSON
 //! caching so the bench harness only ever pays for a sweep once.
 
-use sharing_core::{SimConfig, Simulator, VCoreShape, VmSimulator};
+use sharing_core::{par, SimConfig, Simulator, VCoreShape, VmSimulator};
 use sharing_json::{json_struct, FromJson, Json, JsonError, ToJson};
-use sharing_trace::{Benchmark, TraceSpec, ALL_BENCHMARKS};
+use sharing_trace::{Benchmark, TraceCache, TraceSpec, ALL_BENCHMARKS};
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Mutex;
 
 /// How a sweep's traces are generated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -225,19 +224,33 @@ impl SuiteSurfaces {
 
     /// Measures one benchmark at one shape (single-threaded benchmarks on
     /// a [`Simulator`], PARSEC on a [`VmSimulator`] with four VCores and a
-    /// shared L2, per §5.3).
+    /// shared L2, per §5.3), sharing the process-wide [`TraceCache`] so
+    /// all 72 shapes of a sweep reuse one generated trace.
     #[must_use]
     pub fn measure(bench: Benchmark, shape: VCoreShape, spec: &ExperimentSpec) -> f64 {
+        Self::measure_with(bench, shape, spec, TraceCache::global())
+    }
+
+    /// [`SuiteSurfaces::measure`] against an explicit trace cache (tests
+    /// use a private cache to assert generation counts without racing
+    /// other users of the global one).
+    #[must_use]
+    pub fn measure_with(
+        bench: Benchmark,
+        shape: VCoreShape,
+        spec: &ExperimentSpec,
+        cache: &TraceCache,
+    ) -> f64 {
         let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks)
             .expect("sweep grid shapes are valid");
         if bench.is_parsec() {
-            let workload = bench.generate_threaded(&spec.trace_spec());
+            let workload = cache.threaded(bench, &spec.trace_spec());
             let r = VmSimulator::new(cfg).expect("valid config").run(&workload);
             // Per-VCore performance: VM IPC divided by thread count, so
             // PARSEC points are comparable to single-core P(c, s).
             r.ipc() / workload.thread_count() as f64
         } else {
-            let trace = bench.generate(&spec.trace_spec());
+            let trace = cache.single(bench, &spec.trace_spec());
             Simulator::new(cfg).expect("valid config").run(&trace).ipc()
         }
     }
@@ -249,9 +262,23 @@ impl SuiteSurfaces {
         Self::build_subset(spec, &ALL_BENCHMARKS)
     }
 
-    /// Builds surfaces for a subset of the suite.
+    /// Builds surfaces for a subset of the suite, machine-wide parallel.
     #[must_use]
     pub fn build_subset(spec: ExperimentSpec, benches: &[Benchmark]) -> Self {
+        Self::build_subset_with(spec, benches, TraceCache::global(), par::resolve_jobs(None))
+    }
+
+    /// [`SuiteSurfaces::build_subset`] with an explicit trace cache and
+    /// worker count. Results are collected by task index, so the built
+    /// surfaces (and anything serialized from them) are identical for any
+    /// `jobs`.
+    #[must_use]
+    pub fn build_subset_with(
+        spec: ExperimentSpec,
+        benches: &[Benchmark],
+        cache: &TraceCache,
+        jobs: usize,
+    ) -> Self {
         let shapes: Vec<VCoreShape> = VCoreShape::sweep_grid().collect();
         let mut tasks: Vec<(Benchmark, VCoreShape)> = Vec::new();
         for &b in benches {
@@ -259,22 +286,11 @@ impl SuiteSurfaces {
                 tasks.push((b, s));
             }
         }
-        let results: Mutex<Vec<(Benchmark, VCoreShape, f64)>> =
-            Mutex::new(Vec::with_capacity(tasks.len()));
-        let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(b, s)) = tasks.get(i) else { break };
-                    let perf = Self::measure(b, s, &spec);
-                    results.lock().expect("sweep lock").push((b, s, perf));
-                });
-            }
+        let perfs = par::map_indexed(jobs, &tasks, |_, &(b, s)| {
+            Self::measure_with(b, s, &spec, cache)
         });
         let mut surfaces: BTreeMap<Benchmark, BTreeMap<VCoreShape, f64>> = BTreeMap::new();
-        for (b, s, p) in results.into_inner().expect("sweep lock") {
+        for (&(b, s), &p) in tasks.iter().zip(&perfs) {
             surfaces.entry(b).or_default().insert(s, p);
         }
         SuiteSurfaces {
@@ -360,6 +376,44 @@ mod tests {
         let surf = suite.surface(Benchmark::Hmmer);
         assert_eq!(surf.iter().count(), 72);
         assert!(surf.iter().all(|(_, p)| p > 0.0));
+    }
+
+    #[test]
+    fn build_generates_each_trace_exactly_once() {
+        // The regression PR 5 fixes: measure() used to regenerate the
+        // identical trace for every one of the 72 shapes. With the cache,
+        // a cold build does one generation per (benchmark, len, seed).
+        let cache = TraceCache::with_capacity(8);
+        let spec = ExperimentSpec::quick();
+        let benches = [Benchmark::Hmmer, Benchmark::Swaptions];
+        let suite = SuiteSurfaces::build_subset_with(spec, &benches, &cache, 4);
+        assert_eq!(
+            cache.generations(),
+            benches.len() as u64,
+            "one trace generation per benchmark"
+        );
+        assert_eq!(cache.misses(), benches.len() as u64);
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            (benches.len() * 72) as u64,
+            "every sweep point consults the cache"
+        );
+        assert_eq!(suite.surface(Benchmark::Hmmer).iter().count(), 72);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let spec = ExperimentSpec::quick();
+        let benches = [Benchmark::Mcf, Benchmark::Dedup];
+        let seq =
+            SuiteSurfaces::build_subset_with(spec, &benches, &TraceCache::with_capacity(8), 1);
+        let par =
+            SuiteSurfaces::build_subset_with(spec, &benches, &TraceCache::with_capacity(8), 4);
+        assert_eq!(
+            sharing_json::to_string(&seq),
+            sharing_json::to_string(&par),
+            "worker count must not change a single byte of the surfaces"
+        );
     }
 
     #[test]

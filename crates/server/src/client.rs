@@ -6,17 +6,10 @@
 //! [`Client::recv`] directly with distinct `id`s.
 //!
 //! Jobs go through one door: [`Client::submit`] (single reply) or
-//! [`Client::submit_all`] (streamed replies, e.g. sweeps). The old
-//! per-kind methods survive as deprecated wrappers.
+//! [`Client::submit_all`] (streamed replies, e.g. sweeps).
 
-use crate::protocol::{
-    self, DcJob, Envelope, Job, JobWorkload, MarketJob, Request, RunJob, ServerError, SweepJob,
-    MIN_PROTO, PROTO_VERSION,
-};
-use sharing_dc::{BillingMode, Scenario};
+use crate::protocol::{self, Envelope, Job, Request, ServerError, MIN_PROTO, PROTO_VERSION};
 use sharing_json::Json;
-use sharing_market::{Market, UtilityFn};
-use sharing_trace::{Benchmark, WorkloadProfile};
 use std::io::{BufReader, Error, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -240,136 +233,5 @@ impl Client {
                 return Ok(lines);
             }
         }
-    }
-
-    /// Submits a single run job and waits for its result line.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors; server-side failures come back as
-    /// `{"ok":false}` replies, not `Err`.
-    #[deprecated(since = "0.4.0", note = "use `submit(Job::Run(job))`")]
-    pub fn run(&mut self, job: RunJob) -> std::io::Result<Json> {
-        self.submit(Job::Run(job))
-    }
-
-    /// Convenience: runs a named benchmark.
-    ///
-    /// # Errors
-    ///
-    /// `InvalidInput` for an unknown benchmark name; otherwise as
-    /// [`Client::submit`].
-    #[deprecated(since = "0.4.0", note = "use `submit(Job::Run(..))`")]
-    pub fn run_benchmark(
-        &mut self,
-        name: &str,
-        slices: usize,
-        banks: usize,
-        len: usize,
-        seed: u64,
-    ) -> std::io::Result<Json> {
-        let bench = Benchmark::from_name(name).ok_or_else(|| {
-            Error::new(
-                ErrorKind::InvalidInput,
-                format!("unknown benchmark `{name}`"),
-            )
-        })?;
-        self.submit(Job::Run(RunJob {
-            workload: JobWorkload::Benchmark(bench),
-            slices,
-            banks,
-            len,
-            seed,
-        }))
-    }
-
-    /// Convenience: runs an inline workload profile.
-    ///
-    /// # Errors
-    ///
-    /// As [`Client::submit`].
-    #[deprecated(since = "0.4.0", note = "use `submit(Job::Run(..))`")]
-    pub fn run_profile(
-        &mut self,
-        profile: WorkloadProfile,
-        slices: usize,
-        banks: usize,
-        len: usize,
-        seed: u64,
-    ) -> std::io::Result<Json> {
-        self.submit(Job::Run(RunJob {
-            workload: JobWorkload::Profile(Box::new(profile)),
-            slices,
-            banks,
-            len,
-            seed,
-        }))
-    }
-
-    /// Submits a sweep and collects its streamed lines: every
-    /// `sweep_point` plus the trailing `sweep_done` (or a single error
-    /// line).
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    #[deprecated(since = "0.4.0", note = "use `submit_all(Job::Sweep(..))`")]
-    pub fn sweep(
-        &mut self,
-        benchmark: Benchmark,
-        len: usize,
-        seed: u64,
-    ) -> std::io::Result<Vec<Json>> {
-        self.submit_all(Job::Sweep(SweepJob {
-            benchmark,
-            len,
-            seed,
-        }))
-    }
-
-    /// Submits a datacenter-scenario job and waits for its result line;
-    /// `mode` of `None` runs both billing modes and reports the
-    /// comparison.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    #[deprecated(since = "0.4.0", note = "use `submit(Job::Dc(..))`")]
-    pub fn dc(
-        &mut self,
-        scenario: Scenario,
-        seed: u64,
-        mode: Option<BillingMode>,
-    ) -> std::io::Result<Json> {
-        self.submit(Job::Dc(Box::new(DcJob {
-            scenario,
-            seed,
-            mode,
-        })))
-    }
-
-    /// Submits a market evaluation and waits for its result line.
-    ///
-    /// # Errors
-    ///
-    /// Propagates I/O errors.
-    #[deprecated(since = "0.4.0", note = "use `submit(Job::Market(..))`")]
-    pub fn market(
-        &mut self,
-        benchmark: Benchmark,
-        utility: UtilityFn,
-        market: Market,
-        budget: f64,
-        len: usize,
-        seed: u64,
-    ) -> std::io::Result<Json> {
-        self.submit(Job::Market(MarketJob {
-            benchmark,
-            utility,
-            market,
-            budget,
-            len,
-            seed,
-        }))
     }
 }

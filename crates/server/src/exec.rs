@@ -9,10 +9,14 @@ use crate::protocol::{DcJob, JobWorkload, RunJob};
 use sharing_core::{SimConfig, SimResult, Simulator, VmSimulator};
 use sharing_dc::DcSim;
 use sharing_json::{Json, ToJson};
-use sharing_trace::{ProgramGenerator, TraceSpec};
+use sharing_trace::{TraceCache, TraceSpec};
 use std::sync::atomic::Ordering;
 
 /// Runs one job on a fresh simulator.
+///
+/// Traces come from the process-wide [`TraceCache`]: a daemon serving
+/// repeated jobs for the same `(workload, len, seed)` generates the trace
+/// once and every worker thread shares the same `Arc`.
 ///
 /// # Errors
 ///
@@ -21,28 +25,26 @@ use std::sync::atomic::Ordering;
 pub fn simulate(job: &RunJob) -> Result<SimResult, String> {
     let cfg = SimConfig::with_shape(job.slices, job.banks).map_err(|e| e.to_string())?;
     let spec = TraceSpec::new(job.len, job.seed);
+    let traces = TraceCache::global();
     match &job.workload {
         JobWorkload::Benchmark(b) => {
             if b.is_parsec() {
                 Ok(VmSimulator::new(cfg)
                     .expect("validated config")
-                    .run(&b.generate_threaded(&spec)))
+                    .run(&traces.threaded(*b, &spec)))
             } else {
                 Ok(Simulator::new(cfg)
                     .expect("validated config")
-                    .run(&b.generate(&spec)))
+                    .run(&traces.single(*b, &spec)))
             }
         }
         JobWorkload::Profile(p) => {
-            let generator = ProgramGenerator::new(p, spec)?;
             if p.threads > 1 {
-                Ok(VmSimulator::new(cfg)
-                    .expect("validated config")
-                    .run(&generator.generate()))
+                let trace = traces.profile_threaded(p, &spec)?;
+                Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
             } else {
-                Ok(Simulator::new(cfg)
-                    .expect("validated config")
-                    .run(&generator.generate_single()))
+                let trace = traces.profile_single(p, &spec)?;
+                Ok(Simulator::new(cfg).expect("validated config").run(&trace))
             }
         }
     }

@@ -377,13 +377,16 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             Request::Metrics => {
                 // Prometheus text is multi-line; it ships as one JSON
                 // string field so the one-line-per-reply protocol holds.
-                // Coordinators append per-worker families from the pool.
+                // Coordinators append per-worker families from the pool,
+                // and every daemon appends the process-global registry
+                // (trace_cache_*_total, simulator run counters, ...).
                 let mut text = state
                     .metrics
                     .prometheus_text(state.queue.depth(), state.cache.len());
                 if let Some(pool) = &state.pool {
                     text.push_str(&pool.prometheus_text());
                 }
+                text.push_str(&sharing_obs::prometheus_text());
                 let reply = format!(
                     "{},\"metrics\":{}}}",
                     ok_head(env.id, "metrics"),

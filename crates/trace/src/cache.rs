@@ -1,0 +1,396 @@
+//! Memoized trace generation.
+//!
+//! A trace depends only on the workload and its [`TraceSpec`] — never on
+//! the VCore shape it will be simulated at — so a 72-shape sweep needs
+//! **one** generation, not 72. The [`TraceCache`] memoizes generated
+//! traces behind [`Arc`]s keyed by `(workload, len, seed)`: every sweep
+//! consumer (the CLI grid, `SuiteSurfaces`, ssimd's executor) shares one
+//! copy per key, across threads.
+//!
+//! Concurrency contract: when N threads request the same missing key at
+//! once, exactly one runs the generator; the rest block on the same slot
+//! and receive clones of the same `Arc`. Hits and misses are counted both
+//! on the cache instance (for tests) and in the global `sharing-obs`
+//! registry as `trace_cache_hits_total` / `trace_cache_misses_total` /
+//! `trace_cache_generations_total` (for ssimd's metrics endpoint).
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_trace::{Benchmark, TraceCache, TraceSpec};
+//!
+//! let cache = TraceCache::new();
+//! let spec = TraceSpec::new(2_000, 7);
+//! let a = cache.single(Benchmark::Gcc, &spec);
+//! let b = cache.single(Benchmark::Gcc, &spec);
+//! assert!(std::sync::Arc::ptr_eq(&a, &b));
+//! assert_eq!(cache.generations(), 1);
+//! ```
+
+use crate::benchmarks::Benchmark;
+use crate::generator::ProgramGenerator;
+use crate::profile::WorkloadProfile;
+use crate::trace::{ThreadedTrace, Trace, TraceSpec};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default number of memoized traces. A standard-length trace is a few
+/// megabytes, so the default bounds a long-lived daemon to tens of
+/// megabytes while still covering a full suite sweep (15 benchmarks)
+/// with room for mixed lengths and seeds.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// What a workload generated: sweeps mix single-threaded SPEC-style
+/// traces and threaded PARSEC-style traces, and keys encode which kind
+/// they want, so a slot never holds the wrong one.
+#[derive(Clone)]
+enum Generated {
+    Single(Arc<Trace>),
+    Threaded(Arc<ThreadedTrace>),
+}
+
+/// Cache key. `workload` is the benchmark name, or the serialized profile
+/// prefixed with `"profile:"` so user profiles can never alias a built-in
+/// benchmark name.
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+struct Key {
+    workload: String,
+    threaded: bool,
+    len: usize,
+    seed: u64,
+}
+
+struct Inner {
+    slots: HashMap<Key, Arc<OnceLock<Generated>>>,
+    /// Insertion order, for bounded-capacity eviction.
+    order: VecDeque<Key>,
+}
+
+/// A bounded, thread-safe memo table for generated traces.
+pub struct TraceCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    generations: AtomicU64,
+}
+
+impl Default for TraceCache {
+    fn default() -> Self {
+        TraceCache::new()
+    }
+}
+
+fn observe(hit: bool) {
+    static HITS: OnceLock<&'static sharing_obs::Counter> = OnceLock::new();
+    static MISSES: OnceLock<&'static sharing_obs::Counter> = OnceLock::new();
+    if hit {
+        HITS.get_or_init(|| sharing_obs::counter("trace_cache_hits_total"))
+            .add(1);
+    } else {
+        MISSES
+            .get_or_init(|| sharing_obs::counter("trace_cache_misses_total"))
+            .add(1);
+    }
+}
+
+fn observe_generation() {
+    static GENS: OnceLock<&'static sharing_obs::Counter> = OnceLock::new();
+    GENS.get_or_init(|| sharing_obs::counter("trace_cache_generations_total"))
+        .add(1);
+}
+
+impl TraceCache {
+    /// Creates a cache with [`DEFAULT_CAPACITY`] slots.
+    #[must_use]
+    pub fn new() -> Self {
+        TraceCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache bounded to `capacity` memoized traces; the oldest
+    /// entry is dropped when a new key would exceed it (outstanding
+    /// `Arc`s keep evicted traces alive until their holders finish).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace cache capacity must be positive");
+        TraceCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            generations: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared cache. The CLI, `SuiteSurfaces`, and ssimd
+    /// all route through this instance so a daemon serving repeated jobs
+    /// for the same workload generates its trace once.
+    #[must_use]
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// Looks up (or creates) the slot for `key` and resolves it. Exactly
+    /// one caller runs `make`; concurrent requesters block on the slot's
+    /// `OnceLock` and clone the same value.
+    fn resolve(&self, key: Key, make: impl FnOnce() -> Generated) -> Generated {
+        let slot = {
+            let mut inner = self.inner.lock().expect("trace cache lock");
+            if let Some(slot) = inner.slots.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                observe(true);
+                Arc::clone(slot)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                observe(false);
+                while inner.slots.len() >= self.capacity {
+                    let Some(old) = inner.order.pop_front() else {
+                        break;
+                    };
+                    inner.slots.remove(&old);
+                }
+                let slot = Arc::new(OnceLock::new());
+                inner.slots.insert(key.clone(), Arc::clone(&slot));
+                inner.order.push_back(key);
+                slot
+            }
+        };
+        slot.get_or_init(|| {
+            self.generations.fetch_add(1, Ordering::Relaxed);
+            observe_generation();
+            make()
+        })
+        .clone()
+    }
+
+    /// A single-threaded benchmark trace, generated at most once per
+    /// `(benchmark, len, seed)`.
+    #[must_use]
+    pub fn single(&self, bench: Benchmark, spec: &TraceSpec) -> Arc<Trace> {
+        let key = Key {
+            workload: bench.name().to_string(),
+            threaded: false,
+            len: spec.len,
+            seed: spec.seed,
+        };
+        match self.resolve(key, || Generated::Single(Arc::new(bench.generate(spec)))) {
+            Generated::Single(t) => t,
+            Generated::Threaded(_) => unreachable!("single key resolved to threaded trace"),
+        }
+    }
+
+    /// A threaded (PARSEC-style) benchmark trace, generated at most once
+    /// per `(benchmark, len, seed)`.
+    #[must_use]
+    pub fn threaded(&self, bench: Benchmark, spec: &TraceSpec) -> Arc<ThreadedTrace> {
+        let key = Key {
+            workload: bench.name().to_string(),
+            threaded: true,
+            len: spec.len,
+            seed: spec.seed,
+        };
+        match self.resolve(key, || {
+            Generated::Threaded(Arc::new(bench.generate_threaded(spec)))
+        }) {
+            Generated::Threaded(t) => t,
+            Generated::Single(_) => unreachable!("threaded key resolved to single trace"),
+        }
+    }
+
+    fn profile_key(profile: &WorkloadProfile, threaded: bool, spec: &TraceSpec) -> Key {
+        Key {
+            // The serialized profile is the identity: two profiles that
+            // differ in any field get different keys, and the `profile:`
+            // prefix keeps them disjoint from benchmark names.
+            workload: format!("profile:{}", sharing_json::to_string(profile)),
+            threaded,
+            len: spec.len,
+            seed: spec.seed,
+        }
+    }
+
+    /// A single-threaded trace for a user [`WorkloadProfile`], keyed by
+    /// the profile's serialized content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile validation errors from [`ProgramGenerator::new`].
+    pub fn profile_single(
+        &self,
+        profile: &WorkloadProfile,
+        spec: &TraceSpec,
+    ) -> Result<Arc<Trace>, String> {
+        // Validate outside the slot so errors surface to this caller
+        // instead of poisoning a shared entry.
+        let generator = ProgramGenerator::new(profile, *spec)?;
+        let key = Self::profile_key(profile, false, spec);
+        match self.resolve(key, || {
+            Generated::Single(Arc::new(generator.generate_single()))
+        }) {
+            Generated::Single(t) => Ok(t),
+            Generated::Threaded(_) => unreachable!("single key resolved to threaded trace"),
+        }
+    }
+
+    /// A threaded trace for a user [`WorkloadProfile`], keyed by the
+    /// profile's serialized content.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile validation errors from [`ProgramGenerator::new`].
+    pub fn profile_threaded(
+        &self,
+        profile: &WorkloadProfile,
+        spec: &TraceSpec,
+    ) -> Result<Arc<ThreadedTrace>, String> {
+        let generator = ProgramGenerator::new(profile, *spec)?;
+        let key = Self::profile_key(profile, true, spec);
+        match self.resolve(key, || Generated::Threaded(Arc::new(generator.generate()))) {
+            Generated::Threaded(t) => Ok(t),
+            Generated::Single(_) => unreachable!("threaded key resolved to single trace"),
+        }
+    }
+
+    /// Lookups that found an existing slot.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that created a new slot.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Generator runs — under concurrency this can be smaller than
+    /// [`TraceCache::misses`] would suggest only if a slot was evicted
+    /// mid-flight; otherwise one generation per miss.
+    #[must_use]
+    pub fn generations(&self) -> u64 {
+        self.generations.load(Ordering::Relaxed)
+    }
+
+    /// Memoized traces currently held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("trace cache lock").slots.len()
+    }
+
+    /// Whether the cache holds no traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_lookups_share_one_generation() {
+        let cache = TraceCache::new();
+        let spec = TraceSpec::new(1_000, 42);
+        let a = cache.single(Benchmark::Gcc, &spec);
+        let b = cache.single(Benchmark::Gcc, &spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.generations(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let cache = TraceCache::new();
+        let spec = TraceSpec::new(1_000, 42);
+        let a = cache.single(Benchmark::Gcc, &spec);
+        let b = cache.single(Benchmark::Mcf, &spec);
+        let c = cache.single(Benchmark::Gcc, &TraceSpec::new(1_000, 43));
+        let d = cache.single(Benchmark::Gcc, &TraceSpec::new(1_001, 42));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(cache.generations(), 4);
+    }
+
+    #[test]
+    fn cached_trace_matches_fresh_generation() {
+        let cache = TraceCache::new();
+        let spec = TraceSpec::new(2_000, 7);
+        let cached = cache.single(Benchmark::Omnetpp, &spec);
+        let fresh = Benchmark::Omnetpp.generate(&spec);
+        assert_eq!(cached.insts(), fresh.insts());
+    }
+
+    #[test]
+    fn threaded_and_single_keys_are_disjoint() {
+        let cache = TraceCache::new();
+        let spec = TraceSpec::new(1_000, 1);
+        let _ = cache.single(Benchmark::Swaptions, &spec);
+        let t = cache.threaded(Benchmark::Swaptions, &spec);
+        assert!(t.thread_count() > 1);
+        assert_eq!(cache.generations(), 2);
+    }
+
+    #[test]
+    fn hammer_many_threads_one_generation() {
+        let cache = TraceCache::new();
+        let spec = TraceSpec::new(5_000, 0xBEEF);
+        let ptrs: Vec<usize> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| Arc::as_ptr(&cache.single(Benchmark::Sjeng, &spec)) as usize))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "all threads must share one Arc"
+        );
+        assert_eq!(cache.generations(), 1, "generator must run exactly once");
+        assert_eq!(cache.hits() + cache.misses(), 8);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let cache = TraceCache::with_capacity(2);
+        let spec = TraceSpec::new(500, 1);
+        let first = cache.single(Benchmark::Gcc, &spec);
+        let _ = cache.single(Benchmark::Mcf, &spec);
+        let _ = cache.single(Benchmark::Astar, &spec); // evicts gcc
+        assert_eq!(cache.len(), 2);
+        let again = cache.single(Benchmark::Gcc, &spec);
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "evicted entry must be regenerated"
+        );
+        assert_eq!(cache.generations(), 4);
+    }
+
+    #[test]
+    fn profile_lookups_memoize_and_validate() {
+        let cache = TraceCache::new();
+        let spec = TraceSpec::new(1_000, 3);
+        let profile = Benchmark::Gcc.profile();
+        let a = cache.profile_single(&profile, &spec).unwrap();
+        let b = cache.profile_single(&profile, &spec).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.generations(), 1);
+        let mut bad = profile;
+        bad.threads = 0;
+        assert!(cache.profile_single(&bad, &spec).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Times a cold (sequential and parallel) and warm full-suite sweep and
+# writes BENCH_sweep.json, seeding the perf trajectory for the sharing
+# architecture's Equation 3 grid. Everything runs offline.
+#
+# Usage: scripts/bench_sweep.sh [OUT.json]
+# Knobs: SSIM_BENCH_LEN (trace length, default: the standard 60000)
+#        SSIM_BENCH_JOBS (workers, default: all cores)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_sweep.json}"
+LEN="${SSIM_BENCH_LEN:-60000}"
+JOBS="${SSIM_BENCH_JOBS:-$(nproc)}"
+
+cargo build --release --offline -p sharing-market --example bench_sweep
+cargo run --release --offline -p sharing-market --example bench_sweep -- \
+  --len "$LEN" --jobs "$JOBS" --out "$OUT"
+cat "$OUT"

@@ -44,8 +44,13 @@ cargo run --release --offline -p sharing-ssim --bin ssim -- \
   run --benchmark gcc --len 2000 --trace-out "$TRACE_TMP/run.trace.json" >/dev/null
 cargo run --release --offline --example validate_trace -- "$TRACE_TMP/run.trace.json"
 
-echo "== multi-node smoke: 2 workers + 1 coordinator, byte-identical sweep =="
+echo "== parallel sweep smoke: --jobs 4 byte-identical to --jobs 1 =="
 SSIM="target/release/ssim"
+"$SSIM" sweep --benchmark gcc --len 2000 --seed 9 --jobs 1 > "$TRACE_TMP/sweep_j1.txt"
+"$SSIM" sweep --benchmark gcc --len 2000 --seed 9 --jobs 4 > "$TRACE_TMP/sweep_j4.txt"
+diff "$TRACE_TMP/sweep_j1.txt" "$TRACE_TMP/sweep_j4.txt"
+
+echo "== multi-node smoke: 2 workers + 1 coordinator, byte-identical sweep =="
 "$SSIM" serve --addr 127.0.0.1:42115 --workers 2 &
 W1=$!
 "$SSIM" serve --addr 127.0.0.1:42116 --workers 2 &
