@@ -133,6 +133,12 @@ pub struct ServeArgs {
     pub retries: u32,
     /// Per-job remote timeout in milliseconds in coordinator mode.
     pub job_timeout_ms: u64,
+    /// When set, an HTTP/1.1 front door binds here alongside the TCP
+    /// listener (`/health`, `/metrics`, `/status`, `/jobs`).
+    pub http: Option<String>,
+    /// When set, write the daemon pid here on start (refusing to start
+    /// if another live process holds it) and remove it on exit.
+    pub pidfile: Option<String>,
 }
 
 /// What `ssim submit` asks the daemon to do.
@@ -178,6 +184,9 @@ pub enum SubmitAction {
 pub struct SubmitArgs {
     /// Daemon address.
     pub addr: String,
+    /// When set, talk to the daemon's HTTP front door at this base URL
+    /// (e.g. `http://127.0.0.1:8080`) instead of the TCP protocol.
+    pub url: Option<String>,
     /// The request to make.
     pub action: SubmitAction,
 }
@@ -258,8 +267,9 @@ USAGE:
                [--seed N] [--mode sharing|fixed] [--out DIR] [--trace-out FILE]
     ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                [--cache-file PATH] [--trace-out FILE]
+               [--http HOST:PORT] [--pidfile PATH]
                [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
-    ssim submit [--addr HOST:PORT]
+    ssim submit [--addr HOST:PORT | --url http://HOST:PORT]
                (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
                 | --dc scenario.json [--seed N] [--mode sharing|fixed]
                 | --ping | --hello | --stats | --metrics | --shutdown)
@@ -281,6 +291,13 @@ EXAMPLES:
     ssim submit --stats && ssim submit --shutdown
     ssim dc --scenario bursty.json --trace-out dc.trace.json
     ssim submit --metrics    # Prometheus text exposition
+    ssim serve --http 127.0.0.1:8080 --pidfile /tmp/ssimd.pid &
+    ssim submit --url http://127.0.0.1:8080 --benchmark mcf --slices 2
+
+`ssim serve --http` adds an HTTP/1.1 front door (GET /health, /metrics,
+/status; POST /jobs + GET /jobs/<id> polling); `--pidfile` writes the
+daemon pid and SIGTERM/SIGINT drain gracefully. `ssim submit --url`
+drives that front door instead of the TCP protocol.
 
 `--trace-out` writes Chrome trace_event JSON; open it in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing. Simulator spans use
@@ -441,10 +458,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 workers_remote: Vec::new(),
                 retries: 3,
                 job_timeout_ms: 30_000,
+                http: None,
+                pidfile: None,
             };
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--addr" => out.addr = take_value(flag, &mut it)?.clone(),
+                    "--http" => out.http = Some(take_value(flag, &mut it)?.clone()),
+                    "--pidfile" => out.pidfile = Some(take_value(flag, &mut it)?.clone()),
                     "--workers" => {
                         out.workers = Some(parse_num(flag, take_value(flag, &mut it)?)?);
                     }
@@ -464,6 +485,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         }
         "submit" => {
             let mut addr = format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT);
+            let mut url: Option<String> = None;
             let mut action: Option<SubmitAction> = None;
             let (mut slices, mut banks, mut len, mut seed) =
                 (1usize, 2usize, 60_000usize, 0xA5_2014u64);
@@ -473,6 +495,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--addr" => addr = take_value(flag, &mut it)?.clone(),
+                    "--url" => url = Some(take_value(flag, &mut it)?.clone()),
                     "--benchmark" => {
                         let v = take_value(flag, &mut it)?;
                         benchmark = Some(
@@ -528,7 +551,14 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     ));
                 }
             };
-            Ok(Command::Submit(SubmitArgs { addr, action }))
+            if url.is_some() && matches!(action, SubmitAction::Hello | SubmitAction::Shutdown) {
+                return Err(CliError::ConflictingFlags(
+                    "`--url` supports --ping, --stats, --metrics, --benchmark and --dc; \
+                     use the TCP protocol (--addr) for --hello and --shutdown"
+                        .to_string(),
+                ));
+            }
+            Ok(Command::Submit(SubmitArgs { addr, url, action }))
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -726,6 +756,132 @@ fn load_scenario(path: &str) -> Result<Scenario, CliError> {
     Ok(scenario)
 }
 
+/// Runs `ssim submit --url ...`: the same actions as the TCP path, but
+/// over the daemon's HTTP front door. Jobs go through `POST /jobs` and
+/// a poll loop; the final reply lines come from `GET /jobs/<id>/raw`,
+/// which returns the exact bytes the TCP protocol would have streamed.
+fn http_submit(url: &str, args: &SubmitArgs) -> Result<String, CliError> {
+    use sharing_json::Json;
+    let (authority, base) =
+        sharing_http::split_url(url).map_err(|e| CliError::Server(format!("{url}: {e}")))?;
+    let call = |method: &str, path: &str, body: Option<&[u8]>| {
+        let (status, bytes) =
+            sharing_http::request(&authority, method, &format!("{base}{path}"), body)
+                .map_err(|e| CliError::Server(format!("{url}: {e}")))?;
+        Ok::<(u16, String), CliError>((status, String::from_utf8_lossy(&bytes).into_owned()))
+    };
+    let job = match &args.action {
+        SubmitAction::Ping => {
+            let (status, _body) = call("GET", "/health", None)?;
+            return match status {
+                200 => Ok(format!("{url}: pong")),
+                503 => Err(CliError::Server(format!("{url}: draining"))),
+                _ => Err(CliError::Server(format!("{url}: health answered {status}"))),
+            };
+        }
+        SubmitAction::Stats => {
+            let (status, body) = call("GET", "/status", None)?;
+            if status != 200 {
+                return Err(CliError::Server(format!("{url}: status answered {status}")));
+            }
+            let v = Json::parse(&body).map_err(|e| CliError::Server(format!("{url}: {e}")))?;
+            return Ok(sharing_json::to_string_pretty(&v));
+        }
+        SubmitAction::Metrics => {
+            // Prometheus text goes out verbatim, like the TCP path.
+            let (status, body) = call("GET", "/metrics", None)?;
+            if status != 200 {
+                return Err(CliError::Server(format!(
+                    "{url}: metrics answered {status}"
+                )));
+            }
+            return Ok(body);
+        }
+        SubmitAction::Hello | SubmitAction::Shutdown => {
+            return Err(CliError::ConflictingFlags(
+                "--hello and --shutdown are TCP-only; use --addr".to_string(),
+            ));
+        }
+        SubmitAction::Run {
+            benchmark,
+            slices,
+            banks,
+            len,
+            seed,
+        } => sharing_server::Job::Run(sharing_server::RunJob {
+            workload: sharing_server::JobWorkload::Benchmark(*benchmark),
+            slices: *slices,
+            banks: *banks,
+            len: *len,
+            seed: *seed,
+        }),
+        SubmitAction::Dc {
+            scenario_path,
+            seed,
+            mode,
+        } => sharing_server::Job::Dc(Box::new(sharing_server::DcJob {
+            scenario: load_scenario(scenario_path)?,
+            seed: *seed,
+            mode: *mode,
+        })),
+    };
+    let env = sharing_server::Envelope {
+        id: None,
+        proto: Some(sharing_server::PROTO_VERSION),
+        req: sharing_server::Request::Job(job),
+    };
+    let (status, body) = call("POST", "/jobs", Some(env.to_line().as_bytes()))?;
+    if status != 202 {
+        return Err(CliError::Server(format!(
+            "{url}: submit answered {status}: {body}"
+        )));
+    }
+    let accepted = Json::parse(&body).map_err(|e| CliError::Server(format!("{url}: {e}")))?;
+    let id = accepted
+        .get("id")
+        .and_then(sharing_json::Json::as_int)
+        .ok_or_else(|| CliError::Server(format!("{url}: submit reply lacks an id: {body}")))?;
+    // Poll until the worker finishes; jobs here are bounded (a single
+    // run or dc scenario), so a stuck daemon is the only way to spin.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        let (status, body) = call("GET", &format!("/jobs/{id}"), None)?;
+        if status != 200 {
+            return Err(CliError::Server(format!(
+                "{url}: poll answered {status}: {body}"
+            )));
+        }
+        let v = Json::parse(&body).map_err(|e| CliError::Server(format!("{url}: {e}")))?;
+        if v.get("status").and_then(sharing_json::Json::as_str) == Some("done") {
+            break;
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(CliError::Server(format!("{url}: job {id} timed out")));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let (status, raw) = call("GET", &format!("/jobs/{id}/raw"), None)?;
+    if status != 200 {
+        return Err(CliError::Server(format!(
+            "{url}: raw fetch answered {status}"
+        )));
+    }
+    let mut out = String::new();
+    for line in raw.lines().filter(|l| !l.is_empty()) {
+        let reply = Json::parse(line).map_err(|e| CliError::Server(format!("{url}: {e}")))?;
+        if reply.get("ok").and_then(|v| v.as_bool()) == Some(false) {
+            let msg = sharing_server::ServerError::from_reply(&reply)
+                .map_or_else(|| "request failed".to_string(), |e| e.to_string());
+            return Err(CliError::Server(msg));
+        }
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&sharing_json::to_string_pretty(&reply));
+    }
+    Ok(out)
+}
+
 /// Runs `ssim dc`: one billing mode or the full comparison, with optional
 /// CSV / event-log artifacts. Same scenario + same seed ⇒ byte-identical
 /// output and files.
@@ -858,11 +1014,24 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 remote_workers: args.workers_remote.clone(),
                 dispatch_retries: args.retries,
                 job_timeout_ms: args.job_timeout_ms,
+                http_addr: args.http.clone(),
                 ..sharing_server::ServerConfig::default()
             };
             if let Some(w) = args.workers {
                 cfg.workers = w;
             }
+            // The pidfile is claimed before the sockets bind, so two
+            // daemons racing on one pidfile cannot both come up; its
+            // guard removes the file when this arm returns.
+            let _pidfile = match &args.pidfile {
+                Some(path) => Some(
+                    sharing_http::Pidfile::create(path)
+                        .map_err(|e| CliError::Server(format!("pidfile {path}: {e}")))?,
+                ),
+                None => None,
+            };
+            sharing_http::install_termination_handler()
+                .map_err(|e| CliError::Server(format!("signal handlers: {e}")))?;
             let handle =
                 sharing_server::Server::start(cfg).map_err(|e| CliError::Server(e.to_string()))?;
             if args.workers_remote.is_empty() {
@@ -878,10 +1047,26 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     handle.local_addr()
                 );
             }
+            if let Some(http) = handle.http_addr() {
+                eprintln!("ssim serve: http listening on {http}");
+            }
+            // Poll rather than block in join(): a client `shutdown`
+            // flips is_stopped(), SIGTERM/SIGINT flips the termination
+            // flag, and either way the same graceful drain runs.
+            while !handle.is_stopped() && !sharing_http::termination_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            if sharing_http::termination_requested() {
+                eprintln!("ssim serve: termination signal received, draining");
+            }
+            handle.shutdown();
             handle.join();
             Ok("ssim serve: drained and stopped".to_string())
         }
         Command::Submit(args) => {
+            if let Some(url) = &args.url {
+                return http_submit(url, args);
+            }
             let mut client = sharing_server::Client::connect(&args.addr)
                 .map_err(|e| CliError::Server(format!("{}: {e}", args.addr)))?;
             let reply = match &args.action {
@@ -1263,6 +1448,8 @@ mod server_tests {
                 workers_remote: vec![],
                 retries: 3,
                 job_timeout_ms: 30_000,
+                http: None,
+                pidfile: None,
             })
         );
 
@@ -1514,6 +1701,7 @@ mod server_tests {
 
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
+            url: None,
             action: SubmitAction::Ping,
         }))
         .unwrap();
@@ -1521,6 +1709,7 @@ mod server_tests {
 
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
+            url: None,
             action: SubmitAction::Hello,
         }))
         .unwrap();
@@ -1531,6 +1720,7 @@ mod server_tests {
 
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
+            url: None,
             action: SubmitAction::Run {
                 benchmark: Benchmark::Gcc,
                 slices: 2,
@@ -1551,6 +1741,7 @@ mod server_tests {
 
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
+            url: None,
             action: SubmitAction::Stats,
         }))
         .unwrap();
@@ -1559,6 +1750,7 @@ mod server_tests {
 
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
+            url: None,
             action: SubmitAction::Shutdown,
         }))
         .unwrap();
@@ -1569,6 +1761,7 @@ mod server_tests {
         assert!(matches!(
             execute(&Command::Submit(SubmitArgs {
                 addr,
+                url: None,
                 action: SubmitAction::Ping,
             })),
             Err(CliError::Server(_))
@@ -1706,6 +1899,7 @@ mod dc_tests {
         .unwrap();
         let reply = execute(&Command::Submit(SubmitArgs {
             addr: handle.local_addr().to_string(),
+            url: None,
             action: SubmitAction::Dc {
                 scenario_path: scenario.to_string_lossy().into_owned(),
                 seed: 3,

@@ -19,20 +19,31 @@
 //! ```
 
 use sharing_ssim::{parse, usage, Command};
+use std::io::Write;
 use std::process::ExitCode;
+
+/// Prints to stdout, treating a broken pipe as a clean exit (the reader
+/// — `head`, `grep -q` — is done with us) and any other write error as
+/// a failure.
+fn print_output(text: &str) -> ExitCode {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match writeln!(out, "{text}").and_then(|()| out.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ssim: stdout: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse(&args) {
-        Ok(Command::Help) => {
-            println!("{}", usage());
-            ExitCode::SUCCESS
-        }
+        Ok(Command::Help) => print_output(&usage()),
         Ok(cmd) => match sharing_ssim::execute(&cmd) {
-            Ok(output) => {
-                println!("{output}");
-                ExitCode::SUCCESS
-            }
+            Ok(output) => print_output(&output),
             Err(e) => {
                 eprintln!("ssim: {e}");
                 ExitCode::FAILURE

@@ -1,0 +1,69 @@
+//! sharing-http — a std-only HTTP/1.1 edge for the ssimd daemon.
+//!
+//! ssimd's native protocol is newline-delimited JSON over TCP, which a
+//! Prometheus scraper, a load balancer's health check, or a plain
+//! `curl` cannot speak. This crate is the standards-facing front door,
+//! built entirely on `std` (the workspace has zero external
+//! dependencies by design, see DESIGN.md §5):
+//!
+//! * [`parser`] — an incremental HTTP/1.1 request parser:
+//!   [`RequestParser`] is fed raw bytes as they arrive off the socket
+//!   and yields [`Request`]s, handling split reads, pipelined
+//!   keep-alive requests, `Content-Length` bodies, and hostile input
+//!   (oversized heads, huge or conflicting lengths, malformed request
+//!   lines) with typed [`HttpError`]s that map to 400/413;
+//! * [`response`] — [`Response`] with status reasons, headers, and
+//!   `Content-Length`/`Connection` framing;
+//! * [`router`] — [`Router`], exact and prefix (`/jobs/*`) routes with
+//!   correct 404 (unknown path) and 405 + `Allow` (wrong method)
+//!   answers;
+//! * [`server`] — [`HttpServer`], a bounded acceptor pool: a fixed
+//!   worker-thread pool multiplexes many keep-alive connections
+//!   through a bounded connection queue (no thread-per-connection
+//!   blowup; overflow answers 503 and closes);
+//! * [`client`] — [`request`], a one-shot blocking HTTP client used by
+//!   `ssim submit --url`, the tests, and the CI smoke probe;
+//! * [`lifecycle`] — [`Pidfile`] (write on create, remove on drop) and
+//!   polled termination signals ([`install_termination_handler`] /
+//!   [`termination_requested`]) so a daemon can drain gracefully on
+//!   SIGTERM/SIGINT.
+//!
+//! # Example
+//!
+//! ```
+//! use sharing_http::{HttpConfig, HttpServer, Response, Router};
+//!
+//! let router = Router::new().get("/health", |_req| Response::json(200, "{\"status\":\"ok\"}"));
+//! let handle = HttpServer::start(
+//!     HttpConfig {
+//!         addr: "127.0.0.1:0".into(), // ephemeral port
+//!         ..HttpConfig::default()
+//!     },
+//!     router.into_handler(),
+//! )?;
+//! let addr = handle.local_addr().to_string();
+//! let (status, body) = sharing_http::request(&addr, "GET", "/health", None)?;
+//! assert_eq!(status, 200);
+//! assert_eq!(body, b"{\"status\":\"ok\"}");
+//! handle.stop();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod lifecycle;
+pub mod parser;
+pub mod response;
+pub mod router;
+pub mod server;
+
+pub use client::{request, split_url};
+pub use lifecycle::{
+    clear_termination_flag, install_termination_handler, termination_requested, Pidfile,
+};
+pub use parser::{HttpError, Limits, Request, RequestParser};
+pub use response::Response;
+pub use router::Router;
+pub use server::{HttpConfig, HttpHandle, HttpServer, SharedHandler};

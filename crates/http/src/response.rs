@@ -1,0 +1,143 @@
+//! HTTP responses and their wire framing.
+
+/// One HTTP response: status, headers, body. The server adds
+/// `Content-Length` and `Connection` framing when serializing.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    headers: Vec<(String, String)>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty-bodied response.
+    #[must_use]
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "text/plain; charset=utf-8")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .with_header("Content-Type", "application/json")
+            .with_body(body.into().into_bytes())
+    }
+
+    /// Replaces the body.
+    #[must_use]
+    pub fn with_body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Appends a header.
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The first value of a header, looked up case-insensitively.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The standard reason phrase for a status code (the small set this
+    /// server emits).
+    #[must_use]
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes status line, headers, framing, and body.
+    #[must_use]
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            Response::reason(self.status)
+        );
+        for (name, value) in &self.headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        out.push_str(if keep_alive {
+            "Connection: keep-alive\r\n"
+        } else {
+            "Connection: close\r\n"
+        });
+        out.push_str("\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_status_headers_and_body() {
+        let resp = Response::json(200, "{\"ok\":true}");
+        let bytes = resp.to_bytes(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn close_framing_and_reasons() {
+        let resp = Response::text(503, "busy");
+        let text = String::from_utf8(resp.to_bytes(false)).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert_eq!(Response::reason(405), "Method Not Allowed");
+        assert_eq!(Response::reason(413), "Payload Too Large");
+        assert_eq!(Response::reason(999), "Unknown");
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let resp = Response::new(204).with_header("Allow", "GET, POST");
+        assert_eq!(resp.header("allow"), Some("GET, POST"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Method + path routing with correct 404 / 405 answers.
+
+use crate::parser::Request;
+use crate::response::Response;
+use crate::server::SharedHandler;
+use std::sync::Arc;
+
+type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+enum Pattern {
+    /// The path must match exactly.
+    Exact(String),
+    /// A `"/jobs/*"` route: the path must start with `"/jobs/"`.
+    Prefix(String),
+}
+
+impl Pattern {
+    fn matches(&self, path: &str) -> bool {
+        match self {
+            Pattern::Exact(p) => path == p,
+            Pattern::Prefix(p) => path.starts_with(p.as_str()),
+        }
+    }
+}
+
+struct Route {
+    method: &'static str,
+    pattern: Pattern,
+    handler: Handler,
+}
+
+/// An ordered route table. A path that matches no route answers 404; a
+/// path that matches only other methods answers 405 with an `Allow`
+/// header listing them.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    /// An empty router.
+    #[must_use]
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Adds a route. A pattern ending in `"/*"` matches any path under
+    /// the prefix (the handler sees the full path); anything else
+    /// matches exactly.
+    #[must_use]
+    pub fn route(
+        mut self,
+        method: &'static str,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        let pattern = match pattern.strip_suffix("/*") {
+            Some(prefix) => Pattern::Prefix(format!("{prefix}/")),
+            None => Pattern::Exact(pattern.to_string()),
+        };
+        self.routes.push(Route {
+            method,
+            pattern,
+            handler: Box::new(handler),
+        });
+        self
+    }
+
+    /// Adds a `GET` route.
+    #[must_use]
+    pub fn get(
+        self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.route("GET", pattern, handler)
+    }
+
+    /// Adds a `POST` route.
+    #[must_use]
+    pub fn post(
+        self,
+        pattern: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.route("POST", pattern, handler)
+    }
+
+    /// Dispatches one request.
+    #[must_use]
+    pub fn handle(&self, req: &Request) -> Response {
+        let mut allowed: Vec<&'static str> = Vec::new();
+        for route in &self.routes {
+            if !route.pattern.matches(&req.path) {
+                continue;
+            }
+            if route.method == req.method {
+                return (route.handler)(req);
+            }
+            if !allowed.contains(&route.method) {
+                allowed.push(route.method);
+            }
+        }
+        if allowed.is_empty() {
+            Response::json(
+                404,
+                format!("{{\"error\":\"no such path\",\"path\":\"{}\"}}", req.path),
+            )
+        } else {
+            Response::json(
+                405,
+                format!(
+                    "{{\"error\":\"method not allowed\",\"method\":\"{}\"}}",
+                    req.method
+                ),
+            )
+            .with_header("Allow", allowed.join(", "))
+        }
+    }
+
+    /// Wraps the router as the shared handler [`crate::HttpServer`]
+    /// consumes.
+    #[must_use]
+    pub fn into_handler(self) -> SharedHandler {
+        Arc::new(move |req: &Request| self.handle(req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{Limits, RequestParser};
+
+    fn req(raw: &[u8]) -> Request {
+        let mut p = RequestParser::new(Limits::default());
+        p.feed(raw);
+        p.next_request().unwrap().unwrap()
+    }
+
+    fn router() -> Router {
+        Router::new()
+            .get("/health", |_| Response::text(200, "ok"))
+            .post("/jobs", |r| {
+                Response::text(202, format!("{} bytes", r.body.len()))
+            })
+            .get("/jobs/*", |r| Response::text(200, r.path.clone()))
+    }
+
+    #[test]
+    fn dispatches_exact_and_prefix_routes() {
+        let r = router();
+        assert_eq!(r.handle(&req(b"GET /health HTTP/1.1\r\n\r\n")).status, 200);
+        let posted = r.handle(&req(b"POST /jobs HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc"));
+        assert_eq!(posted.status, 202);
+        assert_eq!(posted.body, b"3 bytes");
+        let polled = r.handle(&req(b"GET /jobs/42 HTTP/1.1\r\n\r\n"));
+        assert_eq!(polled.status, 200);
+        assert_eq!(polled.body, b"/jobs/42");
+    }
+
+    #[test]
+    fn unknown_path_is_404() {
+        let resp = router().handle(&req(b"GET /nope HTTP/1.1\r\n\r\n"));
+        assert_eq!(resp.status, 404);
+        // "/jobs" exact and "/jobs/*" prefix are distinct: bare "/jobs"
+        // does not match the prefix route.
+        let resp = router().handle(&req(b"GET /jobs HTTP/1.1\r\n\r\n"));
+        assert_eq!(resp.status, 405, "GET /jobs matches only POST");
+    }
+
+    #[test]
+    fn wrong_method_is_405_with_allow() {
+        let resp = router().handle(&req(b"DELETE /health HTTP/1.1\r\n\r\n"));
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.header("Allow"), Some("GET"));
+        // Lowercase methods are tokens too — unknown, not malformed.
+        let resp = router().handle(&req(b"get /health HTTP/1.1\r\n\r\n"));
+        assert_eq!(resp.status, 405);
+    }
+}

@@ -1,0 +1,192 @@
+//! Integration tests for the bounded acceptor pool: many keep-alive
+//! clients on few threads, queue-overflow backpressure, and hostile
+//! input arriving over a real socket.
+
+use sharing_http::{HttpConfig, HttpHandle, Limits, Response, Router};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(cfg: HttpConfig) -> HttpHandle {
+    let router = Router::new()
+        .get("/health", |_| Response::json(200, "{\"status\":\"ok\"}"))
+        .get("/slow", |_| {
+            std::thread::sleep(Duration::from_millis(300));
+            Response::text(200, "slow done")
+        })
+        .post("/echo", |req| {
+            Response::new(200).with_body(req.body.clone())
+        });
+    sharing_http::HttpServer::start(cfg, router.into_handler()).expect("bind http")
+}
+
+/// Reads one response off a keep-alive connection: the head, then
+/// exactly `Content-Length` body bytes.
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, Vec<u8>) {
+    let mut status = 0u16;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read head") > 0,
+            "EOF in head"
+        );
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if line.starts_with("HTTP/1.1 ") {
+            status = line.split(' ').nth(1).unwrap().parse().unwrap();
+        } else if let Some(v) = line.strip_prefix("Content-Length: ") {
+            content_length = v.parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, body)
+}
+
+#[test]
+fn more_keep_alive_clients_than_threads() {
+    // 2 worker threads hold 6 keep-alive connections: idle connections
+    // must re-enqueue rather than pin a thread, or requests 3..6 hang.
+    let handle = start(HttpConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..HttpConfig::default()
+    });
+    let addr = handle.local_addr();
+    let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = (0..6)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            (stream, reader)
+        })
+        .collect();
+    for round in 0..3 {
+        for (i, (stream, reader)) in conns.iter_mut().enumerate() {
+            let body = format!("round {round} conn {i}");
+            let req = format!(
+                "POST /echo HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(req.as_bytes()).expect("write");
+            let (status, echoed) = read_response(reader);
+            assert_eq!(status, 200);
+            assert_eq!(echoed, body.as_bytes());
+        }
+    }
+    handle.stop();
+}
+
+#[test]
+fn overflowing_the_connection_queue_answers_503() {
+    let handle = start(HttpConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        max_queued_conns: 1,
+        ..HttpConfig::default()
+    });
+    let addr = handle.local_addr();
+    // Occupy the single worker with a slow request...
+    let mut busy = TcpStream::connect(addr).unwrap();
+    busy.write_all(b"GET /slow HTTP/1.1\r\n\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // worker picks it up
+                                                    // ...fill the one queue slot...
+    let _queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100)); // acceptor enqueues it
+                                                    // ...and the next accept must be turned away with a 503.
+    let overflow = TcpStream::connect(addr).unwrap();
+    overflow
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(overflow);
+    let (status, body) = read_response(&mut reader);
+    assert_eq!(status, 503);
+    assert!(String::from_utf8_lossy(&body).contains("queue full"));
+    // The slow request itself still completes.
+    busy.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut busy_reader = BufReader::new(busy);
+    let (status, body) = read_response(&mut busy_reader);
+    assert_eq!(status, 200);
+    assert_eq!(body, b"slow done");
+    handle.stop();
+}
+
+#[test]
+fn hostile_input_over_the_wire_maps_to_status_codes() {
+    let handle = start(HttpConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        limits: Limits {
+            max_head_bytes: 256,
+            max_body_bytes: 1024,
+        },
+        ..HttpConfig::default()
+    });
+    let addr = handle.local_addr();
+    let cases: [(&[u8], u16); 4] = [
+        (b"NOT AN HTTP REQUEST AT ALL\r\n\r\n", 400),
+        (b"POST /echo HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 413),
+        (b"GET /nope HTTP/1.1\r\n\r\n", 404),
+        (b"DELETE /health HTTP/1.1\r\n\r\n", 405),
+    ];
+    for (raw, expected) in cases {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream.write_all(raw).unwrap();
+        let mut reader = BufReader::new(stream);
+        let (status, _) = read_response(&mut reader);
+        assert_eq!(status, expected, "input {:?}", String::from_utf8_lossy(raw));
+    }
+    // Oversized head with no terminator: the parser must refuse to
+    // buffer forever.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(&vec![b'A'; 4096]).unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, _) = read_response(&mut reader);
+    assert_eq!(status, 413);
+    // And the server is still healthy afterwards.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /health HTTP/1.1\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, _) = read_response(&mut reader);
+    assert_eq!(status, 200);
+    handle.stop();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection() {
+    let handle = start(HttpConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        ..HttpConfig::default()
+    });
+    let addr = handle.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\n\r\nGET /health HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    for _ in 0..2 {
+        let (status, body) = read_response(&mut reader);
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"status\":\"ok\"}");
+    }
+    handle.stop();
+}

@@ -18,7 +18,10 @@
 //!   loadable in Perfetto (<https://ui.perfetto.dev>) or
 //!   `about://tracing`;
 //! * [`prom`] — a small Prometheus text-exposition writer plus the
-//!   percentile helper the ssimd metrics endpoint uses.
+//!   percentile helper the ssimd metrics endpoint uses;
+//! * [`hist`] — [`Histogram`], fixed log-scale buckets behind atomic
+//!   counters, exposed as Prometheus `*_bucket`/`*_sum`/`*_count`
+//!   families by [`PromWriter::histogram`](prom::PromWriter::histogram).
 //!
 //! # The two-clock model
 //!
@@ -58,10 +61,12 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod hist;
 pub mod prom;
 pub mod registry;
 pub mod span;
 
+pub use hist::Histogram;
 pub use prom::{percentile, PromWriter};
 pub use registry::{counter, gauge, prometheus_text, Counter, Gauge};
 pub use span::{Clock, Phase, SpanEvent, SpanGuard, TraceBuffer};

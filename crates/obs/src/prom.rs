@@ -4,6 +4,7 @@
 //! headers once per family, then sample lines. [`percentile`] is the
 //! shared nearest-rank helper used for `{quantile="..."}` summaries.
 
+use crate::hist::Histogram;
 use std::fmt::Write as _;
 
 /// Builds one Prometheus text-exposition document.
@@ -89,6 +90,25 @@ impl PromWriter {
         let _ = writeln!(self.out, "{name}_count {count}");
     }
 
+    /// A histogram: cumulative `_bucket{le="..."}` lines (Prometheus
+    /// buckets are cumulative; [`Histogram`] counts are per-bucket, so
+    /// the running sum happens here), the `+Inf` bucket, `_sum`, and
+    /// `_count`. `_count` equals the `+Inf` bucket by construction,
+    /// as the exposition format requires.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &Histogram) {
+        self.header(name, help, "histogram");
+        let counts = hist.bucket_counts();
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds().iter().zip(&counts) {
+            cumulative += count;
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += counts.last().copied().unwrap_or(0);
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(self.out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(self.out, "{name}_count {cumulative}");
+    }
+
     /// The finished document.
     #[must_use]
     pub fn finish(self) -> String {
@@ -148,6 +168,25 @@ mod tests {
         let mut w = PromWriter::new();
         w.counter_family("m_total", "m", "k", &[("a\"b", 1)]);
         assert!(w.finish().contains("m_total{k=\"a\\\"b\"} 1"));
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn histogram_buckets_are_cumulative_and_count_matches_inf() {
+        let h = Histogram::with_bounds(vec![10, 100]);
+        h.observe(5);
+        h.observe(7);
+        h.observe(50);
+        h.observe(5000); // overflow
+        let mut w = PromWriter::new();
+        w.histogram("latency_us", "latency", &h);
+        let text = w.finish();
+        assert!(text.contains("# TYPE latency_us histogram\n"));
+        assert!(text.contains("latency_us_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("latency_us_bucket{le=\"100\"} 3\n"));
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("latency_us_sum 5062\n"));
+        assert!(text.contains("latency_us_count 4\n"));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Job tracking for the HTTP front door.
+//!
+//! The TCP protocol streams reply lines back over the submitting
+//! connection, so it never needs job identity beyond the envelope id.
+//! HTTP clients submit with `POST /jobs` and poll `GET /jobs/<id>`, so
+//! the daemon has to *hold* reply lines until they are fetched.
+//! [`JobsTable`] is that holding area: a monotonically numbered table
+//! of entries, each accumulating the exact reply lines the worker pool
+//! produced (byte-identical to what the TCP path would have streamed),
+//! with a bounded FIFO of finished entries so an unpolled daemon does
+//! not grow without limit.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Finished jobs retained for polling before the oldest are evicted.
+const KEEP_FINISHED: usize = 256;
+
+/// One tracked HTTP-submitted job.
+#[derive(Clone, Debug)]
+pub(crate) struct JobEntry {
+    /// Job kind (`run`, `sweep`, `market`, `dc`) as reported at submit.
+    pub kind: &'static str,
+    /// Reply lines exactly as the worker produced them, in order.
+    pub lines: Vec<String>,
+    /// Whether the worker has finished (closed the reply channel).
+    pub done: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<u64, JobEntry>,
+    finished: VecDeque<u64>,
+}
+
+/// Table of HTTP-submitted jobs; all methods are thread-safe.
+#[derive(Default)]
+pub(crate) struct JobsTable {
+    next: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl JobsTable {
+    pub(crate) fn new() -> Self {
+        JobsTable::default()
+    }
+
+    /// Registers a new pending job and returns its id (ids start at 1).
+    pub(crate) fn create(&self, kind: &'static str) -> u64 {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut inner = self.inner.lock().expect("jobs lock");
+        inner.entries.insert(
+            id,
+            JobEntry {
+                kind,
+                lines: Vec::new(),
+                done: false,
+            },
+        );
+        id
+    }
+
+    /// Appends one reply line to a pending job. Lines for an evicted or
+    /// unknown id are dropped (the poller already gave up on it).
+    pub(crate) fn append(&self, id: u64, line: String) {
+        let mut inner = self.inner.lock().expect("jobs lock");
+        if let Some(entry) = inner.entries.get_mut(&id) {
+            entry.lines.push(line);
+        }
+    }
+
+    /// Marks a job finished and evicts the oldest finished entries
+    /// beyond [`KEEP_FINISHED`].
+    pub(crate) fn finish(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("jobs lock");
+        if let Some(entry) = inner.entries.get_mut(&id) {
+            entry.done = true;
+            inner.finished.push_back(id);
+        }
+        while inner.finished.len() > KEEP_FINISHED {
+            if let Some(old) = inner.finished.pop_front() {
+                inner.entries.remove(&old);
+            }
+        }
+    }
+
+    /// A snapshot of one job's entry.
+    pub(crate) fn get(&self, id: u64) -> Option<JobEntry> {
+        self.inner
+            .lock()
+            .expect("jobs lock")
+            .entries
+            .get(&id)
+            .cloned()
+    }
+
+    /// Jobs submitted over HTTP that have not finished yet.
+    pub(crate) fn pending(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("jobs lock")
+            .entries
+            .values()
+            .filter(|e| !e.done)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_creates_appends_and_finishes() {
+        let t = JobsTable::new();
+        let id = t.create("run");
+        assert_eq!(id, 1);
+        assert_eq!(t.pending(), 1);
+        t.append(id, "line-1".into());
+        t.append(id, "line-2".into());
+        t.finish(id);
+        let entry = t.get(id).unwrap();
+        assert!(entry.done);
+        assert_eq!(entry.kind, "run");
+        assert_eq!(entry.lines, vec!["line-1", "line-2"]);
+        assert_eq!(t.pending(), 0);
+    }
+
+    #[test]
+    fn finished_entries_are_evicted_fifo_beyond_the_cap() {
+        let t = JobsTable::new();
+        let first = t.create("run");
+        t.finish(first);
+        for _ in 0..KEEP_FINISHED {
+            let id = t.create("run");
+            t.finish(id);
+        }
+        assert!(t.get(first).is_none(), "oldest finished entry evicted");
+        assert!(t.get(first + 1).is_some());
+    }
+
+    #[test]
+    fn appends_to_unknown_ids_are_dropped() {
+        let t = JobsTable::new();
+        t.append(999, "orphan".into());
+        assert!(t.get(999).is_none());
+    }
+}

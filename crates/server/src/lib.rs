@@ -13,7 +13,10 @@
 //! * [`queue`] — a bounded job queue with non-blocking admission control
 //!   (a full queue answers with an explicit backpressure reply);
 //! * [`server`] — the daemon: listener, per-connection threads, a fixed
-//!   worker pool;
+//!   worker pool, and an optional HTTP/1.1 front door
+//!   (`ServerConfig::http_addr`) serving `GET /health` / `GET /metrics`
+//!   / `GET /status` and `POST /jobs` + `GET /jobs/<id>` polling, built
+//!   on `sharing-http`;
 //! * [`cache`] — a result cache keyed by the canonical job JSON; hits
 //!   replay the exact bytes of the fresh run (the simulator and trace
 //!   generation are deterministic), and it can persist to a plain file
@@ -66,6 +69,8 @@ pub mod cache;
 pub mod client;
 pub mod dispatch;
 pub mod exec;
+mod http;
+mod jobs;
 pub mod metrics;
 pub mod protocol;
 pub mod queue;

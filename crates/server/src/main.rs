@@ -3,6 +3,7 @@
 //! ```text
 //! ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
 //!       [--cache-file PATH] [--trace-out PATH]
+//!       [--http HOST:PORT] [--pidfile PATH]
 //!       [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
 //! ```
 //!
@@ -11,10 +12,13 @@
 //! retry, byte-identical results) instead of the local pool.
 //!
 //! Runs until a client sends `{"type":"shutdown"}` (e.g. via
-//! `ssim submit --shutdown`).
+//! `ssim submit --shutdown`) or the process receives SIGTERM/SIGINT,
+//! either of which triggers the same graceful drain.
 
+use sharing_http::{install_termination_handler, termination_requested, Pidfile};
 use sharing_server::{Server, ServerConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> String {
     format!(
@@ -23,6 +27,7 @@ fn usage() -> String {
 USAGE:
     ssimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
           [--cache-file PATH] [--trace-out PATH]
+          [--http HOST:PORT] [--pidfile PATH]
           [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
 
 Repeat `--worker` to run as a coordinator fanning jobs out to remote
@@ -39,14 +44,25 @@ With `--trace-out`, a Chrome trace of every executed job (one wall-clock
 span per job, per worker, with queue-wait/execute timings) is written to
 PATH on graceful shutdown; open it in Perfetto or chrome://tracing.
 
+With `--http`, an HTTP/1.1 front door binds alongside the TCP listener:
+GET /health (200, or 503 while draining), GET /metrics (Prometheus
+text), GET /status (JSON snapshot), POST /jobs + GET /jobs/<id>
+(submit and poll; `/jobs/<id>/raw` returns the exact TCP reply bytes).
+
+With `--pidfile`, the daemon writes its pid to PATH at startup (failing
+if another live ssimd holds it) and removes it on exit. SIGTERM and
+SIGINT trigger a graceful drain: admission closes, in-flight jobs
+finish, the cache and trace persist, then the process exits.
+
 The daemon speaks newline-delimited JSON; see `ssim submit --help` or the
 sharing-server crate docs for the request shapes.",
         sharing_server::DEFAULT_PORT
     )
 }
 
-fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+fn parse_args(args: &[String]) -> Result<(ServerConfig, Option<String>), String> {
     let mut cfg = ServerConfig::default();
+    let mut pidfile = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
@@ -73,6 +89,8 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             }
             "--cache-file" => cfg.cache_path = Some(value("--cache-file")?),
             "--trace-out" => cfg.trace_path = Some(value("--trace-out")?),
+            "--http" => cfg.http_addr = Some(value("--http")?),
+            "--pidfile" => pidfile = Some(value("--pidfile")?),
             "--worker" => cfg.remote_workers.push(value("--worker")?),
             "--retries" => {
                 cfg.dispatch_retries = value("--retries")?
@@ -88,13 +106,13 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Ok(cfg)
+    Ok((cfg, pidfile))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cfg = match parse_args(&args) {
-        Ok(cfg) => cfg,
+    let (cfg, pidfile_path) = match parse_args(&args) {
+        Ok(parsed) => parsed,
         Err(msg) if msg.is_empty() => {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -104,12 +122,42 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The pidfile is claimed before the sockets bind so two daemons
+    // racing on the same pidfile cannot both come up; its guard removes
+    // the file when `main` returns.
+    let _pidfile: Option<Pidfile> = match pidfile_path {
+        Some(path) => match Pidfile::create(&path) {
+            Ok(guard) => Some(guard),
+            Err(e) => {
+                eprintln!("ssimd: pidfile {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Err(e) = install_termination_handler() {
+        eprintln!("ssimd: cannot install signal handlers: {e}");
+        return ExitCode::FAILURE;
+    }
     match Server::start(cfg) {
         Ok(handle) => {
             eprintln!(
                 "ssimd: listening on {} (send {{\"type\":\"shutdown\"}} to stop)",
                 handle.local_addr()
             );
+            if let Some(http) = handle.http_addr() {
+                eprintln!("ssimd: http listening on {http}");
+            }
+            // Poll rather than block in join(): a client `shutdown`
+            // flips is_stopped(), SIGTERM/SIGINT flips the termination
+            // flag, and either way the same graceful drain runs.
+            while !handle.is_stopped() && !termination_requested() {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            if termination_requested() {
+                eprintln!("ssimd: termination signal received, draining");
+            }
+            handle.shutdown();
             handle.join();
             eprintln!("ssimd: drained and stopped");
             ExitCode::SUCCESS

@@ -1,14 +1,16 @@
 //! Server-wide metrics, queryable via the `stats` and `metrics` requests.
 //!
 //! Counters are atomics (lock-free on the hot path); completed-job
-//! latencies go to bounded rings — queue wait and execute time are
-//! tracked separately — so percentiles reflect the recent window
-//! without unbounded growth. Percentile reads snapshot the ring under
-//! the lock and sort *outside* it, so a `stats` poll never stalls the
-//! workers recording completions.
+//! latencies land twice: in bounded rings — queue wait and execute
+//! time are tracked separately — whose windowed p50/p99 feed the JSON
+//! `stats` reply, and in fixed log-scale [`Histogram`]s that back the
+//! Prometheus export (`*_bucket`/`*_sum`/`*_count` families a scraper
+//! can aggregate across daemons). Percentile reads snapshot the ring
+//! under the lock and sort *outside* it, so a `stats` poll never
+//! stalls the workers recording completions.
 
 use sharing_json::Json;
-use sharing_obs::{percentile, PromWriter};
+use sharing_obs::{percentile, Histogram, PromWriter};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -95,6 +97,12 @@ pub struct Metrics {
     queue_waits: Mutex<LatencyRing>,
     /// Execute-time window.
     execs: Mutex<LatencyRing>,
+    /// End-to-end latency distribution (Prometheus export path).
+    latency_hist: Histogram,
+    /// Time-in-queue distribution.
+    queue_wait_hist: Histogram,
+    /// Execute-time distribution.
+    exec_hist: Histogram,
 }
 
 #[derive(Debug)]
@@ -153,6 +161,9 @@ impl Metrics {
             latencies: Mutex::new(LatencyRing::new()),
             queue_waits: Mutex::new(LatencyRing::new()),
             execs: Mutex::new(LatencyRing::new()),
+            latency_hist: Histogram::log_scale_us(),
+            queue_wait_hist: Histogram::log_scale_us(),
+            exec_hist: Histogram::log_scale_us(),
         }
     }
 
@@ -165,13 +176,17 @@ impl Metrics {
             .lock()
             .expect("latency lock")
             .push(queue_wait_us);
+        self.queue_wait_hist.observe(queue_wait_us);
         self.execs.lock().expect("latency lock").push(exec_us);
+        self.exec_hist.observe(exec_us);
         self.record_latency_us(queue_wait_us.saturating_add(exec_us));
     }
 
-    /// Records one end-to-end job latency in microseconds.
+    /// Records one end-to-end job latency in microseconds (window and
+    /// histogram).
     pub fn record_latency_us(&self, us: u64) {
         self.latencies.lock().expect("latency lock").push(us);
+        self.latency_hist.observe(us);
     }
 
     /// Work units completed for one class.
@@ -291,10 +306,6 @@ impl Metrics {
     /// for the `metrics` request and scrape endpoints.
     #[must_use]
     pub fn prometheus_text(&self, queue_depth: usize, cache_entries: usize) -> String {
-        let completed = self.jobs_completed.load(Ordering::Relaxed);
-        let (p50, p99) = self.latency_percentiles_us();
-        let (qw50, qw99) = self.queue_wait_percentiles_us();
-        let (ex50, ex99) = self.exec_percentiles_us();
         let by_kind: Vec<(&str, u64)> = JobClass::ALL
             .iter()
             .map(|&c| (c.name(), self.completed_for(c)))
@@ -366,23 +377,23 @@ impl Metrics {
             "Remote workers currently passing health probes.",
             self.workers_healthy.load(Ordering::Relaxed) as i64,
         );
-        w.summary(
+        // Histograms, not summaries: a scraper can aggregate buckets
+        // across daemons and derive any quantile, where pre-computed
+        // p50/p99 (still in the JSON `stats` reply) cannot be merged.
+        w.histogram(
             "ssimd_queue_wait_us",
             "Time jobs spent queued before a worker picked them up.",
-            &[(0.5, qw50), (0.99, qw99)],
-            completed,
+            &self.queue_wait_hist,
         );
-        w.summary(
+        w.histogram(
             "ssimd_exec_us",
             "Time workers spent executing jobs.",
-            &[(0.5, ex50), (0.99, ex99)],
-            completed,
+            &self.exec_hist,
         );
-        w.summary(
+        w.histogram(
             "ssimd_latency_us",
             "End-to-end job latency (queue wait + execute).",
-            &[(0.5, p50), (0.99, p99)],
-            completed,
+            &self.latency_hist,
         );
         w.finish()
     }
@@ -477,9 +488,18 @@ mod tests {
         assert!(text.contains("# TYPE ssimd_jobs_completed_total counter"));
         assert!(text.contains("ssimd_jobs_completed_total{kind=\"simulate\"} 1"));
         assert!(text.contains("ssimd_jobs_completed_total{kind=\"sweep_point\"} 0"));
-        assert!(text.contains("# TYPE ssimd_queue_wait_us summary"));
-        assert!(text.contains("ssimd_queue_wait_us{quantile=\"0.5\"} 120"));
-        assert!(text.contains("ssimd_queue_wait_us_count 5"));
+        assert!(text.contains("# TYPE ssimd_queue_wait_us histogram"));
+        // 120µs lands in the le="200" bucket of the 1-2-5 log scale.
+        assert!(text.contains("ssimd_queue_wait_us_bucket{le=\"200\"} 1"));
+        assert!(text.contains("ssimd_queue_wait_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("ssimd_queue_wait_us_count 1"));
+        assert!(text.contains("ssimd_queue_wait_us_sum 120"));
+        assert!(text.contains("# TYPE ssimd_exec_us histogram"));
+        assert!(text.contains("ssimd_exec_us_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("# TYPE ssimd_latency_us histogram"));
+        // 120 + 880 = 1000µs end to end: exactly on the le="1000" bound.
+        assert!(text.contains("ssimd_latency_us_bucket{le=\"1000\"} 1"));
+        assert!(text.contains("ssimd_latency_us_sum 1000"));
         assert!(text.contains("ssimd_queue_depth 2"));
         assert!(text.contains("ssimd_cache_entries 9"));
         assert!(text.contains("ssimd_cache_lookups_total{outcome=\"hit\"} 0"));

@@ -31,6 +31,8 @@
 use crate::cache::ResultCache;
 use crate::dispatch::{DispatchOpts, WorkerPool};
 use crate::exec;
+use crate::http;
+use crate::jobs::JobsTable;
 use crate::metrics::{JobClass, Metrics};
 use crate::protocol::{
     self, DcJob, Envelope, ErrorCode, Job, JobWorkload, Request, RunJob, ServerError, MIN_PROTO,
@@ -45,7 +47,7 @@ use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -79,6 +81,11 @@ pub struct ServerConfig {
     pub dispatch_retries: u32,
     /// Worker health-ping cadence (coordinator mode).
     pub ping_interval_ms: u64,
+    /// When set, an HTTP/1.1 front door binds here alongside the TCP
+    /// listener: `GET /health`, `GET /metrics`, `GET /status`,
+    /// `POST /jobs` + `GET /jobs/<id>`. Use port 0 for an ephemeral
+    /// port; [`ServerHandle::http_addr`] resolves it.
+    pub http_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -94,29 +101,52 @@ impl Default for ServerConfig {
             job_timeout_ms: 30_000,
             dispatch_retries: 3,
             ping_interval_ms: 2_000,
+            http_addr: None,
         }
     }
 }
 
 /// One queued job: the request plus the channel its reply lines go to.
-struct Queued {
-    id: Option<u64>,
-    job: Job,
-    reply: mpsc::Sender<String>,
-    enqueued: Instant,
+pub(crate) struct Queued {
+    pub(crate) id: Option<u64>,
+    pub(crate) job: Job,
+    pub(crate) reply: mpsc::Sender<String>,
+    pub(crate) enqueued: Instant,
 }
 
 /// Shared daemon state.
-struct State {
-    queue: JobQueue<Queued>,
-    cache: ResultCache,
+pub(crate) struct State {
+    pub(crate) queue: JobQueue<Queued>,
+    pub(crate) cache: ResultCache,
     cache_path: Option<String>,
-    metrics: Arc<Metrics>,
+    pub(crate) metrics: Arc<Metrics>,
     trace: TraceBuffer,
     trace_path: Option<String>,
     stopping: AtomicBool,
+    /// Set the moment a shutdown begins, *before* the drain completes,
+    /// so `GET /health` flips to 503 while in-flight jobs finish.
+    pub(crate) draining: AtomicBool,
+    /// Jobs submitted over HTTP, held for polling.
+    pub(crate) jobs: JobsTable,
+    /// The HTTP front door's handle; taken (and stopped) at shutdown.
+    http: Mutex<Option<sharing_http::HttpHandle>>,
     /// Remote dispatch pool; `Some` only in coordinator mode.
-    pool: Option<Arc<WorkerPool>>,
+    pub(crate) pool: Option<Arc<WorkerPool>>,
+}
+
+/// The full Prometheus exposition for one daemon: queue/cache/latency
+/// families (now histogram-backed), per-worker families in coordinator
+/// mode, and the process-global registry. Shared verbatim by the TCP
+/// `metrics` request and HTTP `GET /metrics`.
+pub(crate) fn metrics_text(state: &State) -> String {
+    let mut text = state
+        .metrics
+        .prometheus_text(state.queue.depth(), state.cache.len());
+    if let Some(pool) = &state.pool {
+        text.push_str(&pool.prometheus_text());
+    }
+    text.push_str(&sharing_obs::prometheus_text());
+    text
 }
 
 /// A running daemon; dropping the handle does *not* stop it — call
@@ -126,6 +156,7 @@ pub struct Server;
 /// Handle to a started daemon.
 pub struct ServerHandle {
     local: SocketAddr,
+    http_local: Option<SocketAddr>,
     state: Arc<State>,
     listener_thread: Option<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
@@ -166,6 +197,9 @@ impl Server {
             trace: TraceBuffer::new(),
             trace_path: cfg.trace_path,
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            jobs: JobsTable::new(),
+            http: Mutex::new(None),
             pool,
         });
         if let Some(path) = &state.cache_path {
@@ -176,6 +210,17 @@ impl Server {
                 .load_from_file(path)
                 .map_err(|e| std::io::Error::new(e.kind(), format!("cache file {path}: {e}")))?;
         }
+        // The HTTP front door binds before the workers spawn so a bind
+        // failure aborts startup cleanly (nothing to drain yet).
+        let http_local = match &cfg.http_addr {
+            Some(addr) => {
+                let handle = http::start(addr, &state)?;
+                let http_local = handle.local_addr();
+                *state.http.lock().expect("http handle lock") = Some(handle);
+                Some(http_local)
+            }
+            None => None,
+        };
         let worker_threads = (0..cfg.workers.max(1))
             .map(|i| {
                 let state = Arc::clone(&state);
@@ -203,6 +248,7 @@ impl Server {
             .expect("spawn listener");
         Ok(ServerHandle {
             local,
+            http_local,
             state,
             listener_thread: Some(listener_thread),
             worker_threads,
@@ -215,6 +261,20 @@ impl ServerHandle {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.local
+    }
+
+    /// The HTTP front door's bound address, when one was configured.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<SocketAddr> {
+        self.http_local
+    }
+
+    /// Whether the daemon has finished shutting down (drain complete,
+    /// listener kicked). Lets signal-driven mains poll for exit without
+    /// consuming the handle.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.state.stopping.load(Ordering::SeqCst)
     }
 
     /// Programmatic graceful shutdown: drain, then stop the listener.
@@ -246,6 +306,9 @@ impl ServerHandle {
 
 /// Closes admission, waits for in-flight jobs, then unblocks `accept`.
 fn initiate_shutdown(state: &State, local: SocketAddr) {
+    // Draining flips first so `GET /health` answers 503 while the
+    // in-flight jobs below finish.
+    state.draining.store(true, Ordering::SeqCst);
     state.queue.close();
     state.queue.wait_drained();
     if !state.stopping.swap(true, Ordering::SeqCst) {
@@ -261,6 +324,11 @@ fn initiate_shutdown(state: &State, local: SocketAddr) {
         }
         if let Some(pool) = &state.pool {
             pool.close();
+        }
+        // Stop the HTTP front door last: it kept answering (503s on
+        // /health, polls on /jobs) throughout the drain above.
+        if let Some(http) = state.http.lock().expect("http handle lock").take() {
+            http.stop();
         }
         let _ = TcpStream::connect(local);
     }
@@ -377,16 +445,8 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             Request::Metrics => {
                 // Prometheus text is multi-line; it ships as one JSON
                 // string field so the one-line-per-reply protocol holds.
-                // Coordinators append per-worker families from the pool,
-                // and every daemon appends the process-global registry
-                // (trace_cache_*_total, simulator run counters, ...).
-                let mut text = state
-                    .metrics
-                    .prometheus_text(state.queue.depth(), state.cache.len());
-                if let Some(pool) = &state.pool {
-                    text.push_str(&pool.prometheus_text());
-                }
-                text.push_str(&sharing_obs::prometheus_text());
+                // Same document as HTTP `GET /metrics`.
+                let text = metrics_text(state);
                 let reply = format!(
                     "{},\"metrics\":{}}}",
                     ok_head(env.id, "metrics"),
@@ -402,6 +462,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
                 // listener: once `accept` returns the daemon may exit, and
                 // nothing joins this connection thread — replying after
                 // the kick races with process teardown.
+                state.draining.store(true, Ordering::SeqCst);
                 state.queue.close();
                 state.queue.wait_drained();
                 let done = state.metrics.jobs_completed.load(Ordering::Relaxed);

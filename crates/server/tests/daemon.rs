@@ -174,14 +174,15 @@ fn metrics_request_returns_prometheus_text_and_trace_lands_on_shutdown() {
         "{text}"
     );
     assert!(
-        text.contains("ssimd_queue_wait_us{quantile=\"0.5\"}"),
+        text.contains("# TYPE ssimd_queue_wait_us histogram"),
         "{text}"
     );
     assert!(
-        text.contains("ssimd_queue_wait_us{quantile=\"0.99\"}"),
+        text.contains("ssimd_queue_wait_us_bucket{le=\"+Inf\"} 3"),
         "{text}"
     );
     assert!(text.contains("ssimd_queue_wait_us_count 3"), "{text}");
+    assert!(text.contains("ssimd_latency_us_bucket{le=\""), "{text}");
     assert!(
         text.contains("ssimd_cache_lookups_total{outcome=\"hit\"} 1"),
         "{text}"

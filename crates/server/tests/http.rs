@@ -1,0 +1,236 @@
+//! End-to-end tests of the ssimd HTTP front door: route behavior,
+//! byte-identity with the TCP protocol, and health during a drain.
+
+use sharing_http::request;
+use sharing_json::Json;
+use sharing_server::{
+    Client, Envelope, Job, Request, Server, ServerConfig, ServerHandle, PROTO_VERSION,
+};
+use sharing_trace::Benchmark;
+
+fn gcc_run(slices: usize, banks: usize, len: usize, seed: u64) -> Job {
+    Job::Run(sharing_server::RunJob {
+        workload: sharing_server::JobWorkload::Benchmark(Benchmark::Gcc),
+        slices,
+        banks,
+        len,
+        seed,
+    })
+}
+
+fn start(workers: usize, queue: usize, cache: usize) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: queue,
+        cache_capacity: cache,
+        http_addr: Some("127.0.0.1:0".into()),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral ports")
+}
+
+fn http_addr(handle: &ServerHandle) -> String {
+    handle.http_addr().expect("http configured").to_string()
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    let (status, body) = request(addr, "GET", path, None).expect("http get");
+    (status, String::from_utf8_lossy(&body).into_owned())
+}
+
+/// Submits one envelope over HTTP and polls until done; returns the raw
+/// reply bytes from `/jobs/<id>/raw`.
+fn http_job_raw(addr: &str, env: &Envelope) -> String {
+    let (status, body) = request(addr, "POST", "/jobs", Some(env.to_line().as_bytes())).unwrap();
+    let body = String::from_utf8_lossy(&body).into_owned();
+    assert_eq!(status, 202, "{body}");
+    let accepted = Json::parse(&body).unwrap();
+    let id = accepted.get("id").and_then(Json::as_int).unwrap();
+    let poll = format!("/jobs/{id}");
+    for _ in 0..2000 {
+        let (status, body) = get(addr, &poll);
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(&body).unwrap();
+        if v.get("status").and_then(Json::as_str) == Some("done") {
+            let (status, raw) = get(addr, &format!("/jobs/{id}/raw"));
+            assert_eq!(status, 200, "{raw}");
+            return raw;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("job {id} never finished");
+}
+
+fn job_envelope(id: Option<u64>, job: Job) -> Envelope {
+    Envelope {
+        id,
+        proto: Some(PROTO_VERSION),
+        req: Request::Job(job),
+    }
+}
+
+#[test]
+fn health_metrics_status_and_error_mapping() {
+    let handle = start(1, 4, 16);
+    let addr = http_addr(&handle);
+
+    let (status, body) = get(&addr, "/health");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+
+    // One completed job so the latency histograms have a sample.
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let reply = c.submit(gcc_run(1, 2, 400, 7)).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    // The reply line is written before completion metrics are recorded,
+    // so give the worker a beat to finish its accounting.
+    let mut text = String::new();
+    for _ in 0..500 {
+        let (status, t) = get(&addr, "/metrics");
+        assert_eq!(status, 200);
+        text = t;
+        if text.contains("ssimd_latency_us_count 1") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(
+        text.contains("# TYPE ssimd_queue_wait_us histogram"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ssimd_exec_us_bucket{le=\"+Inf\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("ssimd_latency_us_count 1"), "{text}");
+    assert!(
+        text.contains("ssimd_jobs_completed_total{kind=\"simulate\"} 1"),
+        "{text}"
+    );
+
+    let (status, body) = get(&addr, "/status");
+    assert_eq!(status, 200);
+    let v = Json::parse(&body).unwrap();
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(v.get("draining").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        v.get("stats")
+            .and_then(|s| s.get("jobs_completed"))
+            .and_then(Json::as_int),
+        Some(1)
+    );
+
+    // Route-level mapping: unknown path, wrong method, bad body.
+    let (status, _) = get(&addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = request(&addr, "POST", "/health", Some(b"{}")).unwrap();
+    assert_eq!(status, 405);
+    let (status, body) = request(&addr, "POST", "/jobs", Some(b"not json")).unwrap();
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    // Control requests have their own routes; posting one is a 400.
+    let (status, body) = request(&addr, "POST", "/jobs", Some(b"{\"type\":\"ping\"}")).unwrap();
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    // Polling nonsense ids is a 404, not a panic.
+    let (status, _) = get(&addr, "/jobs/notanumber");
+    assert_eq!(status, 404);
+    let (status, _) = get(&addr, "/jobs/99999");
+    assert_eq!(status, 404);
+
+    handle.stop();
+}
+
+#[test]
+fn http_run_job_bytes_match_tcp() {
+    // cache_capacity 0: both submissions execute fresh, so any
+    // difference between the two paths would show up in the bytes.
+    let handle = start(2, 8, 0);
+    let addr = http_addr(&handle);
+    let env = job_envelope(Some(9), gcc_run(2, 4, 600, 11));
+
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.send(&env).unwrap();
+    let tcp_line = c.recv_line().unwrap();
+
+    let raw = http_job_raw(&addr, &env);
+    assert_eq!(raw, format!("{tcp_line}\n"));
+
+    handle.stop();
+}
+
+#[test]
+fn http_sweep_stream_bytes_match_tcp() {
+    let handle = start(2, 8, 0);
+    let addr = http_addr(&handle);
+    let env = job_envelope(
+        None,
+        Job::Sweep(sharing_server::SweepJob {
+            benchmark: Benchmark::Mcf,
+            len: 200,
+            seed: 3,
+        }),
+    );
+
+    // 72 grid points plus the sweep_done line.
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    c.send(&env).unwrap();
+    let mut tcp_lines = Vec::with_capacity(73);
+    for _ in 0..73 {
+        tcp_lines.push(c.recv_line().unwrap());
+    }
+
+    let raw = http_job_raw(&addr, &env);
+    let mut expected = tcp_lines.join("\n");
+    expected.push('\n');
+    assert_eq!(raw, expected);
+
+    handle.stop();
+}
+
+#[test]
+fn health_answers_503_while_draining_and_jobs_still_finish() {
+    let handle = start(1, 4, 0);
+    let addr = http_addr(&handle);
+
+    // A slow job (~1s debug) occupies the single worker.
+    let mut c = Client::connect(handle.local_addr()).unwrap();
+    let submitter = std::thread::spawn(move || c.submit(gcc_run(1, 2, 400_000, 5)).unwrap());
+    // Wait until the job is actually admitted before starting the drain.
+    for _ in 0..500 {
+        let (_, body) = get(&addr, "/status");
+        let v = Json::parse(&body).unwrap();
+        if v.get("stats")
+            .and_then(|s| s.get("jobs_submitted"))
+            .and_then(Json::as_int)
+            == Some(1)
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    let mut saw_503 = false;
+    std::thread::scope(|scope| {
+        scope.spawn(|| handle.shutdown());
+        for _ in 0..2000 {
+            let Ok((status, _)) = request(&addr, "GET", "/health", None) else {
+                break; // drain finished and the front door closed
+            };
+            if status == 503 {
+                saw_503 = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    });
+    assert!(saw_503, "health never reported draining");
+
+    // The in-flight job finished normally despite the drain.
+    let reply = submitter.join().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+
+    // Once drained, the front door is down.
+    assert!(request(&addr, "GET", "/health", None).is_err());
+    handle.join();
+}

@@ -56,8 +56,9 @@ W1=$!
 "$SSIM" serve --addr 127.0.0.1:42116 --workers 2 &
 W2=$!
 COORD=""
+HTTP_DAEMON=""
 cleanup_daemons() {
-  kill "$W1" "$W2" ${COORD:+"$COORD"} 2>/dev/null || true
+  kill "$W1" "$W2" ${COORD:+"$COORD"} ${HTTP_DAEMON:+"$HTTP_DAEMON"} 2>/dev/null || true
   rm -rf "$TRACE_TMP"
 }
 trap cleanup_daemons EXIT
@@ -88,5 +89,27 @@ diff "$TRACE_TMP/local.txt" <(grep -v '^served by' "$TRACE_TMP/fanout.txt")
 "$SSIM" submit --addr 127.0.0.1:42115 --shutdown >/dev/null
 "$SSIM" submit --addr 127.0.0.1:42116 --shutdown >/dev/null
 wait "$W1" "$W2" "$COORD"
+
+echo "== http smoke: serve --http + --pidfile, jobs over HTTP, SIGTERM drain =="
+PIDFILE="$TRACE_TMP/ssimd.pid"
+URL="http://127.0.0.1:42119"
+"$SSIM" serve --addr 127.0.0.1:42118 --http 127.0.0.1:42119 --workers 2 \
+  --pidfile "$PIDFILE" &
+HTTP_DAEMON=$!
+for _ in $(seq 1 50); do
+  "$SSIM" submit --url "$URL" --ping >/dev/null 2>&1 && break
+  sleep 0.2
+done
+test -f "$PIDFILE"
+# Prometheus text with at least one histogram family, a job end to end
+# over POST /jobs + polling, and the JSON status snapshot.
+"$SSIM" submit --url "$URL" --benchmark gcc --len 2000 | grep -q '"ok": true'
+"$SSIM" submit --url "$URL" --metrics | grep -q '_bucket{le="+Inf"}'
+"$SSIM" submit --url "$URL" --stats | grep -q '"draining": false'
+# SIGTERM must drain gracefully and remove the pidfile.
+kill -TERM "$HTTP_DAEMON"
+wait "$HTTP_DAEMON"
+test ! -f "$PIDFILE"
+HTTP_DAEMON=""
 
 echo "ci: all green"
