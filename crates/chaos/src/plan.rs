@@ -1,0 +1,438 @@
+//! Fault plans: the JSON-round-trippable description of a chaos run.
+
+use sharing_json::{json_struct, FromJson, Json, JsonError, ToJson};
+use sharing_trace::Rng64;
+
+/// What kind of failure a rule injects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Tear down a worker connection mid-exchange (dispatch) or drop an
+    /// accepted HTTP connection on the floor.
+    DropConn,
+    /// Injected latency before a read — the peer is slow, not dead.
+    SlowRead,
+    /// Injected latency before a write — the peer is slow, not dead.
+    SlowWrite,
+    /// The coordinator↔worker link refuses new connects for a window
+    /// (`duration_ms`), so health probes and reconnects fail.
+    Partition,
+    /// Queue admission answers `queue_full` for a window (`duration_ms`)
+    /// regardless of actual depth.
+    QueueFullStorm,
+    /// Bit-flip or truncate the persisted cache file before it is
+    /// reloaded; the daemon must fall back to a cold cache.
+    CorruptCacheFile,
+    /// The chaos driver SIGKILLs a worker daemon (only meaningful for
+    /// `ssim chaos`, which owns the child processes).
+    SigkillWorker,
+}
+
+/// Every fault kind, in declaration order (stable rule indices).
+pub const ALL_FAULT_KINDS: [FaultKind; 7] = [
+    FaultKind::DropConn,
+    FaultKind::SlowRead,
+    FaultKind::SlowWrite,
+    FaultKind::Partition,
+    FaultKind::QueueFullStorm,
+    FaultKind::CorruptCacheFile,
+    FaultKind::SigkillWorker,
+];
+
+impl FaultKind {
+    /// The kind's snake_case wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::DropConn => "drop_conn",
+            FaultKind::SlowRead => "slow_read",
+            FaultKind::SlowWrite => "slow_write",
+            FaultKind::Partition => "partition",
+            FaultKind::QueueFullStorm => "queue_full_storm",
+            FaultKind::CorruptCacheFile => "corrupt_cache_file",
+            FaultKind::SigkillWorker => "sigkill_worker",
+        }
+    }
+
+    /// Looks a kind up by its wire name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultKind> {
+        ALL_FAULT_KINDS.iter().copied().find(|k| k.name() == name)
+    }
+
+    /// The process-global observability counter this kind increments on
+    /// every injection (exported through `sharing_obs::prometheus_text`).
+    #[must_use]
+    pub fn counter_name(self) -> &'static str {
+        match self {
+            FaultKind::DropConn => "chaos_drop_conn_total",
+            FaultKind::SlowRead => "chaos_slow_read_total",
+            FaultKind::SlowWrite => "chaos_slow_write_total",
+            FaultKind::Partition => "chaos_partition_total",
+            FaultKind::QueueFullStorm => "chaos_queue_full_storm_total",
+            FaultKind::CorruptCacheFile => "chaos_corrupt_cache_file_total",
+            FaultKind::SigkillWorker => "chaos_sigkill_worker_total",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ToJson for FaultKind {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+impl FromJson for FaultKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let name = v
+            .as_str()
+            .ok_or_else(|| JsonError::msg(format!("expected fault kind name, got {v}")))?;
+        FaultKind::from_name(name)
+            .ok_or_else(|| JsonError::msg(format!("unknown fault kind `{name}`")))
+    }
+}
+
+/// One injection rule: where, what, and on which calls.
+///
+/// A rule fires on calls that match its `target`, either every `nth`
+/// matching call (1-indexed) or with `probability` per call — exactly
+/// one of the two must be set. `duration_ms` is the injected delay for
+/// slow faults and the window length for `partition` /
+/// `queue_full_storm`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// Which seam contexts this rule matches: `"*"` for all, a worker
+    /// address for dispatch/connect seams, `"queue"`, `"cache"`,
+    /// `"http"`, or `"worker:<index>"` for the sigkill driver.
+    pub target: String,
+    /// The failure to inject.
+    pub kind: FaultKind,
+    /// Per-matching-call injection probability in `[0, 1]`.
+    pub probability: Option<f64>,
+    /// Fire on every nth matching call (1-indexed: `nth: 3` fires on
+    /// calls 3, 6, 9, …).
+    pub nth: Option<u64>,
+    /// Delay length (slow faults) or window length (partition/storm) in
+    /// milliseconds. Defaults to [`DEFAULT_DURATION_MS`].
+    pub duration_ms: Option<u64>,
+}
+
+json_struct!(FaultRule { target, kind } defaults { probability, nth, duration_ms });
+
+/// `duration_ms` used when a rule leaves it unset.
+pub const DEFAULT_DURATION_MS: u64 = 250;
+
+impl FaultRule {
+    /// A rule firing on every `nth` matching call.
+    #[must_use]
+    pub fn nth(target: impl Into<String>, kind: FaultKind, nth: u64) -> FaultRule {
+        FaultRule {
+            target: target.into(),
+            kind,
+            probability: None,
+            nth: Some(nth),
+            duration_ms: None,
+        }
+    }
+
+    /// A rule firing with `probability` per matching call.
+    #[must_use]
+    pub fn probability(target: impl Into<String>, kind: FaultKind, p: f64) -> FaultRule {
+        FaultRule {
+            target: target.into(),
+            kind,
+            probability: Some(p),
+            nth: None,
+            duration_ms: None,
+        }
+    }
+
+    /// Sets the delay / window length.
+    #[must_use]
+    pub fn lasting_ms(mut self, ms: u64) -> FaultRule {
+        self.duration_ms = Some(ms);
+        self
+    }
+
+    /// The rule's delay / window length with the default applied.
+    #[must_use]
+    pub fn duration(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.duration_ms.unwrap_or(DEFAULT_DURATION_MS))
+    }
+
+    /// Whether this rule applies to a seam context string.
+    #[must_use]
+    pub fn matches(&self, ctx: &str) -> bool {
+        self.target == "*" || self.target == ctx
+    }
+}
+
+/// A complete fault plan: the seed every injection decision derives
+/// from, plus the rules. Parse ↔ print round-trips, so any chaos run is
+/// reproducible from its printed plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; all rule decisions derive from it.
+    pub seed: u64,
+    /// The injection rules, evaluated in order (first firing rule wins
+    /// at seams where several kinds apply).
+    pub rules: Vec<FaultRule>,
+}
+
+json_struct!(FaultPlan { seed, rules });
+
+impl FaultPlan {
+    /// An empty plan (nothing injects) with just a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Appends a rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Parses a plan from JSON text and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or an invalid rule.
+    pub fn parse(text: &str) -> Result<FaultPlan, String> {
+        let plan: FaultPlan = sharing_json::from_str(text).map_err(|e| e.to_string())?;
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Compact one-line JSON (environment-variable friendly).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        sharing_json::to_string(self)
+    }
+
+    /// Pretty JSON for docs and plan files.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        sharing_json::to_string_pretty(self)
+    }
+
+    /// Checks every rule: exactly one of `probability` / `nth`, a
+    /// probability in `[0, 1]`, and a non-zero `nth`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first offending rule.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            match (rule.probability, rule.nth) {
+                (Some(_), Some(_)) => {
+                    return Err(format!(
+                        "rule {i} ({}): set either `probability` or `nth`, not both",
+                        rule.kind
+                    ));
+                }
+                (None, None) => {
+                    return Err(format!(
+                        "rule {i} ({}): set `probability` or `nth`",
+                        rule.kind
+                    ));
+                }
+                (Some(p), None) if !(0.0..=1.0).contains(&p) => {
+                    return Err(format!(
+                        "rule {i} ({}): probability {p} outside [0, 1]",
+                        rule.kind
+                    ));
+                }
+                (None, Some(0)) => {
+                    return Err(format!("rule {i} ({}): `nth` must be >= 1", rule.kind));
+                }
+                _ => {}
+            }
+            if rule.target.is_empty() {
+                return Err(format!("rule {i} ({}): empty target", rule.kind));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether rule `rule_idx` fires on its `n`th matching call
+    /// (1-indexed). Pure in `(seed, rule_idx, n)` — thread interleaving
+    /// cannot change the outcome, which is what makes schedules
+    /// replayable.
+    #[must_use]
+    pub fn fires(&self, rule_idx: usize, n: u64) -> bool {
+        let Some(rule) = self.rules.get(rule_idx) else {
+            return false;
+        };
+        if let Some(nth) = rule.nth {
+            return nth > 0 && n.is_multiple_of(nth);
+        }
+        if let Some(p) = rule.probability {
+            return decision_rng(self.seed, rule_idx, n).bool(p);
+        }
+        false
+    }
+
+    /// The deterministic per-decision RNG for rule `rule_idx`, call `n` —
+    /// also used to pick corruption offsets so the mangled bytes replay.
+    #[must_use]
+    pub fn decision_rng(&self, rule_idx: usize, n: u64) -> Rng64 {
+        decision_rng(self.seed, rule_idx, n)
+    }
+
+    /// The example plan used in the README: partition on the 3rd
+    /// connect, kill a worker at mix step 2, and drop every 7th
+    /// dispatch exchange.
+    #[must_use]
+    pub fn example(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_rule(FaultRule::nth("*", FaultKind::DropConn, 7))
+            .with_rule(FaultRule::nth("*", FaultKind::Partition, 3).lasting_ms(400))
+            .with_rule(FaultRule::nth("*", FaultKind::SigkillWorker, 2))
+    }
+
+    /// The replay-exact plan `ssim chaos` and the CI smoke default to.
+    ///
+    /// Every rule is `nth`-based and the partition window (1 ms) is
+    /// shorter than the minimum retry backoff, so a refused connect is
+    /// always retried *after* the window closed: each partition firing
+    /// adds exactly one extra register attempt, keeping every rule's
+    /// matching-call count — and therefore the whole injection
+    /// schedule — identical across two runs of the same job mix.
+    /// Longer windows are great for soak testing but make the count of
+    /// refused-and-retried calls depend on wall-clock timing.
+    #[must_use]
+    pub fn smoke(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_rule(FaultRule::nth("*", FaultKind::DropConn, 9))
+            .with_rule(FaultRule::nth("*", FaultKind::Partition, 4).lasting_ms(1))
+            .with_rule(FaultRule::nth("*", FaultKind::SigkillWorker, 2))
+    }
+}
+
+/// One RNG per `(seed, rule, call)`: cheap (SplitMix64 seeding) and
+/// order-free, so concurrent seams cannot perturb each other's draws.
+fn decision_rng(seed: u64, rule_idx: usize, n: u64) -> Rng64 {
+    let mix = seed
+        ^ (rule_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ n.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    Rng64::seed_from_u64(mix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_json() {
+        let plan = FaultPlan::new(42)
+            .with_rule(FaultRule::nth("127.0.0.1:42115", FaultKind::DropConn, 5))
+            .with_rule(FaultRule::probability("*", FaultKind::SlowRead, 0.25).lasting_ms(80))
+            .with_rule(FaultRule::nth("queue", FaultKind::QueueFullStorm, 3).lasting_ms(200));
+        let compact = FaultPlan::parse(&plan.to_json_string()).unwrap();
+        let pretty = FaultPlan::parse(&plan.to_json_pretty()).unwrap();
+        assert_eq!(plan, compact);
+        assert_eq!(plan, pretty);
+    }
+
+    #[test]
+    fn kinds_round_trip_by_name() {
+        for k in ALL_FAULT_KINDS {
+            assert_eq!(FaultKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(FaultKind::from_name("meteor_strike"), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rules() {
+        let both = FaultPlan::new(1).with_rule(FaultRule {
+            target: "*".into(),
+            kind: FaultKind::DropConn,
+            probability: Some(0.5),
+            nth: Some(2),
+            duration_ms: None,
+        });
+        assert!(both.validate().is_err(), "probability and nth together");
+        let neither = FaultPlan::new(1).with_rule(FaultRule {
+            target: "*".into(),
+            kind: FaultKind::DropConn,
+            probability: None,
+            nth: None,
+            duration_ms: None,
+        });
+        assert!(neither.validate().is_err(), "neither probability nor nth");
+        let out_of_range =
+            FaultPlan::new(1).with_rule(FaultRule::probability("*", FaultKind::SlowRead, 1.5));
+        assert!(out_of_range.validate().is_err(), "probability > 1");
+        let zeroth = FaultPlan::new(1).with_rule(FaultRule::nth("*", FaultKind::DropConn, 0));
+        assert!(zeroth.validate().is_err(), "nth = 0");
+    }
+
+    #[test]
+    fn nth_rules_fire_exactly_on_multiples() {
+        let plan = FaultPlan::new(9).with_rule(FaultRule::nth("*", FaultKind::DropConn, 4));
+        let fired: Vec<u64> = (1..=12).filter(|&n| plan.fires(0, n)).collect();
+        assert_eq!(fired, vec![4, 8, 12]);
+    }
+
+    #[test]
+    fn probability_decisions_are_pure_in_seed_rule_and_call() {
+        let plan =
+            FaultPlan::new(7).with_rule(FaultRule::probability("*", FaultKind::SlowWrite, 0.3));
+        let a: Vec<bool> = (1..=200).map(|n| plan.fires(0, n)).collect();
+        let b: Vec<bool> = (1..=200).map(|n| plan.fires(0, n)).collect();
+        assert_eq!(a, b, "same (seed, rule, n) must decide identically");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(
+            (20..=100).contains(&hits),
+            "p=0.3 over 200 calls fired {hits} times"
+        );
+        let other =
+            FaultPlan::new(8).with_rule(FaultRule::probability("*", FaultKind::SlowWrite, 0.3));
+        let c: Vec<bool> = (1..=200).map(|n| other.fires(0, n)).collect();
+        assert_ne!(a, c, "a different seed must change the schedule");
+    }
+
+    #[test]
+    fn target_matching_is_star_or_exact() {
+        let rule = FaultRule::nth("127.0.0.1:1", FaultKind::DropConn, 1);
+        assert!(rule.matches("127.0.0.1:1"));
+        assert!(!rule.matches("127.0.0.1:2"));
+        assert!(FaultRule::nth("*", FaultKind::DropConn, 1).matches("anything"));
+    }
+
+    #[test]
+    fn example_plan_is_valid_and_prints() {
+        let plan = FaultPlan::example(2014);
+        assert!(plan.validate().is_ok());
+        assert!(plan.to_json_pretty().contains("sigkill_worker"));
+    }
+
+    #[test]
+    fn smoke_plan_is_valid_and_count_driven() {
+        let plan = FaultPlan::smoke(2014);
+        assert!(plan.validate().is_ok());
+        // Replay-exactness rests on every rule being nth-based.
+        assert!(plan.rules.iter().all(|r| r.nth.is_some()));
+        let windows: Vec<u64> = plan
+            .rules
+            .iter()
+            .filter(|r| r.kind == FaultKind::Partition)
+            .map(|r| r.duration().as_millis() as u64)
+            .collect();
+        assert!(
+            windows.iter().all(|&ms| ms < 25),
+            "partition windows must close before the shortest retry backoff"
+        );
+    }
+}

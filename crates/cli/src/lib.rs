@@ -7,7 +7,10 @@
 use sharing_core::{SimConfig, Simulator, VmSimulator};
 use sharing_dc::{BillingMode, DcSim, Scenario};
 use sharing_obs::TraceBuffer;
-use sharing_trace::{Benchmark, TraceCache, TraceSpec, WorkloadProfile, ALL_BENCHMARKS};
+use sharing_trace::{
+    extra_profile, Benchmark, TraceCache, TraceSpec, WorkloadProfile, ALL_BENCHMARKS,
+    EXTRA_PROFILES,
+};
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -26,6 +29,9 @@ pub enum Command {
     Serve(ServeArgs),
     /// `ssim submit …` — submit a job to a running ssimd daemon.
     Submit(SubmitArgs),
+    /// `ssim chaos …` — drive a worker fleet through a seeded fault plan
+    /// and check the invariants hold.
+    Chaos(ChaosArgs),
     /// `ssim list` — list available benchmarks.
     List,
     /// `ssim help` / `--help`.
@@ -37,6 +43,9 @@ pub enum Command {
 pub enum Workload {
     /// One of the paper's fifteen calibrated benchmarks.
     Benchmark(Benchmark),
+    /// One of the extra seeded profiles (`bursty`, `phaseshift`),
+    /// resolved by name like a benchmark.
+    Extra(String),
     /// A user-supplied [`WorkloadProfile`] JSON file.
     ProfileFile(String),
     /// A hand-written assembly file (see [`sharing_isa::asm`]), repeated
@@ -191,6 +200,27 @@ pub struct SubmitArgs {
     pub action: SubmitAction,
 }
 
+/// Arguments for `ssim chaos`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosArgs {
+    /// Fault-plan JSON file; `None` uses the built-in replay-exact
+    /// smoke plan seeded by `seed`.
+    pub plan_path: Option<String>,
+    /// Seed for the built-in plan (ignored when `--plan` is given).
+    pub seed: u64,
+    /// Worker daemons to spawn under the coordinator.
+    pub workers: usize,
+    /// First worker port; consecutive workers take consecutive ports.
+    /// 0 picks free ephemeral ports (fixed ports keep worker addresses
+    /// — and so any address-targeted rules — stable across runs).
+    pub base_port: u16,
+    /// Trace length for the mix's jobs (small keeps the run quick).
+    pub len: usize,
+    /// When set, write the injection schedule here, one diffable line
+    /// per injected fault.
+    pub schedule_out: Option<String>,
+}
+
 /// CLI errors.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CliError {
@@ -273,6 +303,8 @@ USAGE:
                (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
                 | --dc scenario.json [--seed N] [--mode sharing|fixed]
                 | --ping | --hello | --stats | --metrics | --shutdown)
+    ssim chaos [--plan plan.json | --seed N] [--workers N] [--base-port P]
+               [--len N] [--schedule-out FILE]
     ssim config            emit the default configuration as JSON
     ssim list              list available benchmarks
     ssim help              this message
@@ -293,11 +325,20 @@ EXAMPLES:
     ssim submit --metrics    # Prometheus text exposition
     ssim serve --http 127.0.0.1:8080 --pidfile /tmp/ssimd.pid &
     ssim submit --url http://127.0.0.1:8080 --benchmark mcf --slices 2
+    ssim run --benchmark bursty --slices 2   # extra seeded profile
+    ssim chaos --seed 2014 --schedule-out sched.txt
 
 `ssim serve --http` adds an HTTP/1.1 front door (GET /health, /metrics,
 /status; POST /jobs + GET /jobs/<id> polling); `--pidfile` writes the
 daemon pid and SIGTERM/SIGINT drain gracefully. `ssim submit --url`
 drives that front door instead of the TCP protocol.
+
+`ssim chaos` spawns worker daemons, runs a job mix fault-free, then
+replays it under a seeded fault plan (connection drops, partitions,
+worker kills) and asserts results stay byte-identical, no job is lost,
+and the drain terminates. Setting SSIM_CHAOS_PLAN to plan JSON arms any
+`ssim serve` daemon directly; SSIM_CHAOS_SCHEDULE names a file its
+injection schedule is written to on graceful shutdown.
 
 `--trace-out` writes Chrome trace_event JSON; open it in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing. Simulator spans use
@@ -316,6 +357,18 @@ fn take_value<'a>(
 fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, CliError> {
     v.parse()
         .map_err(|_| CliError::BadValue(flag.to_string(), v.to_string()))
+}
+
+/// Resolves a `--benchmark` value: the paper suite first, then the
+/// extra seeded profiles (`bursty`, `phaseshift`).
+fn parse_workload_name(v: &str) -> Result<Workload, CliError> {
+    if let Some(b) = Benchmark::from_name(v) {
+        return Ok(Workload::Benchmark(b));
+    }
+    if extra_profile(v).is_some() {
+        return Ok(Workload::Extra(v.to_string()));
+    }
+    Err(CliError::UnknownBenchmark(v.to_string()))
 }
 
 /// Parses CLI arguments (without the binary name).
@@ -345,10 +398,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--benchmark" => {
-                        let v = take_value(flag, &mut it)?;
-                        let b = Benchmark::from_name(v)
-                            .ok_or_else(|| CliError::UnknownBenchmark(v.clone()))?;
-                        out.workload = Workload::Benchmark(b);
+                        out.workload = parse_workload_name(take_value(flag, &mut it)?)?;
                         got_workload = true;
                     }
                     "--profile" => {
@@ -560,6 +610,33 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Submit(SubmitArgs { addr, url, action }))
         }
+        "chaos" => {
+            let mut out = ChaosArgs {
+                plan_path: None,
+                seed: 2014,
+                workers: 2,
+                base_port: 0,
+                len: 2_000,
+                schedule_out: None,
+            };
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--plan" => out.plan_path = Some(take_value(flag, &mut it)?.clone()),
+                    "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--workers" => out.workers = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--base-port" => out.base_port = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--schedule-out" => {
+                        out.schedule_out = Some(take_value(flag, &mut it)?.clone());
+                    }
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if out.workers == 0 {
+                return Err(CliError::BadValue("--workers".to_string(), "0".to_string()));
+            }
+            Ok(Command::Chaos(out))
+        }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -666,31 +743,48 @@ fn run_workload(
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
             let profile: WorkloadProfile = sharing_json::from_str(&text)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
-            let spec = TraceSpec::new(len, seed);
-            if profile.threads > 1 {
-                let trace = {
-                    let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
-                    TraceCache::global()
-                        .profile_threaded(&profile, &spec)
-                        .map_err(CliError::BadProfile)?
-                };
-                let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
-                Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
-            } else {
-                let trace = {
-                    let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
-                    TraceCache::global()
-                        .profile_single(&profile, &spec)
-                        .map_err(CliError::BadProfile)?
-                };
-                let sim = Simulator::new(cfg).expect("validated config");
-                let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
-                Ok(match obs {
-                    Some(o) => sim.run_traced(&trace, o),
-                    None => sim.run(&trace),
-                })
-            }
+            run_profile(&profile, cfg, len, seed, obs)
         }
+        Workload::Extra(name) => {
+            let profile =
+                extra_profile(name).ok_or_else(|| CliError::UnknownBenchmark(name.clone()))?;
+            run_profile(&profile, cfg, len, seed, obs)
+        }
+    }
+}
+
+/// Simulates one [`WorkloadProfile`] (from a `--profile` file or an
+/// extra built-in), threading through the shared trace cache.
+fn run_profile(
+    profile: &WorkloadProfile,
+    cfg: SimConfig,
+    len: usize,
+    seed: u64,
+    obs: Option<&TraceBuffer>,
+) -> Result<sharing_core::SimResult, CliError> {
+    let spec = TraceSpec::new(len, seed);
+    if profile.threads > 1 {
+        let trace = {
+            let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
+            TraceCache::global()
+                .profile_threaded(profile, &spec)
+                .map_err(CliError::BadProfile)?
+        };
+        let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
+        Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
+    } else {
+        let trace = {
+            let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
+            TraceCache::global()
+                .profile_single(profile, &spec)
+                .map_err(CliError::BadProfile)?
+        };
+        let sim = Simulator::new(cfg).expect("validated config");
+        let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
+        Ok(match obs {
+            Some(o) => sim.run_traced(&trace, o),
+            None => sim.run(&trace),
+        })
     }
 }
 
@@ -935,6 +1029,402 @@ fn execute_dc(args: &DcArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The worker daemons `ssim chaos` spawns and drives. Killing members
+/// is part of the fault model (`sigkill_worker`); dropping the fleet
+/// kills any survivors so a failed run leaves no stray daemons behind.
+struct ChaosFleet {
+    children: Vec<Option<std::process::Child>>,
+    addrs: Vec<String>,
+}
+
+impl ChaosFleet {
+    /// Spawns `workers` copies of this binary running `serve` and waits
+    /// until every one answers pings.
+    fn spawn(workers: usize, base_port: u16) -> Result<ChaosFleet, CliError> {
+        let exe = std::env::current_exe()
+            .map_err(|e| CliError::Server(format!("chaos: locating the ssim binary: {e}")))?;
+        let mut fleet = ChaosFleet {
+            children: Vec::new(),
+            addrs: Vec::new(),
+        };
+        for i in 0..workers {
+            let port = if base_port == 0 {
+                free_port()?
+            } else {
+                base_port + u16::try_from(i).unwrap_or(0)
+            };
+            let addr = format!("127.0.0.1:{port}");
+            let child = std::process::Command::new(&exe)
+                .args(["serve", "--addr", &addr, "--workers", "2"])
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                // Faults inject coordinator-side; the workers themselves
+                // stay clean even if the parent environment carries a plan.
+                .env_remove(sharing_chaos::PLAN_ENV)
+                .env_remove(sharing_chaos::SCHEDULE_ENV)
+                .spawn()
+                .map_err(|e| CliError::Server(format!("chaos: spawning worker {addr}: {e}")))?;
+            fleet.children.push(Some(child));
+            fleet.addrs.push(addr);
+        }
+        fleet.wait_ready()?;
+        Ok(fleet)
+    }
+
+    fn wait_ready(&self) -> Result<(), CliError> {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        for addr in &self.addrs {
+            loop {
+                let up = sharing_server::Client::connect_timeout(
+                    addr.as_str(),
+                    std::time::Duration::from_millis(200),
+                )
+                .and_then(|mut c| c.ping())
+                .unwrap_or(false);
+                if up {
+                    break;
+                }
+                if std::time::Instant::now() > deadline {
+                    return Err(CliError::Server(format!(
+                        "chaos: worker {addr} never came up"
+                    )));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+        Ok(())
+    }
+
+    /// Workers still running.
+    fn live(&self) -> usize {
+        self.children.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// SIGKILLs worker `i`. Idempotent: re-killing a dead worker is a
+    /// no-op, matching a plan that names the same victim twice.
+    fn kill(&mut self, i: usize) {
+        if let Some(mut child) = self.children[i].take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for i in 0..self.children.len() {
+            self.kill(i);
+        }
+    }
+}
+
+impl Drop for ChaosFleet {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds port 0 to learn a free port, then releases it for the worker.
+fn free_port() -> Result<u16, CliError> {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .map(|a| a.port())
+        .map_err(|e| CliError::Server(format!("chaos: picking a port: {e}")))
+}
+
+/// The four-step job mix both chaos passes run: a full 72-point sweep
+/// grid, the two extra seeded profiles, and a datacenter scenario.
+fn chaos_mix(len: usize) -> Vec<(&'static str, sharing_server::Job)> {
+    use sharing_server::{DcJob, Job, JobWorkload, RunJob, SweepJob};
+    vec![
+        (
+            "sweep gcc",
+            Job::Sweep(SweepJob {
+                benchmark: Benchmark::Gcc,
+                len,
+                seed: 9,
+            }),
+        ),
+        (
+            "run bursty",
+            Job::Run(RunJob {
+                workload: JobWorkload::Profile(Box::new(sharing_trace::bursty_profile())),
+                slices: 2,
+                banks: 4,
+                len,
+                seed: 11,
+            }),
+        ),
+        (
+            "run phaseshift",
+            Job::Run(RunJob {
+                workload: JobWorkload::Profile(Box::new(sharing_trace::phase_shift_profile())),
+                slices: 4,
+                banks: 8,
+                len,
+                seed: 11,
+            }),
+        ),
+        (
+            "dc example",
+            Job::Dc(Box::new(DcJob {
+                scenario: Scenario::example_bursty(),
+                seed: 7,
+                mode: None,
+            })),
+        ),
+    ]
+}
+
+/// After a kill, waits until the coordinator's health probes agree with
+/// the fleet. This pins the dispatch picture at every mix step, so a
+/// replay never races a probe into seeing (and counting) a dispatch to
+/// a dead-but-not-yet-noticed worker.
+fn wait_for_healthy(client: &mut sharing_server::Client, expect: usize) -> Result<(), CliError> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let stats = client
+            .stats()
+            .map_err(|e| CliError::Server(format!("chaos: stats: {e}")))?;
+        let healthy = stats
+            .get("workers_healthy")
+            .and_then(sharing_json::Json::as_int)
+            .unwrap_or(-1);
+        if healthy == expect as i128 {
+            return Ok(());
+        }
+        if std::time::Instant::now() > deadline {
+            return Err(CliError::Server(format!(
+                "chaos: coordinator reports {healthy} healthy workers, expected {expect}"
+            )));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// One pass of the mix: a fresh in-process coordinator over the fleet,
+/// the four jobs (killing workers where the armed plan says so when
+/// `inject`), a stats snapshot, and a graceful drain under a watchdog.
+/// Returns the reply lines (serialized) and the stats snapshot.
+fn run_chaos_mix(
+    fleet: &mut ChaosFleet,
+    len: usize,
+    inject: bool,
+) -> Result<(Vec<String>, sharing_json::Json), CliError> {
+    let cfg = sharing_server::ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        remote_workers: fleet.addrs.clone(),
+        // One extra attempt of slack over the default: the worst chaos
+        // chain (drop, partition-refused reconnect, second drop) burns
+        // three attempts on one point.
+        dispatch_retries: 4,
+        ..sharing_server::ServerConfig::default()
+    };
+    let handle = sharing_server::Server::start(cfg)
+        .map_err(|e| CliError::Server(format!("chaos: coordinator: {e}")))?;
+    let addr = handle.local_addr().to_string();
+    let outcome = (|| {
+        let mut client = sharing_server::Client::connect(&addr)
+            .map_err(|e| CliError::Server(format!("chaos: {addr}: {e}")))?;
+        client
+            .hello()
+            .map_err(|e| CliError::Server(format!("chaos: {addr}: {e}")))?;
+        let mut lines = Vec::new();
+        for (step, (label, job)) in chaos_mix(len).into_iter().enumerate() {
+            if inject {
+                let victim =
+                    sharing_chaos::hooks().sigkill_step(step as u64 + 1, fleet.addrs.len());
+                if let Some(victim) = victim {
+                    fleet.kill(victim);
+                    wait_for_healthy(&mut client, fleet.live())?;
+                }
+            }
+            let replies = client
+                .submit_all(job)
+                .map_err(|e| CliError::Server(format!("chaos: {label}: {e}")))?;
+            for r in &replies {
+                if r.get("ok").and_then(|v| v.as_bool()) == Some(false) {
+                    let msg = sharing_server::ServerError::from_reply(r)
+                        .map_or_else(|| "job failed".to_string(), |e| e.to_string());
+                    return Err(CliError::Server(format!("chaos: {label}: {msg}")));
+                }
+                lines.push(sharing_json::to_string(r));
+            }
+        }
+        let stats = client
+            .stats()
+            .map_err(|e| CliError::Server(format!("chaos: stats: {e}")))?;
+        Ok((lines, stats))
+    })();
+    // Drain the coordinator even when the mix failed; a drain that hangs
+    // is an invariant violation of its own, hence the watchdog.
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        handle.stop();
+        let _ = tx.send(());
+    });
+    if rx.recv_timeout(std::time::Duration::from_secs(60)).is_err() {
+        return Err(CliError::Server(
+            "chaos: invariant drain-terminates violated: coordinator stuck after 60s".to_string(),
+        ));
+    }
+    outcome
+}
+
+/// Checks the sweep portion of a pass: exactly 72 distinct shapes and
+/// one `sweep_done` marker — no point lost, none double-completed.
+fn check_sweep_complete(lines: &[String]) -> Result<(), CliError> {
+    use sharing_json::Json;
+    let mut shapes = std::collections::HashSet::new();
+    let mut done = 0usize;
+    for line in lines {
+        let v = Json::parse(line)
+            .map_err(|e| CliError::Server(format!("chaos: unparseable reply line: {e}")))?;
+        match v.get("type").and_then(Json::as_str) {
+            Some("sweep_point") => {
+                let shape = v
+                    .get("shape")
+                    .ok_or_else(|| CliError::Server("chaos: sweep point lacks a shape".into()))?;
+                let s = shape.get("slices").and_then(Json::as_int).unwrap_or(-1);
+                let b = shape.get("l2_banks").and_then(Json::as_int).unwrap_or(-1);
+                if !shapes.insert((s, b)) {
+                    return Err(CliError::Server(format!(
+                        "chaos: invariant sweep-complete violated: shape {s}s/{b}b completed twice"
+                    )));
+                }
+            }
+            Some("sweep_done") => done += 1,
+            _ => {}
+        }
+    }
+    if shapes.len() != 72 || done != 1 {
+        return Err(CliError::Server(format!(
+            "chaos: invariant sweep-complete violated: {} unique shapes (want 72), {done} \
+             sweep_done markers (want 1)",
+            shapes.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Checks a pass's metrics: every submitted job completed, none
+/// rejected or errored.
+fn check_jobs_accounted(label: &str, stats: &sharing_json::Json) -> Result<(), CliError> {
+    let stat = |key: &str| {
+        stats
+            .get(key)
+            .and_then(sharing_json::Json::as_int)
+            .unwrap_or(-1)
+    };
+    let (submitted, completed) = (stat("jobs_submitted"), stat("jobs_completed"));
+    let (rejected, errors) = (stat("jobs_rejected"), stat("errors"));
+    if submitted != 4 || completed != 4 || rejected != 0 || errors != 0 {
+        return Err(CliError::Server(format!(
+            "chaos: invariant jobs-accounted violated ({label}): submitted {submitted} \
+             completed {completed} rejected {rejected} errors {errors} (want 4/4/0/0)"
+        )));
+    }
+    Ok(())
+}
+
+/// Runs `ssim chaos`: spawn the fleet, run the mix fault-free, replay
+/// it under the armed plan, and check every invariant.
+fn execute_chaos(args: &ChaosArgs) -> Result<String, CliError> {
+    let plan = match &args.plan_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Server(format!("chaos: plan {path}: {e}")))?;
+            sharing_chaos::FaultPlan::parse(&text)
+                .map_err(|e| CliError::Server(format!("chaos: plan {path}: {e}")))?
+        }
+        None => sharing_chaos::FaultPlan::smoke(args.seed),
+    };
+    let hooks = sharing_chaos::hooks();
+    hooks.disarm();
+    let mut fleet = ChaosFleet::spawn(args.workers, args.base_port)?;
+    let mut out = format!(
+        "chaos: plan seed {} ({} rule(s)), {} worker daemon(s), len {}\n",
+        plan.seed,
+        plan.rules.len(),
+        args.workers,
+        args.len
+    );
+    let (baseline, base_stats) = run_chaos_mix(&mut fleet, args.len, false)?;
+    let _ = writeln!(out, "chaos: baseline mix: {} reply lines", baseline.len());
+    hooks.arm(plan);
+    let chaos_pass = run_chaos_mix(&mut fleet, args.len, true);
+    let schedule = hooks.schedule();
+    let schedule_text = hooks.schedule_lines();
+    hooks.disarm();
+    let (chaos_lines, chaos_stats) = chaos_pass?;
+    fleet.shutdown();
+
+    let mut by_kind: Vec<(String, usize)> = Vec::new();
+    for inj in &schedule {
+        let name = inj.kind.to_string();
+        match by_kind.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, c)) => *c += 1,
+            None => by_kind.push((name, 1)),
+        }
+    }
+    let breakdown = by_kind
+        .iter()
+        .map(|(k, c)| format!("{k} {c}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(
+        out,
+        "chaos: chaos mix: {} reply lines, {} fault(s) injected ({breakdown})",
+        chaos_lines.len(),
+        schedule.len()
+    );
+
+    if chaos_lines != baseline {
+        let first = baseline
+            .iter()
+            .zip(&chaos_lines)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| baseline.len().min(chaos_lines.len()));
+        return Err(CliError::Server(format!(
+            "chaos: invariant results-identical violated: {} baseline vs {} chaos lines, first \
+             difference at line {first}",
+            baseline.len(),
+            chaos_lines.len()
+        )));
+    }
+    let _ = writeln!(
+        out,
+        "chaos: invariant results-identical: OK ({} lines byte-identical)",
+        chaos_lines.len()
+    );
+    check_sweep_complete(&chaos_lines)?;
+    let _ = writeln!(
+        out,
+        "chaos: invariant sweep-complete: OK (72 unique shapes)"
+    );
+    check_jobs_accounted("baseline", &base_stats)?;
+    check_jobs_accounted("chaos", &chaos_stats)?;
+    let retries = chaos_stats
+        .get("dispatch_retries")
+        .and_then(sharing_json::Json::as_int)
+        .unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "chaos: invariant jobs-accounted: OK (4 jobs per pass, {retries} dispatch retries under \
+         chaos)"
+    );
+    let _ = writeln!(out, "chaos: invariant drain-terminates: OK (both passes)");
+    if let Some(path) = &args.schedule_out {
+        std::fs::write(path, &schedule_text)
+            .map_err(|e| CliError::Server(format!("chaos: schedule {path}: {e}")))?;
+        let _ = writeln!(
+            out,
+            "chaos: wrote schedule {path} ({} line(s))",
+            schedule.len()
+        );
+    }
+    out.push_str("chaos: all invariants held\n");
+    Ok(out)
+}
+
 /// Executes a parsed command, returning its stdout payload.
 ///
 /// # Errors
@@ -952,6 +1442,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     "single-thread"
                 };
                 out.push_str(&format!("  {:<12} {kind}\n", b.name()));
+            }
+            out.push_str("\nextra seeded profiles (run/submit/chaos mixes):\n");
+            for name in EXTRA_PROFILES {
+                let p = extra_profile(name).expect("registered extra profile");
+                let kind = if p.threads > 1 {
+                    format!("{} threads", p.threads)
+                } else {
+                    "single-thread".to_string()
+                };
+                out.push_str(&format!("  {name:<12} {kind}\n"));
             }
             Ok(out)
         }
@@ -1004,6 +1504,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Dc(args) => execute_dc(args),
+        Command::Chaos(args) => execute_chaos(args),
         Command::Serve(args) => {
             let mut cfg = sharing_server::ServerConfig {
                 addr: args.addr.clone(),
@@ -1032,6 +1533,16 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             };
             sharing_http::install_termination_handler()
                 .map_err(|e| CliError::Server(format!("signal handlers: {e}")))?;
+            // A daemon launched with SSIM_CHAOS_PLAN set arms itself, so
+            // whole fleets can run under one plan without code changes.
+            match sharing_chaos::hooks().arm_from_env() {
+                Ok(true) => eprintln!(
+                    "ssim serve: chaos plan armed from ${}",
+                    sharing_chaos::PLAN_ENV
+                ),
+                Ok(false) => {}
+                Err(e) => return Err(CliError::Server(e)),
+            }
             let handle =
                 sharing_server::Server::start(cfg).map_err(|e| CliError::Server(e.to_string()))?;
             if args.workers_remote.is_empty() {
@@ -1061,6 +1572,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             }
             handle.shutdown();
             handle.join();
+            sharing_chaos::hooks().write_schedule_from_env();
             Ok("ssim serve: drained and stopped".to_string())
         }
         Command::Submit(args) => {
@@ -1315,6 +1827,85 @@ mod tests {
         for b in ALL_BENCHMARKS {
             assert!(out.contains(b.name()), "missing {b}");
         }
+    }
+
+    #[test]
+    fn list_names_every_extra_profile() {
+        let out = execute(&Command::List).unwrap();
+        for name in EXTRA_PROFILES {
+            assert!(out.contains(name), "missing extra profile {name}");
+        }
+    }
+
+    #[test]
+    fn run_benchmark_resolves_extra_profiles() {
+        let cmd = parse(&s(&["run", "--benchmark", "bursty"])).unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!(a.workload, Workload::Extra("bursty".to_string())),
+            other => panic!("expected run, got {other:?}"),
+        }
+        // A made-up name still fails cleanly after both lookups miss.
+        assert!(matches!(
+            parse(&s(&["run", "--benchmark", "quiescent"])),
+            Err(CliError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let cmd = parse(&s(&[
+            "chaos",
+            "--seed",
+            "42",
+            "--workers",
+            "3",
+            "--base-port",
+            "7100",
+            "--len",
+            "500",
+            "--schedule-out",
+            "sched.txt",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Chaos(a) => {
+                assert_eq!(a.plan_path, None);
+                assert_eq!(a.seed, 42);
+                assert_eq!(a.workers, 3);
+                assert_eq!(a.base_port, 7100);
+                assert_eq!(a.len, 500);
+                assert_eq!(a.schedule_out, Some("sched.txt".to_string()));
+            }
+            other => panic!("expected chaos, got {other:?}"),
+        }
+        match parse(&s(&["chaos", "--plan", "plan.json"])).unwrap() {
+            Command::Chaos(a) => {
+                assert_eq!(a.plan_path, Some("plan.json".to_string()));
+                assert_eq!(a.workers, 2, "default fleet size");
+            }
+            other => panic!("expected chaos, got {other:?}"),
+        }
+        assert_eq!(
+            parse(&s(&["chaos", "--workers", "0"])),
+            Err(CliError::BadValue("--workers".to_string(), "0".to_string()))
+        );
+    }
+
+    #[test]
+    fn bursty_profile_runs_end_to_end() {
+        let out = execute(&Command::Run(RunArgs {
+            workload: Workload::Extra("bursty".to_string()),
+            slices: 2,
+            banks: 4,
+            len: 500,
+            seed: 3,
+            config_path: None,
+            json: true,
+            trace_out: None,
+        }))
+        .unwrap();
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert!(v.get("cycles").is_some(), "no cycles in {out}");
     }
 
     #[test]

@@ -213,6 +213,11 @@ impl HttpServer {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
+                    // Chaos accept seam: a drop_conn fault closes the
+                    // just-accepted connection without serving it.
+                    if sharing_chaos::hooks().on_http_accept() == sharing_chaos::IoFault::Drop {
+                        continue;
+                    }
                     let conn = Conn::new(stream, astate.cfg.limits);
                     if let Err(mut rejected) = astate.push(conn) {
                         // Admission control at the edge, mirroring the
@@ -308,6 +313,13 @@ fn serve_slice(shared: &Arc<Shared>, conn: &mut Conn) -> Disposition {
                 Some(_) => {}
                 None => conn.partial_since = Some(Instant::now()),
             }
+        }
+        // Chaos read seam: slow_read stalls before the read, drop_conn
+        // abandons the connection mid-request.
+        match sharing_chaos::hooks().on_http_read() {
+            sharing_chaos::IoFault::Pass => {}
+            sharing_chaos::IoFault::Drop => return Disposition::Close,
+            sharing_chaos::IoFault::Delay(d) => std::thread::sleep(d),
         }
         let mut buf = [0u8; 8192];
         match conn.stream.read(&mut buf) {

@@ -2,7 +2,7 @@
 
 use crate::chip::{Chip, Tile, TileKind};
 use sharing_core::{ReconfigCosts, VCoreShape};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Opaque lease identifier.
@@ -95,7 +95,10 @@ pub struct HvStats {
 #[derive(Clone, Debug)]
 pub struct Hypervisor {
     chip: Chip,
-    leases: HashMap<LeaseId, Lease>,
+    // Ordered so that every iteration — metering in particular, which
+    // sums floats lease by lease — visits leases in id order and stays
+    // bit-for-bit reproducible across processes.
+    leases: BTreeMap<LeaseId, Lease>,
     next_id: u64,
     costs: ReconfigCosts,
     reconfig_cycles: u64,
@@ -108,7 +111,7 @@ impl Hypervisor {
     pub fn new(chip: Chip) -> Self {
         Hypervisor {
             chip,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_id: 1,
             costs: ReconfigCosts::paper(),
             reconfig_cycles: 0,
@@ -180,7 +183,7 @@ impl Hypervisor {
         self.leases.get(&id)
     }
 
-    /// Iterates over all live leases (in arbitrary order).
+    /// Iterates over all live leases in lease-id order.
     pub fn leases(&self) -> impl Iterator<Item = &Lease> {
         self.leases.values()
     }

@@ -153,6 +153,14 @@ impl ResultCache {
         Ok(loaded)
     }
 
+    /// Drops every entry, e.g. to fall back to a cold cache after a
+    /// partial load from a corrupt file.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.order.clear();
+    }
+
     /// Number of cached entries.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -257,6 +265,24 @@ mod tests {
         assert!(c.load_from_file(&path).is_err(), "bad header rejected");
         std::fs::write(&path, format!("{CACHE_FILE_HEADER}\nkey-without-payload\n")).unwrap();
         assert!(c.load_from_file(&path).is_err(), "truncated entry rejected");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clear_discards_partial_loads() {
+        let path = temp_path("partial");
+        // One good entry, then a trailing key with no payload: the load
+        // errors but has already inserted the good entry.
+        std::fs::write(
+            &path,
+            format!("{CACHE_FILE_HEADER}\ngood-key\ngood-payload\ndangling-key\n"),
+        )
+        .unwrap();
+        let c = ResultCache::new(4);
+        assert!(c.load_from_file(&path).is_err());
+        assert_eq!(c.get("good-key").as_deref(), Some("good-payload"));
+        c.clear();
+        assert!(c.is_empty(), "cold cache after clearing the partial load");
         std::fs::remove_file(&path).unwrap();
     }
 }

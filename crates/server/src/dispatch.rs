@@ -26,8 +26,10 @@
 use crate::client::Client;
 use crate::metrics::Metrics;
 use crate::protocol::{Envelope, ErrorCode, Job, Request, RunJob, ServerError, PROTO_VERSION};
+use sharing_chaos::IoFault;
 use sharing_json::Json;
 use sharing_obs::{PromWriter, SpanEvent, TraceBuffer};
+use sharing_trace::Rng64;
 use std::collections::VecDeque;
 use std::io::{Error, ErrorKind};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -48,10 +50,20 @@ pub struct DispatchOpts {
     pub retries: u32,
     /// Health-ping cadence.
     pub ping_interval: Duration,
-    /// First retry backoff; doubles per attempt.
+    /// First retry backoff; doubles per attempt, jittered by
+    /// `backoff_seed`.
     pub backoff_base: Duration,
     /// Connect timeout for registration, reconnects, and health probes.
     pub connect_timeout: Duration,
+    /// Seed for retry-backoff jitter. Each delay is the exponential
+    /// step scaled into `[50%, 100%]` by an `Rng64` draw that is pure
+    /// in `(backoff_seed, attempt, draw index)`, so chaos replays see
+    /// the same delays instead of clock-dependent randomness.
+    pub backoff_seed: u64,
+    /// Hard cap on the total time one job may spend in retry backoff;
+    /// once the next delay would cross it, the job stops retrying and
+    /// surfaces its last error.
+    pub max_retry_time: Duration,
 }
 
 impl Default for DispatchOpts {
@@ -62,6 +74,8 @@ impl Default for DispatchOpts {
             ping_interval: Duration::from_secs(2),
             backoff_base: Duration::from_millis(50),
             connect_timeout: Duration::from_secs(2),
+            backoff_seed: 2014,
+            max_retry_time: Duration::from_secs(60),
         }
     }
 }
@@ -125,6 +139,9 @@ pub struct WorkerPool {
     metrics: Arc<Metrics>,
     closed: Arc<AtomicBool>,
     next: AtomicUsize,
+    /// Jitter draws consumed so far; each backoff sleep takes the next
+    /// index so concurrent retries spread instead of thundering.
+    backoff_draws: AtomicU64,
     health_thread: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -170,6 +187,7 @@ impl WorkerPool {
             metrics,
             closed: Arc::new(AtomicBool::new(false)),
             next: AtomicUsize::new(0),
+            backoff_draws: AtomicU64::new(0),
             health_thread: Mutex::new(None),
         });
         let hpool = Arc::clone(&pool);
@@ -234,12 +252,17 @@ impl WorkerPool {
         };
         let env = job_envelope(job);
         let mut last: Option<ServerError> = None;
+        let retry_deadline = Instant::now() + self.opts.max_retry_time;
         for attempt in 0..=self.opts.retries {
             if attempt > 0 {
+                let delay = self.backoff_delay(attempt);
+                if Instant::now() + delay > retry_deadline {
+                    break; // total per-job retry time is capped
+                }
                 self.metrics
                     .dispatch_retries
                     .fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff(self.opts.backoff_base, attempt));
+                std::thread::sleep(delay);
             }
             let Some(worker) = self.pick_worker() else {
                 last.get_or_insert_with(|| {
@@ -394,8 +417,8 @@ impl WorkerPool {
                     return;
                 }
                 Err(TryError::Busy(e)) | Err(TryError::Broken(e)) => {
-                    // This worker is out (grid_attempt already burned the
-                    // per-worker retry budget on Busy). Hand the point to
+                    // This worker is out: grid_attempt already burned the
+                    // per-worker retry budget on it. Hand the point to
                     // the survivors; if there are none, the grid is stuck.
                     self.note_broken(worker);
                     self.metrics
@@ -417,9 +440,12 @@ impl WorkerPool {
         }
     }
 
-    /// One point on one worker, retrying `queue_full` in place with
-    /// backoff (the connection is still good); transport failures return
-    /// immediately so the point can move to another worker.
+    /// One point on one worker, retrying `queue_full` *and* transport
+    /// failures in place with backoff — the next attempt reconnects, so
+    /// a chaos-dropped connection to a live worker heals here instead
+    /// of evicting the worker from the grid. Only a worker that keeps
+    /// failing past the retry budget (or the retry-time cap) hands the
+    /// point to the survivors.
     fn grid_attempt(
         &self,
         worker: &RemoteWorker,
@@ -427,21 +453,26 @@ impl WorkerPool {
         trace: &TraceBuffer,
     ) -> Result<String, TryError> {
         let env = job_envelope(&Job::Run(job.clone()));
-        let mut last: Option<ServerError> = None;
+        let mut last: Option<TryError> = None;
+        let retry_deadline = Instant::now() + self.opts.max_retry_time;
         for attempt in 0..=self.opts.retries {
             if attempt > 0 {
+                let delay = self.backoff_delay(attempt);
+                if Instant::now() + delay > retry_deadline {
+                    break; // total per-job retry time is capped
+                }
                 self.metrics
                     .dispatch_retries
                     .fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(backoff(self.opts.backoff_base, attempt));
+                std::thread::sleep(delay);
             }
             match self.try_worker(worker, &env, "result", trace) {
                 Ok(payload) => return Ok(payload),
-                Err(TryError::Busy(e)) => last = Some(e),
-                Err(other) => return Err(other),
+                Err(fatal @ TryError::Fatal(_)) => return Err(fatal),
+                Err(retryable) => last = Some(retryable),
             }
         }
-        Err(TryError::Busy(unavailable(last)))
+        Err(last.unwrap_or_else(|| TryError::Busy(unavailable(None))))
     }
 
     /// One request/reply exchange on one worker's persistent connection.
@@ -459,6 +490,14 @@ impl WorkerPool {
             ))
         };
         let mut conn = worker.conn.lock().expect("worker conn lock");
+        match sharing_chaos::hooks().on_dispatch_exchange(&worker.addr) {
+            IoFault::Pass => {}
+            IoFault::Drop => {
+                *conn = None;
+                return Err(broken(&worker.addr, &"chaos: connection dropped"));
+            }
+            IoFault::Delay(d) => std::thread::sleep(d),
+        }
         if conn.is_none() {
             *conn = Some(register(&worker.addr, &self.opts).map_err(|e| broken(&worker.addr, &e))?);
         }
@@ -531,6 +570,13 @@ impl WorkerPool {
             .cloned()
     }
 
+    /// The next retry delay: exponential step for `attempt`, jittered
+    /// by the pool-wide draw counter so concurrent retries spread out.
+    fn backoff_delay(&self, attempt: u32) -> Duration {
+        let draw = self.backoff_draws.fetch_add(1, Ordering::Relaxed);
+        backoff(&self.opts, attempt, draw)
+    }
+
     /// Marks a worker broken and refreshes the healthy gauge.
     fn note_broken(&self, worker: &RemoteWorker) {
         worker.mark_broken();
@@ -589,9 +635,16 @@ impl WorkerPool {
     }
 }
 
-/// Exponential backoff: `base * 2^(attempt-1)`.
-fn backoff(base: Duration, attempt: u32) -> Duration {
-    base.saturating_mul(1 << (attempt - 1).min(16))
+/// Seeded jittered backoff: the exponential step `base * 2^(attempt-1)`
+/// scaled into `[50%, 100%]` by an `Rng64` draw pure in
+/// `(backoff_seed, attempt, draw)` — replayable, unlike clock- or
+/// thread-id-derived jitter.
+fn backoff(opts: &DispatchOpts, attempt: u32, draw: u64) -> Duration {
+    let step = opts.backoff_base.saturating_mul(1 << (attempt - 1).min(16));
+    let mut rng = Rng64::seed_from_u64(
+        opts.backoff_seed ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(attempt),
+    );
+    step.mul_f64(0.5 + 0.5 * rng.f64())
 }
 
 fn unavailable(last: Option<ServerError>) -> ServerError {
@@ -609,6 +662,12 @@ fn job_envelope(job: &Job) -> Envelope {
 /// Connect + version-negotiate + arm the per-job read timeout: the full
 /// worker registration handshake, also used for reconnects.
 fn register(addr: &str, opts: &DispatchOpts) -> std::io::Result<Client> {
+    if sharing_chaos::hooks().connect_fault(addr) {
+        return Err(Error::new(
+            ErrorKind::ConnectionRefused,
+            "chaos: partitioned",
+        ));
+    }
     let mut client = Client::connect_timeout(addr, opts.connect_timeout)?;
     client.set_read_timeout(Some(opts.job_timeout))?;
     client.hello()?;
@@ -635,12 +694,15 @@ fn health_loop(pool: &WorkerPool) {
     while !pool.closed.load(Ordering::SeqCst) {
         let mut healthy = 0usize;
         for worker in &pool.workers {
-            let alive = Client::connect_timeout(&worker.addr, pool.opts.connect_timeout)
-                .and_then(|mut c| {
-                    c.set_read_timeout(Some(pool.opts.connect_timeout))?;
-                    c.ping()
-                })
-                .unwrap_or(false);
+            // A chaos partition window makes the worker look dead to
+            // probes without consuming an injection-schedule slot.
+            let alive = !sharing_chaos::hooks().partitioned(&worker.addr)
+                && Client::connect_timeout(&worker.addr, pool.opts.connect_timeout)
+                    .and_then(|mut c| {
+                        c.set_read_timeout(Some(pool.opts.connect_timeout))?;
+                        c.ping()
+                    })
+                    .unwrap_or(false);
             if alive {
                 healthy += 1;
             } else {
@@ -684,13 +746,29 @@ mod tests {
     }
 
     #[test]
-    fn backoff_doubles_and_saturates() {
-        let base = Duration::from_millis(50);
-        assert_eq!(backoff(base, 1), Duration::from_millis(50));
-        assert_eq!(backoff(base, 2), Duration::from_millis(100));
-        assert_eq!(backoff(base, 3), Duration::from_millis(200));
+    fn backoff_jitter_is_seeded_and_bounded() {
+        let opts = DispatchOpts::default();
+        for attempt in 1..=4 {
+            let step = opts.backoff_base.saturating_mul(1 << (attempt - 1));
+            for draw in 0..8 {
+                let d = backoff(&opts, attempt, draw);
+                assert!(
+                    d >= step / 2 && d <= step,
+                    "attempt {attempt} draw {draw}: {d:?} outside [{:?}, {step:?}]",
+                    step / 2
+                );
+            }
+        }
+        // Pure in (seed, attempt, draw): replays sleep identically.
+        assert_eq!(backoff(&opts, 2, 7), backoff(&opts, 2, 7));
+        let other = DispatchOpts {
+            backoff_seed: opts.backoff_seed + 1,
+            ..opts.clone()
+        };
+        let same_everywhere = (0..16).all(|d| backoff(&opts, 2, d) == backoff(&other, 2, d));
+        assert!(!same_everywhere, "the seed must matter");
         // Huge attempt counts must not overflow the shift.
-        let _ = backoff(base, 40);
+        let _ = backoff(&opts, 40, 0);
     }
 
     #[test]

@@ -395,6 +395,23 @@ fn parse_benchmark(v: &Json) -> Result<Benchmark, JsonError> {
     Benchmark::from_name(name).ok_or_else(|| JsonError(format!("unknown benchmark `{name}`")))
 }
 
+/// A `run` job's `benchmark` field resolves against the paper suite
+/// first, then the extra seeded profiles (`bursty`, `phaseshift`) —
+/// which ship as inline profiles so the cache key carries their full
+/// calibration, exactly as if the client had sent `profile`.
+fn parse_run_workload(v: &Json) -> Result<JobWorkload, JsonError> {
+    let name = field(v, "benchmark")?
+        .as_str()
+        .ok_or_else(|| JsonError("`benchmark` must be a string".into()))?;
+    if let Some(b) = Benchmark::from_name(name) {
+        return Ok(JobWorkload::Benchmark(b));
+    }
+    if let Some(p) = sharing_trace::extra_profile(name) {
+        return Ok(JobWorkload::Profile(Box::new(p)));
+    }
+    Err(JsonError(format!("unknown benchmark `{name}`")))
+}
+
 fn parse_utility(name: &str) -> Result<UtilityFn, JsonError> {
     match name.to_ascii_lowercase().as_str() {
         "throughput" | "utility1" => Ok(UtilityFn::Throughput),
@@ -469,7 +486,7 @@ impl Envelope {
                 let workload = if let Some(p) = v.get("profile") {
                     JobWorkload::Profile(Box::new(WorkloadProfile::from_json(p)?))
                 } else {
-                    JobWorkload::Benchmark(parse_benchmark(v)?)
+                    parse_run_workload(v)?
                 };
                 Request::Job(Job::Run(RunJob {
                     workload,

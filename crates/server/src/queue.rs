@@ -49,6 +49,12 @@ struct Inner<T> {
 }
 
 impl<T> JobQueue<T> {
+    /// The admission capacity this queue was created with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Creates a queue admitting at most `capacity` waiting jobs.
     ///
     /// # Panics

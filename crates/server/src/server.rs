@@ -203,12 +203,17 @@ impl Server {
             pool,
         });
         if let Some(path) = &state.cache_path {
-            // A missing file is a cold start, not an error; a corrupt file
-            // fails the bind so the operator notices.
-            state
-                .cache
-                .load_from_file(path)
-                .map_err(|e| std::io::Error::new(e.kind(), format!("cache file {path}: {e}")))?;
+            // An armed corrupt_cache_file rule mangles the persisted
+            // bytes here, before we trust them.
+            let _ = sharing_chaos::hooks().mangle_cache_file(path);
+            // A missing file is a cold start, and so is a corrupt or
+            // truncated one: warn and drop whatever half-loaded rather
+            // than refusing to come up over a damaged cache.
+            if let Err(e) = state.cache.load_from_file(path) {
+                eprintln!("ssimd: cache file {path}: {e}; starting with a cold cache");
+                sharing_obs::counter("ssimd_cache_load_failures_total").inc();
+                state.cache.clear();
+            }
         }
         // The HTTP front door binds before the workers spawn so a bind
         // failure aborts startup cleanly (nothing to drain yet).
@@ -483,7 +488,17 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
             reply: tx,
             enqueued: Instant::now(),
         };
-        match state.queue.try_push(queued) {
+        // A chaos queue_full_storm answers queue_full for a window
+        // regardless of actual depth; clients must treat it exactly
+        // like organic backpressure.
+        let admitted = if sharing_chaos::hooks().admission_fault() {
+            Err(PushError::Full {
+                capacity: state.queue.capacity(),
+            })
+        } else {
+            state.queue.try_push(queued)
+        };
+        match admitted {
             Ok(_) => {
                 state.metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
                 // Stream every reply line for this job; the channel closes

@@ -1,0 +1,117 @@
+//! Chaos-replay test: a fixed-seed fault plan over a real
+//! coordinator/worker fleet must inject the identical fault schedule
+//! and produce byte-identical results, run after run — and both must
+//! match a fault-free baseline.
+//!
+//! Everything lives in one `#[test]` because the chaos handle is
+//! process-global; parallel tests in this binary would share it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use sharing_chaos::{hooks, FaultKind, FaultPlan, FaultRule};
+use sharing_json::Json;
+use sharing_server::{Server, ServerConfig, ServerHandle};
+
+fn daemon() -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        ..ServerConfig::default()
+    })
+    .expect("bind worker daemon")
+}
+
+fn coordinator(worker_addrs: Vec<String>) -> ServerHandle {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        remote_workers: worker_addrs,
+        ping_interval_ms: 100,
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator")
+}
+
+const SWEEP_REQ: &[u8] =
+    b"{\"id\":1,\"type\":\"sweep\",\"benchmark\":\"gcc\",\"len\":2000,\"seed\":9}\n";
+
+/// Streams one sweep over a raw socket and returns the reply lines
+/// verbatim (72 `sweep_point`s then `sweep_done` on success).
+fn raw_sweep(addr: std::net::SocketAddr) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(SWEEP_REQ).expect("send sweep");
+    let mut reader = BufReader::new(stream);
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read reply") == 0 {
+            panic!("connection closed mid-sweep after {} lines", lines.len());
+        }
+        let line = line.trim_end().to_string();
+        let v = Json::parse(&line).expect("reply is JSON");
+        let ty = v.get("type").and_then(Json::as_str).map(str::to_string);
+        lines.push(line);
+        match ty.as_deref() {
+            Some("sweep_point") => {}
+            Some("sweep_done") => return lines,
+            other => panic!("unexpected reply type {other:?}: {}", lines.last().unwrap()),
+        }
+    }
+}
+
+#[test]
+fn fixed_seed_fault_schedule_and_results_replay_byte_identically() {
+    let w1 = daemon();
+    let w2 = daemon();
+    let addrs = vec![w1.local_addr().to_string(), w2.local_addr().to_string()];
+
+    // Fault-free baseline over a fresh coordinator (empty result cache,
+    // so every point dispatches and every `cached` flag is false).
+    hooks().disarm();
+    let coord = coordinator(addrs.clone());
+    let reference = raw_sweep(coord.local_addr());
+    coord.stop();
+    assert_eq!(reference.len(), 73, "72 points + sweep_done");
+
+    // Every 5th dispatch exchange tears the worker connection down.
+    // The injection positions depend only on the matching-call count,
+    // so two runs over the same workload replay the same schedule.
+    let plan = FaultPlan::new(2014).with_rule(FaultRule::nth("*", FaultKind::DropConn, 5));
+    let run_armed = || {
+        hooks().arm(plan.clone());
+        let coord = coordinator(addrs.clone());
+        let lines = raw_sweep(coord.local_addr());
+        coord.stop();
+        let (injected, schedule) = (hooks().injected(), hooks().schedule_lines());
+        hooks().disarm();
+        (lines, injected, schedule)
+    };
+    let (lines_a, injected_a, schedule_a) = run_armed();
+    let (lines_b, injected_b, schedule_b) = run_armed();
+
+    assert!(injected_a >= 1, "the plan must actually fire");
+    assert_eq!(
+        injected_a, injected_b,
+        "same plan, same workload, same injection count"
+    );
+    assert_eq!(
+        schedule_a, schedule_b,
+        "fault schedules must diff byte-identically"
+    );
+    assert_eq!(
+        lines_a, lines_b,
+        "replayed results must not differ in a single byte"
+    );
+    assert_eq!(
+        lines_a, reference,
+        "injected faults must never change what the client sees"
+    );
+
+    w1.stop();
+    w2.stop();
+}

@@ -175,6 +175,108 @@ fn worker_killed_mid_sweep_is_retried_on_the_survivor_byte_identically() {
     w2.stop();
 }
 
+/// A worker that is alive but stalled: it answers `hello` and `ping`
+/// promptly (so registration succeeds and health probes keep calling it
+/// healthy) but never replies to a job request until `stop` flips.
+fn stalling_worker() -> (
+    std::net::SocketAddr,
+    std::sync::Arc<std::sync::atomic::AtomicBool>,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind staller");
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_flag = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            if accept_flag.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(stream) = stream else { return };
+            let conn_flag = Arc::clone(&accept_flag);
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+                let mut writer = stream;
+                loop {
+                    let mut line = String::new();
+                    match reader.read_line(&mut line) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    let reply = if line.contains("\"hello\"") {
+                        format!(
+                            "{{\"ok\":true,\"type\":\"hello\",\"proto\":{},\"min_proto\":{},\
+                             \"client_proto\":{}}}\n",
+                            sharing_server::PROTO_VERSION,
+                            sharing_server::MIN_PROTO,
+                            sharing_server::PROTO_VERSION,
+                        )
+                    } else if line.contains("\"ping\"") {
+                        "{\"ok\":true,\"type\":\"pong\"}\n".to_string()
+                    } else {
+                        // A job: stall silently. The connection stays
+                        // open — slow, not dead.
+                        while !conn_flag.load(Ordering::SeqCst) {
+                            std::thread::sleep(std::time::Duration::from_millis(25));
+                        }
+                        return;
+                    };
+                    if writer.write_all(reply.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    (addr, stop)
+}
+
+#[test]
+fn slow_but_alive_worker_times_out_and_work_lands_on_the_survivor() {
+    let single = daemon();
+    let reference = raw_sweep(single.local_addr(), || {});
+    single.stop();
+
+    let (slow_addr, stop_staller) = stalling_worker();
+    let real = daemon();
+    let coord = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        remote_workers: vec![slow_addr.to_string(), real.local_addr().to_string()],
+        // Short enough that stalled exchanges time out quickly; the
+        // staller burns its retry budget, then its points re-queue.
+        job_timeout_ms: 300,
+        dispatch_retries: 1,
+        ping_interval_ms: 100,
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator");
+
+    let fanned = raw_sweep(coord.local_addr(), || {});
+    assert_eq!(
+        fanned, reference,
+        "a stalled worker must not change a single byte"
+    );
+
+    let text = metrics_text(coord.local_addr());
+    assert!(
+        sample(&text, "ssimd_dispatch_retries_total").is_some_and(|n| n >= 1.0),
+        "timeouts on the stalled worker must be counted as retries: {text}"
+    );
+    // The staller answered every health probe: it is slow, not dead, so
+    // the pool still counts both workers healthy.
+    assert_eq!(sample(&text, "ssimd_workers_healthy"), Some(2.0), "{text}");
+
+    coord.stop();
+    real.stop();
+    stop_staller.store(true, std::sync::atomic::Ordering::SeqCst);
+    // Unblock the staller's accept loop so its thread can exit.
+    let _ = TcpStream::connect(slow_addr);
+}
+
 #[test]
 fn coordinator_refuses_to_start_without_reachable_workers() {
     // Reserve an address that is then closed again: nothing listens there.

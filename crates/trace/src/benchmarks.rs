@@ -427,6 +427,64 @@ pub fn gcc_phase_trace(phase: usize, spec: &TraceSpec) -> Trace {
         .generate_single()
 }
 
+/// Names of the seeded workload profiles beyond the paper's 15
+/// benchmarks. They resolve through [`extra_profile`] and are accepted
+/// anywhere a benchmark name is (sweeps, the dc surface, chaos job
+/// mixes), but stay out of [`ALL_BENCHMARKS`] so the paper-faithful
+/// suite is unchanged.
+pub const EXTRA_PROFILES: [&str; 2] = ["bursty", "phaseshift"];
+
+/// Looks up an extra-suite profile by name (see [`EXTRA_PROFILES`]).
+#[must_use]
+pub fn extra_profile(name: &str) -> Option<WorkloadProfile> {
+    match name {
+        "bursty" => Some(bursty_profile()),
+        "phaseshift" => Some(phase_shift_profile()),
+        _ => None,
+    }
+}
+
+/// A bursty trace: short compute stretches over a tiny hot set,
+/// punctuated by wide streaming storms that blow through every cache
+/// size in range. The storms arrive in large spatial bursts, so the
+/// memory system sees idle-then-slammed behavior rather than a steady
+/// rate — the shape IaaS tail-latency studies call bursty arrivals.
+#[must_use]
+pub fn bursty_profile() -> WorkloadProfile {
+    WorkloadProfile::builder("bursty")
+        .chains(4)
+        .mem_frac(0.33)
+        .store_frac(0.30)
+        .branch_frac(0.12)
+        .hard_branches(0.10, 0.5)
+        .region(MemRegion::random(8 << 10, 0.55))
+        .region(MemRegion::streaming(16 << 20, 0.45, 8))
+        .spatial_burst(32)
+        .loops(6, 48, 150)
+        .build()
+}
+
+/// A phase-changing trace: the loop structure is split between a wide,
+/// streaming phase (compiler-front-end-like) and a narrow,
+/// pointer-chasing phase (allocation-like), so the optimal share
+/// configuration moves mid-run. Sweeps over it show no single knee —
+/// the signature that makes phase-adaptive reconfiguration pay.
+#[must_use]
+pub fn phase_shift_profile() -> WorkloadProfile {
+    WorkloadProfile::builder("phaseshift")
+        .chains(5)
+        .mem_frac(0.34)
+        .store_frac(0.28)
+        .branch_frac(0.16)
+        .hard_branches(0.18, 0.5)
+        .pointer_chase(0.25)
+        .region(MemRegion::random(8 << 10, 0.40))
+        .region(MemRegion::random(2 << 20, 0.30))
+        .region(MemRegion::streaming(8 << 20, 0.30, 24))
+        .loops(10, 80, 60)
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +558,39 @@ mod tests {
     #[should_panic(expected = "phases 1..=10")]
     fn gcc_phase_zero_panics() {
         let _ = gcc_phase_profile(0);
+    }
+
+    #[test]
+    fn extra_profiles_validate_and_resolve_by_name() {
+        for name in EXTRA_PROFILES {
+            let p = extra_profile(name).expect("registered");
+            assert!(p.validate().is_ok(), "{name}: {:?}", p.validate());
+            assert_eq!(p.name, name);
+            assert!(
+                Benchmark::from_name(name).is_none(),
+                "{name} must not shadow a suite benchmark"
+            );
+        }
+        assert!(extra_profile("nonesuch").is_none());
+    }
+
+    #[test]
+    fn extra_profiles_generate_and_differ() {
+        let spec = TraceSpec::new(5_000, 11);
+        let bursty = ProgramGenerator::new(&bursty_profile(), spec)
+            .expect("valid")
+            .generate_single();
+        let shift = ProgramGenerator::new(&phase_shift_profile(), spec)
+            .expect("valid")
+            .generate_single();
+        assert_eq!(bursty.len(), 5_000);
+        assert_eq!(shift.len(), 5_000);
+        assert_eq!(bursty.name(), "bursty");
+        assert_ne!(
+            bursty.stats().data_footprint,
+            shift.stats().data_footprint,
+            "the two extras should exercise different memory behavior"
+        );
     }
 
     #[test]

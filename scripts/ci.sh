@@ -90,6 +90,21 @@ diff "$TRACE_TMP/local.txt" <(grep -v '^served by' "$TRACE_TMP/fanout.txt")
 "$SSIM" submit --addr 127.0.0.1:42116 --shutdown >/dev/null
 wait "$W1" "$W2" "$COORD"
 
+echo "== chaos smoke: fixed-seed fault plan, replayed schedule and output =="
+# Two invocations of the same seeded plan (partition + sigkill + conn
+# drops over a 2-worker fleet) must inject the identical fault schedule
+# and print the identical report — replayable chaos, not noise.
+"$SSIM" chaos --seed 2014 --len 2000 \
+  --schedule-out "$TRACE_TMP/sched_a.txt" > "$TRACE_TMP/chaos_a.txt"
+"$SSIM" chaos --seed 2014 --len 2000 \
+  --schedule-out "$TRACE_TMP/sched_b.txt" > "$TRACE_TMP/chaos_b.txt"
+diff "$TRACE_TMP/sched_a.txt" "$TRACE_TMP/sched_b.txt"
+# The report names its schedule file; everything else must match.
+diff <(grep -v '^chaos: wrote schedule' "$TRACE_TMP/chaos_a.txt") \
+     <(grep -v '^chaos: wrote schedule' "$TRACE_TMP/chaos_b.txt")
+test -s "$TRACE_TMP/sched_a.txt"
+grep -q '^chaos: all invariants held' "$TRACE_TMP/chaos_a.txt"
+
 echo "== http smoke: serve --http + --pidfile, jobs over HTTP, SIGTERM drain =="
 PIDFILE="$TRACE_TMP/ssimd.pid"
 URL="http://127.0.0.1:42119"
