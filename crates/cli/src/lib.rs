@@ -32,6 +32,12 @@ pub enum Command {
     /// `ssim chaos …` — drive a worker fleet through a seeded fault plan
     /// and check the invariants hold.
     Chaos(ChaosArgs),
+    /// `ssim profile …` — cycle-attribution profile of one run: where
+    /// every simulated cycle went, conservation-exact per Slice.
+    Profile(ProfileArgs),
+    /// `ssim trace-pack in.jsonl out.json` — re-wrap a streamed span
+    /// JSONL file (from `serve --trace-out *.jsonl`) as Chrome trace JSON.
+    TracePack(TracePackArgs),
     /// `ssim list` — list available benchmarks.
     List,
     /// `ssim help` / `--help`.
@@ -116,6 +122,38 @@ pub struct DcArgs {
     pub trace_out: Option<String>,
 }
 
+/// Arguments for `ssim profile`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileArgs {
+    /// The workload to profile. The attribution runs on one VCore, so
+    /// only single-thread workloads are accepted (`execute` rejects
+    /// PARSEC and threaded extras with a clean error).
+    pub workload: Workload,
+    /// Slice count.
+    pub slices: usize,
+    /// L2 bank count.
+    pub banks: usize,
+    /// Trace length.
+    pub len: usize,
+    /// Trace seed.
+    pub seed: u64,
+    /// Optional JSON config file overriding Tables 2/3 parameters.
+    pub config_path: Option<String>,
+    /// Emit machine-readable JSON (`{"result":…,"profile":…}`) instead
+    /// of the per-Slice table.
+    pub json: bool,
+}
+
+/// Arguments for `ssim trace-pack`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TracePackArgs {
+    /// The streamed span JSONL file to read (complete lines only; a
+    /// truncated tail from a crashed daemon is skipped, not fatal).
+    pub input: String,
+    /// Where to write the Chrome trace JSON document.
+    pub output: String,
+}
+
 /// Arguments for `ssim serve`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServeArgs {
@@ -196,6 +234,10 @@ pub struct SubmitArgs {
     /// When set, talk to the daemon's HTTP front door at this base URL
     /// (e.g. `http://127.0.0.1:8080`) instead of the TCP protocol.
     pub url: Option<String>,
+    /// Distributed-trace id to stamp on the job envelope. The daemon
+    /// correlates every span the job produces (queue wait, dispatch,
+    /// remote execution) under this id in its `--trace-out` file.
+    pub trace: Option<u64>,
     /// The request to make.
     pub action: SubmitAction,
 }
@@ -295,16 +337,19 @@ USAGE:
                [--daemon HOST:PORT] [--csv-out FILE] [--trace-out FILE]
     ssim dc    (--scenario file.json | --emit-example)
                [--seed N] [--mode sharing|fixed] [--out DIR] [--trace-out FILE]
+    ssim profile --benchmark <name> [--slices N] [--banks N] [--len N]
+               [--seed N] [--config file.json] [--json]
     ssim serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
                [--cache-file PATH] [--trace-out FILE]
                [--http HOST:PORT] [--pidfile PATH]
                [--worker HOST:PORT]... [--retries N] [--job-timeout-ms N]
-    ssim submit [--addr HOST:PORT | --url http://HOST:PORT]
+    ssim submit [--addr HOST:PORT | --url http://HOST:PORT] [--trace ID]
                (--benchmark <name> [--slices N] [--banks N] [--len N] [--seed N]
                 | --dc scenario.json [--seed N] [--mode sharing|fixed]
                 | --ping | --hello | --stats | --metrics | --shutdown)
     ssim chaos [--plan plan.json | --seed N] [--workers N] [--base-port P]
                [--len N] [--schedule-out FILE]
+    ssim trace-pack <in.jsonl> <out.json>
     ssim config            emit the default configuration as JSON
     ssim list              list available benchmarks
     ssim help              this message
@@ -327,6 +372,10 @@ EXAMPLES:
     ssim submit --url http://127.0.0.1:8080 --benchmark mcf --slices 2
     ssim run --benchmark bursty --slices 2   # extra seeded profile
     ssim chaos --seed 2014 --schedule-out sched.txt
+    ssim profile --benchmark mcf --slices 4 --banks 8
+    ssim serve --trace-out fleet.trace.jsonl &   # streaming span sink
+    ssim submit --benchmark gcc --trace 42
+    ssim trace-pack fleet.trace.jsonl fleet.trace.json
 
 `ssim serve --http` adds an HTTP/1.1 front door (GET /health, /metrics,
 /status; POST /jobs + GET /jobs/<id> polling); `--pidfile` writes the
@@ -340,9 +389,19 @@ and the drain terminates. Setting SSIM_CHAOS_PLAN to plan JSON arms any
 `ssim serve` daemon directly; SSIM_CHAOS_SCHEDULE names a file its
 injection schedule is written to on graceful shutdown.
 
+`ssim profile` attributes every simulated cycle of a run to one of six
+buckets per Slice (fetch, issue, fu_busy, dram_stall, rob_full, idle);
+the buckets sum exactly to the run's total cycles, and same seed ⇒
+byte-identical output. Profiling never perturbs the simulated result.
+
 `--trace-out` writes Chrome trace_event JSON; open it in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing. Simulator spans use
-logical (simulated-cycle) time, so tracing never perturbs results."
+logical (simulated-cycle) time, so tracing never perturbs results.
+A `serve --trace-out` path ending in `.jsonl` streams spans through a
+bounded-buffer writer instead of dumping at exit (crash-safe; re-wrap
+with `ssim trace-pack`). `ssim submit --trace ID` stamps a distributed
+trace id on the job so coordinator dispatch spans and remote worker
+execution spans land in one merged trace under that id."
         .to_string()
 }
 
@@ -497,6 +556,51 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Dc(out))
         }
+        "profile" => {
+            let mut out = ProfileArgs {
+                workload: Workload::Benchmark(Benchmark::Gcc),
+                slices: 1,
+                banks: 2,
+                len: 60_000,
+                seed: 0xA5_2014,
+                config_path: None,
+                json: false,
+            };
+            let mut got_workload = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--benchmark" => {
+                        out.workload = parse_workload_name(take_value(flag, &mut it)?)?;
+                        got_workload = true;
+                    }
+                    "--slices" => out.slices = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--banks" => out.banks = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--len" => out.len = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--seed" => out.seed = parse_num(flag, take_value(flag, &mut it)?)?,
+                    "--config" => out.config_path = Some(take_value(flag, &mut it)?.clone()),
+                    "--json" => out.json = true,
+                    other => return Err(CliError::UnknownFlag(other.to_string())),
+                }
+            }
+            if !got_workload {
+                return Err(CliError::MissingValue("--benchmark".to_string()));
+            }
+            Ok(Command::Profile(out))
+        }
+        "trace-pack" => {
+            let input = it
+                .next()
+                .ok_or_else(|| CliError::MissingValue("<in.jsonl>".to_string()))?
+                .clone();
+            let output = it
+                .next()
+                .ok_or_else(|| CliError::MissingValue("<out.json>".to_string()))?
+                .clone();
+            if let Some(extra) = it.next() {
+                return Err(CliError::UnknownFlag(extra.to_string()));
+            }
+            Ok(Command::TracePack(TracePackArgs { input, output }))
+        }
         "serve" => {
             let mut out = ServeArgs {
                 addr: format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT),
@@ -536,6 +640,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "submit" => {
             let mut addr = format!("127.0.0.1:{}", sharing_server::DEFAULT_PORT);
             let mut url: Option<String> = None;
+            let mut trace: Option<u64> = None;
             let mut action: Option<SubmitAction> = None;
             let (mut slices, mut banks, mut len, mut seed) =
                 (1usize, 2usize, 60_000usize, 0xA5_2014u64);
@@ -546,6 +651,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 match flag.as_str() {
                     "--addr" => addr = take_value(flag, &mut it)?.clone(),
                     "--url" => url = Some(take_value(flag, &mut it)?.clone()),
+                    "--trace" => trace = Some(parse_num(flag, take_value(flag, &mut it)?)?),
                     "--benchmark" => {
                         let v = take_value(flag, &mut it)?;
                         benchmark = Some(
@@ -608,7 +714,19 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         .to_string(),
                 ));
             }
-            Ok(Command::Submit(SubmitArgs { addr, url, action }))
+            if trace.is_some()
+                && !matches!(action, SubmitAction::Run { .. } | SubmitAction::Dc { .. })
+            {
+                return Err(CliError::ConflictingFlags(
+                    "`--trace` only applies to jobs (--benchmark or --dc)".to_string(),
+                ));
+            }
+            Ok(Command::Submit(SubmitArgs {
+                addr,
+                url,
+                trace,
+                action,
+            }))
         }
         "chaos" => {
             let mut out = ChaosArgs {
@@ -642,7 +760,17 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
 }
 
 fn load_config(args: &RunArgs) -> Result<SimConfig, CliError> {
-    let mut cfg = match &args.config_path {
+    load_shaped_config(args.config_path.as_deref(), args.slices, args.banks)
+}
+
+/// Loads an optional config file and applies the shape flags on top
+/// (shared by `run` and `profile`).
+fn load_shaped_config(
+    config_path: Option<&str>,
+    slices: usize,
+    banks: usize,
+) -> Result<SimConfig, CliError> {
+    let mut cfg = match config_path {
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadConfig(format!("{path}: {e}")))?;
@@ -655,14 +783,83 @@ fn load_config(args: &RunArgs) -> Result<SimConfig, CliError> {
     };
     // Shape flags override the file.
     cfg = SimConfig::builder()
-        .slices(args.slices)
-        .l2_banks(args.banks)
+        .slices(slices)
+        .l2_banks(banks)
         .slice_params(cfg.slice)
         .mem_params(cfg.mem)
         .knobs(cfg.knobs)
         .build()
         .map_err(|e| CliError::BadSimConfig(e.to_string()))?;
     Ok(cfg)
+}
+
+/// Runs `ssim profile`: one single-thread workload through
+/// [`Simulator::run_profiled`], reporting the conservation-exact
+/// per-Slice cycle attribution. Same seed ⇒ byte-identical output.
+fn execute_profile(args: &ProfileArgs) -> Result<String, CliError> {
+    let cfg = load_shaped_config(args.config_path.as_deref(), args.slices, args.banks)?;
+    let spec = TraceSpec::new(args.len, args.seed);
+    let traces = TraceCache::global();
+    let trace = match &args.workload {
+        Workload::Benchmark(b) => {
+            if b.is_parsec() {
+                return Err(CliError::ConflictingFlags(format!(
+                    "`ssim profile` attributes cycles on one VCore; `{}` is a threaded PARSEC \
+                     benchmark — pick a single-thread one (see `ssim list`)",
+                    b.name()
+                )));
+            }
+            traces.single(*b, &spec)
+        }
+        Workload::Extra(name) => {
+            let profile =
+                extra_profile(name).ok_or_else(|| CliError::UnknownBenchmark(name.clone()))?;
+            if profile.threads > 1 {
+                return Err(CliError::ConflictingFlags(format!(
+                    "`ssim profile` attributes cycles on one VCore; extra profile `{name}` is \
+                     threaded — pick a single-thread workload (see `ssim list`)"
+                )));
+            }
+            traces
+                .profile_single(&profile, &spec)
+                .map_err(CliError::BadProfile)?
+        }
+        other => {
+            return Err(CliError::ConflictingFlags(format!(
+                "`ssim profile` takes --benchmark only (got {other:?})"
+            )));
+        }
+    };
+    let sim = Simulator::new(cfg).expect("validated config");
+    let (result, profile) = sim.run_profiled(&trace);
+    if args.json {
+        return Ok(format!(
+            "{{\"result\":{},\"profile\":{}}}",
+            sharing_json::to_string(&result),
+            sharing_json::to_string(&profile)
+        ));
+    }
+    let mut out = format!("{}\n\n", result.summary());
+    out.push_str(&profile.table());
+    Ok(out)
+}
+
+/// Runs `ssim trace-pack`: re-wraps a streamed span JSONL file as a
+/// Chrome trace document. Incomplete trailing lines (a daemon killed
+/// mid-write) are skipped, not fatal — that is the point of streaming.
+fn execute_trace_pack(args: &TracePackArgs) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(&args.input)
+        .map_err(|e| CliError::TraceOut(format!("{}: {e}", args.input)))?;
+    let (doc, skipped) = sharing_obs::jsonl_to_chrome(&text);
+    std::fs::write(&args.output, &doc)
+        .map_err(|e| CliError::TraceOut(format!("{}: {e}", args.output)))?;
+    let total = text.lines().filter(|l| !l.trim().is_empty()).count();
+    Ok(format!(
+        "trace-pack: {} -> {}: {} span(s) packed, {skipped} skipped",
+        args.input,
+        args.output,
+        total - skipped
+    ))
 }
 
 fn run_one(
@@ -838,6 +1035,31 @@ fn save_trace(buf: &TraceBuffer, path: &str) -> Result<(), CliError> {
         .map_err(|e| CliError::TraceOut(format!("{path}: {e}")))
 }
 
+/// Submits a job (optionally stamped with a distributed-trace id) and
+/// returns the final reply line. A traced daemon streams `spans` lines
+/// ahead of the result; they are acknowledged on stderr so stdout stays
+/// the reply alone.
+fn submit_final(
+    client: &mut sharing_server::Client,
+    job: sharing_server::Job,
+    trace: Option<u64>,
+) -> Result<sharing_json::Json, CliError> {
+    let mut lines = client
+        .submit_all_traced(job, trace)
+        .map_err(|e| CliError::Server(e.to_string()))?;
+    let reply = lines
+        .pop()
+        .ok_or_else(|| CliError::Server("job produced no reply".to_string()))?;
+    if let Some(id) = trace {
+        let spans = lines
+            .iter()
+            .filter(|l| l.get("type").and_then(|v| v.as_str()) == Some("spans"))
+            .count();
+        eprintln!("ssim submit: trace {id}: {spans} span batch(es) received");
+    }
+    Ok(reply)
+}
+
 /// Reads and validates a scenario JSON file.
 fn load_scenario(path: &str) -> Result<Scenario, CliError> {
     let text =
@@ -922,6 +1144,7 @@ fn http_submit(url: &str, args: &SubmitArgs) -> Result<String, CliError> {
     let env = sharing_server::Envelope {
         id: None,
         proto: Some(sharing_server::PROTO_VERSION),
+        trace: args.trace,
         req: sharing_server::Request::Job(job),
     };
     let (status, body) = call("POST", "/jobs", Some(env.to_line().as_bytes()))?;
@@ -1505,6 +1728,8 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         }
         Command::Dc(args) => execute_dc(args),
         Command::Chaos(args) => execute_chaos(args),
+        Command::Profile(args) => execute_profile(args),
+        Command::TracePack(args) => execute_trace_pack(args),
         Command::Serve(args) => {
             let mut cfg = sharing_server::ServerConfig {
                 addr: args.addr.clone(),
@@ -1619,28 +1844,32 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                     banks,
                     len,
                     seed,
-                } => client
-                    .submit(sharing_server::Job::Run(sharing_server::RunJob {
+                } => submit_final(
+                    &mut client,
+                    sharing_server::Job::Run(sharing_server::RunJob {
                         workload: sharing_server::JobWorkload::Benchmark(*benchmark),
                         slices: *slices,
                         banks: *banks,
                         len: *len,
                         seed: *seed,
-                    }))
-                    .map_err(|e| CliError::Server(e.to_string()))?,
+                    }),
+                    args.trace,
+                )?,
                 SubmitAction::Dc {
                     scenario_path,
                     seed,
                     mode,
                 } => {
                     let scenario = load_scenario(scenario_path)?;
-                    client
-                        .submit(sharing_server::Job::Dc(Box::new(sharing_server::DcJob {
+                    submit_final(
+                        &mut client,
+                        sharing_server::Job::Dc(Box::new(sharing_server::DcJob {
                             scenario,
                             seed: *seed,
                             mode: *mode,
-                        })))
-                        .map_err(|e| CliError::Server(e.to_string()))?
+                        })),
+                        args.trace,
+                    )?
                 }
             };
             if reply.get("ok").and_then(|v| v.as_bool()) == Some(false) {
@@ -2293,6 +2522,7 @@ mod server_tests {
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
             url: None,
+            trace: None,
             action: SubmitAction::Ping,
         }))
         .unwrap();
@@ -2301,6 +2531,7 @@ mod server_tests {
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
             url: None,
+            trace: None,
             action: SubmitAction::Hello,
         }))
         .unwrap();
@@ -2312,6 +2543,7 @@ mod server_tests {
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
             url: None,
+            trace: None,
             action: SubmitAction::Run {
                 benchmark: Benchmark::Gcc,
                 slices: 2,
@@ -2333,6 +2565,7 @@ mod server_tests {
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
             url: None,
+            trace: None,
             action: SubmitAction::Stats,
         }))
         .unwrap();
@@ -2342,6 +2575,7 @@ mod server_tests {
         let out = execute(&Command::Submit(SubmitArgs {
             addr: addr.clone(),
             url: None,
+            trace: None,
             action: SubmitAction::Shutdown,
         }))
         .unwrap();
@@ -2353,6 +2587,7 @@ mod server_tests {
             execute(&Command::Submit(SubmitArgs {
                 addr,
                 url: None,
+                trace: None,
                 action: SubmitAction::Ping,
             })),
             Err(CliError::Server(_))
@@ -2491,6 +2726,7 @@ mod dc_tests {
         let reply = execute(&Command::Submit(SubmitArgs {
             addr: handle.local_addr().to_string(),
             url: None,
+            trace: None,
             action: SubmitAction::Dc {
                 scenario_path: scenario.to_string_lossy().into_owned(),
                 seed: 3,
@@ -2632,6 +2868,219 @@ mod profile_tests {
         let cmd = parse(&s(&["run", "--profile", path.to_str().unwrap()])).unwrap();
         assert!(matches!(execute(&cmd), Err(CliError::BadProfile(_))));
         let _ = std::fs::remove_file(path);
+    }
+}
+
+#[cfg(test)]
+mod observability_tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_profile_flags() {
+        let cmd = parse(&s(&[
+            "profile",
+            "--benchmark",
+            "mcf",
+            "--slices",
+            "4",
+            "--banks",
+            "8",
+            "--len",
+            "900",
+            "--seed",
+            "6",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile(ProfileArgs {
+                workload: Workload::Benchmark(Benchmark::Mcf),
+                slices: 4,
+                banks: 8,
+                len: 900,
+                seed: 6,
+                config_path: None,
+                json: true,
+            })
+        );
+        assert_eq!(
+            parse(&s(&["profile"])),
+            Err(CliError::MissingValue("--benchmark".to_string()))
+        );
+        assert!(matches!(
+            parse(&s(&["profile", "--benchmark", "gcc", "--trace-out", "x"])),
+            Err(CliError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parses_trace_pack_and_submit_trace() {
+        assert_eq!(
+            parse(&s(&["trace-pack", "in.jsonl", "out.json"])).unwrap(),
+            Command::TracePack(TracePackArgs {
+                input: "in.jsonl".to_string(),
+                output: "out.json".to_string(),
+            })
+        );
+        assert!(matches!(
+            parse(&s(&["trace-pack", "in.jsonl"])),
+            Err(CliError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&s(&["trace-pack", "a", "b", "c"])),
+            Err(CliError::UnknownFlag(_))
+        ));
+
+        match parse(&s(&["submit", "--benchmark", "gcc", "--trace", "42"])).unwrap() {
+            Command::Submit(a) => assert_eq!(a.trace, Some(42)),
+            other => panic!("expected submit, got {other:?}"),
+        }
+        // A trace id is meaningless on control requests.
+        assert!(matches!(
+            parse(&s(&["submit", "--ping", "--trace", "7"])),
+            Err(CliError::ConflictingFlags(_))
+        ));
+    }
+
+    #[test]
+    fn profile_conserves_cycles_and_is_byte_identical() {
+        let cmd = parse(&s(&[
+            "profile",
+            "--benchmark",
+            "gcc",
+            "--slices",
+            "2",
+            "--len",
+            "800",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let a = execute(&cmd).unwrap();
+        let b = execute(&cmd).unwrap();
+        assert_eq!(a, b, "same seed must give byte-identical profiles");
+        assert!(a.contains("conserved true"), "{a}");
+        for bucket in sharing_core::profile::BUCKET_NAMES {
+            assert!(a.contains(bucket), "missing bucket {bucket}:\n{a}");
+        }
+    }
+
+    #[test]
+    fn profile_json_buckets_sum_to_total_cycles() {
+        let cmd = parse(&s(&[
+            "profile",
+            "--benchmark",
+            "mcf",
+            "--len",
+            "700",
+            "--json",
+        ]))
+        .unwrap();
+        let out = execute(&cmd).unwrap();
+        let v = sharing_json::Json::parse(&out).unwrap();
+        let cycles = v
+            .get("result")
+            .and_then(|r| r.get("cycles"))
+            .and_then(|x| x.as_int())
+            .unwrap();
+        let profile: sharing_core::profile::CycleProfile =
+            sharing_json::from_str(&sharing_json::to_string(v.get("profile").unwrap())).unwrap();
+        assert_eq!(i128::from(profile.cycles), cycles);
+        assert!(profile.conserved(), "{profile:?}");
+    }
+
+    #[test]
+    fn profile_rejects_threaded_workloads() {
+        let parsec = ALL_BENCHMARKS
+            .iter()
+            .find(|b| b.is_parsec())
+            .expect("suite has PARSEC benchmarks");
+        let cmd = Command::Profile(ProfileArgs {
+            workload: Workload::Benchmark(*parsec),
+            slices: 1,
+            banks: 2,
+            len: 400,
+            seed: 1,
+            config_path: None,
+            json: false,
+        });
+        assert!(matches!(execute(&cmd), Err(CliError::ConflictingFlags(_))));
+    }
+
+    #[test]
+    fn trace_pack_rewraps_streamed_jsonl_and_skips_torn_tail() {
+        let dir = std::env::temp_dir();
+        let jsonl = dir.join(format!("ssim-test-pack-{}.jsonl", std::process::id()));
+        let packed = dir.join(format!("ssim-test-pack-{}.json", std::process::id()));
+        std::fs::write(
+            &jsonl,
+            "{\"name\":\"a\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":0,\"dur\":5,\"pid\":1,\"tid\":0}\n\
+             {\"name\":\"b\",\"cat\":\"test\",\"ph\":\"X\",\"ts\":5,\"dur\":3,\"pid\":1,\"tid\":0}\n\
+             {\"name\":\"torn",
+        )
+        .unwrap();
+        let msg = execute(&Command::TracePack(TracePackArgs {
+            input: jsonl.to_string_lossy().into_owned(),
+            output: packed.to_string_lossy().into_owned(),
+        }))
+        .unwrap();
+        assert!(msg.contains("2 span(s) packed, 1 skipped"), "{msg}");
+        let doc = std::fs::read_to_string(&packed).unwrap();
+        let v = sharing_json::Json::parse(&doc).expect("packed doc must be valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        for name in ["a", "b"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(name)),
+                "missing span {name}"
+            );
+        }
+        let _ = std::fs::remove_file(&jsonl);
+        let _ = std::fs::remove_file(&packed);
+    }
+
+    #[test]
+    fn traced_submit_lands_spans_in_the_streaming_sink() {
+        let path = std::env::temp_dir().join(format!(
+            "ssim-test-traced-{}.trace.jsonl",
+            std::process::id()
+        ));
+        let handle = sharing_server::Server::start(sharing_server::ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_capacity: 4,
+            cache_capacity: 16,
+            trace_path: Some(path.to_string_lossy().into_owned()),
+            ..sharing_server::ServerConfig::default()
+        })
+        .unwrap();
+        let out = execute(&Command::Submit(SubmitArgs {
+            addr: handle.local_addr().to_string(),
+            url: None,
+            trace: Some(777),
+            action: SubmitAction::Run {
+                benchmark: Benchmark::Gcc,
+                slices: 1,
+                banks: 2,
+                len: 400,
+                seed: 3,
+            },
+        }))
+        .unwrap();
+        let v = sharing_json::Json::parse(&out).unwrap();
+        assert_eq!(v.get("ok").and_then(|x| x.as_bool()), Some(true));
+        handle.stop();
+
+        // The streamed sink holds the job's spans, tagged with the id.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"trace\":777"), "no trace id in:\n{text}");
+        let _ = std::fs::remove_file(&path);
     }
 }
 

@@ -452,6 +452,9 @@ pub struct VCoreEngine {
     result: SimResult,
     /// Timing log (only populated when detail recording is on).
     record: Option<Vec<InstTiming>>,
+    /// Cycle-attribution state (only with [`Self::enable_profiling`]).
+    #[cfg(feature = "profile")]
+    profile: Option<ProfileState>,
     /// Dataflow verification state (only with [`Self::enable_verification`]).
     verify: Option<VerifyState>,
     /// Global History Register (gshare mode): the up-to-date history…
@@ -461,6 +464,16 @@ pub struct VCoreEngine {
     /// stale (§3.1: the GHR is "composed across Slices … with appropriate
     /// delay").
     ghr_in_flight: VecDeque<u64>,
+}
+
+/// Cycle-attribution accounting (see [`crate::profile`]): the buckets
+/// charged so far plus, per Slice, the commit frontier below which every
+/// cycle has already been attributed.
+#[cfg(feature = "profile")]
+#[derive(Debug, Default)]
+struct ProfileState {
+    per_slice: Vec<crate::profile::SliceCycles>,
+    frontier: Vec<u64>,
 }
 
 /// State for dataflow verification: the engine computes the architectural
@@ -546,6 +559,8 @@ impl VCoreEngine {
             seq: 0,
             result: SimResult::default(),
             record: None,
+            #[cfg(feature = "profile")]
+            profile: None,
             verify: None,
             ghr: 0,
             ghr_in_flight: VecDeque::new(),
@@ -562,6 +577,36 @@ impl VCoreEngine {
     /// committed stream with [`Self::committed_values`].
     pub fn enable_verification(&mut self) {
         self.verify = Some(VerifyState::default());
+    }
+
+    /// Arms the cycle-attribution profiler (see [`crate::profile`]).
+    /// Pure observation: arming it cannot change any timing result.
+    #[cfg(feature = "profile")]
+    pub fn enable_profiling(&mut self) {
+        let n = self.cfg.slices();
+        self.profile = Some(ProfileState {
+            per_slice: vec![crate::profile::SliceCycles::default(); n],
+            frontier: vec![0; n],
+        });
+    }
+
+    /// The cycle attribution so far, if profiling is enabled. Each
+    /// Slice's idle bucket is topped up to the current cycle count, so
+    /// the conservation law (buckets sum to [`Self::cycles`]) holds at
+    /// any point, not just at the end of the run.
+    #[cfg(feature = "profile")]
+    #[must_use]
+    pub fn cycle_profile(&self) -> Option<crate::profile::CycleProfile> {
+        let p = self.profile.as_ref()?;
+        let total = self.prev_commit;
+        let mut per_slice = p.per_slice.clone();
+        for (sc, &frontier) in per_slice.iter_mut().zip(&p.frontier) {
+            sc.idle += total - frontier;
+        }
+        Some(crate::profile::CycleProfile {
+            cycles: total,
+            per_slice,
+        })
     }
 
     /// The committed destination-value stream (one entry per
@@ -815,6 +860,13 @@ impl VCoreEngine {
         // (an instruction may read and write the same register).
         let sv0 = inst.srcs[0].map_or(0, |r| self.reg[r.index()].value);
         let sv1 = inst.srcs[1].map_or(0, |r| self.reg[r.index()].value);
+        // Dispatch-stall watermark for the profiler's backpressure bucket
+        // (three adds; kept unconditional so `profile_commit` below can be
+        // the only profiling branch on the path).
+        let stall_mark = {
+            let st = &self.result.stalls;
+            st.rob_full + st.freelist_empty + st.window_full
+        };
 
         // ---- Dispatch (decode + two-stage rename) ----
         let mut dispatch =
@@ -841,6 +893,10 @@ impl VCoreEngine {
             self.slices[s].alu_window.available_at(dispatch)
         };
         dispatch = self.acquire_with_backpressure(dispatch, avail, |st| &mut st.window_full);
+        let dispatch_stall = {
+            let st = &self.result.stalls;
+            st.rob_full + st.freelist_empty + st.window_full - stall_mark
+        };
 
         // ---- Operand readiness ----
         let mut ready = dispatch + 1;
@@ -850,10 +906,14 @@ impl VCoreEngine {
 
         // ---- Issue & execute ----
         let mut dst_value = sharing_isa::interp::mix(inst.pc, sv0, sv1);
+        // Beyond-L2 memory cycles on this instruction's own miss path
+        // (loads only) — the profiler's DRAM bucket.
+        let mut mem_stall = 0u64;
         let (issue, exec_done) = match inst.kind {
             InstKind::Load { addr, .. } => {
-                let (issue, exec_done, forwarded) =
+                let (issue, exec_done, forwarded, load_mem_stall) =
                     self.do_load(mem, inst, seq, s, dispatch, ready, addr);
+                mem_stall = load_mem_stall;
                 if let Some(v) = &self.verify {
                     // The load observes either the forwarded store's value
                     // or the memory image — which must agree with program
@@ -1049,6 +1109,16 @@ impl VCoreEngine {
                 commit,
             });
         }
+        self.profile_commit(
+            s,
+            fetch,
+            dispatch,
+            issue,
+            exec_done,
+            commit,
+            mem_stall,
+            dispatch_stall,
+        );
 
         // Keep the store map bounded: drop entries long since drained.
         if self.store_map.len() > 8192 {
@@ -1058,8 +1128,70 @@ impl VCoreEngine {
         }
     }
 
+    /// Attributes the commit-to-commit gap this instruction owns on its
+    /// Slice to the profiler's buckets (see [`crate::profile`]): commit
+    /// times are globally monotone, so `commit − frontier[s]` is exactly
+    /// the not-yet-accounted stretch of Slice `s`'s timeline. It is
+    /// charged backward through the instruction's own intervals, each
+    /// charge capped by what is still unattributed, so overlapped
+    /// latencies can never over-count and the buckets always partition
+    /// the timeline. Reads timestamps only — never feeds back into
+    /// timing.
+    #[cfg(feature = "profile")]
+    #[allow(clippy::too_many_arguments)]
+    fn profile_commit(
+        &mut self,
+        s: usize,
+        fetch: u64,
+        dispatch: u64,
+        issue: u64,
+        exec_done: u64,
+        commit: u64,
+        mem_stall: u64,
+        dispatch_stall: u64,
+    ) {
+        let Some(p) = &mut self.profile else { return };
+        let gap = commit - p.frontier[s];
+        p.frontier[s] = commit;
+        let sc = &mut p.per_slice[s];
+        let mut remaining = gap;
+        let mut charge = |slot: &mut u64, amount: u64| {
+            let take = amount.min(remaining);
+            *slot += take;
+            remaining -= take;
+        };
+        charge(&mut sc.dram_stall, mem_stall);
+        charge(
+            &mut sc.fu_busy,
+            (exec_done - issue).saturating_sub(mem_stall),
+        );
+        charge(&mut sc.issue, issue - dispatch);
+        charge(&mut sc.rob_full, dispatch_stall);
+        charge(&mut sc.fetch, dispatch - fetch);
+        sc.idle += remaining;
+    }
+
+    /// No-op twin of the profiling hook so the call site needs no cfg.
+    #[cfg(not(feature = "profile"))]
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    fn profile_commit(
+        &mut self,
+        _s: usize,
+        _fetch: u64,
+        _dispatch: u64,
+        _issue: u64,
+        _exec_done: u64,
+        _commit: u64,
+        _mem_stall: u64,
+        _dispatch_stall: u64,
+    ) {
+    }
+
     /// Load timing: AGU → sort to home bank → speculative access with
-    /// forwarding/violation → data return (§3.5/§3.6).
+    /// forwarding/violation → data return (§3.5/§3.6). The final element
+    /// of the return is the beyond-L2 memory time on this load's own
+    /// miss path (zero on hits and forwards), for the profiler.
     #[allow(clippy::too_many_arguments)]
     fn do_load(
         &mut self,
@@ -1070,7 +1202,8 @@ impl VCoreEngine {
         _dispatch: u64,
         ready: u64,
         addr: u64,
-    ) -> (u64, u64, Option<u64>) {
+    ) -> (u64, u64, Option<u64>, u64) {
+        let mut mem_stall = 0u64;
         let issue = self.slices[s].lsu.issue_at(ready, 1);
         let addr_ready = issue + 1;
         let line = addr >> 6;
@@ -1133,6 +1266,7 @@ impl VCoreEngine {
                 } else {
                     // Non-blocking miss through the MSHRs.
                     let (extra, ci, cf) = mem.beyond_l1(self.vcore_id, line, false, t);
+                    mem_stall = u64::from(extra);
                     self.result.mem.coherence_invalidations += ci;
                     self.result.mem.coherence_forwards += cf;
                     let fill = t + u64::from(self.cfg.mem.l1_hit) + u64::from(extra);
@@ -1155,7 +1289,7 @@ impl VCoreEngine {
         // Data returns to the issuing Slice over the network.
         let exec_done = data_at_home + self.ls_latency(home, s);
         self.slices[home].lsq_bank.occupy(t, exec_done);
-        (issue, exec_done, forwarded)
+        (issue, exec_done, forwarded, mem_stall)
     }
 
     /// Finalizes and returns the result, aggregating per-Slice counters.

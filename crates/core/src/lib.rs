@@ -12,6 +12,9 @@
 //! * [`run_phased`] — dynamic reconfiguration across program phases with
 //!   the paper's 500/10 000-cycle costs (§5.10);
 //! * [`engine`] — the underlying timing model, exposed for composition;
+//! * [`profile`] — conservation-exact cycle attribution (the `profile`
+//!   feature, on by default): every simulated cycle of every Slice binned
+//!   into fetch/issue/FU-busy/DRAM-stall/ROB-full/idle;
 //! * [`structures`] — Table 1's replicated-vs-partitioned encoding.
 //!
 //! # Example
@@ -36,6 +39,7 @@ pub mod engine;
 pub mod multi;
 pub mod par;
 pub mod predictor;
+pub mod profile;
 pub mod reconfig;
 pub mod reconfigurable;
 pub mod sim;
@@ -49,6 +53,7 @@ pub use config::{
 };
 pub use engine::{InstTiming, MemorySystem, VCoreEngine};
 pub use multi::VmSimulator;
+pub use profile::{CycleProfile, SliceCycles};
 pub use reconfig::ReconfigCosts;
 pub use reconfigurable::ReconfigurableVCore;
 pub use sim::{run_phased, Simulator};

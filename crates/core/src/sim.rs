@@ -156,6 +156,28 @@ impl Simulator {
         (result, committed == reference)
     }
 
+    /// Runs a trace with the cycle-attribution profiler armed and
+    /// returns the profile alongside the result (see [`crate::profile`]).
+    /// The accounting is pure observation, so the [`SimResult`] is
+    /// bit-identical to [`Self::run`]'s, and the profile itself is
+    /// deterministic: same trace, same shape, same bytes. Bucket totals
+    /// are also accumulated into the process-global obs registry
+    /// (`ssim_profile_<bucket>_cycles_total`).
+    #[cfg(feature = "profile")]
+    #[must_use]
+    pub fn run_profiled(&self, trace: &Trace) -> (SimResult, crate::profile::CycleProfile) {
+        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
+        let mut engine = VCoreEngine::new(self.cfg, 0);
+        engine.enable_profiling();
+        engine.run_chunk(&mut mem, trace.insts());
+        let profile = engine.cycle_profile().expect("profiling enabled");
+        let mut result = engine.finish(trace.name());
+        VCoreEngine::absorb_mem_stats(&mut result, &mem);
+        observe_run(&result);
+        crate::profile::observe_profile(&profile);
+        (result, profile)
+    }
+
     /// Runs a trace and returns per-instruction timing records alongside
     /// the result (tests/debugging; memory grows with trace length).
     #[must_use]
@@ -272,6 +294,69 @@ mod tests {
             assert!(t.slice < 4);
             prev_commit = t.commit;
         }
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profile_buckets_conserve_cycles_at_every_shape() {
+        for (s, b) in [(1usize, 2usize), (2, 0), (4, 4), (8, 2)] {
+            let cfg = SimConfig::with_shape(s, b).unwrap();
+            let (r, p) = Simulator::new(cfg).unwrap().run_profiled(&gcc(5_000));
+            assert_eq!(p.cycles, r.cycles);
+            assert_eq!(p.per_slice.len(), s);
+            for (i, sc) in p.per_slice.iter().enumerate() {
+                assert_eq!(
+                    sc.total(),
+                    p.cycles,
+                    "slice {i} of {s}s/{b}b leaked cycles: {sc:?}"
+                );
+            }
+            assert!(p.conserved());
+        }
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profiling_is_pure_observation() {
+        // Arming the profiler must not change the result by a single bit,
+        // and the profile itself must be byte-identical across runs.
+        let cfg = SimConfig::with_shape(4, 2).unwrap();
+        let t = gcc(4_000);
+        let sim = Simulator::new(cfg).unwrap();
+        let plain = sim.run(&t);
+        let (a_result, a) = sim.run_profiled(&t);
+        let (b_result, b) = sim.run_profiled(&t);
+        assert_eq!(plain, a_result, "profiling perturbed the result");
+        assert_eq!(a_result, b_result);
+        assert_eq!(a, b);
+        assert_eq!(sharing_json::to_string(&a), sharing_json::to_string(&b));
+    }
+
+    #[cfg(feature = "profile")]
+    #[test]
+    fn profile_sees_dram_on_memory_bound_work_and_not_on_alu_work() {
+        use sharing_isa::{ArchReg, DynInst, MemSize};
+        // Strided loads with no L2: beyond-L1 time must show up as DRAM.
+        let loads: Vec<DynInst> = (0..2_000)
+            .map(|i| DynInst::load(4 * i, ArchReg::new(1), None, 0x1000 + 64 * i, MemSize::B8))
+            .collect();
+        let cfg = SimConfig::with_shape(1, 0).unwrap();
+        let (_, p) = Simulator::new(cfg)
+            .unwrap()
+            .run_profiled(&Trace::from_insts("ld", loads));
+        let t = p.totals();
+        assert!(
+            t.dram_stall > p.cycles / 2,
+            "memory-bound run must be DRAM-dominated: {t:?} of {} cycles",
+            p.cycles
+        );
+        // A pure dependent-ALU chain never leaves the core.
+        let r = ArchReg::new(1);
+        let alus: Vec<DynInst> = (0..2_000).map(|i| DynInst::alu(4 * i, r, &[r])).collect();
+        let (_, p) = Simulator::new(cfg)
+            .unwrap()
+            .run_profiled(&Trace::from_insts("alu", alus));
+        assert_eq!(p.totals().dram_stall, 0, "ALU chain cannot touch DRAM");
     }
 
     #[test]

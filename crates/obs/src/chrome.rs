@@ -33,6 +33,20 @@ fn metadata(pid: u64, label: &str) -> Json {
     ])
 }
 
+/// One process-name metadata record as a Chrome event object (used by
+/// the full-document exporter and by [`crate::sink::jsonl_to_chrome`]).
+#[must_use]
+pub fn metadata_json(pid: u64, label: &str) -> Json {
+    metadata(pid, label)
+}
+
+/// Renders one span as its Chrome `trace_event` JSON object — the line
+/// format of the streaming [`crate::sink::SpanSink`].
+#[must_use]
+pub fn event_json(ev: &SpanEvent) -> Json {
+    event(ev)
+}
+
 fn event(ev: &SpanEvent) -> Json {
     let ph = match ev.phase {
         Phase::Complete => "X",

@@ -21,7 +21,12 @@
 //!   percentile helper the ssimd metrics endpoint uses;
 //! * [`hist`] — [`Histogram`], fixed log-scale buckets behind atomic
 //!   counters, exposed as Prometheus `*_bucket`/`*_sum`/`*_count`
-//!   families by [`PromWriter::histogram`](prom::PromWriter::histogram).
+//!   families by [`PromWriter::histogram`](prom::PromWriter::histogram);
+//! * [`sink`] — [`SpanSink`], a bounded-buffer JSONL writer thread a
+//!   [`TraceBuffer`] can stream into (one Chrome event per line,
+//!   flushed per line), so long daemon runs and killed processes still
+//!   yield usable traces; overflow drops are counted in
+//!   `obs_spans_dropped_total`, never blocking the emitter.
 //!
 //! # The two-clock model
 //!
@@ -64,9 +69,11 @@ pub mod chrome;
 pub mod hist;
 pub mod prom;
 pub mod registry;
+pub mod sink;
 pub mod span;
 
 pub use hist::Histogram;
-pub use prom::{percentile, PromWriter};
+pub use prom::{escape_label, inject_label, percentile, PromWriter};
 pub use registry::{counter, gauge, prometheus_text, Counter, Gauge};
+pub use sink::{jsonl_to_chrome, SpanSink, SPANS_DROPPED_COUNTER};
 pub use span::{Clock, Phase, SpanEvent, SpanGuard, TraceBuffer};

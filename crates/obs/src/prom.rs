@@ -17,11 +17,44 @@ fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn escape_label(value: &str) -> String {
+/// Escapes a label *value* per the exposition format: backslash, double
+/// quote, and newline. Public because the ssimd metrics federator needs
+/// the same escaping when it stamps `instance="worker:<k>"` onto
+/// relayed worker samples.
+#[must_use]
+pub fn escape_label(value: &str) -> String {
     value
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Rewrites one exposition document so every sample line carries an
+/// extra `label="value"` pair — the metrics-federation primitive: a
+/// coordinator relays each worker's scrape under
+/// `instance="worker:<k>"`. Comment (`# HELP`/`# TYPE`) lines are
+/// dropped, because the coordinator already emitted headers for its own
+/// families and duplicate headers are invalid exposition text; blank
+/// lines are dropped too. The metric name never contains `{`, `"` or a
+/// space, so splitting at the first `{` or space is exact even when
+/// existing label values contain braces or escaped quotes.
+#[must_use]
+pub fn inject_label(doc: &str, label: &str, value: &str) -> String {
+    let escaped = escape_label(value);
+    let mut out = String::with_capacity(doc.len() + 32);
+    for line in doc.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cut = line.find(['{', ' ']).unwrap_or(line.len());
+        let (name, rest) = line.split_at(cut);
+        if let Some(labels) = rest.strip_prefix('{') {
+            let _ = writeln!(out, "{name}{{{label}=\"{escaped}\",{labels}");
+        } else {
+            let _ = writeln!(out, "{name}{{{label}=\"{escaped}\"}}{rest}");
+        }
+    }
+    out
 }
 
 impl PromWriter {
@@ -78,6 +111,37 @@ impl PromWriter {
     pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
         self.header(name, help, "gauge");
         let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One sample line with an arbitrary label set (no header — pair
+    /// with [`PromWriter::header_only`] or a preceding family call).
+    /// Every label value is escaped.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        if labels.is_empty() {
+            let _ = writeln!(self.out, "{name} {value}");
+            return;
+        }
+        let _ = write!(self.out, "{name}{{");
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+        }
+        let _ = writeln!(self.out, "}} {value}");
+    }
+
+    /// Just the `# HELP`/`# TYPE` header for a family whose samples are
+    /// emitted via [`PromWriter::sample`].
+    pub fn header_only(&mut self, name: &str, help: &str, ty: &str) {
+        self.header(name, help, ty);
+    }
+
+    /// An info-style gauge: constant value `1`, identity in the labels
+    /// (the `ssimd_build_info{version=...,features=...}` idiom).
+    pub fn info(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) {
+        self.header(name, help, "gauge");
+        self.sample(name, labels, 1);
     }
 
     /// A summary: quantile sample lines plus `_count`. `quantiles` pairs
@@ -168,6 +232,63 @@ mod tests {
         let mut w = PromWriter::new();
         w.counter_family("m_total", "m", "k", &[("a\"b", 1)]);
         assert!(w.finish().contains("m_total{k=\"a\\\"b\"} 1"));
+    }
+
+    #[test]
+    fn backslash_quote_and_newline_all_escape_in_label_values() {
+        // The full hostile triple in one value: a raw backslash, a
+        // quote, and a newline (think a worker "addr" pasted from a
+        // config with a path in it). Exposition text is line-oriented,
+        // so an unescaped newline or quote corrupts the document.
+        let hostile = "C:\\host\"A\nB";
+        assert_eq!(escape_label(hostile), "C:\\\\host\\\"A\\nB");
+        let mut w = PromWriter::new();
+        w.gauge_family("worker_up", "h", "worker", &[(hostile, 1)]);
+        let text = w.finish();
+        assert!(
+            text.contains("worker_up{worker=\"C:\\\\host\\\"A\\nB\"} 1"),
+            "{text}"
+        );
+        // The document still has exactly one sample line per sample.
+        assert_eq!(text.lines().filter(|l| !l.starts_with('#')).count(), 1);
+    }
+
+    #[test]
+    fn multi_label_sample_and_info_escape_every_value() {
+        let mut w = PromWriter::new();
+        w.info(
+            "build_info",
+            "build identity",
+            &[("version", "1.2.3"), ("features", "obs\"x")],
+        );
+        w.header_only("jobs_total", "relayed", "counter");
+        w.sample(
+            "jobs_total",
+            &[("instance", "worker:0"), ("kind", "run")],
+            9,
+        );
+        w.sample("plain_total", &[], 4);
+        let text = w.finish();
+        assert!(text.contains("# TYPE build_info gauge\n"));
+        assert!(text.contains("build_info{version=\"1.2.3\",features=\"obs\\\"x\"} 1\n"));
+        assert!(text.contains("jobs_total{instance=\"worker:0\",kind=\"run\"} 9\n"));
+        assert!(text.contains("plain_total 4\n"));
+    }
+
+    #[test]
+    fn inject_label_stamps_every_sample_and_drops_comments() {
+        let doc = "# HELP jobs_total j\n# TYPE jobs_total counter\njobs_total 7\n\
+                   jobs_by_kind_total{kind=\"a\\\"b\"} 3\nlatency_us_bucket{le=\"+Inf\"} 12\n";
+        let out = inject_label(doc, "instance", "worker:1");
+        assert_eq!(
+            out,
+            "jobs_total{instance=\"worker:1\"} 7\n\
+             jobs_by_kind_total{instance=\"worker:1\",kind=\"a\\\"b\"} 3\n\
+             latency_us_bucket{instance=\"worker:1\",le=\"+Inf\"} 12\n"
+        );
+        // Hostile instance values are escaped on the way in.
+        let out = inject_label("m 1\n", "instance", "w\"0");
+        assert_eq!(out, "m{instance=\"w\\\"0\"} 1\n");
     }
 
     #[test]

@@ -95,6 +95,72 @@ impl SpanEvent {
             args,
         }
     }
+
+    /// Serializes the span for the wire (worker span batches travelling
+    /// back with job replies). Round-trips through
+    /// [`SpanEvent::from_json`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let clock = match self.clock {
+            Clock::Wall => "wall",
+            Clock::Logical => "logical",
+        };
+        let phase = match self.phase {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        };
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("cat", Json::Str(self.cat.into())),
+            ("clock", Json::Str(clock.into())),
+            ("ph", Json::Str(phase.into())),
+            ("ts", Json::Int(i128::from(self.ts))),
+            ("dur", Json::Int(i128::from(self.dur))),
+            ("track", Json::Int(i128::from(self.track))),
+            ("args", Json::Obj(self.args.to_vec())),
+        ])
+    }
+
+    /// Parses a span serialized by [`SpanEvent::to_json`]. The category
+    /// is interned against the known set (unknown categories become
+    /// `"remote"` — categories are display hints, not identity).
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<SpanEvent> {
+        const KNOWN_CATS: &[&str] = &[
+            "ssim", "ssimd", "sweep", "dispatch", "dc", "counter", "test", "remote",
+        ];
+        let cat_raw = v.get("cat")?.as_str()?;
+        let cat = KNOWN_CATS
+            .iter()
+            .copied()
+            .find(|k| *k == cat_raw)
+            .unwrap_or("remote");
+        let clock = match v.get("clock")?.as_str()? {
+            "logical" => Clock::Logical,
+            _ => Clock::Wall,
+        };
+        let phase = match v.get("ph")?.as_str()? {
+            "i" => Phase::Instant,
+            "C" => Phase::Counter,
+            _ => Phase::Complete,
+        };
+        let as_u64 = |key: &str| -> Option<u64> { u64::try_from(v.get(key)?.as_int()?).ok() };
+        let args = match v.get("args") {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        };
+        Some(SpanEvent {
+            name: v.get("name")?.as_str()?.to_string(),
+            cat,
+            clock,
+            phase,
+            ts: as_u64("ts")?,
+            dur: as_u64("dur")?,
+            track: as_u64("track")?,
+            args,
+        })
+    }
 }
 
 /// An append-only buffer of [`SpanEvent`]s plus the wall-clock epoch
@@ -103,6 +169,9 @@ impl SpanEvent {
 pub struct TraceBuffer {
     base: Instant,
     events: Mutex<Vec<SpanEvent>>,
+    /// When attached, events stream to the sink instead of buffering —
+    /// bounded memory for arbitrarily long daemon runs.
+    sink: Mutex<Option<crate::sink::SpanSink>>,
 }
 
 impl Default for TraceBuffer {
@@ -118,6 +187,41 @@ impl TraceBuffer {
         TraceBuffer {
             base: Instant::now(),
             events: Mutex::new(Vec::new()),
+            sink: Mutex::new(None),
+        }
+    }
+
+    /// Switches the buffer to streaming mode: every subsequent event
+    /// goes to `sink` (one JSONL line each) instead of accumulating in
+    /// RAM. Events already buffered are flushed to the sink first so a
+    /// daemon that attaches at startup loses nothing.
+    pub fn attach_sink(&self, sink: crate::sink::SpanSink) {
+        let backlog: Vec<SpanEvent> = {
+            let mut events = self.events.lock().expect("trace lock");
+            std::mem::take(&mut *events)
+        };
+        for ev in backlog {
+            sink.emit(ev);
+        }
+        *self.sink.lock().expect("sink lock") = Some(sink);
+    }
+
+    /// Whether a streaming sink is attached.
+    #[must_use]
+    pub fn has_sink(&self) -> bool {
+        self.sink.lock().expect("sink lock").is_some()
+    }
+
+    /// Detaches and closes the streaming sink, flushing the file. A
+    /// no-op when no sink is attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error the writer thread hit.
+    pub fn close_sink(&self) -> std::io::Result<()> {
+        match self.sink.lock().expect("sink lock").take() {
+            Some(sink) => sink.close(),
+            None => Ok(()),
         }
     }
 
@@ -127,10 +231,17 @@ impl TraceBuffer {
         u64::try_from(self.base.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
-    /// Appends one event. A no-op without the `enabled` feature.
+    /// Appends one event — or streams it when a sink is attached. A
+    /// no-op without the `enabled` feature.
     pub fn record(&self, ev: SpanEvent) {
         #[cfg(feature = "enabled")]
-        self.events.lock().expect("trace lock").push(ev);
+        {
+            if let Some(sink) = self.sink.lock().expect("sink lock").as_ref() {
+                sink.emit(ev);
+                return;
+            }
+            self.events.lock().expect("trace lock").push(ev);
+        }
         #[cfg(not(feature = "enabled"))]
         let _ = ev;
     }
@@ -290,5 +401,59 @@ mod tests {
         let a = buf.now_us();
         let b = buf.now_us();
         assert!(b >= a);
+    }
+
+    #[test]
+    fn span_event_round_trips_through_wire_json() {
+        let ev = SpanEvent::wall(
+            "simulate job",
+            "ssimd",
+            7,
+            1234,
+            5678,
+            vec![
+                ("kind".into(), Json::Str("run".into())),
+                ("trace".into(), Json::Int(42)),
+            ],
+        );
+        let back = SpanEvent::from_json(&ev.to_json()).unwrap();
+        assert_eq!(back.name, ev.name);
+        assert_eq!(back.cat, "ssimd");
+        assert_eq!(back.clock, ev.clock);
+        assert_eq!(back.phase, ev.phase);
+        assert_eq!((back.ts, back.dur, back.track), (ev.ts, ev.dur, ev.track));
+        assert_eq!(back.args.len(), 2);
+
+        // Unknown categories intern to "remote" rather than leaking.
+        let mut odd = ev.to_json();
+        if let Json::Obj(pairs) = &mut odd {
+            for (k, v) in pairs.iter_mut() {
+                if k == "cat" {
+                    *v = Json::Str("something-else".into());
+                }
+            }
+        }
+        assert_eq!(SpanEvent::from_json(&odd).unwrap().cat, "remote");
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn attached_sink_streams_instead_of_buffering() {
+        let path = std::env::temp_dir()
+            .join(format!("obs-span-sink-{}.jsonl", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let buf = TraceBuffer::new();
+        buf.record_logical("buffered-before", "test", 0, 0, 1, Vec::new());
+        buf.attach_sink(crate::sink::SpanSink::create(&path).unwrap());
+        assert!(buf.has_sink());
+        buf.record_logical("streamed-after", "test", 0, 1, 1, Vec::new());
+        assert!(buf.is_empty(), "streaming mode must not grow the buffer");
+        buf.close_sink().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("buffered-before"), "backlog flushed: {text}");
+        assert!(text.contains("streamed-after"));
+        assert_eq!(text.lines().count(), 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

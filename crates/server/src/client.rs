@@ -116,6 +116,7 @@ impl Client {
         self.call(&Envelope {
             id: None,
             proto: Some(PROTO_VERSION),
+            trace: None,
             req,
         })
     }
@@ -218,16 +219,38 @@ impl Client {
     ///
     /// Propagates I/O errors.
     pub fn submit_all(&mut self, job: Job) -> std::io::Result<Vec<Json>> {
+        self.submit_all_traced(job, None)
+    }
+
+    /// [`Client::submit_all`] with an explicit distributed-trace id
+    /// stamped on the envelope; the server correlates every span the job
+    /// produces (queue wait, dispatch, remote execution) under this id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn submit_all_traced(
+        &mut self,
+        job: Job,
+        trace: Option<u64>,
+    ) -> std::io::Result<Vec<Json>> {
         self.send(&Envelope {
             id: None,
             proto: Some(PROTO_VERSION),
+            trace,
             req: Request::Job(job),
         })?;
         let mut lines = Vec::new();
         loop {
             let v = self.recv()?;
-            let done = v.get("ok").and_then(Json::as_bool) != Some(true)
-                || v.get("type").and_then(Json::as_str) != Some("sweep_point");
+            // `sweep_point` lines stream ahead of `sweep_done`; traced
+            // jobs additionally interleave `spans` lines ahead of the
+            // final result. Both are kept and neither is terminal.
+            let streamed = matches!(
+                v.get("type").and_then(Json::as_str),
+                Some("sweep_point" | "spans")
+            );
+            let done = v.get("ok").and_then(Json::as_bool) != Some(true) || !streamed;
             lines.push(v);
             if done {
                 return Ok(lines);

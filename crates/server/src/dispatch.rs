@@ -41,6 +41,15 @@ use std::time::{Duration, Instant};
 /// pool's per-thread tracks (one per remote worker: `BASE + index`).
 const DISPATCH_TRACK_BASE: u64 = 1000;
 
+/// Trace tracks for *relayed* worker spans — execution spans a worker
+/// returned with its reply — one track per remote worker, clear of the
+/// dispatch tracks above.
+const WORKER_TRACK_BASE: u64 = 2000;
+
+/// Hard cap on `"spans"` reply lines accepted per exchange; a worker
+/// that streams more is treated as desynced.
+const MAX_SPAN_LINES: usize = 64;
+
 /// Tunables for the dispatch layer.
 #[derive(Clone, Debug)]
 pub struct DispatchOpts {
@@ -238,7 +247,17 @@ impl WorkerPool {
     /// is bad everywhere); transport failures and busy workers retry up
     /// to `opts.retries` times with exponential backoff, then surface as
     /// [`ErrorCode::WorkerUnavailable`].
-    pub fn dispatch_one(&self, job: &Job, trace: &TraceBuffer) -> Result<String, ServerError> {
+    ///
+    /// With `trace_id` set the worker envelope carries the distributed
+    /// trace id: the worker answers with its execution spans ahead of
+    /// the result, and those spans land in `trace` on this worker's
+    /// relay track.
+    pub fn dispatch_one(
+        &self,
+        job: &Job,
+        trace_id: Option<u64>,
+        trace: &TraceBuffer,
+    ) -> Result<String, ServerError> {
         let expect = match job {
             Job::Run(_) => "result",
             Job::Dc(_) => "dc_result",
@@ -250,7 +269,7 @@ impl WorkerPool {
                 ));
             }
         };
-        let env = job_envelope(job);
+        let env = job_envelope(job, trace_id);
         let mut last: Option<ServerError> = None;
         let retry_deadline = Instant::now() + self.opts.max_retry_time;
         for attempt in 0..=self.opts.retries {
@@ -303,6 +322,7 @@ impl WorkerPool {
         &self,
         jobs: &[RunJob],
         cache: &crate::cache::ResultCache,
+        trace_id: Option<u64>,
         trace: &TraceBuffer,
         mut emit: impl FnMut(usize, &str, bool) -> bool,
     ) -> Result<u64, ServerError> {
@@ -343,7 +363,7 @@ impl WorkerPool {
         let cv = Condvar::new();
         std::thread::scope(|s| {
             for worker in &threads {
-                s.spawn(|| self.grid_worker(worker, jobs, cache, trace, &shared, &cv));
+                s.spawn(|| self.grid_worker(worker, jobs, cache, trace_id, trace, &shared, &cv));
             }
             // The coordinator thread emits results in grid order as they
             // resolve, so a sweep streams through the coordinator exactly
@@ -378,11 +398,13 @@ impl WorkerPool {
     /// One grid worker thread: claim a point, execute it on this
     /// worker's connection, publish the result; on a broken worker,
     /// re-queue the claimed point for the survivors and exit.
+    #[allow(clippy::too_many_arguments)]
     fn grid_worker(
         &self,
         worker: &RemoteWorker,
         jobs: &[RunJob],
         cache: &crate::cache::ResultCache,
+        trace_id: Option<u64>,
         trace: &TraceBuffer,
         shared: &Mutex<GridState>,
         cv: &Condvar,
@@ -401,7 +423,7 @@ impl WorkerPool {
                     guard = cv.wait(guard).expect("grid lock");
                 }
             };
-            match self.grid_attempt(worker, &jobs[i], trace) {
+            match self.grid_attempt(worker, &jobs[i], trace_id, trace) {
                 Ok(payload) => {
                     cache.insert(&jobs[i].cache_key(), &payload);
                     let mut guard = shared.lock().expect("grid lock");
@@ -450,9 +472,10 @@ impl WorkerPool {
         &self,
         worker: &RemoteWorker,
         job: &RunJob,
+        trace_id: Option<u64>,
         trace: &TraceBuffer,
     ) -> Result<String, TryError> {
-        let env = job_envelope(&Job::Run(job.clone()));
+        let env = job_envelope(&Job::Run(job.clone()), trace_id);
         let mut last: Option<TryError> = None;
         let retry_deadline = Instant::now() + self.opts.max_retry_time;
         for attempt in 0..=self.opts.retries {
@@ -503,9 +526,20 @@ impl WorkerPool {
         }
         let start_us = trace.now_us();
         let t0 = Instant::now();
+        // A traced worker answers with `"spans"` lines (its execution
+        // spans for this job) *before* the final reply line; collect
+        // them so the final line splices exactly as before.
+        let mut span_lines: Vec<String> = Vec::new();
         let exchanged = {
             let client = conn.as_mut().expect("just connected");
-            client.send(env).and_then(|()| client.recv_line())
+            client.send(env).and_then(|()| loop {
+                let line = client.recv_line()?;
+                if span_lines.len() < MAX_SPAN_LINES && is_spans_line(&line) {
+                    span_lines.push(line);
+                    continue;
+                }
+                break Ok(line);
+            })
         };
         let line = match exchanged {
             Ok(line) => line,
@@ -546,17 +580,22 @@ impl WorkerPool {
                 }
             }
         };
+        let mut args = vec![
+            ("worker".to_string(), Json::Str(worker.addr.clone())),
+            ("ok".to_string(), Json::Bool(outcome.is_ok())),
+        ];
+        if let Some(t) = env.trace {
+            args.push(("trace".to_string(), Json::Int(i128::from(t))));
+        }
         trace.record(SpanEvent::wall(
             format!("dispatch {expect}"),
             "dispatch",
             DISPATCH_TRACK_BASE + worker.index as u64,
             start_us,
             exec_us,
-            vec![
-                ("worker".to_string(), Json::Str(worker.addr.clone())),
-                ("ok".to_string(), Json::Bool(outcome.is_ok())),
-            ],
+            args,
         ));
+        relay_worker_spans(worker, &span_lines, start_us, trace);
         outcome
     }
 
@@ -633,6 +672,34 @@ impl WorkerPool {
         );
         w.finish()
     }
+
+    /// Pulls every healthy worker's own Prometheus exposition over a
+    /// fresh connection (the persistent job connection stays free for
+    /// jobs). Returns `(worker index, document)` pairs; the caller
+    /// stamps each document with `instance="worker:<k>"` via
+    /// [`sharing_obs::inject_label`] and appends it to its own scrape —
+    /// one federated `/metrics` answer for the whole fleet. A worker
+    /// that fails to answer is skipped and counted in
+    /// `ssimd_federation_errors_total`.
+    #[must_use]
+    pub fn federate(&self) -> Vec<(usize, String)> {
+        let mut docs = Vec::new();
+        for worker in &self.workers {
+            if !worker.healthy.load(Ordering::SeqCst) {
+                continue;
+            }
+            let fetched = Client::connect_timeout(&worker.addr, self.opts.connect_timeout)
+                .and_then(|mut c| {
+                    c.set_read_timeout(Some(self.opts.connect_timeout))?;
+                    c.metrics()
+                });
+            match fetched {
+                Ok(doc) => docs.push((worker.index, doc)),
+                Err(_) => sharing_obs::counter("ssimd_federation_errors_total").inc(),
+            }
+        }
+        docs
+    }
 }
 
 /// Seeded jittered backoff: the exponential step `base * 2^(attempt-1)`
@@ -651,11 +718,51 @@ fn unavailable(last: Option<ServerError>) -> ServerError {
     last.unwrap_or_else(|| ServerError::new(ErrorCode::WorkerUnavailable, "no healthy workers"))
 }
 
-fn job_envelope(job: &Job) -> Envelope {
+fn job_envelope(job: &Job, trace_id: Option<u64>) -> Envelope {
     Envelope {
         id: None,
         proto: Some(PROTO_VERSION),
+        trace: trace_id,
         req: Request::Job(job.clone()),
+    }
+}
+
+/// Whether a reply line is a `"spans"` batch (a traced worker sends
+/// these ahead of its final reply).
+fn is_spans_line(line: &str) -> bool {
+    Json::parse(line)
+        .ok()
+        .and_then(|v| v.get("type").and_then(Json::as_str).map(str::to_string))
+        .as_deref()
+        == Some("spans")
+}
+
+/// Re-records the execution spans a worker returned with its reply onto
+/// this worker's relay track. Worker timestamps are measured against the
+/// *worker's* trace epoch, which the coordinator cannot translate, so
+/// each span is rebased to the start of the dispatch exchange that
+/// carried it — durations (the honest part) are preserved verbatim.
+fn relay_worker_spans(
+    worker: &RemoteWorker,
+    span_lines: &[String],
+    start_us: u64,
+    trace: &TraceBuffer,
+) {
+    for line in span_lines {
+        let Ok(v) = Json::parse(line) else { continue };
+        let Some(spans) = v.get("spans").and_then(Json::as_arr) else {
+            continue;
+        };
+        for sv in spans {
+            let Some(mut ev) = SpanEvent::from_json(sv) else {
+                continue;
+            };
+            ev.ts = start_us;
+            ev.track = WORKER_TRACK_BASE + worker.index as u64;
+            ev.args
+                .push(("worker".to_string(), Json::Str(worker.addr.clone())));
+            trace.record(ev);
+        }
     }
 }
 

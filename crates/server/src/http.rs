@@ -115,6 +115,7 @@ fn submit_job(state: &Arc<State>, req: &Request) -> Response {
     let queued = Queued {
         id: env.id,
         job,
+        trace: env.trace,
         reply: tx,
         enqueued: Instant::now(),
     };

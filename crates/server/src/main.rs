@@ -43,6 +43,12 @@ saved back on graceful shutdown, so results survive restarts.
 With `--trace-out`, a Chrome trace of every executed job (one wall-clock
 span per job, per worker, with queue-wait/execute timings) is written to
 PATH on graceful shutdown; open it in Perfetto or chrome://tracing.
+A PATH ending in `.jsonl` streams spans through a bounded-buffer writer
+instead (crash-safe: every complete line survives a SIGKILL; re-wrap
+with `ssim trace-pack`). Jobs submitted with a `trace` id on their
+envelope (`ssim submit --trace ID`) additionally stream their spans back
+to the submitting client and, in coordinator mode, merge dispatch spans
+and relayed worker-execution spans into the one trace under that id.
 
 With `--http`, an HTTP/1.1 front door binds alongside the TCP listener:
 GET /health (200, or 503 while draining), GET /metrics (Prometheus

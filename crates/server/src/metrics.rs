@@ -13,6 +13,7 @@ use sharing_json::Json;
 use sharing_obs::{percentile, Histogram, PromWriter};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How many recent job latencies each percentile window keeps.
 const LATENCY_WINDOW: usize = 1024;
@@ -89,6 +90,8 @@ pub struct Metrics {
     pub workers_configured: AtomicUsize,
     /// Remote workers currently passing health probes.
     pub workers_healthy: AtomicUsize,
+    /// When this daemon's metrics came up; backs `ssimd_uptime_seconds`.
+    started: Instant,
     /// Work units completed, indexed by [`JobClass::index`].
     completed_by_kind: [AtomicU64; 4],
     /// End-to-end (queue wait + execute) latency window.
@@ -157,6 +160,7 @@ impl Metrics {
             dispatch_retries: AtomicU64::new(0),
             workers_configured: AtomicUsize::new(0),
             workers_healthy: AtomicUsize::new(0),
+            started: Instant::now(),
             completed_by_kind: Default::default(),
             latencies: Mutex::new(LatencyRing::new()),
             queue_waits: Mutex::new(LatencyRing::new()),
@@ -305,12 +309,33 @@ impl Metrics {
     /// The Prometheus text exposition (format 0.0.4) of every metric,
     /// for the `metrics` request and scrape endpoints.
     #[must_use]
-    pub fn prometheus_text(&self, queue_depth: usize, cache_entries: usize) -> String {
+    pub fn prometheus_text(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        cache_entries: usize,
+    ) -> String {
         let by_kind: Vec<(&str, u64)> = JobClass::ALL
             .iter()
             .map(|&c| (c.name(), self.completed_for(c)))
             .collect();
         let mut w = PromWriter::new();
+        // The info-gauge idiom: identity in the labels, value pinned at
+        // 1, so dashboards can join any family against the build that
+        // produced it.
+        w.info(
+            "ssimd_build_info",
+            "Build identity of this daemon (constant 1).",
+            &[
+                ("version", env!("CARGO_PKG_VERSION")),
+                ("features", sharing_core::profile::compiled_features()),
+            ],
+        );
+        w.gauge_f64(
+            "ssimd_uptime_seconds",
+            "Seconds since this daemon came up.",
+            self.started.elapsed().as_secs_f64(),
+        );
         w.counter(
             "ssimd_jobs_submitted_total",
             "Jobs admitted to the queue.",
@@ -345,6 +370,11 @@ impl Metrics {
             "ssimd_queue_depth",
             "Jobs waiting in the bounded queue.",
             queue_depth as i64,
+        );
+        w.gauge_i64(
+            "ssimd_queue_capacity",
+            "Bounded queue capacity (admission-control threshold).",
+            queue_capacity as i64,
         );
         w.gauge_i64(
             "ssimd_cache_entries",
@@ -484,7 +514,11 @@ mod tests {
         m.jobs_submitted.store(5, Ordering::Relaxed);
         m.jobs_completed.store(5, Ordering::Relaxed);
         m.record_job(JobClass::Simulate, 1, 120, 880);
-        let text = m.prometheus_text(2, 9);
+        let text = m.prometheus_text(2, 64, 9);
+        assert!(text.contains("# TYPE ssimd_build_info gauge"));
+        assert!(text.contains("ssimd_build_info{version=\"") && text.contains("features=\""));
+        assert!(text.contains("# TYPE ssimd_uptime_seconds gauge"));
+        assert!(text.contains("ssimd_queue_capacity 64"));
         assert!(text.contains("# TYPE ssimd_jobs_completed_total counter"));
         assert!(text.contains("ssimd_jobs_completed_total{kind=\"simulate\"} 1"));
         assert!(text.contains("ssimd_jobs_completed_total{kind=\"sweep_point\"} 0"));
@@ -524,7 +558,7 @@ mod tests {
             Some(2)
         );
         assert_eq!(snap.get("workers_healthy").and_then(Json::as_int), Some(1));
-        let text = m.prometheus_text(0, 0);
+        let text = m.prometheus_text(0, 0, 0);
         assert!(text.contains("ssimd_dispatched_total 40"));
         assert!(text.contains("ssimd_dispatch_retries_total 3"));
         assert!(text.contains("ssimd_workers_configured 2"));
@@ -557,7 +591,7 @@ mod tests {
                 "completed must not go backwards"
             );
             last_completed = completed;
-            let _ = m.prometheus_text(1, 1);
+            let _ = m.prometheus_text(1, 1, 1);
         }
         for t in threads {
             t.join().unwrap();

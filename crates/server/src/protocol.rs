@@ -218,6 +218,12 @@ pub struct Envelope {
     /// The protocol version the sender speaks; `None` means the v1
     /// dialect, which predates the field.
     pub proto: Option<u64>,
+    /// Distributed-trace correlation id. A coordinator stamps every job
+    /// it fans out with the submitting job's trace id; a worker that
+    /// sees one returns its execution spans (a `"spans"` reply line)
+    /// ahead of the result so the coordinator can merge one fleet-wide
+    /// trace. Absent on v1/v2 clients and ignored by cache keys.
+    pub trace: Option<u64>,
     /// The request itself.
     pub req: Request,
 }
@@ -455,6 +461,12 @@ impl Envelope {
             ),
             None => None,
         };
+        let trace = match v.get("trace") {
+            Some(x) => Some(
+                u64::from_json(x).map_err(|_| ServerError::bad_request("`trace` must be a u64"))?,
+            ),
+            None => None,
+        };
         let ty = field(&v, "type")
             .and_then(|t| {
                 t.as_str()
@@ -469,7 +481,12 @@ impl Envelope {
                     format!("unknown request type `{ty}`"),
                 )
             })?;
-        Ok(Envelope { id, proto, req })
+        Ok(Envelope {
+            id,
+            proto,
+            trace,
+            req,
+        })
     }
 
     /// Parses the typed request body; `Ok(None)` means an unknown type.
@@ -556,6 +573,9 @@ impl Envelope {
         // copy too would duplicate it.
         if let (Some(proto), false) = (self.proto, matches!(self.req, Request::Hello { .. })) {
             pairs.push(("proto", Json::Int(i128::from(proto))));
+        }
+        if let Some(trace) = self.trace {
+            pairs.push(("trace", Json::Int(i128::from(trace))));
         }
         match &self.req {
             Request::Hello { proto } => {
@@ -713,6 +733,7 @@ mod tests {
         let env = Envelope {
             id: Some(7),
             proto: Some(PROTO_VERSION),
+            trace: None,
             req: Request::Job(Job::Run(RunJob {
                 workload: JobWorkload::Benchmark(Benchmark::Gcc),
                 slices: 4,
@@ -758,6 +779,7 @@ mod tests {
             let env = Envelope {
                 id: Some(5),
                 proto: Some(PROTO_VERSION),
+                trace: None,
                 req: Request::Job(job.clone()),
             };
             let back = Envelope::parse(&env.to_line()).unwrap();
@@ -770,26 +792,80 @@ mod tests {
     }
 
     #[test]
+    fn trace_id_rides_the_envelope() {
+        let env = Envelope {
+            id: Some(3),
+            proto: Some(PROTO_VERSION),
+            trace: Some(0xBEEF),
+            req: Request::Job(Job::Run(RunJob {
+                workload: JobWorkload::Benchmark(Benchmark::Mcf),
+                slices: 2,
+                banks: 2,
+                len: 500,
+                seed: 1,
+            })),
+        };
+        let line = env.to_line();
+        assert!(line.contains(r#""trace":48879"#), "wire form: {line}");
+        let back = Envelope::parse(&line).unwrap();
+        assert_eq!(back, env);
+        // Absent on old clients; a non-integer is a typed rejection.
+        let bare = Envelope::parse(r#"{"type":"ping"}"#).unwrap();
+        assert_eq!(bare.trace, None);
+        assert_eq!(
+            Envelope::parse(r#"{"type":"ping","trace":"abc"}"#)
+                .unwrap_err()
+                .code,
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn cache_key_ignores_trace_id() {
+        let job = RunJob {
+            workload: JobWorkload::Benchmark(Benchmark::Gcc),
+            slices: 1,
+            banks: 2,
+            len: 100,
+            seed: 5,
+        };
+        let traced = Envelope {
+            id: Some(1),
+            proto: Some(2),
+            trace: Some(777),
+            req: Request::Job(Job::Run(job.clone())),
+        };
+        match Envelope::parse(&traced.to_line()).unwrap().req {
+            Request::Job(j) => assert_eq!(j.cache_key(), job.cache_key()),
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn control_requests_round_trip() {
         for env in [
             Envelope {
                 id: None,
                 proto: None,
+                trace: None,
                 req: Request::Ping,
             },
             Envelope {
                 id: Some(0),
                 proto: None,
+                trace: None,
                 req: Request::Stats,
             },
             Envelope {
                 id: Some(12),
                 proto: Some(2),
+                trace: None,
                 req: Request::Metrics,
             },
             Envelope {
                 id: None,
                 proto: None,
+                trace: None,
                 req: Request::Shutdown,
             },
         ] {
@@ -803,6 +879,7 @@ mod tests {
         let env = Envelope {
             id: Some(1),
             proto: None,
+            trace: None,
             req: Request::Hello {
                 proto: PROTO_VERSION,
             },
@@ -848,6 +925,7 @@ mod tests {
         let env = Envelope {
             id: None,
             proto: None,
+            trace: None,
             req: Request::Job(Job::Run(RunJob {
                 workload: JobWorkload::Profile(Box::new(profile)),
                 slices: 2,
@@ -907,11 +985,13 @@ mod tests {
         let a = Envelope {
             id: Some(1),
             proto: Some(1),
+            trace: None,
             req: Request::Job(Job::Run(job.clone())),
         };
         let b = Envelope {
             id: Some(99),
             proto: Some(2),
+            trace: None,
             req: Request::Job(Job::Run(job.clone())),
         };
         match (
@@ -960,6 +1040,7 @@ mod tests {
             let env = Envelope {
                 id: Some(11),
                 proto: None,
+                trace: None,
                 req: Request::Job(Job::Dc(Box::new(DcJob {
                     scenario: Scenario::example_bursty(),
                     seed: 99,
@@ -975,6 +1056,7 @@ mod tests {
         let line = Envelope {
             id: None,
             proto: None,
+            trace: None,
             req: Request::Job(Job::Dc(Box::new(DcJob {
                 scenario: Scenario::example_bursty(),
                 seed: 1,

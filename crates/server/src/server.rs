@@ -66,9 +66,14 @@ pub struct ServerConfig {
     /// saved back on graceful shutdown, so cached results (and their
     /// byte-identical replays) survive daemon restarts.
     pub cache_path: Option<String>,
-    /// When set, a Chrome trace of every job (per-worker wall-clock
-    /// spans with queue-wait and execute timings) is written here on
-    /// graceful shutdown.
+    /// When set, a trace of every job (per-worker wall-clock spans with
+    /// queue-wait and execute timings) is written here. A path ending in
+    /// `.jsonl` **streams**: spans append through a bounded-buffer
+    /// writer thread as they happen, so long daemon runs stay bounded in
+    /// memory and a SIGKILL still leaves every completed line on disk
+    /// (re-wrap with `ssim trace-pack` / [`sharing_obs::jsonl_to_chrome`]).
+    /// Any other path keeps the legacy behaviour: one Chrome-JSON dump
+    /// on graceful shutdown.
     pub trace_path: Option<String>,
     /// Remote worker daemon addresses. Non-empty turns this daemon into
     /// a coordinator: jobs dispatch to these workers instead of the
@@ -110,6 +115,12 @@ impl Default for ServerConfig {
 pub(crate) struct Queued {
     pub(crate) id: Option<u64>,
     pub(crate) job: Job,
+    /// Distributed trace id from the envelope. Every span this job
+    /// produces — queue wait, dispatch, remote execution — carries it,
+    /// and single-reply jobs answer with a `"spans"` line ahead of the
+    /// result so the submitter (a coordinator, or `ssim submit
+    /// --trace`) can merge them into one end-to-end trace.
+    pub(crate) trace: Option<u64>,
     pub(crate) reply: mpsc::Sender<String>,
     pub(crate) enqueued: Instant,
 }
@@ -138,12 +149,27 @@ pub(crate) struct State {
 /// families (now histogram-backed), per-worker families in coordinator
 /// mode, and the process-global registry. Shared verbatim by the TCP
 /// `metrics` request and HTTP `GET /metrics`.
+///
+/// In coordinator mode the answer is **federated**: every healthy
+/// worker's own exposition is pulled over the protocol and appended
+/// under `instance="worker:<k>"` labels, so one scrape of the
+/// coordinator reads the whole fleet. The coordinator's own samples
+/// stay unlabelled.
 pub(crate) fn metrics_text(state: &State) -> String {
-    let mut text = state
-        .metrics
-        .prometheus_text(state.queue.depth(), state.cache.len());
+    let mut text = state.metrics.prometheus_text(
+        state.queue.depth(),
+        state.queue.capacity(),
+        state.cache.len(),
+    );
     if let Some(pool) = &state.pool {
         text.push_str(&pool.prometheus_text());
+        for (k, doc) in pool.federate() {
+            text.push_str(&sharing_obs::inject_label(
+                &doc,
+                "instance",
+                &format!("worker:{k}"),
+            ));
+        }
     }
     text.push_str(&sharing_obs::prometheus_text());
     text
@@ -202,6 +228,20 @@ impl Server {
             http: Mutex::new(None),
             pool,
         });
+        if let Some(path) = &state.trace_path {
+            // Streaming mode: spans hit disk as they happen instead of
+            // accumulating until a (possibly never-reached) graceful
+            // shutdown. Attached before the workers spawn so no span is
+            // lost to the buffered/streamed transition.
+            if path.ends_with(".jsonl") {
+                match sharing_obs::SpanSink::create(path) {
+                    Ok(sink) => state.trace.attach_sink(sink),
+                    Err(e) => {
+                        eprintln!("ssimd: trace sink {path}: {e}; falling back to exit dump");
+                    }
+                }
+            }
+        }
         if let Some(path) = &state.cache_path {
             // An armed corrupt_cache_file rule mangles the persisted
             // bytes here, before we trust them.
@@ -324,7 +364,11 @@ fn initiate_shutdown(state: &State, local: SocketAddr) {
         if let Some(path) = &state.cache_path {
             let _ = state.cache.save_to_file(path);
         }
-        if let Some(path) = &state.trace_path {
+        if state.trace.has_sink() {
+            // Streaming mode: everything is already on disk; this drains
+            // the writer and flushes the final lines.
+            let _ = state.trace.close_sink();
+        } else if let Some(path) = &state.trace_path {
             let _ = state.trace.save_chrome(path);
         }
         if let Some(pool) = &state.pool {
@@ -485,6 +529,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<State>, local: SocketAddr) {
         let queued = Queued {
             id: env.id,
             job,
+            trace: env.trace,
             reply: tx,
             enqueued: Instant::now(),
         };
@@ -597,6 +642,9 @@ fn observe_job(
     if let Some(id) = job.id {
         args.push(("id".to_string(), Json::Int(i128::from(id))));
     }
+    if let Some(trace_id) = job.trace {
+        args.push(("trace".to_string(), Json::Int(i128::from(trace_id))));
+    }
     if let Some(cached) = report.cached {
         args.push(("cached".to_string(), Json::Bool(cached)));
     }
@@ -624,8 +672,13 @@ fn payload_ipc(payload: &str) -> Option<f64> {
 
 /// A run job's payload: local cache, then the dispatch pool
 /// (coordinator) or the local simulator (single-node). Returns
-/// `(payload, was_cached)`.
-fn run_payload(state: &State, run: &RunJob) -> Result<(String, bool), ServerError> {
+/// `(payload, was_cached)`. `trace_id` rides the worker envelope in
+/// coordinator mode so the remote execution joins the job's trace.
+fn run_payload(
+    state: &State,
+    run: &RunJob,
+    trace_id: Option<u64>,
+) -> Result<(String, bool), ServerError> {
     match &state.pool {
         Some(pool) => {
             let key = run.cache_key();
@@ -634,7 +687,7 @@ fn run_payload(state: &State, run: &RunJob) -> Result<(String, bool), ServerErro
                 return Ok((hit, true));
             }
             state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let payload = pool.dispatch_one(&Job::Run(run.clone()), &state.trace)?;
+            let payload = pool.dispatch_one(&Job::Run(run.clone()), trace_id, &state.trace)?;
             state.cache.insert(&key, &payload);
             Ok((payload, false))
         }
@@ -645,7 +698,11 @@ fn run_payload(state: &State, run: &RunJob) -> Result<(String, bool), ServerErro
 }
 
 /// A dc job's payload, mirroring [`run_payload`].
-fn dc_payload(state: &State, dc: &DcJob) -> Result<(String, bool), ServerError> {
+fn dc_payload(
+    state: &State,
+    dc: &DcJob,
+    trace_id: Option<u64>,
+) -> Result<(String, bool), ServerError> {
     match &state.pool {
         Some(pool) => {
             let key = dc.cache_key();
@@ -654,7 +711,8 @@ fn dc_payload(state: &State, dc: &DcJob) -> Result<(String, bool), ServerError> 
                 return Ok((hit, true));
             }
             state.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-            let payload = pool.dispatch_one(&Job::Dc(Box::new(dc.clone())), &state.trace)?;
+            let payload =
+                pool.dispatch_one(&Job::Dc(Box::new(dc.clone())), trace_id, &state.trace)?;
             state.cache.insert(&key, &payload);
             Ok((payload, false))
         }
@@ -671,14 +729,19 @@ fn dc_payload(state: &State, dc: &DcJob) -> Result<(String, bool), ServerError> 
 fn grid_payloads(
     state: &State,
     jobs: &[(VCoreShape, RunJob)],
+    trace_id: Option<u64>,
     mut each: impl FnMut(usize, &str, bool) -> bool,
 ) -> Result<u64, ServerError> {
     match &state.pool {
         Some(pool) => {
             let runs: Vec<RunJob> = jobs.iter().map(|(_, r)| r.clone()).collect();
-            pool.dispatch_grid(&runs, &state.cache, &state.trace, |i, payload, cached| {
-                each(i, payload, cached)
-            })
+            pool.dispatch_grid(
+                &runs,
+                &state.cache,
+                trace_id,
+                &state.trace,
+                |i, payload, cached| each(i, payload, cached),
+            )
         }
         None => {
             let mut points = 0u64;
@@ -695,36 +758,74 @@ fn grid_payloads(
     }
 }
 
+/// Answers a traced job's `"spans"` reply line: this daemon's execution
+/// span for the job, sent **before** the final reply line so the final
+/// line's bytes (and the coordinator's verbatim splice of them) are
+/// identical to an untraced job's. A non-traced job sends nothing.
+fn send_spans_line(job: &Queued, kind: &str, started: (u64, Instant), cached: bool) {
+    let Some(trace_id) = job.trace else { return };
+    let (start_us, t0) = started;
+    let exec_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let queue_wait = job.enqueued.elapsed().saturating_sub(t0.elapsed());
+    let queue_wait_us = u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX);
+    let span = SpanEvent::wall(
+        format!("{kind} exec"),
+        "ssimd",
+        0,
+        start_us,
+        exec_us,
+        vec![
+            ("trace".to_string(), Json::Int(i128::from(trace_id))),
+            ("kind".to_string(), Json::Str(kind.into())),
+            (
+                "queue_wait_us".to_string(),
+                Json::Int(i128::from(queue_wait_us)),
+            ),
+            ("cached".to_string(), Json::Bool(cached)),
+        ],
+    );
+    let line = format!(
+        "{},\"trace\":{trace_id},\"spans\":[{}]}}",
+        ok_head(job.id, "spans"),
+        span.to_json()
+    );
+    let _ = job.reply.send(line);
+}
+
 fn execute_job(state: &Arc<State>, job: &Queued) -> JobReport {
     match &job.job {
-        Job::Run(run) => match run_payload(state, run) {
-            Ok((payload, cached)) => {
-                // The payload is spliced verbatim so cache hits (and
-                // coordinator dispatches) are byte-identical to the fresh
-                // run that filled them.
-                let line = format!(
-                    "{},\"cached\":{cached},\"result\":{payload}}}",
-                    ok_head(job.id, "result")
-                );
-                let _ = job.reply.send(line);
-                JobReport {
-                    class: JobClass::Simulate,
-                    units: 1,
-                    cached: Some(cached),
-                    ok: true,
+        Job::Run(run) => {
+            let started = (state.trace.now_us(), Instant::now());
+            match run_payload(state, run, job.trace) {
+                Ok((payload, cached)) => {
+                    send_spans_line(job, "run", started, cached);
+                    // The payload is spliced verbatim so cache hits (and
+                    // coordinator dispatches) are byte-identical to the
+                    // fresh run that filled them.
+                    let line = format!(
+                        "{},\"cached\":{cached},\"result\":{payload}}}",
+                        ok_head(job.id, "result")
+                    );
+                    let _ = job.reply.send(line);
+                    JobReport {
+                        class: JobClass::Simulate,
+                        units: 1,
+                        cached: Some(cached),
+                        ok: true,
+                    }
+                }
+                Err(e) => {
+                    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(e.to_line(job.id));
+                    JobReport {
+                        class: JobClass::Simulate,
+                        units: 0,
+                        cached: None,
+                        ok: false,
+                    }
                 }
             }
-            Err(e) => {
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(e.to_line(job.id));
-                JobReport {
-                    class: JobClass::Simulate,
-                    units: 0,
-                    cached: None,
-                    ok: false,
-                }
-            }
-        },
+        }
         Job::Sweep(sweep) => {
             let jobs = grid_jobs(sweep.benchmark, sweep.len, sweep.seed);
             let report = |points, ok| JobReport {
@@ -733,7 +834,7 @@ fn execute_job(state: &Arc<State>, job: &Queued) -> JobReport {
                 cached: None,
                 ok,
             };
-            let streamed = grid_payloads(state, &jobs, |i, payload, cached| {
+            let streamed = grid_payloads(state, &jobs, job.trace, |i, payload, cached| {
                 let line = sweep_point_line(job.id, jobs[i].0, payload, cached);
                 // A failed send means the client disconnected; stop the
                 // grid early but still account for points already swept.
@@ -756,7 +857,7 @@ fn execute_job(state: &Arc<State>, job: &Queued) -> JobReport {
         Job::Market(market) => {
             let jobs = grid_jobs(market.benchmark, market.len, market.seed);
             let mut points: BTreeMap<VCoreShape, f64> = BTreeMap::new();
-            let gathered = grid_payloads(state, &jobs, |i, payload, _| {
+            let gathered = grid_payloads(state, &jobs, job.trace, |i, payload, _| {
                 points.insert(jobs[i].0, payload_ipc(payload).unwrap_or(0.0));
                 true
             });
@@ -797,33 +898,37 @@ fn execute_job(state: &Arc<State>, job: &Queued) -> JobReport {
                 ok: true,
             }
         }
-        Job::Dc(dc) => match dc_payload(state, dc) {
-            Ok((payload, cached)) => {
-                // Spliced verbatim, like run results, so cache hits (and
-                // reloads from a persisted cache file) replay the exact
-                // bytes of the original run.
-                let line = format!(
-                    "{},\"cached\":{cached},\"result\":{payload}}}",
-                    ok_head(job.id, "dc_result")
-                );
-                let _ = job.reply.send(line);
-                JobReport {
-                    class: JobClass::Dc,
-                    units: 1,
-                    cached: Some(cached),
-                    ok: true,
+        Job::Dc(dc) => {
+            let started = (state.trace.now_us(), Instant::now());
+            match dc_payload(state, dc, job.trace) {
+                Ok((payload, cached)) => {
+                    send_spans_line(job, "dc", started, cached);
+                    // Spliced verbatim, like run results, so cache hits
+                    // (and reloads from a persisted cache file) replay
+                    // the exact bytes of the original run.
+                    let line = format!(
+                        "{},\"cached\":{cached},\"result\":{payload}}}",
+                        ok_head(job.id, "dc_result")
+                    );
+                    let _ = job.reply.send(line);
+                    JobReport {
+                        class: JobClass::Dc,
+                        units: 1,
+                        cached: Some(cached),
+                        ok: true,
+                    }
+                }
+                Err(e) => {
+                    state.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(e.to_line(job.id));
+                    JobReport {
+                        class: JobClass::Dc,
+                        units: 0,
+                        cached: None,
+                        ok: false,
+                    }
                 }
             }
-            Err(e) => {
-                state.metrics.errors.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(e.to_line(job.id));
-                JobReport {
-                    class: JobClass::Dc,
-                    units: 0,
-                    cached: None,
-                    ok: false,
-                }
-            }
-        },
+        }
     }
 }

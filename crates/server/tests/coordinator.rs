@@ -278,6 +278,137 @@ fn slow_but_alive_worker_times_out_and_work_lands_on_the_survivor() {
 }
 
 #[test]
+fn coordinator_scrape_federates_worker_expositions_under_instance_labels() {
+    let w1 = daemon();
+    let w2 = daemon();
+    let coord = coordinator(vec![
+        w1.local_addr().to_string(),
+        w2.local_addr().to_string(),
+    ]);
+
+    let text = metrics_text(coord.local_addr());
+    // The coordinator's own samples stay bare, so existing dashboards
+    // and exact greps keep working...
+    assert!(sample(&text, "ssimd_queue_depth").is_some(), "{text}");
+    assert!(text.contains("ssimd_build_info{"), "{text}");
+    // ...and each healthy worker's full exposition rides along in the
+    // same scrape under its instance label.
+    for k in 0..2 {
+        let depth = format!("ssimd_queue_depth{{instance=\"worker:{k}\"}}");
+        assert_eq!(sample(&text, &depth), Some(0.0), "{text}");
+        let uptime = format!("ssimd_uptime_seconds{{instance=\"worker:{k}\"}}");
+        assert!(sample(&text, &uptime).is_some(), "{text}");
+    }
+
+    // A dead worker drops out of the scrape instead of failing it.
+    w2.stop();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let text = metrics_text(coord.local_addr());
+        if !text.contains("instance=\"worker:1\"") {
+            assert!(text.contains("instance=\"worker:0\""), "{text}");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "dead worker still federated: {text}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    coord.stop();
+    w1.stop();
+}
+
+#[test]
+fn traced_job_yields_one_merged_trace_with_coordinator_and_worker_tracks() {
+    use sharing_server::{Client, Job, JobWorkload, RunJob};
+    const TRACE_ID: u64 = 31337;
+
+    let w1 = daemon();
+    let w2 = daemon();
+    let path = std::env::temp_dir().join(format!(
+        "ssimd-test-merged-{}.trace.jsonl",
+        std::process::id()
+    ));
+    let coord = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        remote_workers: vec![w1.local_addr().to_string(), w2.local_addr().to_string()],
+        ping_interval_ms: 100,
+        trace_path: Some(path.to_string_lossy().into_owned()),
+        ..ServerConfig::default()
+    })
+    .expect("bind coordinator");
+
+    let mut client = Client::connect(coord.local_addr()).unwrap();
+    client.hello().unwrap();
+    let lines = client
+        .submit_all_traced(
+            Job::Run(RunJob {
+                workload: JobWorkload::Benchmark(sharing_trace::Benchmark::Gcc),
+                slices: 2,
+                banks: 4,
+                len: 2_000,
+                seed: 9,
+            }),
+            Some(TRACE_ID),
+        )
+        .unwrap();
+
+    // The traced submit streams a `spans` line ahead of the final reply.
+    let last = lines.last().expect("job produced replies");
+    assert_eq!(last.get("ok").and_then(Json::as_bool), Some(true), "{last}");
+    assert_eq!(last.get("type").and_then(Json::as_str), Some("result"));
+    let spans_lines: Vec<_> = lines[..lines.len() - 1]
+        .iter()
+        .filter(|v| v.get("type").and_then(Json::as_str) == Some("spans"))
+        .collect();
+    assert!(!spans_lines.is_empty(), "no spans line before the result");
+    assert_eq!(
+        spans_lines[0].get("trace").and_then(Json::as_int),
+        Some(i128::from(TRACE_ID))
+    );
+
+    // Stopping the coordinator drains the streaming sink; the one file
+    // then holds the whole distributed story under the trace id:
+    // coordinator queue/execute span, its dispatch span (track 1000+k),
+    // and the worker's relayed execution span (track 2000+k).
+    coord.stop();
+    w1.stop();
+    w2.stop();
+    let text = std::fs::read_to_string(&path).expect("streamed trace file");
+    let mut tids = std::collections::HashSet::new();
+    let mut traced = 0usize;
+    for line in text.lines() {
+        let v = Json::parse(line).expect("every streamed line is complete JSON");
+        if v.get("args")
+            .and_then(|a| a.get("trace"))
+            .and_then(Json::as_int)
+            == Some(i128::from(TRACE_ID))
+        {
+            traced += 1;
+            tids.insert(v.get("tid").and_then(Json::as_int).unwrap_or(-1));
+        }
+    }
+    assert!(
+        traced >= 3,
+        "want coordinator + dispatch + relayed worker spans, got {traced}:\n{text}"
+    );
+    assert!(
+        tids.iter().any(|t| (1000..1002).contains(t)),
+        "no dispatch-track span: {tids:?}"
+    );
+    assert!(
+        tids.iter().any(|t| (2000..2002).contains(t)),
+        "no relayed worker-track span: {tids:?}"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn coordinator_refuses_to_start_without_reachable_workers() {
     // Reserve an address that is then closed again: nothing listens there.
     let dead = {

@@ -99,6 +99,7 @@ fn hello_negotiates_and_future_protos_are_refused_with_a_typed_code() {
         .call(&Envelope {
             id: Some(9),
             proto: Some(sharing_server::PROTO_VERSION + 1),
+            trace: None,
             req: Request::Ping,
         })
         .unwrap();
@@ -111,6 +112,7 @@ fn hello_negotiates_and_future_protos_are_refused_with_a_typed_code() {
         .call(&Envelope {
             id: None,
             proto: None,
+            trace: None,
             req: Request::Ping,
         })
         .unwrap();
@@ -233,6 +235,7 @@ fn run_result_matches_local_simulation_and_cache_is_byte_identical() {
     let env = Envelope {
         id: Some(1),
         proto: Some(sharing_server::PROTO_VERSION),
+        trace: None,
         req: Request::Job(gcc_run(2, 2, 800, 42)),
     };
     c.send(&env).unwrap();
@@ -290,6 +293,7 @@ fn queue_full_gets_backpressure_reply_and_recovers() {
     let job = |seed: u64| Envelope {
         id: Some(seed),
         proto: None,
+        trace: None,
         req: Request::Job(Job::Run(sharing_server::RunJob {
             workload: sharing_server::JobWorkload::Benchmark(Benchmark::Mcf),
             slices: 1,
@@ -595,6 +599,7 @@ fn shutdown_drains_in_flight_jobs() {
     busy.send(&Envelope {
         id: Some(1),
         proto: None,
+        trace: None,
         req: Request::Job(gcc_run(1, 2, 30_000, 1)),
     })
     .unwrap();

@@ -66,6 +66,7 @@ fn job_envelope(id: Option<u64>, job: Job) -> Envelope {
     Envelope {
         id,
         proto: Some(PROTO_VERSION),
+        trace: None,
         req: Request::Job(job),
     }
 }

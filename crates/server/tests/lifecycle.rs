@@ -121,6 +121,68 @@ fn pidfile_is_created_and_removed_by_sigterm_drain() {
 }
 
 #[test]
+fn sigkill_leaves_the_streamed_span_file_recoverable() {
+    // The `.jsonl` suffix is what opts the daemon into streaming.
+    let trace_file = unique_path("trace").with_extension("jsonl");
+    let trace_arg = trace_file.to_str().unwrap().to_string();
+    let (mut child, tcp, _http) = spawn_daemon(&["--trace-out", &trace_arg]);
+
+    // A traced job: the daemon streams its spans to the sink as they
+    // happen (flushed per line), not at exit.
+    {
+        use std::io::Write;
+        let mut stream = std::net::TcpStream::connect(&tcp).expect("connect tcp");
+        stream
+            .write_all(b"{\"proto\":2,\"trace\":55,\"type\":\"run\",\"benchmark\":\"gcc\",\"slices\":1,\"banks\":2,\"len\":500,\"seed\":1}\n")
+            .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        // First the spans line, then the result.
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"type\":\"spans\""), "{line}");
+        assert!(line.contains("\"trace\":55"), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+    }
+
+    // Wait for the writer thread to land the job's spans on disk, then
+    // SIGKILL — no drain, no close, the crash case the sink exists for.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !std::fs::read_to_string(&trace_file)
+        .map(|t| t.contains("\"trace\":55"))
+        .unwrap_or(false)
+    {
+        assert!(Instant::now() < deadline, "spans never reached the sink");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    send_signal(child.id(), "KILL");
+    let _ = wait_with_timeout(&mut child, Duration::from_secs(30));
+
+    // Every line in the file is a complete event, and the stream
+    // re-wraps into a valid Chrome document with nothing skipped.
+    let text = std::fs::read_to_string(&trace_file).unwrap();
+    let (doc, skipped) = sharing_obs::jsonl_to_chrome(&text);
+    assert_eq!(skipped, 0, "a kill between lines loses nothing:\n{text}");
+    let v = sharing_json::Json::parse(&doc).expect("packed doc parses");
+    let events = v
+        .get("traceEvents")
+        .and_then(sharing_json::Json::as_arr)
+        .unwrap();
+    assert!(
+        events.iter().any(|e| {
+            e.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(sharing_json::Json::as_int)
+                == Some(55)
+        }),
+        "traced job's span survived the kill: {doc}"
+    );
+
+    let _ = std::fs::remove_file(&trace_file);
+}
+
+#[test]
 fn sigkill_mid_drain_leaves_the_cache_file_loadable() {
     let cache_file = unique_path("cache");
     let cache_arg = cache_file.to_str().unwrap().to_string();

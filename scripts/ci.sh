@@ -50,6 +50,12 @@ SSIM="target/release/ssim"
 "$SSIM" sweep --benchmark gcc --len 2000 --seed 9 --jobs 4 > "$TRACE_TMP/sweep_j4.txt"
 diff "$TRACE_TMP/sweep_j1.txt" "$TRACE_TMP/sweep_j4.txt"
 
+echo "== profile smoke: cycle attribution conserves and is byte-identical =="
+"$SSIM" profile --benchmark gcc --slices 2 --len 2000 --seed 9 > "$TRACE_TMP/prof_a.txt"
+"$SSIM" profile --benchmark gcc --slices 2 --len 2000 --seed 9 > "$TRACE_TMP/prof_b.txt"
+diff "$TRACE_TMP/prof_a.txt" "$TRACE_TMP/prof_b.txt"
+grep -q 'conserved true' "$TRACE_TMP/prof_a.txt"
+
 echo "== multi-node smoke: 2 workers + 1 coordinator, byte-identical sweep =="
 "$SSIM" serve --addr 127.0.0.1:42115 --workers 2 &
 W1=$!
@@ -70,7 +76,8 @@ for port in 42115 42116; do
   done
 done
 "$SSIM" serve --addr 127.0.0.1:42117 --workers 2 \
-  --worker 127.0.0.1:42115 --worker 127.0.0.1:42116 &
+  --worker 127.0.0.1:42115 --worker 127.0.0.1:42116 \
+  --trace-out "$TRACE_TMP/fleet.trace.jsonl" &
 COORD=$!
 for _ in $(seq 1 50); do
   "$SSIM" submit --addr 127.0.0.1:42117 --ping >/dev/null 2>&1 && break
@@ -85,10 +92,25 @@ done
 diff "$TRACE_TMP/local.txt" <(grep -v '^served by' "$TRACE_TMP/fanout.txt")
 "$SSIM" submit --addr 127.0.0.1:42117 --metrics | grep -q '^ssimd_dispatched_total 72'
 "$SSIM" submit --addr 127.0.0.1:42117 --metrics | grep -q '^ssimd_workers_healthy 2'
+# One coordinator scrape federates every worker's exposition under an
+# instance label; the coordinator's own samples stay bare (greps above).
+"$SSIM" submit --addr 127.0.0.1:42117 --metrics > "$TRACE_TMP/fed.txt"
+grep -q 'instance="worker:0"' "$TRACE_TMP/fed.txt"
+grep -q 'instance="worker:1"' "$TRACE_TMP/fed.txt"
+grep -q '^ssimd_build_info{' "$TRACE_TMP/fed.txt"
+# A traced job streams its spans into the coordinator's .jsonl sink:
+# dispatch spans (track 1000+) and relayed worker spans (track 2000+)
+# merged under the one trace id.
+"$SSIM" submit --addr 127.0.0.1:42117 --benchmark gcc --len 2000 --seed 7 \
+  --trace 42 >/dev/null
 "$SSIM" submit --addr 127.0.0.1:42117 --shutdown >/dev/null
 "$SSIM" submit --addr 127.0.0.1:42115 --shutdown >/dev/null
 "$SSIM" submit --addr 127.0.0.1:42116 --shutdown >/dev/null
 wait "$W1" "$W2" "$COORD"
+grep -q '"trace":42' "$TRACE_TMP/fleet.trace.jsonl"
+grep -q '"tid":200[01]' "$TRACE_TMP/fleet.trace.jsonl"
+"$SSIM" trace-pack "$TRACE_TMP/fleet.trace.jsonl" "$TRACE_TMP/fleet.trace.json"
+cargo run --release --offline --example validate_trace -- "$TRACE_TMP/fleet.trace.json"
 
 echo "== chaos smoke: fixed-seed fault plan, replayed schedule and output =="
 # Two invocations of the same seeded plan (partition + sigkill + conn
