@@ -106,11 +106,13 @@ impl EnergyReport {
 ///
 /// ```
 /// use sharing_area::{energy::{estimate, EnergyModel}, AreaModel};
-/// use sharing_core::{SimConfig, Simulator};
+/// use sharing_core::{RunOptions, SimConfig, Simulator};
 /// use sharing_trace::{Benchmark, TraceSpec};
 ///
 /// let cfg = SimConfig::with_shape(2, 2)?;
-/// let result = Simulator::new(cfg)?.run(&Benchmark::Gcc.generate(&TraceSpec::new(3_000, 1)));
+/// let result = Simulator::new(cfg)?
+///     .run_with(&Benchmark::Gcc.generate(&TraceSpec::new(3_000, 1)), RunOptions::new())
+///     .result;
 /// let report = estimate(&result, &EnergyModel::node_45nm(), &AreaModel::paper());
 /// assert!(report.total_nj() > 0.0);
 /// assert!(report.edp() > 0.0);
@@ -152,7 +154,11 @@ mod tests {
         let cfg = SimConfig::with_shape(slices, banks).unwrap();
         Simulator::new(cfg)
             .unwrap()
-            .run(&Benchmark::Gcc.generate(&TraceSpec::new(8_000, 3)))
+            .run_with(
+                &Benchmark::Gcc.generate(&TraceSpec::new(8_000, 3)),
+                sharing_core::RunOptions::new(),
+            )
+            .result
     }
 
     #[test]

@@ -29,7 +29,8 @@ fn main() {
             // 1. Victim alone, private 512 KB.
             let alone = Simulator::new(SimConfig::with_shape(2, total_banks).expect("valid"))
                 .expect("valid")
-                .run(&victim);
+                .run_with(&victim, sharing_core::RunOptions::new())
+                .result;
 
             // 2. Both tenants share one 512 KB L2 (+ coherence directory).
             let vm = VmSimulator::new(SimConfig::with_shape(2, total_banks).expect("valid"))
@@ -40,10 +41,12 @@ fn main() {
             //    bully gets 2 (it streams; cache barely helps it).
             let victim_part = Simulator::new(SimConfig::with_shape(2, 6).expect("valid"))
                 .expect("valid")
-                .run(&victim);
+                .run_with(&victim, sharing_core::RunOptions::new())
+                .result;
             let bully_part = Simulator::new(SimConfig::with_shape(2, 2).expect("valid"))
                 .expect("valid")
-                .run(&bully);
+                .run_with(&bully, sharing_core::RunOptions::new())
+                .result;
 
             let rows = vec![
                 vec![

@@ -6,7 +6,7 @@
 //! * contiguous vs fragmented Slice allocation (§3).
 
 use sharing_bench::{render_table, run_experiment};
-use sharing_core::{ModelKnobs, SimConfig, Simulator};
+use sharing_core::{ModelKnobs, RunOptions, SimConfig, Simulator};
 use sharing_trace::{Benchmark, TraceSpec};
 
 fn ipc(bench: Benchmark, slices: usize, knobs: ModelKnobs, spec: &TraceSpec) -> f64 {
@@ -18,7 +18,8 @@ fn ipc(bench: Benchmark, slices: usize, knobs: ModelKnobs, spec: &TraceSpec) -> 
         .expect("valid config");
     Simulator::new(cfg)
         .expect("valid config")
-        .run(&bench.generate(spec))
+        .run_with(&bench.generate(spec), RunOptions::new())
+        .result
         .ipc()
 }
 

@@ -84,7 +84,7 @@ fn main() {
                 time_ns(5, 5, || {
                     let sim = Simulator::new(SimConfig::with_shape(slices, 2).expect("valid"))
                         .expect("valid");
-                    let _ = sim.run(&trace);
+                    let _ = sim.run_with(&trace, sharing_core::RunOptions::new());
                 }),
             ));
         }

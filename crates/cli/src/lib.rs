@@ -4,7 +4,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sharing_core::{SimConfig, Simulator, VmSimulator};
+use sharing_core::{EngineKind, RunOptions, SimConfig, Simulator, VmSimulator};
 use sharing_dc::{BillingMode, DcSim, Scenario};
 use sharing_obs::TraceBuffer;
 use sharing_trace::{
@@ -78,6 +78,9 @@ pub struct RunArgs {
     pub json: bool,
     /// When set, write a Chrome trace of the run's phases here.
     pub trace_out: Option<String>,
+    /// Engine implementation (`event` by default; `legacy` is the polled
+    /// oracle — results are byte-identical either way).
+    pub engine: EngineKind,
 }
 
 /// Arguments for `ssim sweep`.
@@ -333,6 +336,7 @@ USAGE:
     ssim run   (--benchmark <name> | --profile workload.json | --asm prog.s)
                [--slices N] [--banks N] [--len N]
                [--seed N] [--config file.json] [--json] [--trace-out FILE]
+               [--engine event|legacy]
     ssim sweep --benchmark <name> [--len N] [--seed N] [--jobs N]
                [--daemon HOST:PORT] [--csv-out FILE] [--trace-out FILE]
     ssim dc    (--scenario file.json | --emit-example)
@@ -394,6 +398,12 @@ buckets per Slice (fetch, issue, fu_busy, dram_stall, rob_full, idle);
 the buckets sum exactly to the run's total cycles, and same seed ⇒
 byte-identical output. Profiling never perturbs the simulated result.
 
+`ssim run --engine` picks the timing-engine implementation: `event`
+(default) schedules resource wake-ups discretely and skips dead cycles;
+`legacy` is the original per-cycle polled engine. Both produce
+byte-identical results — the flag exists for differential testing and
+performance comparison.
+
 `--trace-out` writes Chrome trace_event JSON; open it in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing. Simulator spans use
 logical (simulated-cycle) time, so tracing never perturbs results.
@@ -452,6 +462,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 config_path: None,
                 json: false,
                 trace_out: None,
+                engine: EngineKind::default(),
             };
             let mut got_workload = false;
             while let Some(flag) = it.next() {
@@ -475,6 +486,11 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     "--config" => out.config_path = Some(take_value(flag, &mut it)?.clone()),
                     "--json" => out.json = true,
                     "--trace-out" => out.trace_out = Some(take_value(flag, &mut it)?.clone()),
+                    "--engine" => {
+                        let v = take_value(flag, &mut it)?;
+                        out.engine = EngineKind::from_name(v)
+                            .ok_or_else(|| CliError::BadValue(flag.clone(), v.clone()))?;
+                    }
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
             }
@@ -831,7 +847,8 @@ fn execute_profile(args: &ProfileArgs) -> Result<String, CliError> {
         }
     };
     let sim = Simulator::new(cfg).expect("validated config");
-    let (result, profile) = sim.run_profiled(&trace);
+    let out = sim.run_with(&trace, RunOptions::new().profile());
+    let (result, profile) = (out.result, out.profile.expect("profiling requested"));
     if args.json {
         return Ok(format!(
             "{{\"result\":{},\"profile\":{}}}",
@@ -868,6 +885,7 @@ fn run_one(
     len: usize,
     seed: u64,
     obs: Option<&TraceBuffer>,
+    engine: EngineKind,
 ) -> sharing_core::SimResult {
     let spec = TraceSpec::new(len, seed);
     let traces = TraceCache::global();
@@ -877,7 +895,10 @@ fn run_one(
             traces.threaded(bench, &spec)
         };
         let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
-        VmSimulator::new(cfg).expect("validated config").run(&trace)
+        VmSimulator::new(cfg)
+            .expect("validated config")
+            .with_engine(engine)
+            .run(&trace)
     } else {
         let trace = {
             let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
@@ -885,12 +906,13 @@ fn run_one(
         };
         let sim = Simulator::new(cfg).expect("validated config");
         let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
-        match obs {
+        let mut opts = RunOptions::new().engine(engine);
+        if let Some(o) = obs {
             // The traced path also emits a logical-cycle span, so the
             // trace shows both wall time and simulated time.
-            Some(o) => sim.run_traced(&trace, o),
-            None => sim.run(&trace),
+            opts = opts.trace_to(o);
         }
+        sim.run_with(&trace, opts).result
     }
 }
 
@@ -900,9 +922,10 @@ fn run_workload(
     len: usize,
     seed: u64,
     obs: Option<&TraceBuffer>,
+    engine: EngineKind,
 ) -> Result<sharing_core::SimResult, CliError> {
     match workload {
-        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed, obs)),
+        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed, obs, engine)),
         Workload::AsmFile(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadAsm(format!("{path}: {e}")))?;
@@ -930,22 +953,23 @@ fn run_workload(
             let trace = sharing_trace::Trace::from_insts(name, insts);
             let sim = Simulator::new(cfg).expect("validated config");
             let _g = obs.map(|o| o.span(format!("simulate {}", trace.name()), "ssim", 0));
-            Ok(match obs {
-                Some(o) => sim.run_traced(&trace, o),
-                None => sim.run(&trace),
-            })
+            let mut opts = RunOptions::new().engine(engine);
+            if let Some(o) = obs {
+                opts = opts.trace_to(o);
+            }
+            Ok(sim.run_with(&trace, opts).result)
         }
         Workload::ProfileFile(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
             let profile: WorkloadProfile = sharing_json::from_str(&text)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
-            run_profile(&profile, cfg, len, seed, obs)
+            run_profile(&profile, cfg, len, seed, obs, engine)
         }
         Workload::Extra(name) => {
             let profile =
                 extra_profile(name).ok_or_else(|| CliError::UnknownBenchmark(name.clone()))?;
-            run_profile(&profile, cfg, len, seed, obs)
+            run_profile(&profile, cfg, len, seed, obs, engine)
         }
     }
 }
@@ -958,6 +982,7 @@ fn run_profile(
     len: usize,
     seed: u64,
     obs: Option<&TraceBuffer>,
+    engine: EngineKind,
 ) -> Result<sharing_core::SimResult, CliError> {
     let spec = TraceSpec::new(len, seed);
     if profile.threads > 1 {
@@ -968,7 +993,10 @@ fn run_profile(
                 .map_err(CliError::BadProfile)?
         };
         let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
-        Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
+        Ok(VmSimulator::new(cfg)
+            .expect("validated config")
+            .with_engine(engine)
+            .run(&trace))
     } else {
         let trace = {
             let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
@@ -978,10 +1006,11 @@ fn run_profile(
         };
         let sim = Simulator::new(cfg).expect("validated config");
         let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
-        Ok(match obs {
-            Some(o) => sim.run_traced(&trace, o),
-            None => sim.run(&trace),
-        })
+        let mut opts = RunOptions::new().engine(engine);
+        if let Some(o) = obs {
+            opts = opts.trace_to(o);
+        }
+        Ok(sim.run_with(&trace, opts).result)
     }
 }
 
@@ -1690,7 +1719,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 let _g = obs.as_ref().map(|o| o.span("load-config", "ssim", 0));
                 load_config(args)?
             };
-            let result = run_workload(&args.workload, cfg, args.len, args.seed, obs.as_ref())?;
+            let result = run_workload(
+                &args.workload,
+                cfg,
+                args.len,
+                args.seed,
+                obs.as_ref(),
+                args.engine,
+            )?;
             let mut out = if args.json {
                 sharing_json::to_string_pretty(&result)
             } else {
@@ -1919,7 +1955,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                         let mut guard = obs
                             .as_ref()
                             .map(|o| o.span(format!("point {s}s/{b}b"), "sweep", 0));
-                        let r = run_one(args.benchmark, cfg, args.len, args.seed, None);
+                        let r = run_one(
+                            args.benchmark,
+                            cfg,
+                            args.len,
+                            args.seed,
+                            None,
+                            EngineKind::default(),
+                        );
                         if let Some(g) = guard.as_mut() {
                             use sharing_json::Json;
                             let dt = t0.elapsed().as_secs_f64().max(1e-9);
@@ -2131,6 +2174,7 @@ mod tests {
             config_path: None,
             json: true,
             trace_out: None,
+            engine: EngineKind::default(),
         }))
         .unwrap();
         let v = sharing_json::Json::parse(&out).unwrap();
@@ -2184,6 +2228,7 @@ mod tests {
             config_path: Some("/nonexistent/ssim.json".to_string()),
             json: false,
             trace_out: None,
+            engine: EngineKind::default(),
         });
         assert!(matches!(execute(&cmd), Err(CliError::BadConfig(_))));
     }

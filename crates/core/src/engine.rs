@@ -28,6 +28,7 @@
 //! the same fidelity class as the paper's trace-driven SSim.
 
 use crate::config::{PredictorKind, SimConfig};
+use crate::event::{EngineKind, StoreHashBuilder, WakeHeap};
 use crate::predictor::BranchPredictor;
 use crate::stats::{SimResult, StallBreakdown};
 use sharing_cache::mshr::MshrOutcome;
@@ -183,6 +184,50 @@ impl Slots {
 
     fn clear(&mut self) {
         self.free_at.iter_mut().for_each(|v| *v = 0);
+    }
+}
+
+/// A bounded structural resource in whichever representation the
+/// engine's [`EngineKind`] selects: the original linear-scanned
+/// [`Slots`] (legacy) or the event-driven [`WakeHeap`]. The two are
+/// observably identical — only the multiset of slot free-times can be
+/// seen through `available_at`/`occupy` — which the differential suite
+/// pins byte-for-byte.
+#[derive(Clone, Debug)]
+enum Pool {
+    Scan(Slots),
+    Heap(WakeHeap),
+}
+
+impl Pool {
+    fn new(n: usize, kind: EngineKind) -> Self {
+        match kind {
+            EngineKind::Legacy => Pool::Scan(Slots::new(n)),
+            EngineKind::EventDriven => Pool::Heap(WakeHeap::new(n)),
+        }
+    }
+
+    /// Earliest cycle at/after `t` a slot is available.
+    fn available_at(&self, t: u64) -> u64 {
+        match self {
+            Pool::Scan(s) => s.available_at(t),
+            Pool::Heap(h) => h.available_at(t),
+        }
+    }
+
+    /// Occupies the earliest-free slot until `until`.
+    fn occupy(&mut self, t: u64, until: u64) {
+        match self {
+            Pool::Scan(s) => s.occupy(t, until),
+            Pool::Heap(h) => h.occupy(t, until),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Pool::Scan(s) => s.clear(),
+            Pool::Heap(h) => h.clear(),
+        }
     }
 }
 
@@ -367,12 +412,12 @@ struct SliceState {
     mshr: MshrFile,
     alu: FuCalendar,
     lsu: FuCalendar,
-    alu_window: Slots,
-    ls_window: Slots,
+    alu_window: Pool,
+    ls_window: Pool,
     rob: FifoSlots,
     lrf: FifoSlots,
-    lsq_bank: Slots,
-    store_buffer: Slots,
+    lsq_bank: Pool,
+    store_buffer: Pool,
     /// For the ordered-LSQ baseline: latest address-resolve time of any
     /// older store sorted to this bank.
     store_barrier: u64,
@@ -435,13 +480,14 @@ pub struct InstTiming {
 #[derive(Debug)]
 pub struct VCoreEngine {
     cfg: SimConfig,
+    kind: EngineKind,
     vcore_id: usize,
     slices: Vec<SliceState>,
     coords: Vec<Coord>,
     operand_net: QueuedNetwork,
     reg: [RegVersion; NUM_ARCH_REGS],
     freelist: FifoSlots,
-    store_map: HashMap<u64, StoreRec>,
+    store_map: HashMap<u64, StoreRec, StoreHashBuilder>,
     /// Earliest cycle the next fetch group may issue.
     fetch_ready: u64,
     prev_group_time: u64,
@@ -500,9 +546,18 @@ impl VerifyState {
 }
 
 impl VCoreEngine {
-    /// Creates an engine for `vcore_id` with the given configuration.
+    /// Creates an engine for `vcore_id` with the given configuration,
+    /// using the default (event-driven) scheduling.
     #[must_use]
     pub fn new(cfg: SimConfig, vcore_id: usize) -> Self {
+        Self::new_with_kind(cfg, vcore_id, EngineKind::default())
+    }
+
+    /// Creates an engine with an explicit [`EngineKind`]. Legacy and
+    /// event-driven engines produce byte-identical results; legacy
+    /// exists as the oracle for the differential suite.
+    #[must_use]
+    pub fn new_with_kind(cfg: SimConfig, vcore_id: usize, kind: EngineKind) -> Self {
         let n = cfg.slices();
         // Capacities are nominal; the modeled hierarchy is co-scaled down
         // with the workloads (see `sharing_isa::CAPACITY_SCALE`) so the
@@ -525,12 +580,12 @@ impl VCoreEngine {
                 mshr: MshrFile::new(cfg.slice.max_inflight_loads),
                 alu: FuCalendar::default(),
                 lsu: FuCalendar::default(),
-                alu_window: Slots::new(cfg.slice.issue_window),
-                ls_window: Slots::new(cfg.slice.ls_window),
+                alu_window: Pool::new(cfg.slice.issue_window, kind),
+                ls_window: Pool::new(cfg.slice.ls_window, kind),
                 rob: FifoSlots::new(cfg.slice.rob_entries),
                 lrf: FifoSlots::new(cfg.slice.local_regs),
-                lsq_bank: Slots::new(cfg.slice.lsq_entries),
-                store_buffer: Slots::new(cfg.slice.store_buffer),
+                lsq_bank: Pool::new(cfg.slice.lsq_entries, kind),
+                store_buffer: Pool::new(cfg.slice.store_buffer, kind),
                 store_barrier: 0,
                 local_copy: [(u64::MAX, 0); NUM_ARCH_REGS],
             })
@@ -540,18 +595,24 @@ impl VCoreEngine {
         // while the namespace is sized for the largest configuration.
         let freelist = FifoSlots::new((cfg.slice.global_regs - NUM_ARCH_REGS) * n);
         VCoreEngine {
-            operand_net: QueuedNetwork::new(
-                mesh,
-                cfg.knobs.operand_latency,
-                cfg.knobs.operand_planes,
-            ),
+            operand_net: match kind {
+                EngineKind::EventDriven => {
+                    QueuedNetwork::new(mesh, cfg.knobs.operand_latency, cfg.knobs.operand_planes)
+                }
+                EngineKind::Legacy => QueuedNetwork::new_polled(
+                    mesh,
+                    cfg.knobs.operand_latency,
+                    cfg.knobs.operand_planes,
+                ),
+            },
+            kind,
             cfg,
             vcore_id,
             slices,
             coords,
             reg: [RegVersion::default(); NUM_ARCH_REGS],
             freelist,
-            store_map: HashMap::new(),
+            store_map: HashMap::default(),
             fetch_ready: 0,
             prev_group_time: 0,
             prev_commit: 0,
@@ -627,6 +688,12 @@ impl VCoreEngine {
     #[must_use]
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// Which scheduling implementation this engine uses.
+    #[must_use]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.kind
     }
 
     /// Cycles elapsed so far (the last commit).

@@ -1,0 +1,258 @@
+//! Event-driven scheduling primitives for the timing engine.
+//!
+//! SSim is trace-driven: the engine never literally ticks a global
+//! clock, but its bounded structural resources used to be *polled* —
+//! every instruction linearly scanned each pool of busy-until times
+//! ([`crate::engine`]'s `Slots`) and the queued operand network walked
+//! link calendars one cycle at a time. This module replaces that with
+//! discrete-event bookkeeping: each resource keeps its wake-ups (the
+//! `next_tick` at which a slot frees) in a min-heap, so dead cycles are
+//! skipped and a claim costs `O(log n)` instead of `O(n)` — the
+//! Component/`next_tick` model described in DESIGN.md §13.
+//!
+//! The hard bar is byte-identity: [`WakeHeap`] must be *observably
+//! identical* to the scan it replaces. That holds because a pool's
+//! slots are interchangeable — only the multiset of free-times is
+//! observable. `available_at` returns the multiset minimum either way,
+//! and `occupy` replaces one minimum instance with
+//! `max(minimum, until)`; which physical slot holds the value cannot be
+//! seen. The differential suite (`tests/event_equiv.rs` and the PR 5
+//! style unit pins) enforces this bit-for-bit across every benchmark.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Which engine implementation a run uses. Both produce byte-identical
+/// [`crate::SimResult`]s; they differ only in how resource wake-ups are
+/// found.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Discrete-event scheduling: min-heap wake-ups for structural
+    /// pools, bitmap calendars for FUs and network links. The default.
+    #[default]
+    EventDriven,
+    /// The original polled implementation: linear scans over busy-until
+    /// times and per-cycle `BTreeSet` walks on network links. Kept as
+    /// the oracle for differential tests.
+    Legacy,
+}
+
+impl EngineKind {
+    /// Short name for logs and CLI flags.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::EventDriven => "event",
+            EngineKind::Legacy => "legacy",
+        }
+    }
+
+    /// Parses a CLI spelling.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "event" | "event-driven" | "event_driven" => Some(EngineKind::EventDriven),
+            "legacy" | "polled" => Some(EngineKind::Legacy),
+            _ => None,
+        }
+    }
+}
+
+/// A bounded structural resource as a min-heap of slot wake-up times.
+///
+/// The event-driven twin of the engine's `Slots`: a pool of `n`
+/// interchangeable slots, each free again at its recorded time.
+/// `available_at` peeks the earliest wake-up; `occupy` reschedules that
+/// earliest slot to `max(its time, until)` and sifts it down. Starting
+/// state (all zeros) is a valid heap, so `clear` is a fill.
+#[derive(Clone, Debug)]
+pub struct WakeHeap {
+    /// Binary min-heap of per-slot free times.
+    heap: Vec<u64>,
+}
+
+impl WakeHeap {
+    /// A pool of `n` slots, all free at cycle 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a resource pool needs at least one slot");
+        WakeHeap { heap: vec![0; n] }
+    }
+
+    /// Earliest cycle at/after `t` a slot is available (the heap root).
+    #[must_use]
+    pub fn available_at(&self, t: u64) -> u64 {
+        t.max(self.heap[0])
+    }
+
+    /// Occupies the earliest-free slot until `until`: replaces the root
+    /// with `max(root, until)` and restores the heap. Mirrors the
+    /// scanned pool's argmin-replace exactly (same multiset evolution).
+    pub fn occupy(&mut self, _t: u64, until: u64) {
+        self.heap[0] = self.heap[0].max(until);
+        self.sift_down();
+    }
+
+    /// Frees every slot (pipeline drain).
+    pub fn clear(&mut self) {
+        self.heap.fill(0);
+    }
+
+    fn sift_down(&mut self) {
+        let heap = &mut self.heap;
+        let n = heap.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && heap[r] < heap[l] { r } else { l };
+            if heap[c] >= heap[i] {
+                break;
+            }
+            heap.swap(i, c);
+            i = c;
+        }
+    }
+}
+
+/// `BuildHasher` for the engine's `u64`-keyed maps (store forwarding):
+/// one `splitmix64` finalization instead of SipHash's full permutation.
+/// Safe for byte-identity because map iteration order is never
+/// observable there — lookups and inserts are by key, and the only
+/// iteration (`retain`) decides per entry.
+pub type StoreHashBuilder = BuildHasherDefault<SplitMix64>;
+
+/// The `splitmix64` finalizer as a [`Hasher`] for fixed-width keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl Hasher for SplitMix64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-fixed-width keys; the engine only hashes u64s.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mut z = self.state ^ n;
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.state = z ^ (z >> 31);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_kind_names_round_trip() {
+        for k in [EngineKind::EventDriven, EngineKind::Legacy] {
+            assert_eq!(EngineKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(EngineKind::from_name("polled"), Some(EngineKind::Legacy));
+        assert_eq!(EngineKind::from_name("quantum"), None);
+    }
+
+    #[test]
+    fn wake_heap_tracks_min_and_capacity() {
+        let mut h = WakeHeap::new(2);
+        assert_eq!(h.available_at(5), 5);
+        h.occupy(5, 50);
+        h.occupy(5, 60);
+        // Both busy: next availability is the earliest release.
+        assert_eq!(h.available_at(5), 50);
+        h.occupy(50, 70); // reschedules the slot that freed at 50
+        assert_eq!(h.available_at(0), 60);
+    }
+
+    /// The PR 5-style pin: the heap must evolve the identical observable
+    /// multiset as the linear-scanned pool it replaces, under adversarial
+    /// interleavings including `until` below the current minimum.
+    #[test]
+    fn wake_heap_matches_scanned_slots_reference() {
+        struct ScanRef {
+            free_at: Vec<u64>,
+        }
+        impl ScanRef {
+            fn available_at(&self, t: u64) -> u64 {
+                t.max(self.free_at.iter().copied().min().unwrap())
+            }
+            fn occupy(&mut self, until: u64) {
+                let idx = (0..self.free_at.len())
+                    .min_by_key(|&i| self.free_at[i])
+                    .unwrap();
+                self.free_at[idx] = self.free_at[idx].max(until);
+            }
+        }
+        let mut seed = 0x1234_5678_9ABC_DEF0u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in [1usize, 2, 8, 32] {
+            let mut heap = WakeHeap::new(n);
+            let mut scan = ScanRef {
+                free_at: vec![0; n],
+            };
+            let mut now = 0u64;
+            for step in 0..10_000u64 {
+                let r = rng();
+                now += r % 7;
+                assert_eq!(
+                    heap.available_at(now),
+                    scan.available_at(now),
+                    "n={n} step={step}"
+                );
+                // Mostly forward releases, occasionally below the min.
+                let until = if r % 13 == 0 { now / 2 } else { now + r % 40 };
+                heap.occupy(now, until);
+                scan.occupy(until);
+            }
+            let mut a = heap.heap.clone();
+            let mut b = scan.free_at.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "multisets diverged for n={n}");
+        }
+    }
+
+    #[test]
+    fn clear_frees_everything() {
+        let mut h = WakeHeap::new(4);
+        for _ in 0..4 {
+            h.occupy(0, 99);
+        }
+        assert_eq!(h.available_at(1), 99);
+        h.clear();
+        assert_eq!(h.available_at(1), 1);
+    }
+
+    #[test]
+    fn splitmix_hashes_u64s_like_its_byte_stream() {
+        let mut a = SplitMix64::default();
+        a.write_u64(0xDEAD_BEEF);
+        let mut b = SplitMix64::default();
+        b.write(&0xDEAD_BEEFu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+}

@@ -7,10 +7,11 @@
 //!
 //! * [`SimConfig`] / [`VCoreShape`] — the paper's Tables 2/3 parameters and
 //!   the `(slices, cache)` configuration space of Equation 3;
-//! * [`Simulator`] — run one trace on one VCore;
+//! * [`Simulator`] — run one trace on one VCore via
+//!   [`Simulator::run_with`] and [`RunOptions`];
 //! * [`VmSimulator`] — multi-VCore VMs sharing a coherent L2 (PARSEC);
-//! * [`run_phased`] — dynamic reconfiguration across program phases with
-//!   the paper's 500/10 000-cycle costs (§5.10);
+//! * [`run_phased_with`] — dynamic reconfiguration across program phases
+//!   with the paper's 500/10 000-cycle costs (§5.10);
 //! * [`engine`] — the underlying timing model, exposed for composition;
 //! * [`profile`] — conservation-exact cycle attribution (the `profile`
 //!   feature, on by default): every simulated cycle of every Slice binned
@@ -24,9 +25,11 @@
 //! use sharing_trace::{Benchmark, TraceSpec};
 //!
 //! // Compare a 1-Slice and a 4-Slice VCore on the same workload.
+//! use sharing_core::RunOptions;
 //! let trace = Benchmark::H264ref.generate(&TraceSpec::new(4_000, 42));
-//! let small = Simulator::new(SimConfig::with_shape(1, 2)?)?.run(&trace);
-//! let big = Simulator::new(SimConfig::with_shape(4, 2)?)?.run(&trace);
+//! let sim = |s| Simulator::new(SimConfig::with_shape(s, 2).unwrap()).unwrap();
+//! let small = sim(1).run_with(&trace, RunOptions::new()).result;
+//! let big = sim(4).run_with(&trace, RunOptions::new()).result;
 //! assert!(big.ipc() > small.ipc());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -36,6 +39,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod event;
 pub mod multi;
 pub mod par;
 pub mod predictor;
@@ -52,10 +56,13 @@ pub use config::{
     MAX_L2_BANKS, MAX_SLICES,
 };
 pub use engine::{InstTiming, MemorySystem, VCoreEngine};
+pub use event::{EngineKind, WakeHeap};
 pub use multi::VmSimulator;
 pub use profile::{CycleProfile, SliceCycles};
 pub use reconfig::ReconfigCosts;
 pub use reconfigurable::ReconfigurableVCore;
-pub use sim::{run_phased, Simulator};
+#[allow(deprecated)]
+pub use sim::run_phased;
+pub use sim::{run_phased_with, RunOptions, RunOutput, Simulator};
 pub use stats::{MemCounters, SimResult, SliceStats, StallBreakdown};
 pub use structures::{Distribution, Structure};

@@ -10,6 +10,7 @@
 
 use crate::config::{ConfigError, SimConfig};
 use crate::engine::{MemorySystem, VCoreEngine};
+use crate::event::EngineKind;
 use crate::stats::SimResult;
 use sharing_trace::ThreadedTrace;
 
@@ -34,6 +35,7 @@ pub const DEFAULT_CHUNK: usize = 1_000;
 pub struct VmSimulator {
     cfg: SimConfig,
     chunk: usize,
+    kind: EngineKind,
 }
 
 impl VmSimulator {
@@ -48,7 +50,16 @@ impl VmSimulator {
         Ok(VmSimulator {
             cfg,
             chunk: DEFAULT_CHUNK,
+            kind: EngineKind::default(),
         })
+    }
+
+    /// Selects the engine implementation (byte-identical results either
+    /// way; see [`EngineKind`]).
+    #[must_use]
+    pub fn with_engine(mut self, kind: EngineKind) -> Self {
+        self.kind = kind;
+        self
     }
 
     /// Overrides the interleaving chunk size.
@@ -80,7 +91,7 @@ impl VmSimulator {
             mem.coherent = false;
         }
         let mut engines: Vec<VCoreEngine> = (0..workloads.len())
-            .map(|v| VCoreEngine::new(self.cfg, v))
+            .map(|v| VCoreEngine::new_with_kind(self.cfg, v, self.kind))
             .collect();
         let mut cursors = vec![0usize; workloads.len()];
         let mut live = workloads.len();
@@ -128,7 +139,7 @@ impl VmSimulator {
             mem.coherent = false;
         }
         let mut engines: Vec<VCoreEngine> = (0..threads)
-            .map(|v| VCoreEngine::new(self.cfg, v))
+            .map(|v| VCoreEngine::new_with_kind(self.cfg, v, self.kind))
             .collect();
         let mut cursors = vec![0usize; threads];
         let mut live = threads;
@@ -234,7 +245,10 @@ mod tests {
         let t = Benchmark::Gcc.generate(&TraceSpec::new(3_000, 2));
         let tt = sharing_trace::ThreadedTrace::single(t.clone());
         let vm = VmSimulator::new(cfg).unwrap().run(&tt);
-        let single = crate::Simulator::new(cfg).unwrap().run(&t);
+        let single = crate::Simulator::new(cfg)
+            .unwrap()
+            .run_with(&t, crate::RunOptions::new())
+            .result;
         assert_eq!(vm.instructions, single.instructions);
         // Chunked execution may split a fetch group at a chunk boundary,
         // shifting timing by a cycle or two.

@@ -1,7 +1,17 @@
 //! Single-threaded simulation driver.
+//!
+//! The one entry point is [`Simulator::run_with`]: every way of running a
+//! trace — plain, traced into an obs buffer, with placed banks, verified
+//! against the ISA interpreter, profiled, or with per-instruction timing
+//! records — is a [`RunOptions`] combination, and every output rides home
+//! in one [`RunOutput`]. The older one-method-per-mode entry points
+//! (`run`, `run_traced`, `run_placed`, `run_verified`, `run_profiled`,
+//! `run_detailed`, [`run_phased`]) survive as thin deprecated shims for
+//! one release.
 
 use crate::config::{ConfigError, SimConfig};
-use crate::engine::{MemorySystem, VCoreEngine};
+use crate::engine::{InstTiming, MemorySystem, VCoreEngine};
+use crate::event::EngineKind;
 use crate::reconfig::ReconfigCosts;
 use crate::stats::SimResult;
 use sharing_trace::Trace;
@@ -26,17 +36,145 @@ pub(crate) fn observe_run(result: &SimResult) {
         .add(result.instructions);
 }
 
+/// What a [`Simulator::run_with`] call should do beyond timing the trace.
+///
+/// Built fluently; the default is a plain run on the (event-driven)
+/// default engine. Every option is pure observation or placement — none
+/// changes the committed [`SimResult`] except `bank_distances`, which
+/// models genuinely different hardware.
+///
+/// # Example
+///
+/// ```
+/// use sharing_core::{EngineKind, RunOptions, SimConfig, Simulator};
+/// use sharing_trace::{Benchmark, TraceSpec};
+///
+/// let trace = Benchmark::Gcc.generate(&TraceSpec::new(2_000, 1));
+/// let sim = Simulator::new(SimConfig::with_shape(2, 2)?)?;
+/// let out = sim.run_with(&trace, RunOptions::new().verify().record_timings());
+/// assert_eq!(out.verified, Some(true));
+/// assert_eq!(out.timings.unwrap().len() as u64, out.result.instructions);
+/// // The legacy polled engine produces byte-identical results.
+/// let legacy = sim.run_with(&trace, RunOptions::new().engine(EngineKind::Legacy));
+/// assert_eq!(legacy.result, out.result);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions<'a> {
+    engine: EngineKind,
+    bank_distances: Option<Vec<u32>>,
+    trace_to: Option<&'a sharing_obs::TraceBuffer>,
+    #[cfg(feature = "profile")]
+    profile: bool,
+    timings: bool,
+    verify: bool,
+}
+
+impl<'a> RunOptions<'a> {
+    /// A plain run: default (event-driven) engine, no extras.
+    #[must_use]
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Selects the engine implementation. Both kinds produce
+    /// byte-identical [`SimResult`]s (see [`EngineKind`]); `Legacy` is
+    /// the polled oracle kept for differential testing.
+    #[must_use]
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Places the L2 banks at explicit network distances — the
+    /// hypervisor's real placement for a lease (e.g.
+    /// `sharing_hv::Lease::bank_distances`) rather than the default
+    /// compact ring. A crowded chip hands out distant banks, and this is
+    /// where that shows up as cycles.
+    #[must_use]
+    pub fn bank_distances(mut self, distances: Vec<u32>) -> Self {
+        self.bank_distances = Some(distances);
+        self
+    }
+
+    /// Records one *logical-cycle* span for the whole run into `obs`:
+    /// the span covers `[0, cycles)` in simulated time and carries
+    /// instructions, cycles, IPC, and the shape as args. Because the
+    /// timestamps come from the simulated clock (never a real one),
+    /// tracing is exactly as deterministic as the result — enabling it
+    /// cannot perturb bit-for-bit replay.
+    #[must_use]
+    pub fn trace_to(mut self, obs: &'a sharing_obs::TraceBuffer) -> Self {
+        self.trace_to = Some(obs);
+        self
+    }
+
+    /// Arms the cycle-attribution profiler (see [`crate::profile`]):
+    /// [`RunOutput::profile`] gets every simulated cycle of every Slice
+    /// binned into fetch/issue/FU-busy/DRAM-stall/ROB-full/idle. Pure
+    /// observation — the result stays bit-identical — and bucket totals
+    /// are accumulated into the process-global obs registry
+    /// (`ssim_profile_<bucket>_cycles_total`).
+    #[cfg(feature = "profile")]
+    #[must_use]
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
+    /// Records per-instruction timings into [`RunOutput::timings`]
+    /// (tests/debugging; memory grows with trace length).
+    #[must_use]
+    pub fn record_timings(mut self) -> Self {
+        self.timings = true;
+        self
+    }
+
+    /// Verifies dataflow: the engine computes every instruction's
+    /// architectural value through its own rename and store-forwarding
+    /// bookkeeping, and the committed destination-value stream is
+    /// compared against the reference [`sharing_isa::Interpreter`].
+    /// [`RunOutput::verified`] reports whether the streams matched; a
+    /// `false` means the pipeline model broke program semantics — e.g.
+    /// forwarded from the wrong store or resolved a stale register
+    /// version.
+    #[must_use]
+    pub fn verify(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+}
+
+/// Everything a [`Simulator::run_with`] call produced. `result` is
+/// always present; the optional fields are `Some` exactly when the
+/// corresponding [`RunOptions`] switch was set.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct RunOutput {
+    /// The timing result (always produced).
+    pub result: SimResult,
+    /// Cycle-attribution profile, when [`RunOptions::profile`] was set.
+    #[cfg(feature = "profile")]
+    pub profile: Option<crate::profile::CycleProfile>,
+    /// Per-instruction timings, when [`RunOptions::record_timings`] was
+    /// set.
+    pub timings: Option<Vec<InstTiming>>,
+    /// Whether committed values matched the ISA interpreter, when
+    /// [`RunOptions::verify`] was set.
+    pub verified: Option<bool>,
+}
+
 /// Convenience driver: one trace, one VCore, private memory system.
 ///
 /// # Example
 ///
 /// ```
-/// use sharing_core::{SimConfig, Simulator};
+/// use sharing_core::{RunOptions, SimConfig, Simulator};
 /// use sharing_trace::{Benchmark, TraceSpec};
 ///
 /// let cfg = SimConfig::with_shape(2, 2)?; // 2 Slices, 128 KB L2
 /// let trace = Benchmark::Gcc.generate(&TraceSpec::new(3_000, 1));
-/// let result = Simulator::new(cfg)?.run(&trace);
+/// let result = Simulator::new(cfg)?.run_with(&trace, RunOptions::new()).result;
 /// assert!(result.ipc() > 0.05);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -62,134 +200,159 @@ impl Simulator {
         &self.cfg
     }
 
-    /// Runs a trace to completion and returns the result.
+    /// Runs a trace to completion under `options` — the single entry
+    /// point every older `run_*` method now forwards to. See
+    /// [`RunOptions`] for what can ride along and [`RunOutput`] for what
+    /// comes back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`RunOptions::bank_distances`] was given a vector whose
+    /// length differs from the configured bank count.
     #[must_use]
-    pub fn run(&self, trace: &Trace) -> SimResult {
-        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg, 0);
+    pub fn run_with(&self, trace: &Trace, options: RunOptions<'_>) -> RunOutput {
+        let mut mem = match options.bank_distances {
+            Some(distances) => {
+                assert_eq!(
+                    distances.len(),
+                    self.cfg.l2_banks(),
+                    "one distance per configured bank"
+                );
+                MemorySystem::private_placed(distances, self.cfg.mem.memory_delay)
+            }
+            None => MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay),
+        };
+        let mut engine = VCoreEngine::new_with_kind(self.cfg, 0, options.engine);
+        if options.verify {
+            engine.enable_verification();
+        }
+        if options.timings {
+            engine.enable_recording();
+        }
+        #[cfg(feature = "profile")]
+        if options.profile {
+            engine.enable_profiling();
+        }
         engine.run_chunk(&mut mem, trace.insts());
+
+        let verified = options.verify.then(|| {
+            let committed = engine.committed_values().expect("verification enabled");
+            committed == sharing_isa::Interpreter::new().run(trace.insts())
+        });
+        let timings = options
+            .timings
+            .then(|| engine.timings().expect("recording enabled").to_vec());
+        #[cfg(feature = "profile")]
+        let profile = options
+            .profile
+            .then(|| engine.cycle_profile().expect("profiling enabled"));
+
         let mut result = engine.finish(trace.name());
         VCoreEngine::absorb_mem_stats(&mut result, &mem);
         observe_run(&result);
-        result
+        #[cfg(feature = "profile")]
+        if let Some(p) = &profile {
+            crate::profile::observe_profile(p);
+        }
+        if let Some(obs) = options.trace_to {
+            use sharing_json::Json;
+            obs.record_logical(
+                format!("simulate {}", trace.name()),
+                "ssim",
+                0,
+                0,
+                result.cycles,
+                vec![
+                    (
+                        "instructions".into(),
+                        Json::Int(i128::from(result.instructions)),
+                    ),
+                    ("cycles".into(), Json::Int(i128::from(result.cycles))),
+                    ("ipc".into(), Json::Float(result.ipc())),
+                    ("slices".into(), Json::Int(self.cfg.slices() as i128)),
+                    ("l2_banks".into(), Json::Int(self.cfg.l2_banks() as i128)),
+                ],
+            );
+        }
+        RunOutput {
+            result,
+            #[cfg(feature = "profile")]
+            profile,
+            timings,
+            verified,
+        }
     }
 
-    /// Runs a trace and records one *logical-cycle* span for the whole
-    /// run into `obs`: the span covers `[0, cycles)` in simulated time
-    /// and carries instructions, cycles, IPC, and the shape as args.
-    /// Because the timestamps come from the simulated clock (never a
-    /// real one), tracing is exactly as deterministic as the result —
-    /// enabling it cannot perturb bit-for-bit replay.
+    /// Runs a trace to completion and returns the result.
+    #[deprecated(since = "0.1.0", note = "use `run_with(trace, RunOptions::new())`")]
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> SimResult {
+        self.run_with(trace, RunOptions::new()).result
+    }
+
+    /// Runs a trace, recording a logical-cycle span into `obs`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(trace, RunOptions::new().trace_to(obs))`"
+    )]
     #[must_use]
     pub fn run_traced(&self, trace: &Trace, obs: &sharing_obs::TraceBuffer) -> SimResult {
-        use sharing_json::Json;
-        let result = self.run(trace);
-        obs.record_logical(
-            format!("simulate {}", trace.name()),
-            "ssim",
-            0,
-            0,
-            result.cycles,
-            vec![
-                (
-                    "instructions".into(),
-                    Json::Int(i128::from(result.instructions)),
-                ),
-                ("cycles".into(), Json::Int(i128::from(result.cycles))),
-                ("ipc".into(), Json::Float(result.ipc())),
-                ("slices".into(), Json::Int(self.cfg.slices() as i128)),
-                ("l2_banks".into(), Json::Int(self.cfg.l2_banks() as i128)),
-            ],
-        );
-        result
+        self.run_with(trace, RunOptions::new().trace_to(obs)).result
     }
 
-    /// Runs a trace with the L2 banks at explicit network distances — the
-    /// hypervisor's real placement for a lease (e.g.
-    /// `sharing_hv::Lease::bank_distances`) rather than the default compact
-    /// ring. A crowded chip hands out distant banks, and this is where
-    /// that shows up as cycles.
+    /// Runs a trace with the L2 banks at explicit network distances.
     ///
     /// # Panics
     ///
     /// Panics if `bank_distances.len()` differs from the configured bank
     /// count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(trace, RunOptions::new().bank_distances(d))`"
+    )]
     #[must_use]
     pub fn run_placed(&self, trace: &Trace, bank_distances: Vec<u32>) -> SimResult {
-        assert_eq!(
-            bank_distances.len(),
-            self.cfg.l2_banks(),
-            "one distance per configured bank"
-        );
-        let mut mem = MemorySystem::private_placed(bank_distances, self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg, 0);
-        engine.run_chunk(&mut mem, trace.insts());
-        let mut result = engine.finish(trace.name());
-        VCoreEngine::absorb_mem_stats(&mut result, &mem);
-        observe_run(&result);
-        result
+        self.run_with(trace, RunOptions::new().bank_distances(bank_distances))
+            .result
     }
 
-    /// Runs a trace with dataflow verification: the engine computes every
-    /// instruction's architectural value through its own rename and
-    /// store-forwarding bookkeeping, and the committed destination-value
-    /// stream is compared against the reference
-    /// [`sharing_isa::Interpreter`]. Returns the result and whether the
-    /// streams matched exactly.
-    ///
-    /// A `false` here means the pipeline model broke program semantics —
-    /// e.g. forwarded from the wrong store or resolved a stale register
-    /// version.
+    /// Runs a trace with dataflow verification against the ISA
+    /// interpreter.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(trace, RunOptions::new().verify())`"
+    )]
     #[must_use]
     pub fn run_verified(&self, trace: &Trace) -> (SimResult, bool) {
-        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg, 0);
-        engine.enable_verification();
-        engine.run_chunk(&mut mem, trace.insts());
-        let committed = engine
-            .committed_values()
-            .expect("verification enabled")
-            .to_vec();
-        let mut result = engine.finish(trace.name());
-        VCoreEngine::absorb_mem_stats(&mut result, &mem);
-        let reference = sharing_isa::Interpreter::new().run(trace.insts());
-        (result, committed == reference)
+        let out = self.run_with(trace, RunOptions::new().verify());
+        let ok = out.verified.expect("verify was requested");
+        (out.result, ok)
     }
 
-    /// Runs a trace with the cycle-attribution profiler armed and
-    /// returns the profile alongside the result (see [`crate::profile`]).
-    /// The accounting is pure observation, so the [`SimResult`] is
-    /// bit-identical to [`Self::run`]'s, and the profile itself is
-    /// deterministic: same trace, same shape, same bytes. Bucket totals
-    /// are also accumulated into the process-global obs registry
-    /// (`ssim_profile_<bucket>_cycles_total`).
+    /// Runs a trace with the cycle-attribution profiler armed.
     #[cfg(feature = "profile")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(trace, RunOptions::new().profile())`"
+    )]
     #[must_use]
     pub fn run_profiled(&self, trace: &Trace) -> (SimResult, crate::profile::CycleProfile) {
-        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg, 0);
-        engine.enable_profiling();
-        engine.run_chunk(&mut mem, trace.insts());
-        let profile = engine.cycle_profile().expect("profiling enabled");
-        let mut result = engine.finish(trace.name());
-        VCoreEngine::absorb_mem_stats(&mut result, &mem);
-        observe_run(&result);
-        crate::profile::observe_profile(&profile);
-        (result, profile)
+        let out = self.run_with(trace, RunOptions::new().profile());
+        let profile = out.profile.expect("profiling was requested");
+        (out.result, profile)
     }
 
     /// Runs a trace and returns per-instruction timing records alongside
-    /// the result (tests/debugging; memory grows with trace length).
+    /// the result.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `run_with(trace, RunOptions::new().record_timings())`"
+    )]
     #[must_use]
-    pub fn run_detailed(&self, trace: &Trace) -> (SimResult, Vec<crate::engine::InstTiming>) {
-        let mut mem = MemorySystem::private(self.cfg.l2_banks(), self.cfg.mem.memory_delay);
-        let mut engine = VCoreEngine::new(self.cfg, 0);
-        engine.enable_recording();
-        engine.run_chunk(&mut mem, trace.insts());
-        let timings = engine.timings().expect("recording enabled").to_vec();
-        let mut result = engine.finish(trace.name());
-        VCoreEngine::absorb_mem_stats(&mut result, &mem);
-        (result, timings)
+    pub fn run_detailed(&self, trace: &Trace) -> (SimResult, Vec<InstTiming>) {
+        let out = self.run_with(trace, RunOptions::new().record_timings());
+        let timings = out.timings.expect("timings were requested");
+        (out.result, timings)
     }
 }
 
@@ -197,7 +360,8 @@ impl Simulator {
 /// reconfigured VCore, charging the paper's reconfiguration costs between
 /// phases (§5.10). Caches and predictors restart cold per phase — matching
 /// the L2-flush semantics of reconfiguration — and the returned cycle count
-/// includes the reconfiguration stalls.
+/// includes the reconfiguration stalls. `engine` selects the engine
+/// implementation for every phase (byte-identical results either way).
 ///
 /// # Errors
 ///
@@ -206,9 +370,10 @@ impl Simulator {
 /// # Panics
 ///
 /// Panics if `phases` is empty.
-pub fn run_phased(
+pub fn run_phased_with(
     phases: &[(Trace, SimConfig)],
     costs: ReconfigCosts,
+    engine: EngineKind,
 ) -> Result<SimResult, ConfigError> {
     assert!(!phases.is_empty(), "at least one phase required");
     let mut total = SimResult {
@@ -217,7 +382,9 @@ pub fn run_phased(
     };
     let mut prev_shape = None;
     for (trace, cfg) in phases {
-        let r = Simulator::new(*cfg)?.run(trace);
+        let r = Simulator::new(*cfg)?
+            .run_with(trace, RunOptions::new().engine(engine))
+            .result;
         if let Some(prev) = prev_shape {
             total.cycles += costs.cost(prev, cfg.shape());
         }
@@ -232,6 +399,23 @@ pub fn run_phased(
     Ok(total)
 }
 
+/// [`run_phased_with`] on the default engine.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if any phase configuration is invalid.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty.
+#[deprecated(since = "0.1.0", note = "use `run_phased_with(phases, costs, kind)`")]
+pub fn run_phased(
+    phases: &[(Trace, SimConfig)],
+    costs: ReconfigCosts,
+) -> Result<SimResult, ConfigError> {
+    run_phased_with(phases, costs, EngineKind::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,10 +426,18 @@ mod tests {
         Benchmark::Gcc.generate(&TraceSpec::new(len, 7))
     }
 
+    /// Plain run through the unified entry point.
+    fn run_plain(cfg: SimConfig, t: &Trace) -> SimResult {
+        Simulator::new(cfg)
+            .unwrap()
+            .run_with(t, RunOptions::new())
+            .result
+    }
+
     #[test]
     fn runs_and_reports() {
         let cfg = SimConfig::with_shape(1, 2).unwrap();
-        let r = Simulator::new(cfg).unwrap().run(&gcc(2_000));
+        let r = run_plain(cfg, &gcc(2_000));
         assert_eq!(r.instructions, 2_000);
         assert!(r.cycles > 2_000, "one ALU cannot exceed IPC 1 overall");
         assert_eq!(r.shape, Some(VCoreShape::new(1, 2).unwrap()));
@@ -257,20 +449,16 @@ mod tests {
     fn deterministic_results() {
         let cfg = SimConfig::with_shape(3, 4).unwrap();
         let t = gcc(3_000);
-        let a = Simulator::new(cfg).unwrap().run(&t);
-        let b = Simulator::new(cfg).unwrap().run(&t);
+        let a = run_plain(cfg, &t);
+        let b = run_plain(cfg, &t);
         assert_eq!(a, b);
     }
 
     #[test]
     fn more_slices_help_an_ilp_workload() {
         let t = Benchmark::Libquantum.generate(&TraceSpec::new(8_000, 3));
-        let one = Simulator::new(SimConfig::with_shape(1, 2).unwrap())
-            .unwrap()
-            .run(&t);
-        let four = Simulator::new(SimConfig::with_shape(4, 2).unwrap())
-            .unwrap()
-            .run(&t);
+        let one = run_plain(SimConfig::with_shape(1, 2).unwrap(), &t);
+        let four = run_plain(SimConfig::with_shape(4, 2).unwrap(), &t);
         assert!(
             four.ipc() > one.ipc() * 1.3,
             "4 slices {:.3} should beat 1 slice {:.3}",
@@ -282,7 +470,10 @@ mod tests {
     #[test]
     fn timing_invariants_hold() {
         let cfg = SimConfig::with_shape(4, 2).unwrap();
-        let (r, timings) = Simulator::new(cfg).unwrap().run_detailed(&gcc(2_000));
+        let out = Simulator::new(cfg)
+            .unwrap()
+            .run_with(&gcc(2_000), RunOptions::new().record_timings());
+        let (r, timings) = (out.result, out.timings.unwrap());
         assert_eq!(timings.len() as u64, r.instructions);
         let mut prev_commit = 0;
         for t in &timings {
@@ -301,7 +492,10 @@ mod tests {
     fn profile_buckets_conserve_cycles_at_every_shape() {
         for (s, b) in [(1usize, 2usize), (2, 0), (4, 4), (8, 2)] {
             let cfg = SimConfig::with_shape(s, b).unwrap();
-            let (r, p) = Simulator::new(cfg).unwrap().run_profiled(&gcc(5_000));
+            let out = Simulator::new(cfg)
+                .unwrap()
+                .run_with(&gcc(5_000), RunOptions::new().profile());
+            let (r, p) = (out.result, out.profile.unwrap());
             assert_eq!(p.cycles, r.cycles);
             assert_eq!(p.per_slice.len(), s);
             for (i, sc) in p.per_slice.iter().enumerate() {
@@ -323,9 +517,11 @@ mod tests {
         let cfg = SimConfig::with_shape(4, 2).unwrap();
         let t = gcc(4_000);
         let sim = Simulator::new(cfg).unwrap();
-        let plain = sim.run(&t);
-        let (a_result, a) = sim.run_profiled(&t);
-        let (b_result, b) = sim.run_profiled(&t);
+        let plain = sim.run_with(&t, RunOptions::new()).result;
+        let out_a = sim.run_with(&t, RunOptions::new().profile());
+        let out_b = sim.run_with(&t, RunOptions::new().profile());
+        let (a_result, a) = (out_a.result, out_a.profile.unwrap());
+        let (b_result, b) = (out_b.result, out_b.profile.unwrap());
         assert_eq!(plain, a_result, "profiling perturbed the result");
         assert_eq!(a_result, b_result);
         assert_eq!(a, b);
@@ -341,9 +537,11 @@ mod tests {
             .map(|i| DynInst::load(4 * i, ArchReg::new(1), None, 0x1000 + 64 * i, MemSize::B8))
             .collect();
         let cfg = SimConfig::with_shape(1, 0).unwrap();
-        let (_, p) = Simulator::new(cfg)
+        let p = Simulator::new(cfg)
             .unwrap()
-            .run_profiled(&Trace::from_insts("ld", loads));
+            .run_with(&Trace::from_insts("ld", loads), RunOptions::new().profile())
+            .profile
+            .unwrap();
         let t = p.totals();
         assert!(
             t.dram_stall > p.cycles / 2,
@@ -353,9 +551,11 @@ mod tests {
         // A pure dependent-ALU chain never leaves the core.
         let r = ArchReg::new(1);
         let alus: Vec<DynInst> = (0..2_000).map(|i| DynInst::alu(4 * i, r, &[r])).collect();
-        let (_, p) = Simulator::new(cfg)
+        let p = Simulator::new(cfg)
             .unwrap()
-            .run_profiled(&Trace::from_insts("alu", alus));
+            .run_with(&Trace::from_insts("alu", alus), RunOptions::new().profile())
+            .profile
+            .unwrap();
         assert_eq!(p.totals().dram_stall, 0, "ALU chain cannot touch DRAM");
     }
 
@@ -373,8 +573,8 @@ mod tests {
             })
             .build()
             .unwrap();
-        let rb = Simulator::new(bimodal).unwrap().run(&t);
-        let rg = Simulator::new(gshare).unwrap().run(&t);
+        let rb = run_plain(bimodal, &t);
+        let rg = run_plain(gshare, &t);
         assert_eq!(rb.instructions, rg.instructions);
         assert_eq!(rb.predictor.predictions, rg.predictor.predictions);
         assert!(rg.predictor.mispredict_rate() < 0.5);
@@ -408,8 +608,8 @@ mod tests {
             })
             .build()
             .unwrap();
-        let rb = Simulator::new(bimodal).unwrap().run(&t);
-        let rg = Simulator::new(gshare).unwrap().run(&t);
+        let rb = run_plain(bimodal, &t);
+        let rg = run_plain(gshare, &t);
         assert!(
             rg.predictor.mispredict_rate() < 0.7 * rb.predictor.mispredict_rate(),
             "gshare {:.3} should clearly beat bimodal {:.3} on periodic branches",
@@ -433,8 +633,8 @@ mod tests {
                 .build()
                 .unwrap()
         };
-        let one = Simulator::new(mk(1)).unwrap().run(&t);
-        let eight = Simulator::new(mk(8)).unwrap().run(&t);
+        let one = run_plain(mk(1), &t);
+        let eight = run_plain(mk(8), &t);
         // The composed (delayed) GHR can only hurt accuracy.
         assert!(
             eight.predictor.mispredict_rate() >= one.predictor.mispredict_rate() - 0.01,
@@ -450,9 +650,15 @@ mod tests {
             let t = bench.generate(&TraceSpec::new(5_000, 17));
             for (s, b) in [(1, 0), (4, 4), (8, 2)] {
                 let cfg = SimConfig::with_shape(s, b).unwrap();
-                let (r, ok) = Simulator::new(cfg).unwrap().run_verified(&t);
-                assert!(ok, "{bench} at {s}s/{b}b diverged from the interpreter");
-                assert_eq!(r.instructions, 5_000);
+                let out = Simulator::new(cfg)
+                    .unwrap()
+                    .run_with(&t, RunOptions::new().verify());
+                assert_eq!(
+                    out.verified,
+                    Some(true),
+                    "{bench} at {s}s/{b}b diverged from the interpreter"
+                );
+                assert_eq!(out.result.instructions, 5_000);
             }
         }
     }
@@ -460,9 +666,7 @@ mod tests {
     #[test]
     fn empty_trace_is_a_noop() {
         let cfg = SimConfig::with_shape(4, 4).unwrap();
-        let r = Simulator::new(cfg)
-            .unwrap()
-            .run(&Trace::from_insts("empty", vec![]));
+        let r = run_plain(cfg, &Trace::from_insts("empty", vec![]));
         assert_eq!(r.instructions, 0);
         assert_eq!(r.cycles, 0);
         assert_eq!(r.ipc(), 0.0);
@@ -473,7 +677,7 @@ mod tests {
         use sharing_isa::{ArchReg, DynInst};
         let cfg = SimConfig::with_shape(8, 0).unwrap();
         let t = Trace::from_insts("one", vec![DynInst::alu(0x40, ArchReg::new(1), &[])]);
-        let r = Simulator::new(cfg).unwrap().run(&t);
+        let r = run_plain(cfg, &t);
         assert_eq!(r.instructions, 1);
         assert!(r.cycles >= 1);
     }
@@ -491,9 +695,7 @@ mod tests {
             })
             .collect();
         let t = Trace::from_insts("jumps", insts);
-        let r = Simulator::new(SimConfig::with_shape(2, 1).unwrap())
-            .unwrap()
-            .run(&t);
+        let r = run_plain(SimConfig::with_shape(2, 1).unwrap(), &t);
         assert_eq!(r.instructions, 512);
         // One-instruction fetch groups cap IPC at ~1.
         assert!(r.ipc() <= 1.05, "jump chain IPC {:.2}", r.ipc());
@@ -511,12 +713,8 @@ mod tests {
             .map(|i| DynInst::load(4 * i, r1, None, 0x1000 + 8 * i, MemSize::B8))
             .collect();
         let cfg = SimConfig::with_shape(2, 2).unwrap();
-        let rs = Simulator::new(cfg)
-            .unwrap()
-            .run(&Trace::from_insts("st", stores));
-        let rl = Simulator::new(cfg)
-            .unwrap()
-            .run(&Trace::from_insts("ld", loads));
+        let rs = run_plain(cfg, &Trace::from_insts("st", stores));
+        let rl = run_plain(cfg, &Trace::from_insts("ld", loads));
         assert_eq!(rs.instructions, 256);
         assert_eq!(rl.instructions, 256);
         assert_eq!(rs.mem.l1d.accesses, 256);
@@ -526,7 +724,7 @@ mod tests {
     #[test]
     fn per_slice_stats_show_balanced_interleaving() {
         let cfg = SimConfig::with_shape(4, 2).unwrap();
-        let r = Simulator::new(cfg).unwrap().run(&gcc(20_000));
+        let r = run_plain(cfg, &gcc(20_000));
         assert_eq!(r.per_slice.len(), 4);
         // PC interleaving spreads predictions; line interleaving spreads
         // D-cache traffic. Neither should be wildly lopsided.
@@ -558,22 +756,55 @@ mod tests {
         let phases = t.split_phases(2);
         let cfg_a = SimConfig::with_shape(2, 2).unwrap();
         let cfg_b = SimConfig::with_shape(2, 4).unwrap();
-        let phased = run_phased(
+        let phased = run_phased_with(
             &[(phases[0].clone(), cfg_a), (phases[1].clone(), cfg_b)],
             ReconfigCosts::paper(),
+            EngineKind::default(),
         )
         .unwrap();
-        let same = run_phased(
+        let same = run_phased_with(
             &[(phases[0].clone(), cfg_a), (phases[1].clone(), cfg_a)],
             ReconfigCosts::paper(),
+            EngineKind::default(),
         )
         .unwrap();
         assert_eq!(phased.instructions, 4_000);
         // Cache change costs 10 000; slice-identical costs 0.
         assert!(phased.cycles >= same.cycles.saturating_sub(20_000));
-        let raw_a = Simulator::new(SimConfig::with_shape(2, 2).unwrap())
-            .unwrap()
-            .run(&phases[0]);
+        let raw_a = run_plain(SimConfig::with_shape(2, 2).unwrap(), &phases[0]);
         assert!(phased.cycles > raw_a.cycles, "includes both phases");
+    }
+
+    /// The two engines must agree to the byte on the full result; the
+    /// heavy cross-benchmark sweep lives in `tests/event_equiv.rs`.
+    #[test]
+    fn engines_are_byte_identical_smoke() {
+        let t = gcc(6_000);
+        for (s, b) in [(1usize, 0usize), (2, 2), (8, 16)] {
+            let sim = Simulator::new(SimConfig::with_shape(s, b).unwrap()).unwrap();
+            let event = sim.run_with(&t, RunOptions::new());
+            let legacy = sim.run_with(&t, RunOptions::new().engine(EngineKind::Legacy));
+            assert_eq!(event.result, legacy.result, "{s}s/{b}b diverged");
+        }
+    }
+
+    /// The one-release deprecated shims must forward faithfully.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_run_with() {
+        let t = gcc(2_000);
+        let cfg = SimConfig::with_shape(2, 2).unwrap();
+        let sim = Simulator::new(cfg).unwrap();
+        assert_eq!(sim.run(&t), sim.run_with(&t, RunOptions::new()).result);
+        let (r, ok) = sim.run_verified(&t);
+        assert!(ok);
+        assert_eq!(r, sim.run(&t));
+        let (r, timings) = sim.run_detailed(&t);
+        assert_eq!(timings.len() as u64, r.instructions);
+        let phases = vec![(t.clone(), cfg)];
+        assert_eq!(
+            run_phased(&phases, ReconfigCosts::paper()).unwrap(),
+            run_phased_with(&phases, ReconfigCosts::paper(), EngineKind::default()).unwrap()
+        );
     }
 }

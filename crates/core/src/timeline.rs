@@ -1,7 +1,7 @@
 //! Pipeline timeline rendering.
 //!
 //! Turns the per-instruction [`InstTiming`](crate::InstTiming) records of
-//! [`Simulator::run_detailed`](crate::Simulator::run_detailed) into a text
+//! [`RunOptions::record_timings`](crate::RunOptions::record_timings) runs into a text
 //! Gantt chart (in the spirit of gem5's O3 pipeline viewer), which makes
 //! the Sharing Architecture's behaviours *visible*: the interleaved fetch
 //! groups marching across Slices, remote operands stretching the
@@ -23,8 +23,9 @@ use std::fmt::Write as _;
 /// Renders a window of instructions as a pipeline chart.
 ///
 /// `timings` and `insts` must be parallel slices (as produced by
-/// `run_detailed` and the trace it ran). At most `max_width` cycle columns
-/// are drawn; rows extending past the window are truncated with `>`.
+/// [`RunOptions::record_timings`](crate::RunOptions::record_timings) and
+/// the trace it ran). At most `max_width` cycle columns are drawn; rows
+/// extending past the window are truncated with `>`.
 ///
 /// # Panics
 ///
@@ -33,11 +34,14 @@ use std::fmt::Write as _;
 /// # Example
 ///
 /// ```
-/// use sharing_core::{timeline, SimConfig, Simulator};
+/// use sharing_core::{timeline, RunOptions, SimConfig, Simulator};
 /// use sharing_trace::{Benchmark, TraceSpec};
 ///
 /// let trace = Benchmark::Gcc.generate(&TraceSpec::new(64, 1));
-/// let (_, timings) = Simulator::new(SimConfig::with_shape(2, 2)?)?.run_detailed(&trace);
+/// let timings = Simulator::new(SimConfig::with_shape(2, 2)?)?
+///     .run_with(&trace, RunOptions::new().record_timings())
+///     .timings
+///     .unwrap();
 /// let chart = timeline::render(&timings[..16], &trace.insts()[..16], 80);
 /// assert!(chart.contains("seq"));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -109,9 +113,11 @@ mod tests {
 
     fn sample(n: usize) -> (Vec<InstTiming>, sharing_trace::Trace) {
         let trace = Benchmark::Gcc.generate(&TraceSpec::new(n, 3));
-        let (_, timings) = Simulator::new(SimConfig::with_shape(2, 2).unwrap())
+        let timings = Simulator::new(SimConfig::with_shape(2, 2).unwrap())
             .unwrap()
-            .run_detailed(&trace);
+            .run_with(&trace, crate::RunOptions::new().record_timings())
+            .timings
+            .unwrap();
         (timings, trace)
     }
 

@@ -1,0 +1,192 @@
+//! Differential tests: the event-driven engine must be byte-identical
+//! to the legacy polled engine.
+//!
+//! The event engine (DESIGN.md §13) replaces per-cycle scanning with
+//! wake-up scheduling, but it is a pure mechanism change: the multiset
+//! of unit free-times and link claims it tracks is exactly the state
+//! the polled structures scan. These tests pin that equivalence over
+//! every benchmark, a seeded sample of the shape grid, the synthetic
+//! stress profiles, and the cycle profiler's conservation law.
+
+use sharing_core::{EngineKind, RunOptions, SimConfig, SimResult, Simulator};
+use sharing_trace::{
+    bursty_profile, phase_shift_profile, Benchmark, ProgramGenerator, Trace, TraceSpec,
+    ALL_BENCHMARKS,
+};
+
+fn run(cfg: SimConfig, trace: &Trace, kind: EngineKind) -> SimResult {
+    Simulator::new(cfg)
+        .expect("valid config")
+        .run_with(trace, RunOptions::new().engine(kind))
+        .result
+}
+
+/// Serialized form, so "byte-identical" means exactly that: every
+/// counter, every cache statistic, every derived field.
+fn bytes(r: &SimResult) -> String {
+    sharing_json::to_string(r)
+}
+
+/// A small deterministic LCG for sampling the shape grid without
+/// pulling in an RNG dependency.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Every benchmark, one mid-size shape: the broad equivalence sweep.
+#[test]
+fn all_benchmarks_are_byte_identical_across_engines() {
+    let spec = TraceSpec::new(4_000, 11);
+    for &bench in &ALL_BENCHMARKS {
+        let trace = bench.generate(&spec);
+        let cfg = SimConfig::with_shape(4, 4).expect("valid shape");
+        let legacy = run(cfg, &trace, EngineKind::Legacy);
+        let event = run(cfg, &trace, EngineKind::EventDriven);
+        assert_eq!(
+            bytes(&legacy),
+            bytes(&event),
+            "{bench}: engines diverged on shape (4,4)"
+        );
+    }
+}
+
+/// A seeded sample of the full (slices × l2_banks) grid, several
+/// benchmarks each — the corners (1,0) and (8,16) always included.
+#[test]
+fn sampled_shape_grid_is_byte_identical_across_engines() {
+    let slices_options = [1usize, 2, 3, 4, 5, 6, 7, 8];
+    let banks_options = [0usize, 2, 4, 8, 16];
+    let benches = [
+        Benchmark::Gcc,
+        Benchmark::Libquantum,
+        Benchmark::Mcf,
+        Benchmark::Apache,
+        Benchmark::Omnetpp,
+    ];
+    let mut state = 0x5EED_CAFE_F00Du64;
+    for (i, &bench) in benches.iter().enumerate() {
+        let trace = bench.generate(&TraceSpec::new(3_000, 17 + i as u64));
+        let mut shapes = vec![(1usize, 0usize), (8, 16)];
+        for _ in 0..4 {
+            let s = slices_options[(lcg(&mut state) as usize) % slices_options.len()];
+            let b = banks_options[(lcg(&mut state) as usize) % banks_options.len()];
+            shapes.push((s, b));
+        }
+        for (s, b) in shapes {
+            let Ok(cfg) = SimConfig::with_shape(s, b) else {
+                continue; // sampled an invalid corner of the lattice
+            };
+            let legacy = run(cfg, &trace, EngineKind::Legacy);
+            let event = run(cfg, &trace, EngineKind::EventDriven);
+            assert_eq!(
+                bytes(&legacy),
+                bytes(&event),
+                "{bench}: engines diverged on shape ({s},{b})"
+            );
+        }
+    }
+}
+
+/// The synthetic stress profiles: bursty arrivals and a mid-run phase
+/// shift exercise the operand network and cache calendars far from the
+/// benchmark steady state.
+#[test]
+fn stress_profiles_are_byte_identical_across_engines() {
+    for profile in [bursty_profile(), phase_shift_profile()] {
+        let spec = TraceSpec::new(5_000, 23);
+        let trace = ProgramGenerator::new(&profile, spec)
+            .expect("profiles validate")
+            .generate_single();
+        for (s, b) in [(1usize, 0usize), (2, 2), (4, 8), (8, 16)] {
+            let cfg = SimConfig::with_shape(s, b).expect("valid shape");
+            let legacy = run(cfg, &trace, EngineKind::Legacy);
+            let event = run(cfg, &trace, EngineKind::EventDriven);
+            assert_eq!(
+                bytes(&legacy),
+                bytes(&event),
+                "{}: engines diverged on shape ({s},{b})",
+                profile.name
+            );
+        }
+    }
+}
+
+/// Verified runs replay architectural state through the interpreter;
+/// both engines must commit the same values.
+#[test]
+fn verified_runs_agree_across_engines() {
+    let trace = Benchmark::Gcc.generate(&TraceSpec::new(2_000, 5));
+    for kind in [EngineKind::Legacy, EngineKind::EventDriven] {
+        let cfg = SimConfig::with_shape(4, 4).expect("valid shape");
+        let out = Simulator::new(cfg)
+            .expect("valid config")
+            .run_with(&trace, RunOptions::new().engine(kind).verify());
+        assert_eq!(
+            out.verified,
+            Some(true),
+            "{} engine failed architectural verification",
+            kind.name()
+        );
+    }
+}
+
+/// The cycle profiler's conservation law — every slice's six buckets
+/// sum to the run's cycle count — must hold on the event engine, and
+/// the attribution itself must match the legacy engine's exactly.
+#[cfg(feature = "profile")]
+#[test]
+fn profiler_conservation_holds_and_matches_across_engines() {
+    for &bench in &[Benchmark::Gcc, Benchmark::Mcf, Benchmark::Libquantum] {
+        let trace = bench.generate(&TraceSpec::new(3_000, 7));
+        for (s, b) in [(2usize, 2usize), (5, 8), (8, 16)] {
+            let cfg = SimConfig::with_shape(s, b).expect("valid shape");
+            let profiles: Vec<_> = [EngineKind::Legacy, EngineKind::EventDriven]
+                .into_iter()
+                .map(|kind| {
+                    Simulator::new(cfg)
+                        .expect("valid config")
+                        .run_with(&trace, RunOptions::new().engine(kind).profile())
+                        .profile
+                        .expect("profiling requested")
+                })
+                .collect();
+            for p in &profiles {
+                assert!(
+                    p.conserved(),
+                    "{bench} ({s},{b}): buckets must sum to cycles per slice"
+                );
+                assert_eq!(p.per_slice.len(), s);
+            }
+            assert_eq!(
+                sharing_json::to_string(&profiles[0]),
+                sharing_json::to_string(&profiles[1]),
+                "{bench} ({s},{b}): cycle attribution diverged between engines"
+            );
+        }
+    }
+}
+
+/// Timelines are the finest-grained observable: per-instruction fetch
+/// through commit cycles must agree stage-for-stage.
+#[test]
+fn instruction_timings_agree_across_engines() {
+    let trace = Benchmark::H264ref.generate(&TraceSpec::new(1_500, 13));
+    let cfg = SimConfig::with_shape(4, 4).expect("valid shape");
+    let timings: Vec<_> = [EngineKind::Legacy, EngineKind::EventDriven]
+        .into_iter()
+        .map(|kind| {
+            Simulator::new(cfg)
+                .expect("valid config")
+                .run_with(&trace, RunOptions::new().engine(kind).record_timings())
+                .timings
+                .expect("timings requested")
+        })
+        .collect();
+    assert_eq!(timings[0].len(), timings[1].len());
+    for (a, b) in timings[0].iter().zip(&timings[1]) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "timing diverged");
+    }
+}

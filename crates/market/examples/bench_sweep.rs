@@ -1,19 +1,25 @@
 //! Timed cold and warm full-suite sweeps, for the perf trajectory.
 //!
 //! `scripts/bench_sweep.sh` wraps this and writes `BENCH_sweep.json`.
-//! Four phases over the full 15-benchmark × 72-shape grid:
+//! Six phases over the full 15-benchmark × 72-shape grid:
 //!
 //! 1. **regen baseline** — sequential, a fresh trace cache per point, so
 //!    every point regenerates its trace (the pre-trace-cache behaviour);
 //! 2. **cold sequential** — one shared fresh trace cache, one worker;
 //! 3. **cold parallel** — one shared fresh trace cache, `--jobs` workers;
 //! 4. **warm parallel** — the same cache again, so every trace lookup
-//!    hits.
+//!    hits;
+//! 5. **legacy engine** — the warm cache again, polled (legacy) engine,
+//!    one worker — the engine A/B baseline;
+//! 6. **event engine** — same warm cache, event-driven engine, one
+//!    worker. Phases 5 and 6 must serialize byte-identically (the
+//!    engines' contract), and their ratio is the `event_driven`
+//!    speedup reported in the JSON.
 //!
 //! The sequential and parallel builds must serialize byte-identically
 //! (asserted here), which is the determinism contract of DESIGN.md §9.
 
-use sharing_core::VCoreShape;
+use sharing_core::{EngineKind, VCoreShape};
 use sharing_json::{Json, ToJson};
 use sharing_market::{ExperimentSpec, SuiteSurfaces};
 use sharing_trace::{TraceCache, ALL_BENCHMARKS};
@@ -85,6 +91,41 @@ fn main() {
         "warm rebuild must reproduce the cold build"
     );
 
+    // Engine A/B on the warm cache: identical work, identical traces,
+    // only the engine differs — so the wall-clock ratio is the
+    // event-driven speedup, and the surfaces must match byte-for-byte.
+    let t = Instant::now();
+    let legacy = SuiteSurfaces::build_subset_with_engine(
+        spec,
+        &ALL_BENCHMARKS,
+        &par_cache,
+        1,
+        EngineKind::Legacy,
+    );
+    let legacy_secs = t.elapsed().as_secs_f64();
+    eprintln!("[legacy engine:   {legacy_secs:.2}s]");
+
+    let t = Instant::now();
+    let event = SuiteSurfaces::build_subset_with_engine(
+        spec,
+        &ALL_BENCHMARKS,
+        &par_cache,
+        1,
+        EngineKind::EventDriven,
+    );
+    let event_secs = t.elapsed().as_secs_f64();
+    eprintln!("[event engine:    {event_secs:.2}s]");
+    assert_eq!(
+        sharing_json::to_string(&legacy),
+        sharing_json::to_string(&event),
+        "event-driven engine must serialize byte-identically to the legacy engine"
+    );
+    assert_eq!(
+        sharing_json::to_string(&par),
+        sharing_json::to_string(&event),
+        "default-engine sweep must match the explicit event-driven sweep"
+    );
+
     // Simulated cycles, reconstructed from the surfaces: each point
     // committed `trace_len` instructions per thread at the measured
     // per-thread IPC, so cycles ~= len / perf (exact for single-thread
@@ -117,6 +158,19 @@ fn main() {
         (
             "cycles_per_sec_cold_sequential",
             Json::Float(est_cycles / cold_seq_secs),
+        ),
+        (
+            "event_driven",
+            Json::obj(vec![
+                ("sequential_secs", Json::Float(event_secs)),
+                ("cycles_per_sec", Json::Float(est_cycles / event_secs)),
+                ("legacy_sequential_secs", Json::Float(legacy_secs)),
+                (
+                    "legacy_cycles_per_sec",
+                    Json::Float(est_cycles / legacy_secs),
+                ),
+                ("speedup_vs_legacy", Json::Float(legacy_secs / event_secs)),
+            ]),
         ),
         (
             "trace_cache",

@@ -56,7 +56,10 @@ fn measure_phases(spec: &TraceSpec, phases: usize, shapes: &[VCoreShape]) -> Pha
                 let trace = gcc_phase_trace(p, spec);
                 let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks)
                     .expect("candidate shapes are valid");
-                let r = Simulator::new(cfg).expect("valid config").run(&trace);
+                let r = Simulator::new(cfg)
+                    .expect("valid config")
+                    .run_with(&trace, sharing_core::RunOptions::new())
+                    .result;
                 results
                     .lock()
                     .expect("phase lock")

@@ -134,31 +134,59 @@ impl Mesh {
     /// Panics if either coordinate is off-mesh.
     #[must_use]
     pub fn route(self, a: Coord, b: Coord) -> Vec<Link> {
+        self.route_steps(a, b).collect()
+    }
+
+    /// The same XY-routed path as [`Mesh::route`], but as a lazy iterator
+    /// so hot paths (one per operand-network message) walk the links
+    /// without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is off-mesh.
+    pub fn route_steps(self, a: Coord, b: Coord) -> RouteSteps {
         assert!(
             self.contains(a) && self.contains(b),
             "route endpoints must be on mesh"
         );
-        let mut path = Vec::with_capacity(self.hops(a, b) as usize);
-        let mut cur = a;
-        while cur.x != b.x {
-            let next = Coord::new(if b.x > cur.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
-            path.push(Link {
-                from: cur,
-                to: next,
-            });
-            cur = next;
-        }
-        while cur.y != b.y {
-            let next = Coord::new(cur.x, if b.y > cur.y { cur.y + 1 } else { cur.y - 1 });
-            path.push(Link {
-                from: cur,
-                to: next,
-            });
-            cur = next;
-        }
-        path
+        RouteSteps { cur: a, dst: b }
     }
 }
+
+/// Lazy XY-route walker returned by [`Mesh::route_steps`].
+#[derive(Clone, Copy, Debug)]
+pub struct RouteSteps {
+    cur: Coord,
+    dst: Coord,
+}
+
+impl Iterator for RouteSteps {
+    type Item = Link;
+
+    fn next(&mut self) -> Option<Link> {
+        let cur = self.cur;
+        let dst = self.dst;
+        let next = if cur.x != dst.x {
+            Coord::new(if dst.x > cur.x { cur.x + 1 } else { cur.x - 1 }, cur.y)
+        } else if cur.y != dst.y {
+            Coord::new(cur.x, if dst.y > cur.y { cur.y + 1 } else { cur.y - 1 })
+        } else {
+            return None;
+        };
+        self.cur = next;
+        Some(Link {
+            from: cur,
+            to: next,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.cur.manhattan(self.dst) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteSteps {}
 
 #[cfg(test)]
 mod tests {
@@ -213,6 +241,31 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_mesh_rejected() {
         let _ = Mesh::new(0, 4);
+    }
+
+    #[test]
+    fn route_steps_is_a_chained_xy_walk_everywhere() {
+        let m = Mesh::new(5, 4);
+        for i in 0..m.tiles() {
+            for j in 0..m.tiles() {
+                let (a, b) = (m.coord_of(i), m.coord_of(j));
+                let path: Vec<Link> = m.route_steps(a, b).collect();
+                assert_eq!(path.len(), m.hops(a, b) as usize, "{a} -> {b}");
+                let mut cur = a;
+                let mut turned = false;
+                for link in &path {
+                    assert_eq!(link.from, cur);
+                    assert_eq!(link.from.manhattan(link.to), 1, "hops are adjacent");
+                    if link.from.y != link.to.y {
+                        turned = true;
+                    } else {
+                        assert!(!turned, "X resolves before Y");
+                    }
+                    cur = link.to;
+                }
+                assert_eq!(cur, b);
+            }
+        }
     }
 
     #[test]

@@ -164,12 +164,11 @@ impl Transport for IdealNetwork {
     }
 }
 
-/// Bandwidth-limited transport: one message per directed link per cycle,
-/// dimension-ordered routing, with one or more parallel physical planes.
-///
-/// Multiple planes model the paper's operand-network bandwidth ablation:
-/// with `planes = 2`, each message picks the plane whose first link frees
-/// earliest (§5.1 found the second network buys only ≈1% performance).
+/// Reference link calendar: the exact cycle set as a `BTreeSet`, polled
+/// one cycle at a time. This is the original (pre-event-driven)
+/// representation, kept as the byte-identity oracle for
+/// [`BitmapCalendar`] — `QueuedNetwork::new_polled` selects it so
+/// differential tests can diff full runs against the event-driven door.
 #[derive(Clone, Debug, Default)]
 struct LinkCalendar {
     busy: BTreeSet<u64>,
@@ -196,11 +195,125 @@ impl LinkCalendar {
     }
 }
 
+/// Event-driven link calendar: the same cycle set as [`LinkCalendar`],
+/// held as a windowed bitmap (one bit per cycle, 64 cycles per word) so a
+/// claim is a word-scan for the first zero bit instead of a per-cycle
+/// `contains` poll, and so the hot path allocates nothing.
+///
+/// Every observable behaviour is bit-identical to the reference:
+/// `claim(t)` returns the first clear cycle ≥ `t`, and once the set
+/// exceeds 4096 claimed cycles it forgets everything below
+/// `claim − 2048` (mirroring the reference's `split_off`), which makes
+/// those old cycles claimable again. Out-of-order claims below the
+/// window's base grow the window backward rather than approximating.
+#[derive(Clone, Debug, Default)]
+struct BitmapCalendar {
+    /// Cycle number of bit 0 of `words[0]`.
+    base: u64,
+    /// Busy bits; bit `i` of `words[w]` covers cycle `base + 64w + i`.
+    words: Vec<u64>,
+    /// Number of set bits (mirrors the reference set's `len()`).
+    count: usize,
+}
+
+impl BitmapCalendar {
+    /// Claims the first free cycle at or after `t`.
+    fn claim(&mut self, t: u64) -> u64 {
+        if self.words.is_empty() {
+            self.base = t & !63;
+            self.count = 0;
+        } else if t < self.base {
+            let k = ((self.base - t).div_ceil(64)) as usize;
+            self.words.splice(0..0, std::iter::repeat_n(0, k));
+            self.base -= 64 * k as u64;
+        }
+        let mut idx = ((t - self.base) / 64) as usize;
+        let mut mask = !0u64 << ((t - self.base) % 64);
+        let c = loop {
+            if idx >= self.words.len() {
+                self.words.resize(idx + 1, 0);
+            }
+            let free = !self.words[idx] & mask;
+            if free != 0 {
+                let bit = free.trailing_zeros() as u64;
+                self.words[idx] |= 1 << bit;
+                break self.base + idx as u64 * 64 + bit;
+            }
+            idx += 1;
+            mask = !0;
+        };
+        self.count += 1;
+        if self.count > 4096 {
+            self.prune(c.saturating_sub(2048));
+        }
+        c
+    }
+
+    /// Forgets all claimed cycles strictly below `cutoff` (they become
+    /// free again), exactly as the reference's `split_off(&cutoff)`.
+    fn prune(&mut self, cutoff: u64) {
+        if cutoff <= self.base {
+            return;
+        }
+        let whole = (((cutoff - self.base) / 64) as usize).min(self.words.len());
+        for w in self.words.drain(..whole) {
+            self.count -= w.count_ones() as usize;
+        }
+        self.base += 64 * whole as u64;
+        if cutoff > self.base {
+            if let Some(w0) = self.words.first_mut() {
+                let below = (1u64 << (cutoff - self.base)) - 1;
+                self.count -= (*w0 & below).count_ones() as usize;
+                *w0 &= !below;
+            }
+        }
+    }
+
+    /// Whether cycle `t` is free on this link (for plane selection).
+    fn free_at(&self, t: u64) -> bool {
+        if t < self.base {
+            return true;
+        }
+        let idx = ((t - self.base) / 64) as usize;
+        idx >= self.words.len() || self.words[idx] & (1 << ((t - self.base) % 64)) == 0
+    }
+}
+
+/// Per-plane link occupancy in one of the two representations.
+#[derive(Clone, Debug)]
+enum LinkClaims {
+    /// Reference: lazily-populated map of per-cycle sets, polled per cycle.
+    Polled(Vec<HashMap<Link, LinkCalendar>>),
+    /// Event-driven: flat `tiles × 4` array of bitmap calendars per plane,
+    /// indexed by (source tile, direction) — no hashing, no allocation.
+    Event(Vec<Vec<BitmapCalendar>>),
+}
+
+/// Flat slot of a directed link: source tile index × 4 + direction.
+fn link_slot(mesh: Mesh, link: Link) -> usize {
+    let dir = if link.to.x > link.from.x {
+        0 // east
+    } else if link.to.x < link.from.x {
+        1 // west
+    } else if link.to.y > link.from.y {
+        2 // south
+    } else {
+        3 // north
+    };
+    mesh.index_of(link.from) * 4 + dir
+}
+
 /// Bandwidth-limited transport: one message per directed link per cycle,
 /// dimension-ordered routing, with one or more parallel physical planes.
 ///
 /// Multiple planes model the paper's operand-network bandwidth ablation
 /// (§5.1 found a second network buys only ≈1% performance).
+///
+/// Two internal representations exist, selected at construction and
+/// observably identical: [`QueuedNetwork::new`] uses event-driven bitmap
+/// calendars (DESIGN.md §13), while [`QueuedNetwork::new_polled`] keeps
+/// the original per-cycle-polled `BTreeSet` calendars as the oracle for
+/// differential tests.
 #[derive(Clone, Debug)]
 pub struct QueuedNetwork {
     mesh: Mesh,
@@ -209,12 +322,13 @@ pub struct QueuedNetwork {
     /// Per-plane, per-link cycle calendars. Messages are timestamped, not
     /// processed in time order, so links track exact occupied cycles
     /// rather than a monotonic cursor.
-    calendars: Vec<HashMap<Link, LinkCalendar>>,
+    links: LinkClaims,
     stats: NetStats,
 }
 
 impl QueuedNetwork {
-    /// Creates a queued transport with the given number of physical planes.
+    /// Creates a queued transport with the given number of physical
+    /// planes, using the event-driven link representation.
     ///
     /// # Panics
     ///
@@ -226,23 +340,56 @@ impl QueuedNetwork {
             mesh,
             latency,
             planes,
-            calendars: vec![HashMap::new(); planes],
+            links: LinkClaims::Event(vec![
+                vec![BitmapCalendar::default(); mesh.tiles() * 4];
+                planes
+            ]),
             stats: NetStats::default(),
         }
     }
 
-    fn send_on_plane(&mut self, plane: usize, path: &[Link], now: u64) -> u64 {
-        // Insertion into the network interface costs one cycle; each link
-        // then adds a cycle, stalling behind traffic that holds the link in
-        // the same cycle.
-        let mut t = now + 1;
-        for link in path {
-            let cal = self.calendars[plane].entry(*link).or_default();
-            let depart = cal.claim(t);
-            self.stats.contention_cycles += depart - t;
-            t = depart + 1;
+    /// Creates a queued transport backed by the original per-cycle-polled
+    /// calendars. Slower; exists so the legacy engine mode and the
+    /// differential suite can pin the event-driven path byte-for-byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes == 0`.
+    #[must_use]
+    pub fn new_polled(mesh: Mesh, latency: LatencyModel, planes: usize) -> Self {
+        assert!(planes > 0, "at least one network plane required");
+        QueuedNetwork {
+            mesh,
+            latency,
+            planes,
+            links: LinkClaims::Polled(vec![HashMap::new(); planes]),
+            stats: NetStats::default(),
         }
-        t
+    }
+
+    /// Whether this network uses the event-driven representation.
+    #[must_use]
+    pub fn is_event_driven(&self) -> bool {
+        matches!(self.links, LinkClaims::Event(_))
+    }
+
+    /// Claims the first free cycle ≥ `t` on `link` in `plane`.
+    fn claim(&mut self, plane: usize, link: Link, t: u64) -> u64 {
+        match &mut self.links {
+            LinkClaims::Polled(cals) => cals[plane].entry(link).or_default().claim(t),
+            LinkClaims::Event(planes) => {
+                let slot = link_slot(self.mesh, link);
+                planes[plane][slot].claim(t)
+            }
+        }
+    }
+
+    /// Whether `link` is free at cycle `t` in `plane` (plane selection).
+    fn link_free_at(&self, plane: usize, link: Link, t: u64) -> bool {
+        match &self.links {
+            LinkClaims::Polled(cals) => cals[plane].get(&link).is_none_or(|c| c.free_at(t)),
+            LinkClaims::Event(planes) => planes[plane][link_slot(self.mesh, link)].free_at(t),
+        }
     }
 }
 
@@ -254,20 +401,26 @@ impl Transport for QueuedNetwork {
         if hops == 0 {
             return now + u64::from(self.latency.local);
         }
-        let path = self.mesh.route(src, dst);
+        let mesh = self.mesh;
+        let mut steps = mesh.route_steps(src, dst);
+        let first = steps.next().expect("hops > 0 implies a first link");
         // Pick a plane whose first link is free at the insertion cycle.
         let plane = (0..self.planes)
-            .find(|&p| {
-                self.calendars[p]
-                    .get(&path[0])
-                    .is_none_or(|c| c.free_at(now + 1))
-            })
+            .find(|&p| self.link_free_at(p, first, now + 1))
             .unwrap_or(0);
-        let arrival = self.send_on_plane(plane, &path, now);
+        // Insertion into the network interface costs one cycle; each link
+        // then adds a cycle, stalling behind traffic that holds the link
+        // in the same cycle.
+        let mut t = now + 1;
+        for link in std::iter::once(first).chain(steps) {
+            let depart = self.claim(plane, link, t);
+            self.stats.contention_cycles += depart - t;
+            t = depart + 1;
+        }
         // The uncontended queued cost is 1 (insertion) + hops; align the
         // floor with the analytic model so both modes agree when idle.
         let floor = now + u64::from(self.latency.latency(hops));
-        arrival.max(floor)
+        t.max(floor)
     }
 
     /// Tree multicast: dimension-ordered routes to all destinations share
@@ -286,16 +439,14 @@ impl Transport for QueuedNetwork {
                 out.push(now + u64::from(self.latency.local));
                 continue;
             }
-            let path = self.mesh.route(src, dst);
             // Walk forward from the deepest already-reached tile.
             let mut t = reached[&src];
-            for link in &path {
+            for link in self.mesh.route_steps(src, dst) {
                 if let Some(&at) = reached.get(&link.to) {
                     t = at;
                     continue;
                 }
-                let cal = self.calendars[0].entry(*link).or_default();
-                let depart = cal.claim(t);
+                let depart = self.claim(0, link, t);
                 self.stats.contention_cycles += depart - t;
                 t = depart + 1;
                 reached.insert(link.to, t);
@@ -311,8 +462,19 @@ impl Transport for QueuedNetwork {
     }
 
     fn reset(&mut self) {
-        for plane in &mut self.calendars {
-            plane.clear();
+        match &mut self.links {
+            LinkClaims::Polled(cals) => {
+                for plane in cals {
+                    plane.clear();
+                }
+            }
+            LinkClaims::Event(planes) => {
+                for plane in planes {
+                    for cal in plane {
+                        *cal = BitmapCalendar::default();
+                    }
+                }
+            }
         }
         self.stats = NetStats::default();
     }
@@ -452,6 +614,71 @@ mod tests {
             "tree {tree_arrivals:?} should beat serialized unicasts {uni_arrivals:?}"
         );
         assert!(tree.stats().contention_cycles <= uni.stats().contention_cycles);
+    }
+
+    /// Deterministic xorshift for the differential fuzzers.
+    fn rng(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    #[test]
+    fn bitmap_calendar_matches_btreeset_reference() {
+        // Direct fuzz of the two calendar representations, with enough
+        // claims to cross the 4096-entry prune several times and with
+        // occasional out-of-order (backward-in-time) claims.
+        let mut bitmap = BitmapCalendar::default();
+        let mut reference = LinkCalendar::default();
+        let mut seed = 0x5EED_CAFE;
+        let mut now = 100u64;
+        for i in 0..40_000u64 {
+            let r = rng(&mut seed);
+            now += r % 3; // mostly clustered, slowly advancing
+            let t = if r.is_multiple_of(97) { now / 2 } else { now }; // rare old claim
+            let a = bitmap.claim(t);
+            let b = reference.claim(t);
+            assert_eq!(a, b, "claim {i} at t={t} diverged");
+            assert_eq!(bitmap.count, reference.busy.len(), "count after claim {i}");
+            let probe = t + r % 5;
+            assert_eq!(bitmap.free_at(probe), reference.free_at(probe));
+        }
+    }
+
+    #[test]
+    fn event_network_matches_polled_network() {
+        // Full-transport differential: identical send/multicast sequences
+        // through both representations must produce identical arrivals
+        // and identical stats (contention cycles included).
+        for planes in [1, 2] {
+            let mut event = QueuedNetwork::new(mesh(), LatencyModel::tilera(), planes);
+            let mut polled = QueuedNetwork::new_polled(mesh(), LatencyModel::tilera(), planes);
+            assert!(event.is_event_driven() && !polled.is_event_driven());
+            let mut seed = 0xD1FF ^ planes as u64;
+            let mut now = 0u64;
+            for i in 0..20_000u64 {
+                let r = rng(&mut seed);
+                now += r % 2; // heavy same-cycle contention
+                let src = Coord::new((r >> 8) as u16 % 8, (r >> 16) as u16 % 8);
+                let dst = Coord::new((r >> 24) as u16 % 8, (r >> 32) as u16 % 8);
+                if r.is_multiple_of(29) {
+                    let dsts = [dst, Coord::new((r >> 40) as u16 % 8, 0), src];
+                    assert_eq!(
+                        event.multicast(src, &dsts, now),
+                        polled.multicast(src, &dsts, now),
+                        "multicast {i} diverged"
+                    );
+                } else {
+                    assert_eq!(
+                        event.send(src, dst, now),
+                        polled.send(src, dst, now),
+                        "send {i} ({src} -> {dst} at {now}) diverged"
+                    );
+                }
+            }
+            assert_eq!(event.stats(), polled.stats());
+        }
     }
 
     #[test]

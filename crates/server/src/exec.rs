@@ -6,7 +6,7 @@
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
 use crate::protocol::{DcJob, JobWorkload, RunJob};
-use sharing_core::{SimConfig, SimResult, Simulator, VmSimulator};
+use sharing_core::{RunOptions, SimConfig, SimResult, Simulator, VmSimulator};
 use sharing_dc::DcSim;
 use sharing_json::{Json, ToJson};
 use sharing_trace::{TraceCache, TraceSpec};
@@ -35,7 +35,8 @@ pub fn simulate(job: &RunJob) -> Result<SimResult, String> {
             } else {
                 Ok(Simulator::new(cfg)
                     .expect("validated config")
-                    .run(&traces.single(*b, &spec)))
+                    .run_with(&traces.single(*b, &spec), RunOptions::new())
+                    .result)
             }
         }
         JobWorkload::Profile(p) => {
@@ -44,7 +45,10 @@ pub fn simulate(job: &RunJob) -> Result<SimResult, String> {
                 Ok(VmSimulator::new(cfg).expect("validated config").run(&trace))
             } else {
                 let trace = traces.profile_single(p, &spec)?;
-                Ok(Simulator::new(cfg).expect("validated config").run(&trace))
+                Ok(Simulator::new(cfg)
+                    .expect("validated config")
+                    .run_with(&trace, RunOptions::new())
+                    .result)
             }
         }
     }

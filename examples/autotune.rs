@@ -11,7 +11,7 @@
 //! cargo run --release --example autotune
 //! ```
 
-use sharing_arch::core::{SimConfig, Simulator, VCoreShape};
+use sharing_arch::core::{RunOptions, SimConfig, Simulator, VCoreShape};
 use sharing_arch::market::autotuner::{AutoTuner, Objective};
 use sharing_arch::market::{optimize, ExperimentSpec, Market, SuiteSurfaces, UtilityFn};
 use sharing_arch::trace::{Benchmark, TraceSpec};
@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut heartbeat = |shape: VCoreShape| -> f64 {
         let cfg =
             SimConfig::with_shape(shape.slices, shape.l2_banks).expect("lattice shapes are valid");
-        Simulator::new(cfg).expect("valid").run(&trace).ipc()
+        Simulator::new(cfg)
+            .expect("valid")
+            .run_with(&trace, RunOptions::new())
+            .result
+            .ipc()
     };
 
     let mut tuner = AutoTuner::new(

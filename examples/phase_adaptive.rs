@@ -6,14 +6,14 @@
 //! `perf³/area` — the objective of a customer who pays per Slice and per
 //! bank — accounting for the 10 000-cycle cache / 500-cycle Slice
 //! reconfiguration costs. The schedule is then *executed* with
-//! [`run_phased`] and compared against the best single static shape.
+//! [`run_phased_with`] and compared against the best single static shape.
 //!
 //! ```text
 //! cargo run --release --example phase_adaptive
 //! ```
 
 use sharing_arch::area::AreaModel;
-use sharing_arch::core::{run_phased, ReconfigCosts, SimConfig, VCoreShape};
+use sharing_arch::core::{run_phased_with, EngineKind, ReconfigCosts, SimConfig, VCoreShape};
 use sharing_arch::market::phases::run_study_with;
 use sharing_arch::trace::{gcc_phase_trace, TraceSpec};
 
@@ -75,8 +75,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (gcc_phase_trace(p, &spec), cfg)
         })
         .collect();
-    let dynamic = run_phased(&dynamic_schedule, ReconfigCosts::paper())?;
-    let fixed = run_phased(&static_schedule, ReconfigCosts::paper())?;
+    let dynamic = run_phased_with(
+        &dynamic_schedule,
+        ReconfigCosts::paper(),
+        EngineKind::default(),
+    )?;
+    let fixed = run_phased_with(
+        &static_schedule,
+        ReconfigCosts::paper(),
+        EngineKind::default(),
+    )?;
 
     let avg_area = |shapes: &[VCoreShape]| -> f64 {
         shapes

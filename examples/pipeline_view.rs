@@ -10,7 +10,7 @@
 //! cargo run --release --example pipeline_view
 //! ```
 
-use sharing_arch::core::{timeline, SimConfig, Simulator};
+use sharing_arch::core::{timeline, RunOptions, SimConfig, Simulator};
 use sharing_arch::trace::{Benchmark, TraceSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for slices in [1usize, 4] {
         let cfg = SimConfig::with_shape(slices, 2)?;
-        let (result, timings) = Simulator::new(cfg)?.run_detailed(&trace);
+        let out = Simulator::new(cfg)?.run_with(&trace, RunOptions::new().record_timings());
+        let (result, timings) = (out.result, out.timings.expect("timings requested"));
         println!(
             "===== {slices}-Slice VCore (IPC {:.2}) — legend: f fetch, d dispatch, \
              i issue, e exec, c commit =====",

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sharing_arch::core::{SimConfig, Simulator};
+use sharing_arch::core::{RunOptions, SimConfig, Simulator};
 use sharing_arch::trace::{Benchmark, TraceSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for (slices, banks) in [(1, 0), (1, 2), (2, 2), (4, 8), (8, 16)] {
         let config = SimConfig::with_shape(slices, banks)?;
-        let result = Simulator::new(config)?.run(&trace);
+        let result = Simulator::new(config)?
+            .run_with(&trace, RunOptions::new())
+            .result;
         println!(
             "{:<22} {:>8.3} {:>10} {:>11.1}%",
             format!("{} slices / {}KB L2", slices, banks * 64),

@@ -10,7 +10,7 @@
 //! one wall-clock track (real microseconds) and one logical track
 //! (simulated cycles) side by side.
 
-use sharing_arch::core::{SimConfig, Simulator};
+use sharing_arch::core::{RunOptions, SimConfig, Simulator};
 use sharing_arch::obs::TraceBuffer;
 use sharing_arch::trace::{Benchmark, TraceSpec};
 
@@ -18,13 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let obs = TraceBuffer::new();
 
     // Each shape gets a wall-clock span (how long the host took) and,
-    // via `run_traced`, a logical span (how many cycles were simulated,
+    // via `RunOptions::trace_to`, a logical span (how many cycles were simulated,
     // with IPC and shape in the span args).
     for (slices, banks) in [(1, 2), (2, 4), (4, 8)] {
         let _phase = obs.span(format!("simulate {slices}s/{banks}b"), "example", 0);
         let trace = Benchmark::Gcc.generate(&TraceSpec::new(20_000, 42));
         let config = SimConfig::with_shape(slices, banks)?;
-        let result = Simulator::new(config)?.run_traced(&trace, &obs);
+        let result = Simulator::new(config)?
+            .run_with(&trace, RunOptions::new().trace_to(&obs))
+            .result;
         println!(
             "{slices} slices / {:>3} KB L2: IPC {:.3} over {} cycles",
             banks * 64,

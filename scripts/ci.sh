@@ -56,6 +56,29 @@ echo "== profile smoke: cycle attribution conserves and is byte-identical =="
 diff "$TRACE_TMP/prof_a.txt" "$TRACE_TMP/prof_b.txt"
 grep -q 'conserved true' "$TRACE_TMP/prof_a.txt"
 
+echo "== engine smoke: event-driven byte-identical to legacy =="
+"$SSIM" run --benchmark gcc --len 2000 --seed 9 --json \
+  --engine legacy > "$TRACE_TMP/run_legacy.json"
+"$SSIM" run --benchmark gcc --len 2000 --seed 9 --json \
+  --engine event > "$TRACE_TMP/run_event.json"
+diff "$TRACE_TMP/run_legacy.json" "$TRACE_TMP/run_event.json"
+
+echo "== perf guard: sweep throughput must beat the 1.9M cycles/sec seed =="
+# A short-trace suite sweep (all 15 benchmarks x 72 shapes). The seed
+# repo measured 1.9M simulated cycles/sec on the standard sweep; the
+# event-driven engine must never regress below that floor.
+cargo run --release --offline -p sharing-market --example bench_sweep -- \
+  --len 10000 --out "$TRACE_TMP/sweep_perf.json"
+CPS="$(grep -o '"cycles_per_sec": *[0-9.e+-]*' "$TRACE_TMP/sweep_perf.json" \
+  | head -n1 | sed 's/.*: *//')"
+awk -v cps="$CPS" 'BEGIN {
+  if (cps + 0 < 1900000) {
+    printf "perf guard FAILED: %.0f cycles/sec < 1.9M/s seed floor\n", cps
+    exit 1
+  }
+  printf "perf guard ok: %.2fM cycles/sec (floor 1.9M)\n", cps / 1e6
+}'
+
 echo "== multi-node smoke: 2 workers + 1 coordinator, byte-identical sweep =="
 "$SSIM" serve --addr 127.0.0.1:42115 --workers 2 &
 W1=$!

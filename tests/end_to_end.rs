@@ -1,7 +1,7 @@
 //! End-to-end integration: every crate wired together the way the bench
 //! harness uses them.
 
-use sharing_arch::core::{SimConfig, Simulator, VCoreShape, VmSimulator};
+use sharing_arch::core::{RunOptions, SimConfig, Simulator, VCoreShape, VmSimulator};
 use sharing_arch::hv::{Chip, Hypervisor};
 use sharing_arch::trace::{Benchmark, TraceSpec, ALL_BENCHMARKS};
 
@@ -22,7 +22,10 @@ fn every_benchmark_runs_on_representative_shapes() {
                 r.ipc()
             } else {
                 let t = bench.generate(&SPEC);
-                let r = Simulator::new(cfg).unwrap().run(&t);
+                let r = Simulator::new(cfg)
+                    .unwrap()
+                    .run_with(&t, RunOptions::new())
+                    .result;
                 assert_eq!(r.instructions, SPEC.len as u64, "{bench}");
                 r.ipc()
             };
@@ -38,8 +41,14 @@ fn every_benchmark_runs_on_representative_shapes() {
 fn simulation_is_deterministic_across_reruns() {
     let t = Benchmark::Sjeng.generate(&SPEC);
     let cfg = SimConfig::with_shape(3, 4).unwrap();
-    let a = Simulator::new(cfg).unwrap().run(&t);
-    let b = Simulator::new(cfg).unwrap().run(&t);
+    let a = Simulator::new(cfg)
+        .unwrap()
+        .run_with(&t, RunOptions::new())
+        .result;
+    let b = Simulator::new(cfg)
+        .unwrap()
+        .run_with(&t, RunOptions::new())
+        .result;
     assert_eq!(a, b);
 }
 
@@ -63,7 +72,8 @@ fn hypervisor_leases_shapes_the_simulator_accepts() {
     let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks).unwrap();
     let r = Simulator::new(cfg)
         .unwrap()
-        .run(&Benchmark::Gcc.generate(&SPEC));
+        .run_with(&Benchmark::Gcc.generate(&SPEC), RunOptions::new())
+        .result;
     assert!(r.ipc() > 0.05);
 }
 
@@ -82,7 +92,7 @@ fn interpreter_agrees_with_itself_on_generated_traces() {
 
 #[test]
 fn reconfiguration_costs_show_up_in_phased_runs() {
-    use sharing_arch::core::{run_phased, ReconfigCosts};
+    use sharing_arch::core::{run_phased_with, EngineKind, ReconfigCosts};
     let t = Benchmark::Gcc.generate(&TraceSpec::new(6_000, 3));
     let phases = t.split_phases(3);
     let small = SimConfig::with_shape(1, 1).unwrap();
@@ -92,13 +102,15 @@ fn reconfiguration_costs_show_up_in_phased_runs() {
         (phases[1].clone(), big),
         (phases[2].clone(), small),
     ];
-    let with_cost = run_phased(&alternating, ReconfigCosts::paper()).unwrap();
-    let free = run_phased(
+    let with_cost =
+        run_phased_with(&alternating, ReconfigCosts::paper(), EngineKind::default()).unwrap();
+    let free = run_phased_with(
         &alternating,
         ReconfigCosts {
             slice_only: 0,
             cache_change: 0,
         },
+        EngineKind::default(),
     )
     .unwrap();
     assert_eq!(with_cost.cycles - free.cycles, 2 * 10_000);
@@ -118,8 +130,12 @@ fn placement_distance_costs_cycles() {
     assert_eq!(near.len(), 8);
 
     let sim = Simulator::new(cfg).unwrap();
-    let near_result = sim.run_placed(&trace, near);
-    let far_result = sim.run_placed(&trace, vec![12; 8]);
+    let near_result = sim
+        .run_with(&trace, RunOptions::new().bank_distances(near))
+        .result;
+    let far_result = sim
+        .run_with(&trace, RunOptions::new().bank_distances(vec![12; 8]))
+        .result;
     assert!(
         far_result.cycles > near_result.cycles,
         "distant banks must cost cycles: {} vs {}",
@@ -144,7 +160,10 @@ fn reuse_profile_predicts_simulator_hit_behaviour() {
 
         let banks = 8usize; // 512 KB nominal
         let cfg = SimConfig::with_shape(1, banks).unwrap();
-        let r = Simulator::new(cfg).unwrap().run(&trace);
+        let r = Simulator::new(cfg)
+            .unwrap()
+            .run_with(&trace, RunOptions::new())
+            .result;
         let mem_ops = r.mem.l1d.accesses;
         let measured_coverage = 1.0 - r.mem.memory_accesses as f64 / mem_ops as f64;
 

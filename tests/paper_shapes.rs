@@ -4,7 +4,7 @@
 //! and roughly by how much. These are the claims EXPERIMENTS.md records.
 
 use sharing_arch::area::{AreaModel, SliceComponent};
-use sharing_arch::core::{SimConfig, Simulator, VCoreShape, VmSimulator};
+use sharing_arch::core::{RunOptions, SimConfig, Simulator, VCoreShape, VmSimulator};
 use sharing_arch::trace::{Benchmark, TraceSpec};
 
 const SPEC: TraceSpec = TraceSpec {
@@ -22,7 +22,8 @@ fn ipc(bench: Benchmark, slices: usize, banks: usize) -> f64 {
     } else {
         Simulator::new(cfg)
             .unwrap()
-            .run(&bench.generate(&SPEC))
+            .run_with(&bench.generate(&SPEC), RunOptions::new())
+            .result
             .ipc()
     }
 }
@@ -135,8 +136,15 @@ fn second_operand_network_buys_little() {
         })
         .build()
         .unwrap();
-    let one_ipc = Simulator::new(base_cfg).unwrap().run(&trace).ipc();
-    let two_ipc = Simulator::new(two).unwrap().run(&trace).ipc();
+    let run = |cfg| {
+        Simulator::new(cfg)
+            .unwrap()
+            .run_with(&trace, RunOptions::new())
+            .result
+            .ipc()
+    };
+    let one_ipc = run(base_cfg);
+    let two_ipc = run(two);
     let gain = two_ipc / one_ipc - 1.0;
     assert!(
         gain < 0.10,

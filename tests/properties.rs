@@ -4,7 +4,7 @@
 //! coverage is property-shaped but fully deterministic — a failure
 //! reproduces by its printed case seed alone.
 
-use sharing_arch::core::{ModelKnobs, SimConfig, Simulator, VCoreShape};
+use sharing_arch::core::{ModelKnobs, RunOptions, SimConfig, Simulator, VCoreShape};
 use sharing_arch::hv::{Chip, Hypervisor};
 use sharing_arch::market::{optimize, Market, PerfSurface, UtilityFn};
 use sharing_arch::trace::io;
@@ -57,7 +57,10 @@ fn simulator_is_total_and_sane() {
             .unwrap()
             .generate_single();
         let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks).unwrap();
-        let (r, timings) = Simulator::new(cfg).unwrap().run_detailed(&trace);
+        let out = Simulator::new(cfg)
+            .unwrap()
+            .run_with(&trace, RunOptions::new().record_timings());
+        let (r, timings) = (out.result, out.timings.unwrap());
         assert_eq!(r.instructions, 1_500, "case {case}");
         assert!(r.cycles > 0, "case {case}");
         assert!(
@@ -96,9 +99,12 @@ fn dataflow_matches_interpreter() {
             .unwrap()
             .generate_single();
         let cfg = SimConfig::with_shape(shape.slices, shape.l2_banks).unwrap();
-        let (_, ok) = Simulator::new(cfg).unwrap().run_verified(&trace);
+        let ok = Simulator::new(cfg)
+            .unwrap()
+            .run_with(&trace, RunOptions::new().verify())
+            .verified;
         assert!(
-            ok,
+            ok == Some(true),
             "case {case}: committed values diverged from the interpreter"
         );
     }
@@ -124,7 +130,10 @@ fn ordered_lsq_has_no_violations() {
             })
             .build()
             .unwrap();
-        let r = Simulator::new(ordered).unwrap().run(&trace);
+        let r = Simulator::new(ordered)
+            .unwrap()
+            .run_with(&trace, RunOptions::new())
+            .result;
         assert_eq!(r.mem.lsq_violations, 0, "case {case}");
     }
 }
