@@ -79,8 +79,13 @@ pub struct RunArgs {
     /// When set, write a Chrome trace of the run's phases here.
     pub trace_out: Option<String>,
     /// Engine implementation (`event` by default; `legacy` is the polled
-    /// oracle — results are byte-identical either way).
+    /// oracle; `sharded` adds intra-run worker threads — results are
+    /// byte-identical in every case).
     pub engine: EngineKind,
+    /// Worker threads advancing a threaded VM's VCores between barriers
+    /// (`None` = 1, or machine-sized under `--engine sharded`). Output
+    /// is byte-identical for every value.
+    pub threads: Option<usize>,
 }
 
 /// Arguments for `ssim sweep`.
@@ -336,7 +341,7 @@ USAGE:
     ssim run   (--benchmark <name> | --profile workload.json | --asm prog.s)
                [--slices N] [--banks N] [--len N]
                [--seed N] [--config file.json] [--json] [--trace-out FILE]
-               [--engine event|legacy]
+               [--engine event|legacy|sharded] [--threads N]
     ssim sweep --benchmark <name> [--len N] [--seed N] [--jobs N]
                [--daemon HOST:PORT] [--csv-out FILE] [--trace-out FILE]
     ssim dc    (--scenario file.json | --emit-example)
@@ -400,9 +405,12 @@ byte-identical output. Profiling never perturbs the simulated result.
 
 `ssim run --engine` picks the timing-engine implementation: `event`
 (default) schedules resource wake-ups discretely and skips dead cycles;
-`legacy` is the original per-cycle polled engine. Both produce
-byte-identical results — the flag exists for differential testing and
-performance comparison.
+`legacy` is the original per-cycle polled engine; `sharded` is the
+event engine plus intra-run worker threads for threaded/PARSEC VMs
+(DESIGN.md §14). All produce byte-identical results — the flag exists
+for differential testing and performance comparison. `--threads N`
+pins the VM worker count explicitly (any value gives the same bytes;
+e.g. `ssim run --benchmark dedup --engine sharded --threads 4`).
 
 `--trace-out` writes Chrome trace_event JSON; open it in Perfetto
 (https://ui.perfetto.dev) or chrome://tracing. Simulator spans use
@@ -463,6 +471,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 json: false,
                 trace_out: None,
                 engine: EngineKind::default(),
+                threads: None,
             };
             let mut got_workload = false;
             while let Some(flag) = it.next() {
@@ -490,6 +499,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         let v = take_value(flag, &mut it)?;
                         out.engine = EngineKind::from_name(v)
                             .ok_or_else(|| CliError::BadValue(flag.clone(), v.clone()))?;
+                    }
+                    "--threads" => {
+                        let n: usize = parse_num(flag, take_value(flag, &mut it)?)?;
+                        if n == 0 {
+                            return Err(CliError::BadValue(flag.clone(), "0".to_string()));
+                        }
+                        out.threads = Some(n);
                     }
                     other => return Err(CliError::UnknownFlag(other.to_string())),
                 }
@@ -810,7 +826,7 @@ fn load_shaped_config(
 }
 
 /// Runs `ssim profile`: one single-thread workload through
-/// [`Simulator::run_profiled`], reporting the conservation-exact
+/// [`Simulator::run_with`] with profiling on, reporting the conservation-exact
 /// per-Slice cycle attribution. Same seed ⇒ byte-identical output.
 fn execute_profile(args: &ProfileArgs) -> Result<String, CliError> {
     let cfg = load_shaped_config(args.config_path.as_deref(), args.slices, args.banks)?;
@@ -886,6 +902,7 @@ fn run_one(
     seed: u64,
     obs: Option<&TraceBuffer>,
     engine: EngineKind,
+    threads: Option<usize>,
 ) -> sharing_core::SimResult {
     let spec = TraceSpec::new(len, seed);
     let traces = TraceCache::global();
@@ -895,10 +912,13 @@ fn run_one(
             traces.threaded(bench, &spec)
         };
         let _g = obs.map(|o| o.span(format!("simulate {}", bench.name()), "ssim", 0));
-        VmSimulator::new(cfg)
+        let mut vm = VmSimulator::new(cfg)
             .expect("validated config")
-            .with_engine(engine)
-            .run(&trace)
+            .with_engine(engine);
+        if let Some(n) = threads {
+            vm = vm.with_threads(n);
+        }
+        vm.run(&trace)
     } else {
         let trace = {
             let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
@@ -923,9 +943,10 @@ fn run_workload(
     seed: u64,
     obs: Option<&TraceBuffer>,
     engine: EngineKind,
+    threads: Option<usize>,
 ) -> Result<sharing_core::SimResult, CliError> {
     match workload {
-        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed, obs, engine)),
+        Workload::Benchmark(b) => Ok(run_one(*b, cfg, len, seed, obs, engine, threads)),
         Workload::AsmFile(path) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::BadAsm(format!("{path}: {e}")))?;
@@ -964,12 +985,12 @@ fn run_workload(
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
             let profile: WorkloadProfile = sharing_json::from_str(&text)
                 .map_err(|e| CliError::BadProfile(format!("{path}: {e}")))?;
-            run_profile(&profile, cfg, len, seed, obs, engine)
+            run_profile(&profile, cfg, len, seed, obs, engine, threads)
         }
         Workload::Extra(name) => {
             let profile =
                 extra_profile(name).ok_or_else(|| CliError::UnknownBenchmark(name.clone()))?;
-            run_profile(&profile, cfg, len, seed, obs, engine)
+            run_profile(&profile, cfg, len, seed, obs, engine, threads)
         }
     }
 }
@@ -983,6 +1004,7 @@ fn run_profile(
     seed: u64,
     obs: Option<&TraceBuffer>,
     engine: EngineKind,
+    threads: Option<usize>,
 ) -> Result<sharing_core::SimResult, CliError> {
     let spec = TraceSpec::new(len, seed);
     if profile.threads > 1 {
@@ -993,10 +1015,13 @@ fn run_profile(
                 .map_err(CliError::BadProfile)?
         };
         let _g = obs.map(|o| o.span(format!("simulate {}", profile.name), "ssim", 0));
-        Ok(VmSimulator::new(cfg)
+        let mut vm = VmSimulator::new(cfg)
             .expect("validated config")
-            .with_engine(engine)
-            .run(&trace))
+            .with_engine(engine);
+        if let Some(n) = threads {
+            vm = vm.with_threads(n);
+        }
+        Ok(vm.run(&trace))
     } else {
         let trace = {
             let _g = obs.map(|o| o.span("trace-gen", "ssim", 0));
@@ -1726,6 +1751,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 args.seed,
                 obs.as_ref(),
                 args.engine,
+                args.threads,
             )?;
             let mut out = if args.json {
                 sharing_json::to_string_pretty(&result)
@@ -1962,6 +1988,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                             args.seed,
                             None,
                             EngineKind::default(),
+                            None,
                         );
                         if let Some(g) = guard.as_mut() {
                             use sharing_json::Json;
@@ -2175,6 +2202,7 @@ mod tests {
             json: true,
             trace_out: None,
             engine: EngineKind::default(),
+            threads: None,
         }))
         .unwrap();
         let v = sharing_json::Json::parse(&out).unwrap();
@@ -2218,6 +2246,24 @@ mod tests {
     }
 
     #[test]
+    fn sharded_engine_flag_parses_and_matches_event_output() {
+        let cmd = |engine: &[&str]| {
+            let mut argv = vec!["run", "--benchmark", "dedup", "--len", "600", "--json"];
+            argv.extend_from_slice(engine);
+            execute(&parse(&s(&argv)).unwrap()).unwrap()
+        };
+        let event = cmd(&["--engine", "event"]);
+        for threads in ["1", "2", "4"] {
+            let sharded = cmd(&["--engine", "sharded", "--threads", threads]);
+            assert_eq!(event, sharded, "--threads {threads} changed the output");
+        }
+        assert_eq!(
+            parse(&s(&["run", "--benchmark", "gcc", "--threads", "0"])),
+            Err(CliError::BadValue("--threads".to_string(), "0".to_string()))
+        );
+    }
+
+    #[test]
     fn bad_config_file_reports_cleanly() {
         let cmd = Command::Run(RunArgs {
             workload: Workload::Benchmark(Benchmark::Gcc),
@@ -2229,6 +2275,7 @@ mod tests {
             json: false,
             trace_out: None,
             engine: EngineKind::default(),
+            threads: None,
         });
         assert!(matches!(execute(&cmd), Err(CliError::BadConfig(_))));
     }

@@ -37,6 +37,22 @@ use sharing_isa::{ArchReg, DynInst, InstKind, NUM_ARCH_REGS};
 use sharing_noc::{Coord, Mesh, QueuedNetwork, Transport};
 use std::collections::{HashMap, VecDeque};
 
+/// One engine-visible access to the shared memory system: everything
+/// `beyond_l1` needs to reproduce its state transition. Forked memory
+/// systems record these so the barrier can replay them into the
+/// authoritative system in a fixed order (see [`MemorySystem::fork`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Requesting VCore.
+    pub vcore: usize,
+    /// 64-byte line number.
+    pub line: u64,
+    /// Write (store drain) vs read (load miss).
+    pub write: bool,
+    /// Request cycle on the requester's clock.
+    pub now: u64,
+}
+
 /// The memory system beyond the L1s: the VCore's (or VM's shared) L2 bank
 /// set, the main-memory delay, and — when several VCores share it — the
 /// coherence directory.
@@ -63,6 +79,9 @@ pub struct MemorySystem {
     dram: FuCalendar,
     /// Channel occupancy per 64-byte line fill.
     pub dram_fill_cycles: u64,
+    /// When `Some`, every `beyond_l1` call is also appended here — set on
+    /// forked systems so the barrier can replay the access stream.
+    log: Option<Vec<MemAccess>>,
 }
 
 impl MemorySystem {
@@ -79,6 +98,7 @@ impl MemorySystem {
             memory_accesses: 0,
             dram: FuCalendar::default(),
             dram_fill_cycles: 4,
+            log: None,
         }
     }
 
@@ -107,10 +127,60 @@ impl MemorySystem {
         MemorySystem::private(l2_banks, memory_delay)
     }
 
+    /// Forks a speculative copy for one engine's barrier-to-barrier
+    /// chunk: same L2/directory/DRAM state, an empty invalidation queue,
+    /// and access logging armed. The fork absorbs the engine's
+    /// `beyond_l1` traffic in isolation; [`MemorySystem::replay`] then
+    /// applies the recorded stream to the authoritative system, so the
+    /// canonical state evolution depends only on the replay order —
+    /// never on how many worker threads ran the forks.
+    #[must_use]
+    pub fn fork(&self) -> MemorySystem {
+        MemorySystem {
+            l2: self.l2.clone(),
+            directory: self.directory.clone(),
+            coherent: self.coherent,
+            memory_delay: self.memory_delay,
+            coherence_hop: self.coherence_hop,
+            pending_invals: Vec::new(),
+            memory_accesses: 0,
+            dram: self.dram.clone(),
+            dram_fill_cycles: self.dram_fill_cycles,
+            log: Some(Vec::new()),
+        }
+    }
+
+    /// Takes the access log a forked system recorded (empty on the
+    /// authoritative system).
+    #[must_use]
+    pub fn take_log(&mut self) -> Vec<MemAccess> {
+        self.log.take().unwrap_or_default()
+    }
+
+    /// Replays a forked chunk's access stream into this (authoritative)
+    /// system: L2/LRU state, directory ownership, DRAM channel claims,
+    /// miss counters, and cross-VCore invalidations all evolve exactly
+    /// as if the accesses had been issued here directly. Latencies are
+    /// discarded — the requesting engine already charged itself the
+    /// latencies its fork computed.
+    pub fn replay(&mut self, log: &[MemAccess]) {
+        for a in log {
+            let _ = self.beyond_l1(a.vcore, a.line, a.write, a.now);
+        }
+    }
+
     /// Latency beyond the L1 for a (miss) access to `line` requested at
     /// cycle `now`, including coherence work when shared and DRAM channel
     /// queueing. Also records directory/L2 state changes.
     fn beyond_l1(&mut self, vcore: usize, line: u64, write: bool, now: u64) -> (u32, u64, u64) {
+        if let Some(log) = &mut self.log {
+            log.push(MemAccess {
+                vcore,
+                line,
+                write,
+                now,
+            });
+        }
         let mut latency = 0u32;
         let mut coh_invals = 0u64;
         let mut coh_forwards = 0u64;
@@ -203,7 +273,7 @@ impl Pool {
     fn new(n: usize, kind: EngineKind) -> Self {
         match kind {
             EngineKind::Legacy => Pool::Scan(Slots::new(n)),
-            EngineKind::EventDriven => Pool::Heap(WakeHeap::new(n)),
+            EngineKind::EventDriven | EngineKind::Sharded => Pool::Heap(WakeHeap::new(n)),
         }
     }
 
@@ -596,7 +666,7 @@ impl VCoreEngine {
         let freelist = FifoSlots::new((cfg.slice.global_regs - NUM_ARCH_REGS) * n);
         VCoreEngine {
             operand_net: match kind {
-                EngineKind::EventDriven => {
+                EngineKind::EventDriven | EngineKind::Sharded => {
                     QueuedNetwork::new(mesh, cfg.knobs.operand_latency, cfg.knobs.operand_planes)
                 }
                 EngineKind::Legacy => QueuedNetwork::new_polled(

@@ -21,9 +21,9 @@
 
 use std::hash::{BuildHasherDefault, Hasher};
 
-/// Which engine implementation a run uses. Both produce byte-identical
-/// [`crate::SimResult`]s; they differ only in how resource wake-ups are
-/// found.
+/// Which engine implementation a run uses. All kinds produce
+/// byte-identical [`crate::SimResult`]s; they differ only in how
+/// resource wake-ups are found and how many host threads advance a VM.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Discrete-event scheduling: min-heap wake-ups for structural
@@ -34,6 +34,14 @@ pub enum EngineKind {
     /// times and per-cycle `BTreeSet` walks on network links. Kept as
     /// the oracle for differential tests.
     Legacy,
+    /// Event-driven internals plus intra-run worker threads inside a
+    /// [`crate::VmSimulator`]: each VCore engine advances its chunk on a
+    /// forked memory system between deterministic barriers, and the
+    /// access streams are merged in VCore order (DESIGN.md §14). For a
+    /// single-trace [`crate::Simulator`] run there is only one engine,
+    /// so this is exactly `EventDriven`. Byte-identical to both other
+    /// kinds for any worker count.
+    Sharded,
 }
 
 impl EngineKind {
@@ -43,6 +51,7 @@ impl EngineKind {
         match self {
             EngineKind::EventDriven => "event",
             EngineKind::Legacy => "legacy",
+            EngineKind::Sharded => "sharded",
         }
     }
 
@@ -52,6 +61,7 @@ impl EngineKind {
         match s {
             "event" | "event-driven" | "event_driven" => Some(EngineKind::EventDriven),
             "legacy" | "polled" => Some(EngineKind::Legacy),
+            "sharded" | "threads" => Some(EngineKind::Sharded),
             _ => None,
         }
     }
@@ -163,7 +173,11 @@ mod tests {
 
     #[test]
     fn engine_kind_names_round_trip() {
-        for k in [EngineKind::EventDriven, EngineKind::Legacy] {
+        for k in [
+            EngineKind::EventDriven,
+            EngineKind::Legacy,
+            EngineKind::Sharded,
+        ] {
             assert_eq!(EngineKind::from_name(k.name()), Some(k));
         }
         assert_eq!(EngineKind::from_name("polled"), Some(EngineKind::Legacy));
@@ -232,6 +246,142 @@ mod tests {
             a.sort_unstable();
             b.sort_unstable();
             assert_eq!(a, b, "multisets diverged for n={n}");
+        }
+    }
+
+    /// A counting-multiset reference model over `BTreeMap<u64, usize>`:
+    /// the heap is *only* a multiset of free-times, so `available_at`
+    /// must peek the least key and `occupy` must remove one instance of
+    /// the minimum and insert `max(min, until)` — including when several
+    /// slots share a wake time and when `until` is below the minimum.
+    struct MultisetRef {
+        times: std::collections::BTreeMap<u64, usize>,
+    }
+
+    impl MultisetRef {
+        fn new(n: usize) -> Self {
+            let mut times = std::collections::BTreeMap::new();
+            times.insert(0u64, n);
+            MultisetRef { times }
+        }
+
+        fn min(&self) -> u64 {
+            *self.times.keys().next().expect("pool is never empty")
+        }
+
+        fn available_at(&self, t: u64) -> u64 {
+            t.max(self.min())
+        }
+
+        fn occupy(&mut self, until: u64) {
+            let min = self.min();
+            match self.times.get_mut(&min) {
+                Some(c) if *c > 1 => *c -= 1,
+                _ => {
+                    self.times.remove(&min);
+                }
+            }
+            *self.times.entry(min.max(until)).or_insert(0) += 1;
+        }
+
+        fn sorted(&self) -> Vec<u64> {
+            self.times
+                .iter()
+                .flat_map(|(&t, &c)| std::iter::repeat_n(t, c))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn wake_heap_handles_duplicate_wake_times() {
+        // Drive every slot to the same release time, then reschedule:
+        // each occupy must consume exactly one duplicate instance.
+        let mut heap = WakeHeap::new(4);
+        let mut model = MultisetRef::new(4);
+        for _ in 0..4 {
+            heap.occupy(0, 10);
+            model.occupy(10);
+        }
+        assert_eq!(heap.available_at(0), 10);
+        for k in 0..4u64 {
+            assert_eq!(heap.available_at(0), model.available_at(0), "dup {k}");
+            heap.occupy(10, 20 + k);
+            model.occupy(20 + k);
+        }
+        let mut a = heap.heap.clone();
+        a.sort_unstable();
+        assert_eq!(a, model.sorted());
+    }
+
+    #[test]
+    fn wake_heap_occupy_below_min_keeps_the_min() {
+        // The "pop at empty-equivalent" edge: occupying with `until`
+        // below the current minimum must re-insert the minimum itself
+        // (a slot can never free earlier than it already does), so the
+        // multiset is unchanged.
+        let mut heap = WakeHeap::new(3);
+        for _ in 0..3 {
+            heap.occupy(0, 40);
+        }
+        let before = heap.heap.clone();
+        heap.occupy(40, 7); // far below every release time
+        assert_eq!(heap.heap, before, "an earlier `until` must be a no-op");
+        assert_eq!(heap.available_at(0), 40);
+    }
+
+    #[test]
+    fn single_slot_heap_serializes_all_claims() {
+        let mut heap = WakeHeap::new(1);
+        let mut model = MultisetRef::new(1);
+        for (t, until) in [(0u64, 5u64), (5, 9), (9, 9), (9, 2), (20, 31)] {
+            assert_eq!(heap.available_at(t), model.available_at(t));
+            heap.occupy(t, until);
+            model.occupy(until);
+        }
+        assert_eq!(heap.heap, model.sorted());
+    }
+
+    #[test]
+    fn wake_heap_matches_btreemap_multiset_reference() {
+        // Interleaved push/pop under a seeded stream heavy in ties (small
+        // `until` range ⇒ many duplicate keys) across pool sizes.
+        let mut seed = 0xD1CE_2014_u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for n in [1usize, 2, 3, 8, 17] {
+            let mut heap = WakeHeap::new(n);
+            let mut model = MultisetRef::new(n);
+            let mut now = 0u64;
+            for step in 0..20_000u64 {
+                let r = rng();
+                now += r % 3;
+                assert_eq!(
+                    heap.available_at(now),
+                    model.available_at(now),
+                    "n={n} step={step}"
+                );
+                // Coarse quantization forces duplicate wake times; the
+                // `% 11 == 0` arm drives `until` beneath the minimum.
+                let until = if r % 11 == 0 {
+                    now / 2
+                } else {
+                    (now + r % 16) / 4 * 4
+                };
+                heap.occupy(now, until);
+                model.occupy(until);
+                if step % 1_024 == 0 {
+                    let mut a = heap.heap.clone();
+                    a.sort_unstable();
+                    assert_eq!(a, model.sorted(), "n={n} step={step} multiset");
+                }
+            }
+            let mut a = heap.heap.clone();
+            a.sort_unstable();
+            assert_eq!(a, model.sorted(), "final multiset for n={n}");
         }
     }
 

@@ -55,14 +55,12 @@ pub use config::{
     ConfigError, MemParams, ModelKnobs, PredictorKind, SimConfig, SliceParams, VCoreShape,
     MAX_L2_BANKS, MAX_SLICES,
 };
-pub use engine::{InstTiming, MemorySystem, VCoreEngine};
+pub use engine::{InstTiming, MemAccess, MemorySystem, VCoreEngine};
 pub use event::{EngineKind, WakeHeap};
 pub use multi::VmSimulator;
 pub use profile::{CycleProfile, SliceCycles};
 pub use reconfig::ReconfigCosts;
 pub use reconfigurable::ReconfigurableVCore;
-#[allow(deprecated)]
-pub use sim::run_phased;
 pub use sim::{run_phased_with, RunOptions, RunOutput, Simulator};
 pub use stats::{MemCounters, SimResult, SliceStats, StallBreakdown};
 pub use structures::{Distribution, Structure};

@@ -3,16 +3,33 @@
 //!
 //! The paper runs PARSEC with "four threads on four equally configured
 //! VCores which share an L2 Cache". This module composes one
-//! [`VCoreEngine`] per thread over a shared
-//! [`MemorySystem`], interleaving execution in fixed instruction chunks so
-//! the threads contend for (and cohere over) the same banks. Inter-VCore
-//! L1 invalidations produced by the directory are applied between chunks.
+//! [`VCoreEngine`] per thread over a shared [`MemorySystem`], advancing
+//! the threads in fixed instruction chunks between deterministic
+//! barriers (DESIGN.md §14):
+//!
+//! 1. **compute** — every engine runs its next chunk against a *fork*
+//!    of the shared memory system ([`MemorySystem::fork`]), recording
+//!    the beyond-L1 accesses it makes;
+//! 2. **merge** — at the barrier, the recorded access streams are
+//!    replayed into the authoritative memory system in VCore-index
+//!    order, and the inter-VCore L1 invalidations that replay produces
+//!    are applied in queue order.
+//!
+//! Because a fork only ever sees "state at the last barrier plus this
+//! engine's own accesses", and the merge order is fixed, the result is
+//! byte-identical no matter how many worker threads ran the compute
+//! phase — which is what lets [`VmSimulator::with_threads`] parallelize
+//! a single run across cores ([`EngineKind::Sharded`]) without giving
+//! up determinism.
 
 use crate::config::{ConfigError, SimConfig};
-use crate::engine::{MemorySystem, VCoreEngine};
+use crate::engine::{MemAccess, MemorySystem, VCoreEngine};
 use crate::event::EngineKind;
+use crate::par;
 use crate::stats::SimResult;
+use sharing_isa::DynInst;
 use sharing_trace::ThreadedTrace;
+use std::sync::{Mutex, RwLock};
 
 /// Default interleaving granularity, in instructions per thread per turn.
 pub const DEFAULT_CHUNK: usize = 1_000;
@@ -36,6 +53,17 @@ pub struct VmSimulator {
     cfg: SimConfig,
     chunk: usize,
     kind: EngineKind,
+    threads: Option<usize>,
+}
+
+/// One VCore's barrier-to-barrier state: its engine, its instruction
+/// stream and cursor, and the memory accesses its last compute phase
+/// recorded (replayed by the merge step, then cleared).
+struct Lane<'a> {
+    engine: VCoreEngine,
+    insts: &'a [DynInst],
+    cursor: usize,
+    log: Vec<MemAccess>,
 }
 
 impl VmSimulator {
@@ -51,14 +79,27 @@ impl VmSimulator {
             cfg,
             chunk: DEFAULT_CHUNK,
             kind: EngineKind::default(),
+            threads: None,
         })
     }
 
     /// Selects the engine implementation (byte-identical results either
-    /// way; see [`EngineKind`]).
+    /// way; see [`EngineKind`]). [`EngineKind::Sharded`] additionally
+    /// defaults the worker count to the machine instead of 1.
     #[must_use]
     pub fn with_engine(mut self, kind: EngineKind) -> Self {
         self.kind = kind;
+        self
+    }
+
+    /// Sets how many worker threads advance the VM's VCores between
+    /// barriers (minimum 1; capped at the VCore count). A pure
+    /// throughput knob: the barrier protocol makes the result
+    /// byte-identical for every worker count, which
+    /// `tests/sharded_equiv.rs` pins across the whole suite.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -72,6 +113,94 @@ impl VmSimulator {
         assert!(chunk > 0, "chunk must be positive");
         self.chunk = chunk;
         self
+    }
+
+    /// Worker threads for a run over `lanes` VCores: the explicit
+    /// [`VmSimulator::with_threads`] choice, else the machine size for
+    /// [`EngineKind::Sharded`], else 1.
+    fn workers_for(&self, lanes: usize) -> usize {
+        let requested = match self.threads {
+            Some(n) => n,
+            None => match self.kind {
+                EngineKind::Sharded => par::resolve_jobs(None),
+                _ => 1,
+            },
+        };
+        requested.clamp(1, lanes.max(1))
+    }
+
+    /// The barrier loop shared by [`VmSimulator::run`] and
+    /// [`VmSimulator::run_coscheduled`]: builds one engine per entry of
+    /// `streams`, advances them chunkwise over forks of `mem`, and
+    /// merges the access streams back in VCore order at every barrier.
+    fn drive(&self, mem: MemorySystem, streams: &[&[DynInst]]) -> (Vec<VCoreEngine>, MemorySystem) {
+        let lanes: Vec<Mutex<Lane>> = streams
+            .iter()
+            .enumerate()
+            .map(|(v, insts)| {
+                Mutex::new(Lane {
+                    engine: VCoreEngine::new_with_kind(self.cfg, v, self.kind),
+                    insts,
+                    cursor: 0,
+                    log: Vec::new(),
+                })
+            })
+            .collect();
+        let workers = self.workers_for(lanes.len());
+        let mem = RwLock::new(mem);
+        let mut inval_scratch: Vec<(usize, u64)> = Vec::new();
+        par::bsp_loop(
+            workers,
+            // Merge (caller thread, exclusive): replay every lane's
+            // recorded accesses in VCore order, then hand the coherence
+            // invalidations that replay produced to their target L1s.
+            || {
+                let mut m = mem.write().expect("vm mem lock");
+                for lane in &lanes {
+                    let mut lane = lane.lock().expect("vm lane lock");
+                    m.replay(&lane.log);
+                    lane.log.clear();
+                }
+                std::mem::swap(&mut inval_scratch, &mut m.pending_invals);
+                drop(m);
+                for (v, line) in inval_scratch.drain(..) {
+                    if v < lanes.len() {
+                        let mut lane = lanes[v].lock().expect("vm lane lock");
+                        lane.engine.invalidate_line(line);
+                    }
+                }
+                lanes.iter().any(|lane| {
+                    let lane = lane.lock().expect("vm lane lock");
+                    lane.cursor < lane.insts.len()
+                })
+            },
+            // Compute: each worker owns the lanes with `tid % workers ==
+            // w`, so lane locks never contend; the shared memory system
+            // is only read (forked).
+            |w| {
+                for (tid, lane) in lanes.iter().enumerate() {
+                    if tid % workers != w {
+                        continue;
+                    }
+                    let mut lane = lane.lock().expect("vm lane lock");
+                    let start = lane.cursor;
+                    if start >= lane.insts.len() {
+                        continue;
+                    }
+                    let end = (start + self.chunk).min(lane.insts.len());
+                    let mut fork = mem.read().expect("vm mem lock").fork();
+                    let insts = lane.insts;
+                    lane.engine.run_chunk(&mut fork, &insts[start..end]);
+                    lane.cursor = end;
+                    lane.log = fork.take_log();
+                }
+            },
+        );
+        let engines = lanes
+            .into_iter()
+            .map(|lane| lane.into_inner().expect("vm lane lock").engine)
+            .collect();
+        (engines, mem.into_inner().expect("vm mem lock"))
     }
 
     /// Co-schedules *different* workloads, one per VCore, over the shared
@@ -90,33 +219,8 @@ impl VmSimulator {
         if workloads.len() == 1 {
             mem.coherent = false;
         }
-        let mut engines: Vec<VCoreEngine> = (0..workloads.len())
-            .map(|v| VCoreEngine::new_with_kind(self.cfg, v, self.kind))
-            .collect();
-        let mut cursors = vec![0usize; workloads.len()];
-        let mut live = workloads.len();
-        // Reused across rounds so the inval hand-off never reallocates.
-        let mut inval_scratch: Vec<(usize, u64)> = Vec::new();
-        while live > 0 {
-            live = 0;
-            for (tid, engine) in engines.iter_mut().enumerate() {
-                let insts = workloads[tid].insts();
-                let start = cursors[tid];
-                if start >= insts.len() {
-                    continue;
-                }
-                live += 1;
-                let end = (start + self.chunk).min(insts.len());
-                engine.run_chunk(&mut mem, &insts[start..end]);
-                cursors[tid] = end;
-            }
-            std::mem::swap(&mut inval_scratch, &mut mem.pending_invals);
-            for (v, line) in inval_scratch.drain(..) {
-                if v < engines.len() {
-                    engines[v].invalidate_line(line);
-                }
-            }
-        }
+        let streams: Vec<&[DynInst]> = workloads.iter().map(sharing_trace::Trace::insts).collect();
+        let (engines, mem) = self.drive(mem, &streams);
         let mut results: Vec<SimResult> = engines
             .into_iter()
             .zip(workloads)
@@ -138,46 +242,12 @@ impl VmSimulator {
         if threads == 1 {
             mem.coherent = false;
         }
-        let mut engines: Vec<VCoreEngine> = (0..threads)
-            .map(|v| VCoreEngine::new_with_kind(self.cfg, v, self.kind))
+        let streams: Vec<&[DynInst]> = workload
+            .threads()
+            .iter()
+            .map(sharing_trace::Trace::insts)
             .collect();
-        let mut cursors = vec![0usize; threads];
-        let mut live = threads;
-        // Reused across rounds: the scratch and the pending queue ping-pong
-        // their allocations, so chunked coherence hand-off stops churning
-        // the allocator.
-        let mut inval_scratch: Vec<(usize, u64)> = Vec::new();
-        while live > 0 {
-            live = 0;
-            for (tid, engine) in engines.iter_mut().enumerate() {
-                let insts = workload.threads()[tid].insts();
-                let start = cursors[tid];
-                if start >= insts.len() {
-                    continue;
-                }
-                live += 1;
-                let end = (start + self.chunk).min(insts.len());
-                engine.run_chunk(&mut mem, &insts[start..end]);
-                cursors[tid] = end;
-                // Apply coherence invalidations to the other VCores.
-                std::mem::swap(&mut inval_scratch, &mut mem.pending_invals);
-                for (v, line) in inval_scratch.drain(..) {
-                    if v != tid {
-                        // Safe: `engines` indexed disjointly from `engine`
-                        // would need split borrows; defer to after loop by
-                        // collecting. (Handled below.)
-                        mem.pending_invals.push((v, line));
-                    }
-                }
-            }
-            // Drain invalidations between rounds.
-            std::mem::swap(&mut inval_scratch, &mut mem.pending_invals);
-            for (v, line) in inval_scratch.drain(..) {
-                if v < engines.len() {
-                    engines[v].invalidate_line(line);
-                }
-            }
-        }
+        let (engines, mem) = self.drive(mem, &streams);
         // Aggregate: VM time = slowest thread; instruction counts sum.
         let mut cycles = 0u64;
         let mut total = SimResult {
@@ -204,6 +274,7 @@ impl VmSimulator {
             total.lrf_copy_hits += r.lrf_copy_hits;
             total.ls_sort_messages += r.ls_sort_messages;
             total.rename_broadcasts += r.rename_broadcasts;
+            total.operand_net += r.operand_net;
             total.stalls.rob_full += r.stalls.rob_full;
             total.stalls.window_full += r.stalls.window_full;
             total.stalls.lsq_full += r.stalls.lsq_full;
@@ -271,6 +342,45 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_cannot_change_the_result() {
+        // The tentpole invariant in miniature (the full 15-benchmark ×
+        // {kind} × {workers} sweep lives in tests/sharded_equiv.rs).
+        let cfg = SimConfig::with_shape(2, 4).unwrap();
+        let w = Benchmark::Dedup.generate_threaded(&TraceSpec::new(2_000, 8));
+        let base = VmSimulator::new(cfg).unwrap().with_threads(1).run(&w);
+        for threads in [2usize, 4, 7] {
+            let r = VmSimulator::new(cfg).unwrap().with_threads(threads).run(&w);
+            assert_eq!(base, r, "{threads} workers diverged from 1 worker");
+        }
+        let sharded = VmSimulator::new(cfg)
+            .unwrap()
+            .with_engine(EngineKind::Sharded)
+            .run(&w);
+        assert_eq!(base, sharded, "sharded kind diverged");
+    }
+
+    #[test]
+    fn coscheduled_worker_count_cannot_change_the_result() {
+        let spec = TraceSpec::new(2_000, 6);
+        let a = Benchmark::Gcc.generate(&spec);
+        let b = Benchmark::Mcf.generate(&spec);
+        let c = Benchmark::Libquantum.generate(&spec);
+        let cfg = SimConfig::with_shape(1, 4).unwrap();
+        let tenants = [a, b, c];
+        let base = VmSimulator::new(cfg)
+            .unwrap()
+            .with_threads(1)
+            .run_coscheduled(&tenants);
+        for threads in [2usize, 3, 8] {
+            let r = VmSimulator::new(cfg)
+                .unwrap()
+                .with_threads(threads)
+                .run_coscheduled(&tenants);
+            assert_eq!(base, r, "{threads} workers diverged");
+        }
+    }
+
+    #[test]
     fn parsec_scaling_is_bounded() {
         // Per-thread ILP of ~2 chains should bound slice scaling near 2x
         // (paper §5.3: "the speedup is bounded by 2").
@@ -319,6 +429,20 @@ mod tests {
         assert_eq!(results[0].workload, "gcc");
         assert_eq!(results[1].workload, "hmmer");
         assert!(results.iter().all(|r| r.instructions == 3_000));
+    }
+
+    #[test]
+    fn vm_aggregates_operand_network_traffic() {
+        // Multi-Slice VCores exchange operands over the SON; the VM
+        // total must carry the summed per-engine network counters
+        // instead of dropping them.
+        let cfg = SimConfig::with_shape(4, 4).unwrap();
+        let w = Benchmark::Ferret.generate_threaded(&TraceSpec::new(2_000, 3));
+        let r = VmSimulator::new(cfg).unwrap().run(&w);
+        assert!(
+            r.operand_net.messages > 0,
+            "expected operand-network messages in the VM total"
+        );
     }
 
     #[test]

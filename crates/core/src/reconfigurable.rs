@@ -1,6 +1,6 @@
 //! A live, reconfigurable Virtual Core (paper §3.8).
 //!
-//! [`run_phased`](crate::run_phased) approximates reconfiguration by
+//! [`run_phased_with`](crate::run_phased_with) approximates reconfiguration by
 //! restarting the simulator cold each phase. This module models what the
 //! hardware actually does:
 //!

@@ -6,8 +6,8 @@
 //! records — is a [`RunOptions`] combination, and every output rides home
 //! in one [`RunOutput`]. The older one-method-per-mode entry points
 //! (`run`, `run_traced`, `run_placed`, `run_verified`, `run_profiled`,
-//! `run_detailed`, [`run_phased`]) survive as thin deprecated shims for
-//! one release.
+//! `run_detailed`, `run_phased`) lived out their one deprecated release
+//! and are gone.
 
 use crate::config::{ConfigError, SimConfig};
 use crate::engine::{InstTiming, MemorySystem, VCoreEngine};
@@ -77,7 +77,7 @@ impl<'a> RunOptions<'a> {
         RunOptions::default()
     }
 
-    /// Selects the engine implementation. Both kinds produce
+    /// Selects the engine implementation. All kinds produce
     /// byte-identical [`SimResult`]s (see [`EngineKind`]); `Legacy` is
     /// the polled oracle kept for differential testing.
     #[must_use]
@@ -282,78 +282,6 @@ impl Simulator {
             verified,
         }
     }
-
-    /// Runs a trace to completion and returns the result.
-    #[deprecated(since = "0.1.0", note = "use `run_with(trace, RunOptions::new())`")]
-    #[must_use]
-    pub fn run(&self, trace: &Trace) -> SimResult {
-        self.run_with(trace, RunOptions::new()).result
-    }
-
-    /// Runs a trace, recording a logical-cycle span into `obs`.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_with(trace, RunOptions::new().trace_to(obs))`"
-    )]
-    #[must_use]
-    pub fn run_traced(&self, trace: &Trace, obs: &sharing_obs::TraceBuffer) -> SimResult {
-        self.run_with(trace, RunOptions::new().trace_to(obs)).result
-    }
-
-    /// Runs a trace with the L2 banks at explicit network distances.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `bank_distances.len()` differs from the configured bank
-    /// count.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_with(trace, RunOptions::new().bank_distances(d))`"
-    )]
-    #[must_use]
-    pub fn run_placed(&self, trace: &Trace, bank_distances: Vec<u32>) -> SimResult {
-        self.run_with(trace, RunOptions::new().bank_distances(bank_distances))
-            .result
-    }
-
-    /// Runs a trace with dataflow verification against the ISA
-    /// interpreter.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_with(trace, RunOptions::new().verify())`"
-    )]
-    #[must_use]
-    pub fn run_verified(&self, trace: &Trace) -> (SimResult, bool) {
-        let out = self.run_with(trace, RunOptions::new().verify());
-        let ok = out.verified.expect("verify was requested");
-        (out.result, ok)
-    }
-
-    /// Runs a trace with the cycle-attribution profiler armed.
-    #[cfg(feature = "profile")]
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_with(trace, RunOptions::new().profile())`"
-    )]
-    #[must_use]
-    pub fn run_profiled(&self, trace: &Trace) -> (SimResult, crate::profile::CycleProfile) {
-        let out = self.run_with(trace, RunOptions::new().profile());
-        let profile = out.profile.expect("profiling was requested");
-        (out.result, profile)
-    }
-
-    /// Runs a trace and returns per-instruction timing records alongside
-    /// the result.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `run_with(trace, RunOptions::new().record_timings())`"
-    )]
-    #[must_use]
-    pub fn run_detailed(&self, trace: &Trace) -> (SimResult, Vec<InstTiming>) {
-        let out = self.run_with(trace, RunOptions::new().record_timings());
-        let timings = out.timings.expect("timings were requested");
-        (out.result, timings)
-    }
 }
 
 /// Runs a sequence of (trace phase, configuration) pairs on a dynamically
@@ -397,23 +325,6 @@ pub fn run_phased_with(
     }
     total.shape = prev_shape;
     Ok(total)
-}
-
-/// [`run_phased_with`] on the default engine.
-///
-/// # Errors
-///
-/// Returns [`ConfigError`] if any phase configuration is invalid.
-///
-/// # Panics
-///
-/// Panics if `phases` is empty.
-#[deprecated(since = "0.1.0", note = "use `run_phased_with(phases, costs, kind)`")]
-pub fn run_phased(
-    phases: &[(Trace, SimConfig)],
-    costs: ReconfigCosts,
-) -> Result<SimResult, ConfigError> {
-    run_phased_with(phases, costs, EngineKind::default())
 }
 
 #[cfg(test)]
@@ -775,8 +686,9 @@ mod tests {
         assert!(phased.cycles > raw_a.cycles, "includes both phases");
     }
 
-    /// The two engines must agree to the byte on the full result; the
-    /// heavy cross-benchmark sweep lives in `tests/event_equiv.rs`.
+    /// The three engines must agree to the byte on the full result; the
+    /// heavy cross-benchmark sweeps live in `tests/event_equiv.rs` and
+    /// `tests/sharded_equiv.rs`.
     #[test]
     fn engines_are_byte_identical_smoke() {
         let t = gcc(6_000);
@@ -784,27 +696,9 @@ mod tests {
             let sim = Simulator::new(SimConfig::with_shape(s, b).unwrap()).unwrap();
             let event = sim.run_with(&t, RunOptions::new());
             let legacy = sim.run_with(&t, RunOptions::new().engine(EngineKind::Legacy));
-            assert_eq!(event.result, legacy.result, "{s}s/{b}b diverged");
+            let sharded = sim.run_with(&t, RunOptions::new().engine(EngineKind::Sharded));
+            assert_eq!(event.result, legacy.result, "{s}s/{b}b legacy diverged");
+            assert_eq!(event.result, sharded.result, "{s}s/{b}b sharded diverged");
         }
-    }
-
-    /// The one-release deprecated shims must forward faithfully.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_run_with() {
-        let t = gcc(2_000);
-        let cfg = SimConfig::with_shape(2, 2).unwrap();
-        let sim = Simulator::new(cfg).unwrap();
-        assert_eq!(sim.run(&t), sim.run_with(&t, RunOptions::new()).result);
-        let (r, ok) = sim.run_verified(&t);
-        assert!(ok);
-        assert_eq!(r, sim.run(&t));
-        let (r, timings) = sim.run_detailed(&t);
-        assert_eq!(timings.len() as u64, r.instructions);
-        let phases = vec![(t.clone(), cfg)];
-        assert_eq!(
-            run_phased(&phases, ReconfigCosts::paper()).unwrap(),
-            run_phased_with(&phases, ReconfigCosts::paper(), EngineKind::default()).unwrap()
-        );
     }
 }

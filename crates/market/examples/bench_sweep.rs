@@ -1,7 +1,8 @@
 //! Timed cold and warm full-suite sweeps, for the perf trajectory.
 //!
 //! `scripts/bench_sweep.sh` wraps this and writes `BENCH_sweep.json`.
-//! Six phases over the full 15-benchmark × 72-shape grid:
+//! Seven phases, the first six over the full 15-benchmark × 72-shape
+//! grid:
 //!
 //! 1. **regen baseline** — sequential, a fresh trace cache per point, so
 //!    every point regenerates its trace (the pre-trace-cache behaviour);
@@ -14,15 +15,21 @@
 //! 6. **event engine** — same warm cache, event-driven engine, one
 //!    worker. Phases 5 and 6 must serialize byte-identically (the
 //!    engines' contract), and their ratio is the `event_driven`
-//!    speedup reported in the JSON.
+//!    speedup reported in the JSON;
+//! 7. **sharded VM** — the PARSEC benchmarks as 4-thread VMs, run
+//!    single-worker and then with the sharded engine's `--jobs` worker
+//!    shards (DESIGN.md §14). Both must serialize byte-identically —
+//!    the worker count is unobservable — and their wall-clock ratio is
+//!    the `sharded` intra-run speedup reported in the JSON (expect >1
+//!    only on multi-core machines).
 //!
 //! The sequential and parallel builds must serialize byte-identically
 //! (asserted here), which is the determinism contract of DESIGN.md §9.
 
-use sharing_core::{EngineKind, VCoreShape};
+use sharing_core::{EngineKind, SimConfig, VCoreShape, VmSimulator};
 use sharing_json::{Json, ToJson};
 use sharing_market::{ExperimentSpec, SuiteSurfaces};
-use sharing_trace::{TraceCache, ALL_BENCHMARKS};
+use sharing_trace::{TraceCache, TraceSpec, ALL_BENCHMARKS, PARSEC_BENCHMARKS};
 use std::time::Instant;
 
 fn main() {
@@ -126,6 +133,46 @@ fn main() {
         "default-engine sweep must match the explicit event-driven sweep"
     );
 
+    // Sharded VM A/B: the PARSEC set as 4-thread VMs over a shared L2,
+    // single worker vs `jobs` worker shards. Identical bytes (asserted —
+    // the barrier protocol makes the worker count unobservable), so the
+    // wall-clock ratio is the intra-run parallel speedup.
+    const VM_REPS: usize = 8;
+    let vm_cfg = SimConfig::with_shape(2, 4).expect("valid VM shape");
+    let vm_spec = TraceSpec::new(spec.trace_len, 2014);
+    let vm_workloads: Vec<_> = PARSEC_BENCHMARKS
+        .iter()
+        .map(|&b| b.generate_threaded(&vm_spec))
+        .collect();
+    let run_vms = |workers: usize| {
+        let vm = VmSimulator::new(vm_cfg)
+            .expect("valid VM config")
+            .with_engine(EngineKind::Sharded)
+            .with_threads(workers);
+        let t = Instant::now();
+        let mut results = Vec::new();
+        for _ in 0..VM_REPS {
+            results = vm_workloads.iter().map(|w| vm.run(w)).collect();
+        }
+        (sharing_json::to_string(&results), t.elapsed().as_secs_f64())
+    };
+    let (vm_single_bytes, vm_single_secs) = run_vms(1);
+    eprintln!("[sharded 1 worker:  {vm_single_secs:.2}s]");
+    let (vm_sharded_bytes, vm_sharded_secs) = run_vms(jobs);
+    eprintln!("[sharded {jobs} workers: {vm_sharded_secs:.2}s]");
+    assert_eq!(
+        vm_single_bytes, vm_sharded_bytes,
+        "sharded VM results must not depend on the worker count"
+    );
+    let vm_cycles: f64 = {
+        let parsed = Json::parse(&vm_single_bytes).expect("own serialization parses");
+        let runs = parsed.as_arr().expect("array of results");
+        runs.iter()
+            .map(|r| r.get("cycles").and_then(Json::as_int).unwrap_or(0) as f64)
+            .sum::<f64>()
+            * VM_REPS as f64
+    };
+
     // Simulated cycles, reconstructed from the surfaces: each point
     // committed `trace_len` instructions per thread at the measured
     // per-thread IPC, so cycles ~= len / perf (exact for single-thread
@@ -170,6 +217,26 @@ fn main() {
                     Json::Float(est_cycles / legacy_secs),
                 ),
                 ("speedup_vs_legacy", Json::Float(legacy_secs / event_secs)),
+            ]),
+        ),
+        (
+            "sharded",
+            Json::obj(vec![
+                ("sharded_threads", Json::Int(jobs as i128)),
+                ("vm_single_secs", Json::Float(vm_single_secs)),
+                ("vm_sharded_secs", Json::Float(vm_sharded_secs)),
+                (
+                    "vm_cycles_per_sec_single",
+                    Json::Float(vm_cycles / vm_single_secs),
+                ),
+                (
+                    "vm_cycles_per_sec_sharded",
+                    Json::Float(vm_cycles / vm_sharded_secs),
+                ),
+                (
+                    "speedup_vs_single_worker",
+                    Json::Float(vm_single_secs / vm_sharded_secs),
+                ),
             ]),
         ),
         (

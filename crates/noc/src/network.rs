@@ -71,6 +71,14 @@ pub struct NetStats {
     pub contention_cycles: u64,
 }
 
+impl std::ops::AddAssign for NetStats {
+    fn add_assign(&mut self, other: NetStats) {
+        self.messages += other.messages;
+        self.hops += other.hops;
+        self.contention_cycles += other.contention_cycles;
+    }
+}
+
 json_struct!(LatencyModel {
     base,
     per_hop,
@@ -571,6 +579,28 @@ mod tests {
     #[should_panic(expected = "at least one network plane")]
     fn zero_planes_rejected() {
         let _ = QueuedNetwork::new(mesh(), LatencyModel::tilera(), 0);
+    }
+
+    #[test]
+    fn net_stats_accumulate_per_field() {
+        let mut total = NetStats {
+            messages: 1,
+            hops: 2,
+            contention_cycles: 3,
+        };
+        total += NetStats {
+            messages: 10,
+            hops: 20,
+            contention_cycles: 30,
+        };
+        assert_eq!(
+            total,
+            NetStats {
+                messages: 11,
+                hops: 22,
+                contention_cycles: 33,
+            }
+        );
     }
 
     #[test]

@@ -30,14 +30,14 @@
 //! # Quick start
 //!
 //! ```
-//! use sharing_arch::core::{SimConfig, Simulator};
+//! use sharing_arch::core::{RunOptions, SimConfig, Simulator};
 //! use sharing_arch::trace::{Benchmark, TraceSpec};
 //!
 //! // A 2-Slice Virtual Core with 128 KB of L2 (two 64 KB banks), running
 //! // a synthetic gcc-like workload.
 //! let config = SimConfig::builder().slices(2).l2_banks(2).build()?;
 //! let trace = Benchmark::Gcc.generate(&TraceSpec::new(5_000, 42));
-//! let result = Simulator::new(config)?.run(&trace);
+//! let result = Simulator::new(config)?.run_with(&trace, RunOptions::new()).result;
 //! println!("IPC = {:.2}", result.ipc());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
